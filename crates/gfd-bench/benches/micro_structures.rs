@@ -1,0 +1,104 @@
+//! Criterion microbenchmarks of the core data structures, plus ablations
+//! of the design choices DESIGN.md calls out (dependency ordering,
+//! component pruning).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfd_core::{seq_sat_with, EqRel, ReasonOptions};
+use gfd_gen::synthetic_workload;
+use gfd_graph::{AttrId, Graph, LabelIndex, NodeId, Pattern, Vocab};
+use gfd_match::{dual_simulation, MatchPlan};
+use std::hint::black_box;
+
+fn bench_eq_rel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eq_rel");
+    g.bench_function("bind_1k", |b| {
+        b.iter(|| {
+            let mut eq = EqRel::new();
+            for i in 0..1000usize {
+                eq.bind(
+                    (NodeId::new(i), AttrId::new(i % 7)),
+                    gfd_graph::Value::Int((i % 5) as i64),
+                )
+                .unwrap();
+            }
+            black_box(eq.key_count())
+        })
+    });
+    g.bench_function("merge_chain_1k", |b| {
+        b.iter(|| {
+            let mut eq = EqRel::new();
+            for i in 0..1000usize {
+                eq.merge(
+                    (NodeId::new(i), AttrId::new(0)),
+                    (NodeId::new(i + 1), AttrId::new(0)),
+                )
+                .unwrap();
+            }
+            black_box(eq.same_class(
+                (NodeId::new(0), AttrId::new(0)),
+                (NodeId::new(1000), AttrId::new(0)),
+            ))
+        })
+    });
+    g.finish();
+}
+
+/// A ring-with-chords graph that gives the matcher real work.
+fn ring_graph(n: usize, vocab: &mut Vocab) -> Graph {
+    let t = vocab.label("t");
+    let e = vocab.label("e");
+    let mut g = Graph::new();
+    let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(t)).collect();
+    for i in 0..n {
+        g.add_edge(nodes[i], e, nodes[(i + 1) % n]);
+        g.add_edge(nodes[i], e, nodes[(i + 7) % n]);
+    }
+    g
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut vocab = Vocab::new();
+    let g = ring_graph(256, &mut vocab);
+    let idx = LabelIndex::build(&g);
+    let t = vocab.label("t");
+    let e = vocab.label("e");
+    let mut path4 = Pattern::new();
+    let vars: Vec<_> = (0..4).map(|i| path4.add_node(t, format!("v{i}"))).collect();
+    for w in vars.windows(2) {
+        path4.add_edge(w[0], e, w[1]);
+    }
+
+    let mut group = c.benchmark_group("matching");
+    group.bench_function("count_path4_ring256", |b| {
+        b.iter(|| black_box(gfd_match::count_matches(&g, &idx, &path4)))
+    });
+    group.bench_function("plan_build", |b| {
+        b.iter(|| black_box(MatchPlan::build(&path4, None, Some(&idx))))
+    });
+    group.bench_function("dual_simulation", |b| {
+        b.iter(|| black_box(dual_simulation(&g, &idx, &path4).is_some()))
+    });
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let w = synthetic_workload(80, 5, 3, 42);
+    let mut group = c.benchmark_group("seq_sat_ablations");
+    for (name, dep, prune) in [
+        ("ordered+pruned", true, true),
+        ("no_dependency_order", false, true),
+        ("no_component_pruning", true, false),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            let opts = ReasonOptions {
+                use_dependency_order: dep,
+                prune_components: prune,
+            };
+            b.iter(|| black_box(seq_sat_with(&w.sigma, &opts).is_satisfiable()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eq_rel, bench_matching, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,216 @@
+//! Experiment harness utilities: scaling, timing, and table rendering for
+//! the benches that regenerate every table and figure of §VII.
+//!
+//! Scale is controlled by the `GFD_SCALE` environment variable:
+//!
+//! * `quick` (default) — laptop/CI-sized workloads, minutes for the whole
+//!   suite; the paper's *shapes* (who wins, crossovers) are preserved.
+//! * `full` — paper-sized parameters (|Σ| up to 10000, k to 10). Expect
+//!   hours, as in the original evaluation.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Workload sizes for one run of the suite.
+#[derive(Clone, Debug)]
+pub struct Scale {
+    /// Human-readable scale name.
+    pub name: &'static str,
+    /// |Σ| for the Fig. 5 "real-life" sets.
+    pub fig5_sigma: usize,
+    /// |Σ| for the Exp-1 scalability runs.
+    pub exp1_sigma: usize,
+    /// Worker counts swept in Exp-1 (paper: 4..20).
+    pub workers: Vec<usize>,
+    /// |Σ| values swept in Exp-2 (paper: 2000..10000).
+    pub exp2_sigmas: Vec<usize>,
+    /// |Σ| for Exp-3 (paper: 5000).
+    pub exp3_sigma: usize,
+    /// Pattern sizes swept in Exp-3 (paper: 2..10).
+    pub ks: Vec<usize>,
+    /// Literal counts swept in Exp-3 (paper: 1..5).
+    pub ls: Vec<usize>,
+    /// TTL values swept in Exp-4 (paper: 0.1s..8s).
+    pub ttls: Vec<Duration>,
+    /// Default TTL for the other experiments (paper: 2s).
+    pub default_ttl: Duration,
+    /// Timing repetitions (median is reported).
+    pub repeats: usize,
+    /// Number of implication probes averaged per measurement.
+    pub imp_probes: usize,
+}
+
+/// Read the scale from `GFD_SCALE` (`quick` default, `full` for
+/// paper-sized runs).
+pub fn scale() -> Scale {
+    match std::env::var("GFD_SCALE").as_deref() {
+        Ok("full") => Scale {
+            name: "full",
+            fig5_sigma: 8000,
+            exp1_sigma: 8000,
+            workers: vec![4, 8, 12, 16, 20],
+            exp2_sigmas: vec![2000, 4000, 6000, 8000, 10000],
+            exp3_sigma: 5000,
+            ks: vec![2, 4, 6, 8, 10],
+            ls: vec![1, 2, 3, 4, 5],
+            ttls: [100u64, 500, 1000, 2000, 4000, 8000]
+                .into_iter()
+                .map(Duration::from_millis)
+                .collect(),
+            default_ttl: Duration::from_secs(2),
+            repeats: 3,
+            imp_probes: 6,
+        },
+        _ => Scale {
+            name: "quick",
+            fig5_sigma: 600,
+            exp1_sigma: 600,
+            workers: vec![1, 2, 4, 8, 12, 16, 20],
+            exp2_sigmas: vec![200, 400, 600, 800, 1000],
+            exp3_sigma: 400,
+            ks: vec![2, 4, 6, 8, 10],
+            ls: vec![1, 2, 3, 4, 5],
+            ttls: [1u64, 2, 5, 10, 20, 50]
+                .into_iter()
+                .map(Duration::from_millis)
+                .collect(),
+            default_ttl: Duration::from_millis(5),
+            repeats: 3,
+            imp_probes: 4,
+        },
+    }
+}
+
+/// Time one closure invocation.
+pub fn time_once<T>(mut f: impl FnMut() -> T) -> (Duration, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed(), out)
+}
+
+/// Median wall time of `repeats` invocations (one extra warm-up).
+pub fn time_median<T>(repeats: usize, mut f: impl FnMut() -> T) -> Duration {
+    let _ = f(); // warm-up
+    let mut times: Vec<Duration> = (0..repeats.max(1)).map(|_| time_once(&mut f).0).collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// Render a duration compactly (ms with 2 decimals, or s).
+pub fn fmt_duration(d: Duration) -> String {
+    let ms = d.as_secs_f64() * 1e3;
+    if ms >= 10_000.0 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else {
+        format!("{ms:.2}ms")
+    }
+}
+
+/// A fixed-width text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "ragged table row");
+        self.rows.push(cells);
+    }
+
+    /// Print with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let cols: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect();
+            println!("  {}", cols.join("  "));
+        };
+        line(&self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        println!("  {}", "-".repeat(total));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Print the standard experiment banner, including the single-core caveat
+/// that applies to wall-clock parallel numbers.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("paper reference: {paper_ref}");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "host: {cores} core(s) available — parallel wall times are meaningful only when \
+         cores ≥ p;\nthe `makespan` column (max per-worker CPU time) is the faithful \
+         scalability measure."
+    );
+    println!(
+        "scale: GFD_SCALE={} (set GFD_SCALE=full for paper-sized runs)",
+        scale().name
+    );
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_is_default() {
+        // Note: assumes GFD_SCALE is unset in the test environment.
+        if std::env::var("GFD_SCALE").is_err() {
+            assert_eq!(scale().name, "quick");
+        }
+    }
+
+    #[test]
+    fn median_of_constant_work() {
+        let d = time_median(3, || std::hint::black_box(1 + 1));
+        assert!(d < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        t.print();
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_millis(1500)), "1500.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(11)), "11.00s");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

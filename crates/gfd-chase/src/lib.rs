@@ -1,0 +1,23 @@
+//! Chase-based baselines for GFD reasoning.
+//!
+//! The paper compares its algorithms against a chase implementation for
+//! RDF FDs (`ParImpRDF`, Fig. 5 and Fig. 6(f)). This crate provides:
+//!
+//! * [`chase`] — a naive round-based fixpoint chase over canonical graphs
+//!   (no ordering, no inverted index, full re-scans);
+//! * [`imp_rdf::chase_imp`] — implication checking via the chase;
+//! * [`sat_chase::chase_sat`] — satisfiability via the chase;
+//! * [`rule`] — RDF triple-pattern FDs and their embedding into GFDs
+//!   (GFDs subsume the constraints of Hellings et al., §VIII).
+
+#![warn(missing_docs)]
+
+pub mod chase;
+pub mod imp_rdf;
+pub mod rule;
+pub mod sat_chase;
+
+pub use chase::{chase_to_fixpoint, ChaseOutcome, ChaseStats};
+pub use imp_rdf::{chase_imp, ChaseImpResult};
+pub use rule::{RdfConstraint, RdfFd, TriplePattern};
+pub use sat_chase::{chase_sat, ChaseSatResult};

@@ -1,0 +1,73 @@
+//! `gfd imp FILE` — implication checking.
+
+use crate::args::{load_document, ArgError, Parsed};
+use crate::output::{fmt_duration, fmt_metrics};
+use gfd_core::GfdSet;
+use gfd_parallel::ParConfig;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+const HELP: &str = "\
+gfd imp FILE --phi NAME [--workers N] [--ttl-ms T] [--seq]
+
+Checks whether the other rules in FILE imply rule NAME (§VI).
+  --phi NAME    the candidate rule ϕ (by its name in the file)
+  --workers N   parallel workers (default 4)
+  --seq         use the sequential SeqImp algorithm
+  --ttl-ms T    straggler TTL in milliseconds (default 2000)
+Exit code: 0 implied, 1 not implied, 2 error.
+";
+
+pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
+    if args.flag("help") {
+        let _ = write!(out, "{HELP}");
+        return Ok(0);
+    }
+    let path = args.positional(0, "FILE")?.to_string();
+    let phi_name = args
+        .opt_str("phi")?
+        .ok_or_else(|| ArgError::new("imp requires --phi NAME"))?
+        .to_string();
+    let workers = args.opt_usize("workers", 4)?;
+    let ttl = Duration::from_millis(args.opt_u64("ttl-ms", 2000)?);
+    let sequential = args.flag("seq");
+    args.finish()?;
+
+    let mut vocab = gfd_graph::Vocab::new();
+    let doc = load_document(&path, &mut vocab)?;
+    let mut sigma = GfdSet::new();
+    let mut phi = None;
+    for (_, gfd) in doc.gfds.iter() {
+        if gfd.name == phi_name {
+            phi = Some(gfd.clone());
+        } else {
+            sigma.push(gfd.clone());
+        }
+    }
+    let phi = phi.ok_or_else(|| {
+        ArgError::new(format!("no rule named `{phi_name}` in {path}"))
+    })?;
+
+    let _ = writeln!(
+        out,
+        "Σ: {} rule(s); ϕ = {}",
+        sigma.len(),
+        phi.display(&vocab)
+    );
+    let start = Instant::now();
+    let (implied, metrics) = if sequential {
+        (gfd_core::seq_imp(&sigma, &phi).is_implied(), None)
+    } else {
+        let cfg = ParConfig::with_workers(workers).with_ttl(ttl);
+        let r = gfd_parallel::par_imp(&sigma, &phi, &cfg);
+        (r.is_implied(), Some(r.metrics))
+    };
+    let elapsed = start.elapsed();
+
+    let verdict = if implied { "IMPLIED" } else { "NOT IMPLIED" };
+    let _ = writeln!(out, "{verdict} ({})", fmt_duration(elapsed));
+    if let Some(m) = &metrics {
+        let _ = write!(out, "{}", fmt_metrics(m));
+    }
+    Ok(if implied { 0 } else { 1 })
+}

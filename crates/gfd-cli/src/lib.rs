@@ -1,0 +1,228 @@
+//! The `gfd` command-line toolbox.
+//!
+//! Every operation the library supports, scriptable from a shell:
+//!
+//! | command | what it does |
+//! |---|---|
+//! | `gfd sat FILE` | satisfiability of the rule set in `FILE` |
+//! | `gfd imp FILE --phi NAME` | does the rest of the set imply rule `NAME`? |
+//! | `gfd minimize FILE` | drop rules implied by the others (a cover) |
+//! | `gfd detect FILE` | find violations of the rules in the file's graphs |
+//! | `gfd gen --rules N ...` | generate a reproducible synthetic rule set |
+//! | `gfd fmt FILE` | canonical reformatting of a rule file |
+//!
+//! The binary is a thin wrapper over [`run`], which is fully testable:
+//! it takes arguments and a writer and returns a process exit code.
+//! Exit codes: `0` = yes/clean/ok, `1` = no/violations, `2` = usage or
+//! input error.
+
+#![warn(missing_docs)]
+
+pub mod args;
+mod cmd_detect;
+mod cmd_fmt;
+mod cmd_ged;
+mod cmd_gen;
+mod cmd_imp;
+mod cmd_minimize;
+mod cmd_sat;
+pub mod output;
+
+use args::{ArgError, Parsed};
+use std::io::Write;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+gfd — reasoning about graph functional dependencies (ICDE 2018)
+
+USAGE:
+    gfd <COMMAND> [OPTIONS]
+
+COMMANDS:
+    sat FILE        check satisfiability of the GFD set in FILE
+    imp FILE        check implication of one rule by the others
+    minimize FILE   remove rules implied by the rest (cover)
+    detect FILE     detect violations of the rules in FILE's graphs
+    gen             generate a synthetic rule set (prints DSL)
+    fmt FILE        reformat a rule file canonically
+    ged-sat FILE    GED satisfiability (order predicates, ids, disjunction)
+    ged-imp FILE    GED implication
+    resolve FILE    entity resolution with recursively-defined keys
+    help            show this message
+
+COMMON OPTIONS:
+    --workers N     parallel workers (default 4; 0 = sequential algorithm)
+    --ttl-ms T      straggler-splitting TTL in milliseconds (default 2000)
+
+Run `gfd <COMMAND> --help` for command-specific options.
+";
+
+/// Run the CLI: parse `argv` (without the program name), execute, write
+/// human-readable output to `out`. Returns the process exit code.
+pub fn run(argv: &[String], out: &mut dyn Write) -> i32 {
+    match dispatch(argv, out) {
+        Ok(code) => code,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            2
+        }
+    }
+}
+
+fn dispatch(argv: &[String], out: &mut dyn Write) -> Result<i32, ArgError> {
+    let Some(command) = argv.first() else {
+        let _ = write!(out, "{USAGE}");
+        return Ok(2);
+    };
+    let rest = &argv[1..];
+    match command.as_str() {
+        "sat" => cmd_sat::run(Parsed::parse(rest)?, out),
+        "imp" => cmd_imp::run(Parsed::parse(rest)?, out),
+        "minimize" => cmd_minimize::run(Parsed::parse(rest)?, out),
+        "detect" => cmd_detect::run(Parsed::parse(rest)?, out),
+        "gen" => cmd_gen::run(Parsed::parse(rest)?, out),
+        "fmt" => cmd_fmt::run(Parsed::parse(rest)?, out),
+        "ged-sat" => cmd_ged::run_sat(Parsed::parse(rest)?, out),
+        "ged-imp" => cmd_ged::run_imp(Parsed::parse(rest)?, out),
+        "resolve" => cmd_ged::run_resolve(Parsed::parse(rest)?, out),
+        "help" | "--help" | "-h" => {
+            let _ = write!(out, "{USAGE}");
+            Ok(0)
+        }
+        other => Err(ArgError::new(format!(
+            "unknown command `{other}` (try `gfd help`)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_vec(args: &[&str]) -> (i32, String) {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        let code = run(&argv, &mut out);
+        (code, String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let (code, text) = run_vec(&[]);
+        assert_eq!(code, 2);
+        assert!(text.contains("USAGE"));
+    }
+
+    #[test]
+    fn help_exits_zero() {
+        let (code, text) = run_vec(&["help"]);
+        assert_eq!(code, 0);
+        assert!(text.contains("minimize"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let (code, text) = run_vec(&["frobnicate"]);
+        assert_eq!(code, 2);
+        assert!(text.contains("unknown command"));
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let (code, text) = run_vec(&["sat", "/nonexistent/path.gfd"]);
+        assert_eq!(code, 2);
+        assert!(text.contains("error"), "{text}");
+    }
+
+    #[test]
+    fn end_to_end_sat_on_temp_file() {
+        let dir = std::env::temp_dir().join("gfd-cli-test-sat");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("unsat.gfd");
+        std::fs::write(
+            &path,
+            "gfd a { pattern { node x: _ } then { x.v = 1 } }\n\
+             gfd b { pattern { node x: _ } then { x.v = 2 } }\n",
+        )
+        .unwrap();
+        let (code, text) = run_vec(&["sat", path.to_str().unwrap()]);
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("UNSATISFIABLE"), "{text}");
+
+        let path2 = dir.join("sat.gfd");
+        std::fs::write(
+            &path2,
+            "gfd a { pattern { node x: person } then { x.v = 1 } }\n",
+        )
+        .unwrap();
+        let (code, text) = run_vec(&["sat", path2.to_str().unwrap()]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("SATISFIABLE"), "{text}");
+    }
+
+    #[test]
+    fn end_to_end_ged_sat_and_resolve() {
+        let dir = std::env::temp_dir().join("gfd-cli-test-ged");
+        std::fs::create_dir_all(&dir).unwrap();
+        // GED sat: conflicting bounds.
+        let path = dir.join("bounds.gfd");
+        std::fs::write(
+            &path,
+            "ged lo { pattern { node x: _ } then { x.a < 5 } }\n\
+             ged hi { pattern { node x: _ } then { x.a > 7 } }\n",
+        )
+        .unwrap();
+        let (code, text) = run_vec(&["ged-sat", path.to_str().unwrap()]);
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("UNSATISFIABLE"), "{text}");
+
+        // GED imp: order deduction.
+        let path2 = dir.join("imp.gfd");
+        std::fs::write(
+            &path2,
+            "ged r { pattern { node x: t } then { x.a = 1 } }\n\
+             ged q { pattern { node x: t } then { x.a >= 1 } }\n",
+        )
+        .unwrap();
+        let (code, text) = run_vec(&["ged-imp", path2.to_str().unwrap(), "--phi", "q"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("IMPLIED"), "{text}");
+
+        // Entity resolution via a key.
+        let path3 = dir.join("resolve.gfd");
+        std::fs::write(
+            &path3,
+            r#"
+            graph people {
+              node a: person { email = "x@y" }
+              node b: person { email = "x@y" }
+              node c: person { email = "z@w" }
+            }
+            ged key {
+              pattern { node x: person node y: person }
+              when { x.email = y.email }
+              then { x.id = y.id }
+            }
+            "#,
+        )
+        .unwrap();
+        let (code, text) = run_vec(&["resolve", path3.to_str().unwrap()]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("1 merge(s)"), "{text}");
+        assert!(text.contains("2 node(s) remain"), "{text}");
+    }
+
+    #[test]
+    fn end_to_end_gen_then_fmt() {
+        let (code, text) = run_vec(&["gen", "--rules", "5", "--k", "3", "--l", "2", "--seed", "7"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("gfd "), "{text}");
+        // The generated output must itself parse: pipe through fmt.
+        let dir = std::env::temp_dir().join("gfd-cli-test-gen");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gen.gfd");
+        std::fs::write(&path, &text).unwrap();
+        let (code, formatted) = run_vec(&["fmt", path.to_str().unwrap()]);
+        assert_eq!(code, 0, "{formatted}");
+    }
+}

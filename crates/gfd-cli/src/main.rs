@@ -1,0 +1,8 @@
+//! The `gfd` binary: a thin wrapper over [`gfd_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    std::process::exit(gfd_cli::run(&args, &mut out));
+}

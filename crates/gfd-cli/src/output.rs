@@ -1,0 +1,44 @@
+//! Shared output formatting helpers.
+
+use gfd_parallel::RunMetrics;
+use std::time::Duration;
+
+/// Render a duration compactly (`1.23s`, `45ms`, `890µs`).
+pub fn fmt_duration(d: Duration) -> String {
+    if d >= Duration::from_secs(1) {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if d >= Duration::from_millis(1) {
+        format!("{}ms", d.as_millis())
+    } else {
+        format!("{}µs", d.as_micros())
+    }
+}
+
+/// Render the parallel runtime metrics as indented lines.
+pub fn fmt_metrics(m: &RunMetrics) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "  units: {} generated, {} dispatched, {} split\n",
+        m.units_generated, m.units_dispatched, m.units_split
+    ));
+    out.push_str(&format!("  matches: {}\n", m.matches));
+    if let Some(ms) = m.makespan() {
+        out.push_str(&format!("  makespan: {}\n", fmt_duration(ms)));
+    }
+    if m.early_terminated {
+        out.push_str("  early termination: yes\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_pick_sensible_units() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+        assert_eq!(fmt_duration(Duration::from_millis(45)), "45ms");
+        assert_eq!(fmt_duration(Duration::from_micros(890)), "890µs");
+    }
+}

@@ -1,0 +1,426 @@
+//! Canonical graphs: the small models the reasoning algorithms inspect.
+//!
+//! * For satisfiability (§IV-B): `GΣ` is the disjoint union of all patterns
+//!   of Σ, wildcards kept as a reserved label. By Theorem 1, Σ is
+//!   satisfiable iff some Σ-bounded attribute population of `GΣ` models Σ.
+//! * For implication (§VI-A): `G^X_Q` is the pattern of ϕ materialized as a
+//!   graph, with the premise `X` pre-loaded into the equivalence relation
+//!   `EqX` (closed under transitivity by union-find construction). By
+//!   Corollary 4, `Σ |= ϕ` iff some partial enforcement of Σ on `G^X_Q`
+//!   conflicts or deduces `Y`.
+
+use crate::eq::EqRel;
+use crate::error::Conflict;
+use crate::gfd::Gfd;
+use crate::literal::Operand;
+use crate::sigma::GfdSet;
+use gfd_graph::{Graph, LabelId, LabelIndex, NodeId, Pattern, VarId};
+use gfd_match::MatchPlan;
+
+/// Per-component label profile used to prune impossible (pattern,
+/// component) pairs before any matching runs.
+#[derive(Clone, Debug)]
+struct CompProfile {
+    /// Sorted concrete node labels present.
+    node_labels: Vec<LabelId>,
+    /// Sorted concrete edge labels present.
+    edge_labels: Vec<LabelId>,
+    /// Does the component contain any edge at all?
+    has_edge: bool,
+}
+
+/// A canonical graph with its label index, connected components and
+/// per-component pruning profiles.
+#[derive(Clone, Debug)]
+pub struct CanonicalGraph {
+    /// The underlying graph (`GΣ` or `G^X_Q`).
+    pub graph: Graph,
+    /// Label index over the graph.
+    pub index: LabelIndex,
+    comp: Vec<u32>,
+    profiles: Vec<CompProfile>,
+}
+
+impl CanonicalGraph {
+    /// Wrap a prepared graph, computing the index and profiles.
+    pub fn from_graph(graph: Graph) -> Self {
+        let index = LabelIndex::build(&graph);
+        let (comp, comp_count) = graph.components();
+        let mut profiles = vec![
+            CompProfile {
+                node_labels: Vec::new(),
+                edge_labels: Vec::new(),
+                has_edge: false,
+            };
+            comp_count
+        ];
+        for v in graph.nodes() {
+            let c = comp[v.index()] as usize;
+            let l = graph.label(v);
+            if !l.is_wildcard() {
+                profiles[c].node_labels.push(l);
+            }
+        }
+        for (src, label, _) in graph.edges() {
+            let c = comp[src.index()] as usize;
+            profiles[c].has_edge = true;
+            if !label.is_wildcard() {
+                profiles[c].edge_labels.push(label);
+            }
+        }
+        for p in &mut profiles {
+            p.node_labels.sort();
+            p.node_labels.dedup();
+            p.edge_labels.sort();
+            p.edge_labels.dedup();
+        }
+        CanonicalGraph {
+            graph,
+            index,
+            comp,
+            profiles,
+        }
+    }
+
+    /// Build `GΣ`: the disjoint union of every pattern in Σ. Returns the
+    /// canonical graph and, per GFD, the node each pattern variable became.
+    pub fn for_sigma(sigma: &GfdSet) -> (Self, Vec<Vec<NodeId>>) {
+        let mut graph = Graph::new();
+        let mut node_of = Vec::with_capacity(sigma.len());
+        for (_, gfd) in sigma.iter() {
+            let offset = graph.append_disjoint(&gfd.pattern.to_graph());
+            node_of.push(
+                gfd.pattern
+                    .vars()
+                    .map(|v| NodeId::new(v.index() + offset))
+                    .collect(),
+            );
+        }
+        (Self::from_graph(graph), node_of)
+    }
+
+    /// Build `G^X_Q` for ϕ: the pattern as a graph (variable `i` is node
+    /// `i`) plus `EqX`. An `Err` means `X` itself is inconsistent, in which
+    /// case ϕ is trivially satisfied by every graph.
+    pub fn for_phi(phi: &Gfd) -> Result<(Self, EqRel), Conflict> {
+        let graph = phi.pattern.to_graph();
+        let mut eq = EqRel::new();
+        for lit in &phi.premise {
+            let k1 = (NodeId::new(lit.var.index()), lit.attr);
+            match &lit.rhs {
+                Operand::Const(c) => {
+                    eq.bind(k1, c.clone())?;
+                }
+                Operand::Attr(v2, a2) => {
+                    let k2 = (NodeId::new(v2.index()), *a2);
+                    eq.merge(k1, k2)?;
+                }
+            }
+        }
+        Ok((Self::from_graph(graph), eq))
+    }
+
+    /// The component of a node.
+    pub fn component_of(&self, node: NodeId) -> u32 {
+        self.comp[node.index()]
+    }
+
+    /// Number of connected components.
+    pub fn component_count(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Cheap necessary condition: can `pattern` possibly match with its
+    /// pivot inside component `comp`? (Label-subset test; homomorphism is
+    /// non-injective, so counts don't matter, presence does.)
+    pub fn component_may_host(&self, pattern: &Pattern, comp: u32) -> bool {
+        let profile = &self.profiles[comp as usize];
+        let (need_nodes, need_edges) = pattern.concrete_labels();
+        if !need_nodes
+            .iter()
+            .all(|l| profile.node_labels.binary_search(l).is_ok())
+        {
+            return false;
+        }
+        if !need_edges
+            .iter()
+            .all(|l| profile.edge_labels.binary_search(l).is_ok())
+        {
+            return false;
+        }
+        // Wildcard-labelled pattern edges need at least one edge.
+        if pattern
+            .edges()
+            .iter()
+            .any(|e| e.label.is_wildcard())
+            && !profile.has_edge
+        {
+            return false;
+        }
+        true
+    }
+
+    /// Pivot candidates for a pattern whose plan starts at `pivot_var`:
+    /// label-compatible nodes whose component passes the host filter.
+    ///
+    /// Note: for disconnected patterns only the pivot's component is
+    /// filtered — the remaining components of the pattern roam the whole
+    /// canonical graph during the search, which keeps the unit count linear
+    /// (a deliberate deviation from the paper's per-component pivot tuples,
+    /// documented in DESIGN.md).
+    pub fn pivot_candidates(&self, pattern: &Pattern, pivot_var: VarId) -> Vec<NodeId> {
+        let label = pattern.label(pivot_var);
+        let connected = pattern.is_connected();
+        self.index
+            .candidates(label)
+            .iter()
+            .copied()
+            .filter(|&z| {
+                if connected {
+                    self.component_may_host(pattern, self.component_of(z))
+                } else {
+                    true
+                }
+            })
+            .collect()
+    }
+}
+
+/// Choose the pivot variable of a pattern: the most selective label under
+/// `index`, ties broken towards higher degree (paper §V-B: "ideally we pick
+/// a pivot that is selective; nonetheless any node can serve").
+pub fn choose_pivot(pattern: &Pattern, index: &LabelIndex) -> VarId {
+    pattern
+        .vars()
+        .min_by_key(|&v| {
+            (
+                index.frequency(pattern.label(v)),
+                usize::MAX - pattern.degree(v),
+            )
+        })
+        .expect("patterns are non-empty")
+}
+
+/// Build per-GFD pivots and pivoted match plans against a canonical graph.
+pub fn build_plans(sigma: &GfdSet, index: &LabelIndex) -> (Vec<VarId>, Vec<MatchPlan>) {
+    let mut pivots = Vec::with_capacity(sigma.len());
+    let mut plans = Vec::with_capacity(sigma.len());
+    for (_, gfd) in sigma.iter() {
+        let pivot = choose_pivot(&gfd.pattern, index);
+        pivots.push(pivot);
+        plans.push(MatchPlan::build(&gfd.pattern, Some(pivot), Some(index)));
+    }
+    (pivots, plans)
+}
+
+/// Like [`build_plans`], but skipping plan construction for GFDs whose
+/// pivot has no candidate at all — they cannot match and never receive a
+/// work unit. On implication's pattern-sized `G^X_Q`, this skips nearly
+/// all of a large Σ.
+pub fn build_plans_lazy(
+    sigma: &GfdSet,
+    index: &LabelIndex,
+) -> (Vec<VarId>, Vec<Option<MatchPlan>>) {
+    let mut pivots = Vec::with_capacity(sigma.len());
+    let mut plans = Vec::with_capacity(sigma.len());
+    for (_, gfd) in sigma.iter() {
+        let pivot = choose_pivot(&gfd.pattern, index);
+        pivots.push(pivot);
+        if index.frequency(gfd.pattern.label(pivot)) == 0 {
+            plans.push(None);
+        } else {
+            plans.push(Some(MatchPlan::build(&gfd.pattern, Some(pivot), Some(index))));
+        }
+    }
+    (pivots, plans)
+}
+
+/// Can every literal of ϕ's consequence be deduced from `eq` under the
+/// identity mapping (variable `i` ↦ node `i`)? This is the paper's
+/// `Y ⊆ EqH` termination test for implication.
+pub fn consequence_deducible(eq: &mut EqRel, phi: &Gfd) -> bool {
+    phi.consequence.iter().all(|lit| {
+        let k1 = (NodeId::new(lit.var.index()), lit.attr);
+        match &lit.rhs {
+            Operand::Const(c) => eq.deduces_const(k1, c),
+            Operand::Attr(v2, a2) => eq.deduces_eq(k1, (NodeId::new(v2.index()), *a2)),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::literal::Literal;
+    use gfd_graph::{Value, Vocab};
+
+    fn two_pattern_sigma(vocab: &mut Vocab) -> GfdSet {
+        let t = vocab.label("t");
+        let u = vocab.label("u");
+        let e = vocab.label("e");
+        let a = vocab.attr("a");
+
+        let mut p1 = Pattern::new();
+        let x = p1.add_node(t, "x");
+        let y = p1.add_node(t, "y");
+        p1.add_edge(x, e, y);
+
+        let mut p2 = Pattern::new();
+        let z = p2.add_node(u, "z");
+
+        GfdSet::from_vec(vec![
+            Gfd::new("g0", p1, vec![], vec![Literal::eq_const(x, a, 1i64)]),
+            Gfd::new("g1", p2, vec![], vec![Literal::eq_const(z, a, 2i64)]),
+        ])
+    }
+
+    #[test]
+    fn sigma_canonical_is_disjoint_union() {
+        let mut vocab = Vocab::new();
+        let sigma = two_pattern_sigma(&mut vocab);
+        let (canon, node_of) = CanonicalGraph::for_sigma(&sigma);
+        assert_eq!(canon.graph.node_count(), 3);
+        assert_eq!(canon.graph.edge_count(), 1);
+        assert_eq!(canon.component_count(), 2);
+        assert_eq!(node_of[0].len(), 2);
+        assert_eq!(node_of[1].len(), 1);
+        // The two patterns are in different components.
+        assert_ne!(
+            canon.component_of(node_of[0][0]),
+            canon.component_of(node_of[1][0])
+        );
+        // Each pattern matches its own copy (identity): required for the
+        // model condition.
+        assert!(gfd_match::has_match(
+            &canon.graph,
+            &canon.index,
+            &sigma[gfd_graph::GfdId::new(0)].pattern
+        ));
+    }
+
+    #[test]
+    fn component_host_filter_prunes_cross_pattern_units() {
+        let mut vocab = Vocab::new();
+        let sigma = two_pattern_sigma(&mut vocab);
+        let (canon, node_of) = CanonicalGraph::for_sigma(&sigma);
+        let p0 = &sigma[gfd_graph::GfdId::new(0)].pattern;
+        let p1 = &sigma[gfd_graph::GfdId::new(1)].pattern;
+        let comp0 = canon.component_of(node_of[0][0]);
+        let comp1 = canon.component_of(node_of[1][0]);
+        // g0's pattern (t--e-->t) cannot live in g1's component (a single
+        // `u` node) and vice versa.
+        assert!(canon.component_may_host(p0, comp0));
+        assert!(!canon.component_may_host(p0, comp1));
+        assert!(canon.component_may_host(p1, comp1));
+        assert!(!canon.component_may_host(p1, comp0));
+    }
+
+    #[test]
+    fn pivot_candidates_respect_filters() {
+        let mut vocab = Vocab::new();
+        let sigma = two_pattern_sigma(&mut vocab);
+        let (canon, _) = CanonicalGraph::for_sigma(&sigma);
+        let (pivots, plans) = build_plans(&sigma, &canon.index);
+        assert_eq!(pivots.len(), 2);
+        assert_eq!(plans.len(), 2);
+        let g0 = &sigma[gfd_graph::GfdId::new(0)];
+        let cands = canon.pivot_candidates(&g0.pattern, pivots[0]);
+        // Only the two `t` nodes of g0's own component qualify.
+        assert_eq!(cands.len(), 2);
+    }
+
+    #[test]
+    fn phi_canonical_builds_eqx_with_transitivity() {
+        let mut vocab = Vocab::new();
+        let t = vocab.label("t");
+        let a = vocab.attr("a");
+        let b = vocab.attr("b");
+        let c = vocab.attr("c");
+        let mut p = Pattern::new();
+        let x = p.add_node(t, "x");
+        let y = p.add_node(t, "y");
+        p.add_edge(x, vocab.label("e"), y);
+        // X: x.a = y.b ∧ y.b = y.c ∧ x.a = 5  ⇒ all three keys equal 5.
+        let phi = Gfd::new(
+            "phi",
+            p,
+            vec![
+                Literal::eq_attr(x, a, y, b),
+                Literal::eq_attr(y, b, y, c),
+                Literal::eq_const(x, a, 5i64),
+            ],
+            vec![],
+        );
+        let (canon, mut eqx) = CanonicalGraph::for_phi(&phi).unwrap();
+        assert_eq!(canon.graph.node_count(), 2);
+        assert!(eqx.deduces_const((NodeId::new(1), c), &Value::int(5)));
+        assert!(eqx.same_class((NodeId::new(0), a), (NodeId::new(1), c)));
+    }
+
+    #[test]
+    fn inconsistent_premise_is_reported() {
+        let mut vocab = Vocab::new();
+        let t = vocab.label("t");
+        let a = vocab.attr("a");
+        let mut p = Pattern::new();
+        let x = p.add_node(t, "x");
+        let phi = Gfd::new(
+            "phi",
+            p,
+            vec![
+                Literal::eq_const(x, a, 1i64),
+                Literal::eq_const(x, a, 2i64),
+            ],
+            vec![],
+        );
+        assert!(CanonicalGraph::for_phi(&phi).is_err());
+    }
+
+    #[test]
+    fn consequence_deducible_checks_y() {
+        let mut vocab = Vocab::new();
+        let t = vocab.label("t");
+        let a = vocab.attr("a");
+        let b = vocab.attr("b");
+        let mut p = Pattern::new();
+        let x = p.add_node(t, "x");
+        let phi = Gfd::new(
+            "phi",
+            p,
+            vec![],
+            vec![
+                Literal::eq_const(x, a, 1i64),
+                Literal::eq_attr(x, a, x, b),
+            ],
+        );
+        let mut eq = EqRel::new();
+        assert!(!consequence_deducible(&mut eq, &phi));
+        eq.bind((NodeId::new(0), a), Value::int(1)).unwrap();
+        assert!(!consequence_deducible(&mut eq, &phi));
+        eq.merge((NodeId::new(0), a), (NodeId::new(0), b)).unwrap();
+        assert!(consequence_deducible(&mut eq, &phi));
+    }
+
+    #[test]
+    fn wildcard_components_host_wildcard_patterns() {
+        let mut vocab = Vocab::new();
+        let mut p = Pattern::new();
+        let x = p.add_node(LabelId::WILDCARD, "x");
+        let y = p.add_node(LabelId::WILDCARD, "y");
+        p.add_edge(x, LabelId::WILDCARD, y);
+        let a = vocab.attr("a");
+        let sigma = GfdSet::from_vec(vec![Gfd::new(
+            "g",
+            p.clone(),
+            vec![],
+            vec![Literal::eq_const(x, a, 1i64)],
+        )]);
+        let (canon, _) = CanonicalGraph::for_sigma(&sigma);
+        assert!(canon.component_may_host(&p, 0));
+        // A concrete-labelled pattern is rejected: wildcard canonical nodes
+        // do not satisfy concrete labels.
+        let mut q = Pattern::new();
+        q.add_node(vocab.label("t"), "z");
+        assert!(!canon.component_may_host(&q, 0));
+    }
+}

@@ -1,0 +1,77 @@
+//! Conflict reporting for the reasoning algorithms.
+
+use gfd_graph::{AttrId, GfdId, NodeId, Value};
+use std::fmt;
+
+/// An attribute key inside a canonical graph: node × attribute name.
+pub type AttrKey = (NodeId, AttrId);
+
+/// Two distinct constants were forced onto the same equivalence class — the
+/// witness that a set of GFDs is inconsistent (or, for implication, that
+/// `Σ ∪ X` is inconsistent, proving `Σ |= ϕ`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Conflict {
+    /// The attribute key whose class received both values.
+    pub key: AttrKey,
+    /// The value already present in the class.
+    pub existing: Value,
+    /// The value that contradicted it.
+    pub incoming: Value,
+    /// The GFD whose enforcement triggered the conflict, when known.
+    pub gfd: Option<GfdId>,
+}
+
+impl Conflict {
+    /// Attach the triggering GFD if not already recorded.
+    pub fn with_gfd(mut self, gfd: GfdId) -> Self {
+        self.gfd.get_or_insert(gfd);
+        self
+    }
+}
+
+impl fmt::Display for Conflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conflict on {}.{}: {:?} vs {:?}",
+            self.key.0, self.key.1, self.existing, self.incoming
+        )?;
+        if let Some(g) = self.gfd {
+            write!(f, " (while enforcing {g})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Conflict {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_both_values() {
+        let c = Conflict {
+            key: (NodeId::new(3), AttrId::new(1)),
+            existing: Value::int(0),
+            incoming: Value::int(1),
+            gfd: Some(GfdId::new(7)),
+        };
+        let s = c.to_string();
+        assert!(s.contains("n3"));
+        assert!(s.contains('0'));
+        assert!(s.contains('1'));
+        assert!(s.contains("g7"));
+    }
+
+    #[test]
+    fn with_gfd_does_not_overwrite() {
+        let c = Conflict {
+            key: (NodeId::new(0), AttrId::new(0)),
+            existing: Value::int(0),
+            incoming: Value::int(1),
+            gfd: Some(GfdId::new(1)),
+        };
+        assert_eq!(c.with_gfd(GfdId::new(2)).gfd, Some(GfdId::new(1)));
+    }
+}

@@ -1,0 +1,262 @@
+//! Graph functional dependencies `ϕ = Q[x̄](X → Y)`.
+
+use crate::literal::{Literal, Operand};
+use gfd_graph::{AttrId, Pattern, Value, VarId, Vocab};
+use std::fmt;
+
+/// A graph functional dependency: a graph pattern `Q[x̄]` (topological
+/// scope) plus an attribute dependency `X → Y` over the pattern variables
+/// (§III of the paper).
+#[derive(Clone, Debug)]
+pub struct Gfd {
+    /// An optional human-readable name (e.g. `phi1`).
+    pub name: String,
+    /// The pattern `Q[x̄]`.
+    pub pattern: Pattern,
+    /// The premise literals `X` (empty set = always satisfied).
+    pub premise: Vec<Literal>,
+    /// The consequence literals `Y` (empty set = trivially satisfied).
+    pub consequence: Vec<Literal>,
+}
+
+/// The reserved attribute used to encode the Boolean constant `false` as a
+/// consequence, per the paper: `false` is syntactic sugar for binding the
+/// same attribute to two distinct constants.
+pub const FALSE_ATTR_NAME: &str = "__false";
+
+impl Gfd {
+    /// Build a GFD, checking that every literal only references pattern
+    /// variables.
+    pub fn new(
+        name: impl Into<String>,
+        pattern: Pattern,
+        premise: Vec<Literal>,
+        consequence: Vec<Literal>,
+    ) -> Self {
+        let gfd = Gfd {
+            name: name.into(),
+            pattern,
+            premise,
+            consequence,
+        };
+        gfd.assert_well_formed();
+        gfd
+    }
+
+    fn assert_well_formed(&self) {
+        let n = self.pattern.node_count();
+        assert!(n > 0, "GFD `{}` has an empty pattern", self.name);
+        for lit in self.premise.iter().chain(&self.consequence) {
+            for v in lit.vars() {
+                assert!(
+                    v.index() < n,
+                    "GFD `{}` references unknown variable {v}",
+                    self.name
+                );
+            }
+        }
+    }
+
+    /// Build a GFD whose consequence is the Boolean constant `false`
+    /// (e.g. the paper's ϕ1 — "this pattern must not occur with X").
+    ///
+    /// Encoded, per §III, as two constant literals assigning distinct
+    /// constants to the same fresh attribute of the first variable.
+    pub fn with_false_consequence(
+        name: impl Into<String>,
+        pattern: Pattern,
+        premise: Vec<Literal>,
+        vocab: &mut Vocab,
+    ) -> Self {
+        let attr = vocab.attr(FALSE_ATTR_NAME);
+        let x = VarId::new(0);
+        let consequence = vec![
+            Literal::eq_const(x, attr, Value::int(0)),
+            Literal::eq_const(x, attr, Value::int(1)),
+        ];
+        Gfd::new(name, pattern, premise, consequence)
+    }
+
+    /// True iff the premise is the empty set (`∅ → Y`): such GFDs are
+    /// enforced unconditionally and are processed first by the algorithms.
+    pub fn has_empty_premise(&self) -> bool {
+        self.premise.is_empty()
+    }
+
+    /// True iff the consequence encodes the Boolean constant `false`: two
+    /// constant literals on the same variable/attribute with distinct
+    /// constants.
+    pub fn is_denial(&self) -> bool {
+        for (i, a) in self.consequence.iter().enumerate() {
+            for b in &self.consequence[i + 1..] {
+                if a.var == b.var && a.attr == b.attr {
+                    if let (Operand::Const(va), Operand::Const(vb)) = (&a.rhs, &b.rhs) {
+                        if va != vb {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// The size `|ϕ| = |Q| + |X| + |Y|` used by the small-model bounds.
+    pub fn size(&self) -> usize {
+        self.pattern.size()
+            + self.premise.iter().map(Literal::size).sum::<usize>()
+            + self.consequence.iter().map(Literal::size).sum::<usize>()
+    }
+
+    /// Attribute names mentioned in the premise.
+    pub fn premise_attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.premise.iter().flat_map(Literal::attrs)
+    }
+
+    /// Attribute names mentioned in the consequence.
+    pub fn consequence_attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.consequence.iter().flat_map(Literal::attrs)
+    }
+
+    /// Render with names resolved through `vocab`.
+    pub fn display<'a>(&'a self, vocab: &'a Vocab) -> GfdDisplay<'a> {
+        GfdDisplay { gfd: self, vocab }
+    }
+}
+
+/// Helper for rendering a GFD with human-readable names.
+pub struct GfdDisplay<'a> {
+    gfd: &'a Gfd,
+    vocab: &'a Vocab,
+}
+
+impl fmt::Display for GfdDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let g = self.gfd;
+        write!(f, "{}: Q[", g.name)?;
+        for (i, v) in g.pattern.vars().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(
+                f,
+                "{}:{}",
+                g.pattern.var_name(v),
+                self.vocab.label_name(g.pattern.label(v))
+            )?;
+        }
+        write!(f, "](")?;
+        if g.premise.is_empty() {
+            write!(f, "∅")?;
+        }
+        for (i, l) in g.premise.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{}", l.display(&g.pattern, self.vocab))?;
+        }
+        write!(f, " → ")?;
+        if g.is_denial() {
+            write!(f, "false")?;
+        } else if g.consequence.is_empty() {
+            write!(f, "true")?;
+        } else {
+            for (i, l) in g.consequence.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ∧ ")?;
+                }
+                write!(f, "{}", l.display(&g.pattern, self.vocab))?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_pattern(vocab: &mut Vocab) -> Pattern {
+        let mut p = Pattern::new();
+        let x = p.add_node(vocab.label("place"), "x");
+        let y = p.add_node(vocab.label("place"), "y");
+        p.add_edge(x, vocab.label("locateIn"), y);
+        p
+    }
+
+    #[test]
+    fn build_and_inspect() {
+        let mut vocab = Vocab::new();
+        let p = simple_pattern(&mut vocab);
+        let a = vocab.attr("pop");
+        let g = Gfd::new(
+            "phi",
+            p,
+            vec![],
+            vec![Literal::eq_const(VarId::new(0), a, 1i64)],
+        );
+        assert!(g.has_empty_premise());
+        assert!(!g.is_denial());
+        // |Q| = 2 nodes + 1 edge = 3, |X| = 0, |Y| = 2.
+        assert_eq!(g.size(), 5);
+    }
+
+    #[test]
+    fn false_consequence_is_denial() {
+        let mut vocab = Vocab::new();
+        let p = simple_pattern(&mut vocab);
+        let g = Gfd::with_false_consequence("phi1", p, vec![], &mut vocab);
+        assert!(g.is_denial());
+        assert_eq!(g.consequence.len(), 2);
+        let shown = g.display(&vocab).to_string();
+        assert!(shown.contains("false"), "{shown}");
+        assert!(shown.contains("∅"), "{shown}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn literal_on_foreign_variable_panics() {
+        let mut vocab = Vocab::new();
+        let p = simple_pattern(&mut vocab);
+        let a = vocab.attr("pop");
+        let _ = Gfd::new(
+            "bad",
+            p,
+            vec![],
+            vec![Literal::eq_const(VarId::new(9), a, 1i64)],
+        );
+    }
+
+    #[test]
+    fn display_round_trips_names() {
+        let mut vocab = Vocab::new();
+        let p = simple_pattern(&mut vocab);
+        let a = vocab.attr("pop");
+        let g = Gfd::new(
+            "phi",
+            p,
+            vec![Literal::eq_const(VarId::new(0), a, 2i64)],
+            vec![Literal::eq_attr(VarId::new(0), a, VarId::new(1), a)],
+        );
+        let s = g.display(&vocab).to_string();
+        assert!(s.contains("x.pop = 2"), "{s}");
+        assert!(s.contains("x.pop = y.pop"), "{s}");
+        assert!(s.contains("x:place"), "{s}");
+    }
+
+    #[test]
+    fn attr_iterators() {
+        let mut vocab = Vocab::new();
+        let p = simple_pattern(&mut vocab);
+        let a = vocab.attr("a");
+        let b = vocab.attr("b");
+        let g = Gfd::new(
+            "phi",
+            p,
+            vec![Literal::eq_const(VarId::new(0), a, 1i64)],
+            vec![Literal::eq_attr(VarId::new(0), b, VarId::new(1), a)],
+        );
+        assert_eq!(g.premise_attrs().collect::<Vec<_>>(), vec![a]);
+        assert_eq!(g.consequence_attrs().collect::<Vec<_>>(), vec![b, a]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Graph functional dependencies: the core of the ICDE 2018 reproduction.
+//!
+//! A GFD `ϕ = Q[x̄](X → Y)` combines a topological constraint (the graph
+//! pattern `Q`) with an attribute dependency (`X → Y` over the pattern
+//! variables). This crate implements:
+//!
+//! * the GFD model itself ([`Gfd`], [`Literal`], [`GfdSet`]) and direct
+//!   validation `G |= ϕ` on data graphs ([`validate`]);
+//! * canonical graphs `GΣ` / `G^X_Q` — the small models of Theorems 1 and 3
+//!   ([`canonical`]);
+//! * the equivalence relation `Eq` with constant bindings, conflicts,
+//!   watcher-based pending rechecks and replayable deltas ([`eq`]);
+//! * the enforcement engine shared by every algorithm ([`enforce`]);
+//! * **SeqSat** ([`seq_sat`]) and **SeqImp** ([`seq_imp`]) — the sequential
+//!   exact algorithms for GFD satisfiability and implication;
+//! * model extraction ([`model`]) and dependency ordering ([`ordering`]).
+//!
+//! The parallel counterparts (`ParSat`, `ParImp`) live in `gfd-parallel`
+//! and reuse everything here.
+
+#![warn(missing_docs)]
+
+pub mod canonical;
+pub mod enforce;
+pub mod eq;
+pub mod error;
+pub mod gfd;
+pub mod literal;
+pub mod model;
+pub mod ordering;
+pub mod seq_imp;
+pub mod seq_sat;
+pub mod sigma;
+pub mod validate;
+
+pub use canonical::{
+    build_plans, build_plans_lazy, choose_pivot, consequence_deducible, CanonicalGraph,
+};
+pub use enforce::{eval_premise, EnforceEngine, EngineStats, PremiseStatus};
+pub use eq::{EqOp, EqRel};
+pub use error::{AttrKey, Conflict};
+pub use gfd::{Gfd, FALSE_ATTR_NAME};
+pub use literal::{Literal, Operand};
+pub use model::extract_model;
+pub use ordering::order_gfds;
+pub use seq_imp::{seq_imp, seq_imp_with, ImpOutcome, ImpResult, ImpliedVia};
+pub use seq_sat::{seq_sat, seq_sat_with, ReasonOptions, ReasonStats, SatOutcome, SatResult};
+pub use sigma::GfdSet;
+pub use validate::{find_violations, graph_satisfies, graph_satisfies_all, Violation};

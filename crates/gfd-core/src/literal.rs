@@ -1,0 +1,151 @@
+//! Attribute literals: the building blocks of GFD premises and consequences.
+
+use gfd_graph::{AttrId, Value, VarId, Vocab};
+use std::fmt;
+
+/// The right-hand side of a literal.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A constant: `x.A = c` (the CFD-style constant binding).
+    Const(Value),
+    /// Another attribute: `x.A = y.B` (the FD-style variable literal).
+    Attr(VarId, AttrId),
+}
+
+/// A literal `x.A = rhs` over the variables `x̄` of a pattern.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Literal {
+    /// The variable on the left-hand side.
+    pub var: VarId,
+    /// The attribute of that variable.
+    pub attr: AttrId,
+    /// Constant or attribute right-hand side.
+    pub rhs: Operand,
+}
+
+impl Literal {
+    /// Build a constant literal `x.A = c`.
+    pub fn eq_const(var: VarId, attr: AttrId, value: impl Into<Value>) -> Self {
+        Literal {
+            var,
+            attr,
+            rhs: Operand::Const(value.into()),
+        }
+    }
+
+    /// Build a variable literal `x.A = y.B`.
+    pub fn eq_attr(var: VarId, attr: AttrId, other_var: VarId, other_attr: AttrId) -> Self {
+        Literal {
+            var,
+            attr,
+            rhs: Operand::Attr(other_var, other_attr),
+        }
+    }
+
+    /// The variables mentioned by this literal (1 or 2 entries).
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        let second = match &self.rhs {
+            Operand::Attr(v, _) => Some(*v),
+            Operand::Const(_) => None,
+        };
+        std::iter::once(self.var).chain(second)
+    }
+
+    /// The attribute names mentioned by this literal (1 or 2 entries).
+    pub fn attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
+        let second = match &self.rhs {
+            Operand::Attr(_, a) => Some(*a),
+            Operand::Const(_) => None,
+        };
+        std::iter::once(self.attr).chain(second)
+    }
+
+    /// Literal size (the unit used by `|ϕ|`): constants count 2, attribute
+    /// pairs count 2.
+    pub fn size(&self) -> usize {
+        2
+    }
+
+    /// Render with variable names from `pattern` and attribute names from
+    /// `vocab`.
+    pub fn display<'a>(
+        &'a self,
+        pattern: &'a gfd_graph::Pattern,
+        vocab: &'a Vocab,
+    ) -> LiteralDisplay<'a> {
+        LiteralDisplay {
+            literal: self,
+            pattern,
+            vocab,
+        }
+    }
+}
+
+/// Helper for rendering a literal with human-readable names.
+pub struct LiteralDisplay<'a> {
+    literal: &'a Literal,
+    pattern: &'a gfd_graph::Pattern,
+    vocab: &'a Vocab,
+}
+
+impl fmt::Display for LiteralDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let l = self.literal;
+        write!(
+            f,
+            "{}.{}",
+            self.pattern.var_name(l.var),
+            self.vocab.attr_name(l.attr)
+        )?;
+        match &l.rhs {
+            Operand::Const(v) => write!(f, " = {v:?}"),
+            Operand::Attr(var, attr) => write!(
+                f,
+                " = {}.{}",
+                self.pattern.var_name(*var),
+                self.vocab.attr_name(*attr)
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_graph::Pattern;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let l1 = Literal::eq_const(VarId::new(0), AttrId::new(1), 5i64);
+        assert_eq!(l1.vars().collect::<Vec<_>>(), vec![VarId::new(0)]);
+        assert_eq!(l1.attrs().collect::<Vec<_>>(), vec![AttrId::new(1)]);
+
+        let l2 = Literal::eq_attr(VarId::new(0), AttrId::new(1), VarId::new(2), AttrId::new(3));
+        assert_eq!(
+            l2.vars().collect::<Vec<_>>(),
+            vec![VarId::new(0), VarId::new(2)]
+        );
+        assert_eq!(
+            l2.attrs().collect::<Vec<_>>(),
+            vec![AttrId::new(1), AttrId::new(3)]
+        );
+        assert_eq!(l1.size() + l2.size(), 4);
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let mut vocab = Vocab::new();
+        let t = vocab.label("person");
+        let mut p = Pattern::new();
+        let x = p.add_node(t, "x");
+        let y = p.add_node(t, "y");
+        let nat = vocab.attr("nationality");
+        let lit = Literal::eq_attr(x, nat, y, nat);
+        assert_eq!(
+            lit.display(&p, &vocab).to_string(),
+            "x.nationality = y.nationality"
+        );
+        let lit2 = Literal::eq_const(x, nat, "FR");
+        assert_eq!(lit2.display(&p, &vocab).to_string(), "x.nationality = \"FR\"");
+    }
+}

@@ -1,0 +1,118 @@
+//! Model extraction: turn a conflict-free equivalence relation over a
+//! canonical graph into a concrete Σ-bounded population (Theorem 1's
+//! witness).
+
+use crate::eq::EqRel;
+use gfd_graph::{Graph, Value};
+
+/// Prefix of the fresh constants assigned to unbound classes. Reserved:
+/// generators and the DSL never produce values starting with it, so fresh
+/// values are distinct from every constant in Σ (required for the
+/// population to satisfy Σ — see §IV-C, step (c)).
+pub const FRESH_PREFIX: &str = "\u{22a5}"; // ⊥
+
+/// Populate `canonical` with the attributes of `eq`: bound classes get
+/// their constant, unbound classes get pairwise-distinct fresh constants.
+/// Only *materialized* keys are populated — attributes that premises
+/// merely mentioned stay absent, as the population is free to omit them.
+pub fn extract_model(canonical: &Graph, eq: &mut EqRel) -> Graph {
+    let mut model = canonical.clone();
+    let mut fresh = 0usize;
+    for (constant, members) in eq.materialized_classes() {
+        let value = constant.unwrap_or_else(|| {
+            fresh += 1;
+            Value::str(format!("{FRESH_PREFIX}{fresh}"))
+        });
+        for (node, attr) in members {
+            model.set_attr(node, attr, value.clone());
+        }
+    }
+    model
+}
+
+/// Is `value` one of the fresh constants invented by [`extract_model`]?
+pub fn is_fresh(value: &Value) -> bool {
+    value
+        .as_str()
+        .is_some_and(|s| s.starts_with(FRESH_PREFIX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_graph::Vocab;
+
+    #[test]
+    fn bound_and_unbound_classes_materialize() {
+        let mut vocab = Vocab::new();
+        let t = vocab.label("t");
+        let a = vocab.attr("a");
+        let b = vocab.attr("b");
+        let mut g = Graph::new();
+        let n0 = g.add_node(t);
+        let n1 = g.add_node(t);
+
+        let mut eq = EqRel::new();
+        eq.bind((n0, a), Value::int(7)).unwrap();
+        eq.merge((n0, b), (n1, a)).unwrap();
+        eq.ensure((n1, b));
+
+        let model = extract_model(&g, &mut eq);
+        assert_eq!(model.attr(n0, a), Some(&Value::int(7)));
+        // Merged class shares one fresh value.
+        let v1 = model.attr(n0, b).unwrap();
+        let v2 = model.attr(n1, a).unwrap();
+        assert_eq!(v1, v2);
+        assert!(is_fresh(v1));
+        // `ensure` only registers a latent key (a premise mention): the
+        // population is free to omit it, and extraction does.
+        assert_eq!(model.attr(n1, b), None);
+        assert!(!eq.is_materialized((n1, b)));
+        // Σ-bounded: attributes added = materialized keys (3 of 4).
+        assert_eq!(eq.key_count(), 4);
+        assert_eq!(model.attr_count(), 3);
+    }
+
+    #[test]
+    fn latent_key_materializes_on_merge() {
+        let mut vocab = Vocab::new();
+        let t = vocab.label("t");
+        let a = vocab.attr("a");
+        let b = vocab.attr("b");
+        let mut g = Graph::new();
+        let n0 = g.add_node(t);
+
+        let mut eq = EqRel::new();
+        eq.ensure((n0, a));
+        assert!(!eq.is_materialized((n0, a)));
+        // A merge endpoint is forced to exist: it materializes.
+        eq.merge((n0, a), (n0, b)).unwrap();
+        let model = extract_model(&g, &mut eq);
+        assert!(model.attr(n0, a).is_some());
+        assert_eq!(model.attr(n0, a), model.attr(n0, b));
+        assert_eq!(model.attr_count(), 2);
+    }
+
+    #[test]
+    fn structure_is_preserved() {
+        let mut vocab = Vocab::new();
+        let t = vocab.label("t");
+        let e = vocab.label("e");
+        let mut g = Graph::new();
+        let n0 = g.add_node(t);
+        let n1 = g.add_node(t);
+        g.add_edge(n0, e, n1);
+        let mut eq = EqRel::new();
+        let model = extract_model(&g, &mut eq);
+        assert_eq!(model.node_count(), 2);
+        assert!(model.has_edge(n0, e, n1));
+        assert_eq!(model.attr_count(), 0);
+    }
+
+    #[test]
+    fn fresh_detection() {
+        assert!(is_fresh(&Value::str("\u{22a5}3")));
+        assert!(!is_fresh(&Value::str("ordinary")));
+        assert!(!is_fresh(&Value::int(3)));
+    }
+}

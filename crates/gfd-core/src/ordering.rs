@@ -1,0 +1,203 @@
+//! Dependency-graph ordering of GFDs (§V-B, "dependency graph").
+//!
+//! GFD `ϕ1` should be processed before `ϕ2` when an attribute of `Y1`
+//! occurs in `X2`: enforcing ϕ1 may instantiate exactly what ϕ2's premise
+//! waits on, so this order minimizes pending registrations and re-checks.
+//! The sequential algorithms order whole GFDs; the parallel runtime refines
+//! the same relation to pivot-level work units (`gfd-parallel`).
+
+use crate::sigma::GfdSet;
+use gfd_graph::{AttrId, GfdId};
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::collections::BinaryHeap;
+
+/// Min-heap of `((priority key), node index)` pairs used by the Kahn
+/// frontier (BinaryHeap pops max, so entries are `Reverse`-wrapped).
+type MinHeap = BinaryHeap<std::cmp::Reverse<((bool, bool, usize), usize)>>;
+
+/// Compute a processing order for Σ:
+///
+/// 1. GFDs with empty premises come first (they seed the relation);
+/// 2. the rest follow a topological order of the attribute dependency
+///    graph, cycles broken by input position;
+/// 3. `boosted[i]` (optional) promotes GFDs to the front of their tier —
+///    used by implication checking for premises subsumed by `EqX`.
+pub fn order_gfds(sigma: &GfdSet, boosted: Option<&[bool]>) -> Vec<GfdId> {
+    let n = sigma.len();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // attr -> GFDs whose premise mentions it.
+    let mut consumers: FxHashMap<AttrId, Vec<usize>> = FxHashMap::default();
+    for (id, gfd) in sigma.iter() {
+        let mut seen = FxHashSet::default();
+        for a in gfd.premise_attrs() {
+            if seen.insert(a) {
+                consumers.entry(a).or_default().push(id.index());
+            }
+        }
+    }
+
+    // Ubiquity cap: an attribute consumed by a large fraction of Σ makes
+    // "everything depend on everything" — the edges cost O(|Σ|²) to build
+    // and order nothing useful (cycle-breaking degenerates to input order
+    // anyway). Skip such attributes; ordering stays a heuristic and
+    // correctness is Church–Rosser-independent of it.
+    let cap = 32.max(n / 8);
+
+    // successors(i) = GFDs consuming an attribute produced by i.
+    let mut in_deg = vec![0u32; n];
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (id, gfd) in sigma.iter() {
+        let i = id.index();
+        let mut out: FxHashSet<usize> = FxHashSet::default();
+        for a in gfd.consequence_attrs() {
+            if let Some(cs) = consumers.get(&a) {
+                if cs.len() > cap {
+                    continue;
+                }
+                for &j in cs {
+                    if j != i {
+                        out.insert(j);
+                    }
+                }
+            }
+        }
+        for j in out {
+            successors[i].push(j);
+            in_deg[j] += 1;
+        }
+    }
+
+    // Priority: (boosted first, empty premise first, input order). Use a
+    // max-heap of Reverse-like encoded keys.
+    let key = |i: usize| -> (bool, bool, usize) {
+        let b = boosted.is_some_and(|b| b[i]);
+        let empty = sigma.as_slice()[i].has_empty_premise();
+        // BinaryHeap pops max; invert so that boosted/empty/low-index pop
+        // first.
+        (!b, !empty, i)
+    };
+
+    let mut heap: MinHeap = BinaryHeap::new();
+    for (i, &d) in in_deg.iter().enumerate() {
+        if d == 0 {
+            heap.push(std::cmp::Reverse((key(i), i)));
+        }
+    }
+
+    let mut order = Vec::with_capacity(n);
+    let mut emitted = vec![false; n];
+    // Cycle breaking: force the next unemitted node from this pre-sorted
+    // list when the frontier empties (amortized O(n) across the run).
+    let mut fallback: Vec<usize> = (0..n).collect();
+    fallback.sort_by_key(|&i| key(i));
+    let mut fb_cursor = 0usize;
+    while order.len() < n {
+        let next = match heap.pop() {
+            Some(std::cmp::Reverse((_, i))) if !emitted[i] => i,
+            Some(_) => continue,
+            None => {
+                while emitted[fallback[fb_cursor]] {
+                    fb_cursor += 1;
+                }
+                fallback[fb_cursor]
+            }
+        };
+        emitted[next] = true;
+        order.push(GfdId::new(next));
+        for &j in &successors[next] {
+            if !emitted[j] {
+                in_deg[j] = in_deg[j].saturating_sub(1);
+                if in_deg[j] == 0 {
+                    heap.push(std::cmp::Reverse((key(j), j)));
+                }
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gfd::Gfd;
+    use crate::literal::Literal;
+    use gfd_graph::{Pattern, Vocab};
+
+    fn gfd_with(
+        vocab: &mut Vocab,
+        name: &str,
+        premise_attr: Option<&str>,
+        consequence_attr: &str,
+    ) -> Gfd {
+        let mut p = Pattern::new();
+        let x = p.add_node(vocab.label("t"), "x");
+        let premise = premise_attr
+            .map(|a| vec![Literal::eq_const(x, vocab.attr(a), 1i64)])
+            .unwrap_or_default();
+        let consequence = vec![Literal::eq_const(x, vocab.attr(consequence_attr), 1i64)];
+        Gfd::new(name, p, premise, consequence)
+    }
+
+    #[test]
+    fn empty_premises_come_first() {
+        let mut vocab = Vocab::new();
+        let sigma = GfdSet::from_vec(vec![
+            gfd_with(&mut vocab, "needs_a", Some("a"), "b"),
+            gfd_with(&mut vocab, "seed", None, "a"),
+        ]);
+        let order = order_gfds(&sigma, None);
+        assert_eq!(order, vec![GfdId::new(1), GfdId::new(0)]);
+    }
+
+    #[test]
+    fn chain_is_topologically_sorted() {
+        let mut vocab = Vocab::new();
+        // c<-b, b<-a, seed a. Input order is reversed on purpose.
+        let sigma = GfdSet::from_vec(vec![
+            gfd_with(&mut vocab, "b_to_c", Some("b"), "c"),
+            gfd_with(&mut vocab, "a_to_b", Some("a"), "b"),
+            gfd_with(&mut vocab, "seed_a", None, "a"),
+        ]);
+        let order = order_gfds(&sigma, None);
+        assert_eq!(
+            order,
+            vec![GfdId::new(2), GfdId::new(1), GfdId::new(0)],
+            "seed, then a→b, then b→c"
+        );
+    }
+
+    #[test]
+    fn cycles_do_not_hang_and_emit_everything() {
+        let mut vocab = Vocab::new();
+        let sigma = GfdSet::from_vec(vec![
+            gfd_with(&mut vocab, "a_to_b", Some("a"), "b"),
+            gfd_with(&mut vocab, "b_to_a", Some("b"), "a"),
+        ]);
+        let order = order_gfds(&sigma, None);
+        assert_eq!(order.len(), 2);
+        let mut seen: Vec<usize> = order.iter().map(|g| g.index()).collect();
+        seen.sort();
+        assert_eq!(seen, vec![0, 1]);
+    }
+
+    #[test]
+    fn boost_promotes_within_tier() {
+        let mut vocab = Vocab::new();
+        let sigma = GfdSet::from_vec(vec![
+            gfd_with(&mut vocab, "x_to_m", Some("x"), "m"),
+            gfd_with(&mut vocab, "y_to_n", Some("y"), "n"),
+        ]);
+        let boosted = vec![false, true];
+        let order = order_gfds(&sigma, Some(&boosted));
+        assert_eq!(order[0], GfdId::new(1));
+    }
+
+    #[test]
+    fn empty_sigma() {
+        let sigma = GfdSet::new();
+        assert!(order_gfds(&sigma, None).is_empty());
+    }
+}

@@ -1,0 +1,424 @@
+//! `SeqImp` — the sequential exact implication algorithm (§VI-B).
+//!
+//! Built on Corollary 4: `Σ |= ϕ` iff some partial enforcement `H` of Σ on
+//! the canonical graph `G^X_Q` of ϕ makes `EqH` conflicting, or deduces the
+//! consequence (`Y ⊆ EqH`). The algorithm enforces matches of Σ's patterns
+//! in `G^X_Q` starting from `EqX` and terminates with *implied* as soon as
+//! either condition holds; if the fixpoint completes without them, `Σ 6|= ϕ`.
+
+use crate::canonical::{choose_pivot, consequence_deducible, CanonicalGraph};
+use crate::enforce::EnforceEngine;
+use crate::error::Conflict;
+use crate::gfd::Gfd;
+use crate::ordering::order_gfds;
+use crate::seq_sat::{ReasonOptions, ReasonStats};
+use crate::sigma::GfdSet;
+use gfd_match::{HomSearch, MatchPlan, SearchLimits};
+use rustc_hash::FxHashSet;
+use std::ops::ControlFlow;
+use std::time::Instant;
+
+/// Why `Σ |= ϕ` holds.
+#[derive(Clone, Debug)]
+pub enum ImpliedVia {
+    /// ϕ's own premise `X` is inconsistent: no match can satisfy it.
+    PremiseInconsistent,
+    /// Enforcing Σ on `G^X_Q` conflicts: Σ ∪ X is inconsistent (the
+    /// paper's ϕ14 case).
+    Conflict(Conflict),
+    /// The consequence became deducible: `Y ⊆ EqH` (the ϕ13 case).
+    Consequence,
+}
+
+/// The outcome of implication checking.
+#[derive(Clone, Debug)]
+pub enum ImpOutcome {
+    /// `Σ |= ϕ`.
+    Implied(ImpliedVia),
+    /// `Σ 6|= ϕ` — a counterexample population of `G^X_Q` exists.
+    NotImplied,
+}
+
+/// Result + statistics.
+#[derive(Clone, Debug)]
+pub struct ImpResult {
+    /// Implied (with the reason) or not.
+    pub outcome: ImpOutcome,
+    /// Counters.
+    pub stats: ReasonStats,
+}
+
+impl ImpResult {
+    /// True iff `Σ |= ϕ`.
+    pub fn is_implied(&self) -> bool {
+        matches!(self.outcome, ImpOutcome::Implied(_))
+    }
+}
+
+/// Check `Σ |= ϕ` with default options.
+pub fn seq_imp(sigma: &GfdSet, phi: &Gfd) -> ImpResult {
+    seq_imp_with(sigma, phi, &ReasonOptions::default())
+}
+
+/// GFDs whose premise attributes all occur in ϕ's premise `X` get the
+/// highest priority (§VI-C's subsumption boost, attribute-level).
+fn subsumption_boost(sigma: &GfdSet, phi: &Gfd) -> Vec<bool> {
+    let x_attrs: FxHashSet<_> = phi.premise_attrs().collect();
+    sigma
+        .iter()
+        .map(|(_, g)| g.premise_attrs().all(|a| x_attrs.contains(&a)))
+        .collect()
+}
+
+/// Check `Σ |= ϕ`.
+pub fn seq_imp_with(sigma: &GfdSet, phi: &Gfd, opts: &ReasonOptions) -> ImpResult {
+    let start = Instant::now();
+    let mut stats = ReasonStats::default();
+    let done = |outcome: ImpOutcome, mut stats: ReasonStats, engine: Option<&EnforceEngine>| {
+        if let Some(e) = engine {
+            stats.matches = e.stats.matches_processed;
+            stats.pending = e.stats.pending_registered;
+            stats.rechecks = e.stats.rechecks;
+        }
+        stats.elapsed = start.elapsed();
+        ImpResult { outcome, stats }
+    };
+
+    // Y = ∅ is the constant true: trivially implied.
+    if phi.consequence.is_empty() {
+        return done(ImpOutcome::Implied(ImpliedVia::Consequence), stats, None);
+    }
+
+    let (canon, eqx) = match CanonicalGraph::for_phi(phi) {
+        Ok(pair) => pair,
+        Err(_) => {
+            return done(
+                ImpOutcome::Implied(ImpliedVia::PremiseInconsistent),
+                stats,
+                None,
+            )
+        }
+    };
+
+    let mut engine = EnforceEngine::with_eq(eqx);
+    // Y may already follow from X alone.
+    if consequence_deducible(&mut engine.eq, phi) {
+        return done(
+            ImpOutcome::Implied(ImpliedVia::Consequence),
+            stats,
+            Some(&engine),
+        );
+    }
+    if sigma.is_empty() {
+        return done(ImpOutcome::NotImplied, stats, Some(&engine));
+    }
+
+    // `G^X_Q` is pattern-sized: most of a large Σ cannot match it at all,
+    // and matching is the only way a rule acts. The topology never changes
+    // during implication checking, so applicability is *static* — restrict
+    // Σ to the applicable rules before paying for ordering or plans. This
+    // is what lets SeqImp beat the naive chase on large Σ (Fig. 5) instead
+    // of drowning in per-rule bookkeeping.
+    let sub: GfdSet = GfdSet::from_vec(
+        sigma
+            .iter()
+            .filter(|(_, gfd)| {
+                let pivot = choose_pivot(&gfd.pattern, &canon.index);
+                canon.index.frequency(gfd.pattern.label(pivot)) > 0
+            })
+            .map(|(_, gfd)| gfd.clone())
+            .collect(),
+    );
+    if sub.is_empty() {
+        return done(ImpOutcome::NotImplied, stats, Some(&engine));
+    }
+    let sigma = &sub;
+
+    let order = if opts.use_dependency_order {
+        let boost = subsumption_boost(sigma, phi);
+        order_gfds(sigma, Some(&boost))
+    } else {
+        sigma.iter().map(|(id, _)| id).collect()
+    };
+
+    let mut last_version = engine.eq.version();
+    for id in order {
+        let gfd = &sigma[id];
+        let pivot = choose_pivot(&gfd.pattern, &canon.index);
+        let candidates = if opts.prune_components {
+            canon.pivot_candidates(&gfd.pattern, pivot)
+        } else {
+            canon
+                .index
+                .candidates(gfd.pattern.label(pivot))
+                .to_vec()
+        };
+        if candidates.is_empty() {
+            continue;
+        }
+        let plan = &MatchPlan::build(&gfd.pattern, Some(pivot), Some(&canon.index));
+        for z in candidates {
+            stats.units += 1;
+            let mut conflict: Option<Conflict> = None;
+            let mut y_holds = false;
+            let mut search =
+                HomSearch::new(&canon.graph, &canon.index, &gfd.pattern, plan).with_prefix(&[z]);
+            search.run(
+                |m| match engine.process_match(sigma, id, m) {
+                    Ok(()) => {
+                        // Only re-test Y when the relation changed.
+                        let v = engine.eq.version();
+                        if v != last_version {
+                            last_version = v;
+                            if consequence_deducible(&mut engine.eq, phi) {
+                                y_holds = true;
+                                return ControlFlow::Break(());
+                            }
+                        }
+                        ControlFlow::Continue(())
+                    }
+                    Err(c) => {
+                        conflict = Some(c);
+                        ControlFlow::Break(())
+                    }
+                },
+                SearchLimits::none(),
+            );
+            if let Some(c) = conflict {
+                return done(
+                    ImpOutcome::Implied(ImpliedVia::Conflict(c)),
+                    stats,
+                    Some(&engine),
+                );
+            }
+            if y_holds {
+                return done(
+                    ImpOutcome::Implied(ImpliedVia::Consequence),
+                    stats,
+                    Some(&engine),
+                );
+            }
+        }
+    }
+
+    done(ImpOutcome::NotImplied, stats, Some(&engine))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::literal::Literal;
+    use gfd_graph::{Pattern, VarId, Vocab};
+
+    /// Patterns of the paper's Example 8 (Fig. 2):
+    /// Q8: x -p-> y(b); Q9: x -p-> y(c); Q7: x with p-children y(b), z(c),
+    /// w(c).
+    struct Ex8 {
+        vocab: Vocab,
+        sigma: GfdSet,
+        phi13: Gfd,
+        phi14: Gfd,
+    }
+
+    fn example8() -> Ex8 {
+        let mut vocab = Vocab::new();
+        let a_lbl = vocab.label("a");
+        let b_lbl = vocab.label("b");
+        let c_lbl = vocab.label("c");
+        let p_lbl = vocab.label("p");
+        let attr_a = vocab.attr("A");
+        let attr_b = vocab.attr("B");
+        let attr_c = vocab.attr("C");
+
+        // Q8: x(a) -p-> y(b)
+        let mut q8 = Pattern::new();
+        let x8 = q8.add_node(a_lbl, "x");
+        let y8 = q8.add_node(b_lbl, "y");
+        q8.add_edge(x8, p_lbl, y8);
+
+        // Q9: x(a) -p-> y(c)
+        let mut q9 = Pattern::new();
+        let x9 = q9.add_node(a_lbl, "x");
+        let y9 = q9.add_node(c_lbl, "y");
+        q9.add_edge(x9, p_lbl, y9);
+
+        // Q7: x(a) with children y(b), z(c), w(c)
+        let mut q7 = Pattern::new();
+        let x7 = q7.add_node(a_lbl, "x");
+        let y7 = q7.add_node(b_lbl, "y");
+        let z7 = q7.add_node(c_lbl, "z");
+        let w7 = q7.add_node(c_lbl, "w");
+        q7.add_edge(x7, p_lbl, y7);
+        q7.add_edge(x7, p_lbl, z7);
+        q7.add_edge(x7, p_lbl, w7);
+
+        // ϕ11 = Q8(∅ → x.A = 1)
+        let phi11 = Gfd::new(
+            "phi11",
+            q8,
+            vec![],
+            vec![Literal::eq_const(x8, attr_a, 1i64)],
+        );
+        // ϕ12 = Q9(x.A = 1 ∧ y.B = 2 → y.C = 2)
+        let phi12 = Gfd::new(
+            "phi12",
+            q9,
+            vec![
+                Literal::eq_const(x9, attr_a, 1i64),
+                Literal::eq_const(y9, attr_b, 2i64),
+            ],
+            vec![Literal::eq_const(y9, attr_c, 2i64)],
+        );
+        // ϕ13 = Q7(z.B = 2 → z.C = 2)
+        let phi13 = Gfd::new(
+            "phi13",
+            q7.clone(),
+            vec![Literal::eq_const(VarId::new(2), attr_b, 2i64)],
+            vec![Literal::eq_const(VarId::new(2), attr_c, 2i64)],
+        );
+        // ϕ14 = Q7(x.A = 0 → z.C = 2)
+        let phi14 = Gfd::new(
+            "phi14",
+            q7,
+            vec![Literal::eq_const(VarId::new(0), attr_a, 0i64)],
+            vec![Literal::eq_const(VarId::new(2), attr_c, 2i64)],
+        );
+        Ex8 {
+            vocab,
+            sigma: GfdSet::from_vec(vec![phi11, phi12]),
+            phi13,
+            phi14,
+        }
+    }
+
+    #[test]
+    fn example8_phi13_implied_via_consequence() {
+        let ex = example8();
+        let r = seq_imp(&ex.sigma, &ex.phi13);
+        assert!(r.is_implied(), "{:?}", r.outcome);
+        assert!(matches!(
+            r.outcome,
+            ImpOutcome::Implied(ImpliedVia::Consequence)
+        ));
+    }
+
+    #[test]
+    fn example8_phi14_implied_via_conflict() {
+        let ex = example8();
+        let r = seq_imp(&ex.sigma, &ex.phi14);
+        assert!(r.is_implied(), "{:?}", r.outcome);
+        assert!(matches!(
+            r.outcome,
+            ImpOutcome::Implied(ImpliedVia::Conflict(_))
+        ));
+    }
+
+    #[test]
+    fn example8_neither_rule_alone_implies_phi13() {
+        let ex = example8();
+        for i in 0..2 {
+            let single = GfdSet::from_vec(vec![ex.sigma.as_slice()[i].clone()]);
+            let r = seq_imp(&single, &ex.phi13);
+            assert!(
+                !r.is_implied(),
+                "ϕ13 must not follow from ϕ1{} alone",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn example8_results_stable_without_ordering() {
+        let ex = example8();
+        let opts = ReasonOptions {
+            use_dependency_order: false,
+            prune_components: false,
+        };
+        assert!(seq_imp_with(&ex.sigma, &ex.phi13, &opts).is_implied());
+        assert!(seq_imp_with(&ex.sigma, &ex.phi14, &opts).is_implied());
+    }
+
+    #[test]
+    fn unrelated_gfd_is_not_implied() {
+        let ex = example8();
+        let mut vocab = ex.vocab;
+        let d = vocab.attr("D");
+        let mut q = Pattern::new();
+        let x = q.add_node(vocab.label("a"), "x");
+        let phi = Gfd::new("new", q, vec![], vec![Literal::eq_const(x, d, 9i64)]);
+        let r = seq_imp(&ex.sigma, &phi);
+        assert!(!r.is_implied());
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let ex = example8();
+        let mut vocab = ex.vocab;
+        let a = vocab.attr("A");
+        // Y = ∅ is implied by anything.
+        let mut q = Pattern::new();
+        let x = q.add_node(vocab.label("a"), "x");
+        let trivial = Gfd::new("trivial", q.clone(), vec![], vec![]);
+        assert!(seq_imp(&ex.sigma, &trivial).is_implied());
+        assert!(seq_imp(&GfdSet::new(), &trivial).is_implied());
+
+        // Y ⊆ X is implied even by the empty Σ.
+        let reflexive = Gfd::new(
+            "reflexive",
+            q.clone(),
+            vec![Literal::eq_const(x, a, 1i64)],
+            vec![Literal::eq_const(x, a, 1i64)],
+        );
+        assert!(seq_imp(&GfdSet::new(), &reflexive).is_implied());
+
+        // Inconsistent X implies anything.
+        let inconsistent = Gfd::new(
+            "inconsistent",
+            q,
+            vec![
+                Literal::eq_const(x, a, 1i64),
+                Literal::eq_const(x, a, 2i64),
+            ],
+            vec![Literal::eq_const(x, vocab.attr("whatever"), 3i64)],
+        );
+        let r = seq_imp(&GfdSet::new(), &inconsistent);
+        assert!(matches!(
+            r.outcome,
+            ImpOutcome::Implied(ImpliedVia::PremiseInconsistent)
+        ));
+    }
+
+    #[test]
+    fn a_gfd_implies_itself() {
+        let ex = example8();
+        for (_, g) in ex.sigma.iter() {
+            let r = seq_imp(&ex.sigma, g);
+            assert!(r.is_implied(), "{} must imply itself", g.name);
+        }
+    }
+
+    #[test]
+    fn transitivity_of_variable_literals() {
+        // Σ: Q(∅ → x.a = x.b), Q(∅ → x.b = x.c)  ⊨  Q(∅ → x.a = x.c).
+        let mut vocab = Vocab::new();
+        let t = vocab.label("t");
+        let a = vocab.attr("a");
+        let b = vocab.attr("b");
+        let c = vocab.attr("c");
+        let mk = |lits: Vec<Literal>, vocab: &mut Vocab| {
+            let mut p = Pattern::new();
+            p.add_node(vocab.label("t"), "x");
+            Gfd::new("g", p, vec![], lits)
+        };
+        let _ = t;
+        let x = VarId::new(0);
+        let sigma = GfdSet::from_vec(vec![
+            mk(vec![Literal::eq_attr(x, a, x, b)], &mut vocab),
+            mk(vec![Literal::eq_attr(x, b, x, c)], &mut vocab),
+        ]);
+        let phi = mk(vec![Literal::eq_attr(x, a, x, c)], &mut vocab);
+        assert!(seq_imp(&sigma, &phi).is_implied());
+        let phi_wrong = mk(vec![Literal::eq_const(x, a, 1i64)], &mut vocab);
+        assert!(!seq_imp(&sigma, &phi_wrong).is_implied());
+    }
+}

@@ -1,0 +1,379 @@
+//! `SeqSat` — the sequential exact satisfiability algorithm (§IV-C).
+//!
+//! Built directly on the small model property (Theorem 1): construct the
+//! canonical graph `GΣ`, enumerate homomorphic matches of every pattern,
+//! enforce attribute dependencies into the equivalence relation, and report
+//! *unsatisfiable* on the first conflict. If the fixpoint completes without
+//! conflict, a concrete model (a Σ-bounded population of `GΣ`) is returned.
+
+use crate::canonical::{build_plans, CanonicalGraph};
+use crate::enforce::EnforceEngine;
+use crate::error::Conflict;
+use crate::model::extract_model;
+use crate::ordering::order_gfds;
+use crate::sigma::GfdSet;
+use gfd_match::{HomSearch, SearchLimits};
+use std::ops::ControlFlow;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs shared by the sequential algorithms (the parallel runtime
+/// has its own, richer configuration).
+#[derive(Clone, Debug)]
+pub struct ReasonOptions {
+    /// Process GFDs in dependency-graph topological order (paper default).
+    /// With `false`, input order is used — the ablation baseline.
+    pub use_dependency_order: bool,
+    /// Skip (pattern, component) pairs whose label profiles cannot host a
+    /// match (the paper's "pruning to eliminate irrelevant matches early").
+    pub prune_components: bool,
+}
+
+impl Default for ReasonOptions {
+    fn default() -> Self {
+        ReasonOptions {
+            use_dependency_order: true,
+            prune_components: true,
+        }
+    }
+}
+
+/// Counters reported by the sequential algorithms.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReasonStats {
+    /// Work units processed (pattern × pivot-candidate pairs).
+    pub units: u64,
+    /// Matches found and processed.
+    pub matches: u64,
+    /// Matches that entered the pending index.
+    pub pending: u64,
+    /// Pending re-checks triggered.
+    pub rechecks: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// The outcome of satisfiability checking.
+#[derive(Clone, Debug)]
+pub enum SatOutcome {
+    /// Σ has a model; the witness is a Σ-bounded population of `GΣ`.
+    Satisfiable(Box<gfd_graph::Graph>),
+    /// Enforcing Σ on `GΣ` forces two distinct constants onto one
+    /// attribute class.
+    Unsatisfiable(Conflict),
+}
+
+/// Result + statistics.
+#[derive(Clone, Debug)]
+pub struct SatResult {
+    /// Satisfiable (with model) or the witnessing conflict.
+    pub outcome: SatOutcome,
+    /// Counters.
+    pub stats: ReasonStats,
+}
+
+impl SatResult {
+    /// True iff Σ was found satisfiable.
+    pub fn is_satisfiable(&self) -> bool {
+        matches!(self.outcome, SatOutcome::Satisfiable(_))
+    }
+
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&gfd_graph::Graph> {
+        match &self.outcome {
+            SatOutcome::Satisfiable(m) => Some(m),
+            SatOutcome::Unsatisfiable(_) => None,
+        }
+    }
+}
+
+/// Check satisfiability of Σ with default options.
+pub fn seq_sat(sigma: &GfdSet) -> SatResult {
+    seq_sat_with(sigma, &ReasonOptions::default())
+}
+
+/// Check satisfiability of Σ.
+pub fn seq_sat_with(sigma: &GfdSet, opts: &ReasonOptions) -> SatResult {
+    let start = Instant::now();
+    let mut stats = ReasonStats::default();
+
+    if sigma.is_empty() {
+        // Vacuously satisfiable; the empty population works.
+        stats.elapsed = start.elapsed();
+        return SatResult {
+            outcome: SatOutcome::Satisfiable(Box::new(gfd_graph::Graph::new())),
+            stats,
+        };
+    }
+
+    let (canon, _node_of) = CanonicalGraph::for_sigma(sigma);
+    let (pivots, plans) = build_plans(sigma, &canon.index);
+    let order = if opts.use_dependency_order {
+        order_gfds(sigma, None)
+    } else {
+        sigma.iter().map(|(id, _)| id).collect()
+    };
+
+    let mut engine = EnforceEngine::new();
+    for id in order {
+        let gfd = &sigma[id];
+        let plan = &plans[id.index()];
+        let candidates = if opts.prune_components {
+            canon.pivot_candidates(&gfd.pattern, pivots[id.index()])
+        } else {
+            canon
+                .index
+                .candidates(gfd.pattern.label(pivots[id.index()]))
+                .to_vec()
+        };
+        for z in candidates {
+            stats.units += 1;
+            let mut conflict: Option<Conflict> = None;
+            let mut search =
+                HomSearch::new(&canon.graph, &canon.index, &gfd.pattern, plan).with_prefix(&[z]);
+            search.run(
+                |m| match engine.process_match(sigma, id, m) {
+                    Ok(()) => ControlFlow::Continue(()),
+                    Err(c) => {
+                        conflict = Some(c);
+                        ControlFlow::Break(())
+                    }
+                },
+                SearchLimits::none(),
+            );
+            if let Some(c) = conflict {
+                stats.matches = engine.stats.matches_processed;
+                stats.pending = engine.stats.pending_registered;
+                stats.rechecks = engine.stats.rechecks;
+                stats.elapsed = start.elapsed();
+                return SatResult {
+                    outcome: SatOutcome::Unsatisfiable(c),
+                    stats,
+                };
+            }
+        }
+    }
+
+    stats.matches = engine.stats.matches_processed;
+    stats.pending = engine.stats.pending_registered;
+    stats.rechecks = engine.stats.rechecks;
+    let model = extract_model(&canon.graph, &mut engine.eq);
+    stats.elapsed = start.elapsed();
+    SatResult {
+        outcome: SatOutcome::Satisfiable(Box::new(model)),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gfd::Gfd;
+    use crate::literal::Literal;
+    use crate::validate::graph_satisfies_all;
+    use gfd_graph::{LabelId, Pattern, VarId, Vocab};
+
+    fn unary_pattern(vocab: &mut Vocab, label: &str) -> Pattern {
+        let mut p = Pattern::new();
+        p.add_node(vocab.label(label), "x");
+        p
+    }
+
+    /// The paper's Example 2, first half: ϕ5 = Q5[x](∅ → x.A = 0) and
+    /// ϕ6 = Q5[x](∅ → x.A = 1) with Q5 a single wildcard node.
+    #[test]
+    fn example2_wildcard_conflict_is_unsat() {
+        let mut vocab = Vocab::new();
+        let a = vocab.attr("A");
+        let mut q5a = Pattern::new();
+        q5a.add_node(LabelId::WILDCARD, "x");
+        let mut q5b = Pattern::new();
+        q5b.add_node(LabelId::WILDCARD, "x");
+        let sigma = GfdSet::from_vec(vec![
+            Gfd::new("phi5", q5a, vec![], vec![Literal::eq_const(VarId::new(0), a, 0i64)]),
+            Gfd::new("phi6", q5b, vec![], vec![Literal::eq_const(VarId::new(0), a, 1i64)]),
+        ]);
+        let r = seq_sat(&sigma);
+        assert!(!r.is_satisfiable());
+    }
+
+    /// The paper's Example 2, second half: ϕ7 and ϕ8 interact through
+    /// distinct patterns Q6, Q7 and are jointly unsatisfiable.
+    ///
+    /// Q6: x -p-> y(b), x -p-> z(b), x -p-> w(c)   (y,z labelled b; w c)
+    /// Q7: x -p-> y(b), x -p-> z(c), x -p-> w(c)
+    /// ϕ7 = Q6(∅ → x.A = 0 ∧ y.B = 1); ϕ8 = Q7(y.B = 1 → x.A = 1).
+    fn q6(vocab: &mut Vocab) -> Pattern {
+        let a = vocab.label("a");
+        let b = vocab.label("b");
+        let c = vocab.label("c");
+        let p_lbl = vocab.label("p");
+        let mut q = Pattern::new();
+        let x = q.add_node(a, "x");
+        let y = q.add_node(b, "y");
+        let z = q.add_node(b, "z");
+        let w = q.add_node(c, "w");
+        q.add_edge(x, p_lbl, y);
+        q.add_edge(x, p_lbl, z);
+        q.add_edge(x, p_lbl, w);
+        q
+    }
+
+    fn q7(vocab: &mut Vocab) -> Pattern {
+        let a = vocab.label("a");
+        let b = vocab.label("b");
+        let c = vocab.label("c");
+        let p_lbl = vocab.label("p");
+        let mut q = Pattern::new();
+        let x = q.add_node(a, "x");
+        let y = q.add_node(b, "y");
+        let z = q.add_node(c, "z");
+        let w = q.add_node(c, "w");
+        q.add_edge(x, p_lbl, y);
+        q.add_edge(x, p_lbl, z);
+        q.add_edge(x, p_lbl, w);
+        q
+    }
+
+    #[test]
+    fn example2_cross_pattern_interaction_is_unsat() {
+        let mut vocab = Vocab::new();
+        let attr_a = vocab.attr("A");
+        let attr_b = vocab.attr("B");
+        let phi7 = Gfd::new(
+            "phi7",
+            q6(&mut vocab),
+            vec![],
+            vec![
+                Literal::eq_const(VarId::new(0), attr_a, 0i64),
+                Literal::eq_const(VarId::new(1), attr_b, 1i64),
+            ],
+        );
+        let phi8 = Gfd::new(
+            "phi8",
+            q7(&mut vocab),
+            vec![Literal::eq_const(VarId::new(1), attr_b, 1i64)],
+            vec![Literal::eq_const(VarId::new(0), attr_a, 1i64)],
+        );
+        // Each alone is satisfiable.
+        let alone7 = seq_sat(&GfdSet::from_vec(vec![phi7.clone()]));
+        assert!(alone7.is_satisfiable());
+        let alone8 = seq_sat(&GfdSet::from_vec(vec![phi8.clone()]));
+        assert!(alone8.is_satisfiable());
+        // Together they are not: Q7 matches into Q6's canonical copy
+        // (z,w ↦ the c node), forcing x.A to both 0 and 1.
+        let both = seq_sat(&GfdSet::from_vec(vec![phi7, phi8]));
+        assert!(!both.is_satisfiable());
+    }
+
+    /// The paper's Example 4: Σ = {ϕ7, ϕ9, ϕ10} is unsatisfiable through a
+    /// pending-recheck chain (the inverted-index mechanism).
+    #[test]
+    fn example4_inverted_index_chain_is_unsat() {
+        let mut vocab = Vocab::new();
+        let attr_a = vocab.attr("A");
+        let attr_b = vocab.attr("B");
+        let attr_c = vocab.attr("C");
+        let phi7 = Gfd::new(
+            "phi7",
+            q6(&mut vocab),
+            vec![],
+            vec![
+                Literal::eq_const(VarId::new(0), attr_a, 0i64),
+                Literal::eq_const(VarId::new(1), attr_b, 1i64),
+            ],
+        );
+        let phi9 = Gfd::new(
+            "phi9",
+            q6(&mut vocab),
+            vec![Literal::eq_const(VarId::new(1), attr_b, 1i64)],
+            vec![Literal::eq_const(VarId::new(3), attr_c, 1i64)],
+        );
+        let phi10 = Gfd::new(
+            "phi10",
+            q7(&mut vocab),
+            vec![Literal::eq_const(VarId::new(3), attr_c, 1i64)],
+            vec![Literal::eq_const(VarId::new(0), attr_a, 1i64)],
+        );
+        let sigma = GfdSet::from_vec(vec![phi7, phi9, phi10]);
+        let r = seq_sat(&sigma);
+        assert!(!r.is_satisfiable());
+        // Regardless of ordering options (Church–Rosser).
+        let r2 = seq_sat_with(
+            &sigma,
+            &ReasonOptions {
+                use_dependency_order: false,
+                prune_components: true,
+            },
+        );
+        assert!(!r2.is_satisfiable());
+        let r3 = seq_sat_with(
+            &sigma,
+            &ReasonOptions {
+                use_dependency_order: false,
+                prune_components: false,
+            },
+        );
+        assert!(!r3.is_satisfiable());
+    }
+
+    #[test]
+    fn satisfiable_set_produces_a_valid_model() {
+        let mut vocab = Vocab::new();
+        let a = vocab.attr("a");
+        let b = vocab.attr("b");
+        let x = VarId::new(0);
+        let g0 = Gfd::new(
+            "g0",
+            unary_pattern(&mut vocab, "t"),
+            vec![],
+            vec![Literal::eq_const(x, a, 1i64)],
+        );
+        let g1 = Gfd::new(
+            "g1",
+            unary_pattern(&mut vocab, "t"),
+            vec![Literal::eq_const(x, a, 1i64)],
+            vec![Literal::eq_attr(x, a, x, b)],
+        );
+        let sigma = GfdSet::from_vec(vec![g0, g1]);
+        let r = seq_sat(&sigma);
+        assert!(r.is_satisfiable());
+        let model = r.model().unwrap();
+        // The model must satisfy every GFD in Σ and host a match of each.
+        assert!(graph_satisfies_all(model, &sigma));
+        assert!(model.node_count() >= 2);
+        assert!(r.stats.matches >= 4, "t-nodes cross-match: 2 gfds × 2 nodes");
+    }
+
+    #[test]
+    fn denial_with_empty_premise_is_unsat() {
+        let mut vocab = Vocab::new();
+        let p = unary_pattern(&mut vocab, "t");
+        let phi = Gfd::with_false_consequence("deny", p, vec![], &mut vocab);
+        let r = seq_sat(&GfdSet::from_vec(vec![phi]));
+        assert!(!r.is_satisfiable());
+    }
+
+    #[test]
+    fn conditional_denial_is_satisfiable() {
+        // "no t-node has a = 1" is satisfiable: a model binds a ≠ 1 (or
+        // leaves it free).
+        let mut vocab = Vocab::new();
+        let a = vocab.attr("a");
+        let p = unary_pattern(&mut vocab, "t");
+        let phi = Gfd::with_false_consequence(
+            "deny_a1",
+            p,
+            vec![Literal::eq_const(VarId::new(0), a, 1i64)],
+            &mut vocab,
+        );
+        let r = seq_sat(&GfdSet::from_vec(vec![phi]));
+        assert!(r.is_satisfiable());
+        assert!(graph_satisfies_all(r.model().unwrap(), &GfdSet::from_vec(vec![])));
+    }
+
+    #[test]
+    fn empty_sigma_is_satisfiable() {
+        let r = seq_sat(&GfdSet::new());
+        assert!(r.is_satisfiable());
+    }
+}

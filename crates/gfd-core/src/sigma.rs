@@ -1,0 +1,125 @@
+//! Sets Σ of GFDs.
+
+use crate::gfd::Gfd;
+use gfd_graph::{GfdId, Vocab};
+
+/// A set Σ of GFDs, the input of the satisfiability and implication
+/// analyses. GFDs are identified by their position ([`GfdId`]).
+#[derive(Clone, Debug, Default)]
+pub struct GfdSet {
+    gfds: Vec<Gfd>,
+}
+
+impl GfdSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a vector of GFDs.
+    pub fn from_vec(gfds: Vec<Gfd>) -> Self {
+        GfdSet { gfds }
+    }
+
+    /// Add a GFD, returning its id.
+    pub fn push(&mut self, gfd: Gfd) -> GfdId {
+        let id = GfdId::new(self.gfds.len());
+        self.gfds.push(gfd);
+        id
+    }
+
+    /// The GFD with the given id.
+    pub fn get(&self, id: GfdId) -> &Gfd {
+        &self.gfds[id.index()]
+    }
+
+    /// Number of GFDs (the paper's `|Σ|` count parameter).
+    pub fn len(&self) -> usize {
+        self.gfds.len()
+    }
+
+    /// True iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.gfds.is_empty()
+    }
+
+    /// Iterate `(id, gfd)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (GfdId, &Gfd)> {
+        self.gfds
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GfdId::new(i), g))
+    }
+
+    /// The underlying slice.
+    pub fn as_slice(&self) -> &[Gfd] {
+        &self.gfds
+    }
+
+    /// Total size `|Σ| = Σ |ϕ|` used by the small-model bounds.
+    pub fn total_size(&self) -> usize {
+        self.gfds.iter().map(Gfd::size).sum()
+    }
+
+    /// Render every GFD on its own line.
+    pub fn display_all(&self, vocab: &Vocab) -> String {
+        let mut s = String::new();
+        for g in &self.gfds {
+            s.push_str(&g.display(vocab).to_string());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl FromIterator<Gfd> for GfdSet {
+    fn from_iter<T: IntoIterator<Item = Gfd>>(iter: T) -> Self {
+        GfdSet {
+            gfds: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl std::ops::Index<GfdId> for GfdSet {
+    type Output = Gfd;
+    fn index(&self, id: GfdId) -> &Gfd {
+        &self.gfds[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::literal::Literal;
+    use gfd_graph::{Pattern, VarId};
+
+    fn mk_gfd(vocab: &mut Vocab, name: &str) -> Gfd {
+        let mut p = Pattern::new();
+        p.add_node(vocab.label("t"), "x");
+        let a = vocab.attr("a");
+        Gfd::new(name, p, vec![], vec![Literal::eq_const(VarId::new(0), a, 1i64)])
+    }
+
+    #[test]
+    fn push_get_iterate() {
+        let mut vocab = Vocab::new();
+        let mut sigma = GfdSet::new();
+        let id0 = sigma.push(mk_gfd(&mut vocab, "a"));
+        let id1 = sigma.push(mk_gfd(&mut vocab, "b"));
+        assert_eq!(sigma.len(), 2);
+        assert_eq!(sigma.get(id0).name, "a");
+        assert_eq!(sigma[id1].name, "b");
+        let names: Vec<&str> = sigma.iter().map(|(_, g)| g.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(sigma.total_size(), 2 * (1 + 2));
+        assert!(sigma.display_all(&vocab).contains("a: Q["));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let mut vocab = Vocab::new();
+        let sigma: GfdSet = (0..3).map(|i| mk_gfd(&mut vocab, &format!("g{i}"))).collect();
+        assert_eq!(sigma.len(), 3);
+        assert!(!sigma.is_empty());
+    }
+}

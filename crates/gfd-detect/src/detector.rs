@@ -1,0 +1,407 @@
+//! The parallel detection engine.
+
+use crate::report::{DetectionReport, RuleStats, ViolationRecord};
+use crate::units::{initial_units, DetectUnit, RulePlans};
+use gfd_core::validate::literal_holds;
+use gfd_core::GfdSet;
+use gfd_graph::{Graph, LabelIndex, NodeId};
+use gfd_match::{HomSearch, RunOutcome, SearchLimits};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Configuration of a detection run.
+#[derive(Clone, Debug)]
+pub struct DetectConfig {
+    /// Worker threads (`p` in the paper). 0 means "number of CPUs".
+    pub workers: usize,
+    /// Straggler threshold: a unit running longer than this is split and
+    /// its untried branches are returned to the queue (§V, Example 6).
+    pub ttl: Duration,
+    /// Stop after this many violations (`usize::MAX` = find all).
+    pub max_violations: usize,
+    /// Pivot candidates per initial work unit.
+    pub batch_size: usize,
+}
+
+impl Default for DetectConfig {
+    fn default() -> Self {
+        DetectConfig {
+            workers: 0,
+            ttl: Duration::from_millis(100),
+            max_violations: usize::MAX,
+            batch_size: 1024,
+        }
+    }
+}
+
+impl DetectConfig {
+    /// A config with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        DetectConfig {
+            workers,
+            ..Default::default()
+        }
+    }
+
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        }
+    }
+}
+
+/// Shared state between detection workers.
+struct Shared<'a> {
+    graph: &'a Graph,
+    index: &'a LabelIndex,
+    sigma: &'a GfdSet,
+    plans: &'a RulePlans,
+    queue: Mutex<VecDeque<DetectUnit>>,
+    /// Violations found so far (global budget counter).
+    found: AtomicUsize,
+    stop: AtomicBool,
+    units_processed: AtomicU64,
+    units_split: AtomicU64,
+    max_violations: usize,
+    ttl: Duration,
+}
+
+impl Shared<'_> {
+    fn budget_left(&self) -> bool {
+        self.found.load(Ordering::Relaxed) < self.max_violations
+    }
+
+    /// Reserve one violation slot; returns false when the budget is spent.
+    fn reserve(&self) -> bool {
+        let prev = self.found.fetch_add(1, Ordering::Relaxed);
+        if prev >= self.max_violations {
+            self.found.fetch_sub(1, Ordering::Relaxed);
+            self.stop.store(true, Ordering::Relaxed);
+            return false;
+        }
+        if prev + 1 == self.max_violations {
+            self.stop.store(true, Ordering::Relaxed);
+        }
+        true
+    }
+}
+
+/// Thread-local accumulation, merged after the pool joins.
+#[derive(Default)]
+struct Local {
+    violations: Vec<ViolationRecord>,
+    per_rule: Vec<RuleStats>,
+}
+
+impl Local {
+    fn new(rules: usize) -> Self {
+        Local {
+            violations: Vec::new(),
+            per_rule: vec![RuleStats::default(); rules],
+        }
+    }
+}
+
+/// Check one match against its GFD, recording a violation if the premise
+/// holds on the data but some consequence literal fails.
+fn check_match(
+    shared: &Shared<'_>,
+    local: &mut Local,
+    gfd_id: gfd_graph::GfdId,
+    m: Box<[NodeId]>,
+) -> ControlFlow<()> {
+    let gfd = shared.sigma.get(gfd_id);
+    let stats = &mut local.per_rule[gfd_id.index()];
+    stats.matches += 1;
+    let premise_ok = gfd
+        .premise
+        .iter()
+        .all(|l| literal_holds(shared.graph, l, &m));
+    if !premise_ok {
+        return ControlFlow::Continue(());
+    }
+    stats.premise_hits += 1;
+    let failed: Vec<usize> = gfd
+        .consequence
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !literal_holds(shared.graph, l, &m))
+        .map(|(i, _)| i)
+        .collect();
+    if failed.is_empty() {
+        return ControlFlow::Continue(());
+    }
+    if !shared.reserve() {
+        return ControlFlow::Break(());
+    }
+    local.per_rule[gfd_id.index()].violations += 1;
+    local.violations.push(ViolationRecord {
+        gfd: gfd_id,
+        m,
+        failed,
+    });
+    if shared.stop.load(Ordering::Relaxed) {
+        ControlFlow::Break(())
+    } else {
+        ControlFlow::Continue(())
+    }
+}
+
+/// Run one search until exhausted, splitting on TTL expiry.
+fn run_unit_search(
+    shared: &Shared<'_>,
+    local: &mut Local,
+    gfd_id: gfd_graph::GfdId,
+    mut search: HomSearch<'_>,
+) {
+    loop {
+        let deadline = Instant::now() + shared.ttl;
+        let limits = SearchLimits {
+            deadline: Some(deadline),
+            stop: Some(&shared.stop),
+        };
+        let outcome = search.run(|m| check_match(shared, local, gfd_id, m), limits);
+        match outcome {
+            RunOutcome::Exhausted | RunOutcome::Stopped => return,
+            RunOutcome::Deadline => {
+                // Straggler: carve off the untried sibling branches and
+                // offer them to other workers, then keep going locally.
+                let prefixes = search.split_shallowest();
+                if !prefixes.is_empty() {
+                    shared
+                        .units_split
+                        .fetch_add(prefixes.len() as u64, Ordering::Relaxed);
+                    let mut queue = shared.queue.lock();
+                    for prefix in prefixes {
+                        queue.push_front(DetectUnit::Prefix {
+                            gfd: gfd_id,
+                            prefix,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn worker(shared: &Shared<'_>) -> Local {
+    let mut local = Local::new(shared.sigma.len());
+    loop {
+        if shared.stop.load(Ordering::Relaxed) || !shared.budget_left() {
+            break;
+        }
+        let unit = { shared.queue.lock().pop_front() };
+        let Some(unit) = unit else { break };
+        shared.units_processed.fetch_add(1, Ordering::Relaxed);
+        let gfd_id = unit.gfd();
+        let gfd = shared.sigma.get(gfd_id);
+        let plan = &shared.plans.plans[gfd_id.index()];
+        match unit {
+            DetectUnit::Pivots { batch, .. } => {
+                for z in batch {
+                    if shared.stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let search =
+                        HomSearch::new(shared.graph, shared.index, &gfd.pattern, plan)
+                            .with_prefix(&[z]);
+                    run_unit_search(shared, &mut local, gfd_id, search);
+                }
+            }
+            DetectUnit::Prefix { prefix, .. } => {
+                let search = HomSearch::new(shared.graph, shared.index, &gfd.pattern, plan)
+                    .with_prefix(&prefix);
+                run_unit_search(shared, &mut local, gfd_id, search);
+            }
+        }
+    }
+    local
+}
+
+/// Detect violations of `sigma` in `graph` using a parallel worker pool.
+pub fn detect(graph: &Graph, sigma: &GfdSet, config: &DetectConfig) -> DetectionReport {
+    let start = Instant::now();
+    let index = LabelIndex::build(graph);
+    let plans = RulePlans::build(sigma, &index);
+    let queue = initial_units(sigma, &index, &plans, config.batch_size);
+
+    let shared = Shared {
+        graph,
+        index: &index,
+        sigma,
+        plans: &plans,
+        queue: Mutex::new(queue),
+        found: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+        units_processed: AtomicU64::new(0),
+        units_split: AtomicU64::new(0),
+        max_violations: config.max_violations,
+        ttl: config.ttl,
+    };
+
+    let workers = config.effective_workers();
+    let locals: Vec<Local> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| scope.spawn(|| worker(&shared)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("detection worker panicked"))
+            .collect()
+    });
+
+    merge_report(sigma, &shared, locals, start.elapsed(), config)
+}
+
+/// Sequential reference detector (one worker, same code path). Used by
+/// tests to check the parallel pool finds the identical violation set.
+pub fn detect_sequential(graph: &Graph, sigma: &GfdSet, config: &DetectConfig) -> DetectionReport {
+    let mut cfg = config.clone();
+    cfg.workers = 1;
+    detect(graph, sigma, &cfg)
+}
+
+fn merge_report(
+    sigma: &GfdSet,
+    shared: &Shared<'_>,
+    locals: Vec<Local>,
+    elapsed: Duration,
+    config: &DetectConfig,
+) -> DetectionReport {
+    let mut violations = Vec::new();
+    let mut per_rule = vec![RuleStats::default(); sigma.len()];
+    for local in locals {
+        violations.extend(local.violations);
+        for (total, part) in per_rule.iter_mut().zip(&local.per_rule) {
+            total.matches += part.matches;
+            total.premise_hits += part.premise_hits;
+            total.violations += part.violations;
+        }
+    }
+    // Deterministic order regardless of worker interleaving.
+    violations.sort_by(|a, b| (a.gfd, &a.m).cmp(&(b.gfd, &b.m)));
+    let truncated = violations.len() >= config.max_violations;
+    DetectionReport {
+        violations,
+        per_rule,
+        truncated,
+        units_processed: shared.units_processed.load(Ordering::Relaxed),
+        units_split: shared.units_split.load(Ordering::Relaxed),
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_core::{Gfd, Literal};
+    use gfd_graph::{Pattern, Value, Vocab};
+
+    /// A chain graph t0 → t1 → … with alternating attribute values, plus a
+    /// rule requiring equal values across each edge: every edge between a
+    /// mismatched pair is a violation.
+    fn chain_setup(n: usize) -> (Graph, GfdSet, Vocab) {
+        let mut vocab = Vocab::new();
+        let t = vocab.label("t");
+        let e = vocab.label("e");
+        let a = vocab.attr("a");
+        let mut g = Graph::new();
+        let mut prev = None;
+        for i in 0..n {
+            let node = g.add_node(t);
+            g.set_attr(node, a, Value::int((i % 2) as i64));
+            if let Some(p) = prev {
+                g.add_edge(p, e, node);
+            }
+            prev = Some(node);
+        }
+        let mut p = Pattern::new();
+        let x = p.add_node(t, "x");
+        let y = p.add_node(t, "y");
+        p.add_edge(x, e, y);
+        let gfd = Gfd::new("eq-across-edge", p, vec![], vec![Literal::eq_attr(x, a, y, a)]);
+        (g, GfdSet::from_vec(vec![gfd]), vocab)
+    }
+
+    #[test]
+    fn finds_every_violation_in_a_chain() {
+        let (g, sigma, _) = chain_setup(50);
+        let report = detect(&g, &sigma, &DetectConfig::with_workers(4));
+        // All 49 edges connect a 0-node to a 1-node.
+        assert_eq!(report.violations.len(), 49);
+        assert!(!report.truncated);
+        assert_eq!(report.per_rule[0].matches, 49);
+        assert_eq!(report.per_rule[0].premise_hits, 49);
+    }
+
+    #[test]
+    fn parallel_agrees_with_sequential() {
+        let (g, sigma, _) = chain_setup(64);
+        let seq = detect_sequential(&g, &sigma, &DetectConfig::default());
+        let par = detect(&g, &sigma, &DetectConfig::with_workers(8));
+        let key = |r: &ViolationRecord| (r.gfd, r.m.clone());
+        let s: Vec<_> = seq.violations.iter().map(key).collect();
+        let p: Vec<_> = par.violations.iter().map(key).collect();
+        assert_eq!(s, p);
+    }
+
+    #[test]
+    fn budget_truncates_early() {
+        let (g, sigma, _) = chain_setup(100);
+        let config = DetectConfig {
+            max_violations: 5,
+            ..DetectConfig::with_workers(4)
+        };
+        let report = detect(&g, &sigma, &config);
+        assert_eq!(report.violations.len(), 5);
+        assert!(report.truncated);
+    }
+
+    #[test]
+    fn clean_graph_reports_clean() {
+        let (mut g, sigma, mut vocab) = chain_setup(10);
+        let a = vocab.attr("a");
+        for v in g.nodes().collect::<Vec<_>>() {
+            g.set_attr(v, a, Value::int(0));
+        }
+        let report = detect(&g, &sigma, &DetectConfig::with_workers(2));
+        assert!(report.is_clean());
+        assert_eq!(report.per_rule[0].matches, 9);
+        assert_eq!(report.per_rule[0].violations, 0);
+    }
+
+    #[test]
+    fn tiny_ttl_still_finds_everything() {
+        let (g, sigma, _) = chain_setup(80);
+        let config = DetectConfig {
+            ttl: Duration::ZERO,
+            batch_size: 8,
+            ..DetectConfig::with_workers(4)
+        };
+        let report = detect(&g, &sigma, &config);
+        assert_eq!(report.violations.len(), 79);
+    }
+
+    #[test]
+    fn empty_rule_set_is_trivially_clean() {
+        let (g, _, _) = chain_setup(5);
+        let sigma = GfdSet::new();
+        let report = detect(&g, &sigma, &DetectConfig::with_workers(2));
+        assert!(report.is_clean());
+        assert_eq!(report.units_processed, 0);
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_clean() {
+        let (_, sigma, _) = chain_setup(5);
+        let g = Graph::new();
+        let report = detect(&g, &sigma, &DetectConfig::with_workers(2));
+        assert!(report.is_clean());
+        assert_eq!(report.total_matches(), 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Structured detection reports.
+
+use gfd_core::{Gfd, GfdSet, Literal, Operand};
+use gfd_graph::{GfdId, Graph, NodeId, Vocab};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One witnessed violation: a match of a GFD's pattern whose premise holds
+/// on the data but whose consequence does not.
+#[derive(Clone, Debug)]
+pub struct ViolationRecord {
+    /// The violated GFD.
+    pub gfd: GfdId,
+    /// The match, indexed by pattern variable.
+    pub m: Box<[NodeId]>,
+    /// Indices (into the GFD's consequence) of the literals that fail.
+    pub failed: Vec<usize>,
+}
+
+impl ViolationRecord {
+    /// Render a human-readable explanation of this violation.
+    pub fn explain(&self, graph: &Graph, sigma: &GfdSet, vocab: &Vocab) -> String {
+        let gfd = sigma.get(self.gfd);
+        let mut out = String::new();
+        let _ = writeln!(out, "violation of {}", gfd.display(vocab));
+        let _ = writeln!(out, "  match:");
+        for v in gfd.pattern.vars() {
+            let node = self.m[v.index()];
+            let _ = writeln!(
+                out,
+                "    {} ↦ n{} ({})",
+                gfd.pattern.var_name(v),
+                node.index(),
+                vocab.label_name(graph.label(node)),
+            );
+        }
+        for &i in &self.failed {
+            let lit = &gfd.consequence[i];
+            let _ = writeln!(
+                out,
+                "  fails: {} — {}",
+                lit.display(&gfd.pattern, vocab),
+                describe_failure(graph, gfd, lit, &self.m, vocab),
+            );
+        }
+        out
+    }
+}
+
+/// Why a consequence literal fails on the actual attribute values.
+pub(crate) fn describe_failure(
+    graph: &Graph,
+    gfd: &Gfd,
+    lit: &Literal,
+    m: &[NodeId],
+    vocab: &Vocab,
+) -> String {
+    let node = m[lit.var.index()];
+    let left = graph.attr(node, lit.attr);
+    let left_desc = match left {
+        Some(v) => format!(
+            "{}.{} is {v:?}",
+            gfd.pattern.var_name(lit.var),
+            vocab.attr_name(lit.attr)
+        ),
+        None => format!(
+            "{}.{} is missing",
+            gfd.pattern.var_name(lit.var),
+            vocab.attr_name(lit.attr)
+        ),
+    };
+    match &lit.rhs {
+        Operand::Const(c) => format!("{left_desc}, expected {c:?}"),
+        Operand::Attr(v2, a2) => {
+            let right = graph.attr(m[v2.index()], *a2);
+            let right_desc = match right {
+                Some(v) => format!(
+                    "{}.{} is {v:?}",
+                    gfd.pattern.var_name(*v2),
+                    vocab.attr_name(*a2)
+                ),
+                None => format!(
+                    "{}.{} is missing",
+                    gfd.pattern.var_name(*v2),
+                    vocab.attr_name(*a2)
+                ),
+            };
+            format!("{left_desc} but {right_desc}")
+        }
+    }
+}
+
+/// Per-rule detection statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RuleStats {
+    /// Matches enumerated for this rule.
+    pub matches: u64,
+    /// Matches whose premise held.
+    pub premise_hits: u64,
+    /// Violations found.
+    pub violations: u64,
+}
+
+/// The result of a detection run.
+#[derive(Clone, Debug, Default)]
+pub struct DetectionReport {
+    /// All violations found (possibly truncated by the budget).
+    pub violations: Vec<ViolationRecord>,
+    /// Per-rule statistics, indexed by `GfdId` order of the rule set.
+    pub per_rule: Vec<RuleStats>,
+    /// True iff detection stopped early because the violation budget was
+    /// reached.
+    pub truncated: bool,
+    /// Total work units processed (pivot batches plus split remainders).
+    pub units_processed: u64,
+    /// Work units created by TTL splitting.
+    pub units_split: u64,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl DetectionReport {
+    /// Is the graph clean with respect to the rule set?
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Total matches enumerated across all rules.
+    pub fn total_matches(&self) -> u64 {
+        self.per_rule.iter().map(|s| s.matches).sum()
+    }
+
+    /// Render a compact multi-line summary (one line per dirty rule).
+    pub fn summary(&self, sigma: &GfdSet, vocab: &Vocab) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} violation(s) across {} rule(s){}",
+            self.violations.len(),
+            self.per_rule.iter().filter(|s| s.violations > 0).count(),
+            if self.truncated { " [truncated]" } else { "" },
+        );
+        for (i, stats) in self.per_rule.iter().enumerate() {
+            if stats.violations == 0 {
+                continue;
+            }
+            let gfd = sigma.get(GfdId::new(i));
+            let _ = writeln!(
+                out,
+                "  {}: {} violation(s) / {} match(es)",
+                gfd.display(vocab),
+                stats.violations,
+                stats.matches,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_core::Literal;
+    use gfd_graph::{Pattern, Value};
+
+    fn setup() -> (Graph, GfdSet, Vocab) {
+        let mut vocab = Vocab::new();
+        let t = vocab.label("t");
+        let a = vocab.attr("a");
+        let mut p = Pattern::new();
+        let x = p.add_node(t, "x");
+        let gfd = Gfd::new("g", p, vec![], vec![Literal::eq_const(x, a, 1i64)]);
+        let mut g = Graph::new();
+        let n = g.add_node(t);
+        g.set_attr(n, a, Value::int(7));
+        (g, GfdSet::from_vec(vec![gfd]), vocab)
+    }
+
+    #[test]
+    fn explain_names_the_failing_literal() {
+        let (g, sigma, vocab) = setup();
+        let rec = ViolationRecord {
+            gfd: GfdId::new(0),
+            m: vec![NodeId::new(0)].into_boxed_slice(),
+            failed: vec![0],
+        };
+        let text = rec.explain(&g, &sigma, &vocab);
+        assert!(text.contains("violation of g"), "{text}");
+        assert!(text.contains("x ↦ n0"), "{text}");
+        assert!(text.contains("x.a is 7"), "{text}");
+        assert!(text.contains("expected 1"), "{text}");
+    }
+
+    #[test]
+    fn explain_reports_missing_attributes() {
+        let (mut g, sigma, vocab) = setup();
+        // Strip the attribute by rebuilding the node.
+        g = {
+            let mut g2 = Graph::new();
+            g2.add_node(g.label(NodeId::new(0)));
+            g2
+        };
+        let rec = ViolationRecord {
+            gfd: GfdId::new(0),
+            m: vec![NodeId::new(0)].into_boxed_slice(),
+            failed: vec![0],
+        };
+        let text = rec.explain(&g, &sigma, &vocab);
+        assert!(text.contains("x.a is missing"), "{text}");
+    }
+
+    #[test]
+    fn summary_counts_dirty_rules() {
+        let (_, sigma, vocab) = setup();
+        let report = DetectionReport {
+            violations: vec![ViolationRecord {
+                gfd: GfdId::new(0),
+                m: vec![NodeId::new(0)].into_boxed_slice(),
+                failed: vec![0],
+            }],
+            per_rule: vec![RuleStats {
+                matches: 5,
+                premise_hits: 5,
+                violations: 1,
+            }],
+            truncated: false,
+            units_processed: 1,
+            units_split: 0,
+            elapsed: Duration::ZERO,
+        };
+        let text = report.summary(&sigma, &vocab);
+        assert!(text.contains("1 violation(s) across 1 rule(s)"), "{text}");
+        assert!(text.contains("1 violation(s) / 5 match(es)"), "{text}");
+        assert!(!report.is_clean());
+        assert_eq!(report.total_matches(), 5);
+    }
+}

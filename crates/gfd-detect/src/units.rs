@@ -1,0 +1,170 @@
+//! Detection work units: pivot batches and split remainders.
+//!
+//! A detection unit mirrors the paper's reasoning unit `(Q[z], ϕ)`: one GFD
+//! plus a set of candidate pivot nodes in the *data* graph. Units start as
+//! contiguous batches of pivot candidates; TTL splitting produces
+//! prefix-assignment units exactly like `ParSat`'s Example 6.
+
+use gfd_core::GfdSet;
+use gfd_graph::{GfdId, LabelIndex, NodeId, VarId};
+use gfd_match::MatchPlan;
+use std::collections::VecDeque;
+
+/// A unit of detection work.
+#[derive(Clone, Debug)]
+pub enum DetectUnit {
+    /// Enumerate matches of the GFD pivoted at each node in the batch.
+    Pivots {
+        /// The rule to check.
+        gfd: GfdId,
+        /// Candidate pivot nodes (all carry the pivot variable's label).
+        batch: Vec<NodeId>,
+    },
+    /// Resume a split search from a fixed assignment of the leading plan
+    /// positions.
+    Prefix {
+        /// The rule to check.
+        gfd: GfdId,
+        /// Assignment of plan positions `0..len`.
+        prefix: Vec<NodeId>,
+    },
+}
+
+impl DetectUnit {
+    /// Which GFD this unit checks.
+    pub fn gfd(&self) -> GfdId {
+        match self {
+            DetectUnit::Pivots { gfd, .. } | DetectUnit::Prefix { gfd, .. } => *gfd,
+        }
+    }
+}
+
+/// Per-rule matching context shared by all workers.
+pub struct RulePlans {
+    /// Pivot variable per rule.
+    pub pivots: Vec<VarId>,
+    /// Pivoted match plan per rule.
+    pub plans: Vec<MatchPlan>,
+}
+
+impl RulePlans {
+    /// Choose pivots (most selective label, highest degree) and build
+    /// pivoted plans for every rule against the data-graph index.
+    pub fn build(sigma: &GfdSet, index: &LabelIndex) -> Self {
+        let mut pivots = Vec::with_capacity(sigma.len());
+        let mut plans = Vec::with_capacity(sigma.len());
+        for (_, gfd) in sigma.iter() {
+            let pivot = gfd_core::choose_pivot(&gfd.pattern, index);
+            pivots.push(pivot);
+            plans.push(MatchPlan::build(&gfd.pattern, Some(pivot), Some(index)));
+        }
+        RulePlans { pivots, plans }
+    }
+}
+
+/// Build the initial unit queue: for every rule, the pivot candidates are
+/// chunked into batches of at most `batch_size`.
+///
+/// Rules are interleaved round-robin so that early termination (violation
+/// budget) sees a sample of every rule rather than exhausting rule 0 first.
+pub fn initial_units(
+    sigma: &GfdSet,
+    index: &LabelIndex,
+    plans: &RulePlans,
+    batch_size: usize,
+) -> VecDeque<DetectUnit> {
+    assert!(batch_size > 0, "batch_size must be positive");
+    let mut per_rule: Vec<VecDeque<DetectUnit>> = Vec::with_capacity(sigma.len());
+    for (id, gfd) in sigma.iter() {
+        let pivot = plans.pivots[id.index()];
+        let candidates = index.candidates(gfd.pattern.label(pivot));
+        let mut queue = VecDeque::new();
+        for chunk in candidates.chunks(batch_size) {
+            queue.push_back(DetectUnit::Pivots {
+                gfd: id,
+                batch: chunk.to_vec(),
+            });
+        }
+        per_rule.push(queue);
+    }
+    // Round-robin interleave.
+    let mut out = VecDeque::new();
+    loop {
+        let mut emitted = false;
+        for queue in &mut per_rule {
+            if let Some(u) = queue.pop_front() {
+                out.push_back(u);
+                emitted = true;
+            }
+        }
+        if !emitted {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_core::{Gfd, Literal};
+    use gfd_graph::{Graph, Pattern, Vocab};
+
+    fn two_rule_setup() -> (Graph, GfdSet, Vocab) {
+        let mut vocab = Vocab::new();
+        let t = vocab.label("t");
+        let u = vocab.label("u");
+        let a = vocab.attr("a");
+        let mut p1 = Pattern::new();
+        let x1 = p1.add_node(t, "x");
+        let g1 = Gfd::new("g1", p1, vec![], vec![Literal::eq_const(x1, a, 1i64)]);
+        let mut p2 = Pattern::new();
+        let x2 = p2.add_node(u, "x");
+        let g2 = Gfd::new("g2", p2, vec![], vec![Literal::eq_const(x2, a, 1i64)]);
+        let mut g = Graph::new();
+        for _ in 0..5 {
+            g.add_node(t);
+        }
+        for _ in 0..3 {
+            g.add_node(u);
+        }
+        (g, GfdSet::from_vec(vec![g1, g2]), vocab)
+    }
+
+    #[test]
+    fn batches_cover_all_candidates() {
+        let (g, sigma, _) = two_rule_setup();
+        let index = LabelIndex::build(&g);
+        let plans = RulePlans::build(&sigma, &index);
+        let units = initial_units(&sigma, &index, &plans, 2);
+        // Rule 0: 5 candidates → 3 batches; rule 1: 3 candidates → 2 batches.
+        assert_eq!(units.len(), 5);
+        let mut seen = [0usize; 2];
+        for u in &units {
+            if let DetectUnit::Pivots { gfd, batch } = u {
+                assert!(batch.len() <= 2);
+                seen[gfd.index()] += batch.len();
+            }
+        }
+        assert_eq!(seen, [5, 3]);
+    }
+
+    #[test]
+    fn units_are_interleaved_round_robin() {
+        let (g, sigma, _) = two_rule_setup();
+        let index = LabelIndex::build(&g);
+        let plans = RulePlans::build(&sigma, &index);
+        let units = initial_units(&sigma, &index, &plans, 2);
+        // First two units must come from distinct rules.
+        assert_ne!(units[0].gfd(), units[1].gfd());
+    }
+
+    #[test]
+    fn single_batch_when_batch_size_large() {
+        let (g, sigma, _) = two_rule_setup();
+        let index = LabelIndex::build(&g);
+        let plans = RulePlans::build(&sigma, &index);
+        let units = initial_units(&sigma, &index, &plans, 100);
+        assert_eq!(units.len(), 2);
+    }
+}

@@ -1,0 +1,244 @@
+//! A human-readable text format for graphs and GFDs.
+//!
+//! Parsing ([`parser`]) and printing ([`printer`]) round-trip; see the
+//! grammar sketch in [`parser`]. Used by the examples and integration
+//! tests, and convenient for storing rule sets on disk.
+//!
+//! ```
+//! use gfd_graph::Vocab;
+//! let mut vocab = Vocab::new();
+//! let gfd = gfd_dsl::parse_gfd(
+//!     "gfd phi2 {
+//!        pattern {
+//!          node x: _
+//!          node y: speed
+//!          node z: speed
+//!          edge x -topSpeed-> y
+//!          edge x -topSpeed-> z
+//!        }
+//!        then { y.val = z.val }
+//!      }",
+//!     &mut vocab,
+//! ).unwrap();
+//! assert_eq!(gfd.pattern.node_count(), 3);
+//! let printed = gfd_dsl::print_gfd(&gfd, &vocab);
+//! let again = gfd_dsl::parse_gfd(&printed, &mut vocab).unwrap();
+//! assert_eq!(again.consequence, gfd.consequence);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod parser;
+pub mod printer;
+pub mod token;
+
+pub use parser::{parse_document, parse_ged, parse_gfd, Document};
+pub use printer::{print_ged, print_ged_set, print_gfd, print_gfd_set, print_graph};
+pub use token::ParseError;
+
+#[cfg(test)]
+mod proptests {
+    use gfd_core::{Gfd, GfdSet, Literal};
+    use gfd_graph::{LabelId, Pattern, Value, VarId, Vocab};
+    use proptest::prelude::*;
+
+    /// Strategy: a small random GFD over a fixed vocabulary shape.
+    fn arb_gfd() -> impl Strategy<Value = (Gfd, Vocab)> {
+        let label_names = ["t", "u", "v"];
+        let attr_names = ["a", "b", "c"];
+        (
+            1usize..4,
+            proptest::collection::vec((0usize..3, 0usize..3, 0usize..3), 0..4),
+            proptest::collection::vec(
+                (0usize..3, 0usize..3, proptest::option::of(0i64..5), 0usize..3, 0usize..3),
+                0..3,
+            ),
+            proptest::collection::vec(
+                (0usize..3, 0usize..3, proptest::option::of(0i64..5), 0usize..3, 0usize..3),
+                1..3,
+            ),
+        )
+            .prop_map(move |(k, edges, pre, post)| {
+                let mut vocab = Vocab::new();
+                let labels: Vec<LabelId> =
+                    label_names.iter().map(|n| vocab.label(n)).collect();
+                let attrs: Vec<_> = attr_names.iter().map(|n| vocab.attr(n)).collect();
+                let mut p = Pattern::new();
+                for i in 0..k {
+                    p.add_node(labels[i % labels.len()], format!("x{i}"));
+                }
+                for (s, l, d) in edges {
+                    p.add_edge(
+                        VarId::new(s % k),
+                        labels[l % labels.len()],
+                        VarId::new(d % k),
+                    );
+                }
+                let mk = |items: Vec<(usize, usize, Option<i64>, usize, usize)>| {
+                    items
+                        .into_iter()
+                        .map(|(v, a, c, v2, a2)| match c {
+                            Some(c) => Literal::eq_const(
+                                VarId::new(v % k),
+                                attrs[a % attrs.len()],
+                                Value::Int(c),
+                            ),
+                            None => Literal::eq_attr(
+                                VarId::new(v % k),
+                                attrs[a % attrs.len()],
+                                VarId::new(v2 % k),
+                                attrs[a2 % attrs.len()],
+                            ),
+                        })
+                        .collect::<Vec<_>>()
+                };
+                (Gfd::new("g", p, mk(pre), mk(post)), vocab)
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// print → parse is the identity on GFD structure.
+        #[test]
+        fn gfd_print_parse_round_trip((gfd, vocab) in arb_gfd()) {
+            let mut vocab = vocab;
+            let printed = crate::print_gfd(&gfd, &vocab);
+            let reparsed = crate::parse_gfd(&printed, &mut vocab)
+                .expect("printer output must parse");
+            prop_assert_eq!(&reparsed.premise, &gfd.premise);
+            prop_assert_eq!(&reparsed.consequence, &gfd.consequence);
+            prop_assert_eq!(reparsed.pattern.edges(), gfd.pattern.edges());
+            prop_assert_eq!(reparsed.pattern.node_labels(), gfd.pattern.node_labels());
+            // Printing again is a fixpoint.
+            let printed2 = crate::print_gfd(&reparsed, &vocab);
+            prop_assert_eq!(printed, printed2);
+        }
+
+        /// Sets round-trip element-wise.
+        #[test]
+        fn set_print_parse_round_trip(gv in proptest::collection::vec(arb_gfd(), 1..3)) {
+            // Merge into one vocab by reprinting each with its own vocab
+            // then parsing the concatenation with a fresh one.
+            let mut src = String::new();
+            for (i, (gfd, vocab)) in gv.iter().enumerate() {
+                let mut g = gfd.clone();
+                g.name = format!("g{i}");
+                src.push_str(&crate::print_gfd(&g, vocab));
+            }
+            let mut vocab = Vocab::new();
+            let doc = crate::parse_document(&src, &mut vocab).expect("parse set");
+            prop_assert_eq!(doc.gfds.len(), gv.len());
+        }
+    }
+
+    /// Strategy: a small random GED with order predicates, id literals
+    /// and up to three disjuncts.
+    fn arb_ged() -> impl Strategy<Value = (gfd_ged::Ged, Vocab)> {
+        use gfd_ged::{CmpOp, Ged, GedLiteral};
+        let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        (
+            2usize..4,
+            proptest::collection::vec((0usize..3, 0usize..3, 0usize..3), 0..3),
+            proptest::collection::vec(
+                (0usize..3, 0usize..3, 0usize..6, proptest::option::of(0i64..5), 0usize..3),
+                0..3,
+            ),
+            proptest::collection::vec(
+                proptest::collection::vec(
+                    prop_oneof![
+                        // 0 = attr literal, 1 = id literal
+                        (0usize..3, 0usize..3, 0usize..6, proptest::option::of(0i64..5), 0usize..3)
+                            .prop_map(|t| (0usize, t)),
+                        (0usize..3, 0usize..3).prop_map(|(a, b)| (1usize, (a, b, 0, None, 0))),
+                    ],
+                    1..3,
+                ),
+                1..3,
+            ),
+        )
+            .prop_map(move |(k, edges, premise, disjuncts)| {
+                let mut vocab = Vocab::new();
+                let t = vocab.label("t");
+                let e = vocab.label("e");
+                let attrs = [vocab.attr("a"), vocab.attr("b"), vocab.attr("c")];
+                let mut p = Pattern::new();
+                for i in 0..k {
+                    p.add_node(t, format!("x{i}"));
+                }
+                for (s, _, d) in &edges {
+                    p.add_edge(VarId::new(s % k), e, VarId::new(d % k));
+                }
+                let mk_attr_lit = |(v, a, op, c, v2): (usize, usize, usize, Option<i64>, usize)| {
+                    match c {
+                        Some(c) => GedLiteral::cmp_const(
+                            VarId::new(v % k),
+                            attrs[a % attrs.len()],
+                            ops[op % ops.len()],
+                            c,
+                        ),
+                        None => GedLiteral::cmp_attr(
+                            VarId::new(v % k),
+                            attrs[a % attrs.len()],
+                            ops[op % ops.len()],
+                            VarId::new(v2 % k),
+                            attrs[(a + 1) % attrs.len()],
+                        ),
+                    }
+                };
+                let premise: Vec<GedLiteral> = premise
+                    .into_iter()
+                    .map(|(v, a, op, c, v2)| mk_attr_lit((v, a, op, c, v2)))
+                    .collect();
+                let disjuncts: Vec<Vec<GedLiteral>> = disjuncts
+                    .into_iter()
+                    .map(|lits| {
+                        lits.into_iter()
+                            .map(|(kind, t)| {
+                                if kind == 1 {
+                                    GedLiteral::id(VarId::new(t.0 % k), VarId::new(t.1 % k))
+                                } else {
+                                    mk_attr_lit(t)
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                (Ged::new("g", p, premise, disjuncts), vocab)
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// GED print → parse is the identity, and printing is a fixpoint.
+        #[test]
+        fn ged_print_parse_round_trip((ged, vocab) in arb_ged()) {
+            let mut vocab = vocab;
+            let printed = crate::print_ged(&ged, &vocab);
+            let reparsed = crate::parse_ged(&printed, &mut vocab)
+                .expect("printer output must parse");
+            prop_assert_eq!(&reparsed.premise, &ged.premise);
+            prop_assert_eq!(&reparsed.disjuncts, &ged.disjuncts);
+            prop_assert_eq!(reparsed.pattern.edges(), ged.pattern.edges());
+            let printed2 = crate::print_ged(&reparsed, &vocab);
+            prop_assert_eq!(printed, printed2);
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_reasoning() {
+        // A sanity check that DSL round-trips preserve satisfiability.
+        let mut vocab = Vocab::new();
+        let src = r#"
+            gfd a { pattern { node x: _ } then { x.v = 1 } }
+            gfd b { pattern { node x: _ } then { x.v = 2 } }
+        "#;
+        let doc = crate::parse_document(src, &mut vocab).unwrap();
+        assert!(!gfd_core::seq_sat(&doc.gfds).is_satisfiable());
+        let printed = crate::print_gfd_set(&doc.gfds, &vocab);
+        let doc2 = crate::parse_document(&printed, &mut vocab).unwrap();
+        assert!(!gfd_core::seq_sat(&doc2.gfds).is_satisfiable());
+        let _ = GfdSet::new();
+    }
+}

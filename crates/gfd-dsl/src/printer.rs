@@ -1,0 +1,379 @@
+//! Pretty-printer for the GFD text format (round-trips through the
+//! parser).
+
+use gfd_core::{Gfd, GfdSet, Operand};
+use gfd_graph::{Graph, Value, Vocab};
+use std::fmt::Write as _;
+
+fn print_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Str(s) => {
+            let escaped = s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n");
+            let _ = write!(out, "\"{escaped}\"");
+        }
+    }
+}
+
+/// Render one GFD in the text format.
+pub fn print_gfd(gfd: &Gfd, vocab: &Vocab) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "gfd {} {{", gfd.name);
+    out.push_str("  pattern {\n");
+    for v in gfd.pattern.vars() {
+        let _ = writeln!(
+            out,
+            "    node {}: {}",
+            gfd.pattern.var_name(v),
+            vocab.label_name(gfd.pattern.label(v))
+        );
+    }
+    for e in gfd.pattern.edges() {
+        let _ = writeln!(
+            out,
+            "    edge {} -{}-> {}",
+            gfd.pattern.var_name(e.src),
+            vocab.label_name(e.label),
+            gfd.pattern.var_name(e.dst)
+        );
+    }
+    out.push_str("  }\n");
+
+    let print_lits = |lits: &[gfd_core::Literal], out: &mut String| {
+        for (i, lit) in lits.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{}.{} = ",
+                gfd.pattern.var_name(lit.var),
+                vocab.attr_name(lit.attr)
+            );
+            match &lit.rhs {
+                Operand::Const(v) => print_value(v, out),
+                Operand::Attr(v2, a2) => {
+                    let _ = write!(
+                        out,
+                        "{}.{}",
+                        gfd.pattern.var_name(*v2),
+                        vocab.attr_name(*a2)
+                    );
+                }
+            }
+        }
+    };
+
+    if !gfd.premise.is_empty() {
+        out.push_str("  when { ");
+        print_lits(&gfd.premise, &mut out);
+        out.push_str(" }\n");
+    }
+    // Print `false` only for the exact canonical denial encoding (the one
+    // `Gfd::with_false_consequence` produces); other denial-shaped
+    // consequences keep their literals so round-trips are lossless.
+    let canonical_false = gfd.consequence.len() == 2
+        && gfd.is_denial()
+        && gfd
+            .consequence
+            .iter()
+            .all(|l| vocab.attr_name(l.attr) == gfd_core::FALSE_ATTR_NAME);
+    if canonical_false {
+        out.push_str("  then { false }\n");
+    } else {
+        out.push_str("  then { ");
+        print_lits(&gfd.consequence, &mut out);
+        out.push_str(" }\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a whole set, one GFD after another.
+pub fn print_gfd_set(sigma: &GfdSet, vocab: &Vocab) -> String {
+    let mut out = String::new();
+    for (_, gfd) in sigma.iter() {
+        out.push_str(&print_gfd(gfd, vocab));
+        out.push('\n');
+    }
+    out
+}
+
+fn print_ged_literals(
+    lits: &[gfd_ged::GedLiteral],
+    pattern: &gfd_graph::Pattern,
+    vocab: &Vocab,
+    out: &mut String,
+) {
+    use gfd_ged::GedLiteral;
+    for (i, lit) in lits.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match lit {
+            GedLiteral::AttrConst {
+                var,
+                attr,
+                op,
+                value,
+            } => {
+                let _ = write!(
+                    out,
+                    "{}.{} {} ",
+                    pattern.var_name(*var),
+                    vocab.attr_name(*attr),
+                    op.symbol()
+                );
+                print_value(value, out);
+            }
+            GedLiteral::AttrAttr {
+                var,
+                attr,
+                op,
+                other_var,
+                other_attr,
+            } => {
+                let _ = write!(
+                    out,
+                    "{}.{} {} {}.{}",
+                    pattern.var_name(*var),
+                    vocab.attr_name(*attr),
+                    op.symbol(),
+                    pattern.var_name(*other_var),
+                    vocab.attr_name(*other_attr)
+                );
+            }
+            GedLiteral::Id { left, right } => {
+                let _ = write!(
+                    out,
+                    "{}.id = {}.id",
+                    pattern.var_name(*left),
+                    pattern.var_name(*right)
+                );
+            }
+        }
+    }
+}
+
+/// Render one GED in the text format (round-trips through
+/// [`crate::parse_ged`]).
+pub fn print_ged(ged: &gfd_ged::Ged, vocab: &Vocab) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "ged {} {{", ged.name);
+    out.push_str("  pattern {\n");
+    for v in ged.pattern.vars() {
+        let _ = writeln!(
+            out,
+            "    node {}: {}",
+            ged.pattern.var_name(v),
+            vocab.label_name(ged.pattern.label(v))
+        );
+    }
+    for e in ged.pattern.edges() {
+        let _ = writeln!(
+            out,
+            "    edge {} -{}-> {}",
+            ged.pattern.var_name(e.src),
+            vocab.label_name(e.label),
+            ged.pattern.var_name(e.dst)
+        );
+    }
+    out.push_str("  }\n");
+    if !ged.premise.is_empty() {
+        out.push_str("  when { ");
+        print_ged_literals(&ged.premise, &ged.pattern, vocab, &mut out);
+        out.push_str(" }\n");
+    }
+    if ged.disjuncts.is_empty() {
+        out.push_str("  then { false }\n");
+    } else {
+        for (i, disjunct) in ged.disjuncts.iter().enumerate() {
+            out.push_str(if i == 0 { "  then { " } else { "  or { " });
+            print_ged_literals(disjunct, &ged.pattern, vocab, &mut out);
+            out.push_str(" }\n");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a GED set, one after another.
+pub fn print_ged_set(sigma: &gfd_ged::GedSet, vocab: &Vocab) -> String {
+    let mut out = String::new();
+    for (_, ged) in sigma.iter() {
+        out.push_str(&print_ged(ged, vocab));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a data graph in the text format.
+pub fn print_graph(name: &str, graph: &Graph, vocab: &Vocab) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    for v in graph.nodes() {
+        let _ = write!(out, "  node n{}: {}", v.index(), vocab.label_name(graph.label(v)));
+        let attrs = graph.attrs(v);
+        if attrs.is_empty() {
+            out.push('\n');
+        } else {
+            out.push_str(" { ");
+            for (i, (attr, value)) in attrs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{} = ", vocab.attr_name(*attr));
+                print_value(value, &mut out);
+            }
+            out.push_str(" }\n");
+        }
+    }
+    for (src, label, dst) in graph.edges() {
+        let _ = writeln!(
+            out,
+            "  edge n{} -{}-> n{}",
+            src.index(),
+            vocab.label_name(label),
+            dst.index()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_document, parse_gfd};
+    use gfd_core::Literal;
+    use gfd_graph::{NodeId, Pattern, VarId};
+
+    #[test]
+    fn gfd_round_trip() {
+        let mut vocab = Vocab::new();
+        let mut p = Pattern::new();
+        let x = p.add_node(vocab.label("person"), "x");
+        let y = p.add_node(vocab.label("person"), "y");
+        p.add_edge(x, vocab.label("knows"), y);
+        let nat = vocab.attr("nationality");
+        let gfd = Gfd::new(
+            "phi",
+            p,
+            vec![Literal::eq_const(x, nat, "FR")],
+            vec![Literal::eq_attr(x, nat, y, nat)],
+        );
+        let printed = print_gfd(&gfd, &vocab);
+        let reparsed = parse_gfd(&printed, &mut vocab).unwrap();
+        assert_eq!(reparsed.name, gfd.name);
+        assert_eq!(reparsed.premise, gfd.premise);
+        assert_eq!(reparsed.consequence, gfd.consequence);
+        assert_eq!(reparsed.pattern.edges(), gfd.pattern.edges());
+        assert_eq!(reparsed.pattern.node_labels(), gfd.pattern.node_labels());
+    }
+
+    #[test]
+    fn denial_round_trip() {
+        let mut vocab = Vocab::new();
+        let mut p = Pattern::new();
+        p.add_node(vocab.label("t"), "x");
+        let gfd = Gfd::with_false_consequence("deny", p, vec![], &mut vocab);
+        let printed = print_gfd(&gfd, &vocab);
+        assert!(printed.contains("then { false }"));
+        let reparsed = parse_gfd(&printed, &mut vocab).unwrap();
+        assert!(reparsed.is_denial());
+    }
+
+    #[test]
+    fn graph_round_trip() {
+        let mut vocab = Vocab::new();
+        let mut g = Graph::new();
+        let a = g.add_node(vocab.label("place"));
+        let b = g.add_node(vocab.label("place"));
+        g.add_edge(a, vocab.label("locateIn"), b);
+        g.set_attr(a, vocab.attr("name"), Value::str("airport \"x\""));
+        g.set_attr(a, vocab.attr("pop"), Value::Int(-5));
+        let printed = print_graph("G", &g, &vocab);
+        let doc = parse_document(&printed, &mut vocab).unwrap();
+        let g2 = &doc.graphs[0].1;
+        assert_eq!(g2.node_count(), 2);
+        assert_eq!(g2.edge_count(), 1);
+        assert_eq!(
+            g2.attr(NodeId::new(0), vocab.find_attr("name").unwrap()),
+            Some(&Value::str("airport \"x\""))
+        );
+        assert_eq!(
+            g2.attr(NodeId::new(0), vocab.find_attr("pop").unwrap()),
+            Some(&Value::Int(-5))
+        );
+    }
+
+    #[test]
+    fn ged_round_trip_with_all_features() {
+        use gfd_ged::{CmpOp, Ged, GedLiteral};
+        let mut vocab = Vocab::new();
+        let mut p = Pattern::new();
+        let x = p.add_node(vocab.label("person"), "x");
+        let y = p.add_node(vocab.label("person"), "y");
+        p.add_edge(x, vocab.label("knows"), y);
+        let age = vocab.attr("age");
+        let email = vocab.attr("email");
+        let ged = Ged::new(
+            "k",
+            p,
+            vec![
+                GedLiteral::eq_attr(x, email, y, email),
+                GedLiteral::cmp_const(x, age, CmpOp::Ge, 18i64),
+            ],
+            vec![
+                vec![GedLiteral::id(x, y)],
+                vec![GedLiteral::cmp_attr(x, age, CmpOp::Ne, y, age)],
+            ],
+        );
+        let printed = print_ged(&ged, &vocab);
+        assert!(printed.contains("x.age >= 18"), "{printed}");
+        assert!(printed.contains("x.id = y.id"), "{printed}");
+        assert!(printed.contains("or {"), "{printed}");
+        let reparsed = crate::parse_ged(&printed, &mut vocab).unwrap();
+        assert_eq!(reparsed.premise, ged.premise);
+        assert_eq!(reparsed.disjuncts, ged.disjuncts);
+        // Printing again is a fixpoint.
+        assert_eq!(print_ged(&reparsed, &vocab), printed);
+    }
+
+    #[test]
+    fn ged_denial_round_trip() {
+        use gfd_ged::Ged;
+        let mut vocab = Vocab::new();
+        let mut p = Pattern::new();
+        p.add_node(vocab.label("t"), "x");
+        let ged = Ged::denial("never", p, vec![]);
+        let printed = print_ged(&ged, &vocab);
+        assert!(printed.contains("then { false }"), "{printed}");
+        let reparsed = crate::parse_ged(&printed, &mut vocab).unwrap();
+        assert!(reparsed.is_denial());
+    }
+
+    #[test]
+    fn var_names_survive() {
+        let mut vocab = Vocab::new();
+        let mut p = Pattern::new();
+        p.add_node(vocab.label("t"), "alpha");
+        p.add_node(vocab.label("t"), "beta");
+        let a = vocab.attr("a");
+        let gfd = Gfd::new(
+            "named",
+            p,
+            vec![],
+            vec![Literal::eq_attr(VarId::new(0), a, VarId::new(1), a)],
+        );
+        let printed = print_gfd(&gfd, &vocab);
+        assert!(printed.contains("alpha.a = beta.a"), "{printed}");
+        let reparsed = parse_gfd(&printed, &mut vocab).unwrap();
+        assert_eq!(reparsed.pattern.var_name(VarId::new(0)), "alpha");
+    }
+}

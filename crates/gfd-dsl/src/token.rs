@@ -1,0 +1,349 @@
+//! Lexer for the GFD text format.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (`gfd`, `graph`, `node`, `edge`, labels…).
+    Ident(String),
+    /// String literal (escapes resolved).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `.`
+    Dot,
+    /// `-` (leading half of `-label->`)
+    Dash,
+    /// `->`
+    Arrow,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "`{s}`"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::LBrace => write!(f, "`{{`"),
+            Token::RBrace => write!(f, "`}}`"),
+            Token::Colon => write!(f, "`:`"),
+            Token::Comma => write!(f, "`,`"),
+            Token::Eq => write!(f, "`=`"),
+            Token::Neq => write!(f, "`!=`"),
+            Token::Lt => write!(f, "`<`"),
+            Token::Le => write!(f, "`<=`"),
+            Token::Gt => write!(f, "`>`"),
+            Token::Ge => write!(f, "`>=`"),
+            Token::Dot => write!(f, "`.`"),
+            Token::Dash => write!(f, "`-`"),
+            Token::Arrow => write!(f, "`->`"),
+        }
+    }
+}
+
+/// A parse/lex error with a 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Tokenize `src` into `(token, line)` pairs. `#` starts a line comment.
+pub fn tokenize(src: &str) -> Result<Vec<(Token, usize)>, ParseError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '{' => {
+                out.push((Token::LBrace, line));
+                chars.next();
+            }
+            '}' => {
+                out.push((Token::RBrace, line));
+                chars.next();
+            }
+            ':' => {
+                out.push((Token::Colon, line));
+                chars.next();
+            }
+            ',' => {
+                out.push((Token::Comma, line));
+                chars.next();
+            }
+            '=' => {
+                out.push((Token::Eq, line));
+                chars.next();
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push((Token::Neq, line));
+                } else {
+                    return Err(ParseError {
+                        line,
+                        msg: "expected `!=`".into(),
+                    });
+                }
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push((Token::Le, line));
+                } else {
+                    out.push((Token::Lt, line));
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push((Token::Ge, line));
+                } else {
+                    out.push((Token::Gt, line));
+                }
+            }
+            '.' => {
+                out.push((Token::Dot, line));
+                chars.next();
+            }
+            '-' => {
+                chars.next();
+                match chars.peek() {
+                    Some('>') => {
+                        chars.next();
+                        out.push((Token::Arrow, line));
+                    }
+                    Some(d) if d.is_ascii_digit() => {
+                        // Negative integer literal.
+                        let n = lex_int(&mut chars, line)?;
+                        out.push((Token::Int(-n), line));
+                    }
+                    _ => out.push((Token::Dash, line)),
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        None => {
+                            return Err(ParseError {
+                                line,
+                                msg: "unterminated string".into(),
+                            })
+                        }
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some('n') => s.push('\n'),
+                            Some(other) => {
+                                return Err(ParseError {
+                                    line,
+                                    msg: format!("unknown escape `\\{other}`"),
+                                })
+                            }
+                            None => {
+                                return Err(ParseError {
+                                    line,
+                                    msg: "unterminated escape".into(),
+                                })
+                            }
+                        },
+                        Some('\n') => {
+                            return Err(ParseError {
+                                line,
+                                msg: "newline in string".into(),
+                            })
+                        }
+                        Some(c) => s.push(c),
+                    }
+                }
+                out.push((Token::Str(s), line));
+            }
+            c if c.is_ascii_digit() => {
+                let n = lex_int(&mut chars, line)?;
+                out.push((Token::Int(n), line));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push((Token::Ident(s), line));
+            }
+            other => {
+                return Err(ParseError {
+                    line,
+                    msg: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_int(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    line: usize,
+) -> Result<i64, ParseError> {
+    let mut s = String::new();
+    while let Some(&c) = chars.peek() {
+        if c.is_ascii_digit() {
+            s.push(c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    s.parse().map_err(|_| ParseError {
+        line,
+        msg: format!("invalid integer `{s}`"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("gfd phi { x.a = 1 }"),
+            vec![
+                Token::Ident("gfd".into()),
+                Token::Ident("phi".into()),
+                Token::LBrace,
+                Token::Ident("x".into()),
+                Token::Dot,
+                Token::Ident("a".into()),
+                Token::Eq,
+                Token::Int(1),
+                Token::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn edge_syntax() {
+        assert_eq!(
+            toks("x -locateIn-> y"),
+            vec![
+                Token::Ident("x".into()),
+                Token::Dash,
+                Token::Ident("locateIn".into()),
+                Token::Arrow,
+                Token::Ident("y".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes_and_negatives() {
+        assert_eq!(
+            toks(r#""a\"b" -42"#),
+            vec![Token::Str("a\"b".into()), Token::Int(-42)]
+        );
+        assert_eq!(toks("\"x\\ny\""), vec![Token::Str("x\ny".into())]);
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let ts = tokenize("a # comment\nb").unwrap();
+        assert_eq!(ts[0], (Token::Ident("a".into()), 1));
+        assert_eq!(ts[1], (Token::Ident("b".into()), 2));
+    }
+
+    #[test]
+    fn wildcard_is_an_ident() {
+        assert_eq!(toks("_"), vec![Token::Ident("_".into())]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = tokenize("ok\n\"unterminated").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = tokenize("@").unwrap_err();
+        assert!(err.msg.contains('@'));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("a != b < c <= d > e >= f"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Neq,
+                Token::Ident("b".into()),
+                Token::Lt,
+                Token::Ident("c".into()),
+                Token::Le,
+                Token::Ident("d".into()),
+                Token::Gt,
+                Token::Ident("e".into()),
+                Token::Ge,
+                Token::Ident("f".into()),
+            ]
+        );
+        // A bare `!` is an error.
+        assert!(tokenize("!x").is_err());
+    }
+}

@@ -1,0 +1,479 @@
+//! GED implication: `Σ |= ψ` with disjunction, order predicates and id
+//! literals.
+//!
+//! The algorithm generalizes `SeqImp` (§VI-B). Build the canonical graph
+//! `G^X_Q` of ψ (the pattern as a graph, variable `i` = node `i`) and
+//! assert the premise `X` into a [`GedStore`]; if `X` is already
+//! inconsistent, ψ holds vacuously. Then run the shared enforcement scan
+//! ([`crate::chase`]) — but where satisfiability asks *does some branch
+//! survive*, implication asks *does every branch reach the goal*:
+//!
+//! * an inconsistent branch is vacuously fine (the paper's "conflict"
+//!   case of Corollary 4);
+//! * at a quiescent leaf, the goal holds when some consequence disjunct of
+//!   ψ is fully entailed (the `Y ⊆ EqH` case);
+//! * a quiescent leaf where every disjunct can be *simultaneously
+//!   falsified* by the generic minimal model — omitted attributes,
+//!   unmerged nodes, refuted facts — is a counterexample: `Σ ̸|= ψ`;
+//! * a disjunct blocked only by an **undetermined grounded attribute
+//!   literal** (possible with order predicates, e.g. `Y = x.A ≤ 5 ∨
+//!   x.A ≥ 3` which every model satisfies) is resolved by branching both
+//!   ways; implication must hold in both.
+
+use crate::chase::{fixpoint_round, NextStep};
+use crate::ged::{Ged, GedLiteral, GedSet};
+use crate::store::GedStore;
+use gfd_graph::{Graph, NodeId};
+
+/// The result of an implication check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GedImpOutcome {
+    /// `Σ |= ψ`.
+    Implied,
+    /// A counterexample family exists.
+    NotImplied,
+}
+
+impl GedImpOutcome {
+    /// Is ψ implied?
+    pub fn is_implied(self) -> bool {
+        matches!(self, GedImpOutcome::Implied)
+    }
+}
+
+/// Branch budget guard, as in [`crate::sat`].
+const MAX_BRANCHES: usize = 1_000_000;
+
+/// Decide whether `sigma` implies `phi`.
+pub fn ged_implies(sigma: &GedSet, phi: &Ged) -> GedImpOutcome {
+    let base = phi.pattern.to_graph();
+    let identity: Vec<NodeId> = (0..phi.pattern.node_count()).map(NodeId::new).collect();
+    let mut store = GedStore::new(&base);
+    // Assert X; an inconsistent premise makes ψ vacuously true.
+    for lit in &phi.premise {
+        if store.assert_literal(lit, &identity).is_err() {
+            return GedImpOutcome::Implied;
+        }
+    }
+    let mut search = ImpSearch {
+        sigma,
+        phi,
+        base,
+        identity,
+        branches: 0,
+    };
+    if search.holds(store) {
+        GedImpOutcome::Implied
+    } else {
+        GedImpOutcome::NotImplied
+    }
+}
+
+struct ImpSearch<'a> {
+    sigma: &'a GedSet,
+    phi: &'a Ged,
+    base: Graph,
+    identity: Vec<NodeId>,
+    branches: usize,
+}
+
+impl ImpSearch<'_> {
+    /// Does the goal (conflict or `Y` deduced) hold on *every* model of
+    /// every branch reachable from `store`?
+    fn holds(&mut self, mut store: GedStore) -> bool {
+        self.branches += 1;
+        assert!(
+            self.branches <= MAX_BRANCHES,
+            "GED implication search exceeded the branch budget"
+        );
+        match fixpoint_round(self.sigma, &self.base, &mut store) {
+            NextStep::Fail => true, // inconsistent: vacuously fine
+            NextStep::Quiescent => self.goal_holds(store),
+            NextStep::ChooseDisjunct(ged_idx, m) => {
+                // Every model satisfies some disjunct: the family is the
+                // union of the disjunct branches; all must reach the goal.
+                let disjuncts = self
+                    .sigma
+                    .get(gfd_graph::GfdId::new(ged_idx))
+                    .disjuncts
+                    .clone();
+                disjuncts.iter().all(|disjunct| {
+                    let mut branch = store.clone();
+                    let ok = disjunct
+                        .iter()
+                        .all(|lit| branch.assert_literal(lit, &m).is_ok());
+                    !ok || self.holds(branch)
+                })
+            }
+            NextStep::BranchPremise(ged_idx, lit_idx, m) => {
+                let lit = self.sigma.get(gfd_graph::GfdId::new(ged_idx)).premise[lit_idx].clone();
+                self.both_ways(&store, &lit, &m)
+            }
+        }
+    }
+
+    /// Split the model family on `lit` (which is grounded): every model
+    /// satisfies `lit` or `¬lit`, so implication must hold on both sides.
+    fn both_ways(&mut self, store: &GedStore, lit: &GedLiteral, m: &[NodeId]) -> bool {
+        let mut neg = store.clone();
+        let neg_ok = match neg.assert_negation(lit, m) {
+            Ok(_) => self.holds(neg),
+            Err(_) => true, // ¬lit inconsistent: that side is empty
+        };
+        if !neg_ok {
+            return false;
+        }
+        let mut pos = store.clone();
+        match pos.assert_literal(lit, m) {
+            Ok(_) => self.holds(pos),
+            Err(_) => true,
+        }
+    }
+
+    /// Goal test at a quiescent leaf.
+    fn goal_holds(&mut self, mut store: GedStore) -> bool {
+        // Some disjunct fully entailed → Y deduced.
+        let entailed = self.phi.disjuncts.iter().any(|d| {
+            d.iter()
+                .all(|lit| store.literal_entailed(lit, &self.identity))
+        });
+        if entailed {
+            return true;
+        }
+        // Look for an undetermined grounded attribute literal in Y: the
+        // family contains models on both sides of it, so split.
+        for disjunct in &self.phi.disjuncts {
+            for lit in disjunct {
+                if matches!(lit, GedLiteral::Id { .. }) {
+                    continue; // falsified by keeping nodes distinct
+                }
+                if store.literal_grounded(lit, &self.identity)
+                    && !store.literal_entailed(lit, &self.identity)
+                    && !store.literal_refuted(lit, &self.identity)
+                {
+                    let lit = lit.clone();
+                    let m = self.identity.clone();
+                    return self.both_ways(&store, &lit, &m);
+                }
+            }
+        }
+        // Every disjunct has a literal that the generic minimal model
+        // falsifies (refuted, absent attribute, or unmerged nodes):
+        // counterexample.
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ged::{CmpOp, GedSet};
+    use gfd_graph::{LabelId, Pattern, Vocab};
+
+    fn wildcard_node() -> Pattern {
+        let mut p = Pattern::new();
+        p.add_node(LabelId::WILDCARD, "x");
+        p
+    }
+
+    /// `Σ = {∅ → x.A = 1}` implies `x.A = 1` and `x.A ≥ 1`.
+    #[test]
+    fn constant_consequence_is_implied_with_order() {
+        let mut vocab = Vocab::new();
+        let a = vocab.attr("A");
+        let x = gfd_graph::VarId::new(0);
+        let sigma = GedSet::from_vec(vec![Ged::conjunctive(
+            "r",
+            wildcard_node(),
+            vec![],
+            vec![GedLiteral::eq_const(x, a, 1i64)],
+        )]);
+        let eq = Ged::conjunctive(
+            "q1",
+            wildcard_node(),
+            vec![],
+            vec![GedLiteral::eq_const(x, a, 1i64)],
+        );
+        let ge = Ged::conjunctive(
+            "q2",
+            wildcard_node(),
+            vec![],
+            vec![GedLiteral::cmp_const(x, a, CmpOp::Ge, 1i64)],
+        );
+        let gt0 = Ged::conjunctive(
+            "q3",
+            wildcard_node(),
+            vec![],
+            vec![GedLiteral::cmp_const(x, a, CmpOp::Gt, 0i64)],
+        );
+        let wrong = Ged::conjunctive(
+            "q4",
+            wildcard_node(),
+            vec![],
+            vec![GedLiteral::eq_const(x, a, 2i64)],
+        );
+        assert!(ged_implies(&sigma, &eq).is_implied());
+        assert!(ged_implies(&sigma, &ge).is_implied());
+        assert!(ged_implies(&sigma, &gt0).is_implied());
+        assert!(!ged_implies(&sigma, &wrong).is_implied());
+    }
+
+    /// The paper's Example 8, ϕ14 flavour: X inconsistent with Σ ⇒
+    /// implied.
+    #[test]
+    fn inconsistent_premise_means_implied() {
+        let mut vocab = Vocab::new();
+        let a = vocab.attr("A");
+        let b = vocab.attr("B");
+        let x = gfd_graph::VarId::new(0);
+        let sigma = GedSet::from_vec(vec![Ged::conjunctive(
+            "forces-one",
+            wildcard_node(),
+            vec![],
+            vec![GedLiteral::eq_const(x, a, 1i64)],
+        )]);
+        // X says x.A = 0: together with Σ (x.A = 1), inconsistent.
+        let phi = Ged::conjunctive(
+            "phi14",
+            wildcard_node(),
+            vec![GedLiteral::eq_const(x, a, 0i64)],
+            vec![GedLiteral::eq_const(x, b, 2i64)],
+        );
+        assert!(ged_implies(&sigma, &phi).is_implied());
+    }
+
+    /// Transitive deduction through two rules (Example 8, ϕ13 flavour).
+    #[test]
+    fn chained_rules_deduce_consequence() {
+        let mut vocab = Vocab::new();
+        let a = vocab.attr("A");
+        let b = vocab.attr("B");
+        let c = vocab.attr("C");
+        let x = gfd_graph::VarId::new(0);
+        let r1 = Ged::conjunctive(
+            "r1",
+            wildcard_node(),
+            vec![GedLiteral::eq_const(x, a, 1i64)],
+            vec![GedLiteral::eq_const(x, b, 2i64)],
+        );
+        let r2 = Ged::conjunctive(
+            "r2",
+            wildcard_node(),
+            vec![GedLiteral::eq_const(x, b, 2i64)],
+            vec![GedLiteral::eq_const(x, c, 3i64)],
+        );
+        let sigma = GedSet::from_vec(vec![r1, r2]);
+        let phi = Ged::conjunctive(
+            "phi",
+            wildcard_node(),
+            vec![GedLiteral::eq_const(x, a, 1i64)],
+            vec![GedLiteral::eq_const(x, c, 3i64)],
+        );
+        assert!(ged_implies(&sigma, &phi).is_implied());
+        // Without r2 the chain breaks.
+        let sigma1 = GedSet::from_vec(vec![Ged::conjunctive(
+            "r1",
+            wildcard_node(),
+            vec![GedLiteral::eq_const(x, a, 1i64)],
+            vec![GedLiteral::eq_const(x, b, 2i64)],
+        )]);
+        assert!(!ged_implies(&sigma1, &phi).is_implied());
+    }
+
+    /// A tautological disjunction is implied by the empty Σ — this is the
+    /// case that *requires* Y-literal branching.
+    #[test]
+    fn tautological_disjunction_is_implied_by_nothing() {
+        let mut vocab = Vocab::new();
+        let a = vocab.attr("A");
+        let x = gfd_graph::VarId::new(0);
+        // Premise forces x.A to exist; consequence x.A ≤ 5 ∨ x.A ≥ 3 is a
+        // tautology over any value.
+        let phi = Ged::new(
+            "taut",
+            wildcard_node(),
+            vec![GedLiteral::cmp_const(x, a, CmpOp::Ge, 0i64)],
+            vec![
+                vec![GedLiteral::cmp_const(x, a, CmpOp::Le, 5i64)],
+                vec![GedLiteral::cmp_const(x, a, CmpOp::Ge, 3i64)],
+            ],
+        );
+        assert!(ged_implies(&GedSet::new(), &phi).is_implied());
+        // A non-tautological disjunction is not.
+        let narrow = Ged::new(
+            "narrow",
+            wildcard_node(),
+            vec![GedLiteral::cmp_const(x, a, CmpOp::Ge, 0i64)],
+            vec![
+                vec![GedLiteral::cmp_const(x, a, CmpOp::Le, 3i64)],
+                vec![GedLiteral::cmp_const(x, a, CmpOp::Ge, 5i64)],
+            ],
+        );
+        assert!(!ged_implies(&GedSet::new(), &narrow).is_implied());
+    }
+
+    /// Keys: Σ = { same email → same entity } implies the two-hop variant.
+    #[test]
+    fn key_implication_via_node_merging() {
+        let mut vocab = Vocab::new();
+        let person = vocab.label("person");
+        let email = vocab.attr("email");
+        let mk2 = || {
+            let mut p = Pattern::new();
+            p.add_node(person, "x");
+            p.add_node(person, "y");
+            p
+        };
+        let x = gfd_graph::VarId::new(0);
+        let y = gfd_graph::VarId::new(1);
+        let key = Ged::conjunctive(
+            "email-key",
+            mk2(),
+            vec![GedLiteral::eq_attr(x, email, y, email)],
+            vec![GedLiteral::id(x, y)],
+        );
+        let sigma = GedSet::from_vec(vec![key]);
+
+        // Three-variable transitivity: x.email = y.email ∧ y.email =
+        // z.email → x.id = z.id.
+        let mut p3 = Pattern::new();
+        p3.add_node(person, "x");
+        p3.add_node(person, "y");
+        p3.add_node(person, "z");
+        let z = gfd_graph::VarId::new(2);
+        let phi = Ged::conjunctive(
+            "trans",
+            p3,
+            vec![
+                GedLiteral::eq_attr(x, email, y, email),
+                GedLiteral::eq_attr(y, email, z, email),
+            ],
+            vec![GedLiteral::id(x, z)],
+        );
+        assert!(ged_implies(&sigma, &phi).is_implied());
+
+        // Without the key, no merging happens.
+        assert!(!ged_implies(&GedSet::new(), &phi).is_implied());
+    }
+
+    /// An id consequence that Σ cannot force is not implied.
+    #[test]
+    fn unforced_id_is_not_implied() {
+        let mut vocab = Vocab::new();
+        let person = vocab.label("person");
+        let mut p = Pattern::new();
+        p.add_node(person, "x");
+        p.add_node(person, "y");
+        let x = gfd_graph::VarId::new(0);
+        let y = gfd_graph::VarId::new(1);
+        let phi = Ged::conjunctive("merge-all", p, vec![], vec![GedLiteral::id(x, y)]);
+        assert!(!ged_implies(&GedSet::new(), &phi).is_implied());
+    }
+
+    /// Denial GEDs in Σ make any premise-sharing ψ vacuous.
+    #[test]
+    fn denial_in_sigma_blocks_the_premise() {
+        let mut vocab = Vocab::new();
+        let a = vocab.attr("A");
+        let b = vocab.attr("B");
+        let x = gfd_graph::VarId::new(0);
+        let sigma = GedSet::from_vec(vec![Ged::denial(
+            "no-a1",
+            wildcard_node(),
+            vec![GedLiteral::eq_const(x, a, 1i64)],
+        )]);
+        let phi = Ged::conjunctive(
+            "phi",
+            wildcard_node(),
+            vec![GedLiteral::eq_const(x, a, 1i64)],
+            vec![GedLiteral::eq_const(x, b, 9i64)],
+        );
+        // X = {x.A = 1} fires the denial: conflict, so implied.
+        assert!(ged_implies(&sigma, &phi).is_implied());
+    }
+
+    /// Order-predicate premises interact with Σ's bounds.
+    #[test]
+    fn order_premise_conflicts_with_sigma_bound() {
+        let mut vocab = Vocab::new();
+        let a = vocab.attr("A");
+        let b = vocab.attr("B");
+        let x = gfd_graph::VarId::new(0);
+        // Σ: every node has x.A < 5.
+        let sigma = GedSet::from_vec(vec![Ged::conjunctive(
+            "bound",
+            wildcard_node(),
+            vec![],
+            vec![GedLiteral::cmp_const(x, a, CmpOp::Lt, 5i64)],
+        )]);
+        // ψ: x.A > 7 → x.B = 1. Premise conflicts with Σ: implied.
+        let phi = Ged::conjunctive(
+            "phi",
+            wildcard_node(),
+            vec![GedLiteral::cmp_const(x, a, CmpOp::Gt, 7i64)],
+            vec![GedLiteral::eq_const(x, b, 1i64)],
+        );
+        assert!(ged_implies(&sigma, &phi).is_implied());
+        // ψ′: x.A > 2 → x.B = 1 is consistent with the bound but B is
+        // never forced: not implied.
+        let phi2 = Ged::conjunctive(
+            "phi2",
+            wildcard_node(),
+            vec![GedLiteral::cmp_const(x, a, CmpOp::Gt, 2i64)],
+            vec![GedLiteral::eq_const(x, b, 1i64)],
+        );
+        assert!(!ged_implies(&sigma, &phi2).is_implied());
+    }
+
+    /// Disjunctive Σ-rules require the goal on every branch.
+    #[test]
+    fn disjunctive_sigma_implies_only_common_consequences() {
+        let mut vocab = Vocab::new();
+        let a = vocab.attr("A");
+        let b = vocab.attr("B");
+        let x = gfd_graph::VarId::new(0);
+        // Σ: ∅ → (x.A = 1 ∧ x.B = 1) ∨ (x.A = 2 ∧ x.B = 1).
+        let sigma = GedSet::from_vec(vec![Ged::new(
+            "dis",
+            wildcard_node(),
+            vec![],
+            vec![
+                vec![
+                    GedLiteral::eq_const(x, a, 1i64),
+                    GedLiteral::eq_const(x, b, 1i64),
+                ],
+                vec![
+                    GedLiteral::eq_const(x, a, 2i64),
+                    GedLiteral::eq_const(x, b, 1i64),
+                ],
+            ],
+        )]);
+        // x.B = 1 holds on both branches: implied.
+        let common = Ged::conjunctive(
+            "common",
+            wildcard_node(),
+            vec![],
+            vec![GedLiteral::eq_const(x, b, 1i64)],
+        );
+        assert!(ged_implies(&sigma, &common).is_implied());
+        // x.A = 1 holds on one branch only: not implied.
+        let partial = Ged::conjunctive(
+            "partial",
+            wildcard_node(),
+            vec![],
+            vec![GedLiteral::eq_const(x, a, 1i64)],
+        );
+        assert!(!ged_implies(&sigma, &partial).is_implied());
+        // The disjunction x.A = 1 ∨ x.A = 2 is implied.
+        let either = Ged::new(
+            "either",
+            wildcard_node(),
+            vec![],
+            vec![
+                vec![GedLiteral::eq_const(x, a, 1i64)],
+                vec![GedLiteral::eq_const(x, a, 2i64)],
+            ],
+        );
+        assert!(ged_implies(&sigma, &either).is_implied());
+    }
+}

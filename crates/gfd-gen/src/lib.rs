@@ -1,0 +1,32 @@
+//! Synthetic GFD and property-graph generators.
+//!
+//! The paper evaluates on GFDs mined from DBpedia, YAGO2 and Pokec plus a
+//! synthetic generator parameterized by `|Σ|`, pattern size `k` and
+//! literal count `l` (§VII). The mined sets and the mining algorithm [23]
+//! are unavailable, so this crate substitutes schema-driven generation
+//! with the papers' reported label/type counts and Zipf-skewed label
+//! frequencies (see DESIGN.md):
+//!
+//! * [`schema`] — DBpedia/YAGO2/Pokec-like label schemas;
+//! * [`pattern_gen`] — random connected patterns with cycles/wildcards;
+//! * [`gfd_gen`] — satisfiable-by-construction rule sets, conflict
+//!   injection, implication probes;
+//! * [`graph_gen`] — random property graphs and violation planting;
+//! * [`workload`] — the named workloads behind every table and figure.
+
+#![warn(missing_docs)]
+
+pub mod gfd_gen;
+pub mod graph_gen;
+pub mod pattern_gen;
+pub mod schema;
+pub mod workload;
+
+pub use gfd_gen::{
+    canonical_value, conflicting_value, generate_sigma, implied_probe, inject_chain_conflict,
+    inject_direct_conflict, not_implied_probe, GfdGenConfig,
+};
+pub use graph_gen::{plant_violation, random_graph, GraphGenConfig};
+pub use pattern_gen::{mutate_pattern, random_pattern, PatternGenConfig};
+pub use schema::{Dataset, Schema};
+pub use workload::{real_life_workload, synthetic_workload, ImpProbe, Workload};

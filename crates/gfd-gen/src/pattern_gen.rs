@@ -1,0 +1,184 @@
+//! Random graph-pattern generation.
+//!
+//! Patterns are grown as random trees (guaranteeing connectivity) with
+//! optional extra edges (creating cycles, which the paper's GFDs support —
+//! e.g. the cyclic Q1) and optional wildcard labels.
+
+use crate::schema::Schema;
+use gfd_graph::{LabelId, Pattern, VarId};
+use rand::prelude::*;
+
+/// Knobs for the pattern generator.
+#[derive(Clone, Debug)]
+pub struct PatternGenConfig {
+    /// Number of pattern nodes (the paper's `k`, 2–10 in Exp-3).
+    pub k: usize,
+    /// Probability of adding one extra (cycle-forming) edge per node.
+    pub extra_edge_prob: f64,
+    /// Probability that a node is labelled with the wildcard `_`.
+    pub wildcard_prob: f64,
+}
+
+impl Default for PatternGenConfig {
+    fn default() -> Self {
+        PatternGenConfig {
+            k: 4,
+            extra_edge_prob: 0.3,
+            wildcard_prob: 0.1,
+        }
+    }
+}
+
+/// Generate a random connected pattern with `cfg.k` nodes.
+pub fn random_pattern(schema: &Schema, cfg: &PatternGenConfig, rng: &mut impl Rng) -> Pattern {
+    assert!(cfg.k >= 1);
+    let mut p = Pattern::new();
+    for i in 0..cfg.k {
+        let label = if rng.random_bool(cfg.wildcard_prob) {
+            LabelId::WILDCARD
+        } else {
+            schema.sample_node_label(rng)
+        };
+        p.add_node(label, format!("x{i}"));
+    }
+    // Random tree: attach node i (i ≥ 1) to a random earlier node, with a
+    // random direction.
+    for i in 1..cfg.k {
+        let other = VarId::new(rng.random_range(0..i));
+        let me = VarId::new(i);
+        let label = schema.sample_edge_label(rng);
+        if rng.random_bool(0.5) {
+            p.add_edge(other, label, me);
+        } else {
+            p.add_edge(me, label, other);
+        }
+    }
+    // Extra edges close cycles.
+    if cfg.k >= 2 {
+        for _ in 0..cfg.k {
+            if rng.random_bool(cfg.extra_edge_prob) {
+                let a = VarId::new(rng.random_range(0..cfg.k));
+                let b = VarId::new(rng.random_range(0..cfg.k));
+                if a != b {
+                    p.add_edge(a, schema.sample_edge_label(rng), b);
+                }
+            }
+        }
+    }
+    p
+}
+
+/// Mutate a seed pattern: clone it and, with equal probability, append a
+/// new leaf node or add one extra edge. Used to derive families of
+/// overlapping patterns from shared seeds (mimicking mined GFDs, which
+/// share frequent sub-patterns).
+pub fn mutate_pattern(seed: &Pattern, schema: &Schema, rng: &mut impl Rng) -> Pattern {
+    let mut p = seed.clone();
+    let k = p.node_count();
+    if rng.random_bool(0.5) {
+        let label = schema.sample_node_label(rng);
+        let leaf = p.add_node(label, format!("x{k}"));
+        let anchor = VarId::new(rng.random_range(0..k));
+        if rng.random_bool(0.5) {
+            p.add_edge(anchor, schema.sample_edge_label(rng), leaf);
+        } else {
+            p.add_edge(leaf, schema.sample_edge_label(rng), anchor);
+        }
+    } else if k >= 2 {
+        let a = VarId::new(rng.random_range(0..k));
+        let b = VarId::new(rng.random_range(0..k));
+        if a != b {
+            p.add_edge(a, schema.sample_edge_label(rng), b);
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Dataset;
+    use gfd_graph::Vocab;
+
+    fn setup() -> (Schema, Vocab) {
+        let mut vocab = Vocab::new();
+        let schema = Schema::new(Dataset::Tiny, &mut vocab);
+        (schema, vocab)
+    }
+
+    #[test]
+    fn patterns_are_connected_with_k_nodes() {
+        let (schema, _) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        for k in 1..=8 {
+            let cfg = PatternGenConfig {
+                k,
+                ..Default::default()
+            };
+            for _ in 0..20 {
+                let p = random_pattern(&schema, &cfg, &mut rng);
+                assert_eq!(p.node_count(), k);
+                assert!(p.is_connected(), "k={k}");
+                assert!(p.edge_count() >= k - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn wildcard_probability_zero_means_no_wildcards() {
+        let (schema, _) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = PatternGenConfig {
+            k: 5,
+            wildcard_prob: 0.0,
+            ..Default::default()
+        };
+        for _ in 0..20 {
+            let p = random_pattern(&schema, &cfg, &mut rng);
+            assert!(p.vars().all(|v| !p.label(v).is_wildcard()));
+        }
+    }
+
+    #[test]
+    fn wildcard_probability_one_means_all_wildcards() {
+        let (schema, _) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = PatternGenConfig {
+            k: 3,
+            wildcard_prob: 1.0,
+            ..Default::default()
+        };
+        let p = random_pattern(&schema, &cfg, &mut rng);
+        assert!(p.vars().all(|v| p.label(v).is_wildcard()));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let (schema, _) = setup();
+        let cfg = PatternGenConfig::default();
+        let a = random_pattern(&schema, &cfg, &mut StdRng::seed_from_u64(9));
+        let b = random_pattern(&schema, &cfg, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.node_labels(), b.node_labels());
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn mutation_keeps_connectivity_and_grows() {
+        let (schema, _) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let seed = random_pattern(
+            &schema,
+            &PatternGenConfig {
+                k: 4,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        for _ in 0..20 {
+            let m = mutate_pattern(&seed, &schema, &mut rng);
+            assert!(m.is_connected());
+            assert!(m.node_count() >= seed.node_count());
+            assert!(m.size() >= seed.size());
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Graphviz DOT export for graphs and patterns (debugging / documentation).
+
+use crate::graph::Graph;
+use crate::interner::Vocab;
+use crate::pattern::Pattern;
+use std::fmt::Write as _;
+
+/// Render a data graph in DOT format.
+pub fn graph_to_dot(graph: &Graph, vocab: &Vocab, name: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph {} {{", sanitize(name));
+    for v in graph.nodes() {
+        let mut label = format!("{}: {}", v, vocab.label_name(graph.label(v)));
+        for (attr, value) in graph.attrs(v) {
+            let _ = write!(label, "\\n{}={}", vocab.attr_name(*attr), value);
+        }
+        let _ = writeln!(s, "  {} [label=\"{}\"];", v.index(), escape(&label));
+    }
+    for (src, label, dst) in graph.edges() {
+        let _ = writeln!(
+            s,
+            "  {} -> {} [label=\"{}\"];",
+            src.index(),
+            dst.index(),
+            escape(vocab.label_name(label))
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Render a pattern in DOT format (wildcards shown as `_`).
+pub fn pattern_to_dot(pattern: &Pattern, vocab: &Vocab, name: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph {} {{", sanitize(name));
+    for v in pattern.vars() {
+        let _ = writeln!(
+            s,
+            "  {} [label=\"{}: {}\" shape=box];",
+            v.index(),
+            escape(pattern.var_name(v)),
+            escape(vocab.label_name(pattern.label(v)))
+        );
+    }
+    for e in pattern.edges() {
+        let _ = writeln!(
+            s,
+            "  {} -> {} [label=\"{}\"];",
+            e.src.index(),
+            e.dst.index(),
+            escape(vocab.label_name(e.label))
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() {
+        "G".to_string()
+    } else {
+        cleaned
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn graph_dot_contains_nodes_edges_attrs() {
+        let mut v = Vocab::new();
+        let mut g = Graph::new();
+        let a = g.add_node(v.label("person"));
+        let b = g.add_node(v.label("place"));
+        g.add_edge(a, v.label("livesIn"), b);
+        g.set_attr(a, v.attr("name"), Value::str("ann"));
+        let dot = graph_to_dot(&g, &v, "demo graph");
+        assert!(dot.starts_with("digraph demo_graph {"));
+        assert!(dot.contains("person"));
+        assert!(dot.contains("livesIn"));
+        assert!(dot.contains("name=ann"));
+        assert!(dot.contains("0 -> 1"));
+    }
+
+    #[test]
+    fn pattern_dot_shows_wildcard() {
+        use crate::ids::LabelId;
+        let mut v = Vocab::new();
+        let mut p = Pattern::new();
+        let x = p.add_node(LabelId::WILDCARD, "x");
+        let y = p.add_node(v.label("speed"), "y");
+        p.add_edge(x, v.label("topSpeed"), y);
+        let dot = pattern_to_dot(&p, &v, "q2");
+        assert!(dot.contains("x: _"));
+        assert!(dot.contains("topSpeed"));
+    }
+
+    #[test]
+    fn escaping_quotes() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(sanitize(""), "G");
+    }
+}

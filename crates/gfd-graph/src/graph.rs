@@ -1,0 +1,386 @@
+//! Directed, labelled property graphs `G = (V, E, L, F_A)`.
+
+use crate::ids::{AttrId, LabelId, NodeId};
+use crate::value::Value;
+use rustc_hash::FxHashMap;
+
+/// A labelled edge endpoint stored in adjacency lists: `(edge label, other
+/// endpoint)`.
+pub type Adj = (LabelId, NodeId);
+
+/// A directed graph with labelled nodes and edges and per-node attribute
+/// tuples, as defined in §II of the paper.
+///
+/// Nodes are dense `NodeId`s; adjacency is stored both ways so matching can
+/// traverse pattern edges in either direction. Attributes are small sorted
+/// vectors per node (real-world nodes carry few attributes).
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    labels: Vec<LabelId>,
+    out: Vec<Vec<Adj>>,
+    inn: Vec<Vec<Adj>>,
+    attrs: Vec<Vec<(AttrId, Value)>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty graph with room for `nodes` nodes.
+    pub fn with_capacity(nodes: usize) -> Self {
+        Graph {
+            labels: Vec::with_capacity(nodes),
+            out: Vec::with_capacity(nodes),
+            inn: Vec::with_capacity(nodes),
+            attrs: Vec::with_capacity(nodes),
+            edge_count: 0,
+        }
+    }
+
+    /// Add a node with the given label, returning its id.
+    pub fn add_node(&mut self, label: LabelId) -> NodeId {
+        let id = NodeId::new(self.labels.len());
+        self.labels.push(label);
+        self.out.push(Vec::new());
+        self.inn.push(Vec::new());
+        self.attrs.push(Vec::new());
+        id
+    }
+
+    /// Add a directed edge `src --label--> dst`. Parallel edges with
+    /// distinct labels are allowed; an identical `(src, label, dst)` triple
+    /// is stored once.
+    pub fn add_edge(&mut self, src: NodeId, label: LabelId, dst: NodeId) {
+        assert!(src.index() < self.labels.len(), "add_edge: bad src");
+        assert!(dst.index() < self.labels.len(), "add_edge: bad dst");
+        if self.out[src.index()].contains(&(label, dst)) {
+            return;
+        }
+        self.out[src.index()].push((label, dst));
+        self.inn[dst.index()].push((label, src));
+        self.edge_count += 1;
+    }
+
+    /// Set (or overwrite) attribute `attr` of `node` to `value`.
+    pub fn set_attr(&mut self, node: NodeId, attr: AttrId, value: Value) {
+        let attrs = &mut self.attrs[node.index()];
+        match attrs.binary_search_by_key(&attr, |(a, _)| *a) {
+            Ok(i) => attrs[i].1 = value,
+            Err(i) => attrs.insert(i, (attr, value)),
+        }
+    }
+
+    /// The value of attribute `attr` at `node`, if present.
+    pub fn attr(&self, node: NodeId, attr: AttrId) -> Option<&Value> {
+        let attrs = &self.attrs[node.index()];
+        attrs
+            .binary_search_by_key(&attr, |(a, _)| *a)
+            .ok()
+            .map(|i| &attrs[i].1)
+    }
+
+    /// All attributes of `node`, sorted by attribute id.
+    pub fn attrs(&self, node: NodeId) -> &[(AttrId, Value)] {
+        &self.attrs[node.index()]
+    }
+
+    /// The label of `node`.
+    #[inline]
+    pub fn label(&self, node: NodeId) -> LabelId {
+        self.labels[node.index()]
+    }
+
+    /// Out-edges of `node` as `(edge label, target)` pairs.
+    #[inline]
+    pub fn out_edges(&self, node: NodeId) -> &[Adj] {
+        &self.out[node.index()]
+    }
+
+    /// In-edges of `node` as `(edge label, source)` pairs.
+    #[inline]
+    pub fn in_edges(&self, node: NodeId) -> &[Adj] {
+        &self.inn[node.index()]
+    }
+
+    /// True iff the edge `src --label--> dst` exists.
+    pub fn has_edge(&self, src: NodeId, label: LabelId, dst: NodeId) -> bool {
+        // Scan the smaller endpoint list.
+        let o = &self.out[src.index()];
+        let i = &self.inn[dst.index()];
+        if o.len() <= i.len() {
+            o.contains(&(label, dst))
+        } else {
+            i.contains(&(label, src))
+        }
+    }
+
+    /// True iff an edge `src --l--> dst` exists whose label is matched by
+    /// the (possibly wildcard) pattern label `label`.
+    pub fn has_edge_pattern(&self, src: NodeId, label: LabelId, dst: NodeId) -> bool {
+        if !label.is_wildcard() {
+            return self.has_edge(src, label, dst);
+        }
+        let o = &self.out[src.index()];
+        let i = &self.inn[dst.index()];
+        if o.len() <= i.len() {
+            o.iter().any(|&(_, d)| d == dst)
+        } else {
+            i.iter().any(|&(_, s)| s == src)
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Total number of attribute entries across all nodes.
+    pub fn attr_count(&self) -> usize {
+        self.attrs.iter().map(Vec::len).sum()
+    }
+
+    /// The size `|G|` = nodes + edges + attribute entries, the measure used
+    /// for the paper's Σ-bounded populations.
+    pub fn size(&self) -> usize {
+        self.node_count() + self.edge_count() + self.attr_count()
+    }
+
+    /// Iterate all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + use<> {
+        (0..self.labels.len()).map(NodeId::new)
+    }
+
+    /// Iterate all edges as `(src, label, dst)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, LabelId, NodeId)> + '_ {
+        self.out.iter().enumerate().flat_map(|(src, adj)| {
+            adj.iter()
+                .map(move |&(label, dst)| (NodeId::new(src), label, dst))
+        })
+    }
+
+    /// Undirected connected components: returns `(component id per node,
+    /// component count)`.
+    pub fn components(&self) -> (Vec<u32>, usize) {
+        let n = self.node_count();
+        let mut comp = vec![u32::MAX; n];
+        let mut count = 0u32;
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if comp[start] != u32::MAX {
+                continue;
+            }
+            comp[start] = count;
+            stack.push(start);
+            while let Some(v) = stack.pop() {
+                for &(_, u) in self.out[v].iter().chain(self.inn[v].iter()) {
+                    if comp[u.index()] == u32::MAX {
+                        comp[u.index()] = count;
+                        stack.push(u.index());
+                    }
+                }
+            }
+            count += 1;
+        }
+        (comp, count as usize)
+    }
+
+    /// Copy another graph into this one, returning the node-id offset that
+    /// was applied to the copied nodes. Used to build canonical graphs as
+    /// disjoint unions of patterns.
+    pub fn append_disjoint(&mut self, other: &Graph) -> usize {
+        let offset = self.node_count();
+        for v in other.nodes() {
+            self.add_node(other.label(v));
+        }
+        for (src, label, dst) in other.edges() {
+            self.add_edge(
+                NodeId::new(src.index() + offset),
+                label,
+                NodeId::new(dst.index() + offset),
+            );
+        }
+        for v in other.nodes() {
+            for (attr, value) in other.attrs(v) {
+                self.set_attr(NodeId::new(v.index() + offset), *attr, value.clone());
+            }
+        }
+        offset
+    }
+}
+
+/// An index from node label to the nodes carrying it, plus the full node
+/// list for wildcard lookups.
+#[derive(Clone, Debug, Default)]
+pub struct LabelIndex {
+    by_label: FxHashMap<LabelId, Vec<NodeId>>,
+    all: Vec<NodeId>,
+}
+
+impl LabelIndex {
+    /// Build the index for `graph`.
+    pub fn build(graph: &Graph) -> Self {
+        let mut by_label: FxHashMap<LabelId, Vec<NodeId>> = FxHashMap::default();
+        let mut all = Vec::with_capacity(graph.node_count());
+        for v in graph.nodes() {
+            by_label.entry(graph.label(v)).or_default().push(v);
+            all.push(v);
+        }
+        LabelIndex { by_label, all }
+    }
+
+    /// Candidate nodes for a pattern node labelled `label`: every node when
+    /// `label` is the wildcard, otherwise the nodes with exactly that label.
+    pub fn candidates(&self, label: LabelId) -> &[NodeId] {
+        if label.is_wildcard() {
+            &self.all
+        } else {
+            self.by_label.get(&label).map_or(&[], Vec::as_slice)
+        }
+    }
+
+    /// How many nodes carry `label` (all nodes for the wildcard). Used for
+    /// pivot selectivity.
+    pub fn frequency(&self, label: LabelId) -> usize {
+        self.candidates(label).len()
+    }
+
+    /// Total number of indexed nodes.
+    pub fn node_count(&self) -> usize {
+        self.all.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::Vocab;
+
+    fn tiny() -> (Graph, Vocab) {
+        let mut v = Vocab::new();
+        let place = v.label("place");
+        let person = v.label("person");
+        let lives = v.label("livesIn");
+        let mut g = Graph::new();
+        let a = g.add_node(person);
+        let b = g.add_node(place);
+        let c = g.add_node(person);
+        g.add_edge(a, lives, b);
+        g.add_edge(c, lives, b);
+        g.set_attr(a, v.attr("name"), Value::str("ann"));
+        (g, v)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (g, mut v) = tiny();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.attr_count(), 1);
+        assert_eq!(g.size(), 6);
+        let lives = v.label("livesIn");
+        assert!(g.has_edge(NodeId::new(0), lives, NodeId::new(1)));
+        assert!(!g.has_edge(NodeId::new(1), lives, NodeId::new(0)));
+        assert_eq!(g.out_edges(NodeId::new(0)).len(), 1);
+        assert_eq!(g.in_edges(NodeId::new(1)).len(), 2);
+        let name = v.attr("name");
+        assert_eq!(g.attr(NodeId::new(0), name), Some(&Value::str("ann")));
+        assert_eq!(g.attr(NodeId::new(1), name), None);
+    }
+
+    #[test]
+    fn set_attr_overwrites() {
+        let (mut g, mut v) = tiny();
+        let name = v.attr("name");
+        g.set_attr(NodeId::new(0), name, Value::str("bob"));
+        assert_eq!(g.attr(NodeId::new(0), name), Some(&Value::str("bob")));
+        assert_eq!(g.attr_count(), 1);
+    }
+
+    #[test]
+    fn attrs_stay_sorted() {
+        let (mut g, mut v) = tiny();
+        let z = v.attr("zzz");
+        let a = v.attr("aaa");
+        g.set_attr(NodeId::new(2), z, Value::int(1));
+        g.set_attr(NodeId::new(2), a, Value::int(2));
+        let ids: Vec<AttrId> = g.attrs(NodeId::new(2)).iter().map(|(a, _)| *a).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let (mut g, mut v) = tiny();
+        let lives = v.label("livesIn");
+        g.add_edge(NodeId::new(0), lives, NodeId::new(1));
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn parallel_edges_with_distinct_labels() {
+        let (mut g, mut v) = tiny();
+        let other = v.label("worksIn");
+        g.add_edge(NodeId::new(0), other, NodeId::new(1));
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(NodeId::new(0), other, NodeId::new(1)));
+    }
+
+    #[test]
+    fn edges_iterator_lists_all() {
+        let (g, _) = tiny();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es.len(), 2);
+    }
+
+    #[test]
+    fn components_of_disjoint_graph() {
+        let (mut g, mut v) = tiny();
+        let l = v.label("island");
+        g.add_node(l);
+        g.add_node(l);
+        let (comp, count) = g.components();
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[0], comp[2]);
+        assert_ne!(comp[3], comp[0]);
+        assert_ne!(comp[3], comp[4]);
+    }
+
+    #[test]
+    fn append_disjoint_offsets_everything() {
+        let (g1, _) = tiny();
+        let mut g = Graph::new();
+        let off0 = g.append_disjoint(&g1);
+        let off1 = g.append_disjoint(&g1);
+        assert_eq!(off0, 0);
+        assert_eq!(off1, 3);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.attr_count(), 2);
+        let (_, count) = g.components();
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn label_index_candidates() {
+        let (g, mut v) = tiny();
+        let idx = LabelIndex::build(&g);
+        let person = v.label("person");
+        let place = v.label("place");
+        assert_eq!(idx.candidates(person).len(), 2);
+        assert_eq!(idx.candidates(place).len(), 1);
+        assert_eq!(idx.candidates(LabelId::WILDCARD).len(), 3);
+        assert_eq!(idx.candidates(v.label("nothing")).len(), 0);
+        assert_eq!(idx.frequency(person), 2);
+        assert_eq!(idx.node_count(), 3);
+    }
+}

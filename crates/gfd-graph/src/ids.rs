@@ -1,0 +1,135 @@
+//! Dense integer identifiers used across the workspace.
+//!
+//! All hot-path data structures key on these `u32` newtypes instead of
+//! strings; the mapping back to human-readable names lives in
+//! [`crate::interner::Vocab`].
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a `usize` index (panics on overflow).
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                debug_assert!(index <= u32::MAX as usize);
+                Self(index as u32)
+            }
+
+            /// The identifier as a `usize`, for indexing into dense vectors.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(index: usize) -> Self {
+                Self::new(index)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A node of a data graph (or of a canonical graph).
+    NodeId,
+    "n"
+);
+id_type!(
+    /// A node label or edge label, interned in a [`crate::interner::Vocab`].
+    LabelId,
+    "l"
+);
+id_type!(
+    /// An attribute name, interned in a [`crate::interner::Vocab`].
+    AttrId,
+    "a"
+);
+id_type!(
+    /// A pattern variable: the position of a node inside a graph pattern.
+    VarId,
+    "x"
+);
+id_type!(
+    /// The position of a GFD inside a set Σ.
+    GfdId,
+    "g"
+);
+
+impl LabelId {
+    /// The reserved wildcard label `_`.
+    ///
+    /// [`crate::interner::Vocab::new`] interns `"_"` first so that this id is
+    /// stable across every vocabulary. A *pattern* node or edge labelled
+    /// `WILDCARD` matches any label; a canonical-graph node labelled
+    /// `WILDCARD` is only matched by a wildcard pattern node (the paper's
+    /// §IV-B convention).
+    pub const WILDCARD: LabelId = LabelId(0);
+
+    /// Does this label match `other` under pattern-matching semantics,
+    /// with `self` playing the pattern role?
+    #[inline]
+    pub fn pattern_matches(self, other: LabelId) -> bool {
+        self == LabelId::WILDCARD || self == other
+    }
+
+    /// True iff this is the wildcard label.
+    #[inline]
+    pub fn is_wildcard(self) -> bool {
+        self == LabelId::WILDCARD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_usize() {
+        let n = NodeId::new(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n, NodeId::from(42usize));
+        assert_eq!(format!("{n}"), "n42");
+        assert_eq!(format!("{n:?}"), "n42");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(VarId::new(1) < VarId::new(2));
+        assert!(AttrId::new(0) < AttrId::new(100));
+    }
+
+    #[test]
+    fn wildcard_matching_semantics() {
+        let w = LabelId::WILDCARD;
+        let a = LabelId(7);
+        let b = LabelId(8);
+        assert!(w.pattern_matches(a));
+        assert!(w.pattern_matches(w));
+        assert!(a.pattern_matches(a));
+        assert!(!a.pattern_matches(b));
+        // A concrete pattern label does not match a wildcard-labelled
+        // canonical node.
+        assert!(!a.pattern_matches(w));
+        assert!(w.is_wildcard());
+        assert!(!a.is_wildcard());
+    }
+}

@@ -1,0 +1,33 @@
+//! Property-graph substrate for GFD reasoning.
+//!
+//! This crate provides the data model of §II of *"Parallel Reasoning of
+//! Graph Functional Dependencies"* (ICDE 2018):
+//!
+//! * directed graphs with labelled nodes/edges and attribute tuples
+//!   ([`Graph`], [`Value`]);
+//! * graph patterns with wildcard labels ([`Pattern`]);
+//! * interned vocabularies mapping names to dense ids ([`Vocab`]);
+//! * neighborhood (`dQ`-ball) extraction used by pivoted matching
+//!   ([`neighborhood`]);
+//! * small utilities: node bitsets, label indexes, DOT export.
+//!
+//! Everything downstream (`gfd-match`, `gfd-core`, `gfd-parallel`) works
+//! purely on the integer ids defined here.
+
+#![warn(missing_docs)]
+
+pub mod dot;
+pub mod graph;
+pub mod ids;
+pub mod interner;
+pub mod neighborhood;
+pub mod nodeset;
+pub mod pattern;
+pub mod value;
+
+pub use graph::{Graph, LabelIndex};
+pub use ids::{AttrId, GfdId, LabelId, NodeId, VarId};
+pub use interner::{Interner, Vocab};
+pub use nodeset::NodeSet;
+pub use pattern::{Pattern, PatternEdge};
+pub use value::Value;

@@ -1,0 +1,138 @@
+//! Bounded-radius neighborhoods (`dQ`-balls) in data graphs.
+//!
+//! The locality property exploited by work units (§V-B of the paper): if a
+//! match `h` of a connected pattern `Q` pivots `x` at node `z`, then every
+//! node of `h(x̄)` lies within `dQ` (undirected) hops of `z`, where `dQ` is
+//! the pattern radius at `x`. Pivoted matching therefore restricts its
+//! search to the ball extracted here.
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use crate::nodeset::NodeSet;
+use std::collections::VecDeque;
+
+/// All nodes within `radius` undirected hops of `center` (inclusive of
+/// `center`).
+pub fn ball(graph: &Graph, center: NodeId, radius: u32) -> NodeSet {
+    let mut set = NodeSet::with_capacity(graph.node_count());
+    let mut queue = VecDeque::new();
+    set.insert(center);
+    queue.push_back((center, 0u32));
+    while let Some((v, d)) = queue.pop_front() {
+        if d == radius {
+            continue;
+        }
+        for &(_, u) in graph.out_edges(v).iter().chain(graph.in_edges(v)) {
+            if set.insert(u) {
+                queue.push_back((u, d + 1));
+            }
+        }
+    }
+    set
+}
+
+/// Undirected BFS distances from `start`, capped at `max` (nodes farther
+/// than `max`, or unreachable, get `u32::MAX`).
+pub fn distances_within(graph: &Graph, start: NodeId, max: u32) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; graph.node_count()];
+    let mut queue = VecDeque::new();
+    dist[start.index()] = 0;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        if d == max {
+            continue;
+        }
+        for &(_, u) in graph.out_edges(v).iter().chain(graph.in_edges(v)) {
+            if dist[u.index()] == u32::MAX {
+                dist[u.index()] = d + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// True iff `b` lies within `radius` undirected hops of `a`. Early-exits as
+/// soon as `b` is reached.
+pub fn within_hops(graph: &Graph, a: NodeId, b: NodeId, radius: u32) -> bool {
+    if a == b {
+        return true;
+    }
+    let mut seen = NodeSet::with_capacity(graph.node_count());
+    let mut queue = VecDeque::new();
+    seen.insert(a);
+    queue.push_back((a, 0u32));
+    while let Some((v, d)) = queue.pop_front() {
+        if d == radius {
+            continue;
+        }
+        for &(_, u) in graph.out_edges(v).iter().chain(graph.in_edges(v)) {
+            if u == b {
+                return true;
+            }
+            if seen.insert(u) {
+                queue.push_back((u, d + 1));
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::Vocab;
+
+    /// A path graph 0 - 1 - 2 - 3 - 4 (directed left to right).
+    fn path(n: usize) -> Graph {
+        let mut v = Vocab::new();
+        let t = v.label("t");
+        let e = v.label("e");
+        let mut g = Graph::new();
+        let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(t)).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], e, w[1]);
+        }
+        g
+    }
+
+    #[test]
+    fn ball_respects_radius_and_direction_blindness() {
+        let g = path(5);
+        let b = ball(&g, NodeId::new(2), 1);
+        let got: Vec<usize> = b.iter().map(|n| n.index()).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+        let b2 = ball(&g, NodeId::new(0), 2);
+        assert_eq!(b2.len(), 3);
+        let all = ball(&g, NodeId::new(2), 10);
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn ball_radius_zero_is_center_only() {
+        let g = path(3);
+        let b = ball(&g, NodeId::new(1), 0);
+        assert_eq!(b.len(), 1);
+        assert!(b.contains(NodeId::new(1)));
+    }
+
+    #[test]
+    fn distances_capped() {
+        let g = path(5);
+        let d = distances_within(&g, NodeId::new(0), 2);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], 2);
+        assert_eq!(d[3], u32::MAX);
+        assert_eq!(d[4], u32::MAX);
+    }
+
+    #[test]
+    fn within_hops_bidirectional() {
+        let g = path(5);
+        assert!(within_hops(&g, NodeId::new(4), NodeId::new(2), 2));
+        assert!(!within_hops(&g, NodeId::new(4), NodeId::new(0), 3));
+        assert!(within_hops(&g, NodeId::new(3), NodeId::new(3), 0));
+    }
+}

@@ -1,0 +1,130 @@
+//! A compact bitset over node ids, used for neighborhood restriction during
+//! pivoted matching.
+
+use crate::ids::NodeId;
+
+/// Fixed-capacity bitset over `NodeId`s.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl NodeSet {
+    /// An empty set able to hold nodes `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        NodeSet {
+            words: vec![0; capacity.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// Insert a node; returns `true` if it was not already present.
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        let (w, b) = (node.index() / 64, node.index() % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let mask = 1u64 << b;
+        if self.words[w] & mask == 0 {
+            self.words[w] |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Membership test. Nodes beyond the capacity are absent.
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        let (w, b) = (node.index() / 64, node.index() % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Number of nodes in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no node is present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(NodeId::new(wi * 64 + b))
+            })
+        })
+    }
+
+    /// Remove all members, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        let mut s = NodeSet::default();
+        for n in iter {
+            s.insert(n);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_len() {
+        let mut s = NodeSet::with_capacity(10);
+        assert!(s.is_empty());
+        assert!(s.insert(NodeId::new(3)));
+        assert!(!s.insert(NodeId::new(3)));
+        assert!(s.insert(NodeId::new(64)));
+        assert!(s.contains(NodeId::new(3)));
+        assert!(s.contains(NodeId::new(64)));
+        assert!(!s.contains(NodeId::new(4)));
+        assert!(!s.contains(NodeId::new(1000)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn grows_beyond_capacity() {
+        let mut s = NodeSet::with_capacity(1);
+        assert!(s.insert(NodeId::new(500)));
+        assert!(s.contains(NodeId::new(500)));
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let s: NodeSet = [5usize, 1, 130, 64]
+            .into_iter()
+            .map(NodeId::new)
+            .collect();
+        let got: Vec<usize> = s.iter().map(|n| n.index()).collect();
+        assert_eq!(got, vec![1, 5, 64, 130]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s = NodeSet::with_capacity(128);
+        s.insert(NodeId::new(100));
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(NodeId::new(100)));
+    }
+}

@@ -1,0 +1,346 @@
+//! Graph patterns `Q[x̄]` with wildcard labels.
+
+use crate::graph::Graph;
+use crate::ids::{LabelId, NodeId, VarId};
+
+/// A directed pattern edge `src --label--> dst` between pattern variables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PatternEdge {
+    /// Source variable.
+    pub src: VarId,
+    /// Edge label (possibly the wildcard).
+    pub label: LabelId,
+    /// Destination variable.
+    pub dst: VarId,
+}
+
+/// A graph pattern: a small directed graph whose nodes are the variables
+/// `x̄` of a GFD. Node and edge labels may be the wildcard `_`.
+#[derive(Clone, Debug, Default)]
+pub struct Pattern {
+    labels: Vec<LabelId>,
+    names: Vec<String>,
+    edges: Vec<PatternEdge>,
+    out: Vec<Vec<(LabelId, VarId)>>,
+    inn: Vec<Vec<(LabelId, VarId)>>,
+}
+
+impl Pattern {
+    /// An empty pattern.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a pattern node (variable) with a label and a display name.
+    pub fn add_node(&mut self, label: LabelId, name: impl Into<String>) -> VarId {
+        let id = VarId::new(self.labels.len());
+        self.labels.push(label);
+        self.names.push(name.into());
+        self.out.push(Vec::new());
+        self.inn.push(Vec::new());
+        id
+    }
+
+    /// Add a pattern node with an auto-generated name `x{i}`.
+    pub fn add_anon_node(&mut self, label: LabelId) -> VarId {
+        let name = format!("x{}", self.labels.len());
+        self.add_node(label, name)
+    }
+
+    /// Add a directed pattern edge.
+    pub fn add_edge(&mut self, src: VarId, label: LabelId, dst: VarId) {
+        assert!(src.index() < self.labels.len(), "add_edge: bad src");
+        assert!(dst.index() < self.labels.len(), "add_edge: bad dst");
+        let e = PatternEdge { src, label, dst };
+        if self.edges.contains(&e) {
+            return;
+        }
+        self.edges.push(e);
+        self.out[src.index()].push((label, dst));
+        self.inn[dst.index()].push((label, src));
+    }
+
+    /// The label of variable `v` (possibly wildcard).
+    #[inline]
+    pub fn label(&self, v: VarId) -> LabelId {
+        self.labels[v.index()]
+    }
+
+    /// The display name of variable `v`.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Find a variable by display name.
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.names.iter().position(|n| n == name).map(VarId::new)
+    }
+
+    /// Number of pattern nodes (the paper's parameter `k`).
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of pattern edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Pattern size `|Q|` = nodes + edges.
+    pub fn size(&self) -> usize {
+        self.node_count() + self.edge_count()
+    }
+
+    /// All pattern edges.
+    pub fn edges(&self) -> &[PatternEdge] {
+        &self.edges
+    }
+
+    /// Out-neighbours of `v` as `(edge label, target)` pairs.
+    #[inline]
+    pub fn out_edges(&self, v: VarId) -> &[(LabelId, VarId)] {
+        &self.out[v.index()]
+    }
+
+    /// In-neighbours of `v` as `(edge label, source)` pairs.
+    #[inline]
+    pub fn in_edges(&self, v: VarId) -> &[(LabelId, VarId)] {
+        &self.inn[v.index()]
+    }
+
+    /// Iterate all variables.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + use<> {
+        (0..self.labels.len()).map(VarId::new)
+    }
+
+    /// Undirected degree of `v`.
+    pub fn degree(&self, v: VarId) -> usize {
+        self.out[v.index()].len() + self.inn[v.index()].len()
+    }
+
+    /// Undirected connected components: `(component id per var, count)`.
+    pub fn components(&self) -> (Vec<u32>, usize) {
+        let n = self.node_count();
+        let mut comp = vec![u32::MAX; n];
+        let mut count = 0u32;
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if comp[start] != u32::MAX {
+                continue;
+            }
+            comp[start] = count;
+            stack.push(start);
+            while let Some(v) = stack.pop() {
+                for &(_, u) in self.out[v].iter().chain(self.inn[v].iter()) {
+                    if comp[u.index()] == u32::MAX {
+                        comp[u.index()] = count;
+                        stack.push(u.index());
+                    }
+                }
+            }
+            count += 1;
+        }
+        (comp, count as usize)
+    }
+
+    /// True iff the pattern is connected (and non-empty).
+    pub fn is_connected(&self) -> bool {
+        if self.node_count() == 0 {
+            return false;
+        }
+        self.components().1 == 1
+    }
+
+    /// Undirected BFS distances from `start`; unreachable vars get
+    /// `u32::MAX`.
+    pub fn distances_from(&self, start: VarId) -> Vec<u32> {
+        let n = self.node_count();
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[start.index()] = 0;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            let d = dist[v.index()];
+            for &(_, u) in self.out[v.index()].iter().chain(self.inn[v.index()].iter()) {
+                if dist[u.index()] == u32::MAX {
+                    dist[u.index()] = d + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The radius `dQ` of the pattern at `v`: the longest shortest
+    /// (undirected) path from `v` to any variable reachable from it. Matches
+    /// pivoted at a node `z` of a graph live entirely within the
+    /// `dQ`-neighborhood of `z` (the data-locality property of §V-B).
+    pub fn radius_at(&self, v: VarId) -> u32 {
+        self.distances_from(v)
+            .into_iter()
+            .filter(|&d| d != u32::MAX)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Labels of all nodes, in variable order.
+    pub fn node_labels(&self) -> &[LabelId] {
+        &self.labels
+    }
+
+    /// The distinct concrete (non-wildcard) node and edge labels used by the
+    /// pattern. A graph component lacking any of these cannot host a match
+    /// (cheap pre-filter for work-unit generation).
+    pub fn concrete_labels(&self) -> (Vec<LabelId>, Vec<LabelId>) {
+        let mut nodes: Vec<LabelId> = self
+            .labels
+            .iter()
+            .copied()
+            .filter(|l| !l.is_wildcard())
+            .collect();
+        nodes.sort();
+        nodes.dedup();
+        let mut edges: Vec<LabelId> = self
+            .edges
+            .iter()
+            .map(|e| e.label)
+            .filter(|l| !l.is_wildcard())
+            .collect();
+        edges.sort();
+        edges.dedup();
+        (nodes, edges)
+    }
+
+    /// Materialize the pattern as a [`Graph`] (labels kept verbatim,
+    /// including wildcards). Variable `i` becomes node `i`.
+    pub fn to_graph(&self) -> Graph {
+        let mut g = Graph::with_capacity(self.node_count());
+        for v in self.vars() {
+            g.add_node(self.label(v));
+        }
+        for e in &self.edges {
+            g.add_edge(
+                NodeId::new(e.src.index()),
+                e.label,
+                NodeId::new(e.dst.index()),
+            );
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::Vocab;
+
+    /// The paper's Q1: place --locateIn--> place --partOf--> back (a cycle).
+    fn q1(v: &mut Vocab) -> Pattern {
+        let place = v.label("place");
+        let mut q = Pattern::new();
+        let x = q.add_node(place, "x");
+        let y = q.add_node(place, "y");
+        q.add_edge(x, v.label("locateIn"), y);
+        q.add_edge(y, v.label("partOf"), x);
+        q
+    }
+
+    #[test]
+    fn build_and_query() {
+        let mut v = Vocab::new();
+        let q = q1(&mut v);
+        assert_eq!(q.node_count(), 2);
+        assert_eq!(q.edge_count(), 2);
+        assert_eq!(q.size(), 4);
+        assert!(q.is_connected());
+        assert_eq!(q.var_name(VarId::new(0)), "x");
+        assert_eq!(q.var_by_name("y"), Some(VarId::new(1)));
+        assert_eq!(q.var_by_name("z"), None);
+        assert_eq!(q.degree(VarId::new(0)), 2);
+    }
+
+    #[test]
+    fn radius_of_cycle_and_path() {
+        let mut v = Vocab::new();
+        let q = q1(&mut v);
+        assert_eq!(q.radius_at(VarId::new(0)), 1);
+
+        // Path x -> y -> z: radius at x is 2, at y is 1.
+        let mut p = Pattern::new();
+        let l = v.label("t");
+        let e = v.label("e");
+        let x = p.add_node(l, "x");
+        let y = p.add_node(l, "y");
+        let z = p.add_node(l, "z");
+        p.add_edge(x, e, y);
+        p.add_edge(y, e, z);
+        assert_eq!(p.radius_at(x), 2);
+        assert_eq!(p.radius_at(y), 1);
+        assert_eq!(p.radius_at(z), 2);
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let mut v = Vocab::new();
+        let l = v.label("t");
+        let mut p = Pattern::new();
+        let a = p.add_node(l, "a");
+        let b = p.add_node(l, "b");
+        p.add_node(l, "c");
+        p.add_edge(a, v.label("e"), b);
+        let (comp, count) = p.components();
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_ne!(comp[0], comp[2]);
+        assert!(!p.is_connected());
+        // Radius only covers the reachable part.
+        assert_eq!(p.radius_at(a), 1);
+        let d = p.distances_from(a);
+        assert_eq!(d[2], u32::MAX);
+    }
+
+    #[test]
+    fn concrete_labels_skip_wildcards() {
+        let mut v = Vocab::new();
+        let mut p = Pattern::new();
+        let t = v.label("t");
+        let x = p.add_node(LabelId::WILDCARD, "x");
+        let y = p.add_node(t, "y");
+        p.add_edge(x, LabelId::WILDCARD, y);
+        p.add_edge(y, v.label("e"), x);
+        let (nodes, edges) = p.concrete_labels();
+        assert_eq!(nodes, vec![t]);
+        assert_eq!(edges, vec![v.label("e")]);
+    }
+
+    #[test]
+    fn to_graph_preserves_structure() {
+        let mut v = Vocab::new();
+        let q = q1(&mut v);
+        let g = q.to_graph();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(NodeId::new(0), v.label("locateIn"), NodeId::new(1)));
+        assert!(g.has_edge(NodeId::new(1), v.label("partOf"), NodeId::new(0)));
+    }
+
+    #[test]
+    fn duplicate_pattern_edge_ignored() {
+        let mut v = Vocab::new();
+        let mut q = q1(&mut v);
+        let x = VarId::new(0);
+        let y = VarId::new(1);
+        q.add_edge(x, v.label("locateIn"), y);
+        assert_eq!(q.edge_count(), 2);
+    }
+
+    #[test]
+    fn anon_names_are_positional() {
+        let mut v = Vocab::new();
+        let mut q = Pattern::new();
+        let a = q.add_anon_node(v.label("t"));
+        let b = q.add_anon_node(v.label("t"));
+        assert_eq!(q.var_name(a), "x0");
+        assert_eq!(q.var_name(b), "x1");
+    }
+}

@@ -1,0 +1,145 @@
+//! Attribute values carried by graph nodes.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A constant attribute value.
+///
+/// GFD literals compare values for equality only, so the variants just need
+/// `Eq + Hash`; `Ord` is provided to keep reports and model extraction
+/// deterministic.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// 64-bit signed integer, e.g. `x.age = 42`.
+    Int(i64),
+    /// Boolean, e.g. `x.verified = true`.
+    Bool(bool),
+    /// Interned string; cheap to clone.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build an integer value.
+    pub const fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Returns the string contents if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer if this is an integer value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// A short type tag used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "str",
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_is_by_content() {
+        assert_eq!(Value::str("a"), Value::from("a"));
+        assert_ne!(Value::str("a"), Value::str("b"));
+        assert_eq!(Value::int(3), Value::from(3i64));
+        assert_ne!(Value::Int(0), Value::Bool(false));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(Value::str("hi").to_string(), "hi");
+        assert_eq!(format!("{:?}", Value::str("hi")), "\"hi\"");
+        assert_eq!(Value::int(-4).to_string(), "-4");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::int(9).as_int(), Some(9));
+        assert_eq!(Value::int(9).as_str(), None);
+        assert_eq!(Value::Bool(true).type_name(), "bool");
+    }
+
+    #[test]
+    fn ordering_is_total_and_deterministic() {
+        let mut vs = vec![Value::str("b"), Value::int(2), Value::str("a"), Value::int(1)];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![Value::int(1), Value::int(2), Value::str("a"), Value::str("b")]
+        );
+    }
+}

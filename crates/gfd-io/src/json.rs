@@ -1,0 +1,449 @@
+//! JSON interchange for graphs and GFD sets.
+//!
+//! Names (labels, attributes, variables) travel as strings and are
+//! re-interned on load, so files are portable across processes with
+//! different vocabularies. The wildcard label is spelled `"_"`, matching
+//! the DSL.
+
+use gfd_core::{Gfd, GfdSet, Literal, Operand};
+use gfd_graph::{Graph, NodeId, Pattern, Value, Vocab};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An import/export error.
+#[derive(Debug)]
+pub enum JsonError {
+    /// Malformed JSON.
+    Syntax(serde_json::Error),
+    /// Structurally valid JSON with inconsistent content.
+    Semantic(String),
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Syntax(e) => write!(f, "json syntax: {e}"),
+            JsonError::Semantic(m) => write!(f, "json content: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl From<serde_json::Error> for JsonError {
+    fn from(e: serde_json::Error) -> Self {
+        JsonError::Syntax(e)
+    }
+}
+
+fn semantic(msg: impl Into<String>) -> JsonError {
+    JsonError::Semantic(msg.into())
+}
+
+/// A JSON attribute value. Untagged: `1`, `true` and `"s"` all work.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(untagged)]
+enum JValue {
+    /// Integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl From<&Value> for JValue {
+    fn from(v: &Value) -> Self {
+        match v {
+            Value::Int(i) => JValue::Int(*i),
+            Value::Bool(b) => JValue::Bool(*b),
+            Value::Str(s) => JValue::Str(s.to_string()),
+        }
+    }
+}
+
+impl From<&JValue> for Value {
+    fn from(v: &JValue) -> Self {
+        match v {
+            JValue::Int(i) => Value::Int(*i),
+            JValue::Bool(b) => Value::Bool(*b),
+            JValue::Str(s) => Value::str(s),
+        }
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct JNode {
+    label: String,
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    attrs: BTreeMap<String, JValue>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct JEdge {
+    src: usize,
+    label: String,
+    dst: usize,
+}
+
+#[derive(Serialize, Deserialize)]
+struct JGraph {
+    nodes: Vec<JNode>,
+    edges: Vec<JEdge>,
+}
+
+/// Serialize a graph to a pretty JSON string.
+pub fn graph_to_json(graph: &Graph, vocab: &Vocab) -> String {
+    let nodes = graph
+        .nodes()
+        .map(|v| JNode {
+            label: vocab.label_name(graph.label(v)).to_string(),
+            attrs: graph
+                .attrs(v)
+                .iter()
+                .map(|(a, val)| (vocab.attr_name(*a).to_string(), JValue::from(val)))
+                .collect(),
+        })
+        .collect();
+    let edges = graph
+        .edges()
+        .map(|(s, l, d)| JEdge {
+            src: s.index(),
+            label: vocab.label_name(l).to_string(),
+            dst: d.index(),
+        })
+        .collect();
+    serde_json::to_string_pretty(&JGraph { nodes, edges }).expect("graph serialization")
+}
+
+/// Load a graph from JSON, interning names into `vocab`.
+pub fn graph_from_json(src: &str, vocab: &mut Vocab) -> Result<Graph, JsonError> {
+    let j: JGraph = serde_json::from_str(src)?;
+    let mut g = Graph::with_capacity(j.nodes.len());
+    for n in &j.nodes {
+        let id = g.add_node(vocab.label(&n.label));
+        for (attr, value) in &n.attrs {
+            g.set_attr(id, vocab.attr(attr), Value::from(value));
+        }
+    }
+    for e in &j.edges {
+        if e.src >= j.nodes.len() || e.dst >= j.nodes.len() {
+            return Err(semantic(format!(
+                "edge {} -> {} references a missing node",
+                e.src, e.dst
+            )));
+        }
+        g.add_edge(
+            NodeId::new(e.src),
+            vocab.label(&e.label),
+            NodeId::new(e.dst),
+        );
+    }
+    Ok(g)
+}
+
+#[derive(Serialize, Deserialize)]
+struct JPatternNode {
+    var: String,
+    label: String,
+}
+
+#[derive(Serialize, Deserialize)]
+struct JPatternEdge {
+    src: String,
+    label: String,
+    dst: String,
+}
+
+/// One literal; exactly one of `value` / (`rhs_var`, `rhs_attr`) is set.
+#[derive(Serialize, Deserialize)]
+struct JLiteral {
+    var: String,
+    attr: String,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    value: Option<JValue>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    rhs_var: Option<String>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    rhs_attr: Option<String>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct JGfd {
+    name: String,
+    nodes: Vec<JPatternNode>,
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    edges: Vec<JPatternEdge>,
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    when: Vec<JLiteral>,
+    then: Vec<JLiteral>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct JSigma {
+    gfds: Vec<JGfd>,
+}
+
+fn literal_to_json(lit: &Literal, pattern: &Pattern, vocab: &Vocab) -> JLiteral {
+    let (value, rhs_var, rhs_attr) = match &lit.rhs {
+        Operand::Const(c) => (Some(JValue::from(c)), None, None),
+        Operand::Attr(v, a) => (
+            None,
+            Some(pattern.var_name(*v).to_string()),
+            Some(vocab.attr_name(*a).to_string()),
+        ),
+    };
+    JLiteral {
+        var: pattern.var_name(lit.var).to_string(),
+        attr: vocab.attr_name(lit.attr).to_string(),
+        value,
+        rhs_var,
+        rhs_attr,
+    }
+}
+
+fn literal_from_json(
+    j: &JLiteral,
+    pattern: &Pattern,
+    vocab: &mut Vocab,
+    rule: &str,
+) -> Result<Literal, JsonError> {
+    let var = pattern
+        .var_by_name(&j.var)
+        .ok_or_else(|| semantic(format!("rule {rule}: unknown variable `{}`", j.var)))?;
+    let attr = vocab.attr(&j.attr);
+    match (&j.value, &j.rhs_var, &j.rhs_attr) {
+        (Some(v), None, None) => Ok(Literal::eq_const(var, attr, Value::from(v))),
+        (None, Some(v2), Some(a2)) => {
+            let var2 = pattern
+                .var_by_name(v2)
+                .ok_or_else(|| semantic(format!("rule {rule}: unknown variable `{v2}`")))?;
+            Ok(Literal::eq_attr(var, attr, var2, vocab.attr(a2)))
+        }
+        _ => Err(semantic(format!(
+            "rule {rule}: literal needs either `value` or both `rhs_var` and `rhs_attr`"
+        ))),
+    }
+}
+
+/// Serialize a rule set to a pretty JSON string.
+pub fn sigma_to_json(sigma: &GfdSet, vocab: &Vocab) -> String {
+    let gfds = sigma
+        .iter()
+        .map(|(_, g)| JGfd {
+            name: g.name.clone(),
+            nodes: g
+                .pattern
+                .vars()
+                .map(|v| JPatternNode {
+                    var: g.pattern.var_name(v).to_string(),
+                    label: vocab.label_name(g.pattern.label(v)).to_string(),
+                })
+                .collect(),
+            edges: g
+                .pattern
+                .edges()
+                .iter()
+                .map(|e| JPatternEdge {
+                    src: g.pattern.var_name(e.src).to_string(),
+                    label: vocab.label_name(e.label).to_string(),
+                    dst: g.pattern.var_name(e.dst).to_string(),
+                })
+                .collect(),
+            when: g
+                .premise
+                .iter()
+                .map(|l| literal_to_json(l, &g.pattern, vocab))
+                .collect(),
+            then: g
+                .consequence
+                .iter()
+                .map(|l| literal_to_json(l, &g.pattern, vocab))
+                .collect(),
+        })
+        .collect();
+    serde_json::to_string_pretty(&JSigma { gfds }).expect("sigma serialization")
+}
+
+/// Load a rule set from JSON, interning names into `vocab`.
+pub fn sigma_from_json(src: &str, vocab: &mut Vocab) -> Result<GfdSet, JsonError> {
+    let j: JSigma = serde_json::from_str(src)?;
+    let mut out = GfdSet::new();
+    for jg in &j.gfds {
+        if jg.nodes.is_empty() {
+            return Err(semantic(format!("rule {}: empty pattern", jg.name)));
+        }
+        let mut pattern = Pattern::new();
+        for n in &jg.nodes {
+            if pattern.var_by_name(&n.var).is_some() {
+                return Err(semantic(format!(
+                    "rule {}: duplicate variable `{}`",
+                    jg.name, n.var
+                )));
+            }
+            pattern.add_node(vocab.label(&n.label), n.var.clone());
+        }
+        for e in &jg.edges {
+            let src = pattern.var_by_name(&e.src).ok_or_else(|| {
+                semantic(format!("rule {}: unknown variable `{}`", jg.name, e.src))
+            })?;
+            let dst = pattern.var_by_name(&e.dst).ok_or_else(|| {
+                semantic(format!("rule {}: unknown variable `{}`", jg.name, e.dst))
+            })?;
+            pattern.add_edge(src, vocab.label(&e.label), dst);
+        }
+        let premise = jg
+            .when
+            .iter()
+            .map(|l| literal_from_json(l, &pattern, vocab, &jg.name))
+            .collect::<Result<Vec<_>, _>>()?;
+        let consequence = jg
+            .then
+            .iter()
+            .map(|l| literal_from_json(l, &pattern, vocab, &jg.name))
+            .collect::<Result<Vec<_>, _>>()?;
+        out.push(Gfd::new(jg.name.clone(), pattern, premise, consequence));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_graph::LabelId;
+
+    fn sample_graph() -> (Graph, Vocab) {
+        let mut vocab = Vocab::new();
+        let person = vocab.label("person");
+        let knows = vocab.label("knows");
+        let age = vocab.attr("age");
+        let name = vocab.attr("name");
+        let mut g = Graph::new();
+        let a = g.add_node(person);
+        let b = g.add_node(person);
+        g.add_edge(a, knows, b);
+        g.set_attr(a, age, Value::int(30));
+        g.set_attr(a, name, Value::str("ann"));
+        g.set_attr(b, age, Value::Bool(true));
+        (g, vocab)
+    }
+
+    #[test]
+    fn graph_round_trips() {
+        let (g, vocab) = sample_graph();
+        let json = graph_to_json(&g, &vocab);
+        let mut vocab2 = Vocab::new();
+        let g2 = graph_from_json(&json, &mut vocab2).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(g2.attr_count(), g.attr_count());
+        let age2 = vocab2.attr("age");
+        assert_eq!(g2.attr(NodeId::new(0), age2), Some(&Value::int(30)));
+        assert_eq!(g2.attr(NodeId::new(1), age2), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn wildcard_label_round_trips() {
+        let mut vocab = Vocab::new();
+        let mut g = Graph::new();
+        g.add_node(LabelId::WILDCARD);
+        let json = graph_to_json(&g, &vocab);
+        assert!(json.contains("\"_\""), "{json}");
+        let mut vocab2 = Vocab::new();
+        let g2 = graph_from_json(&json, &mut vocab2).unwrap();
+        assert!(g2.label(NodeId::new(0)).is_wildcard());
+        let _ = &mut vocab;
+    }
+
+    #[test]
+    fn bad_edge_reference_is_semantic_error() {
+        let src = r#"{"nodes": [{"label": "t"}], "edges": [{"src": 0, "label": "e", "dst": 5}]}"#;
+        let mut vocab = Vocab::new();
+        let err = graph_from_json(src, &mut vocab).unwrap_err();
+        assert!(matches!(err, JsonError::Semantic(_)));
+    }
+
+    #[test]
+    fn malformed_json_is_syntax_error() {
+        let mut vocab = Vocab::new();
+        let err = graph_from_json("{nodes: oops", &mut vocab).unwrap_err();
+        assert!(matches!(err, JsonError::Syntax(_)));
+    }
+
+    fn sample_sigma() -> (GfdSet, Vocab) {
+        let mut vocab = Vocab::new();
+        let place = vocab.label("place");
+        let locate = vocab.label("locateIn");
+        let pop = vocab.attr("pop");
+        let mut p = Pattern::new();
+        let x = p.add_node(place, "x");
+        let y = p.add_node(place, "y");
+        p.add_edge(x, locate, y);
+        let g1 = Gfd::new(
+            "g1",
+            p.clone(),
+            vec![Literal::eq_const(x, pop, 5i64)],
+            vec![Literal::eq_attr(x, pop, y, pop)],
+        );
+        let g2 = Gfd::new("g2", p, vec![], vec![Literal::eq_const(y, pop, 7i64)]);
+        (GfdSet::from_vec(vec![g1, g2]), vocab)
+    }
+
+    #[test]
+    fn sigma_round_trips_and_preserves_reasoning() {
+        let (sigma, vocab) = sample_sigma();
+        let json = sigma_to_json(&sigma, &vocab);
+        let mut vocab2 = Vocab::new();
+        let sigma2 = sigma_from_json(&json, &mut vocab2).unwrap();
+        assert_eq!(sigma2.len(), sigma.len());
+        // Structure is preserved literal-for-literal.
+        for ((_, a), (_, b)) in sigma.iter().zip(sigma2.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.premise.len(), b.premise.len());
+            assert_eq!(a.consequence.len(), b.consequence.len());
+            assert_eq!(a.pattern.node_count(), b.pattern.node_count());
+            assert_eq!(a.pattern.edge_count(), b.pattern.edge_count());
+        }
+        // Reasoning outcome is identical.
+        assert_eq!(
+            gfd_core::seq_sat(&sigma).is_satisfiable(),
+            gfd_core::seq_sat(&sigma2).is_satisfiable()
+        );
+    }
+
+    #[test]
+    fn literal_without_rhs_is_rejected() {
+        let src = r#"{"gfds": [{
+            "name": "bad",
+            "nodes": [{"var": "x", "label": "t"}],
+            "then": [{"var": "x", "attr": "a"}]
+        }]}"#;
+        let mut vocab = Vocab::new();
+        let err = sigma_from_json(src, &mut vocab).unwrap_err();
+        assert!(err.to_string().contains("rhs_var"), "{err}");
+    }
+
+    #[test]
+    fn unknown_variable_in_literal_is_rejected() {
+        let src = r#"{"gfds": [{
+            "name": "bad",
+            "nodes": [{"var": "x", "label": "t"}],
+            "then": [{"var": "zz", "attr": "a", "value": 1}]
+        }]}"#;
+        let mut vocab = Vocab::new();
+        let err = sigma_from_json(src, &mut vocab).unwrap_err();
+        assert!(err.to_string().contains("zz"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_variable_is_rejected() {
+        let src = r#"{"gfds": [{
+            "name": "bad",
+            "nodes": [{"var": "x", "label": "t"}, {"var": "x", "label": "t"}],
+            "then": [{"var": "x", "attr": "a", "value": 1}]
+        }]}"#;
+        let mut vocab = Vocab::new();
+        assert!(sigma_from_json(src, &mut vocab).is_err());
+    }
+}

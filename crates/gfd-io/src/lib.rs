@@ -1,0 +1,30 @@
+//! Interchange formats for GFD reasoning.
+//!
+//! Two ways data and rules enter or leave the system:
+//!
+//! * [`json`] — a self-describing JSON representation of graphs and GFD
+//!   sets (labels and attribute names as strings, resolved through a
+//!   [`gfd_graph::Vocab`] on load). Stable across processes and languages;
+//!   the natural export target for dashboards and notebooks.
+//! * [`edgelist`] — SNAP-style whitespace-separated edge lists plus a
+//!   simple node-table format. This is how the paper's datasets actually
+//!   ship (Pokec is distributed as `soc-pokec-relationships.txt`), so a
+//!   downstream user can load real data without writing a parser.
+//!
+//! The DSL in `gfd-dsl` remains the *human-authored* format; this crate
+//! covers the machine-interchange cases.
+//!
+//! Dependency note (DESIGN.md §5): `serde` is on the approved list;
+//! `serde_json` is the serializer for serde's data model — serde alone
+//! defines no wire format.
+
+#![warn(missing_docs)]
+
+pub mod edgelist;
+pub mod json;
+mod proptests;
+
+pub use edgelist::{load_edge_list, load_node_table, EdgeListOptions};
+pub use json::{
+    graph_from_json, graph_to_json, sigma_from_json, sigma_to_json, JsonError,
+};

@@ -1,0 +1,132 @@
+//! Property-based round-trip tests for the interchange formats.
+
+#![cfg(test)]
+
+use crate::json::{graph_from_json, graph_to_json};
+use gfd_graph::{Graph, NodeId, Value, Vocab};
+use proptest::prelude::*;
+
+/// Random graphs with string-named labels/attrs drawn from small pools,
+/// and all three value types.
+fn arb_named_graph() -> impl Strategy<Value = (Graph, Vocab)> {
+    let label_pool = ["person", "place", "thing", "_"];
+    let attr_pool = ["age", "name", "flag"];
+    (1usize..7).prop_flat_map(move |n| {
+        let labels = proptest::collection::vec(0usize..label_pool.len(), n);
+        let edges = proptest::collection::vec(((0..n), 0usize..2, (0..n)), 0..(2 * n));
+        let attrs = proptest::collection::vec(
+            proptest::collection::vec(
+                (
+                    0usize..attr_pool.len(),
+                    prop_oneof![
+                        (-5i64..5).prop_map(Value::Int),
+                        any::<bool>().prop_map(Value::Bool),
+                        "[a-z ]{0,6}".prop_map(|s| Value::str(&s)),
+                    ],
+                ),
+                0..3,
+            ),
+            n,
+        );
+        (labels, edges, attrs).prop_map(move |(labels, edges, attrs)| {
+            let mut vocab = Vocab::new();
+            let edge_labels = [vocab.label("knows"), vocab.label("near")];
+            let mut g = Graph::new();
+            for l in &labels {
+                g.add_node(vocab.label(label_pool[*l]));
+            }
+            for (s, l, d) in edges {
+                g.add_edge(NodeId::new(s), edge_labels[l], NodeId::new(d));
+            }
+            for (i, node_attrs) in attrs.iter().enumerate() {
+                for (a, v) in node_attrs {
+                    g.set_attr(NodeId::new(i), vocab.attr(attr_pool[*a]), v.clone());
+                }
+            }
+            (g, vocab)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// JSON round trips preserve structure, labels and attribute values
+    /// exactly (modulo vocabulary renumbering).
+    #[test]
+    fn graph_json_round_trip((g, vocab) in arb_named_graph()) {
+        let json = graph_to_json(&g, &vocab);
+        let mut vocab2 = Vocab::new();
+        let g2 = graph_from_json(&json, &mut vocab2).unwrap();
+        prop_assert_eq!(g2.node_count(), g.node_count());
+        prop_assert_eq!(g2.edge_count(), g.edge_count());
+        prop_assert_eq!(g2.attr_count(), g.attr_count());
+        for v in g.nodes() {
+            // Labels match by *name*.
+            prop_assert_eq!(
+                vocab.label_name(g.label(v)),
+                vocab2.label_name(g2.label(v))
+            );
+            // Attributes match by name and value.
+            for (a, val) in g.attrs(v) {
+                let name = vocab.attr_name(*a);
+                let a2 = vocab2.attr(name);
+                prop_assert_eq!(g2.attr(v, a2), Some(val), "attr {} diverged", name);
+            }
+        }
+        for (s, l, d) in g.edges() {
+            let l2 = vocab2.label(vocab.label_name(l));
+            prop_assert!(g2.has_edge(s, l2, d));
+        }
+        // Wildcards stay wildcards.
+        for v in g.nodes() {
+            prop_assert_eq!(g.label(v).is_wildcard(), g2.label(v).is_wildcard());
+        }
+    }
+
+    /// Serialization is deterministic: same graph, same bytes.
+    #[test]
+    fn graph_json_is_deterministic((g, vocab) in arb_named_graph()) {
+        prop_assert_eq!(graph_to_json(&g, &vocab), graph_to_json(&g, &vocab));
+    }
+}
+
+mod edgelist_props {
+    use super::*;
+    use crate::edgelist::{load_edge_list, EdgeListOptions};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Loading an edge list yields exactly the (deduplicated) edge
+        /// multiset, regardless of id sparsity and ordering.
+        #[test]
+        fn edge_list_preserves_edges(
+            pairs in proptest::collection::vec((0u64..50, 0u64..50), 1..20),
+        ) {
+            let src: String = pairs
+                .iter()
+                .map(|(a, b)| format!("{a} {b}\n"))
+                .collect();
+            let mut vocab = Vocab::new();
+            let (g, ids) =
+                load_edge_list(&src, &mut vocab, &EdgeListOptions::default()).unwrap();
+            // Every distinct endpoint got a node.
+            let mut endpoints: Vec<u64> =
+                pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+            endpoints.sort();
+            endpoints.dedup();
+            prop_assert_eq!(g.node_count(), endpoints.len());
+            // Every pair is present as an edge.
+            let e = vocab.label("edge");
+            for &(a, b) in &pairs {
+                prop_assert!(g.has_edge(ids[&a], e, ids[&b]));
+            }
+            // Edge count equals the deduplicated pair count.
+            let mut dedup = pairs.clone();
+            dedup.sort();
+            dedup.dedup();
+            prop_assert_eq!(g.edge_count(), dedup.len());
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Search plans: the variable ordering used by the backtracking matcher.
+//!
+//! A plan places pattern variables one at a time. Every position after the
+//! first in a connected component is *anchored* to at least one earlier
+//! position through a pattern edge, so candidate nodes can be generated from
+//! adjacency lists instead of the whole graph (the VF2-style expansion the
+//! paper adapts to homomorphism in §IV-C).
+
+use gfd_graph::{LabelIndex, Pattern, VarId};
+
+/// Direction of an anchoring pattern edge relative to the new variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnchorDir {
+    /// Edge runs from the anchored (earlier) variable to the new one:
+    /// candidates come from the anchor's out-edges.
+    FromAnchor,
+    /// Edge runs from the new variable to the anchored one: candidates come
+    /// from the anchor's in-edges.
+    ToAnchor,
+}
+
+/// A constraint tying a plan position to an earlier one via a pattern edge.
+#[derive(Clone, Copy, Debug)]
+pub struct Anchor {
+    /// Earlier plan position the edge connects to.
+    pub pos: usize,
+    /// The pattern edge label (possibly wildcard).
+    pub label: gfd_graph::LabelId,
+    /// Whether the edge leaves or enters the anchor.
+    pub dir: AnchorDir,
+}
+
+/// One step of a plan: which variable to place and how it connects to the
+/// already-placed prefix.
+#[derive(Clone, Debug)]
+pub struct PlanStep {
+    /// The pattern variable placed at this position.
+    pub var: VarId,
+    /// Anchors to earlier positions; empty exactly for component roots.
+    pub anchors: Vec<Anchor>,
+    /// Labels of self-loop pattern edges `var --l--> var`; a candidate node
+    /// must carry a matching self-loop.
+    pub self_loops: Vec<gfd_graph::LabelId>,
+}
+
+/// A complete variable ordering for a pattern.
+#[derive(Clone, Debug)]
+pub struct MatchPlan {
+    steps: Vec<PlanStep>,
+    var_to_pos: Vec<usize>,
+    component_roots: Vec<usize>,
+}
+
+impl MatchPlan {
+    /// Build a plan for `pattern`.
+    ///
+    /// * `pivot` — if given, this variable is placed first (required for
+    ///   pivoted work-unit matching). Otherwise the most selective variable
+    ///   (rarest label per `stats`, if provided) starts the plan.
+    /// * `stats` — label frequencies of the target graph, used to order
+    ///   choices by selectivity. Optional; structure alone works.
+    pub fn build(pattern: &Pattern, pivot: Option<VarId>, stats: Option<&LabelIndex>) -> Self {
+        let n = pattern.node_count();
+        assert!(n > 0, "cannot plan an empty pattern");
+        if let Some(p) = pivot {
+            assert!(p.index() < n, "pivot out of range");
+        }
+        let freq = |v: VarId| -> usize {
+            stats.map_or(usize::MAX, |s| s.frequency(pattern.label(v)))
+        };
+
+        let mut placed = vec![false; n];
+        let mut pos_of = vec![usize::MAX; n];
+        let mut steps: Vec<PlanStep> = Vec::with_capacity(n);
+        let mut component_roots = Vec::new();
+
+        // Number of edges from `v` to already-placed variables.
+        let connectivity = |v: VarId, placed: &[bool]| -> usize {
+            pattern
+                .out_edges(v)
+                .iter()
+                .chain(pattern.in_edges(v))
+                .filter(|(_, u)| placed[u.index()])
+                .count()
+        };
+
+        while steps.len() < n {
+            let next = if steps.is_empty() {
+                pivot.unwrap_or_else(|| {
+                    // Most selective start: min label frequency, then max
+                    // degree for tie-breaking.
+                    pattern
+                        .vars()
+                        .min_by_key(|&v| (freq(v), usize::MAX - pattern.degree(v)))
+                        .expect("non-empty pattern")
+                })
+            } else {
+                // Prefer variables connected to the placed prefix; among
+                // those, max connectivity then min label frequency.
+                let best_connected = pattern
+                    .vars()
+                    .filter(|&v| !placed[v.index()])
+                    .filter(|&v| connectivity(v, &placed) > 0)
+                    .max_by_key(|&v| (connectivity(v, &placed), usize::MAX - freq(v)));
+                match best_connected {
+                    Some(v) => v,
+                    // New component: start a fresh root at the most
+                    // selective remaining variable.
+                    None => pattern
+                        .vars()
+                        .filter(|&v| !placed[v.index()])
+                        .min_by_key(|&v| (freq(v), usize::MAX - pattern.degree(v)))
+                        .expect("loop invariant: some variable unplaced"),
+                }
+            };
+
+            let mut anchors = Vec::new();
+            let mut self_loops = Vec::new();
+            for &(label, u) in pattern.in_edges(next) {
+                // Pattern edge u --label--> next.
+                if u == next {
+                    self_loops.push(label);
+                } else if placed[u.index()] {
+                    anchors.push(Anchor {
+                        pos: pos_of[u.index()],
+                        label,
+                        dir: AnchorDir::FromAnchor,
+                    });
+                }
+            }
+            for &(label, u) in pattern.out_edges(next) {
+                // Pattern edge next --label--> u. Self-loops were already
+                // collected from the in-edge list.
+                if u != next && placed[u.index()] {
+                    anchors.push(Anchor {
+                        pos: pos_of[u.index()],
+                        label,
+                        dir: AnchorDir::ToAnchor,
+                    });
+                }
+            }
+            if anchors.is_empty() {
+                component_roots.push(steps.len());
+            }
+            placed[next.index()] = true;
+            pos_of[next.index()] = steps.len();
+            steps.push(PlanStep {
+                var: next,
+                anchors,
+                self_loops,
+            });
+        }
+
+        MatchPlan {
+            steps,
+            var_to_pos: pos_of,
+            component_roots,
+        }
+    }
+
+    /// The plan steps in placement order.
+    pub fn steps(&self) -> &[PlanStep] {
+        &self.steps
+    }
+
+    /// Number of positions (= pattern variables).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True iff the plan is empty (never true for valid patterns).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The variable placed at `pos`.
+    pub fn var_at(&self, pos: usize) -> VarId {
+        self.steps[pos].var
+    }
+
+    /// The plan position of variable `v`.
+    pub fn pos_of(&self, v: VarId) -> usize {
+        self.var_to_pos[v.index()]
+    }
+
+    /// Positions that start a new connected component (position 0 is always
+    /// one of them).
+    pub fn component_roots(&self) -> &[usize] {
+        &self.component_roots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_graph::{Graph, LabelId, Vocab};
+
+    fn diamond(v: &mut Vocab) -> Pattern {
+        // x -> y, x -> z, y -> w, z -> w
+        let t = v.label("t");
+        let e = v.label("e");
+        let mut p = Pattern::new();
+        let x = p.add_node(t, "x");
+        let y = p.add_node(t, "y");
+        let z = p.add_node(t, "z");
+        let w = p.add_node(t, "w");
+        p.add_edge(x, e, y);
+        p.add_edge(x, e, z);
+        p.add_edge(y, e, w);
+        p.add_edge(z, e, w);
+        p
+    }
+
+    #[test]
+    fn every_non_root_step_is_anchored() {
+        let mut v = Vocab::new();
+        let p = diamond(&mut v);
+        let plan = MatchPlan::build(&p, None, None);
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan.component_roots(), &[0]);
+        for (i, step) in plan.steps().iter().enumerate().skip(1) {
+            assert!(!step.anchors.is_empty(), "step {i} lost connectivity");
+            for a in &step.anchors {
+                assert!(a.pos < i);
+            }
+        }
+    }
+
+    #[test]
+    fn pivot_is_placed_first() {
+        let mut v = Vocab::new();
+        let p = diamond(&mut v);
+        for pv in 0..4 {
+            let plan = MatchPlan::build(&p, Some(VarId::new(pv)), None);
+            assert_eq!(plan.var_at(0), VarId::new(pv));
+            assert_eq!(plan.pos_of(VarId::new(pv)), 0);
+        }
+    }
+
+    #[test]
+    fn var_pos_round_trip() {
+        let mut v = Vocab::new();
+        let p = diamond(&mut v);
+        let plan = MatchPlan::build(&p, Some(VarId::new(2)), None);
+        for pos in 0..plan.len() {
+            assert_eq!(plan.pos_of(plan.var_at(pos)), pos);
+        }
+    }
+
+    #[test]
+    fn disconnected_pattern_has_multiple_roots() {
+        let mut v = Vocab::new();
+        let t = v.label("t");
+        let mut p = Pattern::new();
+        let a = p.add_node(t, "a");
+        let b = p.add_node(t, "b");
+        p.add_node(t, "c"); // isolated
+        p.add_edge(a, v.label("e"), b);
+        let plan = MatchPlan::build(&p, None, None);
+        assert_eq!(plan.component_roots().len(), 2);
+    }
+
+    #[test]
+    fn selectivity_prefers_rare_labels() {
+        let mut v = Vocab::new();
+        let common = v.label("common");
+        let rare = v.label("rare");
+        let e = v.label("e");
+        // Graph: many `common` nodes, one `rare`.
+        let mut g = Graph::new();
+        let r = g.add_node(rare);
+        for _ in 0..10 {
+            let c = g.add_node(common);
+            g.add_edge(r, e, c);
+        }
+        let idx = LabelIndex::build(&g);
+        // Pattern: common <- rare -> common
+        let mut p = Pattern::new();
+        let c1 = p.add_node(common, "c1");
+        let rr = p.add_node(rare, "r");
+        let c2 = p.add_node(common, "c2");
+        p.add_edge(rr, e, c1);
+        p.add_edge(rr, e, c2);
+        let plan = MatchPlan::build(&p, None, Some(&idx));
+        assert_eq!(plan.var_at(0), rr, "should start at the rare label");
+    }
+
+    #[test]
+    fn anchor_directions_reflect_edge_orientation() {
+        let mut v = Vocab::new();
+        let t = v.label("t");
+        let e = v.label("e");
+        let mut p = Pattern::new();
+        let x = p.add_node(t, "x");
+        let y = p.add_node(t, "y");
+        p.add_edge(x, e, y); // x -> y
+        let plan = MatchPlan::build(&p, Some(x), None);
+        let step1 = &plan.steps()[1];
+        assert_eq!(step1.var, y);
+        assert_eq!(step1.anchors.len(), 1);
+        // Edge runs from the anchor (x at pos 0) to y.
+        assert_eq!(step1.anchors[0].dir, AnchorDir::FromAnchor);
+        assert_eq!(step1.anchors[0].pos, 0);
+
+        let plan2 = MatchPlan::build(&p, Some(y), None);
+        let step1 = &plan2.steps()[1];
+        assert_eq!(step1.var, x);
+        assert_eq!(step1.anchors[0].dir, AnchorDir::ToAnchor);
+    }
+
+    #[test]
+    fn wildcard_label_is_least_selective() {
+        let mut v = Vocab::new();
+        let rare = v.label("rare");
+        let e = v.label("e");
+        let mut g = Graph::new();
+        let a = g.add_node(rare);
+        let b = g.add_node(v.label("other"));
+        g.add_edge(a, e, b);
+        let idx = LabelIndex::build(&g);
+        let mut p = Pattern::new();
+        let w = p.add_node(LabelId::WILDCARD, "w");
+        let r = p.add_node(rare, "r");
+        p.add_edge(r, e, w);
+        let plan = MatchPlan::build(&p, None, Some(&idx));
+        assert_eq!(plan.var_at(0), r);
+    }
+}

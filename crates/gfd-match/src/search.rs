@@ -1,0 +1,793 @@
+//! Resumable backtracking homomorphism search.
+//!
+//! [`HomSearch`] drives a VF2-style state-space search relaxed to
+//! homomorphism (pattern nodes may map to the same graph node). The search
+//! state is an explicit stack, which gives the two capabilities the
+//! parallel algorithms need:
+//!
+//! * **deadline interruption** — [`HomSearch::run`] can stop mid-search when
+//!   a TTL expires and later continue where it left off;
+//! * **work-unit splitting** — [`HomSearch::split_shallowest`] carves the
+//!   untried sibling branches of the shallowest open level into *prefix
+//!   assignments* that other workers can resume independently (the paper's
+//!   Example 6).
+
+use crate::plan::{Anchor, AnchorDir, MatchPlan};
+use gfd_graph::{Graph, LabelIndex, NodeId, NodeSet, Pattern};
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// A complete match: `match_[v.index()]` is the graph node assigned to
+/// pattern variable `v`.
+pub type Match = Box<[NodeId]>;
+
+/// Why a call to [`HomSearch::run`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The search space is exhausted; every remaining match was emitted.
+    Exhausted,
+    /// The deadline passed; the search can be resumed or split.
+    Deadline,
+    /// The stop flag was raised or the callback returned `Break`.
+    Stopped,
+}
+
+/// External limits checked periodically during the search.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchLimits<'a> {
+    /// Hard deadline; `run` returns [`RunOutcome::Deadline`] soon after.
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation (e.g. another worker found a conflict).
+    pub stop: Option<&'a AtomicBool>,
+}
+
+impl<'a> SearchLimits<'a> {
+    /// No limits: run to exhaustion.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Limit by deadline only.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        SearchLimits {
+            deadline: Some(deadline),
+            stop: None,
+        }
+    }
+}
+
+/// How often (in search steps) the limits are polled.
+const CHECK_INTERVAL: u32 = 256;
+
+enum Candidates<'a> {
+    Borrowed(&'a [NodeId]),
+    Owned(Vec<NodeId>),
+}
+
+impl Candidates<'_> {
+    fn as_slice(&self) -> &[NodeId] {
+        match self {
+            Candidates::Borrowed(s) => s,
+            Candidates::Owned(v) => v,
+        }
+    }
+}
+
+struct Frame<'a> {
+    candidates: Candidates<'a>,
+    cursor: usize,
+}
+
+/// A resumable homomorphism search of one pattern in one graph.
+pub struct HomSearch<'a> {
+    graph: &'a Graph,
+    index: &'a LabelIndex,
+    pattern: &'a Pattern,
+    plan: &'a MatchPlan,
+    /// Optional per-variable candidate filters (e.g. dual-simulation sets).
+    filters: Option<&'a [NodeSet]>,
+    /// Fixed assignments for leading plan positions (pivot node and/or a
+    /// split prefix).
+    prefix: Vec<NodeId>,
+    frames: Vec<Frame<'a>>,
+    assignment: Vec<NodeId>,
+    started: bool,
+    exhausted: bool,
+}
+
+impl<'a> HomSearch<'a> {
+    /// A search over the whole graph.
+    pub fn new(
+        graph: &'a Graph,
+        index: &'a LabelIndex,
+        pattern: &'a Pattern,
+        plan: &'a MatchPlan,
+    ) -> Self {
+        HomSearch {
+            graph,
+            index,
+            pattern,
+            plan,
+            filters: None,
+            prefix: Vec::new(),
+            frames: Vec::new(),
+            assignment: vec![NodeId::new(0); plan.len()],
+            started: false,
+            exhausted: false,
+        }
+    }
+
+    /// Fix the leading plan positions to `prefix` (position `i` ↦
+    /// `prefix[i]`). With a single element this is pivoted search; longer
+    /// prefixes resume split work units.
+    pub fn with_prefix(mut self, prefix: &[NodeId]) -> Self {
+        assert!(
+            prefix.len() <= self.plan.len(),
+            "prefix longer than the plan"
+        );
+        assert!(!self.started, "prefix must be set before running");
+        self.prefix = prefix.to_vec();
+        self
+    }
+
+    /// Restrict candidates of each variable to the given node sets
+    /// (indexed by `VarId`), e.g. dual-simulation sets.
+    pub fn with_filters(mut self, filters: &'a [NodeSet]) -> Self {
+        assert_eq!(filters.len(), self.pattern.node_count());
+        self.filters = Some(filters);
+        self
+    }
+
+    /// Is the search complete (no further matches)?
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Current search depth (number of open stack frames).
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn passes_filter(&self, var: gfd_graph::VarId, node: NodeId) -> bool {
+        self.filters.is_none_or(|f| f[var.index()].contains(node))
+    }
+
+    fn anchor_holds(&self, anchor: &Anchor, candidate: NodeId) -> bool {
+        let anchored = self.assignment[anchor.pos];
+        match anchor.dir {
+            AnchorDir::FromAnchor => self.graph.has_edge_pattern(anchored, anchor.label, candidate),
+            AnchorDir::ToAnchor => self.graph.has_edge_pattern(candidate, anchor.label, anchored),
+        }
+    }
+
+    fn self_loops_hold(&self, step: &crate::plan::PlanStep, node: NodeId) -> bool {
+        step.self_loops
+            .iter()
+            .all(|&l| self.graph.has_edge_pattern(node, l, node))
+    }
+
+    /// Is `node` a valid binding for plan position `pos`, given the bound
+    /// positions `0..pos`?
+    fn valid_at(&self, pos: usize, node: NodeId) -> bool {
+        let step = &self.plan.steps()[pos];
+        self.pattern
+            .label(step.var)
+            .pattern_matches(self.graph.label(node))
+            && self.passes_filter(step.var, node)
+            && self.self_loops_hold(step, node)
+            && step.anchors.iter().all(|a| self.anchor_holds(a, node))
+    }
+
+    fn make_frame(&self, pos: usize) -> Frame<'a> {
+        // Fixed prefix positions carry exactly one (validated) candidate.
+        if pos < self.prefix.len() {
+            let node = self.prefix[pos];
+            let candidates = if self.valid_at(pos, node) {
+                vec![node]
+            } else {
+                Vec::new()
+            };
+            return Frame {
+                candidates: Candidates::Owned(candidates),
+                cursor: 0,
+            };
+        }
+
+        let step = &self.plan.steps()[pos];
+        if step.anchors.is_empty() {
+            // Component root: candidates from the label index.
+            let base = self.index.candidates(self.pattern.label(step.var));
+            let candidates = if self.filters.is_some() || !step.self_loops.is_empty() {
+                Candidates::Owned(
+                    base.iter()
+                        .copied()
+                        .filter(|&n| {
+                            self.passes_filter(step.var, n) && self.self_loops_hold(step, n)
+                        })
+                        .collect(),
+                )
+            } else {
+                Candidates::Borrowed(base)
+            };
+            return Frame { candidates, cursor: 0 };
+        }
+
+        // Anchored: expand from the anchor with the smallest adjacency list.
+        let list_len = |a: &Anchor| -> usize {
+            let anchored = self.assignment[a.pos];
+            match a.dir {
+                AnchorDir::FromAnchor => self.graph.out_edges(anchored).len(),
+                AnchorDir::ToAnchor => self.graph.in_edges(anchored).len(),
+            }
+        };
+        let (best_i, best) = step
+            .anchors
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, a)| list_len(a))
+            .expect("anchored step has anchors");
+
+        let anchored = self.assignment[best.pos];
+        let adjacency = match best.dir {
+            AnchorDir::FromAnchor => self.graph.out_edges(anchored),
+            AnchorDir::ToAnchor => self.graph.in_edges(anchored),
+        };
+        let var_label = self.pattern.label(step.var);
+        let mut candidates = Vec::new();
+        for &(edge_label, node) in adjacency {
+            if !best.label.pattern_matches(edge_label) {
+                continue;
+            }
+            if !var_label.pattern_matches(self.graph.label(node)) {
+                continue;
+            }
+            if !self.passes_filter(step.var, node) {
+                continue;
+            }
+            if !self.self_loops_hold(step, node) {
+                continue;
+            }
+            // Homomorphism: no injectivity check; just the other anchors.
+            let ok = step
+                .anchors
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != best_i)
+                .all(|(_, a)| self.anchor_holds(a, node));
+            if ok && !candidates.contains(&node) {
+                candidates.push(node);
+            }
+        }
+        Frame {
+            candidates: Candidates::Owned(candidates),
+            cursor: 0,
+        }
+    }
+
+    /// Extract the current complete assignment as a var-indexed match.
+    fn emit(&self) -> Match {
+        let mut m = vec![NodeId::new(0); self.plan.len()].into_boxed_slice();
+        for pos in 0..self.plan.len() {
+            m[self.plan.var_at(pos).index()] = self.assignment[pos];
+        }
+        m
+    }
+
+    /// Run the search, invoking `on_match` for every match found.
+    ///
+    /// Returns when the space is exhausted, a limit triggers, or the
+    /// callback breaks. Can be called again after `Deadline` to resume.
+    pub fn run<F>(&mut self, mut on_match: F, limits: SearchLimits<'_>) -> RunOutcome
+    where
+        F: FnMut(Match) -> ControlFlow<()>,
+    {
+        if self.exhausted {
+            return RunOutcome::Exhausted;
+        }
+        if !self.started {
+            self.started = true;
+            let f = self.make_frame(0);
+            self.frames.push(f);
+        }
+
+        let mut ticks: u32 = 0;
+        loop {
+            ticks += 1;
+            if ticks >= CHECK_INTERVAL {
+                ticks = 0;
+                if let Some(stop) = limits.stop {
+                    if stop.load(Ordering::Relaxed) {
+                        return RunOutcome::Stopped;
+                    }
+                }
+                if let Some(deadline) = limits.deadline {
+                    if Instant::now() >= deadline {
+                        return RunOutcome::Deadline;
+                    }
+                }
+            }
+
+            let depth = match self.frames.len() {
+                0 => {
+                    self.exhausted = true;
+                    return RunOutcome::Exhausted;
+                }
+                d => d - 1,
+            };
+            let frame = &mut self.frames[depth];
+            match frame.candidates.as_slice().get(frame.cursor) {
+                Some(&node) => {
+                    frame.cursor += 1;
+                    self.assignment[depth] = node;
+                    if depth + 1 == self.plan.len() {
+                        if on_match(self.emit()).is_break() {
+                            return RunOutcome::Stopped;
+                        }
+                    } else {
+                        let f = self.make_frame(depth + 1);
+                        self.frames.push(f);
+                    }
+                }
+                None => {
+                    self.frames.pop();
+                }
+            }
+        }
+    }
+
+    /// Split the untried sibling branches at the shallowest open level into
+    /// prefix assignments (plan positions `0..=d`), removing them from this
+    /// search. Returns an empty vector when there is nothing to split.
+    pub fn split_shallowest(&mut self) -> Vec<Vec<NodeId>> {
+        for depth in 0..self.frames.len() {
+            let untried =
+                self.frames[depth].candidates.as_slice().len() - self.frames[depth].cursor;
+            if untried == 0 {
+                continue;
+            }
+            let frame = &self.frames[depth];
+            let mut prefixes = Vec::with_capacity(untried);
+            for &cand in &frame.candidates.as_slice()[frame.cursor..] {
+                let mut p = Vec::with_capacity(depth + 1);
+                p.extend_from_slice(&self.assignment[..depth]);
+                p.push(cand);
+                prefixes.push(p);
+            }
+            // Consume them locally: this search keeps only the branch it is
+            // currently inside.
+            let frame = &mut self.frames[depth];
+            frame.cursor = frame.candidates.as_slice().len();
+            return prefixes;
+        }
+        Vec::new()
+    }
+}
+
+/// Convenience: collect every match of `pattern` in `graph`.
+pub fn find_all_matches(graph: &Graph, index: &LabelIndex, pattern: &Pattern) -> Vec<Match> {
+    let plan = MatchPlan::build(pattern, None, Some(index));
+    let mut out = Vec::new();
+    let mut search = HomSearch::new(graph, index, pattern, &plan);
+    search.run(
+        |m| {
+            out.push(m);
+            ControlFlow::Continue(())
+        },
+        SearchLimits::none(),
+    );
+    out
+}
+
+/// Convenience: does `pattern` have at least one match in `graph`?
+pub fn has_match(graph: &Graph, index: &LabelIndex, pattern: &Pattern) -> bool {
+    let plan = MatchPlan::build(pattern, None, Some(index));
+    let mut found = false;
+    let mut search = HomSearch::new(graph, index, pattern, &plan);
+    search.run(
+        |_| {
+            found = true;
+            ControlFlow::Break(())
+        },
+        SearchLimits::none(),
+    );
+    found
+}
+
+/// Convenience: count matches of `pattern` in `graph`.
+pub fn count_matches(graph: &Graph, index: &LabelIndex, pattern: &Pattern) -> usize {
+    let plan = MatchPlan::build(pattern, None, Some(index));
+    let mut n = 0usize;
+    let mut search = HomSearch::new(graph, index, pattern, &plan);
+    search.run(
+        |_| {
+            n += 1;
+            ControlFlow::Continue(())
+        },
+        SearchLimits::none(),
+    );
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_graph::{LabelId, VarId, Vocab};
+
+    /// Triangle graph a -> b -> c -> a, all label `t`, edges `e`.
+    fn triangle() -> (Graph, Vocab) {
+        let mut v = Vocab::new();
+        let t = v.label("t");
+        let e = v.label("e");
+        let mut g = Graph::new();
+        let a = g.add_node(t);
+        let b = g.add_node(t);
+        let c = g.add_node(t);
+        g.add_edge(a, e, b);
+        g.add_edge(b, e, c);
+        g.add_edge(c, e, a);
+        (g, v)
+    }
+
+    fn edge_pattern(v: &mut Vocab) -> Pattern {
+        let t = v.label("t");
+        let e = v.label("e");
+        let mut p = Pattern::new();
+        let x = p.add_node(t, "x");
+        let y = p.add_node(t, "y");
+        p.add_edge(x, e, y);
+        p
+    }
+
+    #[test]
+    fn finds_all_edge_matches_in_triangle() {
+        let (g, mut v) = triangle();
+        let idx = LabelIndex::build(&g);
+        let p = edge_pattern(&mut v);
+        let ms = find_all_matches(&g, &idx, &p);
+        assert_eq!(ms.len(), 3);
+        assert!(has_match(&g, &idx, &p));
+        assert_eq!(count_matches(&g, &idx, &p), 3);
+    }
+
+    #[test]
+    fn homomorphism_allows_non_injective_maps() {
+        // Graph with a self-loop: one node, edge to itself.
+        let mut v = Vocab::new();
+        let t = v.label("t");
+        let e = v.label("e");
+        let mut g = Graph::new();
+        let a = g.add_node(t);
+        g.add_edge(a, e, a);
+        let idx = LabelIndex::build(&g);
+        let p = edge_pattern(&mut v);
+        // x and y can both map to `a`.
+        assert_eq!(count_matches(&g, &idx, &p), 1);
+        let ms = find_all_matches(&g, &idx, &p);
+        assert_eq!(ms[0][0], ms[0][1]);
+    }
+
+    #[test]
+    fn cycle_pattern_in_triangle() {
+        let (g, mut v) = triangle();
+        let idx = LabelIndex::build(&g);
+        let t = v.label("t");
+        let e = v.label("e");
+        let mut p = Pattern::new();
+        let x = p.add_node(t, "x");
+        let y = p.add_node(t, "y");
+        let z = p.add_node(t, "z");
+        p.add_edge(x, e, y);
+        p.add_edge(y, e, z);
+        p.add_edge(z, e, x);
+        // The 3-cycle maps onto the triangle in 3 rotations (no reflections:
+        // edges are directed).
+        assert_eq!(count_matches(&g, &idx, &p), 3);
+    }
+
+    #[test]
+    fn labels_restrict_matches() {
+        let mut v = Vocab::new();
+        let person = v.label("person");
+        let place = v.label("place");
+        let lives = v.label("livesIn");
+        let mut g = Graph::new();
+        let p1 = g.add_node(person);
+        let c1 = g.add_node(place);
+        let p2 = g.add_node(person);
+        g.add_edge(p1, lives, c1);
+        g.add_edge(p2, lives, c1);
+        g.add_edge(p1, v.label("knows"), p2);
+        let idx = LabelIndex::build(&g);
+
+        let mut q = Pattern::new();
+        let x = q.add_node(person, "x");
+        let y = q.add_node(place, "y");
+        q.add_edge(x, lives, y);
+        assert_eq!(count_matches(&g, &idx, &q), 2);
+
+        // Wildcard node label matches both person and place.
+        let mut qw = Pattern::new();
+        let xw = qw.add_node(LabelId::WILDCARD, "x");
+        let yw = qw.add_node(LabelId::WILDCARD, "y");
+        qw.add_edge(xw, LabelId::WILDCARD, yw);
+        assert_eq!(count_matches(&g, &idx, &qw), 3);
+    }
+
+    #[test]
+    fn pivoted_search_restricts_to_pivot() {
+        let (g, mut v) = triangle();
+        let idx = LabelIndex::build(&g);
+        let p = edge_pattern(&mut v);
+        let plan = MatchPlan::build(&p, Some(VarId::new(0)), Some(&idx));
+        for start in 0..3 {
+            let mut found = Vec::new();
+            let mut s =
+                HomSearch::new(&g, &idx, &p, &plan).with_prefix(&[NodeId::new(start)]);
+            s.run(
+                |m| {
+                    found.push(m);
+                    ControlFlow::Continue(())
+                },
+                SearchLimits::none(),
+            );
+            assert_eq!(found.len(), 1);
+            assert_eq!(found[0][0], NodeId::new(start));
+        }
+    }
+
+    #[test]
+    fn pivoted_matches_partition_all_matches() {
+        let (g, mut v) = triangle();
+        let idx = LabelIndex::build(&g);
+        let p = edge_pattern(&mut v);
+        let plan = MatchPlan::build(&p, Some(VarId::new(0)), Some(&idx));
+        let mut total = 0;
+        for z in g.nodes() {
+            let mut s = HomSearch::new(&g, &idx, &p, &plan).with_prefix(&[z]);
+            s.run(
+                |_| {
+                    total += 1;
+                    ControlFlow::Continue(())
+                },
+                SearchLimits::none(),
+            );
+        }
+        assert_eq!(total, count_matches(&g, &idx, &p));
+    }
+
+    #[test]
+    fn callback_break_stops_search() {
+        let (g, mut v) = triangle();
+        let idx = LabelIndex::build(&g);
+        let p = edge_pattern(&mut v);
+        let plan = MatchPlan::build(&p, None, Some(&idx));
+        let mut n = 0;
+        let mut s = HomSearch::new(&g, &idx, &p, &plan);
+        let outcome = s.run(
+            |_| {
+                n += 1;
+                ControlFlow::Break(())
+            },
+            SearchLimits::none(),
+        );
+        assert_eq!(outcome, RunOutcome::Stopped);
+        assert_eq!(n, 1);
+        assert!(!s.is_exhausted());
+    }
+
+    #[test]
+    fn resume_after_stop_finds_the_rest() {
+        let (g, mut v) = triangle();
+        let idx = LabelIndex::build(&g);
+        let p = edge_pattern(&mut v);
+        let plan = MatchPlan::build(&p, None, Some(&idx));
+        let mut s = HomSearch::new(&g, &idx, &p, &plan);
+        let mut first = 0;
+        s.run(
+            |_| {
+                first += 1;
+                ControlFlow::Break(())
+            },
+            SearchLimits::none(),
+        );
+        let mut rest = 0;
+        let outcome = s.run(
+            |_| {
+                rest += 1;
+                ControlFlow::Continue(())
+            },
+            SearchLimits::none(),
+        );
+        assert_eq!(outcome, RunOutcome::Exhausted);
+        assert_eq!(first + rest, 3);
+    }
+
+    #[test]
+    fn split_plus_resume_covers_every_match() {
+        // Star graph: center -> 8 leaves; pattern x -> y.
+        let mut v = Vocab::new();
+        let t = v.label("t");
+        let e = v.label("e");
+        let mut g = Graph::new();
+        let center = g.add_node(t);
+        for _ in 0..8 {
+            let leaf = g.add_node(t);
+            g.add_edge(center, e, leaf);
+        }
+        let idx = LabelIndex::build(&g);
+        let p = edge_pattern(&mut v);
+        let plan = MatchPlan::build(&p, Some(VarId::new(0)), Some(&idx));
+
+        let mut s = HomSearch::new(&g, &idx, &p, &plan).with_prefix(&[center]);
+        // Find the first match, then split the rest.
+        let mut local = Vec::new();
+        s.run(
+            |m| {
+                local.push(m);
+                ControlFlow::Break(())
+            },
+            SearchLimits::none(),
+        );
+        let prefixes = s.split_shallowest();
+        assert!(!prefixes.is_empty(), "expected sibling branches to split");
+        // Finish the local branch.
+        s.run(
+            |m| {
+                local.push(m);
+                ControlFlow::Continue(())
+            },
+            SearchLimits::none(),
+        );
+        // Resume every split prefix.
+        let mut from_splits = Vec::new();
+        for prefix in &prefixes {
+            let mut r = HomSearch::new(&g, &idx, &p, &plan).with_prefix(prefix);
+            r.run(
+                |m| {
+                    from_splits.push(m);
+                    ControlFlow::Continue(())
+                },
+                SearchLimits::none(),
+            );
+        }
+        let mut all: Vec<Vec<NodeId>> = local
+            .iter()
+            .chain(from_splits.iter())
+            .map(|m| m.to_vec())
+            .collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 8, "union of split + local must be all matches");
+    }
+
+    #[test]
+    fn deadline_interrupts_and_resumes() {
+        // Large-ish complete bipartite-ish graph so the search has work.
+        let mut v = Vocab::new();
+        let t = v.label("t");
+        let e = v.label("e");
+        let mut g = Graph::new();
+        let nodes: Vec<NodeId> = (0..40).map(|_| g.add_node(t)).collect();
+        for &a in &nodes {
+            for &b in &nodes {
+                g.add_edge(a, e, b);
+            }
+        }
+        let idx = LabelIndex::build(&g);
+        let mut p = Pattern::new();
+        let x = p.add_node(t, "x");
+        let y = p.add_node(t, "y");
+        let z = p.add_node(t, "z");
+        p.add_edge(x, e, y);
+        p.add_edge(y, e, z);
+        let plan = MatchPlan::build(&p, None, Some(&idx));
+        let mut s = HomSearch::new(&g, &idx, &p, &plan);
+        let mut n = 0usize;
+        // Deadline already passed: should stop quickly without exhausting.
+        let outcome = s.run(
+            |_| {
+                n += 1;
+                ControlFlow::Continue(())
+            },
+            SearchLimits::with_deadline(Instant::now()),
+        );
+        assert_eq!(outcome, RunOutcome::Deadline);
+        assert!(n < 40 * 40 * 40);
+        // Resume without limits and finish.
+        let outcome = s.run(
+            |_| {
+                n += 1;
+                ControlFlow::Continue(())
+            },
+            SearchLimits::none(),
+        );
+        assert_eq!(outcome, RunOutcome::Exhausted);
+        assert_eq!(n, 40 * 40 * 40);
+    }
+
+    #[test]
+    fn stop_flag_aborts() {
+        let (g, mut v) = triangle();
+        let idx = LabelIndex::build(&g);
+        let p = edge_pattern(&mut v);
+        let plan = MatchPlan::build(&p, None, Some(&idx));
+        let stop = AtomicBool::new(true);
+        let limits = SearchLimits {
+            deadline: None,
+            stop: Some(&stop),
+        };
+        let mut s = HomSearch::new(&g, &idx, &p, &plan);
+        // The flag is polled every CHECK_INTERVAL steps; a triangle search
+        // finishes sooner, so stop may not trigger — use a bigger graph.
+        let outcome = s.run(|_| ControlFlow::Continue(()), limits);
+        // Either it exhausted before the first poll or it stopped; both are
+        // acceptable terminations for a tiny space.
+        assert!(matches!(outcome, RunOutcome::Exhausted | RunOutcome::Stopped));
+    }
+
+    #[test]
+    fn disconnected_pattern_takes_cross_product() {
+        let (g, mut v) = triangle();
+        let idx = LabelIndex::build(&g);
+        let t = v.label("t");
+        let mut p = Pattern::new();
+        p.add_node(t, "a");
+        p.add_node(t, "b");
+        // Two isolated vars: every pair of nodes matches.
+        assert_eq!(count_matches(&g, &idx, &p), 9);
+    }
+
+    #[test]
+    fn filters_prune_candidates() {
+        let (g, mut v) = triangle();
+        let idx = LabelIndex::build(&g);
+        let p = edge_pattern(&mut v);
+        // Only allow node 0 for x, anything for y.
+        let mut only0 = NodeSet::with_capacity(3);
+        only0.insert(NodeId::new(0));
+        let mut all = NodeSet::with_capacity(3);
+        for n in g.nodes() {
+            all.insert(n);
+        }
+        let filters = vec![only0, all];
+        let plan = MatchPlan::build(&p, Some(VarId::new(0)), Some(&idx));
+        let mut s = HomSearch::new(&g, &idx, &p, &plan).with_filters(&filters);
+        let mut n = 0;
+        s.run(
+            |m| {
+                assert_eq!(m[0], NodeId::new(0));
+                n += 1;
+                ControlFlow::Continue(())
+            },
+            SearchLimits::none(),
+        );
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn invalid_prefix_yields_no_matches() {
+        let mut v = Vocab::new();
+        let person = v.label("person");
+        let place = v.label("place");
+        let mut g = Graph::new();
+        g.add_node(person);
+        let b = g.add_node(place);
+        let idx = LabelIndex::build(&g);
+        let mut p = Pattern::new();
+        p.add_node(person, "x");
+        let plan = MatchPlan::build(&p, Some(VarId::new(0)), Some(&idx));
+        // Pivot at a place-labelled node for a person-labelled variable.
+        let mut s = HomSearch::new(&g, &idx, &p, &plan).with_prefix(&[b]);
+        let mut n = 0;
+        let outcome = s.run(
+            |_| {
+                n += 1;
+                ControlFlow::Continue(())
+            },
+            SearchLimits::none(),
+        );
+        assert_eq!(outcome, RunOutcome::Exhausted);
+        assert_eq!(n, 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Graph simulation (Henzinger, Henzinger & Kopke, FOCS'95) adapted to
+//! labelled directed graphs.
+//!
+//! The paper (§V-B, optimization) uses simulation as a cheap necessary
+//! condition for homomorphism: if pattern `Q1` does not simulate into a
+//! graph (or into another pattern), no homomorphism can exist, so the
+//! exponential matcher can be skipped. We implement:
+//!
+//! * [`dual_simulation`] — the fixed-point over both out- and in-edges; the
+//!   resulting per-variable node sets are sound candidate filters for the
+//!   backtracking matcher (every homomorphic image is contained in them);
+//! * [`may_embed`] — the multi-query-optimization test: can `q1` possibly
+//!   map homomorphically into `q2`?
+
+use gfd_graph::{Graph, LabelIndex, NodeSet, Pattern};
+
+/// Compute the dual-simulation sets of `pattern` over `graph`.
+///
+/// Returns one [`NodeSet`] per pattern variable, or `None` if some variable
+/// ends up with an empty set (in which case the pattern has no match at
+/// all). Every node that can appear in any homomorphic match of the pattern
+/// is contained in its variable's set, so the sets are sound filters.
+pub fn dual_simulation(
+    graph: &Graph,
+    index: &LabelIndex,
+    pattern: &Pattern,
+) -> Option<Vec<NodeSet>> {
+    let nvars = pattern.node_count();
+    let mut sim: Vec<NodeSet> = Vec::with_capacity(nvars);
+
+    // Initial sets: label-compatible nodes.
+    for u in pattern.vars() {
+        let mut set = NodeSet::with_capacity(graph.node_count());
+        for &v in index.candidates(pattern.label(u)) {
+            set.insert(v);
+        }
+        if set.is_empty() {
+            return None;
+        }
+        sim.push(set);
+    }
+
+    // Fixed point: remove v from sim(u) if some pattern edge at u has no
+    // matching graph edge at v whose endpoint survives.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for u in pattern.vars() {
+            let mut removals = Vec::new();
+            for v in sim[u.index()].iter() {
+                let ok_out = pattern.out_edges(u).iter().all(|&(elabel, u2)| {
+                    graph.out_edges(v).iter().any(|&(glabel, v2)| {
+                        elabel.pattern_matches(glabel) && sim[u2.index()].contains(v2)
+                    })
+                });
+                let ok_in = ok_out
+                    && pattern.in_edges(u).iter().all(|&(elabel, u2)| {
+                        graph.in_edges(v).iter().any(|&(glabel, v2)| {
+                            elabel.pattern_matches(glabel) && sim[u2.index()].contains(v2)
+                        })
+                    });
+                if !ok_in {
+                    removals.push(v);
+                }
+            }
+            if !removals.is_empty() {
+                changed = true;
+                let set = &mut sim[u.index()];
+                // NodeSet has no remove; rebuild without the removals.
+                let keep: Vec<_> = set.iter().filter(|n| !removals.contains(n)).collect();
+                if keep.is_empty() {
+                    return None;
+                }
+                let mut rebuilt = NodeSet::with_capacity(graph.node_count());
+                for n in keep {
+                    rebuilt.insert(n);
+                }
+                *set = rebuilt;
+            }
+        }
+    }
+    Some(sim)
+}
+
+/// Cheap necessary condition for a homomorphism from `q1` into (a subgraph
+/// of) `q2`: dual simulation of `q1` over `q2`-as-graph.
+///
+/// `false` means *definitely no homomorphism*; `true` means "maybe" — the
+/// exact matcher must decide. Wildcard labels in `q2` are kept verbatim
+/// (canonical-graph semantics: only a wildcard in `q1` matches them).
+pub fn may_embed(q1: &Pattern, q2: &Pattern) -> bool {
+    if q1.node_count() == 0 {
+        return true;
+    }
+    if q2.node_count() == 0 {
+        return false;
+    }
+    let g2 = q2.to_graph();
+    let idx = LabelIndex::build(&g2);
+    dual_simulation(&g2, &idx, q1).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::count_matches;
+    use gfd_graph::{LabelId, NodeId, Vocab};
+
+    fn chain_graph(n: usize) -> (Graph, Vocab) {
+        let mut v = Vocab::new();
+        let t = v.label("t");
+        let e = v.label("e");
+        let mut g = Graph::new();
+        let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(t)).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], e, w[1]);
+        }
+        (g, v)
+    }
+
+    #[test]
+    fn simulation_sets_contain_all_match_images() {
+        let (g, mut v) = chain_graph(5);
+        let idx = LabelIndex::build(&g);
+        let t = v.label("t");
+        let e = v.label("e");
+        let mut p = Pattern::new();
+        let x = p.add_node(t, "x");
+        let y = p.add_node(t, "y");
+        p.add_edge(x, e, y);
+        let sim = dual_simulation(&g, &idx, &p).expect("matches exist");
+        // x needs an out-edge: nodes 0..4; y needs an in-edge: nodes 1..5.
+        assert!(!sim[x.index()].contains(NodeId::new(4)));
+        assert!(sim[x.index()].contains(NodeId::new(0)));
+        assert!(!sim[y.index()].contains(NodeId::new(0)));
+        assert!(sim[y.index()].contains(NodeId::new(4)));
+        // Soundness: every match image is in the sets.
+        for m in crate::search::find_all_matches(&g, &idx, &p) {
+            assert!(sim[x.index()].contains(m[x.index()]));
+            assert!(sim[y.index()].contains(m[y.index()]));
+        }
+    }
+
+    #[test]
+    fn unmatchable_pattern_yields_none() {
+        let (g, mut v) = chain_graph(3);
+        let idx = LabelIndex::build(&g);
+        let t = v.label("t");
+        let e = v.label("e");
+        // A 3-cycle cannot simulate into a 3-chain.
+        let mut p = Pattern::new();
+        let x = p.add_node(t, "x");
+        let y = p.add_node(t, "y");
+        let z = p.add_node(t, "z");
+        p.add_edge(x, e, y);
+        p.add_edge(y, e, z);
+        p.add_edge(z, e, x);
+        assert!(dual_simulation(&g, &idx, &p).is_none());
+        assert_eq!(count_matches(&g, &idx, &p), 0);
+    }
+
+    #[test]
+    fn missing_label_yields_none() {
+        let (g, mut v) = chain_graph(3);
+        let idx = LabelIndex::build(&g);
+        let mut p = Pattern::new();
+        p.add_node(v.label("nonexistent"), "x");
+        assert!(dual_simulation(&g, &idx, &p).is_none());
+    }
+
+    #[test]
+    fn long_chain_pattern_pruned_from_short_chain() {
+        // 4-node chain pattern cannot match a 3-node chain graph
+        // (homomorphism needs 3 consecutive edges).
+        let (g, mut v) = chain_graph(3);
+        let idx = LabelIndex::build(&g);
+        let t = v.label("t");
+        let e = v.label("e");
+        let mut p = Pattern::new();
+        let vars: Vec<_> = (0..4).map(|i| p.add_node(t, format!("v{i}"))).collect();
+        for w in vars.windows(2) {
+            p.add_edge(w[0], e, w[1]);
+        }
+        assert!(dual_simulation(&g, &idx, &p).is_none());
+        assert_eq!(count_matches(&g, &idx, &p), 0);
+    }
+
+    #[test]
+    fn may_embed_is_a_sound_necessary_condition() {
+        let mut v = Vocab::new();
+        let t = v.label("t");
+        let e = v.label("e");
+        // q1: single edge. q2: triangle. Edge embeds in the triangle.
+        let mut q1 = Pattern::new();
+        let a = q1.add_node(t, "a");
+        let b = q1.add_node(t, "b");
+        q1.add_edge(a, e, b);
+        let mut q2 = Pattern::new();
+        let x = q2.add_node(t, "x");
+        let y = q2.add_node(t, "y");
+        let z = q2.add_node(t, "z");
+        q2.add_edge(x, e, y);
+        q2.add_edge(y, e, z);
+        q2.add_edge(z, e, x);
+        assert!(may_embed(&q1, &q2));
+        // Triangle into a single edge: impossible.
+        assert!(!may_embed(&q2, &q1));
+    }
+
+    #[test]
+    fn concrete_label_does_not_embed_into_wildcard_pattern() {
+        let mut v = Vocab::new();
+        let t = v.label("t");
+        let mut q1 = Pattern::new();
+        q1.add_node(t, "a");
+        let mut q2 = Pattern::new();
+        q2.add_node(LabelId::WILDCARD, "x");
+        // Canonical-graph semantics: `t` does not match `_`.
+        assert!(!may_embed(&q1, &q2));
+        // The wildcard variable, however, embeds anywhere.
+        assert!(may_embed(&q2, &q1));
+    }
+}

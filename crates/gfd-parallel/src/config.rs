@@ -1,0 +1,116 @@
+//! Configuration of the parallel runtime.
+
+use std::time::Duration;
+
+/// Tuning knobs for `ParSat` / `ParImp` (§V-B, §VI-C).
+#[derive(Clone, Debug)]
+pub struct ParConfig {
+    /// Number of workers `p`. The coordinator runs on the calling thread.
+    pub workers: usize,
+    /// Straggler threshold: a work unit matching longer than this is split
+    /// (the paper's TTL, Exp-4 varies it from 0.1 s to 8 s).
+    pub ttl: Duration,
+    /// Pipelined parallelism: enforce each match as soon as it is found.
+    /// With `false` (the paper's `*np` variants) a unit first enumerates
+    /// *all* its matches, then enforces them.
+    pub pipeline: bool,
+    /// Work-unit splitting on TTL expiry. With `false` (the `*nb`
+    /// variants) stragglers run to completion on one worker.
+    pub split: bool,
+    /// Units per assignment message (paper: "assigned in a small batch to
+    /// reduce communication"). `None` picks a size from the unit count.
+    pub batch: Option<usize>,
+    /// Order work units by the dependency-graph topological order. With
+    /// `false`, input order is used.
+    pub use_dependency_order: bool,
+    /// Skip units whose pivot component cannot host the pattern.
+    pub prune_components: bool,
+}
+
+impl Default for ParConfig {
+    fn default() -> Self {
+        ParConfig {
+            workers: 4,
+            ttl: Duration::from_secs(2),
+            pipeline: true,
+            split: true,
+            batch: None,
+            use_dependency_order: true,
+            prune_components: true,
+        }
+    }
+}
+
+impl ParConfig {
+    /// Default configuration with `p` workers.
+    pub fn with_workers(workers: usize) -> Self {
+        ParConfig {
+            workers,
+            ..Self::default()
+        }
+    }
+
+    /// The `*np` ablation: no pipelining.
+    pub fn without_pipeline(mut self) -> Self {
+        self.pipeline = false;
+        self
+    }
+
+    /// The `*nb` ablation: no work-unit splitting.
+    pub fn without_split(mut self) -> Self {
+        self.split = false;
+        self
+    }
+
+    /// Override the TTL.
+    pub fn with_ttl(mut self, ttl: Duration) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Effective batch size for a given total unit count.
+    pub fn batch_size(&self, unit_count: usize) -> usize {
+        match self.batch {
+            Some(b) => b.max(1),
+            None => (unit_count / (self.workers.max(1) * 16)).clamp(1, 64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = ParConfig::default();
+        assert_eq!(c.ttl, Duration::from_secs(2));
+        assert!(c.pipeline);
+        assert!(c.split);
+        assert!(c.use_dependency_order);
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let c = ParConfig::with_workers(8).without_pipeline();
+        assert_eq!(c.workers, 8);
+        assert!(!c.pipeline);
+        assert!(c.split);
+        let c = ParConfig::with_workers(2).without_split();
+        assert!(c.pipeline);
+        assert!(!c.split);
+    }
+
+    #[test]
+    fn auto_batch_is_bounded() {
+        let c = ParConfig::with_workers(4);
+        assert_eq!(c.batch_size(10), 1);
+        assert!(c.batch_size(100_000) <= 64);
+        assert!(c.batch_size(0) >= 1);
+        let c = ParConfig {
+            batch: Some(7),
+            ..ParConfig::default()
+        };
+        assert_eq!(c.batch_size(1_000_000), 7);
+    }
+}

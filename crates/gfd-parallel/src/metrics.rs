@@ -1,0 +1,94 @@
+//! Run metrics reported by the parallel algorithms (used by the benchmark
+//! harness and the ablation experiments).
+
+use std::time::Duration;
+
+/// Counters and timings for one `ParSat`/`ParImp` run.
+#[derive(Clone, Debug, Default)]
+pub struct RunMetrics {
+    /// Wall-clock time of the whole run (including setup and the final
+    /// convergence phase).
+    pub elapsed: Duration,
+    /// Number of workers used.
+    pub workers: usize,
+    /// Initial work units generated from pivot candidates.
+    pub units_generated: usize,
+    /// Units handed to workers (initial + split).
+    pub units_dispatched: u64,
+    /// Units created by TTL straggler splitting.
+    pub units_split: u64,
+    /// Matches found and enforced across all workers.
+    pub matches: u64,
+    /// ΔEq ops broadcast between workers.
+    pub delta_ops_broadcast: u64,
+    /// Busy time per worker (only populated on quiescent runs).
+    pub worker_busy: Vec<Duration>,
+    /// Did the run end early (conflict / consequence reached)?
+    pub early_terminated: bool,
+}
+
+impl RunMetrics {
+    /// The simulated parallel makespan: the maximum per-worker busy (CPU)
+    /// time. On a machine with ≥ p free cores this approximates wall
+    /// time; on fewer cores it still reflects what dedicated processors
+    /// would achieve, which is what the scalability experiments compare.
+    pub fn makespan(&self) -> Option<Duration> {
+        self.worker_busy.iter().max().copied()
+    }
+
+    /// Total busy (CPU) time across workers.
+    pub fn total_busy(&self) -> Duration {
+        self.worker_busy.iter().sum()
+    }
+
+    /// Load imbalance: max busy time over mean busy time (1.0 = perfectly
+    /// balanced). `None` when per-worker times were not collected.
+    pub fn imbalance(&self) -> Option<f64> {
+        if self.worker_busy.is_empty() {
+            return None;
+        }
+        let max = self.worker_busy.iter().max()?.as_secs_f64();
+        let mean = self
+            .worker_busy
+            .iter()
+            .map(Duration::as_secs_f64)
+            .sum::<f64>()
+            / self.worker_busy.len() as f64;
+        if mean == 0.0 {
+            return Some(1.0);
+        }
+        Some(max / mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_of_balanced_run_is_one() {
+        let m = RunMetrics {
+            worker_busy: vec![Duration::from_millis(10); 4],
+            ..Default::default()
+        };
+        assert!((m.imbalance().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_detects_straggler() {
+        let m = RunMetrics {
+            worker_busy: vec![
+                Duration::from_millis(10),
+                Duration::from_millis(10),
+                Duration::from_millis(40),
+            ],
+            ..Default::default()
+        };
+        assert!(m.imbalance().unwrap() > 1.5);
+    }
+
+    #[test]
+    fn imbalance_none_without_data() {
+        assert!(RunMetrics::default().imbalance().is_none());
+    }
+}

@@ -1,0 +1,193 @@
+//! `ParImp` — parallel scalable implication checking (§VI-C).
+
+use crate::config::ParConfig;
+use crate::metrics::RunMetrics;
+use crate::runtime::{run_parallel, Goal, TerminalEvent};
+use gfd_core::{
+    consequence_deducible, CanonicalGraph, EnforceEngine, Gfd, GfdSet, ImpOutcome, ImpliedVia,
+};
+
+/// Result of a `ParImp` run.
+#[derive(Clone, Debug)]
+pub struct ParImpResult {
+    /// Implied (with the reason) or not.
+    pub outcome: ImpOutcome,
+    /// Parallel run metrics.
+    pub metrics: RunMetrics,
+}
+
+impl ParImpResult {
+    /// True iff `Σ |= ϕ`.
+    pub fn is_implied(&self) -> bool {
+        matches!(self.outcome, ImpOutcome::Implied(_))
+    }
+}
+
+/// Check `Σ |= ϕ` with `cfg.workers` parallel workers.
+///
+/// Parallel scalable relative to `SeqImp`; shares the coordinator/worker
+/// runtime of `ParSat` with two differences: units whose premise is
+/// subsumed by `X` get the highest priority, and workers terminate early
+/// when `Y ⊆ EqH` (not just on conflicts).
+pub fn par_imp(sigma: &GfdSet, phi: &Gfd, cfg: &ParConfig) -> ParImpResult {
+    let trivial = |outcome: ImpOutcome| ParImpResult {
+        outcome,
+        metrics: RunMetrics {
+            workers: cfg.workers,
+            ..Default::default()
+        },
+    };
+
+    if phi.consequence.is_empty() {
+        return trivial(ImpOutcome::Implied(ImpliedVia::Consequence));
+    }
+    let (canon, eqx) = match CanonicalGraph::for_phi(phi) {
+        Ok(pair) => pair,
+        Err(_) => return trivial(ImpOutcome::Implied(ImpliedVia::PremiseInconsistent)),
+    };
+    {
+        let mut probe = EnforceEngine::with_eq(eqx.clone());
+        if consequence_deducible(&mut probe.eq, phi) {
+            return trivial(ImpOutcome::Implied(ImpliedVia::Consequence));
+        }
+    }
+    if sigma.is_empty() {
+        return trivial(ImpOutcome::NotImplied);
+    }
+
+    let run = run_parallel(sigma, Goal::Imp(phi), eqx, &canon, cfg);
+    let outcome = match run.terminal {
+        Some(TerminalEvent::Conflict(c)) => ImpOutcome::Implied(ImpliedVia::Conflict(c)),
+        Some(TerminalEvent::Consequence) => ImpOutcome::Implied(ImpliedVia::Consequence),
+        None => ImpOutcome::NotImplied,
+    };
+    ParImpResult {
+        outcome,
+        metrics: run.metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_core::{seq_imp, Literal};
+    use gfd_graph::{Pattern, VarId, Vocab};
+
+    /// The Example 8 fixture shared with the sequential tests.
+    fn example8() -> (GfdSet, Gfd, Gfd) {
+        let mut vocab = Vocab::new();
+        let a_lbl = vocab.label("a");
+        let b_lbl = vocab.label("b");
+        let c_lbl = vocab.label("c");
+        let p_lbl = vocab.label("p");
+        let attr_a = vocab.attr("A");
+        let attr_b = vocab.attr("B");
+        let attr_c = vocab.attr("C");
+
+        let mut q8 = Pattern::new();
+        let x8 = q8.add_node(a_lbl, "x");
+        let y8 = q8.add_node(b_lbl, "y");
+        q8.add_edge(x8, p_lbl, y8);
+
+        let mut q9 = Pattern::new();
+        let x9 = q9.add_node(a_lbl, "x");
+        let y9 = q9.add_node(c_lbl, "y");
+        q9.add_edge(x9, p_lbl, y9);
+
+        let mut q7 = Pattern::new();
+        let x7 = q7.add_node(a_lbl, "x");
+        let y7 = q7.add_node(b_lbl, "y");
+        let z7 = q7.add_node(c_lbl, "z");
+        let w7 = q7.add_node(c_lbl, "w");
+        q7.add_edge(x7, p_lbl, y7);
+        q7.add_edge(x7, p_lbl, z7);
+        q7.add_edge(x7, p_lbl, w7);
+
+        let phi11 = Gfd::new("phi11", q8, vec![], vec![Literal::eq_const(x8, attr_a, 1i64)]);
+        let phi12 = Gfd::new(
+            "phi12",
+            q9,
+            vec![
+                Literal::eq_const(x9, attr_a, 1i64),
+                Literal::eq_const(y9, attr_b, 2i64),
+            ],
+            vec![Literal::eq_const(y9, attr_c, 2i64)],
+        );
+        let phi13 = Gfd::new(
+            "phi13",
+            q7.clone(),
+            vec![Literal::eq_const(VarId::new(2), attr_b, 2i64)],
+            vec![Literal::eq_const(VarId::new(2), attr_c, 2i64)],
+        );
+        let phi14 = Gfd::new(
+            "phi14",
+            q7,
+            vec![Literal::eq_const(VarId::new(0), attr_a, 0i64)],
+            vec![Literal::eq_const(VarId::new(2), attr_c, 2i64)],
+        );
+        (GfdSet::from_vec(vec![phi11, phi12]), phi13, phi14)
+    }
+
+    #[test]
+    fn example8_matches_sequential_across_worker_counts() {
+        let (sigma, phi13, phi14) = example8();
+        assert!(seq_imp(&sigma, &phi13).is_implied());
+        assert!(seq_imp(&sigma, &phi14).is_implied());
+        for p in [1, 2, 4] {
+            let cfg = ParConfig::with_workers(p);
+            let r13 = par_imp(&sigma, &phi13, &cfg);
+            assert!(r13.is_implied(), "phi13 p={p}: {:?}", r13.outcome);
+            let r14 = par_imp(&sigma, &phi14, &cfg);
+            assert!(r14.is_implied(), "phi14 p={p}: {:?}", r14.outcome);
+        }
+    }
+
+    #[test]
+    fn not_implied_matches_sequential() {
+        let (sigma, phi13, _) = example8();
+        // Remove phi12: phi13 no longer follows.
+        let smaller = GfdSet::from_vec(vec![sigma.as_slice()[0].clone()]);
+        assert!(!seq_imp(&smaller, &phi13).is_implied());
+        for p in [1, 3] {
+            let r = par_imp(&smaller, &phi13, &ParConfig::with_workers(p));
+            assert!(!r.is_implied(), "p={p}");
+        }
+    }
+
+    #[test]
+    fn ablation_variants_agree() {
+        let (sigma, phi13, phi14) = example8();
+        let base = ParConfig::with_workers(2);
+        for phi in [&phi13, &phi14] {
+            assert!(par_imp(&sigma, phi, &base).is_implied());
+            assert!(par_imp(&sigma, phi, &base.clone().without_pipeline()).is_implied());
+            assert!(par_imp(&sigma, phi, &base.clone().without_split()).is_implied());
+        }
+    }
+
+    #[test]
+    fn trivial_cases_short_circuit() {
+        let (sigma, _, _) = example8();
+        let mut vocab = Vocab::new();
+        let mut q = Pattern::new();
+        let x = q.add_node(vocab.label("a"), "x");
+        let a = vocab.attr("A");
+        // Empty consequence.
+        let trivial = Gfd::new("t", q.clone(), vec![], vec![]);
+        let r = par_imp(&sigma, &trivial, &ParConfig::with_workers(2));
+        assert!(r.is_implied());
+        assert_eq!(r.metrics.units_dispatched, 0);
+        // Inconsistent premise.
+        let inconsistent = Gfd::new(
+            "i",
+            q,
+            vec![Literal::eq_const(x, a, 1i64), Literal::eq_const(x, a, 2i64)],
+            vec![Literal::eq_const(x, a, 3i64)],
+        );
+        let r = par_imp(&sigma, &inconsistent, &ParConfig::with_workers(2));
+        assert!(matches!(
+            r.outcome,
+            ImpOutcome::Implied(ImpliedVia::PremiseInconsistent)
+        ));
+    }
+}

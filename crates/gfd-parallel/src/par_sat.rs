@@ -1,0 +1,171 @@
+//! `ParSat` — parallel scalable satisfiability checking (§V).
+
+use crate::config::ParConfig;
+use crate::metrics::RunMetrics;
+use crate::runtime::{run_parallel, Goal, TerminalEvent};
+use gfd_core::{extract_model, CanonicalGraph, EqRel, GfdSet, SatOutcome};
+
+/// Result of a `ParSat` run.
+#[derive(Clone, Debug)]
+pub struct ParSatResult {
+    /// Satisfiable (with a model, a Σ-bounded population of `GΣ`) or the
+    /// witnessing conflict.
+    pub outcome: SatOutcome,
+    /// Parallel run metrics.
+    pub metrics: RunMetrics,
+}
+
+impl ParSatResult {
+    /// True iff Σ was found satisfiable.
+    pub fn is_satisfiable(&self) -> bool {
+        matches!(self.outcome, SatOutcome::Satisfiable(_))
+    }
+}
+
+/// Check the satisfiability of Σ with `cfg.workers` parallel workers.
+///
+/// Parallel scalable relative to `SeqSat`: runtime `O(t(|Σ|)/p)` via
+/// dynamic workload assignment and straggler splitting.
+pub fn par_sat(sigma: &GfdSet, cfg: &ParConfig) -> ParSatResult {
+    if sigma.is_empty() {
+        return ParSatResult {
+            outcome: SatOutcome::Satisfiable(Box::new(gfd_graph::Graph::new())),
+            metrics: RunMetrics {
+                workers: cfg.workers,
+                ..Default::default()
+            },
+        };
+    }
+    let (canon, _) = CanonicalGraph::for_sigma(sigma);
+    let run = run_parallel(sigma, Goal::Sat, EqRel::new(), &canon, cfg);
+    let outcome = match run.terminal {
+        Some(TerminalEvent::Conflict(c)) => SatOutcome::Unsatisfiable(c),
+        Some(TerminalEvent::Consequence) => {
+            unreachable!("consequence events are implication-only")
+        }
+        None => {
+            let mut engine = run.engine.expect("quiescent run produces merged state");
+            SatOutcome::Satisfiable(Box::new(extract_model(&canon.graph, &mut engine.eq)))
+        }
+    };
+    ParSatResult {
+        outcome,
+        metrics: run.metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_core::{seq_sat, Gfd, Literal};
+    use gfd_graph::{LabelId, Pattern, VarId, Vocab};
+
+    fn wildcard_unary(name: &str, lits: Vec<Literal>, premise: Vec<Literal>) -> Gfd {
+        let mut p = Pattern::new();
+        p.add_node(LabelId::WILDCARD, "x");
+        Gfd::new(name, p, premise, lits)
+    }
+
+    #[test]
+    fn agrees_with_seq_sat_on_unsat_wildcard_conflict() {
+        let mut vocab = Vocab::new();
+        let a = vocab.attr("A");
+        let x = VarId::new(0);
+        let sigma = GfdSet::from_vec(vec![
+            wildcard_unary("phi5", vec![Literal::eq_const(x, a, 0i64)], vec![]),
+            wildcard_unary("phi6", vec![Literal::eq_const(x, a, 1i64)], vec![]),
+        ]);
+        assert!(!seq_sat(&sigma).is_satisfiable());
+        for p in [1, 2, 4] {
+            let r = par_sat(&sigma, &ParConfig::with_workers(p));
+            assert!(!r.is_satisfiable(), "p={p}");
+            assert!(r.metrics.early_terminated);
+        }
+    }
+
+    #[test]
+    fn agrees_with_seq_sat_on_satisfiable_set() {
+        let mut vocab = Vocab::new();
+        let t = vocab.label("t");
+        let e = vocab.label("e");
+        let a = vocab.attr("a");
+        let b = vocab.attr("b");
+        let mut gfds = Vec::new();
+        for i in 0..6 {
+            let mut p = Pattern::new();
+            let x = p.add_node(t, "x");
+            let y = p.add_node(t, "y");
+            p.add_edge(x, e, y);
+            gfds.push(Gfd::new(
+                format!("g{i}"),
+                p,
+                if i % 2 == 0 {
+                    vec![]
+                } else {
+                    vec![Literal::eq_const(x, a, 1i64)]
+                },
+                vec![
+                    Literal::eq_const(x, a, 1i64),
+                    Literal::eq_attr(x, b, y, b),
+                ],
+            ));
+        }
+        let sigma = GfdSet::from_vec(gfds);
+        let seq = seq_sat(&sigma);
+        assert!(seq.is_satisfiable());
+        for p in [1, 2, 4, 8] {
+            let r = par_sat(&sigma, &ParConfig::with_workers(p));
+            assert!(r.is_satisfiable(), "p={p}");
+            // The model must satisfy Σ.
+            let model = match &r.outcome {
+                SatOutcome::Satisfiable(m) => m,
+                _ => unreachable!(),
+            };
+            assert!(gfd_core::graph_satisfies_all(model, &sigma));
+        }
+    }
+
+    #[test]
+    fn variants_agree() {
+        let mut vocab = Vocab::new();
+        let a = vocab.attr("A");
+        let b = vocab.attr("B");
+        let x = VarId::new(0);
+        // Chain: seed a=1; a=1 → b=1; b=1 ∧ a=1 → conflict on a.
+        let sigma = GfdSet::from_vec(vec![
+            wildcard_unary("seed", vec![Literal::eq_const(x, a, 1i64)], vec![]),
+            wildcard_unary(
+                "prop",
+                vec![Literal::eq_const(x, b, 1i64)],
+                vec![Literal::eq_const(x, a, 1i64)],
+            ),
+            wildcard_unary(
+                "deny",
+                vec![Literal::eq_const(x, a, 2i64)],
+                vec![Literal::eq_const(x, b, 1i64)],
+            ),
+        ]);
+        let expect = seq_sat(&sigma).is_satisfiable();
+        let base = ParConfig::with_workers(3);
+        assert_eq!(par_sat(&sigma, &base).is_satisfiable(), expect);
+        assert_eq!(
+            par_sat(&sigma, &base.clone().without_pipeline()).is_satisfiable(),
+            expect
+        );
+        assert_eq!(
+            par_sat(&sigma, &base.clone().without_split()).is_satisfiable(),
+            expect
+        );
+        let no_order = ParConfig {
+            use_dependency_order: false,
+            ..base
+        };
+        assert_eq!(par_sat(&sigma, &no_order).is_satisfiable(), expect);
+    }
+
+    #[test]
+    fn empty_sigma_is_satisfiable() {
+        let r = par_sat(&GfdSet::new(), &ParConfig::with_workers(2));
+        assert!(r.is_satisfiable());
+    }
+}

@@ -1,0 +1,563 @@
+//! The coordinator/worker runtime shared by `ParSat` and `ParImp` (§V-B).
+//!
+//! Topology: one coordinator (the calling thread) and `p` worker threads.
+//! The canonical graph is replicated (shared read-only); each worker owns a
+//! local [`EnforceEngine`] whose `ΔEq` op log is broadcast asynchronously
+//! to the other workers — the paper's peer-to-peer `∆Eq` exchange.
+//!
+//! * **Dynamic assignment**: the coordinator pops batches off a priority
+//!   queue of work units and hands them to whichever worker reports
+//!   `BatchDone` (the `f_d` flag).
+//! * **Straggler splitting**: a worker whose unit exceeds the TTL splits
+//!   the untried sibling branches into prefix units and ships them back
+//!   (`Split`); the coordinator pushes them to the *front* of the queue.
+//! * **Early termination**: a conflict (`f_c`), or for implication a
+//!   deduced consequence, raises the global stop flag and ends the run.
+//! * **Final convergence**: once the queue drains and every worker is
+//!   idle, workers ship their full op logs and unresolved pending matches;
+//!   the coordinator replays them into one engine and runs the (cheap,
+//!   match-free) enforcement fixpoint. This closes the window where a
+//!   pending premise was satisfied by a `ΔEq` that arrived after its
+//!   worker went idle — required for exactness (see DESIGN.md).
+
+use crate::config::ParConfig;
+use crate::metrics::RunMetrics;
+use crate::unit::{generate_units, order_units, WorkUnit};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use gfd_core::{
+    build_plans_lazy, consequence_deducible, CanonicalGraph, Conflict, EnforceEngine, EqOp, EqRel,
+    Gfd, GfdSet,
+};
+use gfd_graph::GfdId;
+use gfd_match::{HomSearch, Match, MatchPlan, RunOutcome, SearchLimits};
+use rustc_hash::FxHashSet;
+use std::collections::VecDeque;
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// What the run is trying to decide.
+#[derive(Clone, Copy)]
+pub(crate) enum Goal<'a> {
+    /// Satisfiability over `GΣ`.
+    Sat,
+    /// Implication of `ϕ` over `G^X_Q`.
+    Imp(&'a Gfd),
+}
+
+/// A run-ending event raised by a worker or the final convergence phase.
+#[derive(Clone, Debug)]
+pub(crate) enum TerminalEvent {
+    /// Distinct constants forced onto one class (the `f_c` flag).
+    Conflict(Conflict),
+    /// `Y ⊆ EqH` reached (implication only).
+    Consequence,
+}
+
+enum ToWorker {
+    Units(Vec<WorkUnit>),
+    Drain,
+    Stop,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct WorkerStats {
+    units: u64,
+    matches: u64,
+    splits: u64,
+    ops_sent: u64,
+    busy: std::time::Duration,
+}
+
+enum ToCoord {
+    BatchDone {
+        worker: usize,
+    },
+    Terminal {
+        event: TerminalEvent,
+    },
+    Split {
+        units: Vec<WorkUnit>,
+    },
+    Drained {
+        delta: Vec<EqOp>,
+        pending: Vec<(GfdId, Match)>,
+        stats: WorkerStats,
+    },
+}
+
+/// The outcome of a parallel run, before goal-specific interpretation.
+pub(crate) struct ParRun {
+    /// Early or final terminal event, if any.
+    pub terminal: Option<TerminalEvent>,
+    /// The merged engine after the convergence phase (absent when the run
+    /// terminated early).
+    pub engine: Option<EnforceEngine>,
+    /// Run counters.
+    pub metrics: RunMetrics,
+}
+
+struct Worker<'a> {
+    id: usize,
+    sigma: &'a GfdSet,
+    canon: &'a CanonicalGraph,
+    plans: &'a [Option<MatchPlan>],
+    goal: Goal<'a>,
+    cfg: &'a ParConfig,
+    engine: EnforceEngine,
+    broadcast_cursor: usize,
+    rx_tasks: Receiver<ToWorker>,
+    tx_coord: Sender<ToCoord>,
+    rx_delta: Receiver<Vec<EqOp>>,
+    tx_delta: Vec<Sender<Vec<EqOp>>>,
+    stop: &'a AtomicBool,
+    stats: WorkerStats,
+    last_y_version: u64,
+    terminal_sent: bool,
+}
+
+impl<'a> Worker<'a> {
+    fn run(mut self) {
+        loop {
+            match self.rx_tasks.recv() {
+                Err(_) | Ok(ToWorker::Stop) => return,
+                Ok(ToWorker::Drain) => {
+                    self.apply_inbox();
+                    let engine = std::mem::take(&mut self.engine);
+                    let (delta, pending) = engine.into_state();
+                    let _ = self.tx_coord.send(ToCoord::Drained {
+                        delta,
+                        pending,
+                        stats: self.stats,
+                    });
+                }
+                Ok(ToWorker::Units(units)) => {
+                    let timer = crate::cputime::BusyTimer::start();
+                    for unit in units {
+                        if self.terminal_sent || self.stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        self.apply_inbox();
+                        if self.terminal_sent {
+                            break;
+                        }
+                        self.process_unit(unit);
+                    }
+                    self.broadcast();
+                    self.stats.busy += timer.elapsed();
+                    let _ = self.tx_coord.send(ToCoord::BatchDone { worker: self.id });
+                }
+            }
+        }
+    }
+
+    /// Raise a terminal event: set the global stop flag so every worker
+    /// aborts its search, and notify the coordinator.
+    fn terminal(&mut self, event: TerminalEvent) {
+        if self.terminal_sent {
+            return;
+        }
+        self.terminal_sent = true;
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = self.tx_coord.send(ToCoord::Terminal { event });
+    }
+
+    /// Apply queued remote deltas (cascading local pending rechecks), then
+    /// re-test the consequence for implication goals.
+    fn apply_inbox(&mut self) {
+        while let Ok(ops) = self.rx_delta.try_recv() {
+            if let Err(c) = self.engine.apply_remote_ops(self.sigma, &ops) {
+                self.terminal(TerminalEvent::Conflict(c));
+                return;
+            }
+        }
+        self.check_consequence();
+    }
+
+    fn check_consequence(&mut self) {
+        if self.terminal_sent {
+            return;
+        }
+        if let Goal::Imp(phi) = self.goal {
+            let v = self.engine.eq.version();
+            if v != self.last_y_version {
+                self.last_y_version = v;
+                if consequence_deducible(&mut self.engine.eq, phi) {
+                    self.terminal(TerminalEvent::Consequence);
+                }
+            }
+        }
+    }
+
+    /// Ship ops recorded since the last broadcast to every other worker.
+    fn broadcast(&mut self) {
+        let new = self.engine.delta_since(self.broadcast_cursor);
+        if new.is_empty() {
+            return;
+        }
+        let ops = new.to_vec();
+        self.broadcast_cursor = self.engine.delta_len();
+        self.stats.ops_sent += ops.len() as u64;
+        for tx in &self.tx_delta {
+            let _ = tx.send(ops.clone());
+        }
+    }
+
+    fn process_unit(&mut self, unit: WorkUnit) {
+        self.stats.units += 1;
+        let gfd_id = unit.gfd;
+        let gfd = &self.sigma[gfd_id];
+        let plan = self.plans[gfd_id.index()]
+            .as_ref()
+            .expect("a unit exists, so its GFD has pivot candidates and a plan");
+        let mut search = HomSearch::new(&self.canon.graph, &self.canon.index, &gfd.pattern, plan)
+            .with_prefix(&unit.prefix);
+
+        if self.cfg.pipeline {
+            self.run_streaming(&mut search, gfd_id, unit.priority);
+        } else {
+            self.run_collect_then_check(&mut search, gfd_id, unit.priority);
+        }
+    }
+
+    /// Pipelined mode: enforce each match the moment `HomMatch` produces
+    /// it (streaming `HomMatch ∥ CheckAttr`).
+    fn run_streaming(&mut self, search: &mut HomSearch<'_>, gfd_id: GfdId, priority: u32) {
+        loop {
+            let deadline = self.cfg.split.then(|| Instant::now() + self.cfg.ttl);
+            let limits = SearchLimits {
+                deadline,
+                stop: Some(self.stop),
+            };
+            let sigma = self.sigma;
+            let engine = &mut self.engine;
+            let stats = &mut self.stats;
+            let goal = self.goal;
+            let mut last_version = self.last_y_version;
+            let mut conflict: Option<Conflict> = None;
+            let mut y_hit = false;
+            let outcome = search.run(
+                |m| {
+                    stats.matches += 1;
+                    match engine.process_match(sigma, gfd_id, m) {
+                        Err(c) => {
+                            conflict = Some(c);
+                            ControlFlow::Break(())
+                        }
+                        Ok(()) => {
+                            if let Goal::Imp(phi) = goal {
+                                let v = engine.eq.version();
+                                if v != last_version {
+                                    last_version = v;
+                                    if consequence_deducible(&mut engine.eq, phi) {
+                                        y_hit = true;
+                                        return ControlFlow::Break(());
+                                    }
+                                }
+                            }
+                            ControlFlow::Continue(())
+                        }
+                    }
+                },
+                limits,
+            );
+            self.last_y_version = last_version;
+            if let Some(c) = conflict {
+                self.terminal(TerminalEvent::Conflict(c));
+                return;
+            }
+            if y_hit {
+                self.terminal(TerminalEvent::Consequence);
+                return;
+            }
+            match outcome {
+                RunOutcome::Exhausted | RunOutcome::Stopped => return,
+                RunOutcome::Deadline => {
+                    self.split_straggler(search, gfd_id, priority);
+                    // Broadcast between TTL periods so long units still
+                    // propagate their enforcements promptly.
+                    self.broadcast();
+                }
+            }
+        }
+    }
+
+    /// Non-pipelined (`*np`) mode: first enumerate every match of the
+    /// unit, then enforce them one by one — the ablation baseline of
+    /// Exp-1/Exp-4.
+    fn run_collect_then_check(
+        &mut self,
+        search: &mut HomSearch<'_>,
+        gfd_id: GfdId,
+        priority: u32,
+    ) {
+        let mut matches: Vec<Match> = Vec::new();
+        loop {
+            let deadline = self.cfg.split.then(|| Instant::now() + self.cfg.ttl);
+            let limits = SearchLimits {
+                deadline,
+                stop: Some(self.stop),
+            };
+            let stats = &mut self.stats;
+            let outcome = search.run(
+                |m| {
+                    stats.matches += 1;
+                    matches.push(m);
+                    ControlFlow::Continue(())
+                },
+                limits,
+            );
+            match outcome {
+                RunOutcome::Exhausted | RunOutcome::Stopped => break,
+                RunOutcome::Deadline => {
+                    self.split_straggler(search, gfd_id, priority);
+                    self.broadcast();
+                }
+            }
+        }
+        for m in matches {
+            if self.terminal_sent || self.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            if let Err(c) = self.engine.process_match(self.sigma, gfd_id, m) {
+                self.terminal(TerminalEvent::Conflict(c));
+                return;
+            }
+            self.check_consequence();
+        }
+    }
+
+    /// TTL expired: carve the shallowest untried sibling branches into
+    /// prefix units and ship them to the coordinator (paper's Example 6).
+    fn split_straggler(&mut self, search: &mut HomSearch<'_>, gfd_id: GfdId, priority: u32) {
+        if !self.cfg.split {
+            return;
+        }
+        let prefixes = search.split_shallowest();
+        if prefixes.is_empty() {
+            return;
+        }
+        self.stats.splits += prefixes.len() as u64;
+        let units: Vec<WorkUnit> = prefixes
+            .into_iter()
+            .map(|prefix| WorkUnit {
+                gfd: gfd_id,
+                prefix,
+                priority,
+            })
+            .collect();
+        let _ = self.tx_coord.send(ToCoord::Split { units });
+    }
+}
+
+fn pop_batch(queue: &mut VecDeque<WorkUnit>, batch: usize) -> Vec<WorkUnit> {
+    let take = batch.min(queue.len());
+    queue.drain(..take).collect()
+}
+
+/// Execute a parallel reasoning run over a prepared canonical graph.
+pub(crate) fn run_parallel(
+    sigma: &GfdSet,
+    goal: Goal<'_>,
+    eq0: EqRel,
+    canon: &CanonicalGraph,
+    cfg: &ParConfig,
+) -> ParRun {
+    let start = Instant::now();
+    let mut metrics = RunMetrics {
+        workers: cfg.workers.max(1),
+        ..Default::default()
+    };
+
+    let (pivots, plans) = build_plans_lazy(sigma, &canon.index);
+    let mut units = generate_units(sigma, canon, &pivots, cfg.prune_components);
+    if cfg.use_dependency_order {
+        let boosted: Option<Vec<bool>> = match goal {
+            Goal::Sat => None,
+            Goal::Imp(phi) => {
+                let x_attrs: FxHashSet<_> = phi.premise_attrs().collect();
+                Some(
+                    sigma
+                        .iter()
+                        .map(|(_, g)| g.premise_attrs().all(|a| x_attrs.contains(&a)))
+                        .collect(),
+                )
+            }
+        };
+        order_units(&mut units, sigma, canon, &pivots, boosted.as_deref());
+    }
+    metrics.units_generated = units.len();
+    let batch = cfg.batch_size(units.len());
+    let mut queue: VecDeque<WorkUnit> = units.into();
+
+    let p = cfg.workers.max(1);
+    let stop = AtomicBool::new(false);
+    let (tx_coord, rx_coord) = unbounded::<ToCoord>();
+    let mut task_txs = Vec::with_capacity(p);
+    let mut task_rxs = Vec::with_capacity(p);
+    let mut delta_txs = Vec::with_capacity(p);
+    let mut delta_rxs = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = unbounded::<ToWorker>();
+        task_txs.push(tx);
+        task_rxs.push(rx);
+        let (tx, rx) = unbounded::<Vec<EqOp>>();
+        delta_txs.push(tx);
+        delta_rxs.push(rx);
+    }
+
+    let mut terminal: Option<TerminalEvent> = None;
+    let mut merged: Option<EnforceEngine> = None;
+
+    std::thread::scope(|scope| {
+        for (id, rx_tasks) in task_rxs.into_iter().enumerate() {
+            let worker = Worker {
+                id,
+                sigma,
+                canon,
+                plans: &plans,
+                goal,
+                cfg,
+                engine: EnforceEngine::with_eq(eq0.clone()),
+                broadcast_cursor: 0,
+                rx_tasks,
+                tx_coord: tx_coord.clone(),
+                rx_delta: delta_rxs.remove(0),
+                tx_delta: delta_txs
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != id)
+                    .map(|(_, tx)| tx.clone())
+                    .collect(),
+                stop: &stop,
+                stats: WorkerStats::default(),
+                last_y_version: 0,
+                terminal_sent: false,
+            };
+            scope.spawn(move || worker.run());
+        }
+
+        // ---- coordinator ----
+        let mut idle = vec![false; p];
+        for w in 0..p {
+            let units = pop_batch(&mut queue, batch);
+            if units.is_empty() {
+                idle[w] = true;
+            } else {
+                metrics.units_dispatched += units.len() as u64;
+                let _ = task_txs[w].send(ToWorker::Units(units));
+            }
+        }
+
+        while !(queue.is_empty() && idle.iter().all(|&i| i)) {
+            match rx_coord.recv().expect("workers alive") {
+                ToCoord::BatchDone { worker } => {
+                    let units = pop_batch(&mut queue, batch);
+                    if units.is_empty() {
+                        idle[worker] = true;
+                    } else {
+                        idle[worker] = false;
+                        metrics.units_dispatched += units.len() as u64;
+                        let _ = task_txs[worker].send(ToWorker::Units(units));
+                    }
+                }
+                ToCoord::Split { units } => {
+                    metrics.units_split += units.len() as u64;
+                    for u in units.into_iter().rev() {
+                        queue.push_front(u);
+                    }
+                    // Feed idle workers immediately.
+                    for w in 0..p {
+                        if idle[w] && !queue.is_empty() {
+                            let units = pop_batch(&mut queue, batch);
+                            metrics.units_dispatched += units.len() as u64;
+                            idle[w] = false;
+                            let _ = task_txs[w].send(ToWorker::Units(units));
+                        }
+                    }
+                }
+                ToCoord::Terminal { event } => {
+                    terminal = Some(event);
+                    metrics.early_terminated = true;
+                    break;
+                }
+                ToCoord::Drained { .. } => unreachable!("no drain requested yet"),
+            }
+        }
+
+        if terminal.is_some() {
+            stop.store(true, Ordering::Relaxed);
+            for tx in &task_txs {
+                let _ = tx.send(ToWorker::Stop);
+            }
+            return;
+        }
+
+        // ---- final convergence phase ----
+        for tx in &task_txs {
+            let _ = tx.send(ToWorker::Drain);
+        }
+        let mut deltas: Vec<Vec<EqOp>> = Vec::with_capacity(p);
+        let mut pendings: Vec<(GfdId, Match)> = Vec::new();
+        let mut drained = 0usize;
+        while drained < p {
+            match rx_coord.recv().expect("workers alive") {
+                ToCoord::Drained {
+                    delta,
+                    pending,
+                    stats,
+                } => {
+                    drained += 1;
+                    metrics.matches += stats.matches;
+                    metrics.delta_ops_broadcast += stats.ops_sent;
+                    metrics.worker_busy.push(stats.busy);
+                    deltas.push(delta);
+                    pendings.extend(pending);
+                }
+                ToCoord::Terminal { event } => {
+                    // A conflict surfaced while applying the final inbox.
+                    terminal = Some(event);
+                }
+                ToCoord::BatchDone { .. } | ToCoord::Split { .. } => {
+                    // Quiescence holds, but a worker that observed the stop
+                    // flag may still flush a last (empty) report; ignore.
+                }
+            }
+        }
+
+        let mut engine = EnforceEngine::with_eq(eq0.clone());
+        if terminal.is_none() {
+            'merge: {
+                for delta in &deltas {
+                    if let Err(c) = engine.apply_remote_ops(sigma, delta) {
+                        terminal = Some(TerminalEvent::Conflict(c));
+                        break 'merge;
+                    }
+                }
+                for (gfd, m) in pendings {
+                    if let Err(c) = engine.process_match(sigma, gfd, m) {
+                        terminal = Some(TerminalEvent::Conflict(c));
+                        break 'merge;
+                    }
+                }
+                if let Goal::Imp(phi) = goal {
+                    if consequence_deducible(&mut engine.eq, phi) {
+                        terminal = Some(TerminalEvent::Consequence);
+                    }
+                }
+            }
+        }
+        merged = Some(engine);
+
+        for tx in &task_txs {
+            let _ = tx.send(ToWorker::Stop);
+        }
+    });
+
+    metrics.elapsed = start.elapsed();
+    ParRun {
+        terminal,
+        engine: merged,
+        metrics,
+    }
+}

@@ -1,0 +1,310 @@
+//! Work units and their dependency-graph ordering (§V-B).
+//!
+//! A work unit `(Q[z], ϕ)` asks one worker to find and enforce every match
+//! of ϕ's pattern whose pivot variable maps to canonical node `z`. Units
+//! are the grain of data-partitioned parallelism; splitting a straggler
+//! produces *prefix units* that resume deeper search-tree branches.
+//!
+//! The coordinator orders units topologically along a dependency graph:
+//! unit `w1` precedes `w2` when an attribute of `Y1` occurs in `X2` *and*
+//! the pivots are within `dQ1` hops (close enough to interact) — so
+//! producers run before consumers and pending re-checks are minimized.
+
+use gfd_core::{CanonicalGraph, GfdSet};
+use gfd_graph::{neighborhood, GfdId, NodeId, VarId};
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::collections::BinaryHeap;
+
+/// Min-heap of `((priority key), unit index)` pairs used by the Kahn
+/// frontier (BinaryHeap pops max, so entries are `Reverse`-wrapped).
+type MinHeap = BinaryHeap<std::cmp::Reverse<((bool, bool, usize), usize)>>;
+
+/// A unit of work: match GFD `gfd` with plan positions `0..prefix.len()`
+/// pre-assigned (`prefix[0]` is the pivot node `z`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkUnit {
+    /// The GFD to enforce.
+    pub gfd: GfdId,
+    /// Fixed assignments for the leading plan positions.
+    pub prefix: Vec<NodeId>,
+    /// Position in the topological order (0 = run first). Split units
+    /// inherit their parent's priority.
+    pub priority: u32,
+}
+
+impl WorkUnit {
+    /// The pivot node (`z` of the paper's `(Q[z], ϕ)`).
+    pub fn pivot(&self) -> NodeId {
+        self.prefix[0]
+    }
+}
+
+/// Generate the initial unit list: one unit per (GFD, feasible pivot
+/// candidate) pair.
+pub fn generate_units(
+    sigma: &GfdSet,
+    canon: &CanonicalGraph,
+    pivots: &[VarId],
+    prune_components: bool,
+) -> Vec<WorkUnit> {
+    let mut units = Vec::new();
+    for (id, gfd) in sigma.iter() {
+        let candidates = if prune_components {
+            canon.pivot_candidates(&gfd.pattern, pivots[id.index()])
+        } else {
+            canon
+                .index
+                .candidates(gfd.pattern.label(pivots[id.index()]))
+                .to_vec()
+        };
+        for z in candidates {
+            units.push(WorkUnit {
+                gfd: id,
+                prefix: vec![z],
+                priority: 0,
+            });
+        }
+    }
+    units
+}
+
+/// Assign priorities to `units` from the dependency-graph topological
+/// order and sort them accordingly.
+///
+/// `boosted` optionally marks GFDs to front-load (implication's
+/// X-subsumption rule); empty-premise GFDs always get the highest priority
+/// tier, as in the paper.
+pub fn order_units(
+    units: &mut [WorkUnit],
+    sigma: &GfdSet,
+    canon: &CanonicalGraph,
+    pivots: &[VarId],
+    boosted: Option<&[bool]>,
+) {
+    let n = units.len();
+    if n == 0 {
+        return;
+    }
+
+    // attr -> GFDs whose premise mentions it.
+    let mut consumers: FxHashMap<gfd_graph::AttrId, Vec<usize>> = FxHashMap::default();
+    for (id, gfd) in sigma.iter() {
+        let mut seen = FxHashSet::default();
+        for a in gfd.premise_attrs() {
+            if seen.insert(a) {
+                consumers.entry(a).or_default().push(id.index());
+            }
+        }
+    }
+    // Per GFD: the GFDs consuming what it produces, and the pattern radius
+    // at its pivot. The ubiquity cap mirrors `gfd_core::ordering`: an
+    // attribute consumed by a large fraction of Σ orders nothing useful
+    // and would make this step O(|Σ|²).
+    let cap = 32.max(sigma.len() / 8);
+    let mut consumer_gfds: Vec<Vec<usize>> = Vec::with_capacity(sigma.len());
+    let mut radius: Vec<u32> = Vec::with_capacity(sigma.len());
+    for (id, gfd) in sigma.iter() {
+        let mut out = FxHashSet::default();
+        for a in gfd.consequence_attrs() {
+            if let Some(cs) = consumers.get(&a) {
+                if cs.len() <= cap {
+                    out.extend(cs.iter().copied());
+                }
+            }
+        }
+        let mut v: Vec<usize> = out.into_iter().collect();
+        v.sort_unstable();
+        consumer_gfds.push(v);
+        radius.push(gfd.pattern.radius_at(pivots[id.index()]));
+    }
+
+    // Units pivoted at each canonical node (sparse: a node hosts few
+    // units because the component filter rejects most patterns).
+    let mut node_units: Vec<Vec<u32>> = vec![Vec::new(); canon.graph.node_count()];
+    for (i, u) in units.iter().enumerate() {
+        node_units[u.pivot().index()].push(i as u32);
+    }
+
+    // Edges: w1 -> w2 when gfd2 consumes gfd1's output and pivot2 is within
+    // dQ1 hops of pivot1. Balls are small: canonical components are
+    // pattern-sized. Iterating units-at-node (few) and testing consumer
+    // membership by binary search keeps this near-linear in the unit count.
+    let mut successors: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut in_deg = vec![0u32; n];
+    for (i, u) in units.iter().enumerate() {
+        let gi = u.gfd.index();
+        if consumer_gfds[gi].is_empty() {
+            continue;
+        }
+        let ball = neighborhood::ball(&canon.graph, u.pivot(), radius[gi]);
+        for z in ball.iter() {
+            for &j in &node_units[z.index()] {
+                let j = j as usize;
+                if j != i
+                    && consumer_gfds[gi]
+                        .binary_search(&units[j].gfd.index())
+                        .is_ok()
+                {
+                    successors[i].push(j as u32);
+                    in_deg[j] += 1;
+                }
+            }
+        }
+    }
+
+    // Kahn with priority tiers; cycles broken by forcing the best
+    // remaining node.
+    let key = |i: usize| -> (bool, bool, usize) {
+        let g = units[i].gfd.index();
+        let b = boosted.is_some_and(|b| b[g]);
+        let empty = sigma.as_slice()[g].has_empty_premise();
+        (!b, !empty, i)
+    };
+    let mut heap: MinHeap = BinaryHeap::new();
+    for (i, &d) in in_deg.iter().enumerate() {
+        if d == 0 {
+            heap.push(std::cmp::Reverse((key(i), i)));
+        }
+    }
+    let mut emitted = vec![false; n];
+    // Cycle breaking: when the frontier empties, force the next unemitted
+    // node from this pre-sorted list (amortized O(n) across the run).
+    let mut fallback: Vec<usize> = (0..n).collect();
+    fallback.sort_by_key(|&i| key(i));
+    let mut fb_cursor = 0usize;
+    let mut rank = 0u32;
+    let mut priorities = vec![0u32; n];
+    while rank < n as u32 {
+        let next = match heap.pop() {
+            Some(std::cmp::Reverse((_, i))) if !emitted[i] => i,
+            Some(_) => continue,
+            None => {
+                while emitted[fallback[fb_cursor]] {
+                    fb_cursor += 1;
+                }
+                fallback[fb_cursor]
+            }
+        };
+        emitted[next] = true;
+        priorities[next] = rank;
+        rank += 1;
+        for &j in &successors[next] {
+            let j = j as usize;
+            if !emitted[j] {
+                in_deg[j] = in_deg[j].saturating_sub(1);
+                if in_deg[j] == 0 {
+                    heap.push(std::cmp::Reverse((key(j), j)));
+                }
+            }
+        }
+    }
+    // Final order: boosted units jump the whole queue (the paper's
+    // implication rule gives X-subsumed units the highest priority
+    // outright), then topological rank.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| {
+        let b = boosted.is_some_and(|b| b[units[i].gfd.index()]);
+        (!b, priorities[i])
+    });
+    let mut final_priority = vec![0u32; n];
+    for (rank, &i) in order.iter().enumerate() {
+        final_priority[i] = rank as u32;
+    }
+    for (i, u) in units.iter_mut().enumerate() {
+        u.priority = final_priority[i];
+    }
+    units.sort_by_key(|u| u.priority);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_core::{build_plans, Gfd, Literal};
+    use gfd_graph::{Pattern, Vocab};
+
+    /// Σ resembling the paper's Example 5/7: a seed GFD (∅ premise) and a
+    /// consumer GFD over the same pattern shape.
+    fn example_sigma(vocab: &mut Vocab) -> GfdSet {
+        let t = vocab.label("t");
+        let e = vocab.label("e");
+        let a = vocab.attr("A");
+        let b = vocab.attr("B");
+        let mk_pattern = |vocab: &mut Vocab| {
+            let mut p = Pattern::new();
+            let x = p.add_node(vocab.label("t"), "x");
+            let y = p.add_node(vocab.label("t"), "y");
+            p.add_edge(x, vocab.label("e"), y);
+            p
+        };
+        let _ = (t, e);
+        let x = VarId::new(0);
+        let y = VarId::new(1);
+        let p1 = mk_pattern(vocab);
+        let p2 = mk_pattern(vocab);
+        GfdSet::from_vec(vec![
+            // Consumer first on purpose: ordering must move its units after
+            // the seed's.
+            Gfd::new(
+                "consumer",
+                p2,
+                vec![Literal::eq_const(x, a, 0i64)],
+                vec![Literal::eq_const(y, b, 0i64)],
+            ),
+            Gfd::new("seed", p1, vec![], vec![Literal::eq_const(x, a, 0i64)]),
+        ])
+    }
+
+    #[test]
+    fn units_cover_all_feasible_pivots() {
+        let mut vocab = Vocab::new();
+        let sigma = example_sigma(&mut vocab);
+        let (canon, _) = CanonicalGraph::for_sigma(&sigma);
+        let (pivots, _) = build_plans(&sigma, &canon.index);
+        let units = generate_units(&sigma, &canon, &pivots, true);
+        // 2 GFDs × (their own 2-node component + the other pattern's
+        // identical component) = 2 × 4 pivots... pivot var has label t and
+        // both components host the pattern: 4 candidates each.
+        assert_eq!(units.len(), 8);
+        for u in &units {
+            assert_eq!(u.prefix.len(), 1);
+        }
+    }
+
+    #[test]
+    fn ordering_puts_empty_premise_units_first() {
+        let mut vocab = Vocab::new();
+        let sigma = example_sigma(&mut vocab);
+        let (canon, _) = CanonicalGraph::for_sigma(&sigma);
+        let (pivots, _) = build_plans(&sigma, &canon.index);
+        let mut units = generate_units(&sigma, &canon, &pivots, true);
+        order_units(&mut units, &sigma, &canon, &pivots, None);
+        // The seed GFD (index 1) has the empty premise: all its units come
+        // first.
+        let first_half: Vec<usize> = units[..4].iter().map(|u| u.gfd.index()).collect();
+        assert_eq!(first_half, vec![1, 1, 1, 1], "{units:?}");
+        // Priorities are a permutation of 0..n.
+        let mut ps: Vec<u32> = units.iter().map(|u| u.priority).collect();
+        ps.sort_unstable();
+        assert_eq!(ps, (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn boost_overrides_tiering() {
+        let mut vocab = Vocab::new();
+        let sigma = example_sigma(&mut vocab);
+        let (canon, _) = CanonicalGraph::for_sigma(&sigma);
+        let (pivots, _) = build_plans(&sigma, &canon.index);
+        let mut units = generate_units(&sigma, &canon, &pivots, true);
+        // Boost the consumer (index 0).
+        order_units(&mut units, &sigma, &canon, &pivots, Some(&[true, false]));
+        assert_eq!(units[0].gfd.index(), 0);
+    }
+
+    #[test]
+    fn empty_sigma_yields_no_units() {
+        let sigma = GfdSet::new();
+        let (canon, _) = CanonicalGraph::for_sigma(&sigma);
+        let units = generate_units(&sigma, &canon, &[], true);
+        assert!(units.is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! # gfd — reasoning about Graph Functional Dependencies
+//!
+//! A Rust implementation of *"Parallel Reasoning of Graph Functional
+//! Dependencies"* (Fan, Liu, Cao — ICDE 2018): exact sequential and
+//! parallel-scalable algorithms for the two classical static analyses of
+//! GFDs,
+//!
+//! * **satisfiability** — does a set Σ of GFDs have a model? (coNP-complete)
+//! * **implication** — does Σ entail another GFD ϕ? (NP-complete)
+//!
+//! plus the substrates they need: property graphs, homomorphism matching,
+//! graph simulation, a chase baseline, generators and a text format.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gfd::prelude::*;
+//!
+//! let mut vocab = Vocab::new();
+//! // Two rules about the same (wildcard) entities that cannot coexist:
+//! let sigma = gfd::dsl::parse_document(
+//!     "gfd phi5 { pattern { node x: _ } then { x.A = 0 } }
+//!      gfd phi6 { pattern { node x: _ } then { x.A = 1 } }",
+//!     &mut vocab,
+//! ).unwrap().gfds;
+//!
+//! assert!(!gfd::seq_sat(&sigma).is_satisfiable());
+//! let par = gfd::par_sat(&sigma, &ParConfig::with_workers(4));
+//! assert!(!par.is_satisfiable());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`graph`] | graphs, patterns, vocabularies, neighborhoods |
+//! | [`matching`] | homomorphism search, splitting, simulation |
+//! | [`core`] | GFDs, canonical graphs, `SeqSat`, `SeqImp`, validation |
+//! | [`parallel`] | `ParSat`, `ParImp`, work units, run metrics |
+//! | [`chase`] | the chase baselines (`ParImpRDF`) |
+//! | [`gen`] | schema-driven GFD/graph generators and workloads |
+//! | [`dsl`] | the text format |
+//! | [`detect`] | parallel violation detection on data graphs |
+//! | [`ged`] | GEDs: id literals, order predicates, disjunction (§IX) |
+//! | [`io`] | JSON and SNAP edge-list interchange |
+
+#![warn(missing_docs)]
+
+/// Property-graph substrate (re-export of `gfd-graph`).
+pub use gfd_graph as graph;
+
+/// Homomorphism matching (re-export of `gfd-match`).
+pub use gfd_match as matching;
+
+/// GFDs and sequential reasoning (re-export of `gfd-core`).
+pub use gfd_core as core;
+
+/// Parallel reasoning (re-export of `gfd-parallel`).
+pub use gfd_parallel as parallel;
+
+/// Chase baselines (re-export of `gfd-chase`).
+pub use gfd_chase as chase;
+
+/// Generators and workloads (re-export of `gfd-gen`).
+pub use gfd_gen as gen;
+
+/// Text format (re-export of `gfd-dsl`).
+pub use gfd_dsl as dsl;
+
+/// Parallel violation detection on data graphs (re-export of `gfd-detect`).
+pub use gfd_detect as detect;
+
+/// Graph entity dependencies — the §IX extension (re-export of `gfd-ged`).
+pub use gfd_ged as ged;
+
+/// Interchange formats: JSON and SNAP edge lists (re-export of `gfd-io`).
+pub use gfd_io as io;
+
+pub use gfd_chase::{chase_imp, chase_sat};
+pub use gfd_core::{
+    find_violations, graph_satisfies, graph_satisfies_all, seq_imp, seq_sat, Gfd, GfdSet,
+    ImpOutcome, Literal, SatOutcome,
+};
+pub use gfd_graph::{Graph, LabelId, Pattern, Value, Vocab};
+pub use gfd_parallel::{par_imp, par_sat, ParConfig};
+
+/// The most commonly used names in one import.
+pub mod prelude {
+    pub use gfd_core::{
+        find_violations, graph_satisfies, graph_satisfies_all, seq_imp, seq_sat, Gfd, GfdSet,
+        ImpOutcome, ImpliedVia, Literal, Operand, SatOutcome,
+    };
+    pub use gfd_graph::{AttrId, Graph, LabelId, NodeId, Pattern, Value, VarId, Vocab};
+    pub use gfd_parallel::{par_imp, par_sat, ParConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_work_together() {
+        use crate::prelude::*;
+        let mut vocab = Vocab::new();
+        let mut p = Pattern::new();
+        let x = p.add_node(vocab.label("t"), "x");
+        let a = vocab.attr("a");
+        let sigma = GfdSet::from_vec(vec![Gfd::new(
+            "g",
+            p,
+            vec![],
+            vec![Literal::eq_const(x, a, 1i64)],
+        )]);
+        assert!(seq_sat(&sigma).is_satisfiable());
+        assert!(par_sat(&sigma, &ParConfig::with_workers(2)).is_satisfiable());
+    }
+}

@@ -1,0 +1,167 @@
+//! Cross-crate equivalence: the GED reasoner restricted to plain GFDs
+//! must agree with the core algorithms — `ged_sat` ≡ `seq_sat` and
+//! `ged_implies` ≡ `seq_imp` on lifted rule sets. This pins the §IX
+//! extension to the paper's base semantics.
+
+use gfd::ged::{ged_implies, ged_sat, Ged, GedSet};
+use gfd::prelude::*;
+
+fn lift(sigma: &GfdSet) -> GedSet {
+    GedSet::from_vec(sigma.iter().map(|(_, g)| Ged::from_gfd(g)).collect())
+}
+
+/// Small hand-built rule sets with known answers, as DSL documents.
+const CASES: &[(&str, bool)] = &[
+    // The paper's Example 2, ϕ5/ϕ6: same wildcard node, conflicting
+    // constants.
+    (
+        "gfd phi5 { pattern { node x: _ } then { x.A = 0 } }
+         gfd phi6 { pattern { node x: _ } then { x.A = 1 } }",
+        false,
+    ),
+    // One rule alone is satisfiable.
+    ("gfd phi5 { pattern { node x: _ } then { x.A = 0 } }", true),
+    // Premise-guarded conflict: avoidable by not binding the premise.
+    (
+        "gfd a { pattern { node x: t } when { x.g = 1 } then { x.A = 0 } }
+         gfd b { pattern { node x: t } when { x.g = 1 } then { x.A = 1 } }",
+        true,
+    ),
+    // ∅-premise chain forcing the conflict through two hops (Example 4
+    // flavour).
+    (
+        "gfd r1 { pattern { node x: t } then { x.B = 1 } }
+         gfd r2 { pattern { node x: t } when { x.B = 1 } then { x.C = 1 } }
+         gfd r3 { pattern { node x: t } when { x.C = 1 } then { x.A = 1 } }
+         gfd r4 { pattern { node x: t } then { x.A = 0 } }",
+        false,
+    ),
+    // Cross-pattern interaction: concrete labels vs wildcard.
+    (
+        "gfd w { pattern { node x: _ } then { x.A = 7 } }
+         gfd c { pattern { node x: place } then { x.A = 7 } }",
+        true,
+    ),
+    // Attribute-equality transitivity conflict.
+    (
+        "gfd e1 { pattern { node x: t } then { x.A = x.B } }
+         gfd e2 { pattern { node x: t } then { x.B = 5 } }
+         gfd e3 { pattern { node x: t } then { x.A = 6 } }",
+        false,
+    ),
+];
+
+#[test]
+fn hand_built_sat_cases_agree() {
+    for (src, expected) in CASES {
+        let mut vocab = Vocab::new();
+        let sigma = gfd::dsl::parse_document(src, &mut vocab).unwrap().gfds;
+        let core = gfd::seq_sat(&sigma).is_satisfiable();
+        let ged = ged_sat(&lift(&sigma)).is_satisfiable();
+        assert_eq!(core, *expected, "core wrong on:\n{src}");
+        assert_eq!(ged, *expected, "ged wrong on:\n{src}");
+    }
+}
+
+#[test]
+fn generated_workloads_sat_agree() {
+    // Satisfiable-by-construction mined-style sets, and conflict-chain
+    // variants, at a size the branching GED search handles comfortably.
+    for seed in [1u64, 7, 23] {
+        let w = gfd::gen::real_life_workload(gfd::gen::Dataset::Tiny, 8, seed, None);
+        let core = gfd::seq_sat(&w.sigma).is_satisfiable();
+        let ged = ged_sat(&lift(&w.sigma)).is_satisfiable();
+        assert_eq!(core, ged, "sat diverged on satisfiable seed {seed}");
+        assert!(core, "workload should be satisfiable");
+
+        let w = gfd::gen::real_life_workload(gfd::gen::Dataset::Tiny, 8, seed, Some(2));
+        let core = gfd::seq_sat(&w.sigma).is_satisfiable();
+        let ged = ged_sat(&lift(&w.sigma)).is_satisfiable();
+        assert_eq!(core, ged, "sat diverged on unsat seed {seed}");
+        assert!(!core, "chain workload should be unsatisfiable");
+    }
+}
+
+#[test]
+fn generated_probes_imp_agree() {
+    for seed in [3u64, 11] {
+        let w = gfd::gen::synthetic_workload(10, 3, 2, seed);
+        let sigma_ged = lift(&w.sigma);
+        for probe in &w.probes {
+            let core = gfd::seq_imp(&w.sigma, &probe.phi).is_implied();
+            let ged = ged_implies(&sigma_ged, &Ged::from_gfd(&probe.phi)).is_implied();
+            assert_eq!(
+                core, ged,
+                "imp diverged on probe {} (seed {seed})",
+                probe.phi.name
+            );
+            assert_eq!(core, probe.expect_implied, "probe label wrong");
+        }
+    }
+}
+
+#[test]
+fn implication_cases_agree() {
+    let cases = [
+        // ϕ13 flavour: chained deduction.
+        (
+            "gfd r1 { pattern { node x: t } when { x.A = 1 } then { x.B = 2 } }
+             gfd r2 { pattern { node x: t } when { x.B = 2 } then { x.C = 3 } }",
+            "gfd phi { pattern { node x: t } when { x.A = 1 } then { x.C = 3 } }",
+            true,
+        ),
+        // ϕ14 flavour: premise inconsistent with Σ.
+        (
+            "gfd r1 { pattern { node x: t } then { x.A = 1 } }",
+            "gfd phi { pattern { node x: t } when { x.A = 0 } then { x.Z = 9 } }",
+            true,
+        ),
+        // Not implied: nothing forces the consequence.
+        (
+            "gfd r1 { pattern { node x: t } when { x.A = 1 } then { x.B = 2 } }",
+            "gfd phi { pattern { node x: t } when { x.A = 1 } then { x.C = 3 } }",
+            false,
+        ),
+        // Pattern-structure sensitivity: the premise pattern has an edge
+        // the rule's pattern does not need.
+        (
+            "gfd r1 { pattern { node x: t node y: t edge x -e-> y } then { x.A = 1 } }",
+            "gfd phi { pattern { node x: t } then { x.A = 1 } }",
+            false,
+        ),
+    ];
+    for (sigma_src, phi_src, expected) in cases {
+        let mut vocab = Vocab::new();
+        let sigma = gfd::dsl::parse_document(sigma_src, &mut vocab).unwrap().gfds;
+        let phi = gfd::dsl::parse_gfd(phi_src, &mut vocab).unwrap();
+        let core = gfd::seq_imp(&sigma, &phi).is_implied();
+        let ged = ged_implies(&lift(&sigma), &Ged::from_gfd(&phi)).is_implied();
+        assert_eq!(core, expected, "core wrong on:\n{sigma_src}\n|= {phi_src}");
+        assert_eq!(ged, expected, "ged wrong on:\n{sigma_src}\n|= {phi_src}");
+    }
+}
+
+#[test]
+fn ged_witness_satisfies_lifted_sigma() {
+    // When the GED search extracts a witness for a satisfiable lifted
+    // set, the witness must satisfy every (GED) rule.
+    let mut vocab = Vocab::new();
+    let sigma = gfd::dsl::parse_document(
+        "gfd r1 { pattern { node x: t node y: t edge x -e-> y } then { x.A = 1, y.B = x.A } }
+         gfd r2 { pattern { node x: t } then { x.C = 2 } }",
+        &mut vocab,
+    )
+    .unwrap()
+    .gfds;
+    let lifted = lift(&sigma);
+    let out = ged_sat(&lifted);
+    assert!(out.is_satisfiable());
+    let w = out.witness().expect("integer-valued: witness extracts");
+    for (_, ged) in lifted.iter() {
+        assert!(
+            gfd::ged::ged_graph_satisfies(w, ged),
+            "witness violates {}",
+            ged.name
+        );
+    }
+}
