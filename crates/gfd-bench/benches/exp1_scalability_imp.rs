@@ -69,9 +69,7 @@ fn main() {
                     assert_eq!(r.is_implied(), probe.expect_implied);
                 }
             });
-            let speedup = first_makespan
-                .get_or_insert(makespan)
-                .as_secs_f64()
+            let speedup = first_makespan.get_or_insert(makespan).as_secs_f64()
                 / makespan.as_secs_f64().max(1e-9);
             table.row(vec![
                 p.to_string(),

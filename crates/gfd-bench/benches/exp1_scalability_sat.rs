@@ -61,9 +61,7 @@ fn main() {
             let t_nb = time_median(scale.repeats, || {
                 assert!(par_sat(&w.sigma, &base.clone().without_split()).is_satisfiable());
             });
-            let speedup = first_makespan
-                .get_or_insert(makespan)
-                .as_secs_f64()
+            let speedup = first_makespan.get_or_insert(makespan).as_secs_f64()
                 / makespan.as_secs_f64().max(1e-9);
             table.row(vec![
                 p.to_string(),

@@ -57,7 +57,10 @@ fn main() {
             fmt_duration(t_np),
             fmt_duration(t_nb),
             fmt_duration(t_rdf),
-            format!("{:.2}x", t_rdf.as_secs_f64() / t_seq.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.2}x",
+                t_rdf.as_secs_f64() / t_seq.as_secs_f64().max(1e-9)
+            ),
         ]);
     }
     table.print();

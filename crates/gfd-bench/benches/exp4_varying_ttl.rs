@@ -88,7 +88,11 @@ fn main() {
                 assert_eq!(r.is_implied(), p.expect_implied);
             }
         });
-        table.row(vec![format!("{ttl:?}"), fmt_duration(t), fmt_duration(t_np)]);
+        table.row(vec![
+            format!("{ttl:?}"),
+            fmt_duration(t),
+            fmt_duration(t_np),
+        ]);
     }
     table.print();
     println!(

@@ -97,7 +97,11 @@ fn main() {
         vec![gfd_core::Literal::eq_const(x, a, 1i64)],
     )]);
     let mut table = Table::new(&["TTL", "time", "splits"]);
-    for ttl in [Duration::ZERO, Duration::from_millis(1), Duration::from_secs(10)] {
+    for ttl in [
+        Duration::ZERO,
+        Duration::from_millis(1),
+        Duration::from_secs(10),
+    ] {
         let config = DetectConfig {
             ttl,
             max_violations: usize::MAX,
@@ -108,7 +112,11 @@ fn main() {
             let r = detect(&hub_graph, &sigma, &config);
             splits = r.units_split;
         });
-        table.row(vec![format!("{ttl:?}"), fmt_duration(t), splits.to_string()]);
+        table.row(vec![
+            format!("{ttl:?}"),
+            fmt_duration(t),
+            splits.to_string(),
+        ]);
     }
     table.print();
     println!(

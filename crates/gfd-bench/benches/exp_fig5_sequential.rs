@@ -34,11 +34,7 @@ fn main() {
         // check); implication probes run on the clean set.
         let sat_workload = real_life_workload(dataset, scale.fig5_sigma, 42, Some(4));
         let imp_workload = real_life_workload(dataset, scale.fig5_sigma, 42, None);
-        let probes: Vec<_> = imp_workload
-            .probes
-            .iter()
-            .take(scale.imp_probes)
-            .collect();
+        let probes: Vec<_> = imp_workload.probes.iter().take(scale.imp_probes).collect();
 
         let t_sat = time_median(scale.repeats, || {
             gfd_core::seq_sat(&sat_workload.sigma).is_satisfiable()

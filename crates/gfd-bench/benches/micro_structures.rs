@@ -81,6 +81,112 @@ fn bench_matching(c: &mut Criterion) {
     group.finish();
 }
 
+/// A graph with average out-degree ≥ 16 across several edge labels: the
+/// regime where the frozen CSR's O(log d) probes and label sub-slices
+/// must beat the builder's Vec scans (DESIGN.md §1).
+fn dense_graph(n: usize, out_degree: usize, labels: usize, vocab: &mut Vocab) -> Graph {
+    let t = vocab.label("t");
+    let ls: Vec<_> = (0..labels).map(|i| vocab.label(&format!("e{i}"))).collect();
+    let mut g = Graph::new();
+    let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(t)).collect();
+    for i in 0..n {
+        for j in 1..=out_degree {
+            // Deterministic pseudo-random targets, spread over labels.
+            let dst = (i * 31 + j * 97) % n;
+            g.add_edge(nodes[i], ls[j % labels], nodes[dst]);
+        }
+    }
+    g
+}
+
+/// Head-to-head: builder Vec-scan vs frozen CSR on the two probes that
+/// dominate the matching hot path.
+fn bench_structures(c: &mut Criterion) {
+    let mut vocab = Vocab::new();
+    let n = 1024;
+    let degree = 32; // well past the ≥16 crossover regime
+    let g = dense_graph(n, degree, 4, &mut vocab);
+    let csr = g.freeze();
+    let labels: Vec<_> = (0..4).map(|i| vocab.label(&format!("e{i}"))).collect();
+
+    // A fixed probe mix: half hits (the exact label and target an edge
+    // was built with), half misses.
+    let probes: Vec<(NodeId, gfd_graph::LabelId, NodeId)> = (0..512)
+        .map(|k| {
+            let src = (k * 53) % n;
+            if k % 2 == 0 {
+                // dense_graph added src --e{j%4}--> (src*31 + j*97) % n.
+                let j = k % degree + 1;
+                let dst = (src * 31 + j * 97) % n;
+                (NodeId::new(src), labels[j % 4], NodeId::new(dst))
+            } else {
+                let dst = (src * 31 + 1) % n; // usually absent
+                (NodeId::new(src), labels[k % 4], NodeId::new(dst))
+            }
+        })
+        .collect();
+    let hits = probes
+        .iter()
+        .filter(|&&(s, l, d)| g.has_edge(s, l, d))
+        .count();
+    assert!(
+        (200..=312).contains(&hits),
+        "probe mix should be roughly half hits, got {hits}/512"
+    );
+
+    let mut group = c.benchmark_group("micro_structures");
+    group.bench_function("has_edge/vec_scan", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|&&(s, l, d)| g.has_edge(s, l, d))
+                .count()
+        })
+    });
+    group.bench_function("has_edge/csr", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|&&(s, l, d)| csr.has_edge(s, l, d))
+                .count()
+        })
+    });
+
+    // Anchored expansion: candidates of (node, label), deduplicated —
+    // the Vec-scan variant filters the whole adjacency with a
+    // `contains` dedup exactly as the pre-CSR matcher did.
+    group.bench_function("anchored_expansion/vec_scan", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for i in 0..n {
+                let v = NodeId::new(i);
+                let label = labels[i % 4];
+                let mut candidates: Vec<NodeId> = Vec::new();
+                for &(el, node) in g.out_edges(v) {
+                    if label.pattern_matches(el) && !candidates.contains(&node) {
+                        candidates.push(node);
+                    }
+                }
+                total += candidates.len();
+            }
+            total
+        })
+    });
+    group.bench_function("anchored_expansion/csr", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for i in 0..n {
+                let v = NodeId::new(i);
+                let label = labels[i % 4];
+                // Sub-slice node ids strictly increase: dedup is free.
+                total += csr.out_with_label(v, label).len();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
 fn bench_ablations(c: &mut Criterion) {
     let w = synthetic_workload(80, 5, 3, 42);
     let mut group = c.benchmark_group("seq_sat_ablations");
@@ -100,5 +206,11 @@ fn bench_ablations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_eq_rel, bench_matching, bench_ablations);
+criterion_group!(
+    benches,
+    bench_eq_rel,
+    bench_structures,
+    bench_matching,
+    bench_ablations
+);
 criterion_main!(benches);

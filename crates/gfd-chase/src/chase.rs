@@ -32,11 +32,7 @@ pub enum ChaseOutcome {
 }
 
 /// Apply the consequence of `gfd` at `m`; returns whether anything changed.
-fn apply_consequence(
-    eq: &mut EqRel,
-    gfd: &gfd_core::Gfd,
-    m: &[NodeId],
-) -> Result<bool, Conflict> {
+fn apply_consequence(eq: &mut EqRel, gfd: &gfd_core::Gfd, m: &[NodeId]) -> Result<bool, Conflict> {
     let mut changed = false;
     for lit in &gfd.consequence {
         let k1 = (m[lit.var.index()], lit.attr);
@@ -126,7 +122,12 @@ mod tests {
                 vec![Literal::eq_const(x, a, 1i64)],
                 vec![Literal::eq_const(x, b, 1i64)],
             ),
-            unary(&mut vocab, "seed", vec![], vec![Literal::eq_const(x, a, 1i64)]),
+            unary(
+                &mut vocab,
+                "seed",
+                vec![],
+                vec![Literal::eq_const(x, a, 1i64)],
+            ),
         ]);
         let (canon, node_of) = CanonicalGraph::for_sigma(&sigma);
         let (outcome, stats) = chase_to_fixpoint(&sigma, &canon, EqRel::new());
@@ -151,8 +152,18 @@ mod tests {
         let a = vocab.attr("a");
         let x = VarId::new(0);
         let sigma = GfdSet::from_vec(vec![
-            unary(&mut vocab, "zero", vec![], vec![Literal::eq_const(x, a, 0i64)]),
-            unary(&mut vocab, "one", vec![], vec![Literal::eq_const(x, a, 1i64)]),
+            unary(
+                &mut vocab,
+                "zero",
+                vec![],
+                vec![Literal::eq_const(x, a, 0i64)],
+            ),
+            unary(
+                &mut vocab,
+                "one",
+                vec![],
+                vec![Literal::eq_const(x, a, 1i64)],
+            ),
         ]);
         let (canon, _) = CanonicalGraph::for_sigma(&sigma);
         let (outcome, _) = chase_to_fixpoint(&sigma, &canon, EqRel::new());

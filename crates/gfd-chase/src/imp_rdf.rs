@@ -102,7 +102,12 @@ mod tests {
         q7.add_edge(x7, p_lbl, z7);
         q7.add_edge(x7, p_lbl, w7);
 
-        let phi11 = Gfd::new("phi11", q8, vec![], vec![Literal::eq_const(x8, attr_a, 1i64)]);
+        let phi11 = Gfd::new(
+            "phi11",
+            q8,
+            vec![],
+            vec![Literal::eq_const(x8, attr_a, 1i64)],
+        );
         let phi12 = Gfd::new(
             "phi12",
             q9,

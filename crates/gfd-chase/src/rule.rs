@@ -76,12 +76,9 @@ impl RdfFd {
         let conv = |cs: &[RdfConstraint]| -> Vec<Literal> {
             cs.iter()
                 .map(|c| match c {
-                    RdfConstraint::VarEq(x, y) => Literal::eq_attr(
-                        VarId::new(*x as usize),
-                        val,
-                        VarId::new(*y as usize),
-                        val,
-                    ),
+                    RdfConstraint::VarEq(x, y) => {
+                        Literal::eq_attr(VarId::new(*x as usize), val, VarId::new(*y as usize), val)
+                    }
                     RdfConstraint::ConstEq(x, v) => {
                         Literal::eq_const(VarId::new(*x as usize), val, v.clone())
                     }

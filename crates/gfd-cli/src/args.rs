@@ -187,7 +187,10 @@ mod tests {
 
     #[test]
     fn duplicate_option_rejected() {
-        let args: Vec<String> = ["--a", "1", "--a", "2"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--a", "1", "--a", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert!(Parsed::parse(&args).is_err());
     }
 

@@ -91,9 +91,13 @@ pub(crate) fn run_imp(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError
             sigma.push(ged.clone());
         }
     }
-    let phi =
-        phi.ok_or_else(|| ArgError::new(format!("no rule named `{phi_name}` in {path}")))?;
-    let _ = writeln!(out, "Σ: {} rule(s); ψ = {}", sigma.len(), phi.display(&vocab));
+    let phi = phi.ok_or_else(|| ArgError::new(format!("no rule named `{phi_name}` in {path}")))?;
+    let _ = writeln!(
+        out,
+        "Σ: {} rule(s); ψ = {}",
+        sigma.len(),
+        phi.display(&vocab)
+    );
     let start = Instant::now();
     let implied = ged_implies(&sigma, &phi).is_implied();
     let elapsed = start.elapsed();

@@ -30,12 +30,13 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     let l = args.opt_usize("l", 3)?;
     let seed = args.opt_u64("seed", 42)?;
     let dataset = args.opt_str("dataset")?.unwrap_or("synthetic").to_string();
-    let unsat_chain = match args.opt_str("unsat-chain")? {
-        None => None,
-        Some(v) => Some(v.parse::<usize>().map_err(|_| {
-            ArgError::new(format!("--unsat-chain expects an integer, got `{v}`"))
-        })?),
-    };
+    let unsat_chain =
+        match args.opt_str("unsat-chain")? {
+            None => None,
+            Some(v) => Some(v.parse::<usize>().map_err(|_| {
+                ArgError::new(format!("--unsat-chain expects an integer, got `{v}`"))
+            })?),
+        };
     let out_path = args.opt_str("out")?.map(str::to_string);
     args.finish()?;
 

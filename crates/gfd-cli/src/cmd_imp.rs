@@ -44,9 +44,7 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
             sigma.push(gfd.clone());
         }
     }
-    let phi = phi.ok_or_else(|| {
-        ArgError::new(format!("no rule named `{phi_name}` in {path}"))
-    })?;
+    let phi = phi.ok_or_else(|| ArgError::new(format!("no rule named `{phi_name}` in {path}")))?;
 
     let _ = writeln!(
         out,

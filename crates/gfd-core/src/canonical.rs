@@ -149,12 +149,7 @@ impl CanonicalGraph {
             return false;
         }
         // Wildcard-labelled pattern edges need at least one edge.
-        if pattern
-            .edges()
-            .iter()
-            .any(|e| e.label.is_wildcard())
-            && !profile.has_edge
-        {
+        if pattern.edges().iter().any(|e| e.label.is_wildcard()) && !profile.has_edge {
             return false;
         }
         true
@@ -229,7 +224,11 @@ pub fn build_plans_lazy(
         if index.frequency(gfd.pattern.label(pivot)) == 0 {
             plans.push(None);
         } else {
-            plans.push(Some(MatchPlan::build(&gfd.pattern, Some(pivot), Some(index))));
+            plans.push(Some(MatchPlan::build(
+                &gfd.pattern,
+                Some(pivot),
+                Some(index),
+            )));
         }
     }
     (pivots, plans)
@@ -367,10 +366,7 @@ mod tests {
         let phi = Gfd::new(
             "phi",
             p,
-            vec![
-                Literal::eq_const(x, a, 1i64),
-                Literal::eq_const(x, a, 2i64),
-            ],
+            vec![Literal::eq_const(x, a, 1i64), Literal::eq_const(x, a, 2i64)],
             vec![],
         );
         assert!(CanonicalGraph::for_phi(&phi).is_err());
@@ -388,10 +384,7 @@ mod tests {
             "phi",
             p,
             vec![],
-            vec![
-                Literal::eq_const(x, a, 1i64),
-                Literal::eq_attr(x, a, x, b),
-            ],
+            vec![Literal::eq_const(x, a, 1i64), Literal::eq_attr(x, a, x, b)],
         );
         let mut eq = EqRel::new();
         assert!(!consequence_deducible(&mut eq, &phi));

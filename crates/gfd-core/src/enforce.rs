@@ -162,12 +162,7 @@ impl EnforceEngine {
 
     /// Process one match of `gfd` (identified by `id` within `sigma`):
     /// evaluate the premise, enforce or register, then cascade rechecks.
-    pub fn process_match(
-        &mut self,
-        sigma: &GfdSet,
-        id: GfdId,
-        m: Match,
-    ) -> Result<(), Conflict> {
+    pub fn process_match(&mut self, sigma: &GfdSet, id: GfdId, m: Match) -> Result<(), Conflict> {
         self.stats.matches_processed += 1;
         let gfd = &sigma[id];
         match eval_premise(&mut self.eq, gfd, &m) {
@@ -209,10 +204,7 @@ impl EnforceEngine {
             let k1: AttrKey = (m[lit.var.index()], lit.attr);
             match &lit.rhs {
                 Operand::Const(c) => {
-                    let effect = self
-                        .eq
-                        .bind(k1, c.clone())
-                        .map_err(|e| e.with_gfd(id))?;
+                    let effect = self.eq.bind(k1, c.clone()).map_err(|e| e.with_gfd(id))?;
                     if effect.changed {
                         self.delta.push(EqOp::Bind(k1, c.clone()));
                     }
@@ -457,12 +449,7 @@ mod tests {
                 vec![Literal::eq_attr(x, a, x, b)],
                 vec![Literal::eq_const(x, c, 1i64)],
             ),
-            unary_gfd(
-                &mut vocab,
-                "g1",
-                vec![],
-                vec![Literal::eq_attr(x, a, x, b)],
-            ),
+            unary_gfd(&mut vocab, "g1", vec![], vec![Literal::eq_attr(x, a, x, b)]),
         ]);
         let mut e = EnforceEngine::new();
         e.process_match(&sigma, GfdId::new(0), m0()).unwrap();
@@ -488,8 +475,18 @@ mod tests {
                 vec![Literal::eq_attr(x, a, x, b)],
                 vec![Literal::eq_const(x, c, 1i64)],
             ),
-            unary_gfd(&mut vocab, "g1", vec![], vec![Literal::eq_const(x, a, 5i64)]),
-            unary_gfd(&mut vocab, "g2", vec![], vec![Literal::eq_const(x, b, 5i64)]),
+            unary_gfd(
+                &mut vocab,
+                "g1",
+                vec![],
+                vec![Literal::eq_const(x, a, 5i64)],
+            ),
+            unary_gfd(
+                &mut vocab,
+                "g2",
+                vec![],
+                vec![Literal::eq_const(x, b, 5i64)],
+            ),
         ]);
         let mut e = EnforceEngine::new();
         e.process_match(&sigma, GfdId::new(0), m0()).unwrap();

@@ -146,6 +146,9 @@ mod tests {
             "x.nationality = y.nationality"
         );
         let lit2 = Literal::eq_const(x, nat, "FR");
-        assert_eq!(lit2.display(&p, &vocab).to_string(), "x.nationality = \"FR\"");
+        assert_eq!(
+            lit2.display(&p, &vocab).to_string(),
+            "x.nationality = \"FR\""
+        );
     }
 }

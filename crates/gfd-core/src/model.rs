@@ -32,9 +32,7 @@ pub fn extract_model(canonical: &Graph, eq: &mut EqRel) -> Graph {
 
 /// Is `value` one of the fresh constants invented by [`extract_model`]?
 pub fn is_fresh(value: &Value) -> bool {
-    value
-        .as_str()
-        .is_some_and(|s| s.starts_with(FRESH_PREFIX))
+    value.as_str().is_some_and(|s| s.starts_with(FRESH_PREFIX))
 }
 
 #[cfg(test)]

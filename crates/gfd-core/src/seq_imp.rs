@@ -148,10 +148,7 @@ pub fn seq_imp_with(sigma: &GfdSet, phi: &Gfd, opts: &ReasonOptions) -> ImpResul
         let candidates = if opts.prune_components {
             canon.pivot_candidates(&gfd.pattern, pivot)
         } else {
-            canon
-                .index
-                .candidates(gfd.pattern.label(pivot))
-                .to_vec()
+            canon.index.candidates(gfd.pattern.label(pivot)).to_vec()
         };
         if candidates.is_empty() {
             continue;
@@ -375,10 +372,7 @@ mod tests {
         let inconsistent = Gfd::new(
             "inconsistent",
             q,
-            vec![
-                Literal::eq_const(x, a, 1i64),
-                Literal::eq_const(x, a, 2i64),
-            ],
+            vec![Literal::eq_const(x, a, 1i64), Literal::eq_const(x, a, 2i64)],
             vec![Literal::eq_const(x, vocab.attr("whatever"), 3i64)],
         );
         let r = seq_imp(&GfdSet::new(), &inconsistent);

@@ -189,8 +189,18 @@ mod tests {
         let mut q5b = Pattern::new();
         q5b.add_node(LabelId::WILDCARD, "x");
         let sigma = GfdSet::from_vec(vec![
-            Gfd::new("phi5", q5a, vec![], vec![Literal::eq_const(VarId::new(0), a, 0i64)]),
-            Gfd::new("phi6", q5b, vec![], vec![Literal::eq_const(VarId::new(0), a, 1i64)]),
+            Gfd::new(
+                "phi5",
+                q5a,
+                vec![],
+                vec![Literal::eq_const(VarId::new(0), a, 0i64)],
+            ),
+            Gfd::new(
+                "phi6",
+                q5b,
+                vec![],
+                vec![Literal::eq_const(VarId::new(0), a, 1i64)],
+            ),
         ]);
         let r = seq_sat(&sigma);
         assert!(!r.is_satisfiable());
@@ -341,7 +351,10 @@ mod tests {
         // The model must satisfy every GFD in Σ and host a match of each.
         assert!(graph_satisfies_all(model, &sigma));
         assert!(model.node_count() >= 2);
-        assert!(r.stats.matches >= 4, "t-nodes cross-match: 2 gfds × 2 nodes");
+        assert!(
+            r.stats.matches >= 4,
+            "t-nodes cross-match: 2 gfds × 2 nodes"
+        );
     }
 
     #[test]
@@ -368,7 +381,10 @@ mod tests {
         );
         let r = seq_sat(&GfdSet::from_vec(vec![phi]));
         assert!(r.is_satisfiable());
-        assert!(graph_satisfies_all(r.model().unwrap(), &GfdSet::from_vec(vec![])));
+        assert!(graph_satisfies_all(
+            r.model().unwrap(),
+            &GfdSet::from_vec(vec![])
+        ));
     }
 
     #[test]

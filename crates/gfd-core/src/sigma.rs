@@ -97,7 +97,12 @@ mod tests {
         let mut p = Pattern::new();
         p.add_node(vocab.label("t"), "x");
         let a = vocab.attr("a");
-        Gfd::new(name, p, vec![], vec![Literal::eq_const(VarId::new(0), a, 1i64)])
+        Gfd::new(
+            name,
+            p,
+            vec![],
+            vec![Literal::eq_const(VarId::new(0), a, 1i64)],
+        )
     }
 
     #[test]
@@ -118,7 +123,9 @@ mod tests {
     #[test]
     fn from_iterator() {
         let mut vocab = Vocab::new();
-        let sigma: GfdSet = (0..3).map(|i| mk_gfd(&mut vocab, &format!("g{i}"))).collect();
+        let sigma: GfdSet = (0..3)
+            .map(|i| mk_gfd(&mut vocab, &format!("g{i}")))
+            .collect();
         assert_eq!(sigma.len(), 3);
         assert!(!sigma.is_empty());
     }

@@ -207,9 +207,8 @@ fn worker(shared: &Shared<'_>) -> Local {
                     if shared.stop.load(Ordering::Relaxed) {
                         break;
                     }
-                    let search =
-                        HomSearch::new(shared.graph, shared.index, &gfd.pattern, plan)
-                            .with_prefix(&[z]);
+                    let search = HomSearch::new(shared.graph, shared.index, &gfd.pattern, plan)
+                        .with_prefix(&[z]);
                     run_unit_search(shared, &mut local, gfd_id, search);
                 }
             }
@@ -324,7 +323,12 @@ mod tests {
         let x = p.add_node(t, "x");
         let y = p.add_node(t, "y");
         p.add_edge(x, e, y);
-        let gfd = Gfd::new("eq-across-edge", p, vec![], vec![Literal::eq_attr(x, a, y, a)]);
+        let gfd = Gfd::new(
+            "eq-across-edge",
+            p,
+            vec![],
+            vec![Literal::eq_attr(x, a, y, a)],
+        );
         (g, GfdSet::from_vec(vec![gfd]), vocab)
     }
 

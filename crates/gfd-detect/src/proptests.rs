@@ -47,7 +47,11 @@ fn arb_rule() -> impl Strategy<Value = Gfd> {
             let mut p = gfd_graph::Pattern::new();
             for i in 0..k {
                 // Mix of wildcard and concrete labels.
-                let label = if i % 2 == 0 { LabelId(1) } else { LabelId::WILDCARD };
+                let label = if i % 2 == 0 {
+                    LabelId(1)
+                } else {
+                    LabelId::WILDCARD
+                };
                 p.add_anon_node(label);
             }
             for (s, l, d) in edges {
@@ -56,11 +60,7 @@ fn arb_rule() -> impl Strategy<Value = Gfd> {
             let premise = premise_const
                 .map(|c| vec![Literal::eq_const(VarId::new(0), a, c)])
                 .unwrap_or_default();
-            let consequence = vec![Literal::eq_const(
-                VarId::new(k - 1),
-                a,
-                consequence_const,
-            )];
+            let consequence = vec![Literal::eq_const(VarId::new(k - 1), a, consequence_const)];
             Gfd::new("r", p, premise, consequence)
         })
 }

@@ -211,9 +211,7 @@ mod tests {
     use gfd_core::{Gfd, GfdSet, Literal};
     use gfd_graph::{Pattern, Value};
 
-    fn vocab_with(
-        f: impl FnOnce(&mut Vocab) -> (Graph, GfdSet),
-    ) -> (Graph, GfdSet, Vocab) {
+    fn vocab_with(f: impl FnOnce(&mut Vocab) -> (Graph, GfdSet)) -> (Graph, GfdSet, Vocab) {
         let mut vocab = Vocab::new();
         let (g, s) = f(&mut vocab);
         (g, s, vocab)

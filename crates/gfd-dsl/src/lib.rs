@@ -50,18 +50,29 @@ mod proptests {
             1usize..4,
             proptest::collection::vec((0usize..3, 0usize..3, 0usize..3), 0..4),
             proptest::collection::vec(
-                (0usize..3, 0usize..3, proptest::option::of(0i64..5), 0usize..3, 0usize..3),
+                (
+                    0usize..3,
+                    0usize..3,
+                    proptest::option::of(0i64..5),
+                    0usize..3,
+                    0usize..3,
+                ),
                 0..3,
             ),
             proptest::collection::vec(
-                (0usize..3, 0usize..3, proptest::option::of(0i64..5), 0usize..3, 0usize..3),
+                (
+                    0usize..3,
+                    0usize..3,
+                    proptest::option::of(0i64..5),
+                    0usize..3,
+                    0usize..3,
+                ),
                 1..3,
             ),
         )
             .prop_map(move |(k, edges, pre, post)| {
                 let mut vocab = Vocab::new();
-                let labels: Vec<LabelId> =
-                    label_names.iter().map(|n| vocab.label(n)).collect();
+                let labels: Vec<LabelId> = label_names.iter().map(|n| vocab.label(n)).collect();
                 let attrs: Vec<_> = attr_names.iter().map(|n| vocab.attr(n)).collect();
                 let mut p = Pattern::new();
                 for i in 0..k {
@@ -136,19 +147,38 @@ mod proptests {
     /// and up to three disjuncts.
     fn arb_ged() -> impl Strategy<Value = (gfd_ged::Ged, Vocab)> {
         use gfd_ged::{CmpOp, Ged, GedLiteral};
-        let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        let ops = [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ];
         (
             2usize..4,
             proptest::collection::vec((0usize..3, 0usize..3, 0usize..3), 0..3),
             proptest::collection::vec(
-                (0usize..3, 0usize..3, 0usize..6, proptest::option::of(0i64..5), 0usize..3),
+                (
+                    0usize..3,
+                    0usize..3,
+                    0usize..6,
+                    proptest::option::of(0i64..5),
+                    0usize..3,
+                ),
                 0..3,
             ),
             proptest::collection::vec(
                 proptest::collection::vec(
                     prop_oneof![
                         // 0 = attr literal, 1 = id literal
-                        (0usize..3, 0usize..3, 0usize..6, proptest::option::of(0i64..5), 0usize..3)
+                        (
+                            0usize..3,
+                            0usize..3,
+                            0usize..6,
+                            proptest::option::of(0i64..5),
+                            0usize..3
+                        )
                             .prop_map(|t| (0usize, t)),
                         (0usize..3, 0usize..3).prop_map(|(a, b)| (1usize, (a, b, 0, None, 0))),
                     ],
@@ -169,8 +199,8 @@ mod proptests {
                 for (s, _, d) in &edges {
                     p.add_edge(VarId::new(s % k), e, VarId::new(d % k));
                 }
-                let mk_attr_lit = |(v, a, op, c, v2): (usize, usize, usize, Option<i64>, usize)| {
-                    match c {
+                let mk_attr_lit =
+                    |(v, a, op, c, v2): (usize, usize, usize, Option<i64>, usize)| match c {
                         Some(c) => GedLiteral::cmp_const(
                             VarId::new(v % k),
                             attrs[a % attrs.len()],
@@ -184,8 +214,7 @@ mod proptests {
                             VarId::new(v2 % k),
                             attrs[(a + 1) % attrs.len()],
                         ),
-                    }
-                };
+                    };
                 let premise: Vec<GedLiteral> = premise
                     .into_iter()
                     .map(|(v, a, op, c, v2)| mk_attr_lit((v, a, op, c, v2)))

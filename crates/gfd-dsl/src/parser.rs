@@ -437,8 +437,7 @@ impl<'v> Parser<'v> {
                     if attr_name == "id" && rhs_attr_name == "id" {
                         // The id literal: both sides are `.id`.
                         if op != CmpOp::Eq {
-                            return self
-                                .err("id literals support `=` only (x.id = y.id)");
+                            return self.err("id literals support `=` only (x.id = y.id)");
                         }
                         GedLiteral::id(var, rhs_var)
                     } else {
@@ -451,12 +450,9 @@ impl<'v> Parser<'v> {
                         )
                     }
                 }
-                _ => GedLiteral::cmp_const(
-                    var,
-                    self.vocab.attr(&attr_name),
-                    op,
-                    self.parse_value()?,
-                ),
+                _ => {
+                    GedLiteral::cmp_const(var, self.vocab.attr(&attr_name), op, self.parse_value()?)
+                }
             };
             lits.push(lit);
             if self.peek() == Some(&Token::Comma) {
@@ -594,16 +590,21 @@ mod tests {
     #[test]
     fn errors_are_informative() {
         let mut vocab = Vocab::new();
-        let err = parse_gfd("gfd g { pattern { node x: t } then { y.a = 1 } }", &mut vocab)
-            .unwrap_err();
+        let err = parse_gfd(
+            "gfd g { pattern { node x: t } then { y.a = 1 } }",
+            &mut vocab,
+        )
+        .unwrap_err();
         assert!(err.msg.contains("unknown variable"), "{err}");
         let err = parse_gfd("gfd g { pattern { } then { } }", &mut vocab).unwrap_err();
         assert!(err.msg.contains("at least one node"), "{err}");
-        let err =
-            parse_document("graph G { edge a -e-> b }", &mut vocab).unwrap_err();
+        let err = parse_document("graph G { edge a -e-> b }", &mut vocab).unwrap_err();
         assert!(err.msg.contains("unknown node"), "{err}");
         let err = parse_document("bogus", &mut vocab).unwrap_err();
-        assert!(err.msg.contains("expected `graph`, `gfd` or `ged`"), "{err}");
+        assert!(
+            err.msg.contains("expected `graph`, `gfd` or `ged`"),
+            "{err}"
+        );
     }
 
     #[test]

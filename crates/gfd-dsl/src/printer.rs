@@ -14,7 +14,10 @@ fn print_value(v: &Value, out: &mut String) {
             let _ = write!(out, "{b}");
         }
         Value::Str(s) => {
-            let escaped = s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n");
+            let escaped = s
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n");
             let _ = write!(out, "\"{escaped}\"");
         }
     }
@@ -217,7 +220,12 @@ pub fn print_graph(name: &str, graph: &Graph, vocab: &Vocab) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "graph {name} {{");
     for v in graph.nodes() {
-        let _ = write!(out, "  node n{}: {}", v.index(), vocab.label_name(graph.label(v)));
+        let _ = write!(
+            out,
+            "  node n{}: {}",
+            v.index(),
+            vocab.label_name(graph.label(v))
+        );
         let attrs = graph.attrs(v);
         if attrs.is_empty() {
             out.push('\n');

@@ -362,10 +362,7 @@ mod tests {
             "bad",
             p,
             vec![],
-            vec![
-                vec![GedLiteral::id(x, y)],
-                vec![GedLiteral::id(y, x)],
-            ],
+            vec![vec![GedLiteral::id(x, y)], vec![GedLiteral::id(y, x)]],
         ));
     }
 

@@ -33,9 +33,9 @@
 mod chase;
 pub mod ged;
 pub mod imp;
-mod proptests;
 pub mod keys;
 pub mod order;
+mod proptests;
 pub mod sat;
 pub mod store;
 pub mod validate;

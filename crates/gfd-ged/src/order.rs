@@ -112,10 +112,7 @@ impl OrderNet {
         self.constant[var.index()] = Some(value.clone());
         self.const_ids.insert(value.clone(), var.0);
         // Chain into the sorted constant order: prev < value < next.
-        let pos = self
-            .sorted_consts
-            .binary_search(value)
-            .unwrap_err();
+        let pos = self.sorted_consts.binary_search(value).unwrap_err();
         if pos > 0 {
             let prev = self.const_ids[&self.sorted_consts[pos - 1]];
             self.edges[prev as usize].push((var.0, true));

@@ -36,10 +36,8 @@ fn arb_op() -> impl Strategy<Value = CmpOp> {
 fn arb_constraints(vars: usize) -> impl Strategy<Value = Vec<Constraint>> {
     proptest::collection::vec(
         prop_oneof![
-            ((0..vars), arb_op(), (0..vars))
-                .prop_map(|(a, op, b)| Constraint::VarVar(a, op, b)),
-            ((0..vars), arb_op(), -3i64..4)
-                .prop_map(|(a, op, c)| Constraint::VarConst(a, op, c)),
+            ((0..vars), arb_op(), (0..vars)).prop_map(|(a, op, b)| Constraint::VarVar(a, op, b)),
+            ((0..vars), arb_op(), -3i64..4).prop_map(|(a, op, c)| Constraint::VarConst(a, op, c)),
         ],
         0..12,
     )

@@ -187,9 +187,7 @@ impl GedStore {
         m: &[NodeId],
     ) -> Result<bool, StoreConflict> {
         match lit {
-            GedLiteral::Id { left, right } => {
-                self.merge_nodes(m[left.index()], m[right.index()])
-            }
+            GedLiteral::Id { left, right } => self.merge_nodes(m[left.index()], m[right.index()]),
             GedLiteral::AttrConst {
                 var,
                 attr,
@@ -273,7 +271,12 @@ impl GedStore {
 
     /// Entailment against a constant not yet interned: intern it (harmless
     /// — adds only chain edges among constants) and query.
-    fn entails_against_new_const(&mut self, a: OrderVar, op: CmpOp, value: &gfd_graph::Value) -> bool {
+    fn entails_against_new_const(
+        &mut self,
+        a: OrderVar,
+        op: CmpOp,
+        value: &gfd_graph::Value,
+    ) -> bool {
         let c = self.net.const_var(value);
         self.net.entails(a, op, c)
     }
@@ -390,9 +393,9 @@ impl GedStore {
         let mut q = Graph::new();
         for v in base.nodes() {
             let root = self.find(v);
-            let new = *root_to_new.entry(root.index() as u32).or_insert_with(|| {
-                q.add_node(self.label[root.index()])
-            });
+            let new = *root_to_new
+                .entry(root.index() as u32)
+                .or_insert_with(|| q.add_node(self.label[root.index()]));
             mapping[v.index()] = new;
         }
         for (src, label, dst) in base.edges() {

@@ -226,12 +226,7 @@ pub fn implied_probe(sigma: &GfdSet, schema: &Schema, seed: u64) -> Option<Gfd> 
 /// Build a probe GFD that is **not** implied by a satisfiable-by-
 /// construction Σ: its consequence uses a fresh attribute no rule can
 /// derive.
-pub fn not_implied_probe(
-    sigma: &GfdSet,
-    schema: &Schema,
-    vocab: &mut Vocab,
-    seed: u64,
-) -> Gfd {
+pub fn not_implied_probe(sigma: &GfdSet, schema: &Schema, vocab: &mut Vocab, seed: u64) -> Gfd {
     let mut rng = StdRng::seed_from_u64(seed);
     let pattern = if sigma.is_empty() {
         random_pattern(

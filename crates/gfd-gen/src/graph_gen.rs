@@ -61,12 +61,7 @@ pub fn random_graph(schema: &Schema, cfg: &GraphGenConfig) -> Graph {
 /// order).
 ///
 /// Wildcard node/edge labels are instantiated with schema samples.
-pub fn plant_violation(
-    graph: &mut Graph,
-    gfd: &Gfd,
-    schema: &Schema,
-    seed: u64,
-) -> Vec<NodeId> {
+pub fn plant_violation(graph: &mut Graph, gfd: &Gfd, schema: &Schema, seed: u64) -> Vec<NodeId> {
     let mut rng = StdRng::seed_from_u64(seed);
     let planted: Vec<NodeId> = gfd
         .pattern

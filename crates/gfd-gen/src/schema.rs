@@ -62,10 +62,22 @@ pub struct Schema {
 /// A handful of realistic leading names so examples read naturally; the
 /// rest are synthetic.
 const NODE_NAMES: &[&str] = &[
-    "person", "place", "organisation", "work", "species", "event", "device",
+    "person",
+    "place",
+    "organisation",
+    "work",
+    "species",
+    "event",
+    "device",
 ];
 const EDGE_NAMES: &[&str] = &[
-    "locateIn", "partOf", "president", "vicePresident", "topSpeed", "post", "field",
+    "locateIn",
+    "partOf",
+    "president",
+    "vicePresident",
+    "topSpeed",
+    "post",
+    "field",
 ];
 const ATTR_NAMES: &[&str] = &["val", "nationality", "country", "topic", "trust", "name"];
 

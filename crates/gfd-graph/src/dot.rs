@@ -58,7 +58,13 @@ pub fn pattern_to_dot(pattern: &Pattern, vocab: &Vocab, name: &str) -> String {
 fn sanitize(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() {
         "G".to_string()

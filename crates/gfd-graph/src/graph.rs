@@ -217,15 +217,23 @@ impl Graph {
 }
 
 /// An index from node label to the nodes carrying it, plus the full node
-/// list for wildcard lookups.
+/// list for wildcard lookups and the frozen [`CsrTopology`] the matching
+/// hot path probes.
+///
+/// Building the index freezes the graph's topology: the CSR view rides
+/// along so that every layer holding a `LabelIndex` (matcher, canonical
+/// graphs, detection, workers) gets `O(log d)` edge probes and per-label
+/// adjacency sub-slices without any signature change. Like the label
+/// buckets, the CSR goes stale if edges are added after `build`.
 #[derive(Clone, Debug, Default)]
 pub struct LabelIndex {
     by_label: FxHashMap<LabelId, Vec<NodeId>>,
     all: Vec<NodeId>,
+    csr: crate::csr::CsrTopology,
 }
 
 impl LabelIndex {
-    /// Build the index for `graph`.
+    /// Build the index for `graph`, freezing its topology.
     pub fn build(graph: &Graph) -> Self {
         let mut by_label: FxHashMap<LabelId, Vec<NodeId>> = FxHashMap::default();
         let mut all = Vec::with_capacity(graph.node_count());
@@ -233,7 +241,17 @@ impl LabelIndex {
             by_label.entry(graph.label(v)).or_default().push(v);
             all.push(v);
         }
-        LabelIndex { by_label, all }
+        LabelIndex {
+            by_label,
+            all,
+            csr: graph.freeze(),
+        }
+    }
+
+    /// The frozen CSR topology built alongside the label buckets.
+    #[inline]
+    pub fn csr(&self) -> &crate::csr::CsrTopology {
+        &self.csr
     }
 
     /// Candidate nodes for a pattern node labelled `label`: every node when

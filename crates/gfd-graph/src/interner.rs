@@ -51,7 +51,10 @@ impl Interner {
 
     /// Iterate `(id, string)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
-        self.to_str.iter().enumerate().map(|(i, s)| (i as u32, &**s))
+        self.to_str
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, &**s))
     }
 }
 

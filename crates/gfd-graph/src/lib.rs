@@ -5,6 +5,9 @@
 //!
 //! * directed graphs with labelled nodes/edges and attribute tuples
 //!   ([`Graph`], [`Value`]);
+//! * the frozen CSR topology with label-sorted adjacency the matching
+//!   hot path probes ([`CsrTopology`], built by [`Graph::freeze`] and
+//!   carried by every [`LabelIndex`] — see DESIGN.md §1);
 //! * graph patterns with wildcard labels ([`Pattern`]);
 //! * interned vocabularies mapping names to dense ids ([`Vocab`]);
 //! * neighborhood (`dQ`-ball) extraction used by pivoted matching
@@ -16,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod csr;
 pub mod dot;
 pub mod graph;
 pub mod ids;
@@ -23,9 +27,11 @@ pub mod interner;
 pub mod neighborhood;
 pub mod nodeset;
 pub mod pattern;
+mod proptests;
 pub mod value;
 
-pub use graph::{Graph, LabelIndex};
+pub use csr::CsrTopology;
+pub use graph::{Adj, Graph, LabelIndex};
 pub use ids::{AttrId, GfdId, LabelId, NodeId, VarId};
 pub use interner::{Interner, Vocab};
 pub use nodeset::NodeSet;

@@ -111,10 +111,7 @@ mod tests {
 
     #[test]
     fn iter_is_sorted() {
-        let s: NodeSet = [5usize, 1, 130, 64]
-            .into_iter()
-            .map(NodeId::new)
-            .collect();
+        let s: NodeSet = [5usize, 1, 130, 64].into_iter().map(NodeId::new).collect();
         let got: Vec<usize> = s.iter().map(|n| n.index()).collect();
         assert_eq!(got, vec![1, 5, 64, 130]);
     }

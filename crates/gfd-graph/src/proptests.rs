@@ -1,0 +1,187 @@
+//! Property tests pinning the frozen CSR topology to the builder
+//! (`Vec`-scan) adjacency it is derived from: every probe the matching
+//! hot path performs must return identical results on both
+//! representations, for arbitrary graphs including parallel edges with
+//! distinct labels and wildcard-labelled canonical nodes/edges.
+
+#![cfg(test)]
+
+use crate::graph::{Adj, Graph};
+use crate::ids::{LabelId, NodeId};
+use proptest::prelude::*;
+
+/// Random graphs over up to 10 nodes, node labels 0..4 (0 is the
+/// wildcard, as in canonical graphs), edge labels 0..4, with enough edge
+/// density to produce parallel edges under distinct labels and
+/// self-loops.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..10).prop_flat_map(|n| {
+        let labels = proptest::collection::vec(0u32..4, n);
+        let edges = proptest::collection::vec(((0..n), 0u32..4, (0..n)), 0..(3 * n));
+        (labels, edges).prop_map(move |(labels, edges)| {
+            let mut g = Graph::new();
+            for l in labels {
+                g.add_node(LabelId(l));
+            }
+            for (s, l, d) in edges {
+                g.add_edge(NodeId::new(s), LabelId(l), NodeId::new(d));
+            }
+            g
+        })
+    })
+}
+
+/// The Vec-scan reference for an anchored expansion candidate list: the
+/// label-matching neighbors of `v`, deduplicated, ascending.
+fn vec_scan_candidates(adjacency: &[Adj], label: LabelId) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = adjacency
+        .iter()
+        .filter(|(l, _)| label.pattern_matches(*l))
+        .map(|&(_, n)| n)
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// `has_edge` / `has_edge_pattern` agree with the builder scans for
+    /// every (src, label, dst) triple, wildcard included.
+    #[test]
+    fn csr_edge_probes_match_vec_scan(g in arb_graph()) {
+        let csr = g.freeze();
+        for src in g.nodes() {
+            for dst in g.nodes() {
+                for l in 0u32..5 {
+                    let l = LabelId(l);
+                    prop_assert_eq!(csr.has_edge(src, l, dst), g.has_edge(src, l, dst));
+                    prop_assert_eq!(
+                        csr.has_edge_pattern(src, l, dst),
+                        g.has_edge_pattern(src, l, dst)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Per-node neighbor slices hold exactly the builder adjacency,
+    /// sorted by (label, node) with strictly increasing node ids inside
+    /// each label sub-slice.
+    #[test]
+    fn csr_neighbor_slices_match_vec_scan(g in arb_graph()) {
+        let csr = g.freeze();
+        for v in g.nodes() {
+            let mut expected = g.out_edges(v).to_vec();
+            expected.sort_unstable();
+            prop_assert_eq!(csr.out(v), &expected[..]);
+            prop_assert!(csr.out(v).windows(2).all(|w| w[0] < w[1]));
+
+            let mut expected = g.in_edges(v).to_vec();
+            expected.sort_unstable();
+            prop_assert_eq!(csr.inn(v), &expected[..]);
+
+            for l in 0u32..5 {
+                let l = LabelId(l);
+                let sub = csr.out_with_label(v, l);
+                prop_assert!(sub.iter().all(|&(sl, _)| sl == l));
+                prop_assert_eq!(
+                    sub.len(),
+                    g.out_edges(v).iter().filter(|&&(sl, _)| sl == l).count()
+                );
+                prop_assert!(sub.windows(2).all(|w| w[0].1 < w[1].1));
+            }
+        }
+    }
+
+    /// Anchored-expansion candidate lists from the label sub-slices are
+    /// identical to the Vec-scan filter over the whole adjacency — the
+    /// property `HomSearch::make_frame` relies on.
+    #[test]
+    fn csr_candidate_slices_match_vec_scan(g in arb_graph()) {
+        let csr = g.freeze();
+        for v in g.nodes() {
+            for l in 0u32..5 {
+                let l = LabelId(l);
+                let mut from_csr: Vec<NodeId> =
+                    csr.out_matching(v, l).iter().map(|&(_, n)| n).collect();
+                from_csr.sort_unstable();
+                from_csr.dedup();
+                prop_assert_eq!(from_csr, vec_scan_candidates(g.out_edges(v), l));
+
+                let mut from_csr: Vec<NodeId> =
+                    csr.in_matching(v, l).iter().map(|&(_, n)| n).collect();
+                from_csr.sort_unstable();
+                from_csr.dedup();
+                prop_assert_eq!(from_csr, vec_scan_candidates(g.in_edges(v), l));
+            }
+        }
+    }
+
+    /// Frequency statistics count exactly the edges the builder holds.
+    #[test]
+    fn csr_frequency_stats_match_edge_counts(g in arb_graph()) {
+        let csr = g.freeze();
+        for l in 1u32..5 {
+            let l = LabelId(l);
+            prop_assert_eq!(
+                csr.edge_label_frequency(l),
+                g.edges().filter(|&(_, el, _)| el == l).count()
+            );
+            for nl in 1u32..5 {
+                let nl = LabelId(nl);
+                prop_assert_eq!(
+                    csr.out_pair_frequency(l, nl),
+                    g.edges()
+                        .filter(|&(_, el, d)| el == l && g.label(d) == nl)
+                        .count()
+                );
+                prop_assert_eq!(
+                    csr.in_pair_frequency(l, nl),
+                    g.edges()
+                        .filter(|&(s, el, _)| el == l && g.label(s) == nl)
+                        .count()
+                );
+            }
+        }
+        prop_assert_eq!(csr.edge_label_frequency(LabelId::WILDCARD), g.edge_count());
+    }
+}
+
+/// Regression: duplicate parallel edges with distinct labels must appear
+/// once per label in the CSR and produce one candidate under a wildcard
+/// probe (the sorted-merge dedup case), while identical re-added triples
+/// stay deduplicated by the builder.
+#[test]
+fn parallel_edges_with_distinct_labels_regression() {
+    let mut g = Graph::new();
+    let t = LabelId(1);
+    let a = g.add_node(t);
+    let b = g.add_node(t);
+    let e1 = LabelId(2);
+    let e2 = LabelId(3);
+    g.add_edge(a, e1, b);
+    g.add_edge(a, e2, b);
+    g.add_edge(a, e1, b); // identical triple: builder ignores it
+    let csr = g.freeze();
+
+    assert_eq!(csr.edge_count(), 2);
+    assert_eq!(csr.out(a), &[(e1, b), (e2, b)]);
+    assert_eq!(csr.out_with_label(a, e1), &[(e1, b)]);
+    assert_eq!(csr.out_with_label(a, e2), &[(e2, b)]);
+    assert!(csr.has_edge(a, e1, b));
+    assert!(csr.has_edge(a, e2, b));
+    assert!(!csr.has_edge(b, e1, a));
+    // Wildcard probe sees b twice across label groups; dedup must reduce
+    // the candidate list to one entry.
+    let mut cands: Vec<NodeId> = csr
+        .out_matching(a, LabelId::WILDCARD)
+        .iter()
+        .map(|&(_, n)| n)
+        .collect();
+    cands.sort_unstable();
+    cands.dedup();
+    assert_eq!(cands, vec![b]);
+    assert!(csr.has_edge_pattern(a, LabelId::WILDCARD, b));
+}

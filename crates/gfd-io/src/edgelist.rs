@@ -257,14 +257,13 @@ mod tests {
     #[test]
     fn bad_lines_name_the_line_number() {
         let mut vocab = Vocab::new();
-        let err = load_edge_list("1 2\nx y\n", &mut vocab, &EdgeListOptions::default())
-            .unwrap_err();
-        assert_eq!(err.line, 2);
         let err =
-            load_edge_list("1\n", &mut vocab, &EdgeListOptions::default()).unwrap_err();
+            load_edge_list("1 2\nx y\n", &mut vocab, &EdgeListOptions::default()).unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = load_edge_list("1\n", &mut vocab, &EdgeListOptions::default()).unwrap_err();
         assert!(err.message.contains("destination"));
-        let err = load_edge_list("1 2 e extra\n", &mut vocab, &EdgeListOptions::default())
-            .unwrap_err();
+        let err =
+            load_edge_list("1 2 e extra\n", &mut vocab, &EdgeListOptions::default()).unwrap_err();
         assert!(err.message.contains("too many"));
     }
 
@@ -282,11 +281,11 @@ mod tests {
         let region = vocab.attr("region");
         assert_eq!(g.label(ids[&0]), person);
         assert_eq!(g.attr(ids[&0], age), Some(&Value::int(28)));
+        assert_eq!(g.attr(ids[&0], region), Some(&Value::str("zilinsky kraj")));
         assert_eq!(
-            g.attr(ids[&0], region),
-            Some(&Value::str("zilinsky kraj"))
+            g.attr(ids[&1], vocab.attr("verified")),
+            Some(&Value::Bool(true))
         );
-        assert_eq!(g.attr(ids[&1], vocab.attr("verified")), Some(&Value::Bool(true)));
         // Structure untouched by the relabelling rebuild.
         assert!(g.has_edge(ids[&0], vocab.label("edge"), ids[&1]));
     }
@@ -294,8 +293,7 @@ mod tests {
     #[test]
     fn node_table_can_add_isolated_nodes() {
         let mut vocab = Vocab::new();
-        let (mut g, mut ids) =
-            load_edge_list("", &mut vocab, &EdgeListOptions::default()).unwrap();
+        let (mut g, mut ids) = load_edge_list("", &mut vocab, &EdgeListOptions::default()).unwrap();
         let n = load_node_table("5 place\n", &mut g, &mut ids, &mut vocab).unwrap();
         assert_eq!(n, 1);
         assert_eq!(g.node_count(), 1);
@@ -307,11 +305,9 @@ mod tests {
         let mut vocab = Vocab::new();
         let (mut g, mut ids) =
             load_edge_list("0 1\n", &mut vocab, &EdgeListOptions::default()).unwrap();
-        let err = load_node_table("0 person noequals\n", &mut g, &mut ids, &mut vocab)
-            .unwrap_err();
+        let err = load_node_table("0 person noequals\n", &mut g, &mut ids, &mut vocab).unwrap_err();
         assert!(err.message.contains("attr=value"), "{err}");
-        let err =
-            load_node_table("0 person =5\n", &mut g, &mut ids, &mut vocab).unwrap_err();
+        let err = load_node_table("0 person =5\n", &mut g, &mut ids, &mut vocab).unwrap_err();
         assert!(err.message.contains("empty attribute name"));
     }
 

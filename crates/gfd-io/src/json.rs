@@ -4,18 +4,21 @@
 //! re-interned on load, so files are portable across processes with
 //! different vocabularies. The wildcard label is spelled `"_"`, matching
 //! the DSL.
+//!
+//! Serialization is built on the in-crate [`crate::jsonval`] tree rather
+//! than serde (DESIGN.md §5: the workspace builds offline); the wire
+//! format is unchanged.
 
+use crate::jsonval::{parse, Json, ParseError};
 use gfd_core::{Gfd, GfdSet, Literal, Operand};
 use gfd_graph::{Graph, NodeId, Pattern, Value, Vocab};
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// An import/export error.
 #[derive(Debug)]
 pub enum JsonError {
     /// Malformed JSON.
-    Syntax(serde_json::Error),
+    Syntax(ParseError),
     /// Structurally valid JSON with inconsistent content.
     Semantic(String),
 }
@@ -31,8 +34,8 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
-impl From<serde_json::Error> for JsonError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<ParseError> for JsonError {
+    fn from(e: ParseError) -> Self {
         JsonError::Syntax(e)
     }
 }
@@ -41,185 +44,190 @@ fn semantic(msg: impl Into<String>) -> JsonError {
     JsonError::Semantic(msg.into())
 }
 
-/// A JSON attribute value. Untagged: `1`, `true` and `"s"` all work.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-#[serde(untagged)]
-enum JValue {
-    /// Integer.
-    Int(i64),
-    /// Boolean.
-    Bool(bool),
-    /// String.
-    Str(String),
-}
-
-impl From<&Value> for JValue {
-    fn from(v: &Value) -> Self {
-        match v {
-            Value::Int(i) => JValue::Int(*i),
-            Value::Bool(b) => JValue::Bool(*b),
-            Value::Str(s) => JValue::Str(s.to_string()),
-        }
+fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Int(i) => Json::Int(*i),
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Str(s) => Json::Str(s.to_string()),
     }
 }
 
-impl From<&JValue> for Value {
-    fn from(v: &JValue) -> Self {
-        match v {
-            JValue::Int(i) => Value::Int(*i),
-            JValue::Bool(b) => Value::Bool(*b),
-            JValue::Str(s) => Value::str(s),
-        }
+fn value_from_json(j: &Json) -> Result<Value, JsonError> {
+    match j {
+        Json::Int(i) => Ok(Value::Int(*i)),
+        Json::Bool(b) => Ok(Value::Bool(*b)),
+        Json::Str(s) => Ok(Value::str(s)),
+        other => Err(semantic(format!(
+            "attribute values must be int, bool or string, got {other:?}"
+        ))),
     }
 }
 
-#[derive(Serialize, Deserialize)]
-struct JNode {
-    label: String,
-    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
-    attrs: BTreeMap<String, JValue>,
+fn field<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, JsonError> {
+    obj.get(key)
+        .ok_or_else(|| semantic(format!("{ctx}: missing field `{key}`")))
 }
 
-#[derive(Serialize, Deserialize)]
-struct JEdge {
-    src: usize,
-    label: String,
-    dst: usize,
+fn str_field(obj: &Json, key: &str, ctx: &str) -> Result<String, JsonError> {
+    field(obj, key, ctx)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| semantic(format!("{ctx}: field `{key}` must be a string")))
 }
 
-#[derive(Serialize, Deserialize)]
-struct JGraph {
-    nodes: Vec<JNode>,
-    edges: Vec<JEdge>,
+fn index_field(obj: &Json, key: &str, ctx: &str) -> Result<usize, JsonError> {
+    let i = field(obj, key, ctx)?
+        .as_int()
+        .ok_or_else(|| semantic(format!("{ctx}: field `{key}` must be an integer")))?;
+    usize::try_from(i).map_err(|_| semantic(format!("{ctx}: field `{key}` must be non-negative")))
+}
+
+/// A required array field.
+fn array_field<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a [Json], JsonError> {
+    field(obj, key, ctx)?
+        .as_array()
+        .ok_or_else(|| semantic(format!("{ctx}: field `{key}` must be an array")))
+}
+
+/// An optional array field; a missing field reads as empty (the writer
+/// omits empty collections).
+fn opt_array_field<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a [Json], JsonError> {
+    match obj.get(key) {
+        None => Ok(&[]),
+        Some(j) => j
+            .as_array()
+            .ok_or_else(|| semantic(format!("{ctx}: field `{key}` must be an array"))),
+    }
 }
 
 /// Serialize a graph to a pretty JSON string.
 pub fn graph_to_json(graph: &Graph, vocab: &Vocab) -> String {
-    let nodes = graph
+    let nodes: Vec<Json> = graph
         .nodes()
-        .map(|v| JNode {
-            label: vocab.label_name(graph.label(v)).to_string(),
-            attrs: graph
+        .map(|v| {
+            let mut fields = vec![(
+                "label".to_string(),
+                Json::Str(vocab.label_name(graph.label(v)).to_string()),
+            )];
+            // Name-sorted attributes, as the previous BTreeMap encoding
+            // produced; omitted when empty.
+            let mut attrs: Vec<(String, Json)> = graph
                 .attrs(v)
                 .iter()
-                .map(|(a, val)| (vocab.attr_name(*a).to_string(), JValue::from(val)))
-                .collect(),
+                .map(|(a, val)| (vocab.attr_name(*a).to_string(), value_to_json(val)))
+                .collect();
+            attrs.sort_by(|(a, _), (b, _)| a.cmp(b));
+            if !attrs.is_empty() {
+                fields.push(("attrs".to_string(), Json::Object(attrs)));
+            }
+            Json::Object(fields)
         })
         .collect();
-    let edges = graph
+    let edges: Vec<Json> = graph
         .edges()
-        .map(|(s, l, d)| JEdge {
-            src: s.index(),
-            label: vocab.label_name(l).to_string(),
-            dst: d.index(),
+        .map(|(s, l, d)| {
+            Json::Object(vec![
+                ("src".to_string(), Json::Int(s.index() as i64)),
+                (
+                    "label".to_string(),
+                    Json::Str(vocab.label_name(l).to_string()),
+                ),
+                ("dst".to_string(), Json::Int(d.index() as i64)),
+            ])
         })
         .collect();
-    serde_json::to_string_pretty(&JGraph { nodes, edges }).expect("graph serialization")
+    Json::Object(vec![
+        ("nodes".to_string(), Json::Array(nodes)),
+        ("edges".to_string(), Json::Array(edges)),
+    ])
+    .pretty()
 }
 
 /// Load a graph from JSON, interning names into `vocab`.
 pub fn graph_from_json(src: &str, vocab: &mut Vocab) -> Result<Graph, JsonError> {
-    let j: JGraph = serde_json::from_str(src)?;
-    let mut g = Graph::with_capacity(j.nodes.len());
-    for n in &j.nodes {
-        let id = g.add_node(vocab.label(&n.label));
-        for (attr, value) in &n.attrs {
-            g.set_attr(id, vocab.attr(attr), Value::from(value));
+    let doc = parse(src)?;
+    let nodes = array_field(&doc, "nodes", "graph")?;
+    let edges = array_field(&doc, "edges", "graph")?;
+    let mut g = Graph::with_capacity(nodes.len());
+    for n in nodes {
+        let label = str_field(n, "label", "node")?;
+        let id = g.add_node(vocab.label(&label));
+        if let Some(attrs) = n.get("attrs") {
+            let Json::Object(fields) = attrs else {
+                return Err(semantic("node field `attrs` must be an object"));
+            };
+            for (attr, value) in fields {
+                g.set_attr(id, vocab.attr(attr), value_from_json(value)?);
+            }
         }
     }
-    for e in &j.edges {
-        if e.src >= j.nodes.len() || e.dst >= j.nodes.len() {
+    for e in edges {
+        let src = index_field(e, "src", "edge")?;
+        let dst = index_field(e, "dst", "edge")?;
+        let label = str_field(e, "label", "edge")?;
+        if src >= nodes.len() || dst >= nodes.len() {
             return Err(semantic(format!(
-                "edge {} -> {} references a missing node",
-                e.src, e.dst
+                "edge {src} -> {dst} references a missing node"
             )));
         }
-        g.add_edge(
-            NodeId::new(e.src),
-            vocab.label(&e.label),
-            NodeId::new(e.dst),
-        );
+        g.add_edge(NodeId::new(src), vocab.label(&label), NodeId::new(dst));
     }
     Ok(g)
 }
 
-#[derive(Serialize, Deserialize)]
-struct JPatternNode {
-    var: String,
-    label: String,
-}
-
-#[derive(Serialize, Deserialize)]
-struct JPatternEdge {
-    src: String,
-    label: String,
-    dst: String,
-}
-
-/// One literal; exactly one of `value` / (`rhs_var`, `rhs_attr`) is set.
-#[derive(Serialize, Deserialize)]
-struct JLiteral {
-    var: String,
-    attr: String,
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    value: Option<JValue>,
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    rhs_var: Option<String>,
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    rhs_attr: Option<String>,
-}
-
-#[derive(Serialize, Deserialize)]
-struct JGfd {
-    name: String,
-    nodes: Vec<JPatternNode>,
-    #[serde(default, skip_serializing_if = "Vec::is_empty")]
-    edges: Vec<JPatternEdge>,
-    #[serde(default, skip_serializing_if = "Vec::is_empty")]
-    when: Vec<JLiteral>,
-    then: Vec<JLiteral>,
-}
-
-#[derive(Serialize, Deserialize)]
-struct JSigma {
-    gfds: Vec<JGfd>,
-}
-
-fn literal_to_json(lit: &Literal, pattern: &Pattern, vocab: &Vocab) -> JLiteral {
-    let (value, rhs_var, rhs_attr) = match &lit.rhs {
-        Operand::Const(c) => (Some(JValue::from(c)), None, None),
-        Operand::Attr(v, a) => (
-            None,
-            Some(pattern.var_name(*v).to_string()),
-            Some(vocab.attr_name(*a).to_string()),
+fn literal_to_json(lit: &Literal, pattern: &Pattern, vocab: &Vocab) -> Json {
+    let mut fields = vec![
+        (
+            "var".to_string(),
+            Json::Str(pattern.var_name(lit.var).to_string()),
         ),
-    };
-    JLiteral {
-        var: pattern.var_name(lit.var).to_string(),
-        attr: vocab.attr_name(lit.attr).to_string(),
-        value,
-        rhs_var,
-        rhs_attr,
+        (
+            "attr".to_string(),
+            Json::Str(vocab.attr_name(lit.attr).to_string()),
+        ),
+    ];
+    match &lit.rhs {
+        Operand::Const(c) => fields.push(("value".to_string(), value_to_json(c))),
+        Operand::Attr(v, a) => {
+            fields.push((
+                "rhs_var".to_string(),
+                Json::Str(pattern.var_name(*v).to_string()),
+            ));
+            fields.push((
+                "rhs_attr".to_string(),
+                Json::Str(vocab.attr_name(*a).to_string()),
+            ));
+        }
     }
+    Json::Object(fields)
 }
 
 fn literal_from_json(
-    j: &JLiteral,
+    j: &Json,
     pattern: &Pattern,
     vocab: &mut Vocab,
     rule: &str,
 ) -> Result<Literal, JsonError> {
+    let ctx = format!("rule {rule}");
+    let var_name = str_field(j, "var", &ctx)?;
     let var = pattern
-        .var_by_name(&j.var)
-        .ok_or_else(|| semantic(format!("rule {rule}: unknown variable `{}`", j.var)))?;
-    let attr = vocab.attr(&j.attr);
-    match (&j.value, &j.rhs_var, &j.rhs_attr) {
-        (Some(v), None, None) => Ok(Literal::eq_const(var, attr, Value::from(v))),
+        .var_by_name(&var_name)
+        .ok_or_else(|| semantic(format!("rule {rule}: unknown variable `{var_name}`")))?;
+    let attr = vocab.attr(&str_field(j, "attr", &ctx)?);
+    match (j.get("value"), j.get("rhs_var"), j.get("rhs_attr")) {
+        (Some(v), None, None) => Ok(Literal::eq_const(var, attr, value_from_json(v)?)),
         (None, Some(v2), Some(a2)) => {
+            let v2 = v2
+                .as_str()
+                .ok_or_else(|| semantic(format!("rule {rule}: `rhs_var` must be a string")))?;
+            let a2 = a2
+                .as_str()
+                .ok_or_else(|| semantic(format!("rule {rule}: `rhs_attr` must be a string")))?
+                .to_string();
             let var2 = pattern
                 .var_by_name(v2)
                 .ok_or_else(|| semantic(format!("rule {rule}: unknown variable `{v2}`")))?;
-            Ok(Literal::eq_attr(var, attr, var2, vocab.attr(a2)))
+            Ok(Literal::eq_attr(var, attr, var2, vocab.attr(&a2)))
         }
         _ => Err(semantic(format!(
             "rule {rule}: literal needs either `value` or both `rhs_var` and `rhs_attr`"
@@ -229,81 +237,115 @@ fn literal_from_json(
 
 /// Serialize a rule set to a pretty JSON string.
 pub fn sigma_to_json(sigma: &GfdSet, vocab: &Vocab) -> String {
-    let gfds = sigma
+    let gfds: Vec<Json> = sigma
         .iter()
-        .map(|(_, g)| JGfd {
-            name: g.name.clone(),
-            nodes: g
+        .map(|(_, g)| {
+            let nodes: Vec<Json> = g
                 .pattern
                 .vars()
-                .map(|v| JPatternNode {
-                    var: g.pattern.var_name(v).to_string(),
-                    label: vocab.label_name(g.pattern.label(v)).to_string(),
+                .map(|v| {
+                    Json::Object(vec![
+                        (
+                            "var".to_string(),
+                            Json::Str(g.pattern.var_name(v).to_string()),
+                        ),
+                        (
+                            "label".to_string(),
+                            Json::Str(vocab.label_name(g.pattern.label(v)).to_string()),
+                        ),
+                    ])
                 })
-                .collect(),
-            edges: g
+                .collect();
+            let edges: Vec<Json> = g
                 .pattern
                 .edges()
                 .iter()
-                .map(|e| JPatternEdge {
-                    src: g.pattern.var_name(e.src).to_string(),
-                    label: vocab.label_name(e.label).to_string(),
-                    dst: g.pattern.var_name(e.dst).to_string(),
+                .map(|e| {
+                    Json::Object(vec![
+                        (
+                            "src".to_string(),
+                            Json::Str(g.pattern.var_name(e.src).to_string()),
+                        ),
+                        (
+                            "label".to_string(),
+                            Json::Str(vocab.label_name(e.label).to_string()),
+                        ),
+                        (
+                            "dst".to_string(),
+                            Json::Str(g.pattern.var_name(e.dst).to_string()),
+                        ),
+                    ])
                 })
-                .collect(),
-            when: g
+                .collect();
+            let when: Vec<Json> = g
                 .premise
                 .iter()
                 .map(|l| literal_to_json(l, &g.pattern, vocab))
-                .collect(),
-            then: g
+                .collect();
+            let then: Vec<Json> = g
                 .consequence
                 .iter()
                 .map(|l| literal_to_json(l, &g.pattern, vocab))
-                .collect(),
+                .collect();
+            let mut fields = vec![
+                ("name".to_string(), Json::Str(g.name.clone())),
+                ("nodes".to_string(), Json::Array(nodes)),
+            ];
+            if !edges.is_empty() {
+                fields.push(("edges".to_string(), Json::Array(edges)));
+            }
+            if !when.is_empty() {
+                fields.push(("when".to_string(), Json::Array(when)));
+            }
+            fields.push(("then".to_string(), Json::Array(then)));
+            Json::Object(fields)
         })
         .collect();
-    serde_json::to_string_pretty(&JSigma { gfds }).expect("sigma serialization")
+    Json::Object(vec![("gfds".to_string(), Json::Array(gfds))]).pretty()
 }
 
 /// Load a rule set from JSON, interning names into `vocab`.
 pub fn sigma_from_json(src: &str, vocab: &mut Vocab) -> Result<GfdSet, JsonError> {
-    let j: JSigma = serde_json::from_str(src)?;
+    let doc = parse(src)?;
+    let gfds = array_field(&doc, "gfds", "sigma")?;
     let mut out = GfdSet::new();
-    for jg in &j.gfds {
-        if jg.nodes.is_empty() {
-            return Err(semantic(format!("rule {}: empty pattern", jg.name)));
+    for jg in gfds {
+        let name = str_field(jg, "name", "rule")?;
+        let ctx = format!("rule {name}");
+        let nodes = array_field(jg, "nodes", &ctx)?;
+        if nodes.is_empty() {
+            return Err(semantic(format!("{ctx}: empty pattern")));
         }
         let mut pattern = Pattern::new();
-        for n in &jg.nodes {
-            if pattern.var_by_name(&n.var).is_some() {
-                return Err(semantic(format!(
-                    "rule {}: duplicate variable `{}`",
-                    jg.name, n.var
-                )));
+        for n in nodes {
+            let var = str_field(n, "var", &ctx)?;
+            let label = str_field(n, "label", &ctx)?;
+            if pattern.var_by_name(&var).is_some() {
+                return Err(semantic(format!("{ctx}: duplicate variable `{var}`")));
             }
-            pattern.add_node(vocab.label(&n.label), n.var.clone());
+            pattern.add_node(vocab.label(&label), var);
         }
-        for e in &jg.edges {
-            let src = pattern.var_by_name(&e.src).ok_or_else(|| {
-                semantic(format!("rule {}: unknown variable `{}`", jg.name, e.src))
-            })?;
-            let dst = pattern.var_by_name(&e.dst).ok_or_else(|| {
-                semantic(format!("rule {}: unknown variable `{}`", jg.name, e.dst))
-            })?;
-            pattern.add_edge(src, vocab.label(&e.label), dst);
+        for e in opt_array_field(jg, "edges", &ctx)? {
+            let src_name = str_field(e, "src", &ctx)?;
+            let dst_name = str_field(e, "dst", &ctx)?;
+            let label = str_field(e, "label", &ctx)?;
+            let src = pattern
+                .var_by_name(&src_name)
+                .ok_or_else(|| semantic(format!("{ctx}: unknown variable `{src_name}`")))?;
+            let dst = pattern
+                .var_by_name(&dst_name)
+                .ok_or_else(|| semantic(format!("{ctx}: unknown variable `{dst_name}`")))?;
+            pattern.add_edge(src, vocab.label(&label), dst);
         }
-        let premise = jg
-            .when
+        let premise = opt_array_field(jg, "when", &ctx)?
             .iter()
-            .map(|l| literal_from_json(l, &pattern, vocab, &jg.name))
+            .map(|l| literal_from_json(l, &pattern, vocab, &name))
             .collect::<Result<Vec<_>, _>>()?;
-        let consequence = jg
-            .then
+        let consequence = array_field(jg, "then", &ctx)?
             .iter()
-            .map(|l| literal_from_json(l, &pattern, vocab, &jg.name))
+            .map(|l| literal_from_json(l, &pattern, vocab, &name))
             .collect::<Result<Vec<_>, _>>()?;
-        out.push(Gfd::new(jg.name.clone(), pattern, premise, consequence));
+        out.push(Gfd::new(name, pattern, premise, consequence));
     }
     Ok(out)
 }

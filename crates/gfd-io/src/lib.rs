@@ -14,17 +14,16 @@
 //! The DSL in `gfd-dsl` remains the *human-authored* format; this crate
 //! covers the machine-interchange cases.
 //!
-//! Dependency note (DESIGN.md §5): `serde` is on the approved list;
-//! `serde_json` is the serializer for serde's data model — serde alone
-//! defines no wire format.
+//! Dependency note (DESIGN.md §5): the workspace builds fully offline,
+//! so JSON is hand-rolled in [`jsonval`] — the wire format matches what
+//! the earlier serde-based encoder produced.
 
 #![warn(missing_docs)]
 
 pub mod edgelist;
 pub mod json;
+pub mod jsonval;
 mod proptests;
 
 pub use edgelist::{load_edge_list, load_node_table, EdgeListOptions};
-pub use json::{
-    graph_from_json, graph_to_json, sigma_from_json, sigma_to_json, JsonError,
-};
+pub use json::{graph_from_json, graph_to_json, sigma_from_json, sigma_to_json, JsonError};

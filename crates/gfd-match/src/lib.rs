@@ -29,7 +29,7 @@ pub use simulation::{dual_simulation, may_embed};
 mod proptests {
     use crate::brute::brute_force_matches;
     use crate::search::find_all_matches;
-    use gfd_graph::{Graph, LabelIndex, LabelId, NodeId, Pattern};
+    use gfd_graph::{Graph, LabelId, LabelIndex, NodeId, Pattern};
     use proptest::prelude::*;
 
     /// Strategy: a small random labelled graph.
@@ -38,10 +38,7 @@ mod proptests {
         // out of 2.
         (1usize..6).prop_flat_map(|n| {
             let labels = proptest::collection::vec(1u32..4, n);
-            let edges = proptest::collection::vec(
-                ((0..n), 1u32..3, (0..n)),
-                0..(n * n).min(12),
-            );
+            let edges = proptest::collection::vec(((0..n), 1u32..3, (0..n)), 0..(n * n).min(12));
             (labels, edges).prop_map(move |(labels, edges)| {
                 let mut g = Graph::new();
                 for l in labels {
@@ -59,10 +56,7 @@ mod proptests {
     fn arb_pattern() -> impl Strategy<Value = Pattern> {
         (1usize..4).prop_flat_map(|k| {
             let labels = proptest::collection::vec(0u32..4, k);
-            let edges = proptest::collection::vec(
-                ((0..k), 0u32..3, (0..k)),
-                0..(k * k).min(6),
-            );
+            let edges = proptest::collection::vec(((0..k), 0u32..3, (0..k)), 0..(k * k).min(6));
             (labels, edges).prop_map(move |(labels, edges)| {
                 let mut p = Pattern::new();
                 for l in labels {

@@ -65,8 +65,34 @@ impl MatchPlan {
         if let Some(p) = pivot {
             assert!(p.index() < n, "pivot out of range");
         }
-        let freq = |v: VarId| -> usize {
-            stats.map_or(usize::MAX, |s| s.frequency(pattern.label(v)))
+        let freq =
+            |v: VarId| -> usize { stats.map_or(usize::MAX, |s| s.frequency(pattern.label(v))) };
+
+        // Estimated candidate count when `v` is placed next to the
+        // current prefix: the node-label frequency, sharpened by the real
+        // `(edge label, endpoint label)` pair frequencies of the frozen
+        // topology — an upper bound on the anchored-expansion fan, which
+        // is what the matcher actually enumerates.
+        let anchored_estimate = |v: VarId, placed: &[bool]| -> usize {
+            let Some(s) = stats else {
+                return usize::MAX;
+            };
+            let csr = s.csr();
+            let mut est = s.frequency(pattern.label(v));
+            for &(elabel, u) in pattern.in_edges(v) {
+                // Pattern edge u --elabel--> v: candidates come from the
+                // anchor's out-slice, so at most `out_pair_frequency`
+                // edges can produce one.
+                if u != v && placed[u.index()] {
+                    est = est.min(csr.out_pair_frequency(elabel, pattern.label(v)));
+                }
+            }
+            for &(elabel, u) in pattern.out_edges(v) {
+                if u != v && placed[u.index()] {
+                    est = est.min(csr.in_pair_frequency(elabel, pattern.label(v)));
+                }
+            }
+            est
         };
 
         let mut placed = vec![false; n];
@@ -96,12 +122,18 @@ impl MatchPlan {
                 })
             } else {
                 // Prefer variables connected to the placed prefix; among
-                // those, max connectivity then min label frequency.
+                // those, max connectivity then min estimated fan-out
+                // (label-pair frequency, falling back to label frequency).
                 let best_connected = pattern
                     .vars()
                     .filter(|&v| !placed[v.index()])
                     .filter(|&v| connectivity(v, &placed) > 0)
-                    .max_by_key(|&v| (connectivity(v, &placed), usize::MAX - freq(v)));
+                    .max_by_key(|&v| {
+                        (
+                            connectivity(v, &placed),
+                            usize::MAX - anchored_estimate(v, &placed),
+                        )
+                    });
                 match best_connected {
                     Some(v) => v,
                     // New component: start a fresh root at the most

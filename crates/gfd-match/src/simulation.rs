@@ -41,7 +41,10 @@ pub fn dual_simulation(
     }
 
     // Fixed point: remove v from sim(u) if some pattern edge at u has no
-    // matching graph edge at v whose endpoint survives.
+    // matching graph edge at v whose endpoint survives. Concrete pattern
+    // edge labels probe only the O(log d)-located CSR label sub-slice
+    // instead of scanning v's whole adjacency.
+    let csr = index.csr();
     let mut changed = true;
     while changed {
         changed = false;
@@ -49,15 +52,15 @@ pub fn dual_simulation(
             let mut removals = Vec::new();
             for v in sim[u.index()].iter() {
                 let ok_out = pattern.out_edges(u).iter().all(|&(elabel, u2)| {
-                    graph.out_edges(v).iter().any(|&(glabel, v2)| {
-                        elabel.pattern_matches(glabel) && sim[u2.index()].contains(v2)
-                    })
+                    csr.out_matching(v, elabel)
+                        .iter()
+                        .any(|&(_, v2)| sim[u2.index()].contains(v2))
                 });
                 let ok_in = ok_out
                     && pattern.in_edges(u).iter().all(|&(elabel, u2)| {
-                        graph.in_edges(v).iter().any(|&(glabel, v2)| {
-                            elabel.pattern_matches(glabel) && sim[u2.index()].contains(v2)
-                        })
+                        csr.in_matching(v, elabel)
+                            .iter()
+                            .any(|&(_, v2)| sim[u2.index()].contains(v2))
                     });
                 if !ok_in {
                     removals.push(v);

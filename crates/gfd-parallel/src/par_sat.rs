@@ -104,10 +104,7 @@ mod tests {
                 } else {
                     vec![Literal::eq_const(x, a, 1i64)]
                 },
-                vec![
-                    Literal::eq_const(x, a, 1i64),
-                    Literal::eq_attr(x, b, y, b),
-                ],
+                vec![Literal::eq_const(x, a, 1i64), Literal::eq_attr(x, b, y, b)],
             ));
         }
         let sigma = GfdSet::from_vec(gfds);

@@ -34,6 +34,7 @@ use rustc_hash::FxHashSet;
 use std::collections::VecDeque;
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// What the run is trying to decide.
@@ -108,8 +109,8 @@ struct Worker<'a> {
     broadcast_cursor: usize,
     rx_tasks: Receiver<ToWorker>,
     tx_coord: Sender<ToCoord>,
-    rx_delta: Receiver<Vec<EqOp>>,
-    tx_delta: Vec<Sender<Vec<EqOp>>>,
+    rx_delta: Receiver<Arc<[EqOp]>>,
+    tx_delta: Vec<Sender<Arc<[EqOp]>>>,
     stop: &'a AtomicBool,
     stats: WorkerStats,
     last_y_version: u64,
@@ -190,16 +191,18 @@ impl<'a> Worker<'a> {
     }
 
     /// Ship ops recorded since the last broadcast to every other worker.
+    /// The payload is shared as one `Arc<[EqOp]>`: a single allocation
+    /// however many peers there are, instead of a `Vec` clone per peer.
     fn broadcast(&mut self) {
         let new = self.engine.delta_since(self.broadcast_cursor);
         if new.is_empty() {
             return;
         }
-        let ops = new.to_vec();
+        let ops: Arc<[EqOp]> = Arc::from(new);
         self.broadcast_cursor = self.engine.delta_len();
         self.stats.ops_sent += ops.len() as u64;
         for tx in &self.tx_delta {
-            let _ = tx.send(ops.clone());
+            let _ = tx.send(Arc::clone(&ops));
         }
     }
 
@@ -285,12 +288,7 @@ impl<'a> Worker<'a> {
     /// Non-pipelined (`*np`) mode: first enumerate every match of the
     /// unit, then enforce them one by one — the ablation baseline of
     /// Exp-1/Exp-4.
-    fn run_collect_then_check(
-        &mut self,
-        search: &mut HomSearch<'_>,
-        gfd_id: GfdId,
-        priority: u32,
-    ) {
+    fn run_collect_then_check(&mut self, search: &mut HomSearch<'_>, gfd_id: GfdId, priority: u32) {
         let mut matches: Vec<Match> = Vec::new();
         loop {
             let deadline = self.cfg.split.then(|| Instant::now() + self.cfg.ttl);
@@ -401,7 +399,7 @@ pub(crate) fn run_parallel(
         let (tx, rx) = unbounded::<ToWorker>();
         task_txs.push(tx);
         task_rxs.push(rx);
-        let (tx, rx) = unbounded::<Vec<EqOp>>();
+        let (tx, rx) = unbounded::<Arc<[EqOp]>>();
         delta_txs.push(tx);
         delta_rxs.push(rx);
     }

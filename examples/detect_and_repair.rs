@@ -122,7 +122,11 @@ fn main() {
     println!(
         "\nafter {rounds} repair(s): {} violation(s) — graph {}",
         after.violations.len(),
-        if after.is_clean() { "is clean" } else { "still dirty" }
+        if after.is_clean() {
+            "is clean"
+        } else {
+            "still dirty"
+        }
     );
     assert!(after.is_clean());
 }

@@ -38,7 +38,7 @@ fn main() {
     // Divergent source data: only one copy knows the year.
     g.set_attr(al1, year, Value::int(1959));
     g.set_attr(al2, year, Value::int(1958)); // a data-entry error
-    // Each source wired its own copies together.
+                                             // Each source wired its own copies together.
     g.add_edge(al1, by, ar1);
     g.add_edge(al2, by, ar2);
     g.add_edge(al1, released_on, lb1);
@@ -106,7 +106,11 @@ fn main() {
         r.merges,
         r.resolved.node_count()
     );
-    assert_eq!(r.resolved.node_count(), 3, "one artist, one album, one label");
+    assert_eq!(
+        r.resolved.node_count(),
+        3,
+        "one artist, one album, one label"
+    );
     assert!(
         r.rounds >= 3,
         "labels merge only after albums, which merge only after artists"

@@ -91,7 +91,10 @@ fn main() {
     let imp = gfd::seq_imp(&sigma, &phi);
     println!("\nSeqImp: Σ |= {} ? {}", phi.name, imp.is_implied());
     let par = gfd::par_imp(&sigma, &phi, &ParConfig::with_workers(4));
-    println!("ParImp(p=4): agrees = {}", par.is_implied() == imp.is_implied());
+    println!(
+        "ParImp(p=4): agrees = {}",
+        par.is_implied() == imp.is_implied()
+    );
 
     // Something Σ does not imply:
     let free = gfd::dsl::parse_gfd(

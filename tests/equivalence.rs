@@ -13,8 +13,26 @@ fn arb_gfd(max_k: usize) -> impl Strategy<Value = Gfd> {
     (
         1usize..=max_k,
         proptest::collection::vec((0usize..4, 1u32..3, 0usize..4), 0..5),
-        proptest::collection::vec((0usize..4, 0u32..2, proptest::option::of(0i64..2), 0usize..4, 0u32..2), 0..3),
-        proptest::collection::vec((0usize..4, 0u32..2, proptest::option::of(0i64..2), 0usize..4, 0u32..2), 1..3),
+        proptest::collection::vec(
+            (
+                0usize..4,
+                0u32..2,
+                proptest::option::of(0i64..2),
+                0usize..4,
+                0u32..2,
+            ),
+            0..3,
+        ),
+        proptest::collection::vec(
+            (
+                0usize..4,
+                0u32..2,
+                proptest::option::of(0i64..2),
+                0usize..4,
+                0u32..2,
+            ),
+            1..3,
+        ),
         0u32..3, // extra label entropy
     )
         .prop_map(move |(k, edges, pre, post, label_seed)| {
@@ -31,9 +49,7 @@ fn arb_gfd(max_k: usize) -> impl Strategy<Value = Gfd> {
                 items
                     .into_iter()
                     .map(|(v, a, c, v2, a2)| match c {
-                        Some(c) => {
-                            Literal::eq_const(VarId::new(v % k), AttrId(a), Value::Int(c))
-                        }
+                        Some(c) => Literal::eq_const(VarId::new(v % k), AttrId(a), Value::Int(c)),
                         None => Literal::eq_attr(
                             VarId::new(v % k),
                             AttrId(a),

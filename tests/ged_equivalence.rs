@@ -132,7 +132,9 @@ fn implication_cases_agree() {
     ];
     for (sigma_src, phi_src, expected) in cases {
         let mut vocab = Vocab::new();
-        let sigma = gfd::dsl::parse_document(sigma_src, &mut vocab).unwrap().gfds;
+        let sigma = gfd::dsl::parse_document(sigma_src, &mut vocab)
+            .unwrap()
+            .gfds;
         let phi = gfd::dsl::parse_gfd(phi_src, &mut vocab).unwrap();
         let core = gfd::seq_imp(&sigma, &phi).is_implied();
         let ged = ged_implies(&lift(&sigma), &Ged::from_gfd(&phi)).is_implied();

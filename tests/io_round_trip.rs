@@ -41,7 +41,10 @@ fn dsl_and_json_express_the_same_rules() {
     let from_json = sigma_from_json(&json, &mut vocab2).unwrap();
     let printed_a = gfd::dsl::print_gfd_set(&doc.gfds, &vocab);
     let printed_b = gfd::dsl::print_gfd_set(&from_json, &vocab2);
-    assert_eq!(printed_a, printed_b, "DSL render must match after JSON trip");
+    assert_eq!(
+        printed_a, printed_b,
+        "DSL render must match after JSON trip"
+    );
 }
 
 #[test]
@@ -65,7 +68,10 @@ fn graph_json_round_trip_preserves_validation() {
     )
     .unwrap();
     let graph = &doc.graphs[0].1;
-    assert!(!gfd::graph_satisfies(graph, &doc.gfds[gfd::graph::GfdId::new(0)]));
+    assert!(!gfd::graph_satisfies(
+        graph,
+        &doc.gfds[gfd::graph::GfdId::new(0)]
+    ));
 
     let json = graph_to_json(graph, &vocab);
     let mut vocab2 = Vocab::new();

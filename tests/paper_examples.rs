@@ -138,7 +138,9 @@ gfd phi8 {
 #[test]
 fn example2_distinct_pattern_interaction_unsatisfiable() {
     let mut vocab = Vocab::new();
-    let sigma = gfd::dsl::parse_document(Q6_Q7_RULES, &mut vocab).unwrap().gfds;
+    let sigma = gfd::dsl::parse_document(Q6_Q7_RULES, &mut vocab)
+        .unwrap()
+        .gfds;
     // Each alone has a model…
     for (_, g) in sigma.iter() {
         let single = GfdSet::from_vec(vec![g.clone()]);
@@ -257,7 +259,9 @@ gfd phi14 {
 #[test]
 fn example8_implication_both_ways() {
     let mut vocab = Vocab::new();
-    let sigma = gfd::dsl::parse_document(EXAMPLE8_SIGMA, &mut vocab).unwrap().gfds;
+    let sigma = gfd::dsl::parse_document(EXAMPLE8_SIGMA, &mut vocab)
+        .unwrap()
+        .gfds;
     let phi13 = gfd::dsl::parse_gfd(PHI13, &mut vocab).unwrap();
     let phi14 = gfd::dsl::parse_gfd(PHI14, &mut vocab).unwrap();
 

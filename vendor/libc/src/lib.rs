@@ -1,0 +1,55 @@
+//! Vendored, minimal libc bindings: exactly the symbols the workspace
+//! uses (`clock_gettime` with `CLOCK_THREAD_CPUTIME_ID`). The system C
+//! library is linked implicitly by std on unix targets.
+
+#![cfg(unix)]
+#![allow(non_camel_case_types)]
+
+/// C `int`.
+pub type c_int = i32;
+/// C `long`.
+pub type c_long = i64;
+/// Seconds since the epoch / of an interval.
+pub type time_t = i64;
+/// A clock identifier for `clock_gettime`.
+pub type clockid_t = c_int;
+
+/// Per-thread CPU-time clock (Linux value; identical on the targets this
+/// workspace builds for).
+pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 3;
+
+/// `struct timespec`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct timespec {
+    /// Whole seconds.
+    pub tv_sec: time_t,
+    /// Nanoseconds in `0..1_000_000_000`.
+    pub tv_nsec: c_long,
+}
+
+extern "C" {
+    /// POSIX `clock_gettime(2)`.
+    pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_cputime_clock_ticks() {
+        let mut ts = timespec::default();
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        assert_eq!(rc, 0);
+        let first = (ts.tv_sec, ts.tv_nsec);
+        let mut acc = 0u64;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_mul(31).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        assert_eq!(rc, 0);
+        assert!((ts.tv_sec, ts.tv_nsec) > first);
+    }
+}

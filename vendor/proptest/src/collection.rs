@@ -1,0 +1,101 @@
+//! Collection strategies: `proptest::collection::vec`.
+
+use crate::strategy::{Strategy, TestRng};
+use std::ops::{Range, RangeInclusive};
+
+/// An inclusive size interval for generated collections.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(self, rng: &mut TestRng) -> usize {
+        if self.hi <= self.lo {
+            self.lo
+        } else {
+            self.lo + rng.below(self.hi - self.lo + 1)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi: r.end.saturating_sub(1).max(r.start),
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: (*r.end()).max(*r.start()),
+        }
+    }
+}
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Vectors of `element` values with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_respect_the_range() {
+        let mut rng = TestRng::for_case("sizes", 0);
+        let s = vec(0u32..5, 2..6);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn exact_and_inclusive_sizes() {
+        let mut rng = TestRng::for_case("exact", 0);
+        assert_eq!(vec(0u32..5, 4).generate(&mut rng).len(), 4);
+        let s = vec(0u32..5, 1..=2);
+        for _ in 0..50 {
+            assert!((1..=2).contains(&s.generate(&mut rng).len()));
+        }
+    }
+
+    #[test]
+    fn empty_size_range_yields_lo() {
+        // `0..0` degenerates to always-empty rather than panicking.
+        let mut rng = TestRng::for_case("empty", 0);
+        assert!(vec(0u32..5, 0..0).generate(&mut rng).is_empty());
+    }
+}

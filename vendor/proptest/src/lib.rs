@@ -1,0 +1,154 @@
+//! Vendored, minimal property-testing harness, API-compatible with the
+//! subset of `proptest` this workspace uses: `Strategy` with
+//! `prop_map`/`prop_flat_map`, range/tuple/`Just`/`any` strategies,
+//! `collection::vec`, `option::of`, simple regex string strategies, the
+//! `proptest!`/`prop_oneof!`/`prop_assert*!` macros and
+//! `ProptestConfig::with_cases`.
+//!
+//! Differences from the real crate: generation is driven by a fixed
+//! deterministic RNG per (test, case) pair and there is **no shrinking**
+//! — on failure the case index and seed are printed so the exact input
+//! can be regenerated. Set `PROPTEST_CASES` to override case counts.
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The conventional `proptest::prelude` re-exports.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...)` runs
+/// `cases` times with fresh generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    (@impl $cfg:expr;
+     $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let cases = config.effective_cases();
+                for case in 0..cases {
+                    let mut rng = $crate::strategy::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    let guard =
+                        $crate::test_runner::FailureGuard::new(stringify!($name), case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    // The body runs in a `Result` context so early
+                    // rejection via `return Ok(())` works as in the real
+                    // crate; assertion macros panic directly.
+                    let outcome = (move || -> ::std::result::Result<(), ::std::string::String> {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(message) = outcome {
+                        panic!("proptest case rejected with error: {message}");
+                    }
+                    guard.disarm();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Choose uniformly among several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($a:expr $(,)?) => {
+        $a
+    };
+    ($a:expr, $b:expr $(,)?) => {
+        $crate::strategy::Union2 { a: $a, b: $b }
+    };
+    ($a:expr, $b:expr, $c:expr $(,)?) => {
+        $crate::strategy::Union3 {
+            a: $a,
+            b: $b,
+            c: $c,
+        }
+    };
+    ($a:expr, $b:expr, $c:expr, $d:expr $(,)?) => {
+        $crate::strategy::Union4 {
+            a: $a,
+            b: $b,
+            c: $c,
+            d: $d,
+        }
+    };
+    ($a:expr, $b:expr, $c:expr, $d:expr, $e:expr $(,)?) => {
+        $crate::strategy::Union5 {
+            a: $a,
+            b: $b,
+            c: $c,
+            d: $d,
+            e: $e,
+        }
+    };
+    ($a:expr, $b:expr, $c:expr, $d:expr, $e:expr, $f:expr $(,)?) => {
+        $crate::strategy::Union6 {
+            a: $a,
+            b: $b,
+            c: $c,
+            d: $d,
+            e: $e,
+            f: $f,
+        }
+    };
+    ($a:expr, $b:expr, $c:expr, $d:expr, $e:expr, $f:expr, $g:expr $(,)?) => {
+        $crate::strategy::Union7 {
+            a: $a,
+            b: $b,
+            c: $c,
+            d: $d,
+            e: $e,
+            f: $f,
+            g: $g,
+        }
+    };
+    ($a:expr, $b:expr, $c:expr, $d:expr, $e:expr, $f:expr, $g:expr, $h:expr $(,)?) => {
+        $crate::strategy::Union8 {
+            a: $a,
+            b: $b,
+            c: $c,
+            d: $d,
+            e: $e,
+            f: $f,
+            g: $g,
+            h: $h,
+        }
+    };
+}
+
+/// Assert inside a property test (no shrinking: behaves like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}

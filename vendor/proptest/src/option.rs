@@ -1,0 +1,41 @@
+//! Option strategies: `proptest::option::of`.
+
+use crate::strategy::{Strategy, TestRng};
+
+/// The strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Match proptest's default: None roughly a quarter of the time.
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// `Some` of the inner strategy most of the time, `None` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_both_variants() {
+        let mut rng = TestRng::for_case("both", 0);
+        let s = of(0u32..10);
+        let vals: Vec<_> = (0..200).map(|_| s.generate(&mut rng)).collect();
+        assert!(vals.iter().any(Option::is_none));
+        assert!(vals.iter().any(Option::is_some));
+        assert!(vals.iter().flatten().all(|&x| x < 10));
+    }
+}

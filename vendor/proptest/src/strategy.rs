@@ -1,0 +1,308 @@
+//! The `Strategy` trait and the core combinators.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator state for one test case.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A fresh RNG for case `case` of the named test: deterministic
+    /// across runs, distinct across tests and cases.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1_0000_01b3);
+        }
+        h ^= case as u64;
+        // splitmix64 finalizer.
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        TestRng {
+            state: if h == 0 { 0x9e37_79b9_7f4a_7c15 } else { h },
+        }
+    }
+
+    /// The next 64 random bits (xorshift64*).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generate a value, then a second strategy from it, then the final
+    /// value from that strategy.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { source: self, f }
+    }
+}
+
+/// Generate the `UnionN` structs behind `prop_oneof!`: a uniform choice
+/// among N strategies sharing one value type. Generic (rather than
+/// boxed) arms keep type inference flowing through the arms exactly as
+/// the real crate's `TupleUnion` does.
+macro_rules! define_union {
+    ($(#[$doc:meta])* $name:ident, $count:expr, $($field:ident: $ty:ident => $idx:pat),+) => {
+        $(#[$doc])*
+        pub struct $name<$($ty),+> {
+            $(#[doc = "One arm."] pub $field: $ty),+
+        }
+
+        impl<V, $($ty: Strategy<Value = V>),+> Strategy for $name<$($ty),+> {
+            type Value = V;
+
+            fn generate(&self, rng: &mut TestRng) -> V {
+                match rng.below($count) {
+                    $($idx => self.$field.generate(rng),)+
+                    _ => unreachable!(),
+                }
+            }
+        }
+    };
+}
+
+define_union!(
+    /// Uniform choice between two strategies.
+    Union2, 2, a: A => 0, b: B => 1
+);
+define_union!(
+    /// Uniform choice among three strategies.
+    Union3, 3, a: A => 0, b: B => 1, c: C => 2
+);
+define_union!(
+    /// Uniform choice among four strategies.
+    Union4, 4, a: A => 0, b: B => 1, c: C => 2, d: D => 3
+);
+define_union!(
+    /// Uniform choice among five strategies.
+    Union5, 5, a: A => 0, b: B => 1, c: C => 2, d: D => 3, e: E => 4
+);
+define_union!(
+    /// Uniform choice among six strategies.
+    Union6, 6, a: A => 0, b: B => 1, c: C => 2, d: D => 3, e: E => 4, f: F => 5
+);
+define_union!(
+    /// Uniform choice among seven strategies.
+    Union7, 7, a: A => 0, b: B => 1, c: C => 2, d: D => 3, e: E => 4, f: F => 5, g: G => 6
+);
+define_union!(
+    /// Uniform choice among eight strategies.
+    Union8, 8, a: A => 0, b: B => 1, c: C => 2, d: D => 3, e: E => 4, f: F => 5, g: G => 6,
+    h: H => 7
+);
+
+/// Always the same (cloned) value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generate one arbitrary value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// The canonical strategy for `T`'s full domain.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: PhantomData,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_tuples_compose() {
+        let mut rng = TestRng::for_case("ranges_and_tuples", 0);
+        let s = (1usize..5, -3i64..3).prop_map(|(a, b)| (a, b));
+        for _ in 0..200 {
+            let (a, b) = s.generate(&mut rng);
+            assert!((1..5).contains(&a));
+            assert!((-3..3).contains(&b));
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_the_intermediate() {
+        let mut rng = TestRng::for_case("flat_map", 0);
+        let s = (2usize..6).prop_flat_map(|n| (0..n).prop_map(move |i| (n, i)));
+        for _ in 0..200 {
+            let (n, i) = s.generate(&mut rng);
+            assert!(i < n);
+        }
+    }
+
+    #[test]
+    fn union_covers_every_arm() {
+        let mut rng = TestRng::for_case("union", 0);
+        let s = Union3 {
+            a: Just(1u32),
+            b: Just(2u32),
+            c: Just(3u32),
+        };
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        let mut c = TestRng::for_case("t", 4);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,150 @@
+//! String strategies from regex-like patterns.
+//!
+//! `&'static str` literals act as strategies, supporting the small regex
+//! subset the workspace uses: literal characters, character classes
+//! `[a-z 0-9_]` (ranges and single characters, no negation), and the
+//! quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (`*`/`+` bounded at 8).
+//! Unsupported syntax panics at generation time with a clear message.
+
+use crate::strategy::{Strategy, TestRng};
+
+#[derive(Clone, Debug)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Clone, Debug)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                    if lo == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated range in {pattern:?}"));
+                        assert!(lo <= hi, "inverted range in {pattern:?}");
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in {pattern:?}");
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}")),
+            ),
+            '.' | '(' | ')' | '|' => {
+                panic!("unsupported regex syntax {c:?} in {pattern:?} (vendored proptest)")
+            }
+            other => Atom::Literal(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.parse().expect("bad repetition"),
+                        n.parse().expect("bad repetition"),
+                    ),
+                    None => {
+                        let n = spec.parse().expect("bad repetition");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted repetition in {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let n = piece.min + rng.below(piece.max - piece.min + 1);
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.below(ranges.len())];
+                        let span = hi as u32 - lo as u32 + 1;
+                        let c = char::from_u32(lo as u32 + rng.below(span as usize) as u32)
+                            .expect("class range stays in valid chars");
+                        out.push(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = TestRng::for_case("class", 0);
+        let s = "[a-z ]{0,6}";
+        let mut lens = Vec::new();
+        for _ in 0..300 {
+            let v = Strategy::generate(&s, &mut rng);
+            lens.push(v.chars().count());
+            assert!(v.chars().all(|c| c.is_ascii_lowercase() || c == ' '));
+        }
+        assert!(lens.contains(&0));
+        assert!(lens.contains(&6));
+        assert!(lens.iter().all(|&l| l <= 6));
+    }
+
+    #[test]
+    fn literals_and_optional() {
+        let mut rng = TestRng::for_case("lit", 0);
+        let s = "ab?c{2}";
+        for _ in 0..50 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v == "abcc" || v == "acc", "got {v:?}");
+        }
+    }
+}

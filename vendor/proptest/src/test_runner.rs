@@ -1,0 +1,68 @@
+//! Test-runner configuration and failure reporting.
+
+use std::cell::Cell;
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The configured case count, overridable via `PROPTEST_CASES`.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+/// Prints which case failed when a property-test body panics (there is
+/// no shrinking in the vendored harness; the RNG is deterministic, so
+/// the case index pinpoints the input).
+pub struct FailureGuard {
+    name: &'static str,
+    case: u32,
+    armed: Cell<bool>,
+}
+
+impl FailureGuard {
+    /// Arm the guard for one case.
+    pub fn new(name: &'static str, case: u32) -> Self {
+        FailureGuard {
+            name,
+            case,
+            armed: Cell::new(true),
+        }
+    }
+
+    /// The case finished without panicking.
+    pub fn disarm(&self) {
+        self.armed.set(false);
+    }
+}
+
+impl Drop for FailureGuard {
+    fn drop(&mut self) {
+        if self.armed.get() && std::thread::panicking() {
+            eprintln!(
+                "proptest: {} failed at case {} (deterministic input; \
+                 rerun reproduces it exactly)",
+                self.name, self.case
+            );
+        }
+    }
+}
