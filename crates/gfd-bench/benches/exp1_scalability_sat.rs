@@ -10,7 +10,7 @@
 
 use gfd_bench::{banner, fmt_duration, scale, time_median, Table};
 use gfd_gen::{real_life_workload, Dataset};
-use gfd_parallel::{par_sat, ParConfig};
+use gfd_parallel::{par_sat, DispatchMode, ParConfig};
 use std::time::Duration;
 
 fn main() {
@@ -39,9 +39,11 @@ fn main() {
             "p",
             "ParSat wall",
             "makespan",
+            "coord wall",
             "np wall",
             "nb wall",
             "splits",
+            "steals",
             "speedup(mk)",
         ]);
         let mut first_makespan: Option<Duration> = None;
@@ -49,11 +51,19 @@ fn main() {
             let base = ParConfig::with_workers(p).with_ttl(scale.default_ttl);
             let mut makespan = Duration::ZERO;
             let mut splits = 0u64;
+            let mut steals = 0u64;
             let t = time_median(scale.repeats, || {
                 let r = par_sat(&w.sigma, &base);
                 assert!(r.is_satisfiable());
                 makespan = r.metrics.makespan().unwrap_or(r.metrics.elapsed);
                 splits = r.metrics.units_split;
+                steals = r.metrics.units_stolen;
+            });
+            // The pre-unification dispatch topology: one central queue,
+            // an idle round-trip per hand-out.
+            let coordinator = base.clone().with_dispatch(DispatchMode::Coordinator);
+            let t_coord = time_median(scale.repeats, || {
+                assert!(par_sat(&w.sigma, &coordinator).is_satisfiable());
             });
             let t_np = time_median(scale.repeats, || {
                 assert!(par_sat(&w.sigma, &base.clone().without_pipeline()).is_satisfiable());
@@ -67,9 +77,11 @@ fn main() {
                 p.to_string(),
                 fmt_duration(t),
                 fmt_duration(makespan),
+                fmt_duration(t_coord),
                 fmt_duration(t_np),
                 fmt_duration(t_nb),
                 splits.to_string(),
+                steals.to_string(),
                 format!("{speedup:.2}x"),
             ]);
         }

@@ -65,8 +65,8 @@ fn main() {
         let t = time_median(scale.repeats, || {
             let r = detect(&graph, &w.sigma, &config);
             found = r.violations.len();
-            units = r.units_processed;
-            splits = r.units_split;
+            units = r.metrics.units_dispatched;
+            splits = r.metrics.units_split;
         });
         table.row(vec![
             p.to_string(),
@@ -110,7 +110,7 @@ fn main() {
         let mut splits = 0u64;
         let t = time_median(scale.repeats, || {
             let r = detect(&hub_graph, &sigma, &config);
-            splits = r.units_split;
+            splits = r.metrics.units_split;
         });
         table.row(vec![
             format!("{ttl:?}"),

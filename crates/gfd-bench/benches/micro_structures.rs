@@ -7,6 +7,7 @@ use gfd_core::{seq_sat_with, EqRel, ReasonOptions};
 use gfd_gen::synthetic_workload;
 use gfd_graph::{AttrId, Graph, LabelIndex, NodeId, Pattern, Vocab};
 use gfd_match::{dual_simulation, MatchPlan};
+use gfd_parallel::{DispatchMode, ParConfig};
 use std::hint::black_box;
 
 fn bench_eq_rel(c: &mut Criterion) {
@@ -187,6 +188,28 @@ fn bench_structures(c: &mut Criterion) {
     group.finish();
 }
 
+/// Head-to-head: the old centralized coordinator dispatch vs per-worker
+/// deques with work stealing, on the same satisfiability workload at
+/// p ∈ {2, 4, 8}. Work stealing removes the idle round-trip a worker paid
+/// per batch; the bench pins that it is never slower.
+fn bench_scheduler(c: &mut Criterion) {
+    let w = synthetic_workload(60, 5, 3, 7);
+    assert!(gfd_parallel::par_sat(&w.sigma, &ParConfig::with_workers(2)).is_satisfiable());
+    let mut group = c.benchmark_group("sched");
+    for p in [2usize, 4, 8] {
+        for (name, dispatch) in [
+            ("work_stealing", DispatchMode::WorkStealing),
+            ("coordinator_dispatch", DispatchMode::Coordinator),
+        ] {
+            let cfg = ParConfig::with_workers(p).with_dispatch(dispatch);
+            group.bench_with_input(BenchmarkId::new(name, p), &cfg, |b, cfg| {
+                b.iter(|| black_box(gfd_parallel::par_sat(&w.sigma, cfg).is_satisfiable()))
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_ablations(c: &mut Criterion) {
     let w = synthetic_workload(80, 5, 3, 42);
     let mut group = c.benchmark_group("seq_sat_ablations");
@@ -211,6 +234,7 @@ criterion_group!(
     bench_eq_rel,
     bench_structures,
     bench_matching,
+    bench_scheduler,
     bench_ablations
 );
 criterion_main!(benches);

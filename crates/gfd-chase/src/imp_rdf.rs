@@ -1,5 +1,5 @@
 //! `ChaseImp` — the chase-based implication baseline (the paper's
-//! `ParImpRDF`, following Hellings et al. [5] with triple patterns
+//! `ParImpRDF`, following Hellings et al. \[5\] with triple patterns
 //! represented as graphs).
 
 use crate::chase::{chase_to_fixpoint, ChaseOutcome, ChaseStats};

@@ -1,7 +1,7 @@
 //! RDF-style FDs over triple patterns, and their embedding into GFDs.
 //!
 //! The related-work comparison (§VIII) notes that GFDs subsume the
-//! RDF functional/constant constraints of Hellings et al. [5]: a set of
+//! RDF functional/constant constraints of Hellings et al. \[5\]: a set of
 //! triple patterns is a graph pattern, and value constraints become
 //! literals over a distinguished `val` attribute. This module provides
 //! that embedding, which is how the `ParImpRDF` baseline receives its

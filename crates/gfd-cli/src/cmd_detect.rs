@@ -8,7 +8,7 @@ use std::time::Duration;
 
 const HELP: &str = "\
 gfd detect FILE [--graph NAME] [--limit N] [--workers N] [--ttl-ms T]
-               [--repair] [--quiet]
+               [--repair] [--quiet] [--metrics]
 
 Runs the rules in FILE against the graph(s) declared in FILE (the paper's
 error-detection application, ϕ1–ϕ4 of Example 1).
@@ -16,6 +16,7 @@ error-detection application, ϕ1–ϕ4 of Example 1).
   --limit N     stop after N violations (default: all)
   --repair      print minimal repair suggestions per violation
   --quiet       summary only, no per-violation explanations
+  --metrics     print scheduler metrics (units, splits, steals, idle time)
 Exit code: 0 clean, 1 violations found, 2 error.
 ";
 
@@ -31,6 +32,7 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     let ttl = Duration::from_millis(args.opt_u64("ttl-ms", 100)?);
     let repair = args.flag("repair");
     let quiet = args.flag("quiet");
+    let show_metrics = args.flag("metrics");
     args.finish()?;
 
     let mut vocab = gfd_graph::Vocab::new();
@@ -62,8 +64,11 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
             graph.node_count(),
             graph.edge_count(),
             report.violations.len(),
-            fmt_duration(report.elapsed),
+            fmt_duration(report.metrics.elapsed),
         );
+        if show_metrics {
+            let _ = write!(out, "{}", crate::output::fmt_metrics(&report.metrics));
+        }
         if !report.is_clean() {
             dirty = true;
             let _ = write!(out, "{}", report.summary(&doc.gfds, &vocab));

@@ -8,13 +8,14 @@ use std::io::Write;
 use std::time::{Duration, Instant};
 
 const HELP: &str = "\
-gfd imp FILE --phi NAME [--workers N] [--ttl-ms T] [--seq]
+gfd imp FILE --phi NAME [--workers N] [--ttl-ms T] [--seq] [--metrics]
 
 Checks whether the other rules in FILE imply rule NAME (§VI).
   --phi NAME    the candidate rule ϕ (by its name in the file)
   --workers N   parallel workers (default 4)
-  --seq         use the sequential SeqImp algorithm
+  --seq         use the sequential SeqImp algorithm (workers = 1)
   --ttl-ms T    straggler TTL in milliseconds (default 2000)
+  --metrics     print scheduler metrics (units, splits, steals, idle time)
 Exit code: 0 implied, 1 not implied, 2 error.
 ";
 
@@ -31,6 +32,7 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     let workers = args.opt_usize("workers", 4)?;
     let ttl = Duration::from_millis(args.opt_u64("ttl-ms", 2000)?);
     let sequential = args.flag("seq");
+    let show_metrics = args.flag("metrics");
     args.finish()?;
 
     let mut vocab = gfd_graph::Vocab::new();
@@ -54,18 +56,19 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     );
     let start = Instant::now();
     let (implied, metrics) = if sequential {
-        (gfd_core::seq_imp(&sigma, &phi).is_implied(), None)
+        let r = gfd_core::seq_imp(&sigma, &phi);
+        (r.is_implied(), r.stats)
     } else {
         let cfg = ParConfig::with_workers(workers).with_ttl(ttl);
         let r = gfd_parallel::par_imp(&sigma, &phi, &cfg);
-        (r.is_implied(), Some(r.metrics))
+        (r.is_implied(), r.metrics)
     };
     let elapsed = start.elapsed();
 
     let verdict = if implied { "IMPLIED" } else { "NOT IMPLIED" };
     let _ = writeln!(out, "{verdict} ({})", fmt_duration(elapsed));
-    if let Some(m) = &metrics {
-        let _ = write!(out, "{}", fmt_metrics(m));
+    if show_metrics {
+        let _ = write!(out, "{}", fmt_metrics(&metrics));
     }
     Ok(if implied { 0 } else { 1 })
 }

@@ -7,13 +7,14 @@ use std::io::Write;
 use std::time::{Duration, Instant};
 
 const HELP: &str = "\
-gfd sat FILE [--workers N] [--ttl-ms T] [--seq] [--model]
+gfd sat FILE [--workers N] [--ttl-ms T] [--seq] [--model] [--metrics]
 
 Checks whether the GFD set in FILE has a model (§IV–V of the paper).
   --workers N   parallel workers (default 4)
-  --seq         use the sequential SeqSat algorithm
+  --seq         use the sequential SeqSat algorithm (workers = 1)
   --ttl-ms T    straggler TTL in milliseconds (default 2000)
   --model       on satisfiable sets, print the extracted small model
+  --metrics     print scheduler metrics (units, splits, steals, idle time)
 Exit code: 0 satisfiable, 1 unsatisfiable, 2 error.
 ";
 
@@ -27,6 +28,7 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     let ttl = Duration::from_millis(args.opt_u64("ttl-ms", 2000)?);
     let sequential = args.flag("seq");
     let show_model = args.flag("model");
+    let show_metrics = args.flag("metrics");
     args.finish()?;
 
     let mut vocab = gfd_graph::Vocab::new();
@@ -44,15 +46,17 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     );
 
     let start = Instant::now();
+    // The sequential and parallel algorithms share one driver: `--seq` is
+    // the workers = 1 instantiation, and both report the same metrics.
     let (satisfiable, model, metrics) = if sequential {
         let r = gfd_core::seq_sat(&sigma);
         let model = r.model().cloned();
-        (r.is_satisfiable(), model, None)
+        (r.is_satisfiable(), model, r.stats)
     } else {
         let cfg = ParConfig::with_workers(workers).with_ttl(ttl);
         let r = gfd_parallel::par_sat(&sigma, &cfg);
         let sat = r.is_satisfiable();
-        (sat, None, Some(r.metrics))
+        (sat, None, r.metrics)
     };
     let elapsed = start.elapsed();
 
@@ -62,8 +66,8 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
         "UNSATISFIABLE"
     };
     let _ = writeln!(out, "{verdict} ({})", fmt_duration(elapsed));
-    if let Some(m) = &metrics {
-        let _ = write!(out, "{}", fmt_metrics(m));
+    if show_metrics {
+        let _ = write!(out, "{}", fmt_metrics(&metrics));
     }
     if show_model {
         if let Some(model) = &model {

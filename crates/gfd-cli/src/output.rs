@@ -14,16 +14,23 @@ pub fn fmt_duration(d: Duration) -> String {
     }
 }
 
-/// Render the parallel runtime metrics as indented lines.
+/// Render the unified scheduler metrics as indented lines.
 pub fn fmt_metrics(m: &RunMetrics) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "  units: {} generated, {} dispatched, {} split\n",
-        m.units_generated, m.units_dispatched, m.units_split
+        "  units: {} generated, {} dispatched, {} split, {} stolen\n",
+        m.units_generated, m.units_dispatched, m.units_split, m.units_stolen
     ));
-    out.push_str(&format!("  matches: {}\n", m.matches));
+    out.push_str(&format!(
+        "  matches: {} ({} pending, {} rechecks)\n",
+        m.matches, m.pending, m.rechecks
+    ));
     if let Some(ms) = m.makespan() {
-        out.push_str(&format!("  makespan: {}\n", fmt_duration(ms)));
+        out.push_str(&format!(
+            "  makespan: {} (idle: {})\n",
+            fmt_duration(ms),
+            fmt_duration(m.total_idle())
+        ));
     }
     if m.early_terminated {
         out.push_str("  early termination: yes\n");

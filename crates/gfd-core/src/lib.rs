@@ -11,16 +11,18 @@
 //! * the equivalence relation `Eq` with constant bindings, conflicts,
 //!   watcher-based pending rechecks and replayable deltas ([`eq`]);
 //! * the enforcement engine shared by every algorithm ([`enforce`]);
-//! * **SeqSat** ([`seq_sat`]) and **SeqImp** ([`seq_imp`]) — the sequential
-//!   exact algorithms for GFD satisfiability and implication;
+//! * the unified reasoning driver ([`driver`]) — the one goal-parameterized
+//!   fixpoint loop, run on the `gfd-runtime` work-stealing scheduler, behind
+//!   **SeqSat** ([`seq_sat()`]), **SeqImp** ([`seq_imp()`]) *and* the parallel
+//!   `ParSat`/`ParImp` of `gfd-parallel` (which instantiate it with
+//!   `workers > 1`);
+//! * pivoted work units and their dependency-graph ordering ([`mod@unit`]);
 //! * model extraction ([`model`]) and dependency ordering ([`ordering`]).
-//!
-//! The parallel counterparts (`ParSat`, `ParImp`) live in `gfd-parallel`
-//! and reuse everything here.
 
 #![warn(missing_docs)]
 
 pub mod canonical;
+pub mod driver;
 pub mod enforce;
 pub mod eq;
 pub mod error;
@@ -31,11 +33,13 @@ pub mod ordering;
 pub mod seq_imp;
 pub mod seq_sat;
 pub mod sigma;
+pub mod unit;
 pub mod validate;
 
 pub use canonical::{
     build_plans, build_plans_lazy, choose_pivot, consequence_deducible, CanonicalGraph,
 };
+pub use driver::{run_reason, Goal, ReasonConfig, ReasonRun, TerminalEvent};
 pub use enforce::{eval_premise, EnforceEngine, EngineStats, PremiseStatus};
 pub use eq::{EqOp, EqRel};
 pub use error::{AttrKey, Conflict};
@@ -43,7 +47,10 @@ pub use gfd::{Gfd, FALSE_ATTR_NAME};
 pub use literal::{Literal, Operand};
 pub use model::extract_model;
 pub use ordering::order_gfds;
-pub use seq_imp::{seq_imp, seq_imp_with, ImpOutcome, ImpResult, ImpliedVia};
-pub use seq_sat::{seq_sat, seq_sat_with, ReasonOptions, ReasonStats, SatOutcome, SatResult};
+pub use seq_imp::{imp_with_config, seq_imp, seq_imp_with, ImpOutcome, ImpResult, ImpliedVia};
+pub use seq_sat::{
+    sat_with_config, seq_sat, seq_sat_with, ReasonOptions, ReasonStats, SatOutcome, SatResult,
+};
 pub use sigma::GfdSet;
+pub use unit::{generate_units, order_units, WorkUnit};
 pub use validate::{find_violations, graph_satisfies, graph_satisfies_all, Violation};

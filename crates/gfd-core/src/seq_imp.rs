@@ -6,17 +6,13 @@
 //! in `G^X_Q` starting from `EqX` and terminates with *implied* as soon as
 //! either condition holds; if the fixpoint completes without them, `Σ 6|= ϕ`.
 
-use crate::canonical::{choose_pivot, consequence_deducible, CanonicalGraph};
-use crate::enforce::EnforceEngine;
+use crate::canonical::{consequence_deducible, CanonicalGraph};
+use crate::driver::{run_reason, Goal, ReasonConfig, TerminalEvent};
+use crate::eq::EqRel;
 use crate::error::Conflict;
 use crate::gfd::Gfd;
-use crate::ordering::order_gfds;
 use crate::seq_sat::{ReasonOptions, ReasonStats};
 use crate::sigma::GfdSet;
-use gfd_match::{HomSearch, MatchPlan, SearchLimits};
-use rustc_hash::FxHashSet;
-use std::ops::ControlFlow;
-use std::time::Instant;
 
 /// Why `Σ |= ϕ` holds.
 #[derive(Clone, Debug)]
@@ -60,145 +56,72 @@ pub fn seq_imp(sigma: &GfdSet, phi: &Gfd) -> ImpResult {
     seq_imp_with(sigma, phi, &ReasonOptions::default())
 }
 
-/// GFDs whose premise attributes all occur in ϕ's premise `X` get the
-/// highest priority (§VI-C's subsumption boost, attribute-level).
-fn subsumption_boost(sigma: &GfdSet, phi: &Gfd) -> Vec<bool> {
-    let x_attrs: FxHashSet<_> = phi.premise_attrs().collect();
-    sigma
-        .iter()
-        .map(|(_, g)| g.premise_attrs().all(|a| x_attrs.contains(&a)))
-        .collect()
-}
-
-/// Check `Σ |= ϕ`.
-pub fn seq_imp_with(sigma: &GfdSet, phi: &Gfd, opts: &ReasonOptions) -> ImpResult {
-    let start = Instant::now();
-    let mut stats = ReasonStats::default();
-    let done = |outcome: ImpOutcome, mut stats: ReasonStats, engine: Option<&EnforceEngine>| {
-        if let Some(e) = engine {
-            stats.matches = e.stats.matches_processed;
-            stats.pending = e.stats.pending_registered;
-            stats.rechecks = e.stats.rechecks;
-        }
-        stats.elapsed = start.elapsed();
-        ImpResult { outcome, stats }
-    };
-
+/// The trivial short-circuits shared by the sequential and parallel
+/// implication checkers. Returns the prepared `(G^X_Q, EqX)` pair when the
+/// question needs actual reasoning, or the decided outcome otherwise.
+fn imp_shortcuts(sigma: &GfdSet, phi: &Gfd) -> Result<(CanonicalGraph, EqRel), ImpOutcome> {
     // Y = ∅ is the constant true: trivially implied.
     if phi.consequence.is_empty() {
-        return done(ImpOutcome::Implied(ImpliedVia::Consequence), stats, None);
+        return Err(ImpOutcome::Implied(ImpliedVia::Consequence));
     }
-
     let (canon, eqx) = match CanonicalGraph::for_phi(phi) {
         Ok(pair) => pair,
-        Err(_) => {
-            return done(
-                ImpOutcome::Implied(ImpliedVia::PremiseInconsistent),
-                stats,
-                None,
-            )
-        }
+        Err(_) => return Err(ImpOutcome::Implied(ImpliedVia::PremiseInconsistent)),
     };
-
-    let mut engine = EnforceEngine::with_eq(eqx);
     // Y may already follow from X alone.
-    if consequence_deducible(&mut engine.eq, phi) {
-        return done(
-            ImpOutcome::Implied(ImpliedVia::Consequence),
-            stats,
-            Some(&engine),
-        );
+    {
+        let mut probe = eqx.clone();
+        if consequence_deducible(&mut probe, phi) {
+            return Err(ImpOutcome::Implied(ImpliedVia::Consequence));
+        }
     }
     if sigma.is_empty() {
-        return done(ImpOutcome::NotImplied, stats, Some(&engine));
+        return Err(ImpOutcome::NotImplied);
     }
+    Ok((canon, eqx))
+}
 
-    // `G^X_Q` is pattern-sized: most of a large Σ cannot match it at all,
-    // and matching is the only way a rule acts. The topology never changes
-    // during implication checking, so applicability is *static* — restrict
-    // Σ to the applicable rules before paying for ordering or plans. This
-    // is what lets SeqImp beat the naive chase on large Σ (Fig. 5) instead
-    // of drowning in per-rule bookkeeping.
-    let sub: GfdSet = GfdSet::from_vec(
-        sigma
-            .iter()
-            .filter(|(_, gfd)| {
-                let pivot = choose_pivot(&gfd.pattern, &canon.index);
-                canon.index.frequency(gfd.pattern.label(pivot)) > 0
-            })
-            .map(|(_, gfd)| gfd.clone())
-            .collect(),
-    );
-    if sub.is_empty() {
-        return done(ImpOutcome::NotImplied, stats, Some(&engine));
-    }
-    let sigma = &sub;
+/// Check `Σ |= ϕ` sequentially: the `workers = 1` instantiation of the
+/// unified driver.
+pub fn seq_imp_with(sigma: &GfdSet, phi: &Gfd, opts: &ReasonOptions) -> ImpResult {
+    imp_with_config(sigma, phi, &opts.sequential_config())
+}
 
-    let order = if opts.use_dependency_order {
-        let boost = subsumption_boost(sigma, phi);
-        order_gfds(sigma, Some(&boost))
-    } else {
-        sigma.iter().map(|(id, _)| id).collect()
-    };
-
-    let mut last_version = engine.eq.version();
-    for id in order {
-        let gfd = &sigma[id];
-        let pivot = choose_pivot(&gfd.pattern, &canon.index);
-        let candidates = if opts.prune_components {
-            canon.pivot_candidates(&gfd.pattern, pivot)
-        } else {
-            canon.index.candidates(gfd.pattern.label(pivot)).to_vec()
-        };
-        if candidates.is_empty() {
-            continue;
-        }
-        let plan = &MatchPlan::build(&gfd.pattern, Some(pivot), Some(&canon.index));
-        for z in candidates {
-            stats.units += 1;
-            let mut conflict: Option<Conflict> = None;
-            let mut y_holds = false;
-            let mut search =
-                HomSearch::new(&canon.graph, &canon.index, &gfd.pattern, plan).with_prefix(&[z]);
-            search.run(
-                |m| match engine.process_match(sigma, id, m) {
-                    Ok(()) => {
-                        // Only re-test Y when the relation changed.
-                        let v = engine.eq.version();
-                        if v != last_version {
-                            last_version = v;
-                            if consequence_deducible(&mut engine.eq, phi) {
-                                y_holds = true;
-                                return ControlFlow::Break(());
-                            }
-                        }
-                        ControlFlow::Continue(())
-                    }
-                    Err(c) => {
-                        conflict = Some(c);
-                        ControlFlow::Break(())
-                    }
+/// Check `Σ |= ϕ` under a full driver configuration. This is the shared
+/// entry point behind both `SeqImp` (`cfg.workers == 1`) and `ParImp`
+/// (`gfd_parallel::par_imp`).
+///
+/// Relative to satisfiability the driver differs in two ways (§VI-C):
+/// units whose premise is subsumed by `X` get the highest priority, and
+/// workers terminate early when `Y ⊆ EqH`, not just on conflicts. Rules
+/// that cannot match the pattern-sized `G^X_Q` at all never receive a plan
+/// or a unit (`build_plans_lazy`), which on a large Σ skips nearly
+/// everything — the static-applicability pruning that lets `SeqImp` beat
+/// the naive chase on Fig. 5.
+pub fn imp_with_config(sigma: &GfdSet, phi: &Gfd, cfg: &ReasonConfig) -> ImpResult {
+    let start = std::time::Instant::now();
+    let (canon, eqx) = match imp_shortcuts(sigma, phi) {
+        Ok(pair) => pair,
+        Err(outcome) => {
+            return ImpResult {
+                outcome,
+                stats: ReasonStats {
+                    workers: cfg.workers.max(1),
+                    elapsed: start.elapsed(),
+                    ..Default::default()
                 },
-                SearchLimits::none(),
-            );
-            if let Some(c) = conflict {
-                return done(
-                    ImpOutcome::Implied(ImpliedVia::Conflict(c)),
-                    stats,
-                    Some(&engine),
-                );
-            }
-            if y_holds {
-                return done(
-                    ImpOutcome::Implied(ImpliedVia::Consequence),
-                    stats,
-                    Some(&engine),
-                );
             }
         }
-    }
-
-    done(ImpOutcome::NotImplied, stats, Some(&engine))
+    };
+    let run = run_reason(sigma, Goal::Imp(phi), eqx, &canon, cfg);
+    let outcome = match run.terminal {
+        Some(TerminalEvent::Conflict(c)) => ImpOutcome::Implied(ImpliedVia::Conflict(c)),
+        Some(TerminalEvent::Consequence) => ImpOutcome::Implied(ImpliedVia::Consequence),
+        None => ImpOutcome::NotImplied,
+    };
+    let mut stats = run.metrics;
+    stats.elapsed = start.elapsed();
+    ImpResult { outcome, stats }
 }
 
 #[cfg(test)]

@@ -5,23 +5,27 @@
 //! enforce attribute dependencies into the equivalence relation, and report
 //! *unsatisfiable* on the first conflict. If the fixpoint completes without
 //! conflict, a concrete model (a Σ-bounded population of `GΣ`) is returned.
+//!
+//! Since the scheduler unification, `SeqSat` *is* the parallel driver
+//! instantiated with one worker ([`crate::driver::run_reason`] with
+//! `workers = 1`): same unit generation, same ordering, same enforcement
+//! loop, run inline on the calling thread with broadcast a natural no-op.
 
-use crate::canonical::{build_plans, CanonicalGraph};
-use crate::enforce::EnforceEngine;
+use crate::canonical::CanonicalGraph;
+use crate::driver::{run_reason, Goal, ReasonConfig, TerminalEvent};
+use crate::eq::EqRel;
 use crate::error::Conflict;
 use crate::model::extract_model;
-use crate::ordering::order_gfds;
 use crate::sigma::GfdSet;
-use gfd_match::{HomSearch, SearchLimits};
-use std::ops::ControlFlow;
-use std::time::{Duration, Instant};
+use gfd_runtime::RunMetrics;
 
-/// Tuning knobs shared by the sequential algorithms (the parallel runtime
-/// has its own, richer configuration).
+/// Tuning knobs shared by the sequential algorithms (a subset of the full
+/// [`ReasonConfig`]; the TTL/pipelining/splitting knobs only matter with
+/// more than one worker).
 #[derive(Clone, Debug)]
 pub struct ReasonOptions {
-    /// Process GFDs in dependency-graph topological order (paper default).
-    /// With `false`, input order is used — the ablation baseline.
+    /// Process work units in dependency-graph topological order (paper
+    /// default). With `false`, input order is used — the ablation baseline.
     pub use_dependency_order: bool,
     /// Skip (pattern, component) pairs whose label profiles cannot host a
     /// match (the paper's "pruning to eliminate irrelevant matches early").
@@ -37,20 +41,23 @@ impl Default for ReasonOptions {
     }
 }
 
-/// Counters reported by the sequential algorithms.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ReasonStats {
-    /// Work units processed (pattern × pivot-candidate pairs).
-    pub units: u64,
-    /// Matches found and processed.
-    pub matches: u64,
-    /// Matches that entered the pending index.
-    pub pending: u64,
-    /// Pending re-checks triggered.
-    pub rechecks: u64,
-    /// Wall-clock time.
-    pub elapsed: Duration,
+impl ReasonOptions {
+    /// The single-worker driver configuration these options denote.
+    pub(crate) fn sequential_config(&self) -> ReasonConfig {
+        ReasonConfig {
+            workers: 1,
+            split: false,
+            use_dependency_order: self.use_dependency_order,
+            prune_components: self.prune_components,
+            ..ReasonConfig::default()
+        }
+    }
 }
+
+/// Counters reported by the reasoning algorithms — the unified
+/// [`RunMetrics`] (sequential runs populate the same counters with one
+/// worker).
+pub type ReasonStats = RunMetrics;
 
 /// The outcome of satisfiability checking.
 #[derive(Clone, Debug)]
@@ -91,76 +98,42 @@ pub fn seq_sat(sigma: &GfdSet) -> SatResult {
     seq_sat_with(sigma, &ReasonOptions::default())
 }
 
-/// Check satisfiability of Σ.
+/// Check satisfiability of Σ sequentially: the `workers = 1`
+/// instantiation of the unified driver.
 pub fn seq_sat_with(sigma: &GfdSet, opts: &ReasonOptions) -> SatResult {
-    let start = Instant::now();
-    let mut stats = ReasonStats::default();
+    sat_with_config(sigma, &opts.sequential_config())
+}
 
+/// Check satisfiability of Σ under a full driver configuration. This is
+/// the shared entry point behind both `SeqSat` (`cfg.workers == 1`) and
+/// `ParSat` (`gfd_parallel::par_sat`).
+pub fn sat_with_config(sigma: &GfdSet, cfg: &ReasonConfig) -> SatResult {
     if sigma.is_empty() {
         // Vacuously satisfiable; the empty population works.
-        stats.elapsed = start.elapsed();
         return SatResult {
             outcome: SatOutcome::Satisfiable(Box::new(gfd_graph::Graph::new())),
-            stats,
+            stats: RunMetrics {
+                workers: cfg.workers.max(1),
+                ..Default::default()
+            },
         };
     }
 
     let (canon, _node_of) = CanonicalGraph::for_sigma(sigma);
-    let (pivots, plans) = build_plans(sigma, &canon.index);
-    let order = if opts.use_dependency_order {
-        order_gfds(sigma, None)
-    } else {
-        sigma.iter().map(|(id, _)| id).collect()
-    };
-
-    let mut engine = EnforceEngine::new();
-    for id in order {
-        let gfd = &sigma[id];
-        let plan = &plans[id.index()];
-        let candidates = if opts.prune_components {
-            canon.pivot_candidates(&gfd.pattern, pivots[id.index()])
-        } else {
-            canon
-                .index
-                .candidates(gfd.pattern.label(pivots[id.index()]))
-                .to_vec()
-        };
-        for z in candidates {
-            stats.units += 1;
-            let mut conflict: Option<Conflict> = None;
-            let mut search =
-                HomSearch::new(&canon.graph, &canon.index, &gfd.pattern, plan).with_prefix(&[z]);
-            search.run(
-                |m| match engine.process_match(sigma, id, m) {
-                    Ok(()) => ControlFlow::Continue(()),
-                    Err(c) => {
-                        conflict = Some(c);
-                        ControlFlow::Break(())
-                    }
-                },
-                SearchLimits::none(),
-            );
-            if let Some(c) = conflict {
-                stats.matches = engine.stats.matches_processed;
-                stats.pending = engine.stats.pending_registered;
-                stats.rechecks = engine.stats.rechecks;
-                stats.elapsed = start.elapsed();
-                return SatResult {
-                    outcome: SatOutcome::Unsatisfiable(c),
-                    stats,
-                };
-            }
+    let run = run_reason(sigma, Goal::Sat, EqRel::new(), &canon, cfg);
+    let outcome = match run.terminal {
+        Some(TerminalEvent::Conflict(c)) => SatOutcome::Unsatisfiable(c),
+        Some(TerminalEvent::Consequence) => {
+            unreachable!("consequence events are implication-only")
         }
-    }
-
-    stats.matches = engine.stats.matches_processed;
-    stats.pending = engine.stats.pending_registered;
-    stats.rechecks = engine.stats.rechecks;
-    let model = extract_model(&canon.graph, &mut engine.eq);
-    stats.elapsed = start.elapsed();
+        None => {
+            let mut engine = run.engine.expect("quiescent run produces merged state");
+            SatOutcome::Satisfiable(Box::new(extract_model(&canon.graph, &mut engine.eq)))
+        }
+    };
     SatResult {
-        outcome: SatOutcome::Satisfiable(Box::new(model)),
-        stats,
+        outcome,
+        stats: run.metrics,
     }
 }
 

@@ -10,7 +10,8 @@
 //! the pivots are within `dQ1` hops (close enough to interact) — so
 //! producers run before consumers and pending re-checks are minimized.
 
-use gfd_core::{CanonicalGraph, GfdSet};
+use crate::canonical::CanonicalGraph;
+use crate::sigma::GfdSet;
 use gfd_graph::{neighborhood, GfdId, NodeId, VarId};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::collections::BinaryHeap;
@@ -20,7 +21,7 @@ use std::collections::BinaryHeap;
 type MinHeap = BinaryHeap<std::cmp::Reverse<((bool, bool, usize), usize)>>;
 
 /// A unit of work: match GFD `gfd` with plan positions `0..prefix.len()`
-/// pre-assigned (`prefix[0]` is the pivot node `z`).
+/// pre-assigned (`prefix\[0\]` is the pivot node `z`).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WorkUnit {
     /// The GFD to enforce.
@@ -219,7 +220,9 @@ pub fn order_units(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gfd_core::{build_plans, Gfd, Literal};
+    use crate::canonical::{build_plans, CanonicalGraph};
+    use crate::gfd::Gfd;
+    use crate::literal::Literal;
     use gfd_graph::{Pattern, Vocab};
 
     /// Σ resembling the paper's Example 5/7: a seed GFD (∅ premise) and a

@@ -1,4 +1,12 @@
 //! The parallel detection engine.
+//!
+//! Since the scheduler unification, detection is a second [`Task`]
+//! implementation on the shared `gfd-runtime` work-stealing scheduler —
+//! the same dispatch, TTL straggler splitting, stop-flag early termination
+//! and [`RunMetrics`] as the reasoning driver, with detection-specific
+//! semantics (premise/consequence evaluation against the *data* graph and
+//! a global violation budget) layered on top. The engine no longer owns a
+//! private queue/TTL/split loop.
 
 use crate::report::{DetectionReport, RuleStats, ViolationRecord};
 use crate::units::{initial_units, DetectUnit, RulePlans};
@@ -6,10 +14,10 @@ use gfd_core::validate::literal_holds;
 use gfd_core::GfdSet;
 use gfd_graph::{Graph, LabelIndex, NodeId};
 use gfd_match::{HomSearch, RunOutcome, SearchLimits};
-use parking_lot::Mutex;
-use std::collections::VecDeque;
+use gfd_runtime::sched::{run_scheduler, Task, WorkerCtx};
+use gfd_runtime::{DispatchMode, RunMetrics};
 use std::ops::ControlFlow;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Configuration of a detection run.
@@ -18,12 +26,15 @@ pub struct DetectConfig {
     /// Worker threads (`p` in the paper). 0 means "number of CPUs".
     pub workers: usize,
     /// Straggler threshold: a unit running longer than this is split and
-    /// its untried branches are returned to the queue (§V, Example 6).
+    /// its untried branches are offered to other workers (§V, Example 6).
     pub ttl: Duration,
     /// Stop after this many violations (`usize::MAX` = find all).
     pub max_violations: usize,
     /// Pivot candidates per initial work unit.
     pub batch_size: usize,
+    /// How units reach the workers: per-worker deques with stealing
+    /// (default) or the centralized-queue baseline.
+    pub dispatch: DispatchMode,
 }
 
 impl Default for DetectConfig {
@@ -33,6 +44,7 @@ impl Default for DetectConfig {
             ttl: Duration::from_millis(100),
             max_violations: usize::MAX,
             batch_size: 1024,
+            dispatch: DispatchMode::WorkStealing,
         }
     }
 }
@@ -55,23 +67,20 @@ impl DetectConfig {
     }
 }
 
-/// Shared state between detection workers.
-struct Shared<'a> {
+/// The detection workload run by the shared scheduler.
+struct DetectTask<'a> {
     graph: &'a Graph,
     index: &'a LabelIndex,
     sigma: &'a GfdSet,
     plans: &'a RulePlans,
-    queue: Mutex<VecDeque<DetectUnit>>,
     /// Violations found so far (global budget counter).
     found: AtomicUsize,
-    stop: AtomicBool,
-    units_processed: AtomicU64,
-    units_split: AtomicU64,
+    stop: &'a AtomicBool,
     max_violations: usize,
     ttl: Duration,
 }
 
-impl Shared<'_> {
+impl DetectTask<'_> {
     fn budget_left(&self) -> bool {
         self.found.load(Ordering::Relaxed) < self.max_violations
     }
@@ -89,9 +98,89 @@ impl Shared<'_> {
         }
         true
     }
+
+    /// Check one match against its GFD, recording a violation if the
+    /// premise holds on the data but some consequence literal fails.
+    fn check_match(
+        &self,
+        local: &mut Local,
+        gfd_id: gfd_graph::GfdId,
+        m: Box<[NodeId]>,
+    ) -> ControlFlow<()> {
+        let gfd = self.sigma.get(gfd_id);
+        let stats = &mut local.per_rule[gfd_id.index()];
+        stats.matches += 1;
+        let premise_ok = gfd.premise.iter().all(|l| literal_holds(self.graph, l, &m));
+        if !premise_ok {
+            return ControlFlow::Continue(());
+        }
+        stats.premise_hits += 1;
+        let failed: Vec<usize> = gfd
+            .consequence
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !literal_holds(self.graph, l, &m))
+            .map(|(i, _)| i)
+            .collect();
+        if failed.is_empty() {
+            return ControlFlow::Continue(());
+        }
+        if !self.reserve() {
+            return ControlFlow::Break(());
+        }
+        local.per_rule[gfd_id.index()].violations += 1;
+        local.violations.push(ViolationRecord {
+            gfd: gfd_id,
+            m,
+            failed,
+        });
+        if self.stop.load(Ordering::Relaxed) {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    }
+
+    /// Run one pivoted search until exhausted, splitting on TTL expiry.
+    fn run_unit_search(
+        &self,
+        local: &mut Local,
+        gfd_id: gfd_graph::GfdId,
+        mut search: HomSearch<'_>,
+        ctx: &WorkerCtx<'_, DetectUnit>,
+    ) {
+        loop {
+            let deadline = Instant::now() + self.ttl;
+            let limits = SearchLimits {
+                deadline: Some(deadline),
+                stop: Some(self.stop),
+            };
+            let outcome = search.run(|m| self.check_match(local, gfd_id, m), limits);
+            match outcome {
+                RunOutcome::Exhausted | RunOutcome::Stopped => return,
+                RunOutcome::Deadline => {
+                    // Straggler: carve off the untried sibling branches and
+                    // offer them through the scheduler (an idle worker will
+                    // steal them), then keep going locally.
+                    let prefixes = search.split_shallowest();
+                    if !prefixes.is_empty() {
+                        ctx.split(
+                            prefixes
+                                .into_iter()
+                                .map(|prefix| DetectUnit::Prefix {
+                                    gfd: gfd_id,
+                                    prefix,
+                                })
+                                .collect(),
+                        );
+                    }
+                }
+            }
+        }
+    }
 }
 
-/// Thread-local accumulation, merged after the pool joins.
+/// Thread-local accumulation, merged after the scheduler joins.
 #[derive(Default)]
 struct Local {
     violations: Vec<ViolationRecord>,
@@ -107,154 +196,76 @@ impl Local {
     }
 }
 
-/// Check one match against its GFD, recording a violation if the premise
-/// holds on the data but some consequence literal fails.
-fn check_match(
-    shared: &Shared<'_>,
-    local: &mut Local,
-    gfd_id: gfd_graph::GfdId,
-    m: Box<[NodeId]>,
-) -> ControlFlow<()> {
-    let gfd = shared.sigma.get(gfd_id);
-    let stats = &mut local.per_rule[gfd_id.index()];
-    stats.matches += 1;
-    let premise_ok = gfd
-        .premise
-        .iter()
-        .all(|l| literal_holds(shared.graph, l, &m));
-    if !premise_ok {
-        return ControlFlow::Continue(());
-    }
-    stats.premise_hits += 1;
-    let failed: Vec<usize> = gfd
-        .consequence
-        .iter()
-        .enumerate()
-        .filter(|(_, l)| !literal_holds(shared.graph, l, &m))
-        .map(|(i, _)| i)
-        .collect();
-    if failed.is_empty() {
-        return ControlFlow::Continue(());
-    }
-    if !shared.reserve() {
-        return ControlFlow::Break(());
-    }
-    local.per_rule[gfd_id.index()].violations += 1;
-    local.violations.push(ViolationRecord {
-        gfd: gfd_id,
-        m,
-        failed,
-    });
-    if shared.stop.load(Ordering::Relaxed) {
-        ControlFlow::Break(())
-    } else {
-        ControlFlow::Continue(())
-    }
-}
+impl Task for DetectTask<'_> {
+    type Unit = DetectUnit;
+    type Worker = Local;
 
-/// Run one search until exhausted, splitting on TTL expiry.
-fn run_unit_search(
-    shared: &Shared<'_>,
-    local: &mut Local,
-    gfd_id: gfd_graph::GfdId,
-    mut search: HomSearch<'_>,
-) {
-    loop {
-        let deadline = Instant::now() + shared.ttl;
-        let limits = SearchLimits {
-            deadline: Some(deadline),
-            stop: Some(&shared.stop),
-        };
-        let outcome = search.run(|m| check_match(shared, local, gfd_id, m), limits);
-        match outcome {
-            RunOutcome::Exhausted | RunOutcome::Stopped => return,
-            RunOutcome::Deadline => {
-                // Straggler: carve off the untried sibling branches and
-                // offer them to other workers, then keep going locally.
-                let prefixes = search.split_shallowest();
-                if !prefixes.is_empty() {
-                    shared
-                        .units_split
-                        .fetch_add(prefixes.len() as u64, Ordering::Relaxed);
-                    let mut queue = shared.queue.lock();
-                    for prefix in prefixes {
-                        queue.push_front(DetectUnit::Prefix {
-                            gfd: gfd_id,
-                            prefix,
-                        });
-                    }
-                }
-            }
-        }
+    fn worker(&self, _id: usize) -> Local {
+        Local::new(self.sigma.len())
     }
-}
 
-fn worker(shared: &Shared<'_>) -> Local {
-    let mut local = Local::new(shared.sigma.len());
-    loop {
-        if shared.stop.load(Ordering::Relaxed) || !shared.budget_left() {
-            break;
+    fn run_unit(&self, local: &mut Local, unit: DetectUnit, ctx: &WorkerCtx<'_, DetectUnit>) {
+        if self.stop.load(Ordering::Relaxed) || !self.budget_left() {
+            self.stop.store(true, Ordering::Relaxed);
+            return;
         }
-        let unit = { shared.queue.lock().pop_front() };
-        let Some(unit) = unit else { break };
-        shared.units_processed.fetch_add(1, Ordering::Relaxed);
         let gfd_id = unit.gfd();
-        let gfd = shared.sigma.get(gfd_id);
-        let plan = &shared.plans.plans[gfd_id.index()];
+        let gfd = self.sigma.get(gfd_id);
+        let plan = &self.plans.plans[gfd_id.index()];
         match unit {
             DetectUnit::Pivots { batch, .. } => {
                 for z in batch {
-                    if shared.stop.load(Ordering::Relaxed) {
+                    if self.stop.load(Ordering::Relaxed) {
                         break;
                     }
-                    let search = HomSearch::new(shared.graph, shared.index, &gfd.pattern, plan)
+                    let search = HomSearch::new(self.graph, self.index, &gfd.pattern, plan)
                         .with_prefix(&[z]);
-                    run_unit_search(shared, &mut local, gfd_id, search);
+                    self.run_unit_search(local, gfd_id, search, ctx);
                 }
             }
             DetectUnit::Prefix { prefix, .. } => {
-                let search = HomSearch::new(shared.graph, shared.index, &gfd.pattern, plan)
-                    .with_prefix(&prefix);
-                run_unit_search(shared, &mut local, gfd_id, search);
+                let search =
+                    HomSearch::new(self.graph, self.index, &gfd.pattern, plan).with_prefix(&prefix);
+                self.run_unit_search(local, gfd_id, search, ctx);
             }
         }
     }
-    local
 }
 
-/// Detect violations of `sigma` in `graph` using a parallel worker pool.
+/// Detect violations of `sigma` in `graph` on the shared work-stealing
+/// scheduler.
 pub fn detect(graph: &Graph, sigma: &GfdSet, config: &DetectConfig) -> DetectionReport {
     let start = Instant::now();
     let index = LabelIndex::build(graph);
     let plans = RulePlans::build(sigma, &index);
-    let queue = initial_units(sigma, &index, &plans, config.batch_size);
+    let units = initial_units(sigma, &index, &plans, config.batch_size);
 
-    let shared = Shared {
+    let workers = config.effective_workers();
+    let stop = AtomicBool::new(false);
+    let task = DetectTask {
         graph,
         index: &index,
         sigma,
         plans: &plans,
-        queue: Mutex::new(queue),
         found: AtomicUsize::new(0),
-        stop: AtomicBool::new(false),
-        units_processed: AtomicU64::new(0),
-        units_split: AtomicU64::new(0),
+        stop: &stop,
         max_violations: config.max_violations,
         ttl: config.ttl,
     };
 
-    let workers = config.effective_workers();
-    let locals: Vec<Local> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| scope.spawn(|| worker(&shared)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("detection worker panicked"))
-            .collect()
-    });
-
-    merge_report(sigma, &shared, locals, start.elapsed(), config)
+    let mut metrics = RunMetrics {
+        workers,
+        units_generated: units.len(),
+        ..Default::default()
+    };
+    let run = run_scheduler(&task, units, workers, config.dispatch, &stop);
+    metrics.units_dispatched = run.units_executed;
+    metrics.units_split = run.units_split;
+    metrics.units_stolen = run.units_stolen;
+    metrics.worker_busy = run.worker_busy;
+    metrics.worker_idle = run.worker_idle;
+    metrics.elapsed = start.elapsed();
+    merge_report(sigma, run.workers, metrics, config)
 }
 
 /// Sequential reference detector (one worker, same code path). Used by
@@ -267,9 +278,8 @@ pub fn detect_sequential(graph: &Graph, sigma: &GfdSet, config: &DetectConfig) -
 
 fn merge_report(
     sigma: &GfdSet,
-    shared: &Shared<'_>,
     locals: Vec<Local>,
-    elapsed: Duration,
+    mut metrics: RunMetrics,
     config: &DetectConfig,
 ) -> DetectionReport {
     let mut violations = Vec::new();
@@ -282,16 +292,16 @@ fn merge_report(
             total.violations += part.violations;
         }
     }
+    metrics.matches = per_rule.iter().map(|s| s.matches).sum();
     // Deterministic order regardless of worker interleaving.
     violations.sort_by(|a, b| (a.gfd, &a.m).cmp(&(b.gfd, &b.m)));
     let truncated = violations.len() >= config.max_violations;
+    metrics.early_terminated = truncated;
     DetectionReport {
         violations,
         per_rule,
         truncated,
-        units_processed: shared.units_processed.load(Ordering::Relaxed),
-        units_split: shared.units_split.load(Ordering::Relaxed),
-        elapsed,
+        metrics,
     }
 }
 
@@ -355,6 +365,22 @@ mod tests {
     }
 
     #[test]
+    fn dispatch_modes_agree() {
+        let (g, sigma, _) = chain_setup(64);
+        let stealing = detect(&g, &sigma, &DetectConfig::with_workers(4));
+        let coordinator = detect(
+            &g,
+            &sigma,
+            &DetectConfig {
+                dispatch: DispatchMode::Coordinator,
+                ..DetectConfig::with_workers(4)
+            },
+        );
+        assert_eq!(stealing.violations.len(), coordinator.violations.len());
+        assert_eq!(coordinator.metrics.units_stolen, 0);
+    }
+
+    #[test]
     fn budget_truncates_early() {
         let (g, sigma, _) = chain_setup(100);
         let config = DetectConfig {
@@ -364,6 +390,7 @@ mod tests {
         let report = detect(&g, &sigma, &config);
         assert_eq!(report.violations.len(), 5);
         assert!(report.truncated);
+        assert!(report.metrics.early_terminated);
     }
 
     #[test]
@@ -397,7 +424,7 @@ mod tests {
         let sigma = GfdSet::new();
         let report = detect(&g, &sigma, &DetectConfig::with_workers(2));
         assert!(report.is_clean());
-        assert_eq!(report.units_processed, 0);
+        assert_eq!(report.metrics.units_dispatched, 0);
     }
 
     #[test]

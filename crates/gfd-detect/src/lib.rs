@@ -9,8 +9,9 @@
 //!
 //! * **pivoted work units** `(ϕ, z)` over the *data* graph — the same data
 //!   locality argument as §V, applied to detection instead of reasoning;
-//! * a worker pool with **dynamic assignment** and TTL-based **unit
-//!   splitting** for stragglers, mirroring `ParSat`'s load-balancing;
+//! * the shared `gfd-runtime` **work-stealing scheduler** (the same one
+//!   `ParSat`/`ParImp` run on) for dynamic assignment and TTL-based unit
+//!   splitting of stragglers;
 //! * **early termination** once a configurable violation budget is hit;
 //! * structured [`report::DetectionReport`]s with per-rule statistics and
 //!   human-readable explanations;
@@ -26,5 +27,6 @@ pub mod report;
 pub mod units;
 
 pub use detector::{detect, detect_sequential, DetectConfig};
+pub use gfd_runtime::{DispatchMode, RunMetrics};
 pub use repair::{suggest_repairs, Repair, RepairKind};
 pub use report::{DetectionReport, RuleStats, ViolationRecord};

@@ -3,7 +3,6 @@
 use gfd_core::{Gfd, GfdSet, Literal, Operand};
 use gfd_graph::{GfdId, Graph, NodeId, Vocab};
 use std::fmt::Write as _;
-use std::time::Duration;
 
 /// One witnessed violation: a match of a GFD's pattern whose premise holds
 /// on the data but whose consequence does not.
@@ -111,12 +110,9 @@ pub struct DetectionReport {
     /// True iff detection stopped early because the violation budget was
     /// reached.
     pub truncated: bool,
-    /// Total work units processed (pivot batches plus split remainders).
-    pub units_processed: u64,
-    /// Work units created by TTL splitting.
-    pub units_split: u64,
-    /// Wall-clock time of the run.
-    pub elapsed: Duration,
+    /// The unified scheduler metrics (units, splits, steals, per-worker
+    /// busy/idle time, wall-clock time).
+    pub metrics: gfd_runtime::RunMetrics,
 }
 
 impl DetectionReport {
@@ -224,9 +220,7 @@ mod tests {
                 violations: 1,
             }],
             truncated: false,
-            units_processed: 1,
-            units_split: 0,
-            elapsed: Duration::ZERO,
+            metrics: gfd_runtime::RunMetrics::default(),
         };
         let text = report.summary(&sigma, &vocab);
         assert!(text.contains("1 violation(s) across 1 rule(s)"), "{text}");

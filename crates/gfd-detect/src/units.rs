@@ -8,7 +8,6 @@
 use gfd_core::GfdSet;
 use gfd_graph::{GfdId, LabelIndex, NodeId, VarId};
 use gfd_match::MatchPlan;
-use std::collections::VecDeque;
 
 /// A unit of detection work.
 #[derive(Clone, Debug)]
@@ -72,28 +71,28 @@ pub fn initial_units(
     index: &LabelIndex,
     plans: &RulePlans,
     batch_size: usize,
-) -> VecDeque<DetectUnit> {
+) -> Vec<DetectUnit> {
     assert!(batch_size > 0, "batch_size must be positive");
-    let mut per_rule: Vec<VecDeque<DetectUnit>> = Vec::with_capacity(sigma.len());
+    let mut per_rule: Vec<std::vec::IntoIter<DetectUnit>> = Vec::with_capacity(sigma.len());
     for (id, gfd) in sigma.iter() {
         let pivot = plans.pivots[id.index()];
         let candidates = index.candidates(gfd.pattern.label(pivot));
-        let mut queue = VecDeque::new();
-        for chunk in candidates.chunks(batch_size) {
-            queue.push_back(DetectUnit::Pivots {
+        let batches: Vec<DetectUnit> = candidates
+            .chunks(batch_size)
+            .map(|chunk| DetectUnit::Pivots {
                 gfd: id,
                 batch: chunk.to_vec(),
-            });
-        }
-        per_rule.push(queue);
+            })
+            .collect();
+        per_rule.push(batches.into_iter());
     }
     // Round-robin interleave.
-    let mut out = VecDeque::new();
+    let mut out = Vec::new();
     loop {
         let mut emitted = false;
         for queue in &mut per_rule {
-            if let Some(u) = queue.pop_front() {
-                out.push_back(u);
+            if let Some(u) = queue.next() {
+                out.push(u);
                 emitted = true;
             }
         }

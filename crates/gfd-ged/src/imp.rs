@@ -5,7 +5,7 @@
 //! `G^X_Q` of ψ (the pattern as a graph, variable `i` = node `i`) and
 //! assert the premise `X` into a [`GedStore`]; if `X` is already
 //! inconsistent, ψ holds vacuously. Then run the shared enforcement scan
-//! ([`crate::chase`]) — but where satisfiability asks *does some branch
+//! (`crate::chase`) — but where satisfiability asks *does some branch
 //! survive*, implication asks *does every branch reach the goal*:
 //!
 //! * an inconsistent branch is vacuously fine (the paper's "conflict"

@@ -1,6 +1,6 @@
 //! Recursively-defined keys and entity resolution.
 //!
-//! A *key* for graphs (Fan et al., PVLDB 2015 — reference [27] of the
+//! A *key* for graphs (Fan et al., PVLDB 2015 — reference \[27\] of the
 //! paper) is a GED whose consequence is an id literal: when the pattern
 //! matches two candidate entities and the premise holds, the two entities
 //! are the *same* real-world object. Keys are **recursively defined**:

@@ -2,7 +2,7 @@
 //!
 //! The paper evaluates on GFDs mined from DBpedia, YAGO2 and Pokec plus a
 //! synthetic generator parameterized by `|Σ|`, pattern size `k` and
-//! literal count `l` (§VII). The mined sets and the mining algorithm [23]
+//! literal count `l` (§VII). The mined sets and the mining algorithm \[23\]
 //! are unavailable, so this crate substitutes schema-driven generation
 //! with the papers' reported label/type counts and Zipf-skewed label
 //! frequencies (see DESIGN.md):

@@ -3,7 +3,7 @@
 //! The paper mines GFDs from DBpedia (200 node types, 160 link types),
 //! YAGO2 (13 node types, 36 link types) and Pokec (269 node types, 11 link
 //! types). We cannot redistribute those graphs or the unpublished mining
-//! algorithm of [23], so the generators draw labels from schemas with the
+//! algorithm of \[23\], so the generators draw labels from schemas with the
 //! same type counts and a Zipf-like frequency skew — preserving the
 //! selectivity structure that drives matching cost (see DESIGN.md,
 //! "Substitutions").

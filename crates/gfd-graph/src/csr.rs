@@ -50,6 +50,10 @@ pub struct CsrTopology {
     /// Edge count per `(edge label, source label)`.
     in_pairs: FxHashMap<(LabelId, LabelId), u32>,
     edge_count: usize,
+    /// The source graph's [`Graph::topology_version`] at freeze time.
+    /// [`CsrTopology::assert_fresh`] compares it against the live graph to
+    /// fail fast on post-freeze topology mutation.
+    frozen_version: u64,
 }
 
 /// The `(label, ·)`-sub-slice of one node's sorted adjacency.
@@ -107,7 +111,32 @@ impl CsrTopology {
             out_pairs,
             in_pairs,
             edge_count: graph.edge_count(),
+            frozen_version: graph.topology_version(),
         }
+    }
+
+    /// The source graph's topology version this view was frozen at.
+    #[inline]
+    pub fn frozen_version(&self) -> u64 {
+        self.frozen_version
+    }
+
+    /// Debug-assert that `graph`'s topology has not changed since this
+    /// view was frozen. DESIGN.md §1 documents the staleness hazard —
+    /// edges added after `freeze()`/`LabelIndex::build` are invisible to
+    /// probes; this turns the silent wrong answer into an immediate panic
+    /// on the matching entry points (debug builds only).
+    #[inline]
+    pub fn assert_fresh(&self, graph: &Graph) {
+        debug_assert_eq!(
+            self.frozen_version,
+            graph.topology_version(),
+            "stale frozen topology: the graph was mutated after freeze() / \
+             LabelIndex::build (frozen at version {}, graph now at {}); \
+             re-freeze before matching",
+            self.frozen_version,
+            graph.topology_version(),
+        );
     }
 
     /// Number of nodes.
@@ -370,6 +399,37 @@ mod tests {
         // Wildcard on either side falls back to the label count.
         assert_eq!(csr.out_pair_frequency(LabelId::WILDCARD, t), g.edge_count());
         assert_eq!(csr.out_pair_frequency(e1, LabelId::WILDCARD), e1_count);
+    }
+
+    #[test]
+    fn freeze_records_the_topology_version() {
+        let (mut g, mut v) = build_sample();
+        let csr = g.freeze();
+        assert_eq!(csr.frozen_version(), g.topology_version());
+        csr.assert_fresh(&g); // must not panic
+                              // Attribute updates do not invalidate the frozen view.
+        g.set_attr(NodeId::new(0), crate::AttrId::new(0), crate::Value::int(1));
+        csr.assert_fresh(&g);
+        // Edge insertion does.
+        let t = v.label("t");
+        let e9 = v.label("e9");
+        let n = g.add_node(t);
+        g.add_edge(NodeId::new(0), e9, n);
+        assert_ne!(csr.frozen_version(), g.topology_version());
+        // Re-freezing catches up.
+        let csr2 = g.freeze();
+        csr2.assert_fresh(&g);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stale frozen topology")]
+    fn stale_frozen_view_fails_fast_in_debug() {
+        let (mut g, mut v) = build_sample();
+        let csr = g.freeze();
+        let e = v.label("late-edge");
+        g.add_edge(NodeId::new(0), e, NodeId::new(1));
+        csr.assert_fresh(&g);
     }
 
     #[test]

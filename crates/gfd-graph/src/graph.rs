@@ -21,6 +21,10 @@ pub struct Graph {
     inn: Vec<Vec<Adj>>,
     attrs: Vec<Vec<(AttrId, Value)>>,
     edge_count: usize,
+    /// Bumped on every topology mutation (node or edge insertion, not
+    /// attribute updates). Frozen views record the version they were built
+    /// at and fail fast on a mismatch (DESIGN.md §1).
+    topology_version: u64,
 }
 
 impl Graph {
@@ -37,7 +41,17 @@ impl Graph {
             inn: Vec::with_capacity(nodes),
             attrs: Vec::with_capacity(nodes),
             edge_count: 0,
+            topology_version: 0,
         }
+    }
+
+    /// The current topology version: bumped on every node or edge
+    /// insertion (attribute updates do not count — enforcement mutates
+    /// attributes only). A frozen [`crate::CsrTopology`] records the
+    /// version it was built at; comparing the two detects stale views.
+    #[inline]
+    pub fn topology_version(&self) -> u64 {
+        self.topology_version
     }
 
     /// Add a node with the given label, returning its id.
@@ -47,6 +61,7 @@ impl Graph {
         self.out.push(Vec::new());
         self.inn.push(Vec::new());
         self.attrs.push(Vec::new());
+        self.topology_version += 1;
         id
     }
 
@@ -62,6 +77,7 @@ impl Graph {
         self.out[src.index()].push((label, dst));
         self.inn[dst.index()].push((label, src));
         self.edge_count += 1;
+        self.topology_version += 1;
     }
 
     /// Set (or overwrite) attribute `attr` of `node` to `value`.
@@ -217,7 +233,7 @@ impl Graph {
 }
 
 /// An index from node label to the nodes carrying it, plus the full node
-/// list for wildcard lookups and the frozen [`CsrTopology`] the matching
+/// list for wildcard lookups and the frozen [`crate::CsrTopology`] the matching
 /// hot path probes.
 ///
 /// Building the index freezes the graph's topology: the CSR view rides
@@ -252,6 +268,14 @@ impl LabelIndex {
     #[inline]
     pub fn csr(&self) -> &crate::csr::CsrTopology {
         &self.csr
+    }
+
+    /// Debug-assert that `graph`'s topology has not changed since this
+    /// index (and its CSR view) was built. See
+    /// [`crate::CsrTopology::assert_fresh`].
+    #[inline]
+    pub fn assert_fresh(&self, graph: &Graph) {
+        self.csr.assert_fresh(graph);
     }
 
     /// Candidate nodes for a pattern node labelled `label`: every node when

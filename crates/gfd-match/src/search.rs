@@ -110,6 +110,9 @@ impl<'a> HomSearch<'a> {
         pattern: &'a Pattern,
         plan: &'a MatchPlan,
     ) -> Self {
+        // Fail fast (debug builds) if the graph's topology changed after
+        // the index froze it — probes on a stale CSR silently miss edges.
+        index.assert_fresh(graph);
         HomSearch {
             graph,
             index,

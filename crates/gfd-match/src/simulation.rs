@@ -25,6 +25,7 @@ pub fn dual_simulation(
     index: &LabelIndex,
     pattern: &Pattern,
 ) -> Option<Vec<NodeSet>> {
+    index.assert_fresh(graph);
     let nvars = pattern.node_count();
     let mut sim: Vec<NodeSet> = Vec::with_capacity(nvars);
 

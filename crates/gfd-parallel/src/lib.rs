@@ -1,34 +1,40 @@
 //! Parallel scalable GFD reasoning: `ParSat` (§V) and `ParImp` (§VI-C).
 //!
-//! Both algorithms run a coordinator plus `p` worker threads over a
-//! replicated canonical graph, combining:
+//! Both algorithms are the `workers = p` instantiation of the unified
+//! reasoning driver (`gfd_core::driver`) on the `gfd-runtime`
+//! work-stealing scheduler, combining:
 //!
-//! * **data-partitioned parallelism** — pivot-based work units dispatched
-//!   dynamically from a dependency-ordered priority queue;
+//! * **data-partitioned parallelism** — pivot-based work units seeded in
+//!   dependency-priority order across per-worker deques, balanced by work
+//!   stealing instead of a central coordinator;
 //! * **pipelined parallelism** — matches are enforced as they stream out
 //!   of the matcher (disable for the paper's `*np` ablations);
-//! * **straggler handling** — TTL-based work-unit splitting (disable for
-//!   the `*nb` ablations);
+//! * **straggler handling** — TTL-based work-unit splitting with priority
+//!   inheritance (disable for the `*nb` ablations);
 //! * **asynchronous `ΔEq` broadcast** with a final convergence phase, and
 //!   **early termination** on conflicts (and deduced consequences, for
 //!   implication).
 //!
-//! Relative to the sequential algorithms of `gfd-core`, the runtime is
-//! *parallel scalable* in the sense of Kruskal et al.: wall time scales as
-//! `O(t_seq / p)`, verified empirically by the Exp-1 benches.
+//! Relative to the sequential algorithms of `gfd-core` — the `workers = 1`
+//! instantiation of the *same* driver — the runtime is *parallel scalable*
+//! in the sense of Kruskal et al.: wall time scales as `O(t_seq / p)`,
+//! verified empirically by the Exp-1 benches.
 
 #![warn(missing_docs)]
 
-pub mod config;
-pub mod cputime;
-pub mod metrics;
 pub mod par_imp;
 pub mod par_sat;
-mod runtime;
-pub mod unit;
 
-pub use config::ParConfig;
-pub use metrics::RunMetrics;
+/// Configuration of the parallel runtime (the unified driver's
+/// [`gfd_core::ReasonConfig`] under its historical name).
+pub use gfd_core::driver::ReasonConfig as ParConfig;
+/// Work units and their dependency ordering now live in `gfd_core::unit`.
+pub use gfd_core::unit::WorkUnit;
+/// The scheduler's dispatch policy (work stealing vs the centralized
+/// coordinator baseline).
+pub use gfd_runtime::DispatchMode;
+/// The unified run metrics.
+pub use gfd_runtime::RunMetrics;
+
 pub use par_imp::{par_imp, ParImpResult};
 pub use par_sat::{par_sat, ParSatResult};
-pub use unit::WorkUnit;

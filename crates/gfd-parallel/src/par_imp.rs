@@ -1,11 +1,8 @@
 //! `ParImp` — parallel scalable implication checking (§VI-C).
 
-use crate::config::ParConfig;
-use crate::metrics::RunMetrics;
-use crate::runtime::{run_parallel, Goal, TerminalEvent};
-use gfd_core::{
-    consequence_deducible, CanonicalGraph, EnforceEngine, Gfd, GfdSet, ImpOutcome, ImpliedVia,
-};
+use crate::ParConfig;
+use gfd_core::{imp_with_config, Gfd, GfdSet, ImpOutcome};
+use gfd_runtime::RunMetrics;
 
 /// Result of a `ParImp` run.
 #[derive(Clone, Debug)]
@@ -25,52 +22,22 @@ impl ParImpResult {
 
 /// Check `Σ |= ϕ` with `cfg.workers` parallel workers.
 ///
-/// Parallel scalable relative to `SeqImp`; shares the coordinator/worker
-/// runtime of `ParSat` with two differences: units whose premise is
+/// Shares the work-stealing driver of `ParSat` (and of `SeqImp`, its
+/// `workers = 1` form) with two differences: units whose premise is
 /// subsumed by `X` get the highest priority, and workers terminate early
 /// when `Y ⊆ EqH` (not just on conflicts).
 pub fn par_imp(sigma: &GfdSet, phi: &Gfd, cfg: &ParConfig) -> ParImpResult {
-    let trivial = |outcome: ImpOutcome| ParImpResult {
-        outcome,
-        metrics: RunMetrics {
-            workers: cfg.workers,
-            ..Default::default()
-        },
-    };
-
-    if phi.consequence.is_empty() {
-        return trivial(ImpOutcome::Implied(ImpliedVia::Consequence));
-    }
-    let (canon, eqx) = match CanonicalGraph::for_phi(phi) {
-        Ok(pair) => pair,
-        Err(_) => return trivial(ImpOutcome::Implied(ImpliedVia::PremiseInconsistent)),
-    };
-    {
-        let mut probe = EnforceEngine::with_eq(eqx.clone());
-        if consequence_deducible(&mut probe.eq, phi) {
-            return trivial(ImpOutcome::Implied(ImpliedVia::Consequence));
-        }
-    }
-    if sigma.is_empty() {
-        return trivial(ImpOutcome::NotImplied);
-    }
-
-    let run = run_parallel(sigma, Goal::Imp(phi), eqx, &canon, cfg);
-    let outcome = match run.terminal {
-        Some(TerminalEvent::Conflict(c)) => ImpOutcome::Implied(ImpliedVia::Conflict(c)),
-        Some(TerminalEvent::Consequence) => ImpOutcome::Implied(ImpliedVia::Consequence),
-        None => ImpOutcome::NotImplied,
-    };
+    let r = imp_with_config(sigma, phi, cfg);
     ParImpResult {
-        outcome,
-        metrics: run.metrics,
+        outcome: r.outcome,
+        metrics: r.stats,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gfd_core::{seq_imp, Literal};
+    use gfd_core::{seq_imp, ImpliedVia, Literal};
     use gfd_graph::{Pattern, VarId, Vocab};
 
     /// The Example 8 fixture shared with the sequential tests.
@@ -167,6 +134,8 @@ mod tests {
             assert!(par_imp(&sigma, phi, &base).is_implied());
             assert!(par_imp(&sigma, phi, &base.clone().without_pipeline()).is_implied());
             assert!(par_imp(&sigma, phi, &base.clone().without_split()).is_implied());
+            let coordinator = base.clone().with_dispatch(crate::DispatchMode::Coordinator);
+            assert!(par_imp(&sigma, phi, &coordinator).is_implied());
         }
     }
 

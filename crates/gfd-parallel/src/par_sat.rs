@@ -1,9 +1,9 @@
 //! `ParSat` — parallel scalable satisfiability checking (§V).
 
-use crate::config::ParConfig;
-use crate::metrics::RunMetrics;
-use crate::runtime::{run_parallel, Goal, TerminalEvent};
-use gfd_core::{extract_model, CanonicalGraph, EqRel, GfdSet, SatOutcome};
+use crate::ParConfig;
+use gfd_core::GfdSet;
+use gfd_core::{sat_with_config, SatOutcome};
+use gfd_runtime::RunMetrics;
 
 /// Result of a `ParSat` run.
 #[derive(Clone, Debug)]
@@ -25,32 +25,13 @@ impl ParSatResult {
 /// Check the satisfiability of Σ with `cfg.workers` parallel workers.
 ///
 /// Parallel scalable relative to `SeqSat`: runtime `O(t(|Σ|)/p)` via
-/// dynamic workload assignment and straggler splitting.
+/// work-stealing workload balancing and straggler splitting. `SeqSat` is
+/// this same driver at `workers = 1`.
 pub fn par_sat(sigma: &GfdSet, cfg: &ParConfig) -> ParSatResult {
-    if sigma.is_empty() {
-        return ParSatResult {
-            outcome: SatOutcome::Satisfiable(Box::new(gfd_graph::Graph::new())),
-            metrics: RunMetrics {
-                workers: cfg.workers,
-                ..Default::default()
-            },
-        };
-    }
-    let (canon, _) = CanonicalGraph::for_sigma(sigma);
-    let run = run_parallel(sigma, Goal::Sat, EqRel::new(), &canon, cfg);
-    let outcome = match run.terminal {
-        Some(TerminalEvent::Conflict(c)) => SatOutcome::Unsatisfiable(c),
-        Some(TerminalEvent::Consequence) => {
-            unreachable!("consequence events are implication-only")
-        }
-        None => {
-            let mut engine = run.engine.expect("quiescent run produces merged state");
-            SatOutcome::Satisfiable(Box::new(extract_model(&canon.graph, &mut engine.eq)))
-        }
-    };
+    let r = sat_with_config(sigma, cfg);
     ParSatResult {
-        outcome,
-        metrics: run.metrics,
+        outcome: r.outcome,
+        metrics: r.stats,
     }
 }
 
@@ -155,9 +136,11 @@ mod tests {
         );
         let no_order = ParConfig {
             use_dependency_order: false,
-            ..base
+            ..base.clone()
         };
         assert_eq!(par_sat(&sigma, &no_order).is_satisfiable(), expect);
+        let coordinator = base.with_dispatch(crate::DispatchMode::Coordinator);
+        assert_eq!(par_sat(&sigma, &coordinator).is_satisfiable(), expect);
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! The work-stealing scheduler every GFD reasoning workload runs on.
+//!
+//! The paper's §V workload model — pivoted work units `(Q[z], ϕ)`, dynamic
+//! assignment, TTL straggler splitting, early termination — is shared by
+//! satisfiability checking, implication checking, and violation detection.
+//! This crate provides the one runtime all three instantiate:
+//!
+//! * a generic [`Task`] trait: a workload describes how to create per-worker
+//!   state and how to execute one unit; the scheduler owns dispatch;
+//! * per-worker deques with **work stealing** ([`DispatchMode::WorkStealing`],
+//!   the default): a worker pops its own queue from the front, steals the
+//!   back half of a victim's queue when idle, and pushes split units to its
+//!   own front so straggler remainders inherit their parent's priority and
+//!   cache locality;
+//! * a **coordinator** baseline ([`DispatchMode::Coordinator`]): one shared
+//!   queue all workers pop from, the centralized-dispatch shape the
+//!   original runtime used (kept for the head-to-head benches);
+//! * quiescence detection via an in-flight unit counter, a shared stop flag
+//!   for early termination, and per-worker busy (thread CPU time) and idle
+//!   accounting;
+//! * the unified [`RunMetrics`] every layer reports.
+//!
+//! The crate is deliberately workload-agnostic: it knows nothing about
+//! graphs, GFDs, or `ΔEq` broadcast. Those live in the [`Task`]
+//! implementations (`gfd_core::driver::ReasonTask`, `gfd_detect`'s
+//! `DetectTask`).
+
+#![warn(missing_docs)]
+
+pub mod cputime;
+pub mod metrics;
+pub mod sched;
+
+pub use metrics::RunMetrics;
+pub use sched::{run_scheduler, DispatchMode, SchedRun, Task, WorkerCtx};

@@ -1,9 +1,13 @@
-//! Run metrics reported by the parallel algorithms (used by the benchmark
-//! harness and the ablation experiments).
+//! The unified run metrics reported by every scheduler workload.
+//!
+//! One type serves all three reasoning layers (it replaced the former
+//! `ReasonStats` / `WorkerStats` / ad-hoc detection atomics): sequential
+//! runs populate the same counters as parallel ones, just with one worker.
 
 use std::time::Duration;
 
-/// Counters and timings for one `ParSat`/`ParImp` run.
+/// Counters and timings for one scheduler run (`SeqSat`/`SeqImp`,
+/// `ParSat`/`ParImp`, or a detection pass).
 #[derive(Clone, Debug, Default)]
 pub struct RunMetrics {
     /// Wall-clock time of the whole run (including setup and the final
@@ -13,17 +17,26 @@ pub struct RunMetrics {
     pub workers: usize,
     /// Initial work units generated from pivot candidates.
     pub units_generated: usize,
-    /// Units handed to workers (initial + split).
+    /// Units executed by workers (initial + split).
     pub units_dispatched: u64,
     /// Units created by TTL straggler splitting.
     pub units_split: u64,
-    /// Matches found and enforced across all workers.
+    /// Units taken from another worker's deque.
+    pub units_stolen: u64,
+    /// Matches found and processed across all workers.
     pub matches: u64,
+    /// Matches that entered the pending (inverted) index.
+    pub pending: u64,
+    /// Pending re-checks triggered by attribute instantiation.
+    pub rechecks: u64,
     /// ΔEq ops broadcast between workers.
     pub delta_ops_broadcast: u64,
-    /// Busy time per worker (only populated on quiescent runs).
+    /// Busy (CPU) time per worker.
     pub worker_busy: Vec<Duration>,
-    /// Did the run end early (conflict / consequence reached)?
+    /// Wall time each worker spent with no runnable unit (steal attempts
+    /// failed, waiting for quiescence or new splits).
+    pub worker_idle: Vec<Duration>,
+    /// Did the run end early (conflict / consequence / budget reached)?
     pub early_terminated: bool,
 }
 
@@ -39,6 +52,11 @@ impl RunMetrics {
     /// Total busy (CPU) time across workers.
     pub fn total_busy(&self) -> Duration {
         self.worker_busy.iter().sum()
+    }
+
+    /// Total idle (wall) time across workers.
+    pub fn total_idle(&self) -> Duration {
+        self.worker_idle.iter().sum()
     }
 
     /// Load imbalance: max busy time over mean busy time (1.0 = perfectly
@@ -90,5 +108,14 @@ mod tests {
     #[test]
     fn imbalance_none_without_data() {
         assert!(RunMetrics::default().imbalance().is_none());
+    }
+
+    #[test]
+    fn idle_time_totals() {
+        let m = RunMetrics {
+            worker_idle: vec![Duration::from_millis(3), Duration::from_millis(4)],
+            ..Default::default()
+        };
+        assert_eq!(m.total_idle(), Duration::from_millis(7));
     }
 }

@@ -1,0 +1,449 @@
+//! The generic work-stealing scheduler.
+//!
+//! Dispatch topology (the work-stealing default):
+//!
+//! * Seed units are dealt round-robin across `p` per-worker deques in
+//!   priority order, so every deque is priority-ascending front to back.
+//! * A worker pops its **own deque from the front** (highest priority
+//!   first). Split units produced mid-run are pushed to the owner's
+//!   **front**: a straggler's remainder inherits its parent's priority
+//!   and stays on the worker whose caches already hold its prefix.
+//! * An idle worker **steals the back half** of a victim's deque — the
+//!   lowest-priority work, so the victim keeps the units the priority
+//!   order wanted it to run next.
+//! * Quiescence is an in-flight counter: seeded and split units increment
+//!   it, completed units decrement it; workers exit when it reaches zero
+//!   (or the shared stop flag is raised). Because a split happens *while
+//!   its parent unit is still counted*, the counter can only reach zero
+//!   when every unit, split or not, has been fully executed.
+//!
+//! The former coordinator topology — one central queue handing batches to
+//! whichever worker reports done, costing an idle channel round-trip per
+//! batch — survives as [`DispatchMode::Coordinator`] for the head-to-head
+//! benchmarks.
+
+use crate::cputime::BusyTimer;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// How units travel from the queue(s) to the workers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Per-worker deques with back-half stealing (the default).
+    #[default]
+    WorkStealing,
+    /// One shared queue every worker pops from — the centralized-dispatch
+    /// baseline the original coordinator/worker runtime implemented.
+    Coordinator,
+}
+
+/// A schedulable workload.
+///
+/// The scheduler owns unit dispatch; the task owns unit semantics: what a
+/// unit *is*, the per-worker state it runs against, and any side channels
+/// between workers (e.g. the reasoning task's `ΔEq` broadcast mesh).
+pub trait Task: Sync {
+    /// One unit of work.
+    type Unit: Send;
+    /// Per-worker state, created on the worker thread and returned to the
+    /// caller after quiescence.
+    type Worker: Send;
+
+    /// Create worker-local state for worker `id`.
+    fn worker(&self, id: usize) -> Self::Worker;
+
+    /// Execute one unit. Straggler splitting pushes the remainder units
+    /// through [`WorkerCtx::split`]; early termination raises the stop
+    /// flag the task closed over.
+    fn run_unit(
+        &self,
+        worker: &mut Self::Worker,
+        unit: Self::Unit,
+        ctx: &WorkerCtx<'_, Self::Unit>,
+    );
+
+    /// Called when the worker found no runnable unit (own deque empty,
+    /// steals failed) but the run is not yet quiescent — a chance to drain
+    /// inboxes while another worker's straggler may still split.
+    fn on_idle(&self, _worker: &mut Self::Worker, _ctx: &WorkerCtx<'_, Self::Unit>) {}
+}
+
+struct Shared<'s, U> {
+    queues: Vec<Mutex<VecDeque<U>>>,
+    /// Units seeded or split but not yet fully executed.
+    in_flight: AtomicUsize,
+    stop: &'s AtomicBool,
+    mode: DispatchMode,
+    units_executed: AtomicU64,
+    units_stolen: AtomicU64,
+    units_split: AtomicU64,
+}
+
+impl<U> Shared<'_, U> {
+    /// Next unit for worker `id`: own front, else steal a victim's back
+    /// half (work stealing), or the single shared front (coordinator).
+    fn pop(&self, id: usize) -> Option<U> {
+        match self.mode {
+            DispatchMode::Coordinator => self.queues[0].lock().pop_front(),
+            DispatchMode::WorkStealing => {
+                if let Some(u) = self.queues[id].lock().pop_front() {
+                    return Some(u);
+                }
+                self.steal(id)
+            }
+        }
+    }
+
+    fn steal(&self, thief: usize) -> Option<U> {
+        let p = self.queues.len();
+        for k in 1..p {
+            let victim = (thief + k) % p;
+            let mut loot = {
+                let mut q = self.queues[victim].lock();
+                let n = q.len();
+                if n == 0 {
+                    continue;
+                }
+                // Take the back half (lowest priority), keeping its
+                // internal order.
+                q.split_off(n - n.div_ceil(2))
+            };
+            self.units_stolen
+                .fetch_add(loot.len() as u64, Ordering::Relaxed);
+            let first = loot.pop_front();
+            if !loot.is_empty() {
+                self.queues[thief].lock().extend(loot);
+            }
+            return first;
+        }
+        None
+    }
+}
+
+/// The scheduler handle a [`Task`] uses from inside `run_unit`/`on_idle`.
+pub struct WorkerCtx<'s, U> {
+    shared: &'s Shared<'s, U>,
+    worker: usize,
+}
+
+impl<U> WorkerCtx<'_, U> {
+    /// The id of the worker this context belongs to.
+    pub fn worker_id(&self) -> usize {
+        self.worker
+    }
+
+    /// Enqueue split units carved off a straggler. They go to the front of
+    /// this worker's own deque (the shared queue's front under
+    /// [`DispatchMode::Coordinator`]), preserving the given order, so the
+    /// remainder inherits the parent unit's priority.
+    pub fn split(&self, units: Vec<U>) {
+        if units.is_empty() {
+            return;
+        }
+        self.shared
+            .in_flight
+            .fetch_add(units.len(), Ordering::SeqCst);
+        self.shared
+            .units_split
+            .fetch_add(units.len() as u64, Ordering::Relaxed);
+        let qi = match self.shared.mode {
+            DispatchMode::Coordinator => 0,
+            DispatchMode::WorkStealing => self.worker,
+        };
+        let mut q = self.shared.queues[qi].lock();
+        for u in units.into_iter().rev() {
+            q.push_front(u);
+        }
+    }
+}
+
+/// What a finished scheduler run hands back to the caller.
+pub struct SchedRun<W> {
+    /// Per-worker final states, in worker-id order.
+    pub workers: Vec<W>,
+    /// Units executed (seeded + split).
+    pub units_executed: u64,
+    /// Units taken from another worker's deque.
+    pub units_stolen: u64,
+    /// Units created by splitting.
+    pub units_split: u64,
+    /// Busy (CPU) time per worker.
+    pub worker_busy: Vec<Duration>,
+    /// Idle (wall) time per worker.
+    pub worker_idle: Vec<Duration>,
+}
+
+fn worker_loop<T: Task>(
+    task: &T,
+    shared: &Shared<'_, T::Unit>,
+    id: usize,
+) -> (T::Worker, Duration, Duration) {
+    let mut worker = task.worker(id);
+    let mut busy = Duration::ZERO;
+    let mut idle = Duration::ZERO;
+    let mut spins = 0u32;
+    let ctx = WorkerCtx { shared, worker: id };
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if let Some(unit) = shared.pop(id) {
+            spins = 0;
+            let timer = BusyTimer::start();
+            task.run_unit(&mut worker, unit, &ctx);
+            busy += timer.elapsed();
+            shared.units_executed.fetch_add(1, Ordering::Relaxed);
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        if shared.in_flight.load(Ordering::SeqCst) == 0 {
+            break;
+        }
+        // No runnable unit, but a straggler elsewhere may still split.
+        // `on_idle` can do real work (e.g. drain a `ΔEq` inbox, cascading
+        // pending rechecks), so its CPU time counts as busy; only the
+        // yield/sleep wait is booked as idle.
+        let timer = BusyTimer::start();
+        task.on_idle(&mut worker, &ctx);
+        busy += timer.elapsed();
+        let idle_start = Instant::now();
+        if spins < 64 {
+            spins += 1;
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        idle += idle_start.elapsed();
+    }
+    (worker, busy, idle)
+}
+
+/// Run `task` over `seed` units on `workers` threads until quiescence or
+/// until `stop` is raised.
+///
+/// Seed units are dealt round-robin across the per-worker deques in the
+/// given order (all into one queue under [`DispatchMode::Coordinator`]),
+/// so seeding in priority order keeps every deque priority-ascending.
+///
+/// With `workers == 1` the single worker runs inline on the calling
+/// thread — the sequential algorithms are exactly this instantiation and
+/// pay no thread-spawn cost.
+pub fn run_scheduler<T: Task>(
+    task: &T,
+    seed: Vec<T::Unit>,
+    workers: usize,
+    mode: DispatchMode,
+    stop: &AtomicBool,
+) -> SchedRun<T::Worker> {
+    let p = workers.max(1);
+    let queue_count = match mode {
+        DispatchMode::Coordinator => 1,
+        DispatchMode::WorkStealing => p,
+    };
+    let in_flight = seed.len();
+    let queues: Vec<Mutex<VecDeque<T::Unit>>> = (0..queue_count)
+        .map(|_| Mutex::new(VecDeque::new()))
+        .collect();
+    for (i, unit) in seed.into_iter().enumerate() {
+        queues[i % queue_count].lock().push_back(unit);
+    }
+    let shared = Shared {
+        queues,
+        in_flight: AtomicUsize::new(in_flight),
+        stop,
+        mode,
+        units_executed: AtomicU64::new(0),
+        units_stolen: AtomicU64::new(0),
+        units_split: AtomicU64::new(0),
+    };
+
+    let mut states: Vec<(T::Worker, Duration, Duration)> = if p == 1 {
+        vec![worker_loop(task, &shared, 0)]
+    } else {
+        std::thread::scope(|scope| {
+            let shared = &shared;
+            let handles: Vec<_> = (0..p)
+                .map(|id| scope.spawn(move || worker_loop(task, shared, id)))
+                .collect();
+            // Re-derive ids from spawn order: handles join in id order.
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scheduler worker panicked"))
+                .collect()
+        })
+    };
+
+    let mut run = SchedRun {
+        workers: Vec::with_capacity(p),
+        units_executed: shared.units_executed.load(Ordering::Relaxed),
+        units_stolen: shared.units_stolen.load(Ordering::Relaxed),
+        units_split: shared.units_split.load(Ordering::Relaxed),
+        worker_busy: Vec::with_capacity(p),
+        worker_idle: Vec::with_capacity(p),
+    };
+    for (worker, busy, idle) in states.drain(..) {
+        run.workers.push(worker);
+        run.worker_busy.push(busy);
+        run.worker_idle.push(idle);
+    }
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as TestCounter;
+
+    /// A task that sums unit payloads per worker and splits units above a
+    /// threshold into halves.
+    struct SumTask {
+        split_above: u64,
+        executed: TestCounter,
+    }
+
+    impl Task for SumTask {
+        type Unit = u64;
+        type Worker = u64;
+
+        fn worker(&self, _id: usize) -> u64 {
+            0
+        }
+
+        fn run_unit(&self, acc: &mut u64, unit: u64, ctx: &WorkerCtx<'_, u64>) {
+            self.executed.fetch_add(1, Ordering::Relaxed);
+            if unit > self.split_above {
+                let half = unit / 2;
+                ctx.split(vec![half, unit - half]);
+                return;
+            }
+            *acc += unit;
+        }
+    }
+
+    fn total(seed: &[u64]) -> u64 {
+        seed.iter().sum()
+    }
+
+    #[test]
+    fn all_units_run_exactly_once_across_worker_counts() {
+        for p in [1usize, 2, 4, 8] {
+            let seed: Vec<u64> = (1..=100).collect();
+            let task = SumTask {
+                split_above: u64::MAX,
+                executed: TestCounter::new(0),
+            };
+            let stop = AtomicBool::new(false);
+            let run = run_scheduler(&task, seed.clone(), p, DispatchMode::WorkStealing, &stop);
+            assert_eq!(run.workers.iter().sum::<u64>(), total(&seed), "p={p}");
+            assert_eq!(run.units_executed, 100);
+            assert_eq!(run.units_split, 0);
+            assert_eq!(run.worker_busy.len(), p);
+        }
+    }
+
+    #[test]
+    fn splits_preserve_the_total() {
+        for mode in [DispatchMode::WorkStealing, DispatchMode::Coordinator] {
+            let seed: Vec<u64> = vec![1000, 3, 7, 2000];
+            let task = SumTask {
+                split_above: 10,
+                executed: TestCounter::new(0),
+            };
+            let stop = AtomicBool::new(false);
+            let run = run_scheduler(&task, seed.clone(), 3, mode, &stop);
+            assert_eq!(run.workers.iter().sum::<u64>(), total(&seed), "{mode:?}");
+            assert!(run.units_split > 0, "{mode:?}");
+            assert_eq!(
+                run.units_executed,
+                seed.len() as u64 + run.units_split,
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stop_flag_halts_the_run() {
+        struct StopTask;
+        impl Task for StopTask {
+            type Unit = usize;
+            type Worker = usize;
+            fn worker(&self, _id: usize) -> usize {
+                0
+            }
+            fn run_unit(&self, done: &mut usize, _u: usize, _ctx: &WorkerCtx<'_, usize>) {
+                *done += 1;
+            }
+        }
+        let stop = AtomicBool::new(true);
+        let run = run_scheduler(
+            &StopTask,
+            (0..1000).collect(),
+            4,
+            DispatchMode::WorkStealing,
+            &stop,
+        );
+        // Pre-raised stop: nothing (or at most a unit per worker mid-pop)
+        // runs.
+        assert!(run.units_executed <= 4);
+        assert_eq!(run.workers.len(), 4);
+    }
+
+    #[test]
+    fn skewed_seed_forces_steals() {
+        // Worker 0's deque gets one enormous unit (simulated by splitting
+        // repeatedly); the others drain fast and must steal to stay busy.
+        struct SpinTask;
+        impl Task for SpinTask {
+            type Unit = u64;
+            type Worker = u64;
+            fn worker(&self, _id: usize) -> u64 {
+                0
+            }
+            fn run_unit(&self, acc: &mut u64, unit: u64, _ctx: &WorkerCtx<'_, u64>) {
+                // Heavy units spin; light units return instantly.
+                let mut x = 0u64;
+                for i in 0..unit * 50_000 {
+                    x = x.wrapping_mul(31).wrapping_add(i);
+                }
+                std::hint::black_box(x);
+                *acc += 1;
+            }
+        }
+        // Round-robin over p=2: even indices (worker 0) heavy-first, odd
+        // light. Worker 0 is stuck on unit 0 while its deque still holds
+        // work — worker 1 finishes its own and steals.
+        let mut seed = vec![0u64; 64];
+        seed[0] = 200;
+        let stop = AtomicBool::new(false);
+        let run = run_scheduler(&SpinTask, seed, 2, DispatchMode::WorkStealing, &stop);
+        assert_eq!(run.units_executed, 64);
+        assert!(run.units_stolen > 0, "no steals on a skewed workload");
+    }
+
+    #[test]
+    fn empty_seed_returns_immediately() {
+        let task = SumTask {
+            split_above: u64::MAX,
+            executed: TestCounter::new(0),
+        };
+        let stop = AtomicBool::new(false);
+        let run = run_scheduler(&task, Vec::new(), 8, DispatchMode::WorkStealing, &stop);
+        assert_eq!(run.units_executed, 0);
+        assert_eq!(run.workers.len(), 8);
+    }
+
+    #[test]
+    fn coordinator_mode_uses_one_queue() {
+        let seed: Vec<u64> = (1..=50).collect();
+        let task = SumTask {
+            split_above: u64::MAX,
+            executed: TestCounter::new(0),
+        };
+        let stop = AtomicBool::new(false);
+        let run = run_scheduler(&task, seed.clone(), 4, DispatchMode::Coordinator, &stop);
+        assert_eq!(run.workers.iter().sum::<u64>(), total(&seed));
+        assert_eq!(run.units_stolen, 0, "coordinator mode never steals");
+    }
+}

@@ -35,8 +35,9 @@
 //! |---|---|
 //! | [`graph`] | graphs, patterns, vocabularies, neighborhoods |
 //! | [`matching`] | homomorphism search, splitting, simulation |
-//! | [`core`] | GFDs, canonical graphs, `SeqSat`, `SeqImp`, validation |
-//! | [`parallel`] | `ParSat`, `ParImp`, work units, run metrics |
+//! | [`runtime`] | the work-stealing scheduler every workload runs on |
+//! | [`core`] | GFDs, canonical graphs, the unified reasoning driver, `SeqSat`, `SeqImp`, validation |
+//! | [`parallel`] | `ParSat`, `ParImp` — the same driver at `workers > 1` |
 //! | [`chase`] | the chase baselines (`ParImpRDF`) |
 //! | [`gen`] | schema-driven GFD/graph generators and workloads |
 //! | [`dsl`] | the text format |
@@ -51,6 +52,9 @@ pub use gfd_graph as graph;
 
 /// Homomorphism matching (re-export of `gfd-match`).
 pub use gfd_match as matching;
+
+/// The shared work-stealing scheduler (re-export of `gfd-runtime`).
+pub use gfd_runtime as runtime;
 
 /// GFDs and sequential reasoning (re-export of `gfd-core`).
 pub use gfd_core as core;

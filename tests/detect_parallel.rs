@@ -123,7 +123,10 @@ fn heavy_units_split_and_still_agree_with_the_oracle() {
     };
     let report = detect(&graph, &sigma, &config);
     assert_eq!(keys_from_detect(&report), oracle);
-    assert!(report.units_split > 0, "expected splits: {report:?}");
+    assert!(
+        report.metrics.units_split > 0,
+        "expected splits: {report:?}"
+    );
 }
 
 #[test]

@@ -1,6 +1,7 @@
 //! Stress and behaviour tests of the parallel runtime: splitting,
-//! batching, early termination, metrics, and worker-count invariance.
+//! stealing, early termination, metrics, and worker-count invariance.
 
+use gfd::parallel::DispatchMode;
 use gfd::prelude::*;
 use std::time::Duration;
 
@@ -107,16 +108,20 @@ fn match_counts_are_stable_across_worker_counts() {
 }
 
 #[test]
-fn batch_sizes_do_not_change_outcomes() {
+fn dispatch_modes_do_not_change_outcomes() {
     let mut vocab = Vocab::new();
     let sigma = heavy_sigma(&mut vocab);
     let expected = gfd::seq_sat(&sigma).is_satisfiable();
-    for batch in [1usize, 3, 1000] {
+    for dispatch in [DispatchMode::WorkStealing, DispatchMode::Coordinator] {
         let cfg = ParConfig {
-            batch: Some(batch),
+            dispatch,
             ..ParConfig::with_workers(3)
         };
-        assert_eq!(gfd::par_sat(&sigma, &cfg).is_satisfiable(), expected);
+        let r = gfd::par_sat(&sigma, &cfg);
+        assert_eq!(r.is_satisfiable(), expected, "{dispatch:?}");
+        if dispatch == DispatchMode::Coordinator {
+            assert_eq!(r.metrics.units_stolen, 0, "coordinator mode never steals");
+        }
     }
 }
 
