@@ -1,0 +1,191 @@
+//! Exp-6 (beyond paper): incremental detection over delta streams.
+//!
+//! The streaming scenario the static pipeline cannot serve: a graph
+//! under live updates, where each batch must restore an exact violation
+//! set. Head-to-head per batch at delta sizes 0.1% / 1% / 10% of |E|:
+//!
+//! * **overlay-incremental** — `gfd_incr::IncrementalDetector::apply`:
+//!   delta-CSR overlay, dirty-frontier unit regeneration, cache merge;
+//! * **full re-detect** — mutate the builder graph, re-freeze
+//!   (`LabelIndex::build` inside `detect`) and detect from scratch.
+//!
+//! Both paths produce identical violation sets (asserted here and pinned
+//! by the `incremental_equivalence` suite); the question is cost. The
+//! run also starts the perf record: results land in `BENCH_exp6.json`.
+
+use gfd_bench::{banner, fmt_duration, scale, time_once, Table};
+use gfd_detect::{detect, DetectConfig};
+use gfd_gen::{
+    delta_stream, plant_violation, random_graph, real_life_workload, Dataset, DeltaStreamConfig,
+    GraphGenConfig,
+};
+use gfd_incr::{IncrConfig, IncrementalDetector};
+use std::time::Duration;
+
+struct Row {
+    fraction: f64,
+    ops: usize,
+    incr: Duration,
+    full: Duration,
+    rerun_pivots: usize,
+    violations: usize,
+}
+
+fn main() {
+    let scale = scale();
+    banner(
+        "Exp-6 (beyond paper): incremental detection over delta streams",
+        "streaming extension of §V locality (dirty-frontier re-reasoning)",
+    );
+
+    let w = real_life_workload(Dataset::DBpedia, 40, 7, None);
+    let nodes = match scale.name {
+        "full" => 60_000,
+        _ => 6_000,
+    };
+    let mut graph = random_graph(
+        &w.schema,
+        &GraphGenConfig {
+            nodes,
+            edges: nodes * 3,
+            attr_prob: 0.3,
+            seed: 7,
+        },
+    );
+    for (i, (_, gfd)) in w.sigma.iter().take(10).enumerate() {
+        plant_violation(&mut graph, gfd, &w.schema, 600 + i as u64);
+    }
+    println!(
+        "\ndata graph: {} nodes, {} edges; {} rules; workers = 4",
+        graph.node_count(),
+        graph.edge_count(),
+        w.sigma.len()
+    );
+
+    let workers = 4;
+    let batches_per_fraction = 3;
+    let mut rows: Vec<Row> = Vec::new();
+    let mut table = Table::new(&[
+        "delta",
+        "ops/batch",
+        "incr/batch",
+        "full/batch",
+        "speedup",
+        "rerun pivots",
+    ]);
+
+    for &fraction in &[0.001f64, 0.01, 0.1] {
+        let stream = delta_stream(
+            &graph,
+            &w.schema,
+            &DeltaStreamConfig {
+                batches: batches_per_fraction,
+                edge_fraction: fraction,
+                seed: 1000 + (fraction * 10_000.0) as u64,
+                ..Default::default()
+            },
+        );
+
+        // Incremental path: one session, batches applied in order. The
+        // seeding full detect is the session's one-time cost and is not
+        // part of the per-batch measurement.
+        let mut incr = IncrementalDetector::new(
+            graph.clone(),
+            w.sigma.clone(),
+            IncrConfig {
+                detect: DetectConfig::with_workers(workers),
+                ..Default::default()
+            },
+        );
+        // Full path: the same mutations on a reference graph, re-frozen
+        // and re-detected from scratch each batch.
+        let mut reference = graph.clone();
+
+        let mut incr_total = Duration::ZERO;
+        let mut full_total = Duration::ZERO;
+        let mut ops = 0usize;
+        let mut rerun = 0usize;
+        let mut live = 0usize;
+        for batch in &stream {
+            ops += batch.len();
+            let (t_incr, rep) = time_once(|| incr.apply(batch));
+            incr_total += t_incr;
+            rerun += rep.rerun_pivots;
+            live = rep.violations_total;
+
+            let (t_full, full_count) = time_once(|| {
+                batch.apply_to_graph(&mut reference);
+                detect(&reference, &w.sigma, &DetectConfig::with_workers(workers))
+                    .violations
+                    .len()
+            });
+            full_total += t_full;
+            assert_eq!(
+                live, full_count,
+                "incremental and full detect disagree at delta {fraction}"
+            );
+        }
+
+        let n = batches_per_fraction as u32;
+        let row = Row {
+            fraction,
+            ops: ops / batches_per_fraction,
+            incr: incr_total / n,
+            full: full_total / n,
+            rerun_pivots: rerun / batches_per_fraction,
+            violations: live,
+        };
+        table.row(vec![
+            format!("{:.1}%", fraction * 100.0),
+            row.ops.to_string(),
+            fmt_duration(row.incr),
+            fmt_duration(row.full),
+            format!("{:.2}x", row.full.as_secs_f64() / row.incr.as_secs_f64()),
+            row.rerun_pivots.to_string(),
+        ]);
+        rows.push(row);
+    }
+
+    println!("\nper-batch cost, incremental vs full re-freeze + re-detect:");
+    table.print();
+    println!(
+        "\nexpected shape: the overlay path wins at every size — widest at 0.1%/1%\n\
+         where the dirty frontier is a small fraction of the pivot space, narrowing\n\
+         at 10% as the frontier (pattern radius ≈ 5 around thousands of touched\n\
+         nodes) approaches the whole graph and compaction re-freezes kick in."
+    );
+
+    // Start the perf record: machine-readable results for trend
+    // tracking, at the workspace root regardless of bench CWD.
+    let json = render_json(scale.name, nodes, &rows);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exp6.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+}
+
+fn render_json(scale: &str, nodes: usize, rows: &[Row]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"exp6_incremental\",\n");
+    out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    out.push_str(&format!("  \"nodes\": {nodes},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"delta_fraction\": {}, \"ops_per_batch\": {}, \"incr_ms\": {:.3}, \
+             \"full_ms\": {:.3}, \"speedup\": {:.2}, \"rerun_pivots\": {}, \
+             \"violations\": {}}}{}\n",
+            r.fraction,
+            r.ops,
+            r.incr.as_secs_f64() * 1e3,
+            r.full.as_secs_f64() * 1e3,
+            r.full.as_secs_f64() / r.incr.as_secs_f64(),
+            r.rerun_pivots,
+            r.violations,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -213,6 +213,107 @@ mod tests {
     }
 
     #[test]
+    fn end_to_end_detect_stream() {
+        let dir = std::env::temp_dir().join("gfd-cli-test-stream");
+        std::fs::create_dir_all(&dir).unwrap();
+        let rules = dir.join("stream.gfd");
+        std::fs::write(
+            &rules,
+            r#"
+            graph g {
+              node a: t { v = 1 }
+              node b: t { v = 1 }
+              edge a -e-> b
+            }
+            gfd same {
+              pattern { node x: t node y: t edge x -e-> y }
+              then { x.v = y.v }
+            }
+            "#,
+        )
+        .unwrap();
+        // Batch 1 breaks the pair; batch 2 adds a clean node; batch 3
+        // deletes the offending edge.
+        let log = dir.join("stream.delta");
+        std::fs::write(
+            &log,
+            "batch\nattr 1 v=2\nbatch\nnode t\nattr 2 v=1\nedge 1 e 2\nbatch\ndel 0 e 1\n",
+        )
+        .unwrap();
+
+        let (code, text) = run_vec(&[
+            "detect",
+            rules.to_str().unwrap(),
+            "--stream",
+            log.to_str().unwrap(),
+            "--metrics",
+        ]);
+        assert!(text.contains("0 violation(s) before the stream"), "{text}");
+        assert!(text.contains("batch 1:"), "{text}");
+        // Batch 1 creates the x.v = y.v violation; batch 2 adds a second
+        // (1 -e-> 2 with v=2 vs v=1); batch 3 removes only the first.
+        assert!(text.contains("batch 3:"), "{text}");
+        assert!(text.contains("1 violation(s)\n"), "{text}");
+        assert_eq!(code, 1, "{text}");
+
+        // A clean log replay exits 0.
+        let clean_log = dir.join("clean.delta");
+        std::fs::write(&clean_log, "batch\nattr 1 v=1\n").unwrap();
+        let (code, text) = run_vec(&[
+            "detect",
+            rules.to_str().unwrap(),
+            "--stream",
+            clean_log.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{text}");
+
+        // A log referencing a node that never exists is a normal error
+        // (exit 2), not a panic — node 7 in a 2-node graph.
+        let bad_log = dir.join("bad-node.delta");
+        std::fs::write(&bad_log, "batch\nedge 7 e 0\n").unwrap();
+        let (code, text) = run_vec(&[
+            "detect",
+            rules.to_str().unwrap(),
+            "--stream",
+            bad_log.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 2, "{text}");
+        assert!(text.contains("refers to node 7"), "{text}");
+        // But referencing a node created earlier in the log is fine.
+        let grow_log = dir.join("grow.delta");
+        std::fs::write(&grow_log, "batch\nnode t\nattr 2 v=1\nedge 0 e 2\n").unwrap();
+        let (code, text) = run_vec(&[
+            "detect",
+            rules.to_str().unwrap(),
+            "--stream",
+            grow_log.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{text}");
+
+        // Flags that cannot work in streaming mode are rejected, not
+        // silently ignored.
+        let (code, text) = run_vec(&[
+            "detect",
+            rules.to_str().unwrap(),
+            "--stream",
+            clean_log.to_str().unwrap(),
+            "--repair",
+        ]);
+        assert_eq!(code, 2, "{text}");
+        assert!(text.contains("--repair"), "{text}");
+        let (code, text) = run_vec(&[
+            "detect",
+            rules.to_str().unwrap(),
+            "--stream",
+            clean_log.to_str().unwrap(),
+            "--limit",
+            "3",
+        ]);
+        assert_eq!(code, 2, "{text}");
+        assert!(text.contains("--limit"), "{text}");
+    }
+
+    #[test]
     fn end_to_end_gen_then_fmt() {
         let (code, text) = run_vec(&["gen", "--rules", "5", "--k", "3", "--l", "2", "--seed", "7"]);
         assert_eq!(code, 0, "{text}");

@@ -12,7 +12,7 @@ use crate::report::{DetectionReport, RuleStats, ViolationRecord};
 use crate::units::{initial_units, DetectUnit, RulePlans};
 use gfd_core::validate::literal_holds;
 use gfd_core::GfdSet;
-use gfd_graph::{Graph, LabelIndex, NodeId};
+use gfd_graph::{Graph, LabelIndex, MatchIndex, NodeId};
 use gfd_match::{HomSearch, RunOutcome, SearchLimits};
 use gfd_runtime::sched::{run_scheduler, Task, WorkerCtx};
 use gfd_runtime::{DispatchMode, RunMetrics};
@@ -67,10 +67,12 @@ impl DetectConfig {
     }
 }
 
-/// The detection workload run by the shared scheduler.
-struct DetectTask<'a> {
+/// The detection workload run by the shared scheduler. Generic over the
+/// [`MatchIndex`] like the matcher itself: the static pipeline passes a
+/// [`LabelIndex`], the incremental engine a `gfd_graph::DeltaIndex`.
+struct DetectTask<'a, I: MatchIndex> {
     graph: &'a Graph,
-    index: &'a LabelIndex,
+    index: &'a I,
     sigma: &'a GfdSet,
     plans: &'a RulePlans,
     /// Violations found so far (global budget counter).
@@ -80,7 +82,7 @@ struct DetectTask<'a> {
     ttl: Duration,
 }
 
-impl DetectTask<'_> {
+impl<I: MatchIndex> DetectTask<'_, I> {
     fn budget_left(&self) -> bool {
         self.found.load(Ordering::Relaxed) < self.max_violations
     }
@@ -146,7 +148,7 @@ impl DetectTask<'_> {
         &self,
         local: &mut Local,
         gfd_id: gfd_graph::GfdId,
-        mut search: HomSearch<'_>,
+        mut search: HomSearch<'_, I>,
         ctx: &WorkerCtx<'_, DetectUnit>,
     ) {
         loop {
@@ -196,7 +198,7 @@ impl Local {
     }
 }
 
-impl Task for DetectTask<'_> {
+impl<I: MatchIndex> Task for DetectTask<'_, I> {
     type Unit = DetectUnit;
     type Worker = Local;
 
@@ -239,14 +241,33 @@ pub fn detect(graph: &Graph, sigma: &GfdSet, config: &DetectConfig) -> Detection
     let index = LabelIndex::build(graph);
     let plans = RulePlans::build(sigma, &index);
     let units = initial_units(sigma, &index, &plans, config.batch_size);
+    let mut report = detect_units(graph, &index, sigma, &plans, units, config);
+    // `elapsed` covers the whole run including the freeze and plan
+    // build, as it always has; detect_units alone times only dispatch.
+    report.metrics.elapsed = start.elapsed();
+    report
+}
 
+/// Run an explicit unit queue against an explicit index on the shared
+/// scheduler — the entry point the incremental engine uses to re-check
+/// only the dirty-frontier pivots over a delta-CSR overlay. [`detect`]
+/// is the "all pivots, fresh [`LabelIndex`]" instantiation.
+pub fn detect_units<I: MatchIndex>(
+    graph: &Graph,
+    index: &I,
+    sigma: &GfdSet,
+    plans: &RulePlans,
+    units: Vec<DetectUnit>,
+    config: &DetectConfig,
+) -> DetectionReport {
+    let start = Instant::now();
     let workers = config.effective_workers();
     let stop = AtomicBool::new(false);
     let task = DetectTask {
         graph,
-        index: &index,
+        index,
         sigma,
-        plans: &plans,
+        plans,
         found: AtomicUsize::new(0),
         stop: &stop,
         max_violations: config.max_violations,

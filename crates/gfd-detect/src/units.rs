@@ -72,11 +72,26 @@ pub fn initial_units(
     plans: &RulePlans,
     batch_size: usize,
 ) -> Vec<DetectUnit> {
+    let per_rule = sigma
+        .iter()
+        .map(|(id, gfd)| {
+            let pivot = plans.pivots[id.index()];
+            (id, index.candidates(gfd.pattern.label(pivot)).to_vec())
+        })
+        .collect();
+    units_for_pivots(per_rule, batch_size)
+}
+
+/// Build a unit queue from explicit per-rule pivot lists, batched and
+/// round-robin interleaved like [`initial_units`]. The incremental
+/// engine feeds this the dirty-frontier pivots of each rule.
+pub fn units_for_pivots(
+    rule_pivots: Vec<(GfdId, Vec<NodeId>)>,
+    batch_size: usize,
+) -> Vec<DetectUnit> {
     assert!(batch_size > 0, "batch_size must be positive");
-    let mut per_rule: Vec<std::vec::IntoIter<DetectUnit>> = Vec::with_capacity(sigma.len());
-    for (id, gfd) in sigma.iter() {
-        let pivot = plans.pivots[id.index()];
-        let candidates = index.candidates(gfd.pattern.label(pivot));
+    let mut per_rule: Vec<std::vec::IntoIter<DetectUnit>> = Vec::with_capacity(rule_pivots.len());
+    for (id, candidates) in rule_pivots {
         let batches: Vec<DetectUnit> = candidates
             .chunks(batch_size)
             .map(|chunk| DetectUnit::Pivots {

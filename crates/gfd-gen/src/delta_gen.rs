@@ -1,0 +1,233 @@
+//! Seeded delta-stream generation for the streaming-detection workload.
+//!
+//! Produces reproducible [`DeltaBatch`]es against a concrete graph:
+//! each batch holds a configurable fraction of `|E|` worth of updates,
+//! mixed from edge inserts, edge deletes, attribute writes and node
+//! inserts by weight. The generator tracks the evolving graph on a
+//! scratch copy so deletions always name edges that exist at their point
+//! in the stream and inserts mostly avoid duplicates — batches replay
+//! cleanly in order.
+
+use crate::gfd_gen::{canonical_value, conflicting_value};
+use crate::schema::Schema;
+use gfd_graph::{DeltaBatch, Graph, NodeId};
+use rand::prelude::*;
+
+/// Knobs for delta-stream generation.
+#[derive(Clone, Debug)]
+pub struct DeltaStreamConfig {
+    /// Number of batches in the stream.
+    pub batches: usize,
+    /// Updates per batch, as a fraction of the graph's *current* edge
+    /// count (at least one update per non-empty batch).
+    pub edge_fraction: f64,
+    /// Relative weight of edge insertions.
+    pub insert_weight: u32,
+    /// Relative weight of edge deletions.
+    pub delete_weight: u32,
+    /// Relative weight of attribute writes.
+    pub attr_weight: u32,
+    /// Relative weight of node insertions (each new node is also wired
+    /// to an existing node so it can participate in matches).
+    pub node_weight: u32,
+    /// RNG seed: same seed + same graph ⇒ same stream.
+    pub seed: u64,
+}
+
+impl Default for DeltaStreamConfig {
+    fn default() -> Self {
+        DeltaStreamConfig {
+            batches: 5,
+            edge_fraction: 0.01,
+            insert_weight: 4,
+            delete_weight: 2,
+            attr_weight: 3,
+            node_weight: 1,
+            seed: 42,
+        }
+    }
+}
+
+impl DeltaStreamConfig {
+    /// A deletion-heavy mix (for the deletion paths of the equivalence
+    /// suite and benches).
+    pub fn deletion_heavy(seed: u64) -> Self {
+        DeltaStreamConfig {
+            insert_weight: 1,
+            delete_weight: 6,
+            attr_weight: 1,
+            node_weight: 0,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Generate a reproducible delta stream against `graph`.
+///
+/// The returned batches are meant to be applied in order (each batch was
+/// generated against the graph state the previous ones produce); ops
+/// that still turn out to be no-ops (rare duplicate inserts) are
+/// harmless — both application paths skip them identically.
+pub fn delta_stream(graph: &Graph, schema: &Schema, cfg: &DeltaStreamConfig) -> Vec<DeltaBatch> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut scratch = graph.clone();
+    let total_weight = cfg.insert_weight + cfg.delete_weight + cfg.attr_weight + cfg.node_weight;
+    assert!(total_weight > 0, "all op weights are zero");
+
+    let mut out = Vec::with_capacity(cfg.batches);
+    for _ in 0..cfg.batches {
+        let ops = ((scratch.edge_count() as f64 * cfg.edge_fraction).round() as usize).max(1);
+        // Snapshot the edge list once per batch for O(1) deletion picks;
+        // edges deleted within the batch are tracked to avoid doubles.
+        let mut edges: Vec<(NodeId, gfd_graph::LabelId, NodeId)> = scratch.edges().collect();
+        let mut batch = DeltaBatch::new();
+        for _ in 0..ops {
+            let mut roll = rng.random_range(0..total_weight);
+            if roll < cfg.insert_weight {
+                let n = scratch.node_count();
+                let src = NodeId::new(rng.random_range(0..n));
+                let dst = NodeId::new(rng.random_range(0..n));
+                let label = schema.sample_edge_label(&mut rng);
+                batch.add_edge(src, label, dst);
+                scratch.add_edge(src, label, dst);
+                continue;
+            }
+            roll -= cfg.insert_weight;
+            if roll < cfg.delete_weight {
+                if let Some(i) = (!edges.is_empty()).then(|| rng.random_range(0..edges.len())) {
+                    let (s, l, d) = edges.swap_remove(i);
+                    batch.del_edge(s, l, d);
+                    scratch.remove_edge(s, l, d);
+                }
+                continue;
+            }
+            roll -= cfg.delete_weight;
+            if roll < cfg.attr_weight {
+                let node = NodeId::new(rng.random_range(0..scratch.node_count()));
+                let attrs = schema.attrs();
+                let attr = attrs[rng.random_range(0..attrs.len())];
+                // Half the writes corrupt (conflicting value), half
+                // restore (canonical) — the stream both breaks and fixes.
+                let value = if rng.random_bool(0.5) {
+                    conflicting_value(attr)
+                } else {
+                    canonical_value(attr)
+                };
+                batch.set_attr(node, attr, value.clone());
+                scratch.set_attr(node, attr, value);
+                continue;
+            }
+            // Node insert, wired to a random existing node.
+            let label = schema.sample_node_label(&mut rng);
+            let fresh = NodeId::new(scratch.node_count());
+            let peer = NodeId::new(rng.random_range(0..scratch.node_count()));
+            let elabel = schema.sample_edge_label(&mut rng);
+            batch.add_node(label);
+            batch.add_edge(peer, elabel, fresh);
+            scratch.add_node(label);
+            scratch.add_edge(peer, elabel, fresh);
+        }
+        out.push(batch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph_gen::{random_graph, GraphGenConfig};
+    use crate::schema::Dataset;
+    use gfd_graph::Vocab;
+
+    fn setup() -> (Graph, Schema) {
+        let mut vocab = Vocab::new();
+        let schema = Schema::new(Dataset::Tiny, &mut vocab);
+        let g = random_graph(
+            &schema,
+            &GraphGenConfig {
+                nodes: 60,
+                edges: 200,
+                attr_prob: 0.5,
+                seed: 11,
+            },
+        );
+        (g, schema)
+    }
+
+    #[test]
+    fn streams_are_reproducible() {
+        let (g, schema) = setup();
+        let cfg = DeltaStreamConfig {
+            batches: 4,
+            edge_fraction: 0.05,
+            ..Default::default()
+        };
+        let a = delta_stream(&g, &schema, &cfg);
+        let b = delta_stream(&g, &schema, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().all(|batch| !batch.is_empty()));
+    }
+
+    #[test]
+    fn batch_size_tracks_the_fraction() {
+        let (g, schema) = setup();
+        let cfg = DeltaStreamConfig {
+            batches: 1,
+            edge_fraction: 0.1,
+            ..Default::default()
+        };
+        let stream = delta_stream(&g, &schema, &cfg);
+        let expected = (g.edge_count() as f64 * 0.1).round() as usize;
+        // Node inserts emit two ops (node + wiring edge), so allow slack
+        // on the high side.
+        assert!(stream[0].len() >= expected);
+        assert!(stream[0].len() <= 2 * expected);
+    }
+
+    #[test]
+    fn deletions_name_existing_edges() {
+        let (g, schema) = setup();
+        let cfg = DeltaStreamConfig::deletion_heavy(7);
+        let stream = delta_stream(&g, &schema, &cfg);
+        // Replaying the whole stream must find every deletion present.
+        let mut replay = g.clone();
+        let mut deletions = 0;
+        for batch in &stream {
+            for op in &batch.ops {
+                match op {
+                    gfd_graph::DeltaOp::DelEdge { src, label, dst } => {
+                        deletions += 1;
+                        assert!(
+                            replay.remove_edge(*src, *label, *dst),
+                            "stream deleted a non-existent edge"
+                        );
+                    }
+                    _ => {
+                        let mut single = DeltaBatch::new();
+                        single.ops.push(op.clone());
+                        single.apply_to_graph(&mut replay);
+                    }
+                }
+            }
+        }
+        assert!(deletions > 0, "deletion-heavy stream had no deletions");
+        assert!(replay.edge_count() < g.edge_count());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (g, schema) = setup();
+        let a = delta_stream(&g, &schema, &DeltaStreamConfig::default());
+        let b = delta_stream(
+            &g,
+            &schema,
+            &DeltaStreamConfig {
+                seed: 1234,
+                ..Default::default()
+            },
+        );
+        assert_ne!(a, b);
+    }
+}

@@ -12,16 +12,19 @@
 //! * [`gfd_gen`] — satisfiable-by-construction rule sets, conflict
 //!   injection, implication probes;
 //! * [`graph_gen`] — random property graphs and violation planting;
+//! * [`delta_gen`] — seeded delta streams for the incremental engine;
 //! * [`workload`] — the named workloads behind every table and figure.
 
 #![warn(missing_docs)]
 
+pub mod delta_gen;
 pub mod gfd_gen;
 pub mod graph_gen;
 pub mod pattern_gen;
 pub mod schema;
 pub mod workload;
 
+pub use delta_gen::{delta_stream, DeltaStreamConfig};
 pub use gfd_gen::{
     canonical_value, conflicting_value, generate_sigma, implied_probe, inject_chain_conflict,
     inject_direct_conflict, not_implied_probe, GfdGenConfig,

@@ -56,9 +56,11 @@ pub struct CsrTopology {
     frozen_version: u64,
 }
 
-/// The `(label, ·)`-sub-slice of one node's sorted adjacency.
+/// The `(label, ·)`-sub-slice of one node's sorted adjacency. Shared
+/// with the delta overlay, which keeps its per-node add/tombstone
+/// vectors in the same `(label, node)` order.
 #[inline]
-fn label_slice(adj: &[Adj], label: LabelId) -> &[Adj] {
+pub(crate) fn label_slice(adj: &[Adj], label: LabelId) -> &[Adj] {
     let lo = adj.partition_point(|&(l, _)| l < label);
     let hi = lo + adj[lo..].partition_point(|&(l, _)| l == label);
     &adj[lo..hi]

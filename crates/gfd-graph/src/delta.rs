@@ -1,0 +1,774 @@
+//! Delta-CSR overlay for streaming topology updates (DESIGN.md §8).
+//!
+//! The freeze lifecycle of §1 (build → freeze → match) assumes a static
+//! graph: any post-freeze topology change invalidates the CSR and forces
+//! a full re-freeze. Streaming workloads apply small [`DeltaBatch`]es —
+//! edge/node insertions, edge deletions, attribute writes — continuously,
+//! so this module layers a mutable *overlay* over the immutable base:
+//!
+//! * [`DeltaCsr`] — per-node **sorted delta adjacency** (additions) and
+//!   **tombstones** (deletions of base edges) on top of a frozen
+//!   [`CsrTopology`]. Probes check base and delta with two binary
+//!   searches (`O(log d + log δ)`); iteration is the sorted merge of the
+//!   base label sub-slice (skipping tombstones) with the delta sub-slice,
+//!   so every [`TopologyView`] ordering guarantee is preserved.
+//! * [`DeltaIndex`] — a [`DeltaCsr`] plus the label→candidates map kept
+//!   in sync as delta nodes arrive; the overlay-path counterpart of
+//!   [`LabelIndex`], and a [`MatchIndex`] the matcher runs on unchanged.
+//! * [`DeltaBatch`] / [`DeltaOp`] — the update model. A batch applies to
+//!   the builder [`Graph`] (which stays the source of truth) and to the
+//!   overlay in lockstep; [`DeltaIndex::apply`] does both and reports the
+//!   **dirty nodes** incremental detection re-reasons around.
+//!
+//! When the overlay grows past a threshold fraction of the base edge
+//! count ([`DeltaIndex::delta_fraction`]), probes have lost enough
+//! locality that the owner should **compact**: re-freeze base + delta
+//! into a fresh CSR ([`DeltaIndex::build`] on the up-to-date graph) and
+//! start an empty overlay.
+
+use crate::csr::{label_slice, CsrTopology};
+use crate::graph::{Adj, Graph, LabelIndex};
+use crate::ids::{AttrId, LabelId, NodeId};
+use crate::value::Value;
+use crate::view::{Dir, MatchIndex, TopologyView};
+use rustc_hash::FxHashMap;
+use std::ops::ControlFlow;
+
+/// Per-node sorted overlay adjacency, keyed by node id. Sparse: only
+/// nodes the delta touched have entries.
+type OverlayAdj = FxHashMap<u32, Vec<Adj>>;
+
+/// One topology or attribute update in a [`DeltaBatch`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeltaOp {
+    /// Append a node with the given label; it receives the next dense id.
+    AddNode {
+        /// Label of the new node.
+        label: LabelId,
+    },
+    /// Insert the directed edge `src --label--> dst` (a no-op if it
+    /// already exists, mirroring [`Graph::add_edge`]).
+    AddEdge {
+        /// Source node.
+        src: NodeId,
+        /// Edge label.
+        label: LabelId,
+        /// Destination node.
+        dst: NodeId,
+    },
+    /// Delete the directed edge `src --label--> dst` (a no-op if absent).
+    DelEdge {
+        /// Source node.
+        src: NodeId,
+        /// Edge label.
+        label: LabelId,
+        /// Destination node.
+        dst: NodeId,
+    },
+    /// Set (or overwrite) attribute `attr` of `node` to `value`.
+    SetAttr {
+        /// Target node.
+        node: NodeId,
+        /// Attribute id.
+        attr: AttrId,
+        /// New value.
+        value: Value,
+    },
+}
+
+/// An ordered batch of updates, applied atomically between detection
+/// passes. Ops referring to nodes created earlier in the same batch use
+/// the absolute ids those nodes will receive (`graph.node_count()` at
+/// application time, counting prior `AddNode` ops).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DeltaBatch {
+    /// The updates, applied in order.
+    pub ops: Vec<DeltaOp>,
+}
+
+impl DeltaBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True iff the batch holds no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Append a node insertion.
+    pub fn add_node(&mut self, label: LabelId) {
+        self.ops.push(DeltaOp::AddNode { label });
+    }
+
+    /// Append an edge insertion.
+    pub fn add_edge(&mut self, src: NodeId, label: LabelId, dst: NodeId) {
+        self.ops.push(DeltaOp::AddEdge { src, label, dst });
+    }
+
+    /// Append an edge deletion.
+    pub fn del_edge(&mut self, src: NodeId, label: LabelId, dst: NodeId) {
+        self.ops.push(DeltaOp::DelEdge { src, label, dst });
+    }
+
+    /// Append an attribute write.
+    pub fn set_attr(&mut self, node: NodeId, attr: AttrId, value: Value) {
+        self.ops.push(DeltaOp::SetAttr { node, attr, value });
+    }
+
+    /// Apply this batch to a builder graph alone (the from-scratch
+    /// reference path: mutate, then re-freeze and re-detect). Returns the
+    /// dirty nodes — the nodes whose incident topology or attributes
+    /// actually changed, plus every created node.
+    pub fn apply_to_graph(&self, graph: &mut Graph) -> Vec<NodeId> {
+        let mut dirty = Vec::new();
+        for op in &self.ops {
+            match op {
+                DeltaOp::AddNode { label } => {
+                    dirty.push(graph.add_node(*label));
+                }
+                DeltaOp::AddEdge { src, label, dst } => {
+                    if !graph.has_edge(*src, *label, *dst) {
+                        graph.add_edge(*src, *label, *dst);
+                        dirty.push(*src);
+                        dirty.push(*dst);
+                    }
+                }
+                DeltaOp::DelEdge { src, label, dst } => {
+                    if graph.remove_edge(*src, *label, *dst) {
+                        dirty.push(*src);
+                        dirty.push(*dst);
+                    }
+                }
+                DeltaOp::SetAttr { node, attr, value } => {
+                    graph.set_attr(*node, *attr, value.clone());
+                    dirty.push(*node);
+                }
+            }
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        dirty
+    }
+}
+
+/// Insert `entry` into a `(label, node)`-sorted vector if absent.
+/// Returns false when it was already present.
+fn sorted_insert(vec: &mut Vec<Adj>, entry: Adj) -> bool {
+    match vec.binary_search(&entry) {
+        Ok(_) => false,
+        Err(i) => {
+            vec.insert(i, entry);
+            true
+        }
+    }
+}
+
+/// Remove `entry` from a sorted vector. Returns false when absent.
+fn sorted_remove(vec: &mut Vec<Adj>, entry: Adj) -> bool {
+    match vec.binary_search(&entry) {
+        Ok(i) => {
+            vec.remove(i);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+fn contains_sorted(map: &OverlayAdj, node: NodeId, entry: Adj) -> bool {
+    map.get(&(node.index() as u32))
+        .is_some_and(|v| v.binary_search(&entry).is_ok())
+}
+
+/// The label-matching sub-slice of a sorted delta vector.
+fn map_slice(map: &OverlayAdj, node: NodeId, label: LabelId) -> &[Adj] {
+    let Some(vec) = map.get(&(node.index() as u32)) else {
+        return &[];
+    };
+    if label.is_wildcard() {
+        vec
+    } else {
+        label_slice(vec, label)
+    }
+}
+
+/// A frozen [`CsrTopology`] base plus a sorted per-node delta overlay:
+/// the topology view of a graph that has received updates since its last
+/// freeze, without paying a full re-freeze per batch.
+///
+/// Invariants: `adds` and the base are disjoint (re-inserting a
+/// tombstoned base edge clears the tombstone instead of duplicating the
+/// edge); tombstones (`dels`) always name live base edges.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaCsr {
+    base: CsrTopology,
+    /// Nodes in the base CSR; ids at or above this are delta nodes with
+    /// no base adjacency.
+    base_nodes: usize,
+    add_out: OverlayAdj,
+    add_in: OverlayAdj,
+    del_out: OverlayAdj,
+    del_in: OverlayAdj,
+    node_count: usize,
+    edge_count: usize,
+    added_edges: usize,
+    deleted_edges: usize,
+}
+
+impl DeltaCsr {
+    /// Start an empty overlay over a frozen base.
+    pub fn new(base: CsrTopology) -> Self {
+        let base_nodes = base.node_count();
+        let edge_count = base.edge_count();
+        DeltaCsr {
+            base,
+            base_nodes,
+            add_out: OverlayAdj::default(),
+            add_in: OverlayAdj::default(),
+            del_out: OverlayAdj::default(),
+            del_in: OverlayAdj::default(),
+            node_count: base_nodes,
+            edge_count,
+            added_edges: 0,
+            deleted_edges: 0,
+        }
+    }
+
+    /// The frozen base this overlay layers over.
+    pub fn base(&self) -> &CsrTopology {
+        &self.base
+    }
+
+    /// Total overlay size: added edges + tombstones + appended nodes.
+    /// The compaction trigger compares this against the base edge count.
+    pub fn delta_size(&self) -> usize {
+        self.added_edges + self.deleted_edges + (self.node_count - self.base_nodes)
+    }
+
+    /// Append a delta node (no base adjacency), returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::new(self.node_count);
+        self.node_count += 1;
+        id
+    }
+
+    /// Is the edge visible in the base, i.e. present and not tombstoned?
+    fn in_base(&self, src: NodeId, label: LabelId, dst: NodeId) -> bool {
+        src.index() < self.base_nodes
+            && dst.index() < self.base_nodes
+            && self.base.has_edge(src, label, dst)
+            && !contains_sorted(&self.del_out, src, (label, dst))
+    }
+
+    /// Insert `src --label--> dst`. Returns false when the edge already
+    /// exists (mirrors [`Graph::add_edge`] dedup semantics).
+    pub fn insert_edge(&mut self, src: NodeId, label: LabelId, dst: NodeId) -> bool {
+        assert!(src.index() < self.node_count, "insert_edge: bad src");
+        assert!(dst.index() < self.node_count, "insert_edge: bad dst");
+        // Re-inserting a tombstoned base edge resurrects it.
+        if contains_sorted(&self.del_out, src, (label, dst)) {
+            sorted_remove(
+                self.del_out.get_mut(&(src.index() as u32)).unwrap(),
+                (label, dst),
+            );
+            sorted_remove(
+                self.del_in.get_mut(&(dst.index() as u32)).unwrap(),
+                (label, src),
+            );
+            self.deleted_edges -= 1;
+            self.edge_count += 1;
+            return true;
+        }
+        if self.in_base(src, label, dst) || contains_sorted(&self.add_out, src, (label, dst)) {
+            return false;
+        }
+        sorted_insert(
+            self.add_out.entry(src.index() as u32).or_default(),
+            (label, dst),
+        );
+        sorted_insert(
+            self.add_in.entry(dst.index() as u32).or_default(),
+            (label, src),
+        );
+        self.added_edges += 1;
+        self.edge_count += 1;
+        true
+    }
+
+    /// Delete `src --label--> dst`. Returns false when the edge does not
+    /// exist in this view.
+    pub fn remove_edge(&mut self, src: NodeId, label: LabelId, dst: NodeId) -> bool {
+        if src.index() >= self.node_count || dst.index() >= self.node_count {
+            return false;
+        }
+        // A delta addition is simply retracted.
+        if contains_sorted(&self.add_out, src, (label, dst)) {
+            sorted_remove(
+                self.add_out.get_mut(&(src.index() as u32)).unwrap(),
+                (label, dst),
+            );
+            sorted_remove(
+                self.add_in.get_mut(&(dst.index() as u32)).unwrap(),
+                (label, src),
+            );
+            self.added_edges -= 1;
+            self.edge_count -= 1;
+            return true;
+        }
+        // A live base edge gets a tombstone.
+        if self.in_base(src, label, dst) {
+            sorted_insert(
+                self.del_out.entry(src.index() as u32).or_default(),
+                (label, dst),
+            );
+            sorted_insert(
+                self.del_in.entry(dst.index() as u32).or_default(),
+                (label, src),
+            );
+            self.deleted_edges += 1;
+            self.edge_count -= 1;
+            return true;
+        }
+        false
+    }
+
+    /// The base adjacency sub-slice of `v` matched by `label` (empty for
+    /// delta nodes).
+    fn base_matching(&self, v: NodeId, dir: Dir, label: LabelId) -> &[Adj] {
+        if v.index() >= self.base_nodes {
+            return &[];
+        }
+        match dir {
+            Dir::Out => self.base.out_matching(v, label),
+            Dir::In => self.base.in_matching(v, label),
+        }
+    }
+
+    fn overlay_maps(&self, dir: Dir) -> (&OverlayAdj, &OverlayAdj) {
+        match dir {
+            Dir::Out => (&self.add_out, &self.del_out),
+            Dir::In => (&self.add_in, &self.del_in),
+        }
+    }
+}
+
+impl TopologyView for DeltaCsr {
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    #[inline]
+    fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    fn has_edge(&self, src: NodeId, label: LabelId, dst: NodeId) -> bool {
+        if src.index() >= self.node_count || dst.index() >= self.node_count {
+            return false;
+        }
+        self.in_base(src, label, dst) || contains_sorted(&self.add_out, src, (label, dst))
+    }
+
+    fn has_edge_pattern(&self, src: NodeId, label: LabelId, dst: NodeId) -> bool {
+        if !label.is_wildcard() {
+            return self.has_edge(src, label, dst);
+        }
+        if src.index() >= self.node_count || dst.index() >= self.node_count {
+            return false;
+        }
+        self.any_matching(src, Dir::Out, LabelId::WILDCARD, |(_, d)| d == dst)
+    }
+
+    fn matching_len(&self, v: NodeId, dir: Dir, label: LabelId) -> usize {
+        let (adds, dels) = self.overlay_maps(dir);
+        self.base_matching(v, dir, label).len() + map_slice(adds, v, label).len()
+            - map_slice(dels, v, label).len()
+    }
+
+    fn try_for_matching(
+        &self,
+        v: NodeId,
+        dir: Dir,
+        label: LabelId,
+        f: &mut dyn FnMut(Adj) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        let base = self.base_matching(v, dir, label);
+        let (adds, dels) = self.overlay_maps(dir);
+        let adds = map_slice(adds, v, label);
+        let dels = map_slice(dels, v, label);
+        // Sorted three-way walk: base ∪ adds (disjoint), minus tombstones
+        // (a subset of base). Emission order stays (label, node)-ascending.
+        let (mut i, mut j, mut k) = (0, 0, 0);
+        while i < base.len() || j < adds.len() {
+            let take_base = j >= adds.len() || (i < base.len() && base[i] < adds[j]);
+            if take_base {
+                let e = base[i];
+                i += 1;
+                while k < dels.len() && dels[k] < e {
+                    k += 1;
+                }
+                if k < dels.len() && dels[k] == e {
+                    k += 1;
+                    continue;
+                }
+                f(e)?;
+            } else {
+                let e = adds[j];
+                j += 1;
+                f(e)?;
+            }
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// The nodes a batch application touched, in the shape incremental
+/// detection consumes.
+#[derive(Clone, Debug, Default)]
+pub struct AppliedBatch {
+    /// Nodes whose incident topology or attributes changed — endpoints
+    /// of inserted/deleted edges, attribute-write targets, and every
+    /// created node — sorted and deduplicated.
+    pub dirty: Vec<NodeId>,
+    /// Ids of the nodes this batch created, in creation order.
+    pub new_nodes: Vec<NodeId>,
+}
+
+/// The overlay-path counterpart of [`LabelIndex`]: a [`DeltaCsr`] plus
+/// label candidate lists kept in sync as delta nodes arrive, versioned
+/// against the builder graph so stale views still fail fast.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaIndex {
+    by_label: FxHashMap<LabelId, Vec<NodeId>>,
+    all: Vec<NodeId>,
+    delta: DeltaCsr,
+    /// [`Graph::topology_version`] this view currently reflects.
+    version: u64,
+}
+
+impl DeltaIndex {
+    /// Freeze `graph` and start an empty overlay — the compaction entry
+    /// point. Equivalent to `LabelIndex::build(graph).into_delta()`.
+    pub fn build(graph: &Graph) -> Self {
+        LabelIndex::build(graph).into_delta()
+    }
+
+    /// Wrap an already-built [`LabelIndex`], reusing its freeze.
+    pub(crate) fn from_label_index(index: LabelIndex) -> Self {
+        let (by_label, all, csr) = index.into_parts();
+        let version = csr.frozen_version();
+        DeltaIndex {
+            by_label,
+            all,
+            delta: DeltaCsr::new(csr),
+            version,
+        }
+    }
+
+    /// The overlay view (also reachable through [`MatchIndex::view`]).
+    pub fn delta(&self) -> &DeltaCsr {
+        &self.delta
+    }
+
+    /// Overlay size relative to the base edge count, the compaction
+    /// trigger: once this passes the owner's threshold, re-freeze via
+    /// [`DeltaIndex::build`] on the up-to-date graph.
+    pub fn delta_fraction(&self) -> f64 {
+        self.delta.delta_size() as f64 / self.delta.base().edge_count().max(1) as f64
+    }
+
+    /// Apply `batch` to the builder graph and this overlay in lockstep.
+    ///
+    /// The graph stays the source of truth (compaction re-freezes from
+    /// it); the overlay keeps matching correct without a re-freeze. The
+    /// returned [`AppliedBatch`] lists the dirty nodes the incremental
+    /// detector re-reasons around. No-op updates (duplicate inserts,
+    /// deletes of absent edges) dirty nothing.
+    pub fn apply(&mut self, batch: &DeltaBatch, graph: &mut Graph) -> AppliedBatch {
+        let mut out = AppliedBatch::default();
+        for op in &batch.ops {
+            match op {
+                DeltaOp::AddNode { label } => {
+                    let id = graph.add_node(*label);
+                    let did = self.delta.add_node();
+                    debug_assert_eq!(id, did, "graph/overlay node ids diverged");
+                    self.by_label.entry(*label).or_default().push(id);
+                    self.all.push(id);
+                    out.dirty.push(id);
+                    out.new_nodes.push(id);
+                }
+                DeltaOp::AddEdge { src, label, dst } => {
+                    if self.delta.insert_edge(*src, *label, *dst) {
+                        graph.add_edge(*src, *label, *dst);
+                        out.dirty.push(*src);
+                        out.dirty.push(*dst);
+                    }
+                }
+                DeltaOp::DelEdge { src, label, dst } => {
+                    if self.delta.remove_edge(*src, *label, *dst) {
+                        let removed = graph.remove_edge(*src, *label, *dst);
+                        debug_assert!(removed, "graph/overlay edge sets diverged");
+                        out.dirty.push(*src);
+                        out.dirty.push(*dst);
+                    }
+                }
+                DeltaOp::SetAttr { node, attr, value } => {
+                    graph.set_attr(*node, *attr, value.clone());
+                    out.dirty.push(*node);
+                }
+            }
+        }
+        self.version = graph.topology_version();
+        debug_assert_eq!(self.delta.edge_count, graph.edge_count());
+        debug_assert_eq!(self.delta.node_count, graph.node_count());
+        out.dirty.sort_unstable();
+        out.dirty.dedup();
+        out
+    }
+}
+
+impl MatchIndex for DeltaIndex {
+    type View = DeltaCsr;
+
+    #[inline]
+    fn view(&self) -> &DeltaCsr {
+        &self.delta
+    }
+
+    fn candidates(&self, label: LabelId) -> &[NodeId] {
+        if label.is_wildcard() {
+            &self.all
+        } else {
+            self.by_label.get(&label).map_or(&[], Vec::as_slice)
+        }
+    }
+
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.all.len()
+    }
+
+    /// Debug-assert this overlay reflects `graph`'s *current* topology —
+    /// i.e. every mutation since the base freeze went through
+    /// [`DeltaIndex::apply`] rather than bypassing the overlay.
+    fn assert_fresh(&self, graph: &Graph) {
+        debug_assert_eq!(
+            self.version,
+            graph.topology_version(),
+            "stale delta overlay: the graph was mutated outside DeltaIndex::apply \
+             (overlay at version {}, graph now at {}); route updates through \
+             DeltaIndex::apply or rebuild with DeltaIndex::build",
+            self.version,
+            graph.topology_version(),
+        );
+    }
+}
+
+impl LabelIndex {
+    /// Convert this index into the delta-overlay form, reusing its
+    /// freeze: the entry point of the streaming lifecycle
+    /// (build → freeze → **overlay deltas** → compact → re-freeze).
+    pub fn into_delta(self) -> DeltaIndex {
+        DeltaIndex::from_label_index(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::Vocab;
+
+    fn sample() -> (Graph, Vocab) {
+        let mut v = Vocab::new();
+        let t = v.label("t");
+        let e1 = v.label("e1");
+        let e2 = v.label("e2");
+        let mut g = Graph::new();
+        let a = g.add_node(t);
+        let b = g.add_node(t);
+        let c = g.add_node(t);
+        g.add_edge(a, e1, b);
+        g.add_edge(a, e2, b);
+        g.add_edge(b, e1, c);
+        g.add_edge(c, e2, a);
+        (g, v)
+    }
+
+    /// Every probe of the overlay must agree with a fresh freeze of the
+    /// mutated builder graph.
+    fn assert_agrees_with_refreeze(view: &DeltaCsr, graph: &Graph) {
+        let csr = graph.freeze();
+        assert_eq!(view.node_count(), graph.node_count());
+        assert_eq!(TopologyView::edge_count(view), graph.edge_count());
+        for src in graph.nodes() {
+            for dir in [Dir::Out, Dir::In] {
+                for l in 0u32..5 {
+                    let l = LabelId(l);
+                    assert_eq!(
+                        view.matching_len(src, dir, l),
+                        csr.matching_len(src, dir, l),
+                        "matching_len({src}, {dir:?}, {l})"
+                    );
+                    let mut got = Vec::new();
+                    view.for_each_matching(src, dir, l, |a| got.push(a));
+                    let mut want = Vec::new();
+                    csr.for_each_matching(src, dir, l, |a| want.push(a));
+                    assert_eq!(got, want, "for_each_matching({src}, {dir:?}, {l})");
+                    assert!(got.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
+                }
+            }
+            for dst in graph.nodes() {
+                for l in 0u32..5 {
+                    let l = LabelId(l);
+                    assert_eq!(view.has_edge(src, l, dst), csr.has_edge(src, l, dst));
+                    assert_eq!(
+                        view.has_edge_pattern(src, l, dst),
+                        csr.has_edge_pattern(src, l, dst)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_overlay_is_the_base() {
+        let (g, _) = sample();
+        let view = DeltaCsr::new(g.freeze());
+        assert_eq!(view.delta_size(), 0);
+        assert_agrees_with_refreeze(&view, &g);
+    }
+
+    #[test]
+    fn insertions_merge_into_label_slices() {
+        let (mut g, mut v) = sample();
+        let mut view = DeltaCsr::new(g.freeze());
+        let t = v.label("t");
+        let e1 = v.label("e1");
+        let d = g.add_node(t);
+        assert_eq!(view.add_node(), d);
+        // New edges around old and new nodes, including a parallel label.
+        for (s, l, t2) in [
+            (NodeId::new(0), e1, d),
+            (d, e1, NodeId::new(1)),
+            (NodeId::new(0), v.label("e3"), NodeId::new(2)),
+        ] {
+            assert!(view.insert_edge(s, l, t2));
+            g.add_edge(s, l, t2);
+        }
+        assert_eq!(view.delta_size(), 4);
+        assert_agrees_with_refreeze(&view, &g);
+        // Duplicate insert is a no-op on both.
+        assert!(!view.insert_edge(NodeId::new(0), e1, d));
+    }
+
+    #[test]
+    fn deletions_tombstone_base_edges() {
+        let (mut g, mut v) = sample();
+        let mut view = DeltaCsr::new(g.freeze());
+        let e1 = v.label("e1");
+        assert!(view.remove_edge(NodeId::new(0), e1, NodeId::new(1)));
+        assert!(g.remove_edge(NodeId::new(0), e1, NodeId::new(1)));
+        assert!(!view.has_edge(NodeId::new(0), e1, NodeId::new(1)));
+        // The parallel e2 edge survives.
+        assert!(view.has_edge(NodeId::new(0), v.label("e2"), NodeId::new(1)));
+        assert_eq!(view.delta_size(), 1);
+        assert_agrees_with_refreeze(&view, &g);
+        // Deleting again: gone already.
+        assert!(!view.remove_edge(NodeId::new(0), e1, NodeId::new(1)));
+    }
+
+    #[test]
+    fn reinsert_after_delete_resurrects_the_base_edge() {
+        let (g, mut v) = sample();
+        let mut view = DeltaCsr::new(g.freeze());
+        let e1 = v.label("e1");
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        assert!(view.remove_edge(a, e1, b));
+        assert!(view.insert_edge(a, e1, b));
+        assert!(view.has_edge(a, e1, b));
+        assert_eq!(view.delta_size(), 0, "tombstone cleared, not stacked");
+        assert_agrees_with_refreeze(&view, &g);
+    }
+
+    #[test]
+    fn delete_then_retract_a_delta_addition() {
+        let (g, mut v) = sample();
+        let mut view = DeltaCsr::new(g.freeze());
+        let e9 = v.label("e9");
+        let (a, c) = (NodeId::new(0), NodeId::new(2));
+        assert!(view.insert_edge(a, e9, c));
+        assert!(view.remove_edge(a, e9, c));
+        assert!(!view.has_edge(a, e9, c));
+        assert_eq!(view.delta_size(), 0);
+        assert_agrees_with_refreeze(&view, &g);
+    }
+
+    #[test]
+    fn delta_index_applies_batches_in_lockstep() {
+        let (mut g, mut v) = sample();
+        let t = v.label("t");
+        let e1 = v.label("e1");
+        let name = v.attr("name");
+        let mut idx = DeltaIndex::build(&g);
+
+        let mut batch = DeltaBatch::new();
+        batch.add_node(t); // becomes n3
+        batch.add_edge(NodeId::new(3), e1, NodeId::new(0));
+        batch.del_edge(NodeId::new(0), e1, NodeId::new(1));
+        batch.del_edge(NodeId::new(0), e1, NodeId::new(2)); // absent: no-op
+        batch.set_attr(NodeId::new(1), name, Value::str("bob"));
+        let applied = idx.apply(&batch, &mut g);
+
+        assert_eq!(applied.new_nodes, vec![NodeId::new(3)]);
+        assert_eq!(
+            applied.dirty,
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(3)]
+        );
+        idx.assert_fresh(&g);
+        assert_eq!(MatchIndex::candidates(&idx, t).len(), 4);
+        assert!(MatchIndex::candidates(&idx, t).contains(&NodeId::new(3)));
+        assert_eq!(g.attr(NodeId::new(1), name), Some(&Value::str("bob")));
+        assert_agrees_with_refreeze(idx.view(), &g);
+        assert!(idx.delta_fraction() > 0.0);
+    }
+
+    #[test]
+    fn apply_to_graph_matches_lockstep_application() {
+        let (g0, mut v) = sample();
+        let t = v.label("t");
+        let e1 = v.label("e1");
+        let mut batch = DeltaBatch::new();
+        batch.add_node(t);
+        batch.add_edge(NodeId::new(3), e1, NodeId::new(1));
+        batch.del_edge(NodeId::new(1), e1, NodeId::new(2));
+
+        let mut via_graph = g0.clone();
+        let dirty_ref = batch.apply_to_graph(&mut via_graph);
+
+        let mut via_index = g0.clone();
+        let mut idx = DeltaIndex::build(&via_index.clone());
+        let applied = idx.apply(&batch, &mut via_index);
+
+        assert_eq!(dirty_ref, applied.dirty);
+        assert_eq!(via_graph.edge_count(), via_index.edge_count());
+        assert_eq!(via_graph.node_count(), via_index.node_count());
+        assert_agrees_with_refreeze(idx.view(), &via_graph);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stale delta overlay")]
+    fn mutation_bypassing_the_overlay_fails_fast() {
+        let (mut g, mut v) = sample();
+        let idx = DeltaIndex::build(&g);
+        g.add_edge(NodeId::new(0), v.label("late"), NodeId::new(1));
+        idx.assert_fresh(&g);
+    }
+}

@@ -80,6 +80,26 @@ impl Graph {
         self.topology_version += 1;
     }
 
+    /// Remove the directed edge `src --label--> dst`, returning whether
+    /// it existed. Bumps the topology version on success (frozen views
+    /// must be re-frozen or routed through a delta overlay).
+    pub fn remove_edge(&mut self, src: NodeId, label: LabelId, dst: NodeId) -> bool {
+        let out = &mut self.out[src.index()];
+        let Some(pos) = out.iter().position(|&e| e == (label, dst)) else {
+            return false;
+        };
+        out.remove(pos);
+        let inn = &mut self.inn[dst.index()];
+        let pos = inn
+            .iter()
+            .position(|&e| e == (label, src))
+            .expect("in/out adjacency out of sync");
+        inn.remove(pos);
+        self.edge_count -= 1;
+        self.topology_version += 1;
+        true
+    }
+
     /// Set (or overwrite) attribute `attr` of `node` to `value`.
     pub fn set_attr(&mut self, node: NodeId, attr: AttrId, value: Value) {
         let attrs = &mut self.attrs[node.index()];
@@ -297,6 +317,18 @@ impl LabelIndex {
     /// Total number of indexed nodes.
     pub fn node_count(&self) -> usize {
         self.all.len()
+    }
+
+    /// Deconstruct into the label buckets, node list and frozen CSR —
+    /// used by [`crate::DeltaIndex`] to reuse this index's freeze.
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        FxHashMap<LabelId, Vec<NodeId>>,
+        Vec<NodeId>,
+        crate::csr::CsrTopology,
+    ) {
+        (self.by_label, self.all, self.csr)
     }
 }
 

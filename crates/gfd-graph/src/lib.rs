@@ -8,6 +8,9 @@
 //! * the frozen CSR topology with label-sorted adjacency the matching
 //!   hot path probes ([`CsrTopology`], built by [`Graph::freeze`] and
 //!   carried by every [`LabelIndex`] — see DESIGN.md §1);
+//! * the shared topology-view abstraction ([`TopologyView`],
+//!   [`MatchIndex`]) and the delta-CSR overlay for streaming updates
+//!   ([`DeltaCsr`], [`DeltaIndex`], [`DeltaBatch`] — see DESIGN.md §8);
 //! * graph patterns with wildcard labels ([`Pattern`]);
 //! * interned vocabularies mapping names to dense ids ([`Vocab`]);
 //! * neighborhood (`dQ`-ball) extraction used by pivoted matching
@@ -20,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod csr;
+pub mod delta;
 pub mod dot;
 pub mod graph;
 pub mod ids;
@@ -29,11 +33,14 @@ pub mod nodeset;
 pub mod pattern;
 mod proptests;
 pub mod value;
+pub mod view;
 
 pub use csr::CsrTopology;
+pub use delta::{AppliedBatch, DeltaBatch, DeltaCsr, DeltaIndex, DeltaOp};
 pub use graph::{Adj, Graph, LabelIndex};
 pub use ids::{AttrId, GfdId, LabelId, NodeId, VarId};
 pub use interner::{Interner, Vocab};
 pub use nodeset::NodeSet;
 pub use pattern::{Pattern, PatternEdge};
 pub use value::Value;
+pub use view::{Dir, MatchIndex, TopologyView};

@@ -149,6 +149,95 @@ proptest! {
     }
 }
 
+/// Random delta streams over the graph: sequences of node inserts, edge
+/// inserts (duplicates included) and edge deletes (absent edges
+/// included), exercising tombstones, resurrections and delta nodes.
+fn arb_delta_ops() -> impl Strategy<Value = Vec<(u8, usize, u32, usize)>> {
+    proptest::collection::vec((0u8..3, 0usize..12, 0u32..4, 0usize..12), 0..25)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// After an arbitrary update stream, every probe of the delta overlay
+    /// equals the same probe on a fresh freeze of the mutated builder —
+    /// the invariant the incremental detection engine stands on.
+    #[test]
+    fn delta_overlay_agrees_with_refreeze(g in arb_graph(), ops in arb_delta_ops()) {
+        use crate::view::{Dir, TopologyView};
+        let mut g = g;
+        let mut view = crate::delta::DeltaCsr::new(g.freeze());
+        for (kind, s, l, d) in ops {
+            match kind {
+                0 => {
+                    let id = g.add_node(LabelId(l));
+                    prop_assert_eq!(view.add_node(), id);
+                }
+                _ => {
+                    let n = g.node_count();
+                    let (src, dst) = (NodeId::new(s % n), NodeId::new(d % n));
+                    let label = LabelId(l);
+                    if kind == 1 {
+                        let inserted = view.insert_edge(src, label, dst);
+                        prop_assert_eq!(inserted, !g.has_edge(src, label, dst));
+                        g.add_edge(src, label, dst);
+                    } else {
+                        let removed = view.remove_edge(src, label, dst);
+                        prop_assert_eq!(removed, g.remove_edge(src, label, dst));
+                    }
+                }
+            }
+        }
+        let csr = g.freeze();
+        prop_assert_eq!(TopologyView::node_count(&view), g.node_count());
+        prop_assert_eq!(TopologyView::edge_count(&view), g.edge_count());
+        for v in g.nodes() {
+            for dir in [Dir::Out, Dir::In] {
+                for l in 0u32..5 {
+                    let l = LabelId(l);
+                    prop_assert_eq!(
+                        view.matching_len(v, dir, l),
+                        csr.matching_len(v, dir, l)
+                    );
+                    let mut got = Vec::new();
+                    view.for_each_matching(v, dir, l, |a| got.push(a));
+                    let mut want = Vec::new();
+                    csr.for_each_matching(v, dir, l, |a| want.push(a));
+                    prop_assert_eq!(got, want);
+                }
+            }
+            for u in g.nodes() {
+                for l in 0u32..5 {
+                    let l = LabelId(l);
+                    prop_assert_eq!(view.has_edge(v, l, u), csr.has_edge(v, l, u));
+                    prop_assert_eq!(
+                        view.has_edge_pattern(v, l, u),
+                        csr.has_edge_pattern(v, l, u)
+                    );
+                }
+            }
+        }
+    }
+
+    /// `Graph::remove_edge` inverts `add_edge` and keeps both adjacency
+    /// directions and the edge count consistent.
+    #[test]
+    fn remove_edge_inverts_add_edge(g in arb_graph()) {
+        let mut g = g;
+        let edges: Vec<_> = g.edges().collect();
+        for &(s, l, d) in &edges {
+            prop_assert!(g.remove_edge(s, l, d));
+            prop_assert!(!g.has_edge(s, l, d));
+            prop_assert!(!g.remove_edge(s, l, d), "double delete must fail");
+        }
+        prop_assert_eq!(g.edge_count(), 0);
+        for v in g.nodes() {
+            prop_assert!(g.out_edges(v).is_empty());
+            prop_assert!(g.in_edges(v).is_empty());
+        }
+    }
+}
+
 /// Regression: duplicate parallel edges with distinct labels must appear
 /// once per label in the CSR and produce one candidate under a wildcard
 /// probe (the sorted-merge dedup case), while identical re-added triples

@@ -1,0 +1,481 @@
+//! The incremental detection engine: a cached violation set kept exact
+//! under a stream of delta batches.
+
+use crate::frontier::bounded_frontier;
+use gfd_core::GfdSet;
+use gfd_detect::{
+    detect_units, initial_units, units_for_pivots, DetectConfig, RulePlans, RunMetrics,
+    ViolationRecord,
+};
+use gfd_graph::{DeltaBatch, DeltaIndex, Graph, LabelIndex, MatchIndex, NodeId};
+use rustc_hash::FxHashSet;
+
+/// Configuration of an incremental detection session.
+#[derive(Clone, Debug)]
+pub struct IncrConfig {
+    /// Scheduler knobs for every detection pass (initial and per batch).
+    /// `max_violations` is ignored: the cache must hold the *complete*
+    /// violation set, or carried-over results would be wrong.
+    pub detect: DetectConfig,
+    /// Compact (re-freeze base + delta into a fresh CSR) once the
+    /// overlay exceeds this fraction of the base edge count.
+    pub compact_fraction: f64,
+}
+
+impl Default for IncrConfig {
+    fn default() -> Self {
+        IncrConfig {
+            detect: DetectConfig::default(),
+            compact_fraction: 0.25,
+        }
+    }
+}
+
+impl IncrConfig {
+    /// A config with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        IncrConfig {
+            detect: DetectConfig::with_workers(workers),
+            ..Default::default()
+        }
+    }
+}
+
+/// What one [`IncrementalDetector::apply`] call did.
+#[derive(Clone, Debug, Default)]
+pub struct BatchReport {
+    /// Nodes the batch actually touched (no-op updates excluded).
+    pub dirty_nodes: usize,
+    /// Pivot candidates re-run across all rules (the dirty frontier).
+    pub rerun_pivots: usize,
+    /// Cached violations evicted because their pivot was re-run.
+    pub evicted: usize,
+    /// Violations found by the re-run (including re-confirmed ones).
+    pub found: usize,
+    /// Rules re-run in full because their pattern is disconnected (no
+    /// locality bound exists for those).
+    pub full_rerun_rules: usize,
+    /// Did this batch trigger an overlay compaction (re-freeze)?
+    pub compacted: bool,
+    /// Total violations live after the merge.
+    pub violations_total: usize,
+    /// Scheduler metrics of the re-run detection pass.
+    pub metrics: RunMetrics,
+}
+
+/// Per-rule facts the frontier computation needs, derived from the
+/// current plans (pivots can move at compaction).
+struct RuleMeta {
+    /// Pattern radius at the pivot (connected rules only).
+    radii: Vec<u32>,
+    /// Is the pattern connected? Disconnected patterns get full re-runs.
+    connected: Vec<bool>,
+    /// Largest radius over connected rules — the BFS bound.
+    max_radius: u32,
+}
+
+impl RuleMeta {
+    fn build(sigma: &GfdSet, plans: &RulePlans) -> Self {
+        let mut radii = Vec::with_capacity(sigma.len());
+        let mut connected = Vec::with_capacity(sigma.len());
+        let mut max_radius = 0;
+        for (id, gfd) in sigma.iter() {
+            let conn = gfd.pattern.is_connected();
+            let r = gfd.pattern.radius_at(plans.pivots[id.index()]);
+            if conn {
+                max_radius = max_radius.max(r);
+            }
+            radii.push(r);
+            connected.push(conn);
+        }
+        RuleMeta {
+            radii,
+            connected,
+            max_radius,
+        }
+    }
+}
+
+/// A detection result kept live under streaming updates.
+///
+/// Owns the graph: every mutation must flow through
+/// [`IncrementalDetector::apply`] so the delta overlay, the candidate
+/// index and the violation cache stay in lockstep (a bypassed mutation
+/// trips the overlay's staleness assertion on the next pass).
+pub struct IncrementalDetector {
+    graph: Graph,
+    sigma: GfdSet,
+    index: DeltaIndex,
+    plans: RulePlans,
+    meta: RuleMeta,
+    violations: Vec<ViolationRecord>,
+    config: IncrConfig,
+}
+
+impl IncrementalDetector {
+    /// Seed the session: one full detection pass over `graph` populates
+    /// the cache; subsequent [`apply`](IncrementalDetector::apply) calls
+    /// keep it exact incrementally.
+    pub fn new(graph: Graph, sigma: GfdSet, config: IncrConfig) -> Self {
+        let li = LabelIndex::build(&graph);
+        let plans = RulePlans::build(&sigma, &li);
+        let meta = RuleMeta::build(&sigma, &plans);
+        let units = initial_units(&sigma, &li, &plans, config.detect.batch_size);
+        let report = detect_units(
+            &graph,
+            &li,
+            &sigma,
+            &plans,
+            units,
+            &Self::find_all(&config.detect),
+        );
+        IncrementalDetector {
+            graph,
+            sigma,
+            index: li.into_delta(),
+            plans,
+            meta,
+            violations: report.violations,
+            config,
+        }
+    }
+
+    /// The detect config with the violation budget disabled (the cache
+    /// must be complete — see [`IncrConfig::detect`]).
+    fn find_all(base: &DetectConfig) -> DetectConfig {
+        DetectConfig {
+            max_violations: usize::MAX,
+            ..base.clone()
+        }
+    }
+
+    /// The current graph (post all applied batches).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The rule set being enforced.
+    pub fn sigma(&self) -> &GfdSet {
+        &self.sigma
+    }
+
+    /// The live violation set, sorted by `(rule, match)` — identical to
+    /// what a from-scratch [`gfd_detect::detect`] on the current graph
+    /// reports.
+    pub fn violations(&self) -> &[ViolationRecord] {
+        &self.violations
+    }
+
+    /// Is the current graph clean?
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Overlay size relative to the frozen base (the compaction input).
+    pub fn delta_fraction(&self) -> f64 {
+        self.index.delta_fraction()
+    }
+
+    /// Apply one delta batch and restore exactness by re-reasoning only
+    /// the dirty frontier. Returns what was done; the updated violation
+    /// set is at [`violations`](IncrementalDetector::violations).
+    pub fn apply(&mut self, batch: &DeltaBatch) -> BatchReport {
+        let applied = self.index.apply(batch, &mut self.graph);
+        let mut report = BatchReport {
+            dirty_nodes: applied.dirty.len(),
+            ..Default::default()
+        };
+        if applied.dirty.is_empty() {
+            report.violations_total = self.violations.len();
+            return report;
+        }
+
+        // Threshold-triggered compaction: fold the overlay into a fresh
+        // freeze. Correctness is unaffected (the view answers the same
+        // probes either way); this just restores probe locality. Plans,
+        // pivots and radii are rebuilt on the fresh statistics.
+        if self.index.delta_fraction() > self.config.compact_fraction {
+            let li = LabelIndex::build(&self.graph);
+            self.plans = RulePlans::build(&self.sigma, &li);
+            self.meta = RuleMeta::build(&self.sigma, &self.plans);
+            self.index = li.into_delta();
+            report.compacted = true;
+        }
+
+        // Dirty frontier: every pivot within the largest connected-rule
+        // radius of a touched node (see `frontier` for the soundness
+        // argument), filtered per rule by radius and pivot label.
+        let frontier = bounded_frontier(&self.graph, &applied.dirty, self.meta.max_radius);
+        let mut rule_pivots: Vec<(gfd_graph::GfdId, Vec<NodeId>)> = Vec::new();
+        for (id, gfd) in self.sigma.iter() {
+            let pivot_label = gfd.pattern.label(self.plans.pivots[id.index()]);
+            let pivots: Vec<NodeId> = if self.meta.connected[id.index()] {
+                frontier
+                    .iter()
+                    .filter(|&&(n, d)| {
+                        d <= self.meta.radii[id.index()]
+                            && pivot_label.pattern_matches(self.graph.label(n))
+                    })
+                    .map(|&(n, _)| n)
+                    .collect()
+            } else {
+                // Disconnected pattern: a non-pivot component can match
+                // anywhere in the graph, so locality gives no bound —
+                // re-run every pivot of this rule.
+                report.full_rerun_rules += 1;
+                self.index.candidates(pivot_label).to_vec()
+            };
+            if !pivots.is_empty() {
+                report.rerun_pivots += pivots.len();
+                rule_pivots.push((id, pivots));
+            }
+        }
+
+        // Evict every cached violation whose pivot is being re-run: the
+        // re-run re-finds the ones that still hold, so the merge below
+        // cannot duplicate or resurrect anything.
+        let rerun_sets: Vec<Option<FxHashSet<NodeId>>> = {
+            let mut sets: Vec<Option<FxHashSet<NodeId>>> = Vec::new();
+            sets.resize_with(self.sigma.len(), || None);
+            for (id, pivots) in &rule_pivots {
+                sets[id.index()] = Some(pivots.iter().copied().collect());
+            }
+            sets
+        };
+        let before = self.violations.len();
+        let pivots = &self.plans.pivots;
+        self.violations.retain(|v| {
+            rerun_sets[v.gfd.index()]
+                .as_ref()
+                .is_none_or(|set| !set.contains(&v.m[pivots[v.gfd.index()].index()]))
+        });
+        report.evicted = before - self.violations.len();
+
+        // Re-reason the frontier on the shared scheduler, over the
+        // overlay view — no re-freeze happened unless we compacted.
+        let units = units_for_pivots(rule_pivots, self.config.detect.batch_size);
+        let fresh = detect_units(
+            &self.graph,
+            &self.index,
+            &self.sigma,
+            &self.plans,
+            units,
+            &Self::find_all(&self.config.detect),
+        );
+        report.found = fresh.violations.len();
+        report.metrics = fresh.metrics;
+        self.violations.extend(fresh.violations);
+        self.violations
+            .sort_by(|a, b| (a.gfd, &a.m).cmp(&(b.gfd, &b.m)));
+        report.violations_total = self.violations.len();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_core::{Gfd, Literal};
+    use gfd_detect::detect;
+    use gfd_graph::{Pattern, Value, Vocab};
+
+    /// The detector's cached set must equal a from-scratch detect on the
+    /// same graph, as (rule, match) key sets.
+    fn assert_matches_full_detect(incr: &IncrementalDetector) {
+        let full = detect(incr.graph(), incr.sigma(), &DetectConfig::with_workers(2));
+        let key = |v: &ViolationRecord| (v.gfd, v.m.clone());
+        let got: Vec<_> = incr.violations().iter().map(key).collect();
+        let want: Vec<_> = full.violations.iter().map(key).collect();
+        assert_eq!(got, want);
+    }
+
+    /// Chain graph t0 → t1 → … with alternating attribute values and a
+    /// rule requiring equal values across each edge (every edge between
+    /// a mismatched pair violates).
+    fn chain_setup(n: usize) -> (Graph, GfdSet, Vocab) {
+        let mut vocab = Vocab::new();
+        let t = vocab.label("t");
+        let e = vocab.label("e");
+        let a = vocab.attr("a");
+        let mut g = Graph::new();
+        let mut prev = None;
+        for i in 0..n {
+            let node = g.add_node(t);
+            g.set_attr(node, a, Value::int((i % 2) as i64));
+            if let Some(p) = prev {
+                g.add_edge(p, e, node);
+            }
+            prev = Some(node);
+        }
+        let mut p = Pattern::new();
+        let x = p.add_node(t, "x");
+        let y = p.add_node(t, "y");
+        p.add_edge(x, e, y);
+        let gfd = Gfd::new(
+            "eq-across-edge",
+            p,
+            vec![],
+            vec![Literal::eq_attr(x, a, y, a)],
+        );
+        (g, GfdSet::from_vec(vec![gfd]), vocab)
+    }
+
+    #[test]
+    fn seeding_matches_full_detect() {
+        let (g, sigma, _) = chain_setup(40);
+        let incr = IncrementalDetector::new(g, sigma, IncrConfig::with_workers(4));
+        assert_eq!(incr.violations().len(), 39);
+        assert_matches_full_detect(&incr);
+    }
+
+    #[test]
+    fn attr_write_fixes_and_breaks_violations() {
+        let (g, sigma, mut vocab) = chain_setup(20);
+        let a = vocab.attr("a");
+        let mut incr = IncrementalDetector::new(g, sigma, IncrConfig::with_workers(2));
+
+        // Equalize one pair: two incident violations disappear (edges
+        // 4→5 and 5→6 both become clean... only 5's incident ones).
+        let mut batch = DeltaBatch::new();
+        batch.set_attr(NodeId::new(5), a, Value::int(1));
+        let rep = incr.apply(&batch);
+        assert_eq!(rep.dirty_nodes, 1);
+        assert!(rep.evicted >= 1);
+        assert_matches_full_detect(&incr);
+
+        // Break a previously-clean pair far away.
+        let mut batch = DeltaBatch::new();
+        batch.set_attr(NodeId::new(10), a, Value::int(7));
+        incr.apply(&batch);
+        assert_matches_full_detect(&incr);
+    }
+
+    #[test]
+    fn edge_insertions_and_new_nodes_create_violations() {
+        let (g, sigma, mut vocab) = chain_setup(12);
+        let t = vocab.label("t");
+        let e = vocab.label("e");
+        let a = vocab.attr("a");
+        let mut incr = IncrementalDetector::new(g, sigma, IncrConfig::with_workers(2));
+        let before = incr.violations().len();
+
+        // A new node with a clashing value, wired into the chain.
+        let mut batch = DeltaBatch::new();
+        batch.add_node(t); // n12
+        batch.set_attr(NodeId::new(12), a, Value::int(9));
+        batch.add_edge(NodeId::new(0), e, NodeId::new(12));
+        let rep = incr.apply(&batch);
+        assert_eq!(rep.violations_total, before + 1);
+        assert_matches_full_detect(&incr);
+    }
+
+    #[test]
+    fn edge_deletions_evict_their_violations() {
+        let (g, sigma, mut vocab) = chain_setup(16);
+        let e = vocab.label("e");
+        let mut incr = IncrementalDetector::new(g, sigma, IncrConfig::with_workers(2));
+        let before = incr.violations().len();
+
+        let mut batch = DeltaBatch::new();
+        batch.del_edge(NodeId::new(3), e, NodeId::new(4));
+        batch.del_edge(NodeId::new(7), e, NodeId::new(8));
+        let rep = incr.apply(&batch);
+        assert_eq!(rep.violations_total, before - 2);
+        assert_matches_full_detect(&incr);
+    }
+
+    #[test]
+    fn noop_batches_change_nothing() {
+        let (g, sigma, mut vocab) = chain_setup(8);
+        let e = vocab.label("e");
+        let mut incr = IncrementalDetector::new(g, sigma, IncrConfig::with_workers(2));
+        let before = incr.violations().len();
+
+        let mut batch = DeltaBatch::new();
+        batch.add_edge(NodeId::new(0), e, NodeId::new(1)); // duplicate
+        batch.del_edge(NodeId::new(0), e, NodeId::new(5)); // absent
+        let rep = incr.apply(&batch);
+        assert_eq!(rep.dirty_nodes, 0);
+        assert_eq!(rep.rerun_pivots, 0);
+        assert_eq!(rep.violations_total, before);
+        assert_matches_full_detect(&incr);
+    }
+
+    #[test]
+    fn compaction_triggers_and_preserves_exactness() {
+        let (g, sigma, mut vocab) = chain_setup(10);
+        let t = vocab.label("t");
+        let e = vocab.label("e");
+        let a = vocab.attr("a");
+        let mut incr = IncrementalDetector::new(
+            g,
+            sigma,
+            IncrConfig {
+                compact_fraction: 0.1,
+                ..IncrConfig::with_workers(2)
+            },
+        );
+        // Grow the overlay well past 10% of the 9-edge base.
+        let mut compacted = false;
+        for i in 0..6 {
+            let mut batch = DeltaBatch::new();
+            batch.add_node(t);
+            let fresh = NodeId::new(10 + i);
+            batch.set_attr(fresh, a, Value::int(5));
+            batch.add_edge(NodeId::new(i), e, fresh);
+            let rep = incr.apply(&batch);
+            compacted |= rep.compacted;
+            assert_matches_full_detect(&incr);
+        }
+        assert!(compacted, "overlay never compacted");
+        assert!(incr.delta_fraction() < 0.2, "compaction did not reset");
+    }
+
+    #[test]
+    fn disconnected_patterns_fall_back_to_full_rerun() {
+        let mut vocab = Vocab::new();
+        let t = vocab.label("t");
+        let u = vocab.label("u");
+        let a = vocab.attr("a");
+        // Disconnected pattern: one t-var and one u-var, no edge. The
+        // consequence ties their attributes together across the whole
+        // graph — no locality.
+        let mut p = Pattern::new();
+        let x = p.add_node(t, "x");
+        let y = p.add_node(u, "y");
+        let gfd = Gfd::new("cross", p, vec![], vec![Literal::eq_attr(x, a, y, a)]);
+        let sigma = GfdSet::from_vec(vec![gfd]);
+
+        let mut g = Graph::new();
+        let n0 = g.add_node(t);
+        let n1 = g.add_node(u);
+        g.set_attr(n0, a, Value::int(1));
+        g.set_attr(n1, a, Value::int(1));
+        let mut incr = IncrementalDetector::new(g, sigma, IncrConfig::with_workers(2));
+        assert!(incr.is_clean());
+
+        // An attr write on the u-node flips every (t, u) pair.
+        let mut batch = DeltaBatch::new();
+        batch.set_attr(n1, a, Value::int(2));
+        let rep = incr.apply(&batch);
+        assert_eq!(rep.full_rerun_rules, 1);
+        assert_eq!(incr.violations().len(), 1);
+        assert_matches_full_detect(&incr);
+    }
+
+    #[test]
+    fn deletion_heavy_stream_stays_exact() {
+        let (g, sigma, mut vocab) = chain_setup(30);
+        let e = vocab.label("e");
+        let mut incr = IncrementalDetector::new(g, sigma, IncrConfig::with_workers(4));
+        for start in [0usize, 5, 10, 15, 20, 25] {
+            let mut batch = DeltaBatch::new();
+            for i in start..(start + 5).min(29) {
+                batch.del_edge(NodeId::new(i), e, NodeId::new(i + 1));
+            }
+            incr.apply(&batch);
+            assert_matches_full_detect(&incr);
+        }
+        assert!(incr.is_clean(), "all edges deleted, nothing to violate");
+    }
+}

@@ -1,0 +1,118 @@
+//! The dirty frontier: which pivots a delta batch can affect.
+//!
+//! **Soundness argument** (DESIGN.md §8). Let a rule's pattern be
+//! connected with pivot variable `x` and radius `dQ = radius_at(x)`, and
+//! let `D` be the batch's dirty nodes: endpoints of inserted *and*
+//! deleted edges, attribute-write targets, and created nodes. Any match
+//! whose violation status the batch could change — an old match that
+//! disappeared or flipped, or a new match that appeared — has an
+//! embedding touching some `u ∈ D`:
+//!
+//! * a new match must use an inserted edge, a created node, or a changed
+//!   attribute (otherwise it existed before with the same status);
+//! * a vanished match must have used a deleted edge; a flipped match
+//!   reads a rewritten attribute.
+//!
+//! Its pivot image `z` is within `dQ` undirected hops of `u` *in the
+//! graph the match lives in*. For post-batch matches that graph is the
+//! current one, so `z` is in the current-graph ball around `u`. For
+//! pre-batch matches the witnessing path may use a deleted edge
+//! `{a, b}` — but then its prefix up to the first contact with `{a, b}`
+//! is a current-graph path of length ≤ dQ ending at `a` or `b`, and
+//! *both deletion endpoints are dirty*. Either way `z` lies within `dQ`
+//! current-graph hops of some dirty node, so one bounded multi-source
+//! BFS from `D` over the **post-batch** graph covers every affected
+//! pivot, and every cached violation pivoted outside it is untouched.
+
+use gfd_graph::{Graph, NodeId};
+use rustc_hash::FxHashSet;
+use std::collections::VecDeque;
+
+/// All nodes within `max_radius` undirected hops of any node in `dirty`,
+/// as `(node, distance to the nearest dirty node)` pairs — one
+/// multi-source BFS over the post-batch builder graph.
+///
+/// Visited bookkeeping is a hash set, not a dense `O(|V|)` array: the
+/// whole point of the incremental path is per-batch cost proportional
+/// to the dirty region, and a tiny batch on a huge graph must not pay
+/// for every node it never looks at.
+///
+/// `dirty` must be duplicate-free (as produced by
+/// [`gfd_graph::DeltaIndex::apply`]); out-of-range ids are ignored.
+pub fn bounded_frontier(graph: &Graph, dirty: &[NodeId], max_radius: u32) -> Vec<(NodeId, u32)> {
+    let n = graph.node_count();
+    let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+    let mut queue = VecDeque::with_capacity(dirty.len());
+    let mut out = Vec::with_capacity(dirty.len());
+    for &d in dirty {
+        if d.index() < n && seen.insert(d) {
+            queue.push_back((d, 0u32));
+            out.push((d, 0));
+        }
+    }
+    while let Some((v, d)) = queue.pop_front() {
+        if d == max_radius {
+            continue;
+        }
+        for &(_, u) in graph.out_edges(v).iter().chain(graph.in_edges(v)) {
+            if seen.insert(u) {
+                out.push((u, d + 1));
+                queue.push_back((u, d + 1));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_graph::Vocab;
+
+    /// Path graph 0 → 1 → … → n-1.
+    fn path(n: usize) -> Graph {
+        let mut v = Vocab::new();
+        let t = v.label("t");
+        let e = v.label("e");
+        let mut g = Graph::new();
+        let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(t)).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], e, w[1]);
+        }
+        g
+    }
+
+    #[test]
+    fn single_source_matches_ball() {
+        let g = path(7);
+        let f = bounded_frontier(&g, &[NodeId::new(3)], 2);
+        let mut nodes: Vec<usize> = f.iter().map(|(n, _)| n.index()).collect();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![1, 2, 3, 4, 5]);
+        assert!(f.contains(&(NodeId::new(3), 0)));
+        assert!(f.contains(&(NodeId::new(1), 2)));
+    }
+
+    #[test]
+    fn multi_source_takes_nearest_distance() {
+        let g = path(10);
+        let f = bounded_frontier(&g, &[NodeId::new(0), NodeId::new(9)], 1);
+        let mut nodes: Vec<usize> = f.iter().map(|(n, _)| n.index()).collect();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![0, 1, 8, 9]);
+    }
+
+    #[test]
+    fn radius_zero_is_the_dirty_set() {
+        let g = path(4);
+        let f = bounded_frontier(&g, &[NodeId::new(2)], 0);
+        assert_eq!(f, vec![(NodeId::new(2), 0)]);
+    }
+
+    #[test]
+    fn out_of_range_and_duplicate_sources_are_tolerated() {
+        let g = path(3);
+        let f = bounded_frontier(&g, &[NodeId::new(1), NodeId::new(1), NodeId::new(99)], 0);
+        assert_eq!(f, vec![(NodeId::new(1), 0)]);
+    }
+}

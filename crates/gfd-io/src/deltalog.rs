@@ -1,0 +1,253 @@
+//! The delta-log text format: a replayable stream of graph updates.
+//!
+//! The streaming detection pipeline (`gfd detect --stream`, the
+//! `gfd-incr` engine) consumes batches of updates. This module gives
+//! them a line-oriented interchange form, one update per line, batches
+//! separated by `batch` headers:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! batch
+//! node person          # append a node; ids are assigned densely
+//! edge 0 knows 7       # insert  src --label--> dst
+//! del  2 livesIn 3     # delete  src --label--> dst
+//! attr 4 name="bob"    # set an attribute (edge-list value syntax)
+//! batch
+//! attr 4 age=31
+//! ```
+//!
+//! Node references are the dense ids of the target graph; `node` lines
+//! create ids in order (`graph.node_count()` at replay time), so a log
+//! can wire up nodes it created earlier — the same convention as
+//! [`gfd_graph::DeltaBatch`]. A leading `batch` header is optional.
+
+use crate::edgelist::LoadError;
+use gfd_graph::{DeltaBatch, DeltaOp, NodeId, Value, Vocab};
+use std::fmt::Write as _;
+
+fn err(line: usize, message: impl Into<String>) -> LoadError {
+    LoadError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_node(token: &str, line: usize) -> Result<NodeId, LoadError> {
+    token
+        .parse::<u32>()
+        .map(|i| NodeId::new(i as usize))
+        .map_err(|_| err(line, format!("node id is not an integer: `{token}`")))
+}
+
+/// Parse a delta log into batches (labels and attribute names interned
+/// through `vocab`, as everywhere else).
+pub fn parse_delta_log(src: &str, vocab: &mut Vocab) -> Result<Vec<DeltaBatch>, LoadError> {
+    let mut batches = Vec::new();
+    let mut current = DeltaBatch::new();
+    let mut started = false;
+    for (i, raw) in src.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens = crate::edgelist::tokenize(line);
+        let mut parts = tokens.iter().map(String::as_str);
+        let keyword = parts.next().expect("non-empty line");
+        match keyword {
+            "batch" => {
+                if parts.next().is_some() {
+                    return Err(err(line_no, "`batch` takes no arguments"));
+                }
+                if started {
+                    batches.push(std::mem::take(&mut current));
+                }
+                started = true;
+            }
+            "node" => {
+                let label = parts
+                    .next()
+                    .ok_or_else(|| err(line_no, "expected `node LABEL`"))?;
+                current.add_node(vocab.label(label));
+                started = true;
+            }
+            "edge" | "del" => {
+                let (Some(s), Some(l), Some(d)) = (parts.next(), parts.next(), parts.next()) else {
+                    return Err(err(line_no, format!("expected `{keyword} SRC LABEL DST`")));
+                };
+                let src_id = parse_node(s, line_no)?;
+                let dst_id = parse_node(d, line_no)?;
+                let label = vocab.label(l);
+                if keyword == "edge" {
+                    current.add_edge(src_id, label, dst_id);
+                } else {
+                    current.del_edge(src_id, label, dst_id);
+                }
+                started = true;
+            }
+            "attr" => {
+                let (Some(n), Some(kv)) = (parts.next(), parts.next()) else {
+                    return Err(err(line_no, "expected `attr NODE name=value`"));
+                };
+                let node = parse_node(n, line_no)?;
+                let (name, value) = crate::edgelist::parse_attr(kv, line_no)?;
+                current.set_attr(node, vocab.attr(name), value);
+                started = true;
+            }
+            other => {
+                return Err(err(
+                    line_no,
+                    format!("unknown delta keyword `{other}` (batch/node/edge/del/attr)"),
+                ));
+            }
+        }
+        if parts.next().is_some() {
+            return Err(err(line_no, "trailing tokens on delta line"));
+        }
+    }
+    if started {
+        batches.push(current);
+    }
+    Ok(batches)
+}
+
+fn fmt_value(value: &Value) -> String {
+    match value {
+        Value::Int(i) => i.to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Str(s) => format!("\"{s}\""),
+    }
+}
+
+/// Render batches back into the text form [`parse_delta_log`] reads.
+pub fn delta_log_to_string(batches: &[DeltaBatch], vocab: &Vocab) -> String {
+    let mut out = String::new();
+    for batch in batches {
+        out.push_str("batch\n");
+        for op in &batch.ops {
+            match op {
+                DeltaOp::AddNode { label } => {
+                    let _ = writeln!(out, "node {}", vocab.label_name(*label));
+                }
+                DeltaOp::AddEdge { src, label, dst } => {
+                    let _ = writeln!(
+                        out,
+                        "edge {} {} {}",
+                        src.index(),
+                        vocab.label_name(*label),
+                        dst.index()
+                    );
+                }
+                DeltaOp::DelEdge { src, label, dst } => {
+                    let _ = writeln!(
+                        out,
+                        "del {} {} {}",
+                        src.index(),
+                        vocab.label_name(*label),
+                        dst.index()
+                    );
+                }
+                DeltaOp::SetAttr { node, attr, value } => {
+                    let _ = writeln!(
+                        out,
+                        "attr {} {}={}",
+                        node.index(),
+                        vocab.attr_name(*attr),
+                        fmt_value(value)
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_batches_and_ops() {
+        let mut vocab = Vocab::new();
+        let src = "\
+# a two-batch log
+batch
+node person
+edge 0 knows 7   # wire it up
+del 2 livesIn 3
+attr 4 name=\"bob lee\"
+batch
+attr 4 age=31
+attr 4 verified=true
+";
+        let batches = parse_delta_log(src, &mut vocab).expect("parses");
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].len(), 4);
+        assert_eq!(batches[1].len(), 2);
+        assert_eq!(
+            batches[0].ops[0],
+            DeltaOp::AddNode {
+                label: vocab.label("person")
+            }
+        );
+        assert_eq!(
+            batches[0].ops[3],
+            DeltaOp::SetAttr {
+                node: NodeId::new(4),
+                attr: vocab.attr("name"),
+                value: Value::str("bob lee"),
+            }
+        );
+        assert_eq!(
+            batches[1].ops[1],
+            DeltaOp::SetAttr {
+                node: NodeId::new(4),
+                attr: vocab.attr("verified"),
+                value: Value::Bool(true),
+            }
+        );
+    }
+
+    #[test]
+    fn leading_batch_header_is_optional() {
+        let mut vocab = Vocab::new();
+        let batches = parse_delta_log("edge 0 e 1\nbatch\ndel 0 e 1\n", &mut vocab).unwrap();
+        assert_eq!(batches.len(), 2);
+    }
+
+    #[test]
+    fn empty_log_has_no_batches() {
+        let mut vocab = Vocab::new();
+        assert!(parse_delta_log("# nothing\n\n", &mut vocab)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let mut vocab = Vocab::new();
+        let mut b0 = DeltaBatch::new();
+        b0.add_node(vocab.label("t"));
+        b0.add_edge(NodeId::new(3), vocab.label("e"), NodeId::new(0));
+        b0.del_edge(NodeId::new(1), vocab.label("e"), NodeId::new(2));
+        b0.set_attr(NodeId::new(0), vocab.attr("a"), Value::Int(-4));
+        let mut b1 = DeltaBatch::new();
+        b1.set_attr(NodeId::new(2), vocab.attr("s"), Value::str("x y"));
+        let batches = vec![b0, b1];
+        let text = delta_log_to_string(&batches, &vocab);
+        let reparsed = parse_delta_log(&text, &mut vocab).expect("round-trip parses");
+        assert_eq!(batches, reparsed);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let mut vocab = Vocab::new();
+        let e = parse_delta_log("batch\nfrob 1 2 3\n", &mut vocab).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("frob"));
+        let e = parse_delta_log("edge 0 e\n", &mut vocab).unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse_delta_log("attr x name=1\n", &mut vocab).unwrap_err();
+        assert!(e.to_string().contains("not an integer"));
+    }
+}

@@ -109,8 +109,8 @@ pub fn load_edge_list(
 
 /// Parse one `attr=value` token. Values: integers, `true`/`false`, quoted
 /// strings (double quotes, may contain spaces pre-split — see note), or
-/// bare strings.
-fn parse_attr(token: &str, line: usize) -> Result<(&str, Value), LoadError> {
+/// bare strings. Shared with the delta-log format.
+pub(crate) fn parse_attr(token: &str, line: usize) -> Result<(&str, Value), LoadError> {
     let (name, raw) = token
         .split_once('=')
         .ok_or_else(|| err(line, format!("expected attr=value, got `{token}`")))?;
@@ -129,9 +129,9 @@ fn parse_attr(token: &str, line: usize) -> Result<(&str, Value), LoadError> {
     Ok((name, value))
 }
 
-/// Tokenize a node-table line, keeping double-quoted segments (which may
-/// contain spaces) as single tokens.
-fn tokenize(line: &str) -> Vec<String> {
+/// Tokenize a node-table (or delta-log) line, keeping double-quoted
+/// segments (which may contain spaces) as single tokens.
+pub(crate) fn tokenize(line: &str) -> Vec<String> {
     let mut tokens = Vec::new();
     let mut current = String::new();
     let mut in_quotes = false;

@@ -10,6 +10,9 @@
 //!   simple node-table format. This is how the paper's datasets actually
 //!   ship (Pokec is distributed as `soc-pokec-relationships.txt`), so a
 //!   downstream user can load real data without writing a parser.
+//! * [`deltalog`] — a replayable line-oriented stream of graph update
+//!   batches, the wire form of `gfd detect --stream` and the `gfd-incr`
+//!   engine.
 //!
 //! The DSL in `gfd-dsl` remains the *human-authored* format; this crate
 //! covers the machine-interchange cases.
@@ -20,10 +23,12 @@
 
 #![warn(missing_docs)]
 
+pub mod deltalog;
 pub mod edgelist;
 pub mod json;
 pub mod jsonval;
 mod proptests;
 
+pub use deltalog::{delta_log_to_string, parse_delta_log};
 pub use edgelist::{load_edge_list, load_node_table, EdgeListOptions};
 pub use json::{graph_from_json, graph_to_json, sigma_from_json, sigma_to_json, JsonError};

@@ -13,7 +13,7 @@
 //!   Example 6).
 
 use crate::plan::{Anchor, AnchorDir, MatchPlan};
-use gfd_graph::{Adj, CsrTopology, Graph, LabelIndex, NodeId, NodeSet, Pattern};
+use gfd_graph::{Dir, Graph, LabelIndex, MatchIndex, NodeId, NodeSet, Pattern, TopologyView};
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
@@ -81,14 +81,16 @@ struct Frame<'a> {
 
 /// A resumable homomorphism search of one pattern in one graph.
 ///
-/// Edge probes and anchored expansion run on the frozen
-/// [`CsrTopology`] carried by the label index: `O(log d)` binary
-/// searches and per-`(node, label)` sub-slices instead of linear scans
-/// of the builder adjacency.
-pub struct HomSearch<'a> {
+/// Edge probes and anchored expansion run on the [`TopologyView`]
+/// carried by the index — the frozen CSR for a static graph
+/// ([`LabelIndex`], the default), or the delta-CSR overlay for a graph
+/// under streaming updates (`gfd_graph::DeltaIndex`): `O(log d + log δ)`
+/// probes and per-`(node, label)` sorted sub-slices either way, so the
+/// static and incremental pipelines share this one search.
+pub struct HomSearch<'a, I: MatchIndex = LabelIndex> {
     graph: &'a Graph,
-    index: &'a LabelIndex,
-    csr: &'a CsrTopology,
+    index: &'a I,
+    view: &'a I::View,
     pattern: &'a Pattern,
     plan: &'a MatchPlan,
     /// Optional per-variable candidate filters (e.g. dual-simulation sets).
@@ -102,21 +104,16 @@ pub struct HomSearch<'a> {
     exhausted: bool,
 }
 
-impl<'a> HomSearch<'a> {
+impl<'a, I: MatchIndex> HomSearch<'a, I> {
     /// A search over the whole graph.
-    pub fn new(
-        graph: &'a Graph,
-        index: &'a LabelIndex,
-        pattern: &'a Pattern,
-        plan: &'a MatchPlan,
-    ) -> Self {
-        // Fail fast (debug builds) if the graph's topology changed after
-        // the index froze it — probes on a stale CSR silently miss edges.
+    pub fn new(graph: &'a Graph, index: &'a I, pattern: &'a Pattern, plan: &'a MatchPlan) -> Self {
+        // Fail fast (debug builds) if the graph's topology changed behind
+        // the index's back — probes on a stale view silently miss edges.
         index.assert_fresh(graph);
         HomSearch {
             graph,
             index,
-            csr: index.csr(),
+            view: index.view(),
             pattern,
             plan,
             filters: None,
@@ -166,15 +163,19 @@ impl<'a> HomSearch<'a> {
     fn anchor_holds(&self, anchor: &Anchor, candidate: NodeId) -> bool {
         let anchored = self.assignment[anchor.pos];
         match anchor.dir {
-            AnchorDir::FromAnchor => self.csr.has_edge_pattern(anchored, anchor.label, candidate),
-            AnchorDir::ToAnchor => self.csr.has_edge_pattern(candidate, anchor.label, anchored),
+            AnchorDir::FromAnchor => self
+                .view
+                .has_edge_pattern(anchored, anchor.label, candidate),
+            AnchorDir::ToAnchor => self
+                .view
+                .has_edge_pattern(candidate, anchor.label, anchored),
         }
     }
 
     fn self_loops_hold(&self, step: &crate::plan::PlanStep, node: NodeId) -> bool {
         step.self_loops
             .iter()
-            .all(|&l| self.csr.has_edge_pattern(node, l, node))
+            .all(|&l| self.view.has_edge_pattern(node, l, node))
     }
 
     /// Is `node` a valid binding for plan position `pos`, given the bound
@@ -227,44 +228,55 @@ impl<'a> HomSearch<'a> {
         }
 
         // Anchored: expand from the anchor with the smallest
-        // label-matching sub-slice, located in O(log d) on the frozen
-        // CSR (instead of filtering the anchor's full adjacency).
-        let slice_for = |a: &Anchor| -> &'a [Adj] {
+        // label-matching adjacency, located in O(log d + log δ) on the
+        // topology view (instead of filtering the anchor's full
+        // adjacency).
+        let probe_for = |a: &Anchor| -> (NodeId, Dir) {
             let anchored = self.assignment[a.pos];
             match a.dir {
-                AnchorDir::FromAnchor => self.csr.out_matching(anchored, a.label),
-                AnchorDir::ToAnchor => self.csr.in_matching(anchored, a.label),
+                AnchorDir::FromAnchor => (anchored, Dir::Out),
+                AnchorDir::ToAnchor => (anchored, Dir::In),
             }
         };
         // This runs once per frame push on the DFS hot path: pick the
-        // seed and merge anchors by re-probing `slice_for` (an O(log d)
-        // lookup over at most a handful of anchors) rather than
-        // collecting the slices into a heap-allocated Vec.
+        // seed and merge anchors by re-probing `matching_len` (an
+        // O(log d) lookup over at most a handful of anchors) rather than
+        // materializing every anchor's adjacency.
+        let len_for = |a: &Anchor| -> usize {
+            let (v, dir) = probe_for(a);
+            self.view.matching_len(v, dir, a.label)
+        };
         let best_i = (0..step.anchors.len())
-            .min_by_key(|&i| slice_for(&step.anchors[i]).len())
+            .min_by_key(|&i| len_for(&step.anchors[i]))
             .expect("anchored step has anchors");
 
-        // Candidate node ids from the seed slice. A concrete-label
-        // sub-slice has strictly increasing node ids; under a wildcard
-        // anchor label the same node can recur across label groups, so
-        // sort once and dedup adjacently — never an O(d·c) `contains`.
-        let mut candidates: Vec<NodeId> = slice_for(&step.anchors[best_i])
-            .iter()
-            .map(|&(_, n)| n)
-            .collect();
-        if step.anchors[best_i].label.is_wildcard() {
+        // Candidate node ids from the seed adjacency, visited in
+        // (label, node) order. Under a concrete label node ids strictly
+        // increase; under a wildcard anchor label the same node can recur
+        // across label groups, so sort once and dedup adjacently — never
+        // an O(d·c) `contains`.
+        let seed = &step.anchors[best_i];
+        let mut candidates: Vec<NodeId> = Vec::with_capacity(len_for(seed));
+        let (seed_v, seed_dir) = probe_for(seed);
+        self.view
+            .for_each_matching(seed_v, seed_dir, seed.label, |(_, n)| candidates.push(n));
+        if seed.label.is_wildcard() {
             candidates.sort_unstable();
         }
         candidates.dedup();
 
         // Sorted-merge intersection with the next-smallest concrete
-        // anchor slice: both lists are ascending, so one two-pointer pass
-        // replaces per-candidate edge probes for that anchor.
+        // anchor adjacency: both sequences are ascending, so one
+        // two-pointer pass replaces per-candidate edge probes for that
+        // anchor.
         let merged_i = (0..step.anchors.len())
             .filter(|&i| i != best_i && !step.anchors[i].label.is_wildcard())
-            .min_by_key(|&i| slice_for(&step.anchors[i]).len());
+            .min_by_key(|&i| len_for(&step.anchors[i]));
         if let Some(mi) = merged_i {
-            candidates = intersect_sorted(&candidates, slice_for(&step.anchors[mi]));
+            let merge = &step.anchors[mi];
+            let (merge_v, merge_dir) = probe_for(merge);
+            candidates =
+                intersect_sorted_view(self.view, &candidates, merge_v, merge_dir, merge.label);
         }
 
         let var_label = self.pattern.label(step.var);
@@ -386,23 +398,31 @@ impl<'a> HomSearch<'a> {
     }
 }
 
-/// Intersect an ascending candidate list with a `(label, node)` slice
-/// whose node ids are ascending (a concrete-label CSR sub-slice), by a
-/// single two-pointer pass.
-fn intersect_sorted(candidates: &[NodeId], slice: &[Adj]) -> Vec<NodeId> {
-    let mut out = Vec::with_capacity(candidates.len().min(slice.len()));
-    let mut j = 0;
-    for &c in candidates {
-        while j < slice.len() && slice[j].1 < c {
-            j += 1;
+/// Intersect an ascending candidate list with the concrete-label
+/// adjacency of `(v, dir)` — whose node ids the view emits ascending —
+/// by a single streamed two-pointer pass (no materialized second list).
+fn intersect_sorted_view<V: TopologyView>(
+    view: &V,
+    candidates: &[NodeId],
+    v: NodeId,
+    dir: Dir,
+    label: gfd_graph::LabelId,
+) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(candidates.len());
+    let mut i = 0;
+    let _ = view.try_for_matching(v, dir, label, &mut |(_, n)| {
+        while i < candidates.len() && candidates[i] < n {
+            i += 1;
         }
-        if j == slice.len() {
-            break;
+        if i == candidates.len() {
+            return ControlFlow::Break(());
         }
-        if slice[j].1 == c {
-            out.push(c);
+        if candidates[i] == n {
+            out.push(n);
+            i += 1;
         }
-    }
+        ControlFlow::Continue(())
+    });
     out
 }
 

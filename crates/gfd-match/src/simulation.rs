@@ -12,7 +12,7 @@
 //! * [`may_embed`] — the multi-query-optimization test: can `q1` possibly
 //!   map homomorphically into `q2`?
 
-use gfd_graph::{Graph, LabelIndex, NodeSet, Pattern};
+use gfd_graph::{Dir, Graph, LabelIndex, MatchIndex, NodeSet, Pattern, TopologyView};
 
 /// Compute the dual-simulation sets of `pattern` over `graph`.
 ///
@@ -20,9 +20,13 @@ use gfd_graph::{Graph, LabelIndex, NodeSet, Pattern};
 /// ends up with an empty set (in which case the pattern has no match at
 /// all). Every node that can appear in any homomorphic match of the pattern
 /// is contained in its variable's set, so the sets are sound filters.
-pub fn dual_simulation(
+///
+/// Generic over the index like the matcher: the refinement probes run on
+/// the frozen CSR ([`LabelIndex`]) or the delta overlay
+/// (`gfd_graph::DeltaIndex`) alike.
+pub fn dual_simulation<I: MatchIndex>(
     graph: &Graph,
-    index: &LabelIndex,
+    index: &I,
     pattern: &Pattern,
 ) -> Option<Vec<NodeSet>> {
     index.assert_fresh(graph);
@@ -43,9 +47,9 @@ pub fn dual_simulation(
 
     // Fixed point: remove v from sim(u) if some pattern edge at u has no
     // matching graph edge at v whose endpoint survives. Concrete pattern
-    // edge labels probe only the O(log d)-located CSR label sub-slice
-    // instead of scanning v's whole adjacency.
-    let csr = index.csr();
+    // edge labels probe only the O(log d)-located label sub-slice of the
+    // view instead of scanning v's whole adjacency.
+    let view = index.view();
     let mut changed = true;
     while changed {
         changed = false;
@@ -53,15 +57,13 @@ pub fn dual_simulation(
             let mut removals = Vec::new();
             for v in sim[u.index()].iter() {
                 let ok_out = pattern.out_edges(u).iter().all(|&(elabel, u2)| {
-                    csr.out_matching(v, elabel)
-                        .iter()
-                        .any(|&(_, v2)| sim[u2.index()].contains(v2))
+                    view.any_matching(v, Dir::Out, elabel, |(_, v2)| sim[u2.index()].contains(v2))
                 });
                 let ok_in = ok_out
                     && pattern.in_edges(u).iter().all(|&(elabel, u2)| {
-                        csr.in_matching(v, elabel)
-                            .iter()
-                            .any(|&(_, v2)| sim[u2.index()].contains(v2))
+                        view.any_matching(v, Dir::In, elabel, |(_, v2)| {
+                            sim[u2.index()].contains(v2)
+                        })
                     });
                 if !ok_in {
                     removals.push(v);

@@ -42,6 +42,7 @@
 //! | [`gen`] | schema-driven GFD/graph generators and workloads |
 //! | [`dsl`] | the text format |
 //! | [`detect`] | parallel violation detection on data graphs |
+//! | [`incr`] | incremental detection over streaming delta batches |
 //! | [`ged`] | GEDs: id literals, order predicates, disjunction (§IX) |
 //! | [`io`] | JSON and SNAP edge-list interchange |
 
@@ -73,6 +74,10 @@ pub use gfd_dsl as dsl;
 
 /// Parallel violation detection on data graphs (re-export of `gfd-detect`).
 pub use gfd_detect as detect;
+
+/// Incremental detection over streaming delta batches (re-export of
+/// `gfd-incr`).
+pub use gfd_incr as incr;
 
 /// Graph entity dependencies — the §IX extension (re-export of `gfd-ged`).
 pub use gfd_ged as ged;
