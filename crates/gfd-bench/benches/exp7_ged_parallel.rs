@@ -1,0 +1,154 @@
+//! Exp-7 (beyond paper): branch-parallel GED reasoning makespan.
+//!
+//! The §IX extension's small-model search is a branch-and-bound workload
+//! on the shared scheduler (one unit per open branch, copy-on-branch
+//! store, TTL splitting). This experiment measures its scalability: a
+//! seeded unsatisfiable GED set whose choice tree (2^k leaves, every
+//! leaf killed by a denial) must be fully explored, swept over worker
+//! counts p = 1 → 8.
+//!
+//! Like Exp-1, the headline number is the **simulated makespan** (max
+//! per-worker busy CPU time): on a CI host with few free cores wall
+//! time cannot show the speedup, but per-worker busy time reflects what
+//! dedicated processors would achieve. Results land in
+//! `BENCH_exp7.json` for trend tracking.
+
+use gfd_bench::{banner, fmt_duration, scale, Table};
+use gfd_ged::driver::{ged_sat_with_config, GedReasonConfig};
+use gfd_ged::{Ged, GedLiteral, GedSet};
+use gfd_graph::{LabelId, Pattern, VarId, Vocab};
+use std::time::Duration;
+
+/// A seeded GED workload whose full choice tree must be explored:
+/// `depth` disjunctive rules `∅ → (x.Aᵢ = vᵢ ∨ x.Aᵢ = vᵢ + 1)`, each on
+/// its own concretely-labelled node (so every rule has exactly one match
+/// in the canonical graph), plus denials killing both values of the last
+/// attribute — unsatisfiable, with ~2^(depth+1) branches. The seed
+/// permutes the attribute values so runs differ without changing the
+/// tree shape.
+fn seeded_workload(vocab: &mut Vocab, depth: usize, seed: u64) -> GedSet {
+    let x = VarId::new(0);
+    let node = |label: LabelId| {
+        let mut p = Pattern::new();
+        p.add_node(label, "x");
+        p
+    };
+    // Tiny splitmix-style PRNG: reproducible without pulling rand in.
+    let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut next = move || {
+        state = state.wrapping_mul(0xbf58_476d_1ce4_e5b9).wrapping_add(1);
+        (state >> 33) as i64
+    };
+    let mut rules = Vec::new();
+    let mut last = None;
+    for i in 0..depth {
+        let label = vocab.label(&format!("t{i}"));
+        let attr = vocab.attr(&format!("A{i}"));
+        let v = next() % 1000;
+        rules.push(Ged::new(
+            format!("d{i}"),
+            node(label),
+            vec![],
+            vec![
+                vec![GedLiteral::eq_const(x, attr, v)],
+                vec![GedLiteral::eq_const(x, attr, v + 1)],
+            ],
+        ));
+        last = Some((label, attr, v));
+    }
+    let (label, attr, v) = last.expect("depth > 0");
+    for (j, val) in [v, v + 1].into_iter().enumerate() {
+        rules.push(Ged::denial(
+            format!("kill{j}"),
+            node(label),
+            vec![GedLiteral::eq_const(x, attr, val)],
+        ));
+    }
+    GedSet::from_vec(rules)
+}
+
+fn main() {
+    let scale = scale();
+    banner(
+        "Exp-7 (beyond paper): branch-parallel GED reasoning makespan",
+        "§IX small-model search as a branch-and-bound scheduler workload",
+    );
+
+    let depth = match scale.name {
+        "full" => 15,
+        _ => 11,
+    };
+    let mut vocab = Vocab::new();
+    let sigma = seeded_workload(&mut vocab, depth, 7);
+    println!(
+        "\nworkload: {} rule(s), choice-tree depth {depth} (~{} branches), unsatisfiable",
+        sigma.len(),
+        1usize << (depth + 1),
+    );
+
+    let workers = [1usize, 2, 4, 8];
+    let mut table = Table::new(&["p", "makespan", "speedup", "branches", "splits", "steals"]);
+    let mut rows: Vec<(usize, Duration, u64, u64, u64)> = Vec::new();
+    let mut base = Duration::ZERO;
+    for &p in &workers {
+        let cfg = GedReasonConfig::with_workers(p).with_ttl(Duration::from_micros(200));
+        let run = ged_sat_with_config(&sigma, &cfg);
+        let outcome = run.outcome.expect("within budget");
+        assert!(!outcome.is_satisfiable(), "workload must be UNSAT");
+        let m = &run.metrics;
+        let makespan = m.makespan().unwrap_or_default();
+        if p == 1 {
+            base = makespan;
+        }
+        table.row(vec![
+            p.to_string(),
+            fmt_duration(makespan),
+            format!(
+                "{:.2}x",
+                base.as_secs_f64() / makespan.as_secs_f64().max(1e-9)
+            ),
+            m.branches.to_string(),
+            m.units_split.to_string(),
+            m.units_stolen.to_string(),
+        ]);
+        rows.push((p, makespan, m.branches, m.units_split, m.units_stolen));
+    }
+
+    println!("\nGED Sat makespan (max per-worker busy time) vs p:");
+    table.print();
+    println!(
+        "\nexpected shape: near-linear makespan reduction while the tree has\n\
+         enough open branches to steal; splits and steals grow with p."
+    );
+
+    let json = render_json(scale.name, depth, base, &rows);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exp7.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+}
+
+fn render_json(
+    scale: &str,
+    depth: usize,
+    base: Duration,
+    rows: &[(usize, Duration, u64, u64, u64)],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"exp7_ged_parallel\",\n");
+    out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    out.push_str(&format!("  \"tree_depth\": {depth},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, (p, makespan, branches, splits, steals)) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {p}, \"makespan_ms\": {:.3}, \"speedup\": {:.2}, \
+             \"branches\": {branches}, \"splits\": {splits}, \"steals\": {steals}}}{}\n",
+            makespan.as_secs_f64() * 1e3,
+            base.as_secs_f64() / makespan.as_secs_f64().max(1e-9),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -7,10 +7,66 @@
 //! consequence cut inside a round. Same answers as `SeqSat`/`SeqImp`,
 //! strictly more work — which is exactly the point of the comparison in
 //! Fig. 5 and Fig. 6(f).
+//!
+//! Since the scheduler port, each round's **premise scan** runs as a
+//! [`Task`] on the shared `gfd-runtime` work-stealing scheduler instead
+//! of a private loop: the cached match lists are chunked into scan units,
+//! every worker evaluates premises against its own clone of the
+//! round-start relation (premise evaluation only path-compresses, so a
+//! clone is semantically inert), and the fired `(rule, match)` pairs are
+//! applied **serially in deterministic order** between rounds. A premise
+//! that a mid-round enforcement would have unlocked simply fires one
+//! round later — the fixpoint (and any conflict) is unchanged because
+//! enforcement is monotone, while the round structure the baseline is
+//! *supposed* to pay for is preserved. Snapshot semantics hold at every
+//! worker count (including the sequential `workers = 1`), so
+//! [`ChaseStats`] round/eval counts are identical across `p` — they can
+//! run higher than the pre-port scan, which applied consequences
+//! mid-round, did for cascading rule orders; that is a uniform shift of
+//! the baseline, not a scan-order artifact.
 
 use gfd_core::{eval_premise, CanonicalGraph, Conflict, EqRel, GfdSet, Operand, PremiseStatus};
 use gfd_graph::NodeId;
 use gfd_match::{find_all_matches, Match};
+use gfd_runtime::sched::{run_scheduler, Task, WorkerCtx};
+use gfd_runtime::{DispatchMode, RunMetrics};
+use std::sync::atomic::AtomicBool;
+use std::time::{Duration, Instant};
+
+/// Scheduler knobs of the chase baseline.
+#[derive(Clone, Debug)]
+pub struct ChaseConfig {
+    /// Worker threads; `1` runs the scan inline on the calling thread.
+    pub workers: usize,
+    /// Straggler threshold for one scan unit: past it, the unit's
+    /// remaining matches are split for idle workers to steal.
+    pub ttl: Duration,
+    /// Matches per initial scan unit.
+    pub batch: usize,
+    /// How units reach the workers.
+    pub dispatch: DispatchMode,
+}
+
+impl Default for ChaseConfig {
+    fn default() -> Self {
+        ChaseConfig {
+            workers: 1,
+            ttl: Duration::from_millis(100),
+            batch: 256,
+            dispatch: DispatchMode::WorkStealing,
+        }
+    }
+}
+
+impl ChaseConfig {
+    /// A config with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        ChaseConfig {
+            workers,
+            ..Self::default()
+        }
+    }
+}
 
 /// Counters reported by the chase.
 #[derive(Clone, Copy, Debug, Default)]
@@ -49,7 +105,79 @@ fn apply_consequence(eq: &mut EqRel, gfd: &gfd_core::Gfd, m: &[NodeId]) -> Resul
     Ok(changed)
 }
 
-/// Chase Σ over `canon` starting from `eq0` until fixpoint or conflict.
+/// A contiguous slice of one rule's cached match list.
+#[derive(Clone, Copy)]
+struct ScanUnit {
+    rule: u32,
+    start: u32,
+    end: u32,
+}
+
+/// Per-worker scan state for one round.
+struct ScanWorker {
+    /// Clone of the round-start relation; mutated only by union-find
+    /// path compression inside `eval_premise`, never by enforcement.
+    eq: EqRel,
+    /// `(rule, match index)` pairs whose premise the snapshot satisfies.
+    fired: Vec<(u32, u32)>,
+    premise_evals: u64,
+}
+
+/// One round's premise scan as a scheduler workload.
+struct ScanTask<'a> {
+    sigma: &'a GfdSet,
+    matches: &'a [Vec<Match>],
+    snapshot: &'a EqRel,
+    ttl: Duration,
+}
+
+impl Task for ScanTask<'_> {
+    type Unit = ScanUnit;
+    type Worker = ScanWorker;
+
+    fn worker(&self, _id: usize) -> ScanWorker {
+        ScanWorker {
+            eq: self.snapshot.clone(),
+            fired: Vec::new(),
+            premise_evals: 0,
+        }
+    }
+
+    fn run_unit(&self, w: &mut ScanWorker, unit: ScanUnit, ctx: &WorkerCtx<'_, ScanUnit>) {
+        let gfd = &self.sigma.as_slice()[unit.rule as usize];
+        let list = &self.matches[unit.rule as usize];
+        let deadline = Instant::now() + self.ttl;
+        for idx in unit.start..unit.end {
+            w.premise_evals += 1;
+            if let PremiseStatus::Satisfied = eval_premise(&mut w.eq, gfd, &list[idx as usize]) {
+                w.fired.push((unit.rule, idx));
+            }
+            // Straggler: offer the rest of the range in two halves (the
+            // back half is what an idle worker will steal).
+            let next = idx + 1;
+            if next < unit.end && Instant::now() >= deadline {
+                let mid = next + (unit.end - next) / 2;
+                let mut rest = vec![ScanUnit {
+                    rule: unit.rule,
+                    start: next,
+                    end: mid,
+                }];
+                if mid < unit.end {
+                    rest.push(ScanUnit {
+                        rule: unit.rule,
+                        start: mid,
+                        end: unit.end,
+                    });
+                }
+                ctx.split(rest);
+                return;
+            }
+        }
+    }
+}
+
+/// Chase Σ over `canon` starting from `eq0` until fixpoint or conflict,
+/// with the default (sequential) configuration.
 ///
 /// Match lists are enumerated once per rule and cached (the graph topology
 /// never changes); every round re-evaluates every premise — the naive part.
@@ -58,7 +186,29 @@ pub fn chase_to_fixpoint(
     canon: &CanonicalGraph,
     eq0: EqRel,
 ) -> (ChaseOutcome, ChaseStats) {
+    let (outcome, stats, _) =
+        chase_to_fixpoint_with_config(sigma, canon, eq0, &ChaseConfig::default());
+    (outcome, stats)
+}
+
+/// Chase Σ over `canon` to fixpoint or conflict, with each round's
+/// premise scan dispatched on the shared work-stealing scheduler. Also
+/// returns the unified scheduler metrics accumulated over all rounds.
+pub fn chase_to_fixpoint_with_config(
+    sigma: &GfdSet,
+    canon: &CanonicalGraph,
+    eq0: EqRel,
+    config: &ChaseConfig,
+) -> (ChaseOutcome, ChaseStats, RunMetrics) {
+    let start = Instant::now();
+    let p = config.workers.max(1);
     let mut stats = ChaseStats::default();
+    let mut metrics = RunMetrics {
+        workers: p,
+        ..Default::default()
+    };
+    metrics.worker_busy = vec![Duration::ZERO; p];
+    metrics.worker_idle = vec![Duration::ZERO; p];
     let mut eq = eq0;
 
     // Enumerate all matches up front (no pivoting, no pruning: naive).
@@ -69,22 +219,69 @@ pub fn chase_to_fixpoint(
         all_matches.push(ms);
     }
 
+    let batch = config.batch.max(1);
     loop {
         stats.rounds += 1;
+
+        // ---- parallel premise scan against the round-start snapshot ----
+        let mut units: Vec<ScanUnit> = Vec::new();
+        for (rule, list) in all_matches.iter().enumerate() {
+            let mut start = 0usize;
+            while start < list.len() {
+                let end = (start + batch).min(list.len());
+                units.push(ScanUnit {
+                    rule: rule as u32,
+                    start: start as u32,
+                    end: end as u32,
+                });
+                start = end;
+            }
+        }
+        let stop = AtomicBool::new(false);
+        let task = ScanTask {
+            sigma,
+            matches: &all_matches,
+            snapshot: &eq,
+            ttl: config.ttl,
+        };
+        metrics.units_generated += units.len();
+        let run = run_scheduler(&task, units, p, config.dispatch, &stop);
+        metrics.units_dispatched += run.units_executed;
+        metrics.units_split += run.units_split;
+        metrics.units_stolen += run.units_stolen;
+        for (acc, d) in metrics.worker_busy.iter_mut().zip(&run.worker_busy) {
+            *acc += *d;
+        }
+        for (acc, d) in metrics.worker_idle.iter_mut().zip(&run.worker_idle) {
+            *acc += *d;
+        }
+
+        let mut fired: Vec<(u32, u32)> = Vec::new();
+        for w in run.workers {
+            stats.premise_evals += w.premise_evals;
+            fired.extend(w.fired);
+        }
+        // Deterministic application order regardless of worker
+        // interleaving: (rule, match index), the sequential scan's order.
+        fired.sort_unstable();
+
+        // ---- serial apply phase ----
         let mut changed = false;
-        for (id, gfd) in sigma.iter() {
-            for m in &all_matches[id.index()] {
-                stats.premise_evals += 1;
-                if let PremiseStatus::Satisfied = eval_premise(&mut eq, gfd, m) {
-                    match apply_consequence(&mut eq, gfd, m) {
-                        Ok(c) => changed |= c,
-                        Err(e) => return (ChaseOutcome::Conflict(e.with_gfd(id)), stats),
-                    }
+        for (rule, idx) in fired {
+            let id = gfd_graph::GfdId::new(rule as usize);
+            let gfd = &sigma.as_slice()[rule as usize];
+            match apply_consequence(&mut eq, gfd, &all_matches[rule as usize][idx as usize]) {
+                Ok(c) => changed |= c,
+                Err(e) => {
+                    metrics.early_terminated = true;
+                    metrics.elapsed = start.elapsed();
+                    return (ChaseOutcome::Conflict(e.with_gfd(id)), stats, metrics);
                 }
             }
         }
         if !changed {
-            return (ChaseOutcome::Fixpoint(eq), stats);
+            metrics.elapsed = start.elapsed();
+            return (ChaseOutcome::Fixpoint(eq), stats, metrics);
         }
     }
 }
@@ -101,34 +298,34 @@ mod tests {
         Gfd::new(name, p, pre, post)
     }
 
-    #[test]
-    fn chase_derives_chains_across_rounds() {
-        let mut vocab = Vocab::new();
+    fn chain_sigma(vocab: &mut Vocab) -> GfdSet {
         let a = vocab.attr("a");
         let b = vocab.attr("b");
         let c = vocab.attr("c");
         let x = VarId::new(0);
         // Deliberately ordered so each round unlocks the next rule.
-        let sigma = GfdSet::from_vec(vec![
+        GfdSet::from_vec(vec![
             unary(
-                &mut vocab,
+                vocab,
                 "b_to_c",
                 vec![Literal::eq_const(x, b, 1i64)],
                 vec![Literal::eq_const(x, c, 1i64)],
             ),
             unary(
-                &mut vocab,
+                vocab,
                 "a_to_b",
                 vec![Literal::eq_const(x, a, 1i64)],
                 vec![Literal::eq_const(x, b, 1i64)],
             ),
-            unary(
-                &mut vocab,
-                "seed",
-                vec![],
-                vec![Literal::eq_const(x, a, 1i64)],
-            ),
-        ]);
+            unary(vocab, "seed", vec![], vec![Literal::eq_const(x, a, 1i64)]),
+        ])
+    }
+
+    #[test]
+    fn chase_derives_chains_across_rounds() {
+        let mut vocab = Vocab::new();
+        let c = vocab.attr("c");
+        let sigma = chain_sigma(&mut vocab);
         let (canon, node_of) = CanonicalGraph::for_sigma(&sigma);
         let (outcome, stats) = chase_to_fixpoint(&sigma, &canon, EqRel::new());
         match outcome {
@@ -177,5 +374,71 @@ mod tests {
         let (outcome, stats) = chase_to_fixpoint(&sigma, &canon, EqRel::new());
         assert!(matches!(outcome, ChaseOutcome::Fixpoint(_)));
         assert_eq!(stats.rounds, 1);
+    }
+
+    /// The scheduler port must not change what the chase derives: every
+    /// worker count, dispatch mode, and a TTL of zero (forced splitting
+    /// with tiny batches) reach the same fixpoint as the sequential scan.
+    #[test]
+    fn scan_parallelism_is_answer_invariant() {
+        let mut vocab = Vocab::new();
+        let c = vocab.attr("c");
+        let sigma = chain_sigma(&mut vocab);
+        let (canon, node_of) = CanonicalGraph::for_sigma(&sigma);
+        for p in [1usize, 2, 8] {
+            for dispatch in [DispatchMode::WorkStealing, DispatchMode::Coordinator] {
+                let cfg = ChaseConfig {
+                    workers: p,
+                    ttl: Duration::ZERO,
+                    batch: 1,
+                    dispatch,
+                };
+                let (outcome, stats, metrics) =
+                    chase_to_fixpoint_with_config(&sigma, &canon, EqRel::new(), &cfg);
+                match outcome {
+                    ChaseOutcome::Fixpoint(mut eq) => {
+                        for nodes in &node_of {
+                            assert!(
+                                eq.deduces_const((nodes[0], c), &Value::int(1)),
+                                "p={p} {dispatch:?}"
+                            );
+                        }
+                    }
+                    ChaseOutcome::Conflict(e) => panic!("p={p} {dispatch:?}: {e}"),
+                }
+                assert!(stats.rounds >= 3);
+                assert_eq!(metrics.workers, p);
+                assert!(metrics.units_dispatched >= metrics.units_generated as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn conflicts_survive_the_parallel_scan() {
+        let mut vocab = Vocab::new();
+        let a = vocab.attr("a");
+        let x = VarId::new(0);
+        let sigma = GfdSet::from_vec(vec![
+            unary(
+                &mut vocab,
+                "zero",
+                vec![],
+                vec![Literal::eq_const(x, a, 0i64)],
+            ),
+            unary(
+                &mut vocab,
+                "one",
+                vec![],
+                vec![Literal::eq_const(x, a, 1i64)],
+            ),
+        ]);
+        let (canon, _) = CanonicalGraph::for_sigma(&sigma);
+        for p in [2usize, 4] {
+            let cfg = ChaseConfig::with_workers(p);
+            let (outcome, _, metrics) =
+                chase_to_fixpoint_with_config(&sigma, &canon, EqRel::new(), &cfg);
+            assert!(matches!(outcome, ChaseOutcome::Conflict(_)), "p={p}");
+            assert!(metrics.early_terminated);
+        }
     }
 }

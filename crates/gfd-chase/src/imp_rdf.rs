@@ -2,8 +2,9 @@
 //! `ParImpRDF`, following Hellings et al. \[5\] with triple patterns
 //! represented as graphs).
 
-use crate::chase::{chase_to_fixpoint, ChaseOutcome, ChaseStats};
+use crate::chase::{chase_to_fixpoint_with_config, ChaseConfig, ChaseOutcome, ChaseStats};
 use gfd_core::{consequence_deducible, CanonicalGraph, Gfd, GfdSet, ImpOutcome, ImpliedVia};
+use gfd_runtime::RunMetrics;
 use std::time::{Duration, Instant};
 
 /// Result of a chase-based implication check.
@@ -13,6 +14,8 @@ pub struct ChaseImpResult {
     pub outcome: ImpOutcome,
     /// Chase counters.
     pub stats: ChaseStats,
+    /// Unified scheduler metrics, accumulated over all chase rounds.
+    pub metrics: RunMetrics,
     /// Wall-clock time.
     pub elapsed: Duration,
 }
@@ -28,13 +31,20 @@ impl ChaseImpResult {
 /// consequence. No dependency ordering, no inverted index, no intra-round
 /// early exit — the baseline `SeqImp` beats by ~1.4× in Fig. 5.
 pub fn chase_imp(sigma: &GfdSet, phi: &Gfd) -> ChaseImpResult {
+    chase_imp_with_config(sigma, phi, &ChaseConfig::default())
+}
+
+/// [`chase_imp`] with the per-round premise scan dispatched on the
+/// shared scheduler.
+pub fn chase_imp_with_config(sigma: &GfdSet, phi: &Gfd, config: &ChaseConfig) -> ChaseImpResult {
     let start = Instant::now();
-    let mut stats = ChaseStats::default();
+    let stats = ChaseStats::default();
 
     if phi.consequence.is_empty() {
         return ChaseImpResult {
             outcome: ImpOutcome::Implied(ImpliedVia::Consequence),
             stats,
+            metrics: RunMetrics::default(),
             elapsed: start.elapsed(),
         };
     }
@@ -44,13 +54,13 @@ pub fn chase_imp(sigma: &GfdSet, phi: &Gfd) -> ChaseImpResult {
             return ChaseImpResult {
                 outcome: ImpOutcome::Implied(ImpliedVia::PremiseInconsistent),
                 stats,
+                metrics: RunMetrics::default(),
                 elapsed: start.elapsed(),
             }
         }
     };
 
-    let (outcome, chase_stats) = chase_to_fixpoint(sigma, &canon, eqx);
-    stats = chase_stats;
+    let (outcome, stats, metrics) = chase_to_fixpoint_with_config(sigma, &canon, eqx, config);
     let outcome = match outcome {
         ChaseOutcome::Conflict(c) => ImpOutcome::Implied(ImpliedVia::Conflict(c)),
         ChaseOutcome::Fixpoint(mut eq) => {
@@ -64,6 +74,7 @@ pub fn chase_imp(sigma: &GfdSet, phi: &Gfd) -> ChaseImpResult {
     ChaseImpResult {
         outcome,
         stats,
+        metrics,
         elapsed: start.elapsed(),
     }
 }

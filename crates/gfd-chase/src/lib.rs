@@ -4,7 +4,9 @@
 //! RDF FDs (`ParImpRDF`, Fig. 5 and Fig. 6(f)). This crate provides:
 //!
 //! * [`chase`] — a naive round-based fixpoint chase over canonical graphs
-//!   (no ordering, no inverted index, full re-scans);
+//!   (no ordering, no inverted index, full re-scans); each round's
+//!   premise scan runs as a `gfd_runtime::Task` on the shared
+//!   work-stealing scheduler and reports unified `RunMetrics`;
 //! * [`imp_rdf::chase_imp`] — implication checking via the chase;
 //! * [`sat_chase::chase_sat`] — satisfiability via the chase;
 //! * [`rule`] — RDF triple-pattern FDs and their embedding into GFDs
@@ -17,7 +19,9 @@ pub mod imp_rdf;
 pub mod rule;
 pub mod sat_chase;
 
-pub use chase::{chase_to_fixpoint, ChaseOutcome, ChaseStats};
-pub use imp_rdf::{chase_imp, ChaseImpResult};
+pub use chase::{
+    chase_to_fixpoint, chase_to_fixpoint_with_config, ChaseConfig, ChaseOutcome, ChaseStats,
+};
+pub use imp_rdf::{chase_imp, chase_imp_with_config, ChaseImpResult};
 pub use rule::{RdfConstraint, RdfFd, TriplePattern};
-pub use sat_chase::{chase_sat, ChaseSatResult};
+pub use sat_chase::{chase_sat, chase_sat_with_config, ChaseSatResult};

@@ -5,8 +5,9 @@
 //! over `GΣ` to fixpoint and report conflicts, without early termination
 //! inside a round, ordering, or pending indexes.
 
-use crate::chase::{chase_to_fixpoint, ChaseOutcome, ChaseStats};
+use crate::chase::{chase_to_fixpoint_with_config, ChaseConfig, ChaseOutcome, ChaseStats};
 use gfd_core::{extract_model, CanonicalGraph, EqRel, GfdSet, SatOutcome};
+use gfd_runtime::RunMetrics;
 use std::time::{Duration, Instant};
 
 /// Result of a chase-based satisfiability check.
@@ -16,6 +17,8 @@ pub struct ChaseSatResult {
     pub outcome: SatOutcome,
     /// Chase counters.
     pub stats: ChaseStats,
+    /// Unified scheduler metrics, accumulated over all chase rounds.
+    pub metrics: RunMetrics,
     /// Wall-clock time.
     pub elapsed: Duration,
 }
@@ -27,18 +30,27 @@ impl ChaseSatResult {
     }
 }
 
-/// Check the satisfiability of Σ by chasing `GΣ` to fixpoint.
+/// Check the satisfiability of Σ by chasing `GΣ` to fixpoint with the
+/// default (sequential) configuration.
 pub fn chase_sat(sigma: &GfdSet) -> ChaseSatResult {
+    chase_sat_with_config(sigma, &ChaseConfig::default())
+}
+
+/// Check the satisfiability of Σ by chasing `GΣ` to fixpoint, the
+/// per-round premise scan running on the shared scheduler.
+pub fn chase_sat_with_config(sigma: &GfdSet, config: &ChaseConfig) -> ChaseSatResult {
     let start = Instant::now();
     if sigma.is_empty() {
         return ChaseSatResult {
             outcome: SatOutcome::Satisfiable(Box::new(gfd_graph::Graph::new())),
             stats: ChaseStats::default(),
+            metrics: RunMetrics::default(),
             elapsed: start.elapsed(),
         };
     }
     let (canon, _) = CanonicalGraph::for_sigma(sigma);
-    let (outcome, stats) = chase_to_fixpoint(sigma, &canon, EqRel::new());
+    let (outcome, stats, metrics) =
+        chase_to_fixpoint_with_config(sigma, &canon, EqRel::new(), config);
     let outcome = match outcome {
         ChaseOutcome::Conflict(c) => SatOutcome::Unsatisfiable(c),
         ChaseOutcome::Fixpoint(mut eq) => {
@@ -48,6 +60,7 @@ pub fn chase_sat(sigma: &GfdSet) -> ChaseSatResult {
     ChaseSatResult {
         outcome,
         stats,
+        metrics,
         elapsed: start.elapsed(),
     }
 }

@@ -25,7 +25,8 @@ Streaming mode (requires exactly one selected graph):
                      of re-detecting from scratch; prints per-batch stats
                      (and per-batch scheduler metrics under --metrics)
   --compact-frac F   overlay compaction threshold as a fraction of the
-                     base edge count (default 0.25)
+                     base edge count (default 0.25; 0.0 compacts after
+                     every batch; must be non-negative and finite)
 Exit code: 0 clean, 1 violations found, 2 error.
 ";
 
@@ -45,9 +46,22 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     let stream = args.opt_str("stream")?.map(str::to_string);
     let compact_frac = match args.opt_str("compact-frac")? {
         None => 0.25,
-        Some(v) => v
-            .parse::<f64>()
-            .map_err(|_| ArgError::new(format!("--compact-frac expects a number, got `{v}`")))?,
+        Some(v) => {
+            let f = v.parse::<f64>().map_err(|_| {
+                ArgError::new(format!("--compact-frac expects a number, got `{v}`"))
+            })?;
+            // One source of truth for the accepted range: the library
+            // validator (whose failure mode there is a panic, not an
+            // error the CLI could surface).
+            let probe = gfd_incr::IncrConfig {
+                compact_fraction: f,
+                ..gfd_incr::IncrConfig::default()
+            };
+            probe
+                .validate()
+                .map_err(|msg| ArgError::new(format!("--compact-frac: {msg}")))?;
+            f
+        }
     };
     args.finish()?;
 
@@ -129,42 +143,6 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     Ok(if dirty { 1 } else { 0 })
 }
 
-/// Check every node reference in the log against the node count the
-/// graph will have at that point of the replay (the library asserts on
-/// bad ids; the CLI must reject them as a normal exit-2 error instead).
-fn validate_node_refs(
-    batches: &[gfd_graph::DeltaBatch],
-    mut node_count: usize,
-) -> Result<(), String> {
-    use gfd_graph::DeltaOp;
-    for (bi, batch) in batches.iter().enumerate() {
-        for op in &batch.ops {
-            let check = |n: gfd_graph::NodeId| {
-                if n.index() >= node_count {
-                    Err(format!(
-                        "batch {} refers to node {} but only {} node(s) exist at that \
-                         point of the replay",
-                        bi + 1,
-                        n.index(),
-                        node_count,
-                    ))
-                } else {
-                    Ok(())
-                }
-            };
-            match op {
-                DeltaOp::AddNode { .. } => node_count += 1,
-                DeltaOp::AddEdge { src, dst, .. } | DeltaOp::DelEdge { src, dst, .. } => {
-                    check(*src)?;
-                    check(*dst)?;
-                }
-                DeltaOp::SetAttr { node, .. } => check(*node)?,
-            }
-        }
-    }
-    Ok(())
-}
-
 /// Replay a delta log against one graph, keeping the violation set live
 /// through the incremental engine.
 #[allow(clippy::too_many_arguments)]
@@ -195,10 +173,11 @@ fn run_stream(
     };
     let log_src = std::fs::read_to_string(log_path)
         .map_err(|e| ArgError::new(format!("cannot read {log_path}: {e}")))?;
-    let batches = gfd_io::parse_delta_log(&log_src, vocab)
+    // The bounded parse rejects references to nodes that will not exist
+    // at that point of the replay, with the offending line number — the
+    // library panics on bad ids; the CLI reports a normal exit-2 error.
+    let batches = gfd_io::parse_delta_log_for(&log_src, vocab, graph.node_count())
         .map_err(|e| ArgError::new(format!("bad delta log {log_path}: {e}")))?;
-    validate_node_refs(&batches, graph.node_count())
-        .map_err(|msg| ArgError::new(format!("bad delta log {log_path}: {msg}")))?;
 
     let incr_config = gfd_incr::IncrConfig {
         detect: config,

@@ -2,19 +2,41 @@
 //! commands (§IX of the paper).
 
 use crate::args::{load_document, ArgError, Parsed};
-use crate::output::fmt_duration;
-use gfd_ged::{ged_implies, ged_sat, resolve_entities, Ged, GedLiteral, GedSet, Key};
+use crate::output::{fmt_duration, fmt_metrics};
+use gfd_ged::{
+    ged_implies_with_config, ged_sat_with_config, resolve_entities, Ged, GedLiteral,
+    GedReasonConfig, Key,
+};
 use std::io::Write;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Parse the scheduler flags shared by `ged-sat` and `ged-imp`.
+fn reason_config(args: &Parsed) -> Result<GedReasonConfig, ArgError> {
+    let workers = args.opt_usize("workers", 1)?;
+    let ttl = Duration::from_millis(args.opt_u64("ttl-ms", 100)?);
+    let max_branches = args.opt_usize("max-branches", 1_000_000)?;
+    if max_branches == 0 {
+        return Err(ArgError::new("--max-branches must be positive"));
+    }
+    Ok(GedReasonConfig::with_workers(workers.max(1))
+        .with_ttl(ttl)
+        .with_max_branches(max_branches))
+}
 
 const SAT_HELP: &str = "\
-gfd ged-sat FILE [--witness]
+gfd ged-sat FILE [--witness] [--workers N] [--ttl-ms T] [--max-branches B]
+                 [--metrics]
 
 Checks whether the rules in FILE (both `ged` and `gfd` blocks, the latter
 lifted) have a common model, using the GED chase with order predicates,
-id literals and disjunction.
-  --witness    print the extracted model when one exists
-Exit code: 0 satisfiable, 1 unsatisfiable, 2 error.
+id literals and disjunction. The branch search runs on the shared
+work-stealing scheduler; the first model found cancels the run.
+  --witness        print the extracted model when one exists
+  --workers N      parallel workers (default 1 = the sequential search)
+  --ttl-ms T       straggler-splitting TTL in milliseconds (default 100)
+  --max-branches B branch budget (default 1000000); exhaustion exits 2
+  --metrics        print scheduler metrics (branches, splits, steals, idle)
+Exit code: 0 satisfiable, 1 unsatisfiable, 2 error or budget exhausted.
 ";
 
 pub(crate) fn run_sat(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
@@ -24,6 +46,8 @@ pub(crate) fn run_sat(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError
     }
     let path = args.positional(0, "FILE")?.to_string();
     let witness = args.flag("witness");
+    let show_metrics = args.flag("metrics");
+    let cfg = reason_config(&args)?;
     args.finish()?;
 
     let mut vocab = gfd_graph::Vocab::new();
@@ -32,16 +56,30 @@ pub(crate) fn run_sat(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError
     if sigma.is_empty() {
         return Err(ArgError::new(format!("{path} contains no rules")));
     }
-    let _ = writeln!(out, "{}: {} rule(s) (as GEDs)", path, sigma.len());
-    let start = Instant::now();
-    let outcome = ged_sat(&sigma);
-    let elapsed = start.elapsed();
+    let _ = writeln!(
+        out,
+        "{}: {} rule(s) (as GEDs), {} worker(s)",
+        path,
+        sigma.len(),
+        cfg.workers
+    );
+    let run = ged_sat_with_config(&sigma, &cfg);
+    let Some(outcome) = run.outcome else {
+        return Err(ArgError::new(format!(
+            "branch budget ({}) exhausted before the search completed; \
+             raise --max-branches",
+            cfg.max_branches
+        )));
+    };
     let verdict = if outcome.is_satisfiable() {
         "SATISFIABLE"
     } else {
         "UNSATISFIABLE"
     };
-    let _ = writeln!(out, "{verdict} ({})", fmt_duration(elapsed));
+    let _ = writeln!(out, "{verdict} ({})", fmt_duration(run.metrics.elapsed));
+    if show_metrics {
+        let _ = write!(out, "{}", fmt_metrics(&run.metrics));
+    }
     if witness {
         match outcome.witness() {
             Some(w) => {
@@ -60,11 +98,18 @@ pub(crate) fn run_sat(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError
 }
 
 const IMP_HELP: &str = "\
-gfd ged-imp FILE --phi NAME
+gfd ged-imp FILE --phi NAME [--workers N] [--ttl-ms T] [--max-branches B]
+                 [--metrics]
 
 Checks whether the other rules in FILE imply rule NAME, under GED
-semantics (order predicates, id literals, disjunction).
-Exit code: 0 implied, 1 not implied, 2 error.
+semantics (order predicates, id literals, disjunction). The branch
+search runs on the shared work-stealing scheduler; the first
+counterexample found cancels the run.
+  --workers N      parallel workers (default 1 = the sequential search)
+  --ttl-ms T       straggler-splitting TTL in milliseconds (default 100)
+  --max-branches B branch budget (default 1000000); exhaustion exits 2
+  --metrics        print scheduler metrics (branches, splits, steals, idle)
+Exit code: 0 implied, 1 not implied, 2 error or budget exhausted.
 ";
 
 pub(crate) fn run_imp(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
@@ -77,12 +122,14 @@ pub(crate) fn run_imp(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError
         .opt_str("phi")?
         .ok_or_else(|| ArgError::new("ged-imp requires --phi NAME"))?
         .to_string();
+    let show_metrics = args.flag("metrics");
+    let cfg = reason_config(&args)?;
     args.finish()?;
 
     let mut vocab = gfd_graph::Vocab::new();
     let doc = load_document(&path, &mut vocab)?;
     let all = doc.all_as_geds();
-    let mut sigma = GedSet::new();
+    let mut sigma = gfd_ged::GedSet::new();
     let mut phi: Option<Ged> = None;
     for (_, ged) in all.iter() {
         if ged.name == phi_name {
@@ -94,15 +141,25 @@ pub(crate) fn run_imp(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError
     let phi = phi.ok_or_else(|| ArgError::new(format!("no rule named `{phi_name}` in {path}")))?;
     let _ = writeln!(
         out,
-        "Σ: {} rule(s); ψ = {}",
+        "Σ: {} rule(s); ψ = {}; {} worker(s)",
         sigma.len(),
-        phi.display(&vocab)
+        phi.display(&vocab),
+        cfg.workers
     );
-    let start = Instant::now();
-    let implied = ged_implies(&sigma, &phi).is_implied();
-    let elapsed = start.elapsed();
+    let run = ged_implies_with_config(&sigma, &phi, &cfg);
+    let Some(outcome) = run.outcome else {
+        return Err(ArgError::new(format!(
+            "branch budget ({}) exhausted before the search completed; \
+             raise --max-branches",
+            cfg.max_branches
+        )));
+    };
+    let implied = outcome.is_implied();
     let verdict = if implied { "IMPLIED" } else { "NOT IMPLIED" };
-    let _ = writeln!(out, "{verdict} ({})", fmt_duration(elapsed));
+    let _ = writeln!(out, "{verdict} ({})", fmt_duration(run.metrics.elapsed));
+    if show_metrics {
+        let _ = write!(out, "{}", fmt_metrics(&run.metrics));
+    }
     Ok(if implied { 0 } else { 1 })
 }
 

@@ -314,6 +314,97 @@ mod tests {
     }
 
     #[test]
+    fn ged_commands_take_scheduler_flags() {
+        let dir = std::env::temp_dir().join("gfd-cli-test-ged-sched");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rules.gfd");
+        std::fs::write(
+            &path,
+            "ged lo { pattern { node x: _ } then { x.a < 5 } }\n\
+             ged hi { pattern { node x: _ } then { x.a > 7 } }\n\
+             ged q  { pattern { node x: _ } then { x.a < 9 } }\n",
+        )
+        .unwrap();
+        let (code, text) = run_vec(&[
+            "ged-sat",
+            path.to_str().unwrap(),
+            "--workers",
+            "4",
+            "--metrics",
+        ]);
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("UNSATISFIABLE"), "{text}");
+        assert!(text.contains("4 worker(s)"), "{text}");
+        assert!(text.contains("branches explored"), "{text}");
+        assert!(text.contains("units:"), "{text}");
+
+        let (code, text) = run_vec(&[
+            "ged-imp",
+            path.to_str().unwrap(),
+            "--phi",
+            "q",
+            "--workers",
+            "2",
+            "--metrics",
+        ]);
+        // Σ = {lo, hi} is unsatisfiable, so anything is implied.
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("IMPLIED"), "{text}");
+        assert!(text.contains("branches explored"), "{text}");
+
+        // A starved branch budget is a clean exit-2 error, not a panic.
+        // The disjunctions force a choice tree deeper than one branch.
+        let deep = dir.join("deep.gfd");
+        std::fs::write(
+            &deep,
+            "ged d0 { pattern { node x: _ } then { x.a = 0 } or { x.a = 1 } }\n\
+             ged d1 { pattern { node x: _ } then { x.a = 2 } or { x.a = 3 } }\n",
+        )
+        .unwrap();
+        let (code, text) = run_vec(&["ged-sat", deep.to_str().unwrap(), "--max-branches", "1"]);
+        assert_eq!(code, 2, "{text}");
+        assert!(text.contains("branch budget"), "{text}");
+    }
+
+    #[test]
+    fn bad_compact_frac_values_are_rejected() {
+        let dir = std::env::temp_dir().join("gfd-cli-test-compact-frac");
+        std::fs::create_dir_all(&dir).unwrap();
+        let rules = dir.join("rules.gfd");
+        std::fs::write(
+            &rules,
+            "graph g { node a: t { v = 1 } }\n\
+             gfd r { pattern { node x: t } then { x.v = 1 } }\n",
+        )
+        .unwrap();
+        let log = dir.join("log.delta");
+        std::fs::write(&log, "batch\nattr 0 v=2\n").unwrap();
+
+        for bad in ["NaN", "-0.5", "inf", "-inf"] {
+            let (code, text) = run_vec(&[
+                "detect",
+                rules.to_str().unwrap(),
+                "--stream",
+                log.to_str().unwrap(),
+                "--compact-frac",
+                bad,
+            ]);
+            assert_eq!(code, 2, "`{bad}` accepted: {text}");
+            assert!(text.contains("--compact-frac"), "{text}");
+        }
+        // 0.0 is legal: compact after every batch.
+        let (code, text) = run_vec(&[
+            "detect",
+            rules.to_str().unwrap(),
+            "--stream",
+            log.to_str().unwrap(),
+            "--compact-frac",
+            "0.0",
+        ]);
+        assert_eq!(code, 1, "{text}"); // the attr write breaks the rule
+    }
+
+    #[test]
     fn end_to_end_gen_then_fmt() {
         let (code, text) = run_vec(&["gen", "--rules", "5", "--k", "3", "--l", "2", "--seed", "7"]);
         assert_eq!(code, 0, "{text}");

@@ -25,6 +25,9 @@ pub fn fmt_metrics(m: &RunMetrics) -> String {
         "  matches: {} ({} pending, {} rechecks)\n",
         m.matches, m.pending, m.rechecks
     ));
+    if m.branches > 0 {
+        out.push_str(&format!("  branches explored: {}\n", m.branches));
+    }
     if let Some(ms) = m.makespan() {
         out.push_str(&format!(
             "  makespan: {} (idle: {})\n",

@@ -183,8 +183,10 @@ impl CanonicalGraph {
 
 /// Choose the pivot variable of a pattern: the most selective label under
 /// `index`, ties broken towards higher degree (paper §V-B: "ideally we pick
-/// a pivot that is selective; nonetheless any node can serve").
-pub fn choose_pivot(pattern: &Pattern, index: &LabelIndex) -> VarId {
+/// a pivot that is selective; nonetheless any node can serve"). Works
+/// against any `MatchIndex` so the streaming pipeline can re-pivot on
+/// delta-adjusted frequencies.
+pub fn choose_pivot<I: gfd_graph::MatchIndex>(pattern: &Pattern, index: &I) -> VarId {
     pattern
         .vars()
         .min_by_key(|&v| {

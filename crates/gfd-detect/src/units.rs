@@ -6,7 +6,7 @@
 //! prefix-assignment units exactly like `ParSat`'s Example 6.
 
 use gfd_core::GfdSet;
-use gfd_graph::{GfdId, LabelIndex, NodeId, VarId};
+use gfd_graph::{GfdId, MatchIndex, NodeId, VarId};
 use gfd_match::MatchPlan;
 
 /// A unit of detection work.
@@ -48,8 +48,11 @@ pub struct RulePlans {
 
 impl RulePlans {
     /// Choose pivots (most selective label, highest degree) and build
-    /// pivoted plans for every rule against the data-graph index.
-    pub fn build(sigma: &GfdSet, index: &LabelIndex) -> Self {
+    /// pivoted plans for every rule against the data-graph index. Any
+    /// [`MatchIndex`] serves: the incremental engine re-plans against its
+    /// `DeltaIndex` after each batch, so pivots and variable orders track
+    /// the overlay-adjusted frequencies rather than the frozen base.
+    pub fn build<I: MatchIndex>(sigma: &GfdSet, index: &I) -> Self {
         let mut pivots = Vec::with_capacity(sigma.len());
         let mut plans = Vec::with_capacity(sigma.len());
         for (_, gfd) in sigma.iter() {
@@ -66,9 +69,9 @@ impl RulePlans {
 ///
 /// Rules are interleaved round-robin so that early termination (violation
 /// budget) sees a sample of every rule rather than exhausting rule 0 first.
-pub fn initial_units(
+pub fn initial_units<I: MatchIndex>(
     sigma: &GfdSet,
-    index: &LabelIndex,
+    index: &I,
     plans: &RulePlans,
     batch_size: usize,
 ) -> Vec<DetectUnit> {
@@ -122,7 +125,7 @@ pub fn units_for_pivots(
 mod tests {
     use super::*;
     use gfd_core::{Gfd, Literal};
-    use gfd_graph::{Graph, Pattern, Vocab};
+    use gfd_graph::{Graph, LabelIndex, Pattern, Vocab};
 
     fn two_rule_setup() -> (Graph, GfdSet, Vocab) {
         let mut vocab = Vocab::new();

@@ -3,7 +3,7 @@
 //!
 //! The algorithm generalizes `SeqImp` (§VI-B). Build the canonical graph
 //! `G^X_Q` of ψ (the pattern as a graph, variable `i` = node `i`) and
-//! assert the premise `X` into a [`GedStore`]; if `X` is already
+//! assert the premise `X` into a [`GedStore`](crate::store::GedStore); if `X` is already
 //! inconsistent, ψ holds vacuously. Then run the shared enforcement scan
 //! (`crate::chase`) — but where satisfiability asks *does some branch
 //! survive*, implication asks *does every branch reach the goal*:
@@ -20,10 +20,13 @@
 //!   x.A ≥ 3` which every model satisfies) is resolved by branching both
 //!   ways; implication must hold in both.
 
-use crate::chase::{fixpoint_round, NextStep};
-use crate::ged::{Ged, GedLiteral, GedSet};
-use crate::store::GedStore;
-use gfd_graph::{Graph, NodeId};
+//!
+//! Since the scheduler port, the branch search lives in [`crate::driver`]
+//! (each open branch is a work unit on the shared `gfd-runtime`
+//! scheduler) and [`ged_implies`] is the `workers = 1` instantiation.
+
+use crate::driver::{ged_implies_with_config, GedReasonConfig};
+use crate::ged::{Ged, GedSet};
 
 /// The result of an implication check.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,133 +44,24 @@ impl GedImpOutcome {
     }
 }
 
-/// Branch budget guard, as in [`crate::sat`].
-const MAX_BRANCHES: usize = 1_000_000;
-
-/// Decide whether `sigma` implies `phi`.
+/// Decide whether `sigma` implies `phi` — the sequential (`workers = 1`)
+/// instantiation of the shared scheduler driver.
+///
+/// # Panics
+///
+/// If the default branch budget (10⁶) is exhausted. Use
+/// [`ged_implies_with_config`]
+/// to choose the budget and observe exhaustion as `outcome: None`.
 pub fn ged_implies(sigma: &GedSet, phi: &Ged) -> GedImpOutcome {
-    let base = phi.pattern.to_graph();
-    let identity: Vec<NodeId> = (0..phi.pattern.node_count()).map(NodeId::new).collect();
-    let mut store = GedStore::new(&base);
-    // Assert X; an inconsistent premise makes ψ vacuously true.
-    for lit in &phi.premise {
-        if store.assert_literal(lit, &identity).is_err() {
-            return GedImpOutcome::Implied;
-        }
-    }
-    let mut search = ImpSearch {
-        sigma,
-        phi,
-        base,
-        identity,
-        branches: 0,
-    };
-    if search.holds(store) {
-        GedImpOutcome::Implied
-    } else {
-        GedImpOutcome::NotImplied
-    }
-}
-
-struct ImpSearch<'a> {
-    sigma: &'a GedSet,
-    phi: &'a Ged,
-    base: Graph,
-    identity: Vec<NodeId>,
-    branches: usize,
-}
-
-impl ImpSearch<'_> {
-    /// Does the goal (conflict or `Y` deduced) hold on *every* model of
-    /// every branch reachable from `store`?
-    fn holds(&mut self, mut store: GedStore) -> bool {
-        self.branches += 1;
-        assert!(
-            self.branches <= MAX_BRANCHES,
-            "GED implication search exceeded the branch budget"
-        );
-        match fixpoint_round(self.sigma, &self.base, &mut store) {
-            NextStep::Fail => true, // inconsistent: vacuously fine
-            NextStep::Quiescent => self.goal_holds(store),
-            NextStep::ChooseDisjunct(ged_idx, m) => {
-                // Every model satisfies some disjunct: the family is the
-                // union of the disjunct branches; all must reach the goal.
-                let disjuncts = self
-                    .sigma
-                    .get(gfd_graph::GfdId::new(ged_idx))
-                    .disjuncts
-                    .clone();
-                disjuncts.iter().all(|disjunct| {
-                    let mut branch = store.clone();
-                    let ok = disjunct
-                        .iter()
-                        .all(|lit| branch.assert_literal(lit, &m).is_ok());
-                    !ok || self.holds(branch)
-                })
-            }
-            NextStep::BranchPremise(ged_idx, lit_idx, m) => {
-                let lit = self.sigma.get(gfd_graph::GfdId::new(ged_idx)).premise[lit_idx].clone();
-                self.both_ways(&store, &lit, &m)
-            }
-        }
-    }
-
-    /// Split the model family on `lit` (which is grounded): every model
-    /// satisfies `lit` or `¬lit`, so implication must hold on both sides.
-    fn both_ways(&mut self, store: &GedStore, lit: &GedLiteral, m: &[NodeId]) -> bool {
-        let mut neg = store.clone();
-        let neg_ok = match neg.assert_negation(lit, m) {
-            Ok(_) => self.holds(neg),
-            Err(_) => true, // ¬lit inconsistent: that side is empty
-        };
-        if !neg_ok {
-            return false;
-        }
-        let mut pos = store.clone();
-        match pos.assert_literal(lit, m) {
-            Ok(_) => self.holds(pos),
-            Err(_) => true,
-        }
-    }
-
-    /// Goal test at a quiescent leaf.
-    fn goal_holds(&mut self, mut store: GedStore) -> bool {
-        // Some disjunct fully entailed → Y deduced.
-        let entailed = self.phi.disjuncts.iter().any(|d| {
-            d.iter()
-                .all(|lit| store.literal_entailed(lit, &self.identity))
-        });
-        if entailed {
-            return true;
-        }
-        // Look for an undetermined grounded attribute literal in Y: the
-        // family contains models on both sides of it, so split.
-        for disjunct in &self.phi.disjuncts {
-            for lit in disjunct {
-                if matches!(lit, GedLiteral::Id { .. }) {
-                    continue; // falsified by keeping nodes distinct
-                }
-                if store.literal_grounded(lit, &self.identity)
-                    && !store.literal_entailed(lit, &self.identity)
-                    && !store.literal_refuted(lit, &self.identity)
-                {
-                    let lit = lit.clone();
-                    let m = self.identity.clone();
-                    return self.both_ways(&store, &lit, &m);
-                }
-            }
-        }
-        // Every disjunct has a literal that the generic minimal model
-        // falsifies (refuted, absent attribute, or unmerged nodes):
-        // counterexample.
-        false
-    }
+    ged_implies_with_config(sigma, phi, &GedReasonConfig::default())
+        .outcome
+        .expect("GED implication search exceeded the branch budget")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ged::{CmpOp, GedSet};
+    use crate::ged::{CmpOp, GedLiteral, GedSet};
     use gfd_graph::{LabelId, Pattern, Vocab};
 
     fn wildcard_node() -> Pattern {

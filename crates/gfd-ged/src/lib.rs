@@ -27,10 +27,21 @@
 //! PODS 2017), (b) an order-constraint network solved by SCC condensation,
 //! and (c) backtracking over consequence disjuncts. Satisfiability remains
 //! coNP — the branching search is exact, not heuristic.
+//!
+//! Both searches run as branch-and-bound [`gfd_runtime::Task`] workloads
+//! on the shared work-stealing scheduler ([`driver`]): each open branch
+//! is a work unit carrying its own copy-on-branch [`GedStore`], the stop
+//! flag cancels the run on the first SAT witness (or first implication
+//! counterexample), and TTL straggler splitting hands open branches to
+//! idle workers. [`ged_sat`]/[`ged_implies`] are the `workers = 1`
+//! instantiation; [`ged_sat_with_config`]/[`ged_implies_with_config`]
+//! expose the worker count, TTL, dispatch mode and branch budget, and
+//! report the unified [`gfd_runtime::RunMetrics`].
 
 #![warn(missing_docs)]
 
 mod chase;
+pub mod driver;
 pub mod ged;
 pub mod imp;
 pub mod keys;
@@ -40,6 +51,9 @@ pub mod sat;
 pub mod store;
 pub mod validate;
 
+pub use driver::{
+    ged_implies_with_config, ged_sat_with_config, GedImpRun, GedReasonConfig, GedSatRun,
+};
 pub use ged::{CmpOp, Ged, GedLiteral, GedSet};
 pub use imp::{ged_implies, GedImpOutcome};
 pub use keys::{resolve_entities, AttrConflict, Key, ResolutionResult};

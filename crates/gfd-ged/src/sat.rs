@@ -22,8 +22,14 @@
 //! The search is exact and exponential in the worst case, as it must be
 //! (GFD satisfiability is already coNP-complete). Every branch asserts at
 //! least one new fact over a finite fact space, so it terminates.
+//!
+//! Since the scheduler port, the search itself lives in
+//! [`crate::driver`]: each open branch is a work unit on the shared
+//! `gfd-runtime` work-stealing scheduler, and [`ged_sat`] is simply the
+//! `workers = 1` instantiation of that driver — there is no separate
+//! sequential code path.
 
-use crate::chase::{fixpoint_round, NextStep};
+use crate::driver::{ged_sat_with_config, GedReasonConfig};
 use crate::ged::GedSet;
 use crate::store::GedStore;
 use gfd_graph::{Graph, NodeId};
@@ -56,101 +62,26 @@ impl GedSatOutcome {
     }
 }
 
-/// Budget guard: the exact search is exponential in pathological inputs;
-/// the public API caps the number of explored branches (far above anything
-/// the tests or generators produce) and panics loudly if exceeded, rather
-/// than silently looping.
-const MAX_BRANCHES: usize = 1_000_000;
-
-struct SatSearch<'a> {
-    sigma: &'a GedSet,
-    base: Graph,
-    branches: usize,
-}
-
-/// Check satisfiability of a set of GEDs.
+/// Check satisfiability of a set of GEDs — the sequential (`workers = 1`)
+/// instantiation of the shared scheduler driver.
+///
+/// # Panics
+///
+/// If the default branch budget (10⁶, far above anything the tests or
+/// generators produce) is exhausted. Use
+/// [`ged_sat_with_config`] to choose
+/// the budget and observe exhaustion as `outcome: None` instead.
 pub fn ged_sat(sigma: &GedSet) -> GedSatOutcome {
-    if sigma.is_empty() {
-        // The empty set is modelled by any single-node graph.
-        let mut g = Graph::new();
-        g.add_node(gfd_graph::LabelId::WILDCARD);
-        return GedSatOutcome::Satisfiable { witness: Some(g) };
-    }
-    // Canonical graph: disjoint union of all patterns.
-    let mut base = Graph::new();
-    for (_, ged) in sigma.iter() {
-        base.append_disjoint(&ged.pattern.to_graph());
-    }
-    let mut search = SatSearch {
-        sigma,
-        base,
-        branches: 0,
-    };
-    let store = GedStore::new(&search.base);
-    match search.solve(store) {
-        Some(mut store) => {
-            let witness = extract_witness(&mut store, &search.base);
-            GedSatOutcome::Satisfiable { witness }
-        }
-        None => GedSatOutcome::Unsatisfiable,
-    }
-}
-
-impl SatSearch<'_> {
-    fn solve(&mut self, mut store: GedStore) -> Option<GedStore> {
-        self.branches += 1;
-        assert!(
-            self.branches <= MAX_BRANCHES,
-            "GED satisfiability search exceeded the branch budget"
-        );
-        match fixpoint_round(self.sigma, &self.base, &mut store) {
-            NextStep::Fail => None,
-            NextStep::Quiescent => Some(store),
-            NextStep::ChooseDisjunct(ged_idx, m) => {
-                let disjuncts = self
-                    .sigma
-                    .get(gfd_graph::GfdId::new(ged_idx))
-                    .disjuncts
-                    .clone();
-                for disjunct in &disjuncts {
-                    let mut branch = store.clone();
-                    let ok = disjunct
-                        .iter()
-                        .all(|lit| branch.assert_literal(lit, &m).is_ok());
-                    if ok {
-                        if let Some(solved) = self.solve(branch) {
-                            return Some(solved);
-                        }
-                    }
-                }
-                None
-            }
-            NextStep::BranchPremise(ged_idx, lit_idx, m) => {
-                let lit = self.sigma.get(gfd_graph::GfdId::new(ged_idx)).premise[lit_idx].clone();
-                // Falsify first: a dead premise needs no enforcement.
-                let mut neg = store.clone();
-                if neg.assert_negation(&lit, &m).is_ok() {
-                    if let Some(solved) = self.solve(neg) {
-                        return Some(solved);
-                    }
-                }
-                let mut pos = store.clone();
-                if pos.assert_literal(&lit, &m).is_ok() {
-                    if let Some(solved) = self.solve(pos) {
-                        return Some(solved);
-                    }
-                }
-                None
-            }
-        }
-    }
+    ged_sat_with_config(sigma, &GedReasonConfig::default())
+        .outcome
+        .expect("GED satisfiability search exceeded the branch budget")
 }
 
 /// Try to extract a concrete model: assign every attribute class a value
 /// consistent with the order network (constants pinned, distinct classes
 /// distinct values), and decline with `None` when the network needs
 /// non-integer in-between values (see [`crate::order::solve_integers`]).
-fn extract_witness(store: &mut GedStore, base: &Graph) -> Option<Graph> {
+pub(crate) fn extract_witness(store: &mut GedStore, base: &Graph) -> Option<Graph> {
     let assignment = crate::order::solve_integers(store.net())?;
     let (mut g, mapping) = store.quotient(base);
     let pairs: Vec<(NodeId, gfd_graph::AttrId, crate::order::OrderVar)> =

@@ -449,6 +449,13 @@ pub struct DeltaIndex {
     by_label: FxHashMap<LabelId, Vec<NodeId>>,
     all: Vec<NodeId>,
     delta: DeltaCsr,
+    /// Net overlay change to each `(edge label, dst label)` pair count —
+    /// keeps [`MatchIndex::out_pair_frequency`] honest between freezes.
+    pair_out: FxHashMap<(LabelId, LabelId), i64>,
+    /// Net overlay change to each `(edge label, src label)` pair count.
+    pair_in: FxHashMap<(LabelId, LabelId), i64>,
+    /// Net overlay change per edge label (the wildcard-endpoint fallback).
+    edge_label_delta: FxHashMap<LabelId, i64>,
     /// [`Graph::topology_version`] this view currently reflects.
     version: u64,
 }
@@ -468,8 +475,26 @@ impl DeltaIndex {
             by_label,
             all,
             delta: DeltaCsr::new(csr),
+            pair_out: FxHashMap::default(),
+            pair_in: FxHashMap::default(),
+            edge_label_delta: FxHashMap::default(),
             version,
         }
+    }
+
+    /// Record a net pair-count change for an edge `src --label--> dst`
+    /// (`sign` is `+1` on insert, `-1` on delete).
+    fn record_edge_stat(
+        &mut self,
+        graph: &Graph,
+        src: NodeId,
+        label: LabelId,
+        dst: NodeId,
+        sign: i64,
+    ) {
+        *self.pair_out.entry((label, graph.label(dst))).or_insert(0) += sign;
+        *self.pair_in.entry((label, graph.label(src))).or_insert(0) += sign;
+        *self.edge_label_delta.entry(label).or_insert(0) += sign;
     }
 
     /// The overlay view (also reachable through [`MatchIndex::view`]).
@@ -507,6 +532,7 @@ impl DeltaIndex {
                 DeltaOp::AddEdge { src, label, dst } => {
                     if self.delta.insert_edge(*src, *label, *dst) {
                         graph.add_edge(*src, *label, *dst);
+                        self.record_edge_stat(graph, *src, *label, *dst, 1);
                         out.dirty.push(*src);
                         out.dirty.push(*dst);
                     }
@@ -515,6 +541,7 @@ impl DeltaIndex {
                     if self.delta.remove_edge(*src, *label, *dst) {
                         let removed = graph.remove_edge(*src, *label, *dst);
                         debug_assert!(removed, "graph/overlay edge sets diverged");
+                        self.record_edge_stat(graph, *src, *label, *dst, -1);
                         out.dirty.push(*src);
                         out.dirty.push(*dst);
                     }
@@ -548,6 +575,42 @@ impl MatchIndex for DeltaIndex {
         } else {
             self.by_label.get(&label).map_or(&[], Vec::as_slice)
         }
+    }
+
+    fn out_pair_frequency(&self, edge_label: LabelId, dst_label: LabelId) -> usize {
+        if edge_label.is_wildcard() {
+            return TopologyView::edge_count(&self.delta);
+        }
+        if dst_label.is_wildcard() {
+            let base = self.delta.base().edge_label_frequency(edge_label) as i64;
+            let adj = self.edge_label_delta.get(&edge_label).copied().unwrap_or(0);
+            return (base + adj).max(0) as usize;
+        }
+        let base = self.delta.base().out_pair_frequency(edge_label, dst_label) as i64;
+        let adj = self
+            .pair_out
+            .get(&(edge_label, dst_label))
+            .copied()
+            .unwrap_or(0);
+        (base + adj).max(0) as usize
+    }
+
+    fn in_pair_frequency(&self, edge_label: LabelId, src_label: LabelId) -> usize {
+        if edge_label.is_wildcard() {
+            return TopologyView::edge_count(&self.delta);
+        }
+        if src_label.is_wildcard() {
+            let base = self.delta.base().edge_label_frequency(edge_label) as i64;
+            let adj = self.edge_label_delta.get(&edge_label).copied().unwrap_or(0);
+            return (base + adj).max(0) as usize;
+        }
+        let base = self.delta.base().in_pair_frequency(edge_label, src_label) as i64;
+        let adj = self
+            .pair_in
+            .get(&(edge_label, src_label))
+            .copied()
+            .unwrap_or(0);
+        (base + adj).max(0) as usize
     }
 
     #[inline]
@@ -760,6 +823,46 @@ mod tests {
         assert_eq!(via_graph.edge_count(), via_index.edge_count());
         assert_eq!(via_graph.node_count(), via_index.node_count());
         assert_agrees_with_refreeze(idx.view(), &via_graph);
+    }
+
+    /// The overlay's plan statistics (label and pair frequencies) must
+    /// equal a fresh freeze of the mutated graph — otherwise match plans
+    /// built mid-stream order variables by stale selectivity.
+    #[test]
+    fn pair_frequencies_track_the_overlay() {
+        let (mut g, mut v) = sample();
+        let t = v.label("t");
+        let u = v.label("u");
+        let e1 = v.label("e1");
+        let e9 = v.label("e9");
+        let mut idx = DeltaIndex::build(&g);
+
+        let mut batch = DeltaBatch::new();
+        batch.add_node(u); // n3
+        batch.add_edge(NodeId::new(0), e1, NodeId::new(3)); // e1 → u
+        batch.add_edge(NodeId::new(3), e9, NodeId::new(1)); // new label
+        batch.del_edge(NodeId::new(0), e1, NodeId::new(1)); // e1 → t gone
+        idx.apply(&batch, &mut g);
+
+        let fresh = LabelIndex::build(&g);
+        for el in [LabelId::WILDCARD, e1, e9, v.label("e2")] {
+            for nl in [LabelId::WILDCARD, t, u] {
+                assert_eq!(
+                    MatchIndex::out_pair_frequency(&idx, el, nl),
+                    MatchIndex::out_pair_frequency(&fresh, el, nl),
+                    "out_pair_frequency({el:?}, {nl:?})"
+                );
+                assert_eq!(
+                    MatchIndex::in_pair_frequency(&idx, el, nl),
+                    MatchIndex::in_pair_frequency(&fresh, el, nl),
+                    "in_pair_frequency({el:?}, {nl:?})"
+                );
+                assert_eq!(
+                    MatchIndex::frequency(&idx, nl),
+                    MatchIndex::frequency(&fresh, nl)
+                );
+            }
+        }
     }
 
     #[test]

@@ -171,6 +171,18 @@ pub trait MatchIndex: Sync {
         self.candidates(label).len()
     }
 
+    /// How many edges carry `edge_label` *and* end at a node labelled
+    /// `dst_label` — the fan bound of an anchored `FromAnchor` expansion.
+    /// Must reflect the *current* view: an overlay implementation reports
+    /// delta-adjusted counts, not the frozen-base ones, so match plans
+    /// built mid-stream order variables by live selectivity.
+    fn out_pair_frequency(&self, edge_label: LabelId, dst_label: LabelId) -> usize;
+
+    /// How many edges carry `edge_label` and start at a node labelled
+    /// `src_label` — the `ToAnchor` counterpart of
+    /// [`MatchIndex::out_pair_frequency`].
+    fn in_pair_frequency(&self, edge_label: LabelId, src_label: LabelId) -> usize;
+
     /// Total number of indexed nodes.
     fn node_count(&self) -> usize;
 
@@ -190,6 +202,16 @@ impl MatchIndex for LabelIndex {
     #[inline]
     fn candidates(&self, label: LabelId) -> &[NodeId] {
         LabelIndex::candidates(self, label)
+    }
+
+    #[inline]
+    fn out_pair_frequency(&self, edge_label: LabelId, dst_label: LabelId) -> usize {
+        self.csr().out_pair_frequency(edge_label, dst_label)
+    }
+
+    #[inline]
+    fn in_pair_frequency(&self, edge_label: LabelId, src_label: LabelId) -> usize {
+        self.csr().in_pair_frequency(edge_label, src_label)
     }
 
     #[inline]

@@ -18,7 +18,9 @@ pub struct IncrConfig {
     /// violation set, or carried-over results would be wrong.
     pub detect: DetectConfig,
     /// Compact (re-freeze base + delta into a fresh CSR) once the
-    /// overlay exceeds this fraction of the base edge count.
+    /// overlay reaches this fraction of the base edge count. `0.0` means
+    /// "compact after every batch that left an overlay"; must be finite
+    /// and non-negative (see [`IncrConfig::validate`]).
     pub compact_fraction: f64,
 }
 
@@ -38,6 +40,24 @@ impl IncrConfig {
             detect: DetectConfig::with_workers(workers),
             ..Default::default()
         }
+    }
+
+    /// Check the configuration for nonsense values.
+    ///
+    /// `compact_fraction` must be a non-negative finite number: NaN would
+    /// make the compaction comparison silently always-false (the overlay
+    /// would grow without bound), and a negative threshold is a typo for
+    /// `0.0`. Callers that take the value from user input (the CLI's
+    /// `--compact-frac`) should surface the error; library construction
+    /// panics on it ([`IncrementalDetector::new`]).
+    pub fn validate(&self) -> Result<(), String> {
+        let f = self.compact_fraction;
+        if f.is_nan() || f.is_infinite() || f < 0.0 {
+            return Err(format!(
+                "compact_fraction must be a non-negative finite number, got {f}"
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -116,7 +136,14 @@ impl IncrementalDetector {
     /// Seed the session: one full detection pass over `graph` populates
     /// the cache; subsequent [`apply`](IncrementalDetector::apply) calls
     /// keep it exact incrementally.
+    ///
+    /// # Panics
+    ///
+    /// On an invalid configuration (see [`IncrConfig::validate`]).
     pub fn new(graph: Graph, sigma: GfdSet, config: IncrConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid IncrConfig: {msg}");
+        }
         let li = LabelIndex::build(&graph);
         let plans = RulePlans::build(&sigma, &li);
         let meta = RuleMeta::build(&sigma, &plans);
@@ -192,15 +219,26 @@ impl IncrementalDetector {
 
         // Threshold-triggered compaction: fold the overlay into a fresh
         // freeze. Correctness is unaffected (the view answers the same
-        // probes either way); this just restores probe locality. Plans,
-        // pivots and radii are rebuilt on the fresh statistics.
-        if self.index.delta_fraction() > self.config.compact_fraction {
-            let li = LabelIndex::build(&self.graph);
-            self.plans = RulePlans::build(&self.sigma, &li);
-            self.meta = RuleMeta::build(&self.sigma, &self.plans);
-            self.index = li.into_delta();
+        // probes either way); this just restores probe locality. The
+        // comparison is inclusive so a threshold of 0.0 means "compact
+        // after every batch that left an overlay" — an empty overlay
+        // (e.g. an attribute-only batch) has nothing to fold and skips
+        // the re-freeze.
+        if self.index.delta_fraction() >= self.config.compact_fraction
+            && self.index.delta().delta_size() > 0
+        {
+            self.index = LabelIndex::build(&self.graph).into_delta();
             report.compacted = true;
         }
+
+        // Re-plan against the live statistics: between compactions the
+        // overlay reports delta-adjusted label/pair frequencies, so
+        // pivots, variable orders and the radii derived from them track
+        // the current graph rather than the frozen base (the stale-stats
+        // bug this replaced planned a stream's whole lifetime on the
+        // seed freeze's frequencies).
+        self.plans = RulePlans::build(&self.sigma, &self.index);
+        self.meta = RuleMeta::build(&self.sigma, &self.plans);
 
         // Dirty frontier: every pivot within the largest connected-rule
         // radius of a touched node (see `frontier` for the soundness
@@ -429,6 +467,130 @@ mod tests {
         }
         assert!(compacted, "overlay never compacted");
         assert!(incr.delta_fraction() < 0.2, "compaction did not reset");
+    }
+
+    #[test]
+    fn zero_compact_fraction_compacts_after_every_batch() {
+        let (g, sigma, mut vocab) = chain_setup(10);
+        let t = vocab.label("t");
+        let e = vocab.label("e");
+        let a = vocab.attr("a");
+        let mut incr = IncrementalDetector::new(
+            g,
+            sigma,
+            IncrConfig {
+                compact_fraction: 0.0,
+                ..IncrConfig::with_workers(2)
+            },
+        );
+        // Topology batches: each must fold its overlay away immediately.
+        for i in 0..4 {
+            let mut batch = DeltaBatch::new();
+            batch.add_node(t);
+            batch.set_attr(NodeId::new(10 + i), a, Value::int(3));
+            batch.add_edge(NodeId::new(i), e, NodeId::new(10 + i));
+            let rep = incr.apply(&batch);
+            assert!(rep.compacted, "batch {i} did not compact at threshold 0.0");
+            assert_eq!(
+                incr.index.delta().delta_size(),
+                0,
+                "overlay not empty after apply {i}"
+            );
+            assert_eq!(incr.delta_fraction(), 0.0);
+            assert_matches_full_detect(&incr);
+        }
+        // An attribute-only batch leaves no overlay: nothing to fold, no
+        // wasted re-freeze.
+        let mut batch = DeltaBatch::new();
+        batch.set_attr(NodeId::new(0), a, Value::int(9));
+        let rep = incr.apply(&batch);
+        assert!(!rep.compacted);
+        assert_eq!(incr.index.delta().delta_size(), 0);
+        assert_matches_full_detect(&incr);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid IncrConfig")]
+    fn nan_compact_fraction_is_rejected() {
+        let (g, sigma, _) = chain_setup(4);
+        let _ = IncrementalDetector::new(
+            g,
+            sigma,
+            IncrConfig {
+                compact_fraction: f64::NAN,
+                ..IncrConfig::with_workers(1)
+            },
+        );
+    }
+
+    #[test]
+    fn negative_and_nan_fractions_fail_validation() {
+        for bad in [-0.1, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let cfg = IncrConfig {
+                compact_fraction: bad,
+                ..IncrConfig::default()
+            };
+            assert!(cfg.validate().is_err(), "{bad} accepted");
+        }
+        for ok in [0.0, 0.25, 7.5] {
+            let cfg = IncrConfig {
+                compact_fraction: ok,
+                ..IncrConfig::default()
+            };
+            assert!(cfg.validate().is_ok(), "{ok} rejected");
+        }
+    }
+
+    /// The stale-statistics regression: a delta batch inverts which label
+    /// is rare, and the next detection pass must *plan* against the
+    /// overlay-adjusted frequencies — the pivot moves to the newly rare
+    /// label even though no compaction has re-frozen the base.
+    #[test]
+    fn plans_follow_delta_adjusted_statistics() {
+        let mut vocab = Vocab::new();
+        let a_lbl = vocab.label("a");
+        let b_lbl = vocab.label("b");
+        let e = vocab.label("e");
+        let val = vocab.attr("v");
+        let mut g = Graph::new();
+        let ra = g.add_node(a_lbl);
+        for _ in 0..10 {
+            let nb = g.add_node(b_lbl);
+            g.add_edge(ra, e, nb);
+        }
+        let mut p = Pattern::new();
+        let x = p.add_node(a_lbl, "x");
+        let y = p.add_node(b_lbl, "y");
+        p.add_edge(x, e, y);
+        let gfd = Gfd::new("r", p, vec![], vec![Literal::eq_attr(x, val, y, val)]);
+        let sigma = GfdSet::from_vec(vec![gfd]);
+
+        let mut incr = IncrementalDetector::new(
+            g,
+            sigma,
+            IncrConfig {
+                // High threshold: no compaction, the overlay must carry
+                // the statistics on its own.
+                compact_fraction: 100.0,
+                ..IncrConfig::with_workers(2)
+            },
+        );
+        assert_eq!(incr.plans.pivots[0], x, "seed pivot should be the rare `a`");
+
+        // Flood the graph with `a` nodes: `b` becomes the rare label.
+        let mut batch = DeltaBatch::new();
+        for i in 0..30 {
+            batch.add_node(a_lbl);
+            batch.add_edge(NodeId::new(11 + i), e, NodeId::new(1));
+        }
+        let rep = incr.apply(&batch);
+        assert!(!rep.compacted, "test needs the overlay path");
+        assert_eq!(
+            incr.plans.pivots[0], y,
+            "pivot did not move to the delta-rare label"
+        );
+        assert_eq!(incr.plans.plans[0].var_at(0), y);
+        assert_matches_full_detect(&incr);
     }
 
     #[test]

@@ -32,19 +32,75 @@ fn err(line: usize, message: impl Into<String>) -> LoadError {
     }
 }
 
+/// Parse a node reference, rejecting anything that does not round-trip
+/// through the dense `u32` id space: negatives and non-numbers fail the
+/// integer parse, and ids at or above `u32::MAX` are rejected explicitly
+/// (`u32::MAX` is reserved as a sentinel by several consumers) rather
+/// than wrapped or debug-asserted away downstream.
 fn parse_node(token: &str, line: usize) -> Result<NodeId, LoadError> {
-    token
-        .parse::<u32>()
-        .map(|i| NodeId::new(i as usize))
-        .map_err(|_| err(line, format!("node id is not an integer: `{token}`")))
+    let id = token.parse::<u64>().map_err(|_| {
+        err(
+            line,
+            format!("node id is not an unsigned integer: `{token}`"),
+        )
+    })?;
+    if id >= u64::from(u32::MAX) {
+        return Err(err(
+            line,
+            format!("node id {id} is out of range (node ids must fit in 32 bits)"),
+        ));
+    }
+    Ok(NodeId::new(id as usize))
 }
 
 /// Parse a delta log into batches (labels and attribute names interned
 /// through `vocab`, as everywhere else).
+///
+/// Node references are only checked for numeric range; use
+/// [`parse_delta_log_for`] when the target graph is known, to also
+/// reject references to nodes that will not exist at that point of the
+/// replay.
 pub fn parse_delta_log(src: &str, vocab: &mut Vocab) -> Result<Vec<DeltaBatch>, LoadError> {
+    parse_inner(src, vocab, None)
+}
+
+/// Parse a delta log destined for a graph that currently has
+/// `existing_nodes` nodes, rejecting — with the offending line number —
+/// any op that refers to a node beyond the count the replay will have
+/// reached by then (`existing_nodes` plus the `node` lines seen so far).
+/// This is what `gfd detect --stream` uses: a typo'd id is a normal
+/// input error, not a downstream panic or a silent out-of-range index.
+pub fn parse_delta_log_for(
+    src: &str,
+    vocab: &mut Vocab,
+    existing_nodes: usize,
+) -> Result<Vec<DeltaBatch>, LoadError> {
+    parse_inner(src, vocab, Some(existing_nodes))
+}
+
+fn parse_inner(
+    src: &str,
+    vocab: &mut Vocab,
+    bound: Option<usize>,
+) -> Result<Vec<DeltaBatch>, LoadError> {
     let mut batches = Vec::new();
     let mut current = DeltaBatch::new();
     let mut started = false;
+    // Nodes the replay target will have at this point of the log.
+    let mut known_nodes = bound;
+    let check_ref = |n: NodeId, known: Option<usize>, line: usize| -> Result<(), LoadError> {
+        match known {
+            Some(count) if n.index() >= count => Err(err(
+                line,
+                format!(
+                    "refers to node {} but only {count} node(s) exist at this \
+                     point of the log",
+                    n.index()
+                ),
+            )),
+            _ => Ok(()),
+        }
+    };
     for (i, raw) in src.lines().enumerate() {
         let line_no = i + 1;
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -69,6 +125,7 @@ pub fn parse_delta_log(src: &str, vocab: &mut Vocab) -> Result<Vec<DeltaBatch>, 
                     .next()
                     .ok_or_else(|| err(line_no, "expected `node LABEL`"))?;
                 current.add_node(vocab.label(label));
+                known_nodes = known_nodes.map(|n| n + 1);
                 started = true;
             }
             "edge" | "del" => {
@@ -77,6 +134,8 @@ pub fn parse_delta_log(src: &str, vocab: &mut Vocab) -> Result<Vec<DeltaBatch>, 
                 };
                 let src_id = parse_node(s, line_no)?;
                 let dst_id = parse_node(d, line_no)?;
+                check_ref(src_id, known_nodes, line_no)?;
+                check_ref(dst_id, known_nodes, line_no)?;
                 let label = vocab.label(l);
                 if keyword == "edge" {
                     current.add_edge(src_id, label, dst_id);
@@ -90,6 +149,7 @@ pub fn parse_delta_log(src: &str, vocab: &mut Vocab) -> Result<Vec<DeltaBatch>, 
                     return Err(err(line_no, "expected `attr NODE name=value`"));
                 };
                 let node = parse_node(n, line_no)?;
+                check_ref(node, known_nodes, line_no)?;
                 let (name, value) = crate::edgelist::parse_attr(kv, line_no)?;
                 current.set_attr(node, vocab.attr(name), value);
                 started = true;
@@ -248,6 +308,51 @@ attr 4 verified=true
         let e = parse_delta_log("edge 0 e\n", &mut vocab).unwrap_err();
         assert_eq!(e.line, 1);
         let e = parse_delta_log("attr x name=1\n", &mut vocab).unwrap_err();
-        assert!(e.to_string().contains("not an integer"));
+        assert!(e.to_string().contains("not an unsigned integer"));
+    }
+
+    #[test]
+    fn out_of_u32_range_ids_are_rejected_not_wrapped() {
+        let mut vocab = Vocab::new();
+        // u32::MAX is the reserved sentinel; anything ≥ it must fail.
+        for bad in ["4294967295", "4294967296", "99999999999999999999"] {
+            let src = format!("edge {bad} e 0\n");
+            let e = parse_delta_log(&src, &mut vocab).unwrap_err();
+            assert_eq!(e.line, 1, "{bad}");
+            assert!(
+                e.to_string().contains("out of range") || e.to_string().contains("unsigned"),
+                "{bad}: {e}"
+            );
+        }
+        // Negative ids fail the unsigned parse, with the line number.
+        let e = parse_delta_log("batch\nattr -3 a=1\n", &mut vocab).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("unsigned"), "{e}");
+        // A large but in-range id is fine without a bound.
+        assert!(parse_delta_log("edge 4294967293 e 0\n", &mut vocab).is_ok());
+    }
+
+    #[test]
+    fn bounded_parse_rejects_forward_references() {
+        let mut vocab = Vocab::new();
+        // Graph has 2 nodes; node 2 does not exist yet on line 1.
+        let e = parse_delta_log_for("edge 0 e 2\n", &mut vocab, 2).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("refers to node 2"), "{e}");
+        assert!(e.to_string().contains("2 node(s) exist"), "{e}");
+
+        // After a `node` line the same reference is legal, including
+        // within the same batch; the next id past it is not.
+        let ok = parse_delta_log_for("node t\nedge 0 e 2\nattr 2 a=1\n", &mut vocab, 2);
+        assert!(ok.is_ok());
+        let e = parse_delta_log_for("node t\ndel 3 e 0\n", &mut vocab, 2).unwrap_err();
+        assert_eq!(e.line, 2);
+
+        // Attr writes are checked too.
+        let e = parse_delta_log_for("attr 7 a=1\n", &mut vocab, 3).unwrap_err();
+        assert!(e.to_string().contains("refers to node 7"), "{e}");
+
+        // The unbounded parser accepts the same text (round-trip use).
+        assert!(parse_delta_log("edge 0 e 2\n", &mut vocab).is_ok());
     }
 }

@@ -29,6 +29,6 @@ pub mod json;
 pub mod jsonval;
 mod proptests;
 
-pub use deltalog::{delta_log_to_string, parse_delta_log};
+pub use deltalog::{delta_log_to_string, parse_delta_log, parse_delta_log_for};
 pub use edgelist::{load_edge_list, load_node_table, EdgeListOptions};
 pub use json::{graph_from_json, graph_to_json, sigma_from_json, sigma_to_json, JsonError};

@@ -6,7 +6,7 @@
 //! adjacency lists instead of the whole graph (the VF2-style expansion the
 //! paper adapts to homomorphism in §IV-C).
 
-use gfd_graph::{LabelIndex, Pattern, VarId};
+use gfd_graph::{LabelIndex, MatchIndex, Pattern, VarId};
 
 /// Direction of an anchoring pattern edge relative to the new variable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,14 +52,28 @@ pub struct MatchPlan {
 }
 
 impl MatchPlan {
+    /// Build a plan for `pattern` from structure alone (no target-graph
+    /// statistics).
+    pub fn structural(pattern: &Pattern, pivot: Option<VarId>) -> Self {
+        Self::build(pattern, pivot, None::<&LabelIndex>)
+    }
+
     /// Build a plan for `pattern`.
     ///
     /// * `pivot` — if given, this variable is placed first (required for
     ///   pivoted work-unit matching). Otherwise the most selective variable
     ///   (rarest label per `stats`, if provided) starts the plan.
     /// * `stats` — label frequencies of the target graph, used to order
-    ///   choices by selectivity. Optional; structure alone works.
-    pub fn build(pattern: &Pattern, pivot: Option<VarId>, stats: Option<&LabelIndex>) -> Self {
+    ///   choices by selectivity. Optional; structure alone works. Any
+    ///   [`MatchIndex`] serves: the frozen [`LabelIndex`] for static
+    ///   graphs, `gfd_graph::DeltaIndex` for streaming ones — the latter
+    ///   reports delta-adjusted counts, so plans built between
+    ///   compactions follow the live selectivity, not the frozen base's.
+    pub fn build<I: MatchIndex>(
+        pattern: &Pattern,
+        pivot: Option<VarId>,
+        stats: Option<&I>,
+    ) -> Self {
         let n = pattern.node_count();
         assert!(n > 0, "cannot plan an empty pattern");
         if let Some(p) = pivot {
@@ -70,26 +84,25 @@ impl MatchPlan {
 
         // Estimated candidate count when `v` is placed next to the
         // current prefix: the node-label frequency, sharpened by the real
-        // `(edge label, endpoint label)` pair frequencies of the frozen
-        // topology — an upper bound on the anchored-expansion fan, which
-        // is what the matcher actually enumerates.
+        // `(edge label, endpoint label)` pair frequencies of the view —
+        // an upper bound on the anchored-expansion fan, which is what the
+        // matcher actually enumerates.
         let anchored_estimate = |v: VarId, placed: &[bool]| -> usize {
             let Some(s) = stats else {
                 return usize::MAX;
             };
-            let csr = s.csr();
             let mut est = s.frequency(pattern.label(v));
             for &(elabel, u) in pattern.in_edges(v) {
                 // Pattern edge u --elabel--> v: candidates come from the
                 // anchor's out-slice, so at most `out_pair_frequency`
                 // edges can produce one.
                 if u != v && placed[u.index()] {
-                    est = est.min(csr.out_pair_frequency(elabel, pattern.label(v)));
+                    est = est.min(s.out_pair_frequency(elabel, pattern.label(v)));
                 }
             }
             for &(elabel, u) in pattern.out_edges(v) {
                 if u != v && placed[u.index()] {
-                    est = est.min(csr.in_pair_frequency(elabel, pattern.label(v)));
+                    est = est.min(s.in_pair_frequency(elabel, pattern.label(v)));
                 }
             }
             est
@@ -247,7 +260,7 @@ mod tests {
     fn every_non_root_step_is_anchored() {
         let mut v = Vocab::new();
         let p = diamond(&mut v);
-        let plan = MatchPlan::build(&p, None, None);
+        let plan = MatchPlan::structural(&p, None);
         assert_eq!(plan.len(), 4);
         assert_eq!(plan.component_roots(), &[0]);
         for (i, step) in plan.steps().iter().enumerate().skip(1) {
@@ -263,7 +276,7 @@ mod tests {
         let mut v = Vocab::new();
         let p = diamond(&mut v);
         for pv in 0..4 {
-            let plan = MatchPlan::build(&p, Some(VarId::new(pv)), None);
+            let plan = MatchPlan::structural(&p, Some(VarId::new(pv)));
             assert_eq!(plan.var_at(0), VarId::new(pv));
             assert_eq!(plan.pos_of(VarId::new(pv)), 0);
         }
@@ -273,7 +286,7 @@ mod tests {
     fn var_pos_round_trip() {
         let mut v = Vocab::new();
         let p = diamond(&mut v);
-        let plan = MatchPlan::build(&p, Some(VarId::new(2)), None);
+        let plan = MatchPlan::structural(&p, Some(VarId::new(2)));
         for pos in 0..plan.len() {
             assert_eq!(plan.pos_of(plan.var_at(pos)), pos);
         }
@@ -288,7 +301,7 @@ mod tests {
         let b = p.add_node(t, "b");
         p.add_node(t, "c"); // isolated
         p.add_edge(a, v.label("e"), b);
-        let plan = MatchPlan::build(&p, None, None);
+        let plan = MatchPlan::structural(&p, None);
         assert_eq!(plan.component_roots().len(), 2);
     }
 
@@ -326,7 +339,7 @@ mod tests {
         let x = p.add_node(t, "x");
         let y = p.add_node(t, "y");
         p.add_edge(x, e, y); // x -> y
-        let plan = MatchPlan::build(&p, Some(x), None);
+        let plan = MatchPlan::structural(&p, Some(x));
         let step1 = &plan.steps()[1];
         assert_eq!(step1.var, y);
         assert_eq!(step1.anchors.len(), 1);
@@ -334,10 +347,55 @@ mod tests {
         assert_eq!(step1.anchors[0].dir, AnchorDir::FromAnchor);
         assert_eq!(step1.anchors[0].pos, 0);
 
-        let plan2 = MatchPlan::build(&p, Some(y), None);
+        let plan2 = MatchPlan::structural(&p, Some(y));
         let step1 = &plan2.steps()[1];
         assert_eq!(step1.var, x);
         assert_eq!(step1.anchors[0].dir, AnchorDir::ToAnchor);
+    }
+
+    /// The streaming-planner regression: a delta batch inverts which
+    /// label is rare, and a plan built from the overlay's statistics must
+    /// anchor at the *new* rarest label — the frozen base would pick the
+    /// stale one.
+    #[test]
+    fn delta_inverted_rarity_moves_the_anchor() {
+        use gfd_graph::{DeltaBatch, NodeId};
+        let mut v = Vocab::new();
+        let a = v.label("a");
+        let b = v.label("b");
+        let e = v.label("e");
+        // Base: one `a` node, ten `b` nodes — `a` is rare.
+        let mut g = Graph::new();
+        let ra = g.add_node(a);
+        for _ in 0..10 {
+            let nb = g.add_node(b);
+            g.add_edge(ra, e, nb);
+        }
+        let mut p = Pattern::new();
+        let pa = p.add_node(a, "x");
+        let pb = p.add_node(b, "y");
+        p.add_edge(pa, e, pb);
+
+        let frozen = LabelIndex::build(&g);
+        assert_eq!(MatchPlan::build(&p, None, Some(&frozen)).var_at(0), pa);
+
+        // A delta batch floods the graph with `a` nodes: now `b` is rare.
+        let mut idx = frozen.into_delta();
+        let mut batch = DeltaBatch::new();
+        for i in 0..30 {
+            batch.add_node(a);
+            batch.add_edge(NodeId::new(11 + i), e, NodeId::new(1));
+        }
+        idx.apply(&batch, &mut g);
+
+        // The frozen-base plan above anchored at `a`; the overlay-aware
+        // one must move to `b`.
+        let overlay_plan = MatchPlan::build(&p, None, Some(&idx));
+        assert_eq!(
+            overlay_plan.var_at(0),
+            pb,
+            "plan ignored the delta-adjusted label frequencies"
+        );
     }
 
     #[test]

@@ -23,7 +23,11 @@
 //! The crate is deliberately workload-agnostic: it knows nothing about
 //! graphs, GFDs, or `ΔEq` broadcast. Those live in the [`Task`]
 //! implementations (`gfd_core::driver::ReasonTask`, `gfd_detect`'s
-//! `DetectTask`).
+//! `DetectTask`, `gfd_ged`'s branch-and-bound `GedTask`, and
+//! `gfd_chase`'s per-round premise scan). Branch-and-bound workloads use
+//! the same two primitives every other task does: the shared stop flag
+//! doubles as first-witness / first-counterexample cancellation, and
+//! [`WorkerCtx::split`] hands open branches to idle thieves.
 
 #![warn(missing_docs)]
 

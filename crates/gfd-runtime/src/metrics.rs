@@ -25,6 +25,9 @@ pub struct RunMetrics {
     pub units_stolen: u64,
     /// Matches found and processed across all workers.
     pub matches: u64,
+    /// Branches explored by branch-and-bound workloads (the GED
+    /// small-model search); zero for match-driven workloads.
+    pub branches: u64,
     /// Matches that entered the pending (inverted) index.
     pub pending: u64,
     /// Pending re-checks triggered by attribute instantiation.
