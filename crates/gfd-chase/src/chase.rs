@@ -25,11 +25,15 @@
 //! mid-round, did for cascading rule orders; that is a uniform shift of
 //! the baseline, not a scan-order artifact.
 
-use gfd_core::{eval_premise, CanonicalGraph, Conflict, EqRel, GfdSet, Operand, PremiseStatus};
-use gfd_graph::NodeId;
+use gfd_core::{
+    eval_premise_lits, generate_deducible, CanonicalGraph, Conflict, Consequence, DepSet, EqRel,
+    GfdSet, Literal, Operand, PremiseStatus,
+};
+use gfd_graph::{Graph, NodeId};
 use gfd_match::{find_all_matches, Match};
 use gfd_runtime::sched::{run_scheduler, Task, WorkerCtx};
 use gfd_runtime::{DispatchMode, RunMetrics};
+use rustc_hash::FxHashSet;
 use std::sync::atomic::AtomicBool;
 use std::time::{Duration, Instant};
 
@@ -45,6 +49,13 @@ pub struct ChaseConfig {
     pub batch: usize,
     /// How units reach the workers.
     pub dispatch: DispatchMode,
+    /// Termination guard for generating dependencies: the chase gives up
+    /// (reporting "unknown" instead of looping forever) once this many
+    /// fresh nodes have been materialized. GGD chains like
+    /// `person → CREATE person` have no finite fixpoint; the budget bounds
+    /// them the way `max_branches` bounds the GED search (DESIGN.md §10).
+    /// Irrelevant to literal-only rule sets.
+    pub max_generated_nodes: u64,
 }
 
 impl Default for ChaseConfig {
@@ -54,6 +65,7 @@ impl Default for ChaseConfig {
             ttl: Duration::from_millis(100),
             batch: 256,
             dispatch: DispatchMode::WorkStealing,
+            max_generated_nodes: 100_000,
         }
     }
 }
@@ -75,8 +87,15 @@ pub struct ChaseStats {
     pub rounds: u64,
     /// Premise evaluations across all rounds (the re-scanning overhead).
     pub premise_evals: u64,
-    /// Matches enumerated (counted once; match lists are cached per rule).
+    /// Matches enumerated. Match lists are cached per rule and counted
+    /// once per enumeration; generating rules force a re-enumeration
+    /// whenever materialization changed the topology.
     pub matches_enumerated: u64,
+    /// Fresh nodes materialized by generating consequences (zero for
+    /// literal-only rule sets).
+    pub generated_nodes: u64,
+    /// Realization checks run against round-start snapshots.
+    pub realization_checks: u64,
 }
 
 /// Outcome of chasing Σ over a canonical graph.
@@ -89,8 +108,15 @@ pub enum ChaseOutcome {
 
 /// Apply the consequence of `gfd` at `m`; returns whether anything changed.
 fn apply_consequence(eq: &mut EqRel, gfd: &gfd_core::Gfd, m: &[NodeId]) -> Result<bool, Conflict> {
+    apply_literals(eq, &gfd.consequence, m)
+}
+
+/// Apply a literal-conjunction consequence at `m`; returns whether
+/// anything changed. Shared by the [`GfdSet`] baseline and the literal
+/// arm of the generalized [`DepSet`] chase.
+fn apply_literals(eq: &mut EqRel, lits: &[Literal], m: &[NodeId]) -> Result<bool, Conflict> {
     let mut changed = false;
-    for lit in &gfd.consequence {
+    for lit in lits {
         let k1 = (m[lit.var.index()], lit.attr);
         match &lit.rhs {
             Operand::Const(c) => {
@@ -123,9 +149,12 @@ struct ScanWorker {
     premise_evals: u64,
 }
 
-/// One round's premise scan as a scheduler workload.
+/// One round's premise scan as a scheduler workload. The task only needs
+/// each rule's premise literals, so the same scan serves the classic
+/// [`GfdSet`] baseline and the generalized [`DepSet`] chase — a rule's
+/// consequence action is irrelevant until the serial apply phase.
 struct ScanTask<'a> {
-    sigma: &'a GfdSet,
+    premises: &'a [&'a [Literal]],
     matches: &'a [Vec<Match>],
     snapshot: &'a EqRel,
     ttl: Duration,
@@ -144,12 +173,14 @@ impl Task for ScanTask<'_> {
     }
 
     fn run_unit(&self, w: &mut ScanWorker, unit: ScanUnit, ctx: &WorkerCtx<'_, ScanUnit>) {
-        let gfd = &self.sigma.as_slice()[unit.rule as usize];
+        let premise = self.premises[unit.rule as usize];
         let list = &self.matches[unit.rule as usize];
         let deadline = Instant::now() + self.ttl;
         for idx in unit.start..unit.end {
             w.premise_evals += 1;
-            if let PremiseStatus::Satisfied = eval_premise(&mut w.eq, gfd, &list[idx as usize]) {
+            if let PremiseStatus::Satisfied =
+                eval_premise_lits(&mut w.eq, premise, &list[idx as usize])
+            {
                 w.fired.push((unit.rule, idx));
             }
             // Straggler: offer the rest of the range in two halves (the
@@ -219,51 +250,22 @@ pub fn chase_to_fixpoint_with_config(
         all_matches.push(ms);
     }
 
-    let batch = config.batch.max(1);
+    let premises: Vec<&[Literal]> = sigma
+        .as_slice()
+        .iter()
+        .map(|g| g.premise.as_slice())
+        .collect();
     loop {
         stats.rounds += 1;
-
-        // ---- parallel premise scan against the round-start snapshot ----
-        let mut units: Vec<ScanUnit> = Vec::new();
-        for (rule, list) in all_matches.iter().enumerate() {
-            let mut start = 0usize;
-            while start < list.len() {
-                let end = (start + batch).min(list.len());
-                units.push(ScanUnit {
-                    rule: rule as u32,
-                    start: start as u32,
-                    end: end as u32,
-                });
-                start = end;
-            }
-        }
-        let stop = AtomicBool::new(false);
-        let task = ScanTask {
-            sigma,
-            matches: &all_matches,
-            snapshot: &eq,
-            ttl: config.ttl,
-        };
-        metrics.units_generated += units.len();
-        let run = run_scheduler(&task, units, p, config.dispatch, &stop);
-        metrics.units_dispatched += run.units_executed;
-        metrics.units_split += run.units_split;
-        metrics.units_stolen += run.units_stolen;
-        for (acc, d) in metrics.worker_busy.iter_mut().zip(&run.worker_busy) {
-            *acc += *d;
-        }
-        for (acc, d) in metrics.worker_idle.iter_mut().zip(&run.worker_idle) {
-            *acc += *d;
-        }
-
-        let mut fired: Vec<(u32, u32)> = Vec::new();
-        for w in run.workers {
-            stats.premise_evals += w.premise_evals;
-            fired.extend(w.fired);
-        }
-        // Deterministic application order regardless of worker
-        // interleaving: (rule, match index), the sequential scan's order.
-        fired.sort_unstable();
+        let fired = scan_round(
+            &premises,
+            &all_matches,
+            &eq,
+            config,
+            p,
+            &mut stats,
+            &mut metrics,
+        );
 
         // ---- serial apply phase ----
         let mut changed = false;
@@ -282,6 +284,253 @@ pub fn chase_to_fixpoint_with_config(
         if !changed {
             metrics.elapsed = start.elapsed();
             return (ChaseOutcome::Fixpoint(eq), stats, metrics);
+        }
+    }
+}
+
+/// Dispatch one round's premise scan on the shared scheduler and collect
+/// the fired `(rule, match index)` pairs in deterministic order (the
+/// sequential scan's order, whatever the worker interleaving was).
+fn scan_round(
+    premises: &[&[Literal]],
+    all_matches: &[Vec<Match>],
+    snapshot: &EqRel,
+    config: &ChaseConfig,
+    p: usize,
+    stats: &mut ChaseStats,
+    metrics: &mut RunMetrics,
+) -> Vec<(u32, u32)> {
+    let batch = config.batch.max(1);
+    let mut units: Vec<ScanUnit> = Vec::new();
+    for (rule, list) in all_matches.iter().enumerate() {
+        let mut start = 0usize;
+        while start < list.len() {
+            let end = (start + batch).min(list.len());
+            units.push(ScanUnit {
+                rule: rule as u32,
+                start: start as u32,
+                end: end as u32,
+            });
+            start = end;
+        }
+    }
+    let stop = AtomicBool::new(false);
+    let task = ScanTask {
+        premises,
+        matches: all_matches,
+        snapshot,
+        ttl: config.ttl,
+    };
+    metrics.units_generated += units.len();
+    let run = run_scheduler(&task, units, p, config.dispatch, &stop);
+    metrics.units_dispatched += run.units_executed;
+    metrics.units_split += run.units_split;
+    metrics.units_stolen += run.units_stolen;
+    for (acc, d) in metrics.worker_busy.iter_mut().zip(&run.worker_busy) {
+        *acc += *d;
+    }
+    for (acc, d) in metrics.worker_idle.iter_mut().zip(&run.worker_idle) {
+        *acc += *d;
+    }
+    let mut fired: Vec<(u32, u32)> = Vec::new();
+    for w in run.workers {
+        stats.premise_evals += w.premise_evals;
+        fired.extend(w.fired);
+    }
+    fired.sort_unstable();
+    fired
+}
+
+/// Outcome of chasing a generalized dependency set over a growable graph.
+pub enum DepChaseOutcome {
+    /// Fixpoint reached: the chased graph (base plus every materialized
+    /// subgraph) and the final relation.
+    Fixpoint {
+        /// The chased graph.
+        graph: Box<Graph>,
+        /// The final equivalence relation.
+        eq: Box<EqRel>,
+    },
+    /// Two distinct constants were forced onto one class.
+    Conflict(Conflict),
+    /// The fresh-node budget ran out before a fixpoint: the question is
+    /// undecided (mirrors the GED search's branch budget — report
+    /// "unknown", never loop forever).
+    BudgetExhausted {
+        /// Fresh nodes materialized before giving up.
+        generated_nodes: u64,
+    },
+}
+
+/// Chase a generalized [`DepSet`] over `graph0` to fixpoint, conflict or
+/// budget exhaustion, starting from `eq0`.
+///
+/// Each round runs the premise scan of **every** dependency as scan units
+/// on the shared scheduler (identical to the literal chase), then the
+/// serial apply phase between rounds handles both consequence actions in
+/// deterministic `(rule, match index)` order:
+///
+/// * literal consequences enforce into the relation as before;
+/// * generating consequences are checked for *realization* against the
+///   **round-start** topology and relation snapshot — every firing is
+///   evaluated against the same state, so the set of materializations per
+///   round is invariant under rule reordering and worker count (the
+///   parallel-independence condition of attributed graph rewriting) —
+///   and unrealized firings materialize their target (fresh nodes, edges,
+///   attribute bindings into the live relation). A `(rule, match)` key
+///   fires at most once.
+///
+/// When a round materialized topology, matches are re-enumerated against
+/// the grown graph before the next round; fixpoint is reached when a
+/// round applies nothing new. Literal-only sets never materialize, so
+/// this degenerates to exactly the cached-match literal chase.
+pub fn dep_chase_with_config(
+    deps: &DepSet,
+    graph0: Graph,
+    eq0: EqRel,
+    config: &ChaseConfig,
+) -> (DepChaseOutcome, ChaseStats, RunMetrics) {
+    let start = Instant::now();
+    let p = config.workers.max(1);
+    let mut stats = ChaseStats::default();
+    let mut metrics = RunMetrics {
+        workers: p,
+        ..Default::default()
+    };
+    metrics.worker_busy = vec![Duration::ZERO; p];
+    metrics.worker_idle = vec![Duration::ZERO; p];
+
+    let mut graph = graph0;
+    let mut eq = eq0;
+    let premises: Vec<&[Literal]> = deps
+        .as_slice()
+        .iter()
+        .map(|d| d.premise.as_slice())
+        .collect();
+    // A generating firing's identity: once materialized (or found
+    // realized), the same `(rule, match)` never fires again.
+    type FiredKey = (u32, Match);
+    let mut fired_gen: FxHashSet<FiredKey> = FxHashSet::default();
+
+    let done = |outcome: DepChaseOutcome, stats: ChaseStats, mut metrics: RunMetrics| {
+        metrics.elapsed = start.elapsed();
+        (outcome, stats, metrics)
+    };
+
+    'rebuild: loop {
+        // (Re-)freeze the current topology and enumerate premise matches.
+        let canon = CanonicalGraph::from_graph(graph.clone());
+        let mut all_matches: Vec<Vec<Match>> = Vec::with_capacity(deps.len());
+        for (_, dep) in deps.iter() {
+            let ms = find_all_matches(&canon.graph, &canon.index, &dep.pattern);
+            stats.matches_enumerated += ms.len() as u64;
+            all_matches.push(ms);
+        }
+
+        loop {
+            stats.rounds += 1;
+            let fired = scan_round(
+                &premises,
+                &all_matches,
+                &eq,
+                config,
+                p,
+                &mut stats,
+                &mut metrics,
+            );
+
+            // ---- serial apply phase ----
+            // Realization is judged against the round-start snapshots
+            // (the `canon` topology and a clone of the round-start
+            // relation), so within-round apply order cannot change which
+            // firings materialize. The relation snapshot must be taken
+            // *before* any literal apply of this round mutates `eq` —
+            // but only rounds with generating firings ever read it, so
+            // literal-only rounds (the common tail once generation has
+            // converged) skip the clone entirely.
+            let mut realize_snap = fired
+                .iter()
+                .any(|&(rule, _)| deps.as_slice()[rule as usize].is_generating())
+                .then(|| eq.clone());
+            let topo_before = graph.topology_version();
+            let mut changed = false;
+            for (rule, idx) in fired {
+                let id = gfd_graph::GfdId::new(rule as usize);
+                let dep = &deps.as_slice()[rule as usize];
+                let m = &all_matches[rule as usize][idx as usize];
+                match &dep.consequence {
+                    Consequence::Literals(lits) => match apply_literals(&mut eq, lits, m) {
+                        Ok(c) => changed |= c,
+                        Err(e) => {
+                            metrics.early_terminated = true;
+                            return done(DepChaseOutcome::Conflict(e.with_gfd(id)), stats, metrics);
+                        }
+                    },
+                    Consequence::Generate(gen) => {
+                        let key: FiredKey = (rule, m.clone());
+                        if fired_gen.contains(&key) {
+                            continue;
+                        }
+                        stats.realization_checks += 1;
+                        let snap = realize_snap
+                            .as_mut()
+                            .expect("a generating firing implies the snapshot was taken");
+                        let realized = generate_deducible(snap, &canon.index, gen, m);
+                        fired_gen.insert(key);
+                        if realized {
+                            continue;
+                        }
+                        let outcome = gen.materialize(&mut graph, m, &mut |lit, asn| {
+                            let k1 = (asn[lit.var.index()], lit.attr);
+                            match &lit.rhs {
+                                Operand::Const(c) => eq.bind(k1, c.clone()).map(|_| ()),
+                                Operand::Attr(v2, a2) => {
+                                    eq.merge(k1, (asn[v2.index()], *a2)).map(|_| ())
+                                }
+                            }
+                        });
+                        match outcome {
+                            Ok(fresh) => {
+                                stats.generated_nodes += fresh.len() as u64;
+                                changed = true;
+                                if stats.generated_nodes > config.max_generated_nodes {
+                                    metrics.early_terminated = true;
+                                    return done(
+                                        DepChaseOutcome::BudgetExhausted {
+                                            generated_nodes: stats.generated_nodes,
+                                        },
+                                        stats,
+                                        metrics,
+                                    );
+                                }
+                            }
+                            Err(e) => {
+                                metrics.early_terminated = true;
+                                return done(
+                                    DepChaseOutcome::Conflict(e.with_gfd(id)),
+                                    stats,
+                                    metrics,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return done(
+                    DepChaseOutcome::Fixpoint {
+                        graph: Box::new(graph),
+                        eq: Box::new(eq),
+                    },
+                    stats,
+                    metrics,
+                );
+            }
+            if graph.topology_version() != topo_before {
+                // Materialization grew the graph: matches (and the frozen
+                // index the realization check probes) are stale.
+                continue 'rebuild;
+            }
         }
     }
 }
@@ -392,6 +641,7 @@ mod tests {
                     ttl: Duration::ZERO,
                     batch: 1,
                     dispatch,
+                    ..ChaseConfig::default()
                 };
                 let (outcome, stats, metrics) =
                     chase_to_fixpoint_with_config(&sigma, &canon, EqRel::new(), &cfg);

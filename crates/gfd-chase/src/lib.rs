@@ -10,17 +10,28 @@
 //! * [`imp_rdf::chase_imp`] — implication checking via the chase;
 //! * [`sat_chase::chase_sat`] — satisfiability via the chase;
 //! * [`rule`] — RDF triple-pattern FDs and their embedding into GFDs
-//!   (GFDs subsume the constraints of Hellings et al., §VIII).
+//!   (GFDs subsume the constraints of Hellings et al., §VIII);
+//! * [`ggd`] — reasoning over generalized dependency sets (GFDs + GGDs):
+//!   literal-only sets route to the original `gfd-core` driver, mixed
+//!   sets to [`chase::dep_chase_with_config`], whose serial
+//!   apply-between-rounds step materializes generating consequences
+//!   under a fresh-node budget (DESIGN.md §10).
 
 #![warn(missing_docs)]
 
 pub mod chase;
+pub mod ggd;
 pub mod imp_rdf;
 pub mod rule;
 pub mod sat_chase;
 
 pub use chase::{
-    chase_to_fixpoint, chase_to_fixpoint_with_config, ChaseConfig, ChaseOutcome, ChaseStats,
+    chase_to_fixpoint, chase_to_fixpoint_with_config, dep_chase_with_config, ChaseConfig,
+    ChaseOutcome, ChaseStats, DepChaseOutcome,
+};
+pub use ggd::{
+    dep_imp, dep_imp_with_config, dep_sat, dep_sat_with_config, DepImpOutcome, DepImpResult,
+    DepSatOutcome, DepSatResult,
 };
 pub use imp_rdf::{chase_imp, chase_imp_with_config, ChaseImpResult};
 pub use rule::{RdfConstraint, RdfFd, TriplePattern};

@@ -2,7 +2,7 @@
 
 use crate::args::{load_document, ArgError, Parsed};
 use crate::output::fmt_duration;
-use gfd_detect::{detect, suggest_repairs, DetectConfig};
+use gfd_detect::{detect_deps, suggest_repairs, DetectConfig};
 use std::io::Write;
 use std::time::Duration;
 
@@ -12,7 +12,9 @@ gfd detect FILE [--graph NAME] [--limit N] [--workers N] [--ttl-ms T]
                [--stream DELTALOG] [--compact-frac F]
 
 Runs the rules in FILE against the graph(s) declared in FILE (the paper's
-error-detection application, ϕ1–ϕ4 of Example 1).
+error-detection application, ϕ1–ϕ4 of Example 1). FILE may mix `gfd` and
+`ggd` blocks: an unsatisfied generating consequence is reported as a
+violation with a witness of the missing subgraph.
   --graph NAME  only check the named graph (default: all graphs)
   --limit N     stop after N violations (default: all)
   --repair      print minimal repair suggestions per violation
@@ -67,8 +69,8 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
 
     let mut vocab = gfd_graph::Vocab::new();
     let doc = load_document(&path, &mut vocab)?;
-    if doc.gfds.is_empty() {
-        return Err(ArgError::new(format!("{path} contains no GFDs")));
+    if doc.deps.is_empty() {
+        return Err(ArgError::new(format!("{path} contains no rules")));
     }
     if doc.graphs.is_empty() {
         return Err(ArgError::new(format!(
@@ -113,7 +115,7 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
         if graph_name.as_deref().is_some_and(|g| g != name) {
             continue;
         }
-        let report = detect(graph, &doc.gfds, &config);
+        let report = detect_deps(graph, &doc.deps, &config);
         let _ = writeln!(
             out,
             "graph {name}: {} node(s), {} edge(s) — {} violation(s) in {}",
@@ -127,12 +129,12 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
         }
         if !report.is_clean() {
             dirty = true;
-            let _ = write!(out, "{}", report.summary(&doc.gfds, &vocab));
+            let _ = write!(out, "{}", report.summary(&doc.deps, &vocab));
             if !quiet {
                 for v in &report.violations {
-                    let _ = write!(out, "{}", v.explain(graph, &doc.gfds, &vocab));
+                    let _ = write!(out, "{}", v.explain(graph, &doc.deps, &vocab));
                     if repair {
-                        for r in suggest_repairs(graph, &doc.gfds, v, &vocab) {
+                        for r in suggest_repairs(graph, &doc.deps, v, &vocab) {
                             let _ = writeln!(out, "  repair: {}", r.description);
                         }
                     }
@@ -183,7 +185,7 @@ fn run_stream(
         detect: config,
         compact_fraction: compact_frac,
     };
-    let mut incr = gfd_incr::IncrementalDetector::new(graph.clone(), doc.gfds.clone(), incr_config);
+    let mut incr = gfd_incr::IncrementalDetector::new(graph.clone(), doc.deps.clone(), incr_config);
     let _ = writeln!(
         out,
         "graph {name}: {} node(s), {} edge(s) — {} violation(s) before the stream",

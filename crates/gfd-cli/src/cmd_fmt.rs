@@ -6,8 +6,9 @@ use std::io::Write;
 const HELP: &str = "\
 gfd fmt FILE [--write]
 
-Parses FILE and prints it in the canonical DSL form (graphs first, then
-rules). With --write, the file is rewritten in place.
+Parses FILE and prints it in the canonical DSL form: graphs first, then
+rules (`gfd` and `ggd` blocks, `create` consequences canonicalized), then
+GEDs. With --write, the file is rewritten in place.
 Exit code: 0, or 2 on parse error.
 ";
 
@@ -27,7 +28,11 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
         text.push_str(&gfd_dsl::print_graph(name, graph, &vocab));
         text.push('\n');
     }
-    text.push_str(&gfd_dsl::print_gfd_set(&doc.gfds, &vocab));
+    // All generalized rules (gfd + ggd blocks) in source order; literal
+    // rules print exactly as `print_gfd_set` used to. GEDs follow (they
+    // were previously dropped by `fmt --write` — a silent data loss).
+    text.push_str(&gfd_dsl::print_dep_set(&doc.deps, &vocab));
+    text.push_str(&gfd_dsl::print_ged_set(&doc.geds, &vocab));
 
     if write_back {
         std::fs::write(&path, &text)

@@ -1,22 +1,28 @@
 //! `gfd imp FILE` — implication checking.
 
 use crate::args::{load_document, ArgError, Parsed};
-use crate::output::{fmt_duration, fmt_metrics};
-use gfd_core::GfdSet;
+use crate::output::{fmt_chase_stats, fmt_duration, fmt_metrics};
+use gfd_core::{DepSet, ReasonConfig};
 use gfd_parallel::ParConfig;
 use std::io::Write;
 use std::time::{Duration, Instant};
 
 const HELP: &str = "\
 gfd imp FILE --phi NAME [--workers N] [--ttl-ms T] [--seq] [--metrics]
+             [--gen-budget B]
 
-Checks whether the other rules in FILE imply rule NAME (§VI).
-  --phi NAME    the candidate rule ϕ (by its name in the file)
-  --workers N   parallel workers (default 4)
-  --seq         use the sequential SeqImp algorithm (workers = 1)
-  --ttl-ms T    straggler TTL in milliseconds (default 2000)
-  --metrics     print scheduler metrics (units, splits, steals, idle time)
-Exit code: 0 implied, 1 not implied, 2 error.
+Checks whether the other rules in FILE imply rule NAME (§VI). FILE may
+mix `gfd` and `ggd` blocks: a generating candidate against literal rules
+runs on the unified driver (realization early-exit); a generating Σ runs
+the GGD chase over the candidate's canonical graph.
+  --phi NAME     the candidate rule ϕ (by its name in the file)
+  --workers N    parallel workers (default 4)
+  --seq          use the sequential algorithm (workers = 1)
+  --ttl-ms T     straggler TTL in milliseconds (default 2000)
+  --metrics      print scheduler metrics (units, splits, steals, idle)
+  --gen-budget B fresh-node budget of the GGD chase (default 100000);
+                 exhaustion exits 2
+Exit code: 0 implied, 1 not implied, 2 error or budget exhausted.
 ";
 
 pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
@@ -33,17 +39,18 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     let ttl = Duration::from_millis(args.opt_u64("ttl-ms", 2000)?);
     let sequential = args.flag("seq");
     let show_metrics = args.flag("metrics");
+    let gen_budget = args.opt_u64("gen-budget", 100_000)?;
     args.finish()?;
 
     let mut vocab = gfd_graph::Vocab::new();
     let doc = load_document(&path, &mut vocab)?;
-    let mut sigma = GfdSet::new();
+    let mut sigma = DepSet::new();
     let mut phi = None;
-    for (_, gfd) in doc.gfds.iter() {
-        if gfd.name == phi_name {
-            phi = Some(gfd.clone());
+    for (_, dep) in doc.deps.iter() {
+        if dep.name == phi_name {
+            phi = Some(dep.clone());
         } else {
-            sigma.push(gfd.clone());
+            sigma.push(dep.clone());
         }
     }
     let phi = phi.ok_or_else(|| ArgError::new(format!("no rule named `{phi_name}` in {path}")))?;
@@ -55,13 +62,46 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
         phi.display(&vocab)
     );
     let start = Instant::now();
-    let (implied, metrics) = if sequential {
-        let r = gfd_core::seq_imp(&sigma, &phi);
-        (r.is_implied(), r.stats)
-    } else {
-        let cfg = ParConfig::with_workers(workers).with_ttl(ttl);
-        let r = gfd_parallel::par_imp(&sigma, &phi, &cfg);
-        (r.is_implied(), r.metrics)
+
+    // Route: a literal Σ with a literal ϕ is exactly the pre-refactor
+    // SeqImp/ParImp; a literal Σ with a generating ϕ runs the same driver
+    // under `Goal::GgdImp`; a generating Σ needs the chase.
+    let (implied, metrics, chase_stats) = match (sigma.to_gfds(), phi.as_gfd()) {
+        (Some(gfds), Some(gfd)) => {
+            if sequential {
+                let r = gfd_core::seq_imp(&gfds, &gfd);
+                (r.is_implied(), r.stats, None)
+            } else {
+                let cfg = ParConfig::with_workers(workers).with_ttl(ttl);
+                let r = gfd_parallel::par_imp(&gfds, &gfd, &cfg);
+                (r.is_implied(), r.metrics, None)
+            }
+        }
+        (Some(gfds), None) => {
+            let cfg = ReasonConfig {
+                workers: if sequential { 1 } else { workers.max(1) },
+                ttl,
+                ..ReasonConfig::default()
+            };
+            let r = gfd_core::ggd_imp_with_config(&gfds, &phi, &cfg);
+            (r.is_implied(), r.stats, None)
+        }
+        (None, _) => {
+            let cfg = gfd_chase::ChaseConfig {
+                workers: if sequential { 1 } else { workers.max(1) },
+                ttl,
+                max_generated_nodes: gen_budget,
+                ..gfd_chase::ChaseConfig::default()
+            };
+            let r = gfd_chase::dep_imp_with_config(&sigma, &phi, &cfg);
+            if let gfd_chase::DepImpOutcome::Unknown { generated_nodes } = &r.outcome {
+                return Err(ArgError::new(format!(
+                    "generation budget ({gen_budget}) exhausted after materializing \
+                     {generated_nodes} node(s); raise --gen-budget to keep going"
+                )));
+            }
+            (r.is_implied(), r.metrics, Some(r.stats))
+        }
     };
     let elapsed = start.elapsed();
 
@@ -69,6 +109,9 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     let _ = writeln!(out, "{verdict} ({})", fmt_duration(elapsed));
     if show_metrics {
         let _ = write!(out, "{}", fmt_metrics(&metrics));
+        if let Some(stats) = &chase_stats {
+            let _ = write!(out, "{}", fmt_chase_stats(stats));
+        }
     }
     Ok(if implied { 0 } else { 1 })
 }

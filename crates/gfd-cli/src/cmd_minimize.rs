@@ -38,6 +38,13 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
 
     let mut vocab = gfd_graph::Vocab::new();
     let doc = load_document(&path, &mut vocab)?;
+    if doc.deps.has_generating() {
+        return Err(ArgError::new(
+            "minimize supports literal GFD rules only (GGD implication is \
+             chase-based and a cover under it may not round-trip; drop the \
+             `ggd` blocks or minimize them separately)",
+        ));
+    }
     let rules: Vec<_> = doc.gfds.iter().map(|(_, g)| g.clone()).collect();
     if rules.is_empty() {
         return Err(ArgError::new(format!("{path} contains no GFDs")));

@@ -8,14 +8,19 @@ use std::time::{Duration, Instant};
 
 const HELP: &str = "\
 gfd sat FILE [--workers N] [--ttl-ms T] [--seq] [--model] [--metrics]
+             [--gen-budget B]
 
-Checks whether the GFD set in FILE has a model (§IV–V of the paper).
-  --workers N   parallel workers (default 4)
-  --seq         use the sequential SeqSat algorithm (workers = 1)
-  --ttl-ms T    straggler TTL in milliseconds (default 2000)
-  --model       on satisfiable sets, print the extracted small model
-  --metrics     print scheduler metrics (units, splits, steals, idle time)
-Exit code: 0 satisfiable, 1 unsatisfiable, 2 error.
+Checks whether the rule set in FILE has a model (§IV–V of the paper).
+FILE may mix `gfd` and `ggd` blocks: literal-only sets run the
+SeqSat/ParSat driver, sets with generating rules the GGD chase.
+  --workers N    parallel workers (default 4)
+  --seq          use the sequential algorithm (workers = 1)
+  --ttl-ms T     straggler TTL in milliseconds (default 2000)
+  --model        on satisfiable sets, print the extracted model
+  --metrics      print scheduler metrics (units, splits, steals, idle)
+  --gen-budget B fresh-node budget of the GGD chase (default 100000);
+                 exhaustion exits 2
+Exit code: 0 satisfiable, 1 unsatisfiable, 2 error or budget exhausted.
 ";
 
 pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
@@ -29,14 +34,29 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     let sequential = args.flag("seq");
     let show_model = args.flag("model");
     let show_metrics = args.flag("metrics");
+    let gen_budget = args.opt_u64("gen-budget", 100_000)?;
     args.finish()?;
 
     let mut vocab = gfd_graph::Vocab::new();
     let doc = load_document(&path, &mut vocab)?;
-    let sigma = doc.gfds;
-    if sigma.is_empty() {
-        return Err(ArgError::new(format!("{path} contains no GFDs")));
+    if doc.deps.is_empty() {
+        return Err(ArgError::new(format!("{path} contains no rules")));
     }
+    if doc.deps.has_generating() {
+        return run_generating(
+            &path,
+            doc,
+            &vocab,
+            workers,
+            ttl,
+            sequential,
+            show_model,
+            show_metrics,
+            gen_budget,
+            out,
+        );
+    }
+    let sigma = doc.gfds;
     let _ = writeln!(
         out,
         "{}: {} rule(s), total size {}",
@@ -81,6 +101,74 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
             let _ = write!(out, "{}", gfd_dsl::print_graph("model", model, &vocab));
         } else if satisfiable {
             let _ = writeln!(out, "model: (run with --seq to extract a model)");
+        }
+    }
+    Ok(if satisfiable { 0 } else { 1 })
+}
+
+/// The GGD route: the set contains generating rules, so satisfiability
+/// runs the chase over `GΣ` (scan units on the shared scheduler, serial
+/// generation between rounds) with a fresh-node termination budget.
+#[allow(clippy::too_many_arguments)]
+fn run_generating(
+    path: &str,
+    doc: gfd_dsl::Document,
+    vocab: &gfd_graph::Vocab,
+    workers: usize,
+    ttl: Duration,
+    sequential: bool,
+    show_model: bool,
+    show_metrics: bool,
+    gen_budget: u64,
+    out: &mut dyn Write,
+) -> Result<i32, ArgError> {
+    let sigma = doc.deps;
+    let generating = sigma.iter().filter(|(_, d)| d.is_generating()).count();
+    let _ = writeln!(
+        out,
+        "{}: {} rule(s) ({} generating), total size {} — GGD chase",
+        path,
+        sigma.len(),
+        generating,
+        sigma.total_size()
+    );
+    let cfg = gfd_chase::ChaseConfig {
+        workers: if sequential { 1 } else { workers.max(1) },
+        ttl,
+        max_generated_nodes: gen_budget,
+        ..gfd_chase::ChaseConfig::default()
+    };
+    let start = Instant::now();
+    let r = gfd_chase::dep_sat_with_config(&sigma, &cfg);
+    let elapsed = start.elapsed();
+    if let gfd_chase::DepSatOutcome::Unknown { generated_nodes } = &r.outcome {
+        return Err(ArgError::new(format!(
+            "generation budget ({gen_budget}) exhausted after materializing \
+             {generated_nodes} node(s); the set may have no finite chase — \
+             raise --gen-budget to keep going"
+        )));
+    }
+    let satisfiable = r.is_satisfiable();
+    let verdict = if satisfiable {
+        "SATISFIABLE"
+    } else {
+        "UNSATISFIABLE"
+    };
+    let _ = writeln!(out, "{verdict} ({})", fmt_duration(elapsed));
+    if show_metrics {
+        let _ = write!(out, "{}", fmt_metrics(&r.metrics));
+        let _ = write!(out, "{}", crate::output::fmt_chase_stats(&r.stats));
+    }
+    if show_model {
+        if let Some(model) = r.model() {
+            let _ = writeln!(
+                out,
+                "model: {} nodes, {} edges, {} attributes",
+                model.node_count(),
+                model.edge_count(),
+                model.attr_count()
+            );
+            let _ = write!(out, "{}", gfd_dsl::print_graph("model", model, vocab));
         }
     }
     Ok(if satisfiable { 0 } else { 1 })

@@ -39,10 +39,12 @@ USAGE:
     gfd <COMMAND> [OPTIONS]
 
 COMMANDS:
-    sat FILE        check satisfiability of the GFD set in FILE
+    sat FILE        check satisfiability of the rule set in FILE
+                    (gfd + ggd blocks; GGD sets run the generating chase)
     imp FILE        check implication of one rule by the others
     minimize FILE   remove rules implied by the rest (cover)
     detect FILE     detect violations of the rules in FILE's graphs
+                    (missing GGD subgraphs are violations with witnesses)
     gen             generate a synthetic rule set (prints DSL)
     fmt FILE        reformat a rule file canonically
     ged-sat FILE    GED satisfiability (order predicates, ids, disjunction)
@@ -402,6 +404,152 @@ mod tests {
             "0.0",
         ]);
         assert_eq!(code, 1, "{text}"); // the attr write breaks the rule
+    }
+
+    #[test]
+    fn end_to_end_mixed_ggd_sat_imp_detect_fmt() {
+        let dir = std::env::temp_dir().join("gfd-cli-test-ggd");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mixed.gfd");
+        // A data graph with one lonely person, a GGD demanding every
+        // person belongs to a team, and a literal rule off the generated
+        // attribute.
+        std::fs::write(
+            &path,
+            r#"
+            graph g {
+              node a: person { city = "nbo" }
+              node b: person { city = "nbo" }
+              node t: team { city = "nbo", open = true }
+              edge a -memberOf-> t
+            }
+            ggd has_team {
+              pattern { node x: person }
+              create {
+                node m: team
+                edge x -memberOf-> m
+                set { m.city = x.city }
+              }
+            }
+            gfd team_city {
+              pattern { node m: team }
+              when { m.city = "nbo" }
+              then { m.open = true }
+            }
+            "#,
+        )
+        .unwrap();
+
+        // fmt canonicalizes the create block and is a fixpoint.
+        let (code, formatted) = run_vec(&["fmt", path.to_str().unwrap()]);
+        assert_eq!(code, 0, "{formatted}");
+        assert!(formatted.contains("ggd has_team {"), "{formatted}");
+        assert!(formatted.contains("create {"), "{formatted}");
+        let path2 = dir.join("mixed2.gfd");
+        std::fs::write(&path2, &formatted).unwrap();
+        let (code, formatted2) = run_vec(&["fmt", path2.to_str().unwrap()]);
+        assert_eq!(code, 0, "{formatted2}");
+        assert_eq!(formatted, formatted2, "fmt must be a fixpoint");
+
+        // sat routes through the GGD chase and finds a model.
+        for workers in ["1", "2", "8"] {
+            let (code, text) = run_vec(&[
+                "sat",
+                path.to_str().unwrap(),
+                "--workers",
+                workers,
+                "--metrics",
+            ]);
+            assert_eq!(code, 0, "workers={workers}: {text}");
+            assert!(text.contains("GGD chase"), "{text}");
+            assert!(text.contains("SATISFIABLE"), "{text}");
+            assert!(text.contains("chase:"), "{text}");
+        }
+
+        // imp: the chain GGD implies that persons have a team over
+        // memberOf; a differently-labelled requirement is not implied.
+        let imp_file = dir.join("imp.gfd");
+        std::fs::write(
+            &imp_file,
+            r#"
+            ggd has_team {
+              pattern { node x: person }
+              create { node m: team edge x -memberOf-> m }
+            }
+            ggd probe_good {
+              pattern { node x: person }
+              create { node m: team edge x -memberOf-> m }
+            }
+            ggd probe_bad {
+              pattern { node x: person }
+              create { node m: team edge x -leads-> m }
+            }
+            "#,
+        )
+        .unwrap();
+        for workers in ["1", "2", "8"] {
+            let (code, text) = run_vec(&[
+                "imp",
+                imp_file.to_str().unwrap(),
+                "--phi",
+                "probe_good",
+                "--workers",
+                workers,
+            ]);
+            assert_eq!(code, 0, "workers={workers}: {text}");
+            assert!(text.contains("IMPLIED"), "{text}");
+            let (code, text) = run_vec(&[
+                "imp",
+                imp_file.to_str().unwrap(),
+                "--phi",
+                "probe_bad",
+                "--workers",
+                workers,
+            ]);
+            assert_eq!(code, 1, "workers={workers}: {text}");
+        }
+
+        // detect: person b has no team — a violation with a
+        // missing-subgraph witness; person a's is realized.
+        for workers in ["1", "2", "8"] {
+            let (code, text) = run_vec(&["detect", path.to_str().unwrap(), "--workers", workers]);
+            assert_eq!(code, 1, "workers={workers}: {text}");
+            assert!(text.contains("1 violation(s) across 1 rule(s)"), "{text}");
+            assert!(text.contains("missing"), "{text}");
+            assert!(text.contains("requires node m: team"), "{text}");
+        }
+
+        // A generating candidate against literal Σ exercises the driver
+        // route (Goal::GgdImp): x.v = 1 as a generated assignment follows
+        // from the literal rule.
+        let drv_file = dir.join("driver.gfd");
+        std::fs::write(
+            &drv_file,
+            r#"
+            gfd seed { pattern { node x: t } then { x.v = 1 } }
+            ggd probe { pattern { node x: t } create { set { x.v = 1 } } }
+            "#,
+        )
+        .unwrap();
+        let (code, text) = run_vec(&["imp", drv_file.to_str().unwrap(), "--phi", "probe"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("IMPLIED"), "{text}");
+    }
+
+    #[test]
+    fn ggd_gen_budget_exhaustion_is_a_clean_error() {
+        let dir = std::env::temp_dir().join("gfd-cli-test-ggd-budget");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("runaway.gfd");
+        std::fs::write(
+            &path,
+            "ggd spawn { pattern { node x: person } \
+             create { node y: person edge x -parentOf-> y } }\n",
+        )
+        .unwrap();
+        let (code, text) = run_vec(&["sat", path.to_str().unwrap(), "--gen-budget", "25"]);
+        assert_eq!(code, 2, "{text}");
+        assert!(text.contains("generation budget"), "{text}");
     }
 
     #[test]

@@ -15,19 +15,23 @@ pub fn fmt_duration(d: Duration) -> String {
 }
 
 /// Render the unified scheduler metrics as indented lines.
+///
+/// Every [`RunMetrics`] counter prints unconditionally — `sat`, `imp`,
+/// `detect` and the `ged-*` commands all show the same shape, so a zero
+/// (e.g. `branches explored: 0` for match-driven workloads) reads as "not
+/// that kind of work" rather than silently disappearing from the output.
 pub fn fmt_metrics(m: &RunMetrics) -> String {
     let mut out = String::new();
+    out.push_str(&format!("  workers: {}\n", m.workers));
     out.push_str(&format!(
         "  units: {} generated, {} dispatched, {} split, {} stolen\n",
         m.units_generated, m.units_dispatched, m.units_split, m.units_stolen
     ));
     out.push_str(&format!(
-        "  matches: {} ({} pending, {} rechecks)\n",
-        m.matches, m.pending, m.rechecks
+        "  matches: {} ({} pending, {} rechecks, {} delta ops broadcast)\n",
+        m.matches, m.pending, m.rechecks, m.delta_ops_broadcast
     ));
-    if m.branches > 0 {
-        out.push_str(&format!("  branches explored: {}\n", m.branches));
-    }
+    out.push_str(&format!("  branches explored: {}\n", m.branches));
     if let Some(ms) = m.makespan() {
         out.push_str(&format!(
             "  makespan: {} (idle: {})\n",
@@ -35,10 +39,21 @@ pub fn fmt_metrics(m: &RunMetrics) -> String {
             fmt_duration(m.total_idle())
         ));
     }
-    if m.early_terminated {
-        out.push_str("  early termination: yes\n");
-    }
+    out.push_str(&format!(
+        "  early termination: {}\n",
+        if m.early_terminated { "yes" } else { "no" }
+    ));
     out
+}
+
+/// Render the chase counters that accompany [`RunMetrics`] on the
+/// generalized (GGD) reasoning paths.
+pub fn fmt_chase_stats(s: &gfd_chase::ChaseStats) -> String {
+    format!(
+        "  chase: {} round(s), {} premise eval(s), {} match(es) enumerated, \
+         {} node(s) generated, {} realization check(s)\n",
+        s.rounds, s.premise_evals, s.matches_enumerated, s.generated_nodes, s.realization_checks
+    )
 }
 
 #[cfg(test)]

@@ -103,9 +103,19 @@ impl CanonicalGraph {
     /// `i`) plus `EqX`. An `Err` means `X` itself is inconsistent, in which
     /// case ϕ is trivially satisfied by every graph.
     pub fn for_phi(phi: &Gfd) -> Result<(Self, EqRel), Conflict> {
-        let graph = phi.pattern.to_graph();
+        Self::for_premise(&phi.pattern, &phi.premise)
+    }
+
+    /// [`CanonicalGraph::for_phi`] over a bare premise — shared with the
+    /// generalized dependency layer, whose candidate ϕ may have a
+    /// generating consequence (the premise side is identical).
+    pub fn for_premise(
+        pattern: &Pattern,
+        premise: &[crate::literal::Literal],
+    ) -> Result<(Self, EqRel), Conflict> {
+        let graph = pattern.to_graph();
         let mut eq = EqRel::new();
-        for lit in &phi.premise {
+        for lit in premise {
             let k1 = (NodeId::new(lit.var.index()), lit.attr);
             match &lit.rhs {
                 Operand::Const(c) => {
@@ -240,7 +250,13 @@ pub fn build_plans_lazy(
 /// identity mapping (variable `i` ↦ node `i`)? This is the paper's
 /// `Y ⊆ EqH` termination test for implication.
 pub fn consequence_deducible(eq: &mut EqRel, phi: &Gfd) -> bool {
-    phi.consequence.iter().all(|lit| {
+    consequence_lits_deducible(eq, &phi.consequence)
+}
+
+/// [`consequence_deducible`] over a bare literal slice — shared with the
+/// generalized dependency layer.
+pub fn consequence_lits_deducible(eq: &mut EqRel, lits: &[crate::literal::Literal]) -> bool {
+    lits.iter().all(|lit| {
         let k1 = (NodeId::new(lit.var.index()), lit.attr);
         match &lit.rhs {
             Operand::Const(c) => eq.deduces_const(k1, c),

@@ -1,0 +1,834 @@
+//! The general rule layer: dependencies with *consequence actions*.
+//!
+//! A [`Dependency`] generalizes the GFD `ϕ = Q[x̄](X → Y)` by replacing the
+//! literal-conjunction consequence `Y` with a [`Consequence`] action:
+//!
+//! * [`Consequence::Literals`] — today's GFDs, byte-for-byte compatible
+//!   with [`Gfd`] (the [`Dependency::from_gfd`] / [`Dependency::as_gfd`]
+//!   shim keeps existing call sites compiling during the migration);
+//! * [`Consequence::Generate`] — graph-generating dependencies (GGDs,
+//!   Shimomura et al.): the consequence asserts the *existence* of a
+//!   target subgraph — fresh nodes, fresh edges and attribute
+//!   assignments, with variable bindings into the premise match — and the
+//!   chase *creates* it when no extension of the match realizes it.
+//!
+//! Every future dependency class (TGDs/EGDs, keys) slots in behind the
+//! same enum. Sets of dependencies are [`DepSet`], the generalized `Σ`;
+//! the reasoning drivers route literal-only sets through the original
+//! GFD algorithms unchanged and mixed sets through the chase-based
+//! semantics (`gfd-chase`), see DESIGN.md §10.
+
+use crate::error::Conflict;
+use crate::gfd::Gfd;
+use crate::literal::{Literal, Operand};
+use crate::sigma::GfdSet;
+use gfd_graph::{AttrId, GfdId, MatchIndex, NodeId, Pattern, TopologyView, VarId, Vocab};
+use std::fmt;
+
+/// The attribute predicate realization checks call for each assignment
+/// literal: detection passes concrete data-graph evaluation, the chase
+/// passes `EqRel` deducibility. The literal only references variables
+/// already bound in the assignment slice.
+pub type AttrPred<'a> = dyn FnMut(&Literal, &[NodeId]) -> bool + 'a;
+
+/// The binding callback [`GenerateConsequence::materialize`] hands each
+/// attribute assignment to (the chase binds/merges into its relation).
+pub type AttrBind<'a> = dyn FnMut(&Literal, &[NodeId]) -> Result<(), Conflict> + 'a;
+
+/// What a dependency asserts about each premise match.
+#[derive(Clone, Debug)]
+pub enum Consequence {
+    /// A conjunction of attribute literals over the premise variables —
+    /// the classic GFD consequence `Y`.
+    Literals(Vec<Literal>),
+    /// A target subgraph that must exist as an extension of the premise
+    /// match — the GGD consequence. Enforcement *generates* the missing
+    /// part; detection reports it as a violation with a witness of the
+    /// missing subgraph.
+    Generate(GenerateConsequence),
+}
+
+impl Consequence {
+    /// True iff this is a generating consequence.
+    pub fn is_generating(&self) -> bool {
+        matches!(self, Consequence::Generate(_))
+    }
+
+    /// Size contribution to `|ϕ|`.
+    pub fn size(&self) -> usize {
+        match self {
+            Consequence::Literals(lits) => lits.iter().map(Literal::size).sum(),
+            Consequence::Generate(gen) => gen.size(),
+        }
+    }
+
+    /// Attributes mentioned by the consequence (used by the dependency
+    /// ordering heuristics).
+    pub fn attrs(&self) -> Vec<AttrId> {
+        match self {
+            Consequence::Literals(lits) => lits.iter().flat_map(Literal::attrs).collect(),
+            Consequence::Generate(gen) => gen.attrs.iter().flat_map(Literal::attrs).collect(),
+        }
+    }
+}
+
+/// A generating consequence: the target pattern `Q_t[x̄, ȳ]` of a GGD.
+///
+/// The target [`Pattern`] extends the premise pattern's variable space:
+/// its first [`shared`](GenerateConsequence::shared) variables alias the
+/// premise variables (same labels, same display names, **no** premise
+/// edges — those are already guaranteed by the match), the remaining
+/// variables are *fresh* nodes to find-or-create. `edges()` of the target
+/// pattern are the generated edges (between any two target variables),
+/// and [`attrs`](GenerateConsequence::attrs) are attribute assignments
+/// over the combined variable space.
+#[derive(Clone, Debug)]
+pub struct GenerateConsequence {
+    /// The target pattern: premise variables (nodes only) followed by
+    /// fresh variables, with the generated edges.
+    pub pattern: Pattern,
+    /// Number of leading target variables shared with the premise.
+    pub shared: usize,
+    /// Attribute assignments over the target variables (`v.A = c` or
+    /// `v.A = u.B`).
+    pub attrs: Vec<Literal>,
+}
+
+impl GenerateConsequence {
+    /// Start a target pattern over `premise`: its variables are copied
+    /// (labels and names, no edges); add fresh nodes, generated edges and
+    /// attribute assignments afterwards.
+    pub fn over(premise: &Pattern) -> Self {
+        let mut pattern = Pattern::new();
+        for v in premise.vars() {
+            pattern.add_node(premise.label(v), premise.var_name(v));
+        }
+        GenerateConsequence {
+            shared: premise.node_count(),
+            pattern,
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Add a fresh node to generate. Its label must be concrete (the
+    /// chase cannot materialize a wildcard-labelled node).
+    pub fn add_fresh(&mut self, label: gfd_graph::LabelId, name: impl Into<String>) -> VarId {
+        assert!(
+            !label.is_wildcard(),
+            "generated nodes need a concrete label"
+        );
+        self.pattern.add_node(label, name)
+    }
+
+    /// Add a generated edge between target variables. The label must be
+    /// concrete for the same reason as [`add_fresh`](Self::add_fresh).
+    pub fn add_edge(&mut self, src: VarId, label: gfd_graph::LabelId, dst: VarId) {
+        assert!(
+            !label.is_wildcard(),
+            "generated edges need a concrete label"
+        );
+        self.pattern.add_edge(src, label, dst);
+    }
+
+    /// Add an attribute assignment.
+    pub fn push_attr(&mut self, lit: Literal) {
+        self.attrs.push(lit);
+    }
+
+    /// The fresh (generated) target variables.
+    pub fn fresh_vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        (self.shared..self.pattern.node_count()).map(VarId::new)
+    }
+
+    /// Number of fresh variables.
+    pub fn fresh_count(&self) -> usize {
+        self.pattern.node_count() - self.shared
+    }
+
+    /// True iff there is nothing to generate: no fresh nodes, no edges,
+    /// no attribute assignments. A trivial consequence is realized by
+    /// every match.
+    pub fn is_trivial(&self) -> bool {
+        self.fresh_count() == 0 && self.pattern.edge_count() == 0 && self.attrs.is_empty()
+    }
+
+    /// Size contribution: fresh nodes + generated edges + attr literals.
+    pub fn size(&self) -> usize {
+        self.fresh_count()
+            + self.pattern.edge_count()
+            + self.attrs.iter().map(Literal::size).sum::<usize>()
+    }
+
+    fn assert_well_formed(&self, name: &str, premise: &Pattern) {
+        assert_eq!(
+            self.shared,
+            premise.node_count(),
+            "GGD `{name}`: target pattern must share every premise variable"
+        );
+        let n = self.pattern.node_count();
+        assert!(
+            n >= self.shared,
+            "GGD `{name}`: target smaller than premise"
+        );
+        for v in premise.vars() {
+            assert_eq!(
+                self.pattern.label(v),
+                premise.label(v),
+                "GGD `{name}`: shared variable {v} changes label"
+            );
+        }
+        for v in self.fresh_vars() {
+            assert!(
+                !self.pattern.label(v).is_wildcard(),
+                "GGD `{name}`: generated node {v} has a wildcard label"
+            );
+        }
+        for e in self.pattern.edges() {
+            assert!(
+                !e.label.is_wildcard(),
+                "GGD `{name}`: generated edge has a wildcard label"
+            );
+        }
+        for lit in &self.attrs {
+            for v in lit.vars() {
+                assert!(
+                    v.index() < n,
+                    "GGD `{name}` attr assignment references unknown variable {v}"
+                );
+            }
+        }
+    }
+
+    /// Is the consequence *realized* at premise match `m`: does some
+    /// extension of `m` to the fresh variables exist in the indexed graph
+    /// such that every generated edge is present and every attribute
+    /// assignment passes `attr_ok`?
+    ///
+    /// `attr_ok` abstracts the attribute semantics: detection checks
+    /// concrete data-graph values, the chase checks deducibility in the
+    /// equivalence relation. The literal handed to it only references
+    /// variables already assigned in the slice.
+    pub fn realized<I: MatchIndex>(&self, index: &I, m: &[NodeId], attr_ok: &mut AttrPred) -> bool {
+        let total = self.pattern.node_count();
+        debug_assert!(m.len() >= self.shared);
+        let mut asn: Vec<NodeId> = vec![NodeId::new(0); total];
+        asn[..self.shared].copy_from_slice(&m[..self.shared]);
+
+        // Bucket each structural/attribute check at the highest variable
+        // it mentions: the check runs as soon as that variable is bound.
+        let mut edge_at: Vec<Vec<usize>> = vec![Vec::new(); total.max(1)];
+        for (i, e) in self.pattern.edges().iter().enumerate() {
+            edge_at[e.src.index().max(e.dst.index())].push(i);
+        }
+        let mut attr_at: Vec<Vec<usize>> = vec![Vec::new(); total.max(1)];
+        for (i, lit) in self.attrs.iter().enumerate() {
+            let hi = lit.vars().map(VarId::index).max().unwrap_or(0);
+            attr_at[hi].push(i);
+        }
+
+        let check_at = |v: usize, asn: &[NodeId], attr_ok: &mut AttrPred| -> bool {
+            let edges = self.pattern.edges();
+            edge_at[v].iter().all(|&i| {
+                let e = &edges[i];
+                index
+                    .view()
+                    .has_edge_pattern(asn[e.src.index()], e.label, asn[e.dst.index()])
+            }) && attr_at[v].iter().all(|&i| attr_ok(&self.attrs[i], asn))
+        };
+
+        // Checks fully determined by the shared prefix run once, up front.
+        for v in 0..self.shared {
+            if !check_at(v, &asn, attr_ok) {
+                return false;
+            }
+        }
+        if total == self.shared {
+            return true;
+        }
+
+        // Backtracking extension search over the fresh variables.
+        fn search<I: MatchIndex>(
+            gen: &GenerateConsequence,
+            index: &I,
+            asn: &mut [NodeId],
+            v: usize,
+            check_at: &dyn Fn(usize, &[NodeId], &mut AttrPred) -> bool,
+            attr_ok: &mut AttrPred,
+        ) -> bool {
+            if v == gen.pattern.node_count() {
+                return true;
+            }
+            for &cand in index.candidates(gen.pattern.label(VarId::new(v))) {
+                asn[v] = cand;
+                if check_at(v, asn, attr_ok) && search(gen, index, asn, v + 1, check_at, attr_ok) {
+                    return true;
+                }
+            }
+            false
+        }
+        search(self, index, &mut asn, self.shared, &check_at, attr_ok)
+    }
+
+    /// Materialize the consequence at premise match `m`: create one node
+    /// per fresh variable, add every generated edge, then hand each
+    /// attribute assignment to `bind` with the combined assignment.
+    /// Returns the fresh node ids (in fresh-variable order).
+    pub fn materialize(
+        &self,
+        graph: &mut gfd_graph::Graph,
+        m: &[NodeId],
+        bind: &mut AttrBind,
+    ) -> Result<Vec<NodeId>, Conflict> {
+        let mut asn: Vec<NodeId> = Vec::with_capacity(self.pattern.node_count());
+        asn.extend_from_slice(&m[..self.shared]);
+        let mut fresh = Vec::with_capacity(self.fresh_count());
+        for v in self.fresh_vars() {
+            let node = graph.add_node(self.pattern.label(v));
+            asn.push(node);
+            fresh.push(node);
+        }
+        for e in self.pattern.edges() {
+            graph.add_edge(asn[e.src.index()], e.label, asn[e.dst.index()]);
+        }
+        for lit in &self.attrs {
+            bind(lit, &asn)?;
+        }
+        Ok(fresh)
+    }
+}
+
+/// Is a generating consequence deducible under the equivalence relation
+/// `eq` at match `m` — the GGD analogue of
+/// [`crate::canonical::consequence_deducible`]? Attribute assignments are
+/// checked by class deduction; the structural part is probed on `index`.
+pub fn generate_deducible<I: MatchIndex>(
+    eq: &mut crate::eq::EqRel,
+    index: &I,
+    gen: &GenerateConsequence,
+    m: &[NodeId],
+) -> bool {
+    gen.realized(index, m, &mut |lit, asn| {
+        let k1 = (asn[lit.var.index()], lit.attr);
+        match &lit.rhs {
+            Operand::Const(c) => eq.deduces_const(k1, c),
+            Operand::Attr(v2, a2) => eq.deduces_eq(k1, (asn[v2.index()], *a2)),
+        }
+    })
+}
+
+/// A dependency: a premise (pattern + source literals) plus a consequence
+/// action. The generalized rule everything above `gfd-core` speaks.
+#[derive(Clone, Debug)]
+pub struct Dependency {
+    /// Human-readable name.
+    pub name: String,
+    /// The premise pattern `Q[x̄]`.
+    pub pattern: Pattern,
+    /// The premise literals `X` (empty = always satisfied).
+    pub premise: Vec<Literal>,
+    /// The consequence action.
+    pub consequence: Consequence,
+}
+
+impl Dependency {
+    /// Build a dependency, checking well-formedness (literals reference
+    /// pattern variables; generating targets extend the premise).
+    pub fn new(
+        name: impl Into<String>,
+        pattern: Pattern,
+        premise: Vec<Literal>,
+        consequence: Consequence,
+    ) -> Self {
+        let dep = Dependency {
+            name: name.into(),
+            pattern,
+            premise,
+            consequence,
+        };
+        dep.assert_well_formed();
+        dep
+    }
+
+    fn assert_well_formed(&self) {
+        let n = self.pattern.node_count();
+        assert!(n > 0, "dependency `{}` has an empty pattern", self.name);
+        for lit in &self.premise {
+            for v in lit.vars() {
+                assert!(
+                    v.index() < n,
+                    "dependency `{}` references unknown variable {v}",
+                    self.name
+                );
+            }
+        }
+        match &self.consequence {
+            Consequence::Literals(lits) => {
+                for lit in lits {
+                    for v in lit.vars() {
+                        assert!(
+                            v.index() < n,
+                            "dependency `{}` references unknown variable {v}",
+                            self.name
+                        );
+                    }
+                }
+            }
+            Consequence::Generate(gen) => gen.assert_well_formed(&self.name, &self.pattern),
+        }
+    }
+
+    /// Lift a GFD into the general model (the migration shim).
+    pub fn from_gfd(gfd: Gfd) -> Self {
+        Dependency {
+            name: gfd.name,
+            pattern: gfd.pattern,
+            premise: gfd.premise,
+            consequence: Consequence::Literals(gfd.consequence),
+        }
+    }
+
+    /// The reverse shim: a literal-consequence dependency as a [`Gfd`]
+    /// (clone), `None` for generating dependencies.
+    pub fn as_gfd(&self) -> Option<Gfd> {
+        match &self.consequence {
+            Consequence::Literals(lits) => Some(Gfd::new(
+                self.name.clone(),
+                self.pattern.clone(),
+                self.premise.clone(),
+                lits.clone(),
+            )),
+            Consequence::Generate(_) => None,
+        }
+    }
+
+    /// True iff the consequence generates.
+    pub fn is_generating(&self) -> bool {
+        self.consequence.is_generating()
+    }
+
+    /// True iff the premise is empty (`∅ → …`).
+    pub fn has_empty_premise(&self) -> bool {
+        self.premise.is_empty()
+    }
+
+    /// True iff the consequence is a literal denial (`… → false`).
+    /// Generating consequences are never denials.
+    pub fn is_denial(&self) -> bool {
+        match &self.consequence {
+            Consequence::Literals(lits) => crate::gfd::literals_are_denial(lits),
+            Consequence::Generate(_) => false,
+        }
+    }
+
+    /// The size `|ϕ| = |Q| + |X| + |Y|`.
+    pub fn size(&self) -> usize {
+        self.pattern.size()
+            + self.premise.iter().map(Literal::size).sum::<usize>()
+            + self.consequence.size()
+    }
+
+    /// Attributes mentioned in the premise.
+    pub fn premise_attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.premise.iter().flat_map(Literal::attrs)
+    }
+
+    /// Render with names resolved through `vocab`. Literal-consequence
+    /// dependencies render exactly like the [`Gfd`] they shim.
+    pub fn display<'a>(&'a self, vocab: &'a Vocab) -> DependencyDisplay<'a> {
+        DependencyDisplay { dep: self, vocab }
+    }
+}
+
+impl From<Gfd> for Dependency {
+    fn from(gfd: Gfd) -> Self {
+        Dependency::from_gfd(gfd)
+    }
+}
+
+/// Helper for rendering a dependency with human-readable names.
+pub struct DependencyDisplay<'a> {
+    dep: &'a Dependency,
+    vocab: &'a Vocab,
+}
+
+impl fmt::Display for DependencyDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.dep;
+        if let Some(gfd) = d.as_gfd() {
+            // Byte-identical to the GFD rendering.
+            return write!(f, "{}", gfd.display(self.vocab));
+        }
+        let Consequence::Generate(gen) = &d.consequence else {
+            unreachable!("as_gfd covered the literal arm")
+        };
+        write!(f, "{}: Q[", d.name)?;
+        for (i, v) in d.pattern.vars().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(
+                f,
+                "{}:{}",
+                d.pattern.var_name(v),
+                self.vocab.label_name(d.pattern.label(v))
+            )?;
+        }
+        write!(f, "](")?;
+        if d.premise.is_empty() {
+            write!(f, "∅")?;
+        }
+        for (i, l) in d.premise.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{}", l.display(&d.pattern, self.vocab))?;
+        }
+        write!(f, " → CREATE ")?;
+        let mut first = true;
+        for v in gen.fresh_vars() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(
+                f,
+                "{}:{}",
+                gen.pattern.var_name(v),
+                self.vocab.label_name(gen.pattern.label(v))
+            )?;
+        }
+        for e in gen.pattern.edges() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(
+                f,
+                "{} -{}-> {}",
+                gen.pattern.var_name(e.src),
+                self.vocab.label_name(e.label),
+                gen.pattern.var_name(e.dst)
+            )?;
+        }
+        for l in &gen.attrs {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{}", l.display(&gen.pattern, self.vocab))?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A set Σ of dependencies — the generalized rule set. Identified by
+/// position like [`GfdSet`], with the same [`GfdId`] id space so the
+/// detection and chase layers keep their keying.
+#[derive(Clone, Debug, Default)]
+pub struct DepSet {
+    deps: Vec<Dependency>,
+}
+
+impl DepSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a vector of dependencies.
+    pub fn from_vec(deps: Vec<Dependency>) -> Self {
+        DepSet { deps }
+    }
+
+    /// Lift a GFD set (the migration shim; preserves order and ids).
+    pub fn from_gfds(gfds: GfdSet) -> Self {
+        DepSet {
+            deps: gfds
+                .as_slice()
+                .iter()
+                .cloned()
+                .map(Dependency::from_gfd)
+                .collect(),
+        }
+    }
+
+    /// Lower into a GFD set; `None` if any dependency generates.
+    pub fn to_gfds(&self) -> Option<GfdSet> {
+        self.deps.iter().map(Dependency::as_gfd).collect()
+    }
+
+    /// Add a dependency, returning its id.
+    pub fn push(&mut self, dep: Dependency) -> GfdId {
+        let id = GfdId::new(self.deps.len());
+        self.deps.push(dep);
+        id
+    }
+
+    /// The dependency with the given id.
+    pub fn get(&self, id: GfdId) -> &Dependency {
+        &self.deps[id.index()]
+    }
+
+    /// Number of dependencies.
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// True iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// True iff any dependency has a generating consequence (the routing
+    /// predicate: literal-only sets run the original GFD algorithms).
+    pub fn has_generating(&self) -> bool {
+        self.deps.iter().any(Dependency::is_generating)
+    }
+
+    /// Iterate `(id, dependency)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (GfdId, &Dependency)> {
+        self.deps
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (GfdId::new(i), d))
+    }
+
+    /// The underlying slice.
+    pub fn as_slice(&self) -> &[Dependency] {
+        &self.deps
+    }
+
+    /// Total size `|Σ|`.
+    pub fn total_size(&self) -> usize {
+        self.deps.iter().map(Dependency::size).sum()
+    }
+
+    /// Render every dependency on its own line.
+    pub fn display_all(&self, vocab: &Vocab) -> String {
+        let mut s = String::new();
+        for d in &self.deps {
+            s.push_str(&d.display(vocab).to_string());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl From<GfdSet> for DepSet {
+    fn from(gfds: GfdSet) -> Self {
+        DepSet::from_gfds(gfds)
+    }
+}
+
+impl FromIterator<Dependency> for DepSet {
+    fn from_iter<T: IntoIterator<Item = Dependency>>(iter: T) -> Self {
+        DepSet {
+            deps: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl std::ops::Index<GfdId> for DepSet {
+    type Output = Dependency;
+    fn index(&self, id: GfdId) -> &Dependency {
+        &self.deps[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eq::EqRel;
+    use gfd_graph::{Graph, LabelIndex, Value, Vocab};
+
+    fn person_meeting(vocab: &mut Vocab) -> Dependency {
+        let person = vocab.label("person");
+        let meeting = vocab.label("meeting");
+        let knows = vocab.label("knows");
+        let attends = vocab.label("attends");
+        let city = vocab.attr("city");
+        let mut p = Pattern::new();
+        let x = p.add_node(person, "x");
+        let y = p.add_node(person, "y");
+        p.add_edge(x, knows, y);
+        let mut gen = GenerateConsequence::over(&p);
+        let m = gen.add_fresh(meeting, "m");
+        gen.add_edge(x, attends, m);
+        gen.add_edge(y, attends, m);
+        gen.push_attr(Literal::eq_attr(m, city, x, city));
+        Dependency::new(
+            "meetup",
+            p,
+            vec![Literal::eq_attr(x, city, y, city)],
+            Consequence::Generate(gen),
+        )
+    }
+
+    #[test]
+    fn shims_round_trip_literal_rules() {
+        let mut vocab = Vocab::new();
+        let t = vocab.label("t");
+        let a = vocab.attr("a");
+        let mut p = Pattern::new();
+        let x = p.add_node(t, "x");
+        let gfd = Gfd::new("g", p, vec![], vec![Literal::eq_const(x, a, 1i64)]);
+        let dep = Dependency::from_gfd(gfd.clone());
+        assert!(!dep.is_generating());
+        let back = dep.as_gfd().unwrap();
+        assert_eq!(back.name, gfd.name);
+        assert_eq!(back.premise, gfd.premise);
+        assert_eq!(back.consequence, gfd.consequence);
+        // Display is byte-identical through the shim.
+        assert_eq!(
+            dep.display(&vocab).to_string(),
+            gfd.display(&vocab).to_string()
+        );
+    }
+
+    #[test]
+    fn depset_shims_preserve_order_and_ids() {
+        let mut vocab = Vocab::new();
+        let t = vocab.label("t");
+        let a = vocab.attr("a");
+        let mk = |name: &str| {
+            let mut p = Pattern::new();
+            let x = p.add_node(t, "x");
+            Gfd::new(name, p, vec![], vec![Literal::eq_const(x, a, 1i64)])
+        };
+        let gfds = GfdSet::from_vec(vec![mk("a"), mk("b")]);
+        let deps = DepSet::from_gfds(gfds.clone());
+        assert_eq!(deps.len(), 2);
+        assert!(!deps.has_generating());
+        assert_eq!(deps[GfdId::new(1)].name, "b");
+        let back = deps.to_gfds().unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get(GfdId::new(0)).name, "a");
+    }
+
+    #[test]
+    fn generating_set_cannot_lower() {
+        let mut vocab = Vocab::new();
+        let deps = DepSet::from_vec(vec![person_meeting(&mut vocab)]);
+        assert!(deps.has_generating());
+        assert!(deps.to_gfds().is_none());
+        assert!(deps.get(GfdId::new(0)).as_gfd().is_none());
+    }
+
+    #[test]
+    fn realization_finds_existing_extension() {
+        let mut vocab = Vocab::new();
+        let dep = person_meeting(&mut vocab);
+        let Consequence::Generate(gen) = &dep.consequence else {
+            unreachable!()
+        };
+        let person = vocab.label("person");
+        let meeting = vocab.label("meeting");
+        let knows = vocab.label("knows");
+        let attends = vocab.label("attends");
+        let city = vocab.attr("city");
+
+        let mut g = Graph::new();
+        let a = g.add_node(person);
+        let b = g.add_node(person);
+        g.add_edge(a, knows, b);
+        g.set_attr(a, city, Value::str("nbo"));
+        g.set_attr(b, city, Value::str("nbo"));
+        let m: Vec<NodeId> = vec![a, b];
+
+        // No meeting node yet: unrealized.
+        let index = LabelIndex::build(&g);
+        let mut concrete =
+            |lit: &Literal, asn: &[NodeId]| crate::validate::literal_holds(&g, lit, asn);
+        assert!(!gen.realized(&index, &m, &mut concrete));
+
+        // Add the meeting with both edges and the right city: realized.
+        let mt = g.add_node(meeting);
+        g.add_edge(a, attends, mt);
+        g.add_edge(b, attends, mt);
+        g.set_attr(mt, city, Value::str("nbo"));
+        let index = LabelIndex::build(&g);
+        let mut concrete =
+            |lit: &Literal, asn: &[NodeId]| crate::validate::literal_holds(&g, lit, asn);
+        assert!(gen.realized(&index, &m, &mut concrete));
+
+        // Wrong city on the meeting: unrealized again.
+        g.set_attr(mt, city, Value::str("mba"));
+        let index = LabelIndex::build(&g);
+        let mut concrete =
+            |lit: &Literal, asn: &[NodeId]| crate::validate::literal_holds(&g, lit, asn);
+        assert!(!gen.realized(&index, &m, &mut concrete));
+    }
+
+    #[test]
+    fn materialize_creates_the_target() {
+        let mut vocab = Vocab::new();
+        let dep = person_meeting(&mut vocab);
+        let Consequence::Generate(gen) = &dep.consequence else {
+            unreachable!()
+        };
+        let person = vocab.label("person");
+        let knows = vocab.label("knows");
+        let city = vocab.attr("city");
+
+        let mut g = Graph::new();
+        let a = g.add_node(person);
+        let b = g.add_node(person);
+        g.add_edge(a, knows, b);
+        let m: Vec<NodeId> = vec![a, b];
+
+        let mut eq = EqRel::new();
+        eq.bind((a, city), Value::str("nbo")).unwrap();
+        let fresh = gen
+            .materialize(&mut g, &m, &mut |lit, asn| {
+                let k1 = (asn[lit.var.index()], lit.attr);
+                match &lit.rhs {
+                    Operand::Const(c) => eq.bind(k1, c.clone()).map(|_| ()),
+                    Operand::Attr(v2, a2) => eq.merge(k1, (asn[v2.index()], *a2)).map(|_| ()),
+                }
+            })
+            .unwrap();
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        // The generated meeting's city joined x's class.
+        assert!(eq.deduces_const((fresh[0], city), &Value::str("nbo")));
+        // Now deducible under the relation.
+        let index = LabelIndex::build(&g);
+        assert!(generate_deducible(&mut eq, &index, gen, &m));
+    }
+
+    #[test]
+    fn trivial_generate_is_always_realized() {
+        let mut vocab = Vocab::new();
+        let t = vocab.label("t");
+        let mut p = Pattern::new();
+        p.add_node(t, "x");
+        let gen = GenerateConsequence::over(&p);
+        assert!(gen.is_trivial());
+        let mut g = Graph::new();
+        let n = g.add_node(t);
+        let index = LabelIndex::build(&g);
+        assert!(gen.realized(&index, &[n], &mut |_, _| false));
+    }
+
+    #[test]
+    #[should_panic(expected = "concrete label")]
+    fn wildcard_fresh_label_rejected() {
+        let mut vocab = Vocab::new();
+        let t = vocab.label("t");
+        let mut p = Pattern::new();
+        p.add_node(t, "x");
+        let mut gen = GenerateConsequence::over(&p);
+        gen.add_fresh(gfd_graph::LabelId::WILDCARD, "y");
+    }
+
+    #[test]
+    fn display_mentions_create() {
+        let mut vocab = Vocab::new();
+        let dep = person_meeting(&mut vocab);
+        let s = dep.display(&vocab).to_string();
+        assert!(s.contains("CREATE"), "{s}");
+        assert!(s.contains("m:meeting"), "{s}");
+        assert!(s.contains("x.city = y.city"), "{s}");
+    }
+}

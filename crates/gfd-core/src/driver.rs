@@ -28,6 +28,7 @@
 //! semantically — they are the same code path.
 
 use crate::canonical::{build_plans_lazy, consequence_deducible, CanonicalGraph};
+use crate::dependency::{generate_deducible, Consequence, Dependency};
 use crate::enforce::EnforceEngine;
 use crate::eq::{EqOp, EqRel};
 use crate::error::Conflict;
@@ -53,6 +54,28 @@ pub enum Goal<'a> {
     Sat,
     /// Implication of `ϕ` over `G^X_Q`.
     Imp(&'a Gfd),
+    /// Implication of a *generating* dependency (GGD) over `G^X_Q` — the
+    /// third goal of the generalized rule layer. Workers terminate early
+    /// when the generating consequence becomes *deducible*: some
+    /// extension of the identity match realizes the target subgraph in
+    /// the canonical graph with every attribute assignment forced by the
+    /// current relation. Mixed rule sets (Σ itself generating) route
+    /// through the chase-based semantics in `gfd-chase` instead; this arm
+    /// serves GGD queries against a literal Σ, whose enforcement never
+    /// changes the topology the realization check probes.
+    GgdImp(&'a Dependency),
+}
+
+impl<'a> Goal<'a> {
+    /// The candidate's premise literals, for the X-subsumption priority
+    /// boost shared by both implication arms (§VI-C).
+    fn imp_premise(&self) -> Option<&'a [crate::literal::Literal]> {
+        match self {
+            Goal::Sat => None,
+            Goal::Imp(phi) => Some(&phi.premise),
+            Goal::GgdImp(dep) => Some(&dep.premise),
+        }
+    }
 }
 
 /// A run-ending event raised by a worker or the final convergence phase.
@@ -155,6 +178,26 @@ pub struct ReasonRun {
 /// broadcast, shared across all peers as a single allocation.
 type DeltaPayload = Arc<[EqOp]>;
 
+/// Is the goal's terminal consequence condition met under `eq`? `Sat`
+/// never is (it terminates on conflicts only); the two implication arms
+/// test literal deducibility and generating-target realization
+/// respectively.
+fn goal_consequence_deduced(goal: Goal<'_>, canon: &CanonicalGraph, eq: &mut EqRel) -> bool {
+    match goal {
+        Goal::Sat => false,
+        Goal::Imp(phi) => consequence_deducible(eq, phi),
+        Goal::GgdImp(dep) => match &dep.consequence {
+            Consequence::Literals(lits) => crate::canonical::consequence_lits_deducible(eq, lits),
+            Consequence::Generate(gen) => {
+                let m: Vec<gfd_graph::NodeId> = (0..dep.pattern.node_count())
+                    .map(gfd_graph::NodeId::new)
+                    .collect();
+                generate_deducible(eq, &canon.index, gen, &m)
+            }
+        },
+    }
+}
+
 /// The goal-parameterized reasoning workload run by the scheduler.
 struct ReasonTask<'a> {
     sigma: &'a GfdSet,
@@ -215,16 +258,14 @@ impl<'a> ReasonTask<'a> {
     }
 
     fn check_consequence(&self, w: &mut ReasonWorker) {
-        if w.done {
+        if w.done || matches!(self.goal, Goal::Sat) {
             return;
         }
-        if let Goal::Imp(phi) = self.goal {
-            let v = w.engine.eq.version();
-            if v != w.last_y_version {
-                w.last_y_version = v;
-                if consequence_deducible(&mut w.engine.eq, phi) {
-                    self.terminal(w, TerminalEvent::Consequence);
-                }
+        let v = w.engine.eq.version();
+        if v != w.last_y_version {
+            w.last_y_version = v;
+            if goal_consequence_deduced(self.goal, self.canon, &mut w.engine.eq) {
+                self.terminal(w, TerminalEvent::Consequence);
             }
         }
     }
@@ -265,6 +306,7 @@ impl<'a> ReasonTask<'a> {
                 stop: Some(self.stop),
             };
             let sigma = self.sigma;
+            let canon = self.canon;
             let engine = &mut w.engine;
             let matches = &mut w.matches;
             let goal = self.goal;
@@ -280,11 +322,11 @@ impl<'a> ReasonTask<'a> {
                             ControlFlow::Break(())
                         }
                         Ok(()) => {
-                            if let Goal::Imp(phi) = goal {
+                            if !matches!(goal, Goal::Sat) {
                                 let v = engine.eq.version();
                                 if v != last_version {
                                     last_version = v;
-                                    if consequence_deducible(&mut engine.eq, phi) {
+                                    if goal_consequence_deduced(goal, canon, &mut engine.eq) {
                                         y_hit = true;
                                         return ControlFlow::Break(());
                                     }
@@ -468,18 +510,16 @@ pub fn run_reason(
     let (pivots, plans) = build_plans_lazy(sigma, &canon.index);
     let mut units = generate_units(sigma, canon, &pivots, cfg.prune_components);
     if cfg.use_dependency_order {
-        let boosted: Option<Vec<bool>> = match goal {
-            Goal::Sat => None,
-            Goal::Imp(phi) => {
-                let x_attrs: FxHashSet<_> = phi.premise_attrs().collect();
-                Some(
-                    sigma
-                        .iter()
-                        .map(|(_, g)| g.premise_attrs().all(|a| x_attrs.contains(&a)))
-                        .collect(),
-                )
-            }
-        };
+        let boosted: Option<Vec<bool>> = goal.imp_premise().map(|premise| {
+            let x_attrs: FxHashSet<_> = premise
+                .iter()
+                .flat_map(crate::literal::Literal::attrs)
+                .collect();
+            sigma
+                .iter()
+                .map(|(_, g)| g.premise_attrs().all(|a| x_attrs.contains(&a)))
+                .collect()
+        });
         order_units(&mut units, sigma, canon, &pivots, boosted.as_deref());
     }
     metrics.units_generated = units.len();
@@ -555,10 +595,8 @@ pub fn run_reason(
                     break 'merge;
                 }
             }
-            if let Goal::Imp(phi) = goal {
-                if consequence_deducible(&mut engine.eq, phi) {
-                    terminal = Some(TerminalEvent::Consequence);
-                }
+            if !matches!(goal, Goal::Sat) && goal_consequence_deduced(goal, canon, &mut engine.eq) {
+                terminal = Some(TerminalEvent::Consequence);
             }
         }
         (terminal.is_none()).then_some(engine)

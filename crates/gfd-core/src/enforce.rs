@@ -40,8 +40,20 @@ pub enum PremiseStatus {
 /// Evaluate the premise of `gfd` at `m` against `eq` without mutating
 /// anything (beyond union-find path compression).
 pub fn eval_premise(eq: &mut EqRel, gfd: &Gfd, m: &[gfd_graph::NodeId]) -> PremiseStatus {
+    eval_premise_lits(eq, &gfd.premise, m)
+}
+
+/// [`eval_premise`] over a bare literal slice — the form the generalized
+/// dependency layer (chase over [`crate::DepSet`]) evaluates, since a
+/// [`crate::Dependency`]'s premise is the same `Vec<Literal>` whatever
+/// its consequence action is.
+pub fn eval_premise_lits(
+    eq: &mut EqRel,
+    premise: &[crate::literal::Literal],
+    m: &[gfd_graph::NodeId],
+) -> PremiseStatus {
     let mut waiting: Vec<AttrKey> = Vec::new();
-    for lit in &gfd.premise {
+    for lit in premise {
         let k1: AttrKey = (m[lit.var.index()], lit.attr);
         match &lit.rhs {
             Operand::Const(c) => match eq.const_of(k1) {

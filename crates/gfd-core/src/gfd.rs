@@ -24,6 +24,25 @@ pub struct Gfd {
 /// same attribute to two distinct constants.
 pub const FALSE_ATTR_NAME: &str = "__false";
 
+/// Does a literal conjunction encode the Boolean constant `false` — two
+/// constant literals on the same variable/attribute with distinct
+/// constants? Shared by [`Gfd::is_denial`] and the generalized
+/// [`crate::Dependency`].
+pub fn literals_are_denial(lits: &[Literal]) -> bool {
+    for (i, a) in lits.iter().enumerate() {
+        for b in &lits[i + 1..] {
+            if a.var == b.var && a.attr == b.attr {
+                if let (Operand::Const(va), Operand::Const(vb)) = (&a.rhs, &b.rhs) {
+                    if va != vb {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
 impl Gfd {
     /// Build a GFD, checking that every literal only references pattern
     /// variables.
@@ -87,18 +106,7 @@ impl Gfd {
     /// constant literals on the same variable/attribute with distinct
     /// constants.
     pub fn is_denial(&self) -> bool {
-        for (i, a) in self.consequence.iter().enumerate() {
-            for b in &self.consequence[i + 1..] {
-                if a.var == b.var && a.attr == b.attr {
-                    if let (Operand::Const(va), Operand::Const(vb)) = (&a.rhs, &b.rhs) {
-                        if va != vb {
-                            return true;
-                        }
-                    }
-                }
-            }
-        }
-        false
+        literals_are_denial(&self.consequence)
     }
 
     /// The size `|ϕ| = |Q| + |X| + |Y|` used by the small-model bounds.

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod canonical;
+pub mod dependency;
 pub mod driver;
 pub mod enforce;
 pub mod eq;
@@ -37,17 +38,21 @@ pub mod unit;
 pub mod validate;
 
 pub use canonical::{
-    build_plans, build_plans_lazy, choose_pivot, consequence_deducible, CanonicalGraph,
+    build_plans, build_plans_lazy, choose_pivot, consequence_deducible, consequence_lits_deducible,
+    CanonicalGraph,
 };
+pub use dependency::{generate_deducible, Consequence, DepSet, Dependency, GenerateConsequence};
 pub use driver::{run_reason, Goal, ReasonConfig, ReasonRun, TerminalEvent};
-pub use enforce::{eval_premise, EnforceEngine, EngineStats, PremiseStatus};
+pub use enforce::{eval_premise, eval_premise_lits, EnforceEngine, EngineStats, PremiseStatus};
 pub use eq::{EqOp, EqRel};
 pub use error::{AttrKey, Conflict};
 pub use gfd::{Gfd, FALSE_ATTR_NAME};
 pub use literal::{Literal, Operand};
 pub use model::extract_model;
 pub use ordering::order_gfds;
-pub use seq_imp::{imp_with_config, seq_imp, seq_imp_with, ImpOutcome, ImpResult, ImpliedVia};
+pub use seq_imp::{
+    ggd_imp_with_config, imp_with_config, seq_imp, seq_imp_with, ImpOutcome, ImpResult, ImpliedVia,
+};
 pub use seq_sat::{
     sat_with_config, seq_sat, seq_sat_with, ReasonOptions, ReasonStats, SatOutcome, SatResult,
 };

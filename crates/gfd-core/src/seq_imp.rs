@@ -7,12 +7,14 @@
 //! either condition holds; if the fixpoint completes without them, `Σ 6|= ϕ`.
 
 use crate::canonical::{consequence_deducible, CanonicalGraph};
+use crate::dependency::{generate_deducible, Consequence, Dependency};
 use crate::driver::{run_reason, Goal, ReasonConfig, TerminalEvent};
 use crate::eq::EqRel;
 use crate::error::Conflict;
 use crate::gfd::Gfd;
 use crate::seq_sat::{ReasonOptions, ReasonStats};
 use crate::sigma::GfdSet;
+use gfd_graph::NodeId;
 
 /// Why `Σ |= ϕ` holds.
 #[derive(Clone, Debug)]
@@ -114,6 +116,61 @@ pub fn imp_with_config(sigma: &GfdSet, phi: &Gfd, cfg: &ReasonConfig) -> ImpResu
         }
     };
     let run = run_reason(sigma, Goal::Imp(phi), eqx, &canon, cfg);
+    let outcome = match run.terminal {
+        Some(TerminalEvent::Conflict(c)) => ImpOutcome::Implied(ImpliedVia::Conflict(c)),
+        Some(TerminalEvent::Consequence) => ImpOutcome::Implied(ImpliedVia::Consequence),
+        None => ImpOutcome::NotImplied,
+    };
+    let mut stats = run.metrics;
+    stats.elapsed = start.elapsed();
+    ImpResult { outcome, stats }
+}
+
+/// Check `Σ |= ϕ` where ϕ is a generalized [`Dependency`] — the third
+/// goal of the unified driver ([`Goal::GgdImp`]).
+///
+/// A literal-consequence ϕ routes through [`imp_with_config`] unchanged.
+/// A generating ϕ runs the same Σ-enforcement fixpoint over `G^X_Q`, with
+/// early termination when the generating consequence becomes *deducible*:
+/// an extension of the identity match realizes the target subgraph in the
+/// canonical graph with every attribute assignment forced by `EqH`. Σ
+/// itself must be literal (GFDs) — enforcement then never changes the
+/// topology the realization check probes; for mixed Σ use the chase-based
+/// `dep_imp` in `gfd-chase`.
+pub fn ggd_imp_with_config(sigma: &GfdSet, phi: &Dependency, cfg: &ReasonConfig) -> ImpResult {
+    let start = std::time::Instant::now();
+    let trivial = |outcome: ImpOutcome| ImpResult {
+        outcome,
+        stats: ReasonStats {
+            workers: cfg.workers.max(1),
+            elapsed: start.elapsed(),
+            ..Default::default()
+        },
+    };
+    let gen = match &phi.consequence {
+        Consequence::Literals(_) => {
+            let gfd = phi.as_gfd().expect("literal consequence lowers");
+            return imp_with_config(sigma, &gfd, cfg);
+        }
+        Consequence::Generate(gen) => gen,
+    };
+    let (canon, eqx) = match CanonicalGraph::for_premise(&phi.pattern, &phi.premise) {
+        Ok(pair) => pair,
+        Err(_) => return trivial(ImpOutcome::Implied(ImpliedVia::PremiseInconsistent)),
+    };
+    // The target may already be realized by the premise pattern itself
+    // under `EqX` alone (including the trivial empty target).
+    let identity: Vec<NodeId> = (0..phi.pattern.node_count()).map(NodeId::new).collect();
+    {
+        let mut probe = eqx.clone();
+        if generate_deducible(&mut probe, &canon.index, gen, &identity) {
+            return trivial(ImpOutcome::Implied(ImpliedVia::Consequence));
+        }
+    }
+    if sigma.is_empty() {
+        return trivial(ImpOutcome::NotImplied);
+    }
+    let run = run_reason(sigma, Goal::GgdImp(phi), eqx, &canon, cfg);
     let outcome = match run.terminal {
         Some(TerminalEvent::Conflict(c)) => ImpOutcome::Implied(ImpliedVia::Conflict(c)),
         Some(TerminalEvent::Consequence) => ImpOutcome::Implied(ImpliedVia::Consequence),

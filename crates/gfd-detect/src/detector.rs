@@ -11,7 +11,7 @@
 use crate::report::{DetectionReport, RuleStats, ViolationRecord};
 use crate::units::{initial_units, DetectUnit, RulePlans};
 use gfd_core::validate::literal_holds;
-use gfd_core::GfdSet;
+use gfd_core::{Consequence, DepSet, GfdSet};
 use gfd_graph::{Graph, LabelIndex, MatchIndex, NodeId};
 use gfd_match::{HomSearch, RunOutcome, SearchLimits};
 use gfd_runtime::sched::{run_scheduler, Task, WorkerCtx};
@@ -73,7 +73,7 @@ impl DetectConfig {
 struct DetectTask<'a, I: MatchIndex> {
     graph: &'a Graph,
     index: &'a I,
-    sigma: &'a GfdSet,
+    sigma: &'a DepSet,
     plans: &'a RulePlans,
     /// Violations found so far (global budget counter).
     found: AtomicUsize,
@@ -101,32 +101,50 @@ impl<I: MatchIndex> DetectTask<'_, I> {
         true
     }
 
-    /// Check one match against its GFD, recording a violation if the
-    /// premise holds on the data but some consequence literal fails.
+    /// Check one match against its rule, recording a violation if the
+    /// premise holds on the data but the consequence does not: for
+    /// literal consequences some literal fails on the concrete values;
+    /// for generating consequences no extension of the match realizes
+    /// the target subgraph (the witness of the missing subgraph is the
+    /// `(rule, match)` pair itself — the report renders the required
+    /// nodes/edges/assignments from it).
     fn check_match(
         &self,
         local: &mut Local,
         gfd_id: gfd_graph::GfdId,
         m: Box<[NodeId]>,
     ) -> ControlFlow<()> {
-        let gfd = self.sigma.get(gfd_id);
+        let dep = self.sigma.get(gfd_id);
         let stats = &mut local.per_rule[gfd_id.index()];
         stats.matches += 1;
-        let premise_ok = gfd.premise.iter().all(|l| literal_holds(self.graph, l, &m));
+        let premise_ok = dep.premise.iter().all(|l| literal_holds(self.graph, l, &m));
         if !premise_ok {
             return ControlFlow::Continue(());
         }
         stats.premise_hits += 1;
-        let failed: Vec<usize> = gfd
-            .consequence
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| !literal_holds(self.graph, l, &m))
-            .map(|(i, _)| i)
-            .collect();
-        if failed.is_empty() {
-            return ControlFlow::Continue(());
-        }
+        let failed: Vec<usize> = match &dep.consequence {
+            Consequence::Literals(lits) => {
+                let failed: Vec<usize> = lits
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| !literal_holds(self.graph, l, &m))
+                    .map(|(i, _)| i)
+                    .collect();
+                if failed.is_empty() {
+                    return ControlFlow::Continue(());
+                }
+                failed
+            }
+            Consequence::Generate(gen) => {
+                let realized = gen.realized(self.index, &m, &mut |lit, asn| {
+                    literal_holds(self.graph, lit, asn)
+                });
+                if realized {
+                    return ControlFlow::Continue(());
+                }
+                Vec::new()
+            }
+        };
         if !self.reserve() {
             return ControlFlow::Break(());
         }
@@ -212,7 +230,7 @@ impl<I: MatchIndex> Task for DetectTask<'_, I> {
             return;
         }
         let gfd_id = unit.gfd();
-        let gfd = self.sigma.get(gfd_id);
+        let dep = self.sigma.get(gfd_id);
         let plan = &self.plans.plans[gfd_id.index()];
         match unit {
             DetectUnit::Pivots { batch, .. } => {
@@ -220,23 +238,30 @@ impl<I: MatchIndex> Task for DetectTask<'_, I> {
                     if self.stop.load(Ordering::Relaxed) {
                         break;
                     }
-                    let search = HomSearch::new(self.graph, self.index, &gfd.pattern, plan)
+                    let search = HomSearch::new(self.graph, self.index, &dep.pattern, plan)
                         .with_prefix(&[z]);
                     self.run_unit_search(local, gfd_id, search, ctx);
                 }
             }
             DetectUnit::Prefix { prefix, .. } => {
                 let search =
-                    HomSearch::new(self.graph, self.index, &gfd.pattern, plan).with_prefix(&prefix);
+                    HomSearch::new(self.graph, self.index, &dep.pattern, plan).with_prefix(&prefix);
                 self.run_unit_search(local, gfd_id, search, ctx);
             }
         }
     }
 }
 
-/// Detect violations of `sigma` in `graph` on the shared work-stealing
-/// scheduler.
+/// Detect violations of a GFD set in `graph` — the literal-only shim
+/// over [`detect_deps`], kept so pre-refactor call sites (and behavior)
+/// stay byte-identical.
 pub fn detect(graph: &Graph, sigma: &GfdSet, config: &DetectConfig) -> DetectionReport {
+    detect_deps(graph, &DepSet::from_gfds(sigma.clone()), config)
+}
+
+/// Detect violations of a generalized dependency set (GFDs and GGDs,
+/// mixed freely) in `graph` on the shared work-stealing scheduler.
+pub fn detect_deps(graph: &Graph, sigma: &DepSet, config: &DetectConfig) -> DetectionReport {
     let start = Instant::now();
     let index = LabelIndex::build(graph);
     let plans = RulePlans::build(sigma, &index);
@@ -255,7 +280,7 @@ pub fn detect(graph: &Graph, sigma: &GfdSet, config: &DetectConfig) -> Detection
 pub fn detect_units<I: MatchIndex>(
     graph: &Graph,
     index: &I,
-    sigma: &GfdSet,
+    sigma: &DepSet,
     plans: &RulePlans,
     units: Vec<DetectUnit>,
     config: &DetectConfig,
@@ -298,7 +323,7 @@ pub fn detect_sequential(graph: &Graph, sigma: &GfdSet, config: &DetectConfig) -
 }
 
 fn merge_report(
-    sigma: &GfdSet,
+    sigma: &DepSet,
     locals: Vec<Local>,
     mut metrics: RunMetrics,
     config: &DetectConfig,

@@ -26,8 +26,8 @@ pub mod repair;
 pub mod report;
 pub mod units;
 
-pub use detector::{detect, detect_sequential, detect_units, DetectConfig};
+pub use detector::{detect, detect_deps, detect_sequential, detect_units, DetectConfig};
 pub use gfd_runtime::{DispatchMode, RunMetrics};
-pub use repair::{suggest_repairs, Repair, RepairKind};
+pub use repair::{suggest_repairs, Repair, RepairKind, RepairNode};
 pub use report::{DetectionReport, RuleStats, ViolationRecord};
 pub use units::{initial_units, units_for_pivots, DetectUnit, RulePlans};

@@ -17,7 +17,7 @@
 //! separate (and much harder) problem the paper leaves to cleaning systems.
 
 use crate::report::ViolationRecord;
-use gfd_core::{GfdSet, Operand};
+use gfd_core::{Consequence, DepSet, GenerateConsequence, Operand};
 use gfd_graph::{AttrId, Graph, LabelId, NodeId, Value, Vocab};
 
 /// One suggested fix.
@@ -27,6 +27,17 @@ pub struct Repair {
     pub kind: RepairKind,
     /// Human-readable rendering (stable across kinds).
     pub description: String,
+}
+
+/// An endpoint of a generated edge or attribute in a
+/// [`RepairKind::CreateSubgraph`]: either a node that already exists in
+/// the graph or the `i`-th node the repair itself creates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepairNode {
+    /// An existing graph node (a shared variable's binding).
+    Existing(NodeId),
+    /// The `i`-th fresh node of the repair's `nodes` list.
+    Fresh(usize),
 }
 
 /// The kinds of minimal repair.
@@ -50,21 +61,32 @@ pub enum RepairKind {
         /// Edge target.
         dst: NodeId,
     },
+    /// Create the missing target subgraph of a generating dependency:
+    /// the fresh nodes, the generated edges, and every attribute
+    /// assignment that resolves to a concrete value on the current data.
+    CreateSubgraph {
+        /// Labels of the fresh nodes to create, in order.
+        nodes: Vec<LabelId>,
+        /// Generated edges over existing/fresh endpoints.
+        edges: Vec<(RepairNode, LabelId, RepairNode)>,
+        /// Concrete attribute writes on existing/fresh endpoints.
+        attrs: Vec<(RepairNode, AttrId, Value)>,
+    },
 }
 
 /// Suggest minimal repairs for one violation.
 pub fn suggest_repairs(
     graph: &Graph,
-    sigma: &GfdSet,
+    sigma: &DepSet,
     violation: &ViolationRecord,
     vocab: &Vocab,
 ) -> Vec<Repair> {
-    let gfd = sigma.get(violation.gfd);
+    let dep = sigma.get(violation.gfd);
     let mut out = Vec::new();
 
-    if gfd.is_denial() {
+    if dep.is_denial() {
         // No attribute assignment can satisfy `false`: break the match.
-        for pe in gfd.pattern.edges() {
+        for pe in dep.pattern.edges() {
             let src = violation.m[pe.src.index()];
             let dst = violation.m[pe.dst.index()];
             out.push(Repair {
@@ -84,8 +106,16 @@ pub fn suggest_repairs(
         return out;
     }
 
+    let lits = match &dep.consequence {
+        Consequence::Literals(lits) => lits,
+        Consequence::Generate(gen) => {
+            out.push(create_subgraph_repair(graph, gen, &violation.m, vocab));
+            return out;
+        }
+    };
+
     for &i in &violation.failed {
-        let lit = &gfd.consequence[i];
+        let lit = &lits[i];
         let node = violation.m[lit.var.index()];
         match &lit.rhs {
             Operand::Const(c) => out.push(Repair {
@@ -176,12 +206,120 @@ pub fn suggest_repairs(
     out
 }
 
+/// Build the [`RepairKind::CreateSubgraph`] repair for an unrealized
+/// generating consequence at match `m`: materialize exactly the target
+/// the rule asserts. Attribute assignments whose right-hand side cannot
+/// be resolved to a concrete value (a variable literal over attributes
+/// absent from the data, or an assignment between two fresh nodes) are
+/// noted in the description but omitted from the concrete writes.
+fn create_subgraph_repair(
+    graph: &Graph,
+    gen: &GenerateConsequence,
+    m: &[NodeId],
+    vocab: &Vocab,
+) -> Repair {
+    let endpoint = |v: gfd_graph::VarId| -> RepairNode {
+        if v.index() < gen.shared {
+            RepairNode::Existing(m[v.index()])
+        } else {
+            RepairNode::Fresh(v.index() - gen.shared)
+        }
+    };
+    let show = |e: RepairNode| -> String {
+        match e {
+            RepairNode::Existing(n) => format!("n{}", n.index()),
+            RepairNode::Fresh(i) => gen
+                .pattern
+                .var_name(gfd_graph::VarId::new(gen.shared + i))
+                .to_string(),
+        }
+    };
+    let nodes: Vec<LabelId> = gen.fresh_vars().map(|v| gen.pattern.label(v)).collect();
+    let edges: Vec<(RepairNode, LabelId, RepairNode)> = gen
+        .pattern
+        .edges()
+        .iter()
+        .map(|e| (endpoint(e.src), e.label, endpoint(e.dst)))
+        .collect();
+    let mut attrs = Vec::new();
+    let mut unresolved = Vec::new();
+    for lit in &gen.attrs {
+        let target = endpoint(lit.var);
+        let value = match &lit.rhs {
+            Operand::Const(c) => Some(c.clone()),
+            Operand::Attr(v2, _) if v2.index() >= gen.shared => None,
+            Operand::Attr(v2, a2) => graph.attr(m[v2.index()], *a2).cloned(),
+        };
+        match value {
+            Some(v) => attrs.push((target, lit.attr, v)),
+            None => unresolved.push(lit.display(&gen.pattern, vocab).to_string()),
+        }
+    }
+
+    let mut desc = String::from("create subgraph:");
+    for (i, v) in gen.fresh_vars().enumerate() {
+        if i > 0 {
+            desc.push(',');
+        }
+        desc.push_str(&format!(
+            " node {}: {}",
+            gen.pattern.var_name(v),
+            vocab.label_name(gen.pattern.label(v))
+        ));
+    }
+    for (src, label, dst) in &edges {
+        desc.push_str(&format!(
+            ", edge {} -{}-> {}",
+            show(*src),
+            vocab.label_name(*label),
+            show(*dst)
+        ));
+    }
+    for (target, attr, value) in &attrs {
+        desc.push_str(&format!(
+            ", set {}.{} = {value:?}",
+            show(*target),
+            vocab.attr_name(*attr)
+        ));
+    }
+    for u in &unresolved {
+        desc.push_str(&format!(", then satisfy {u}"));
+    }
+    Repair {
+        kind: RepairKind::CreateSubgraph {
+            nodes,
+            edges,
+            attrs,
+        },
+        description: desc,
+    }
+}
+
 /// Apply a repair to the graph (edge deletion rebuilds the graph without
 /// the edge; attribute repairs are in-place).
 pub fn apply_repair(graph: &mut Graph, repair: &Repair) {
     match &repair.kind {
         RepairKind::SetAttr { node, attr, value } => {
             graph.set_attr(*node, *attr, value.clone());
+        }
+        RepairKind::CreateSubgraph {
+            nodes,
+            edges,
+            attrs,
+        } => {
+            let fresh: Vec<NodeId> = nodes.iter().map(|&l| graph.add_node(l)).collect();
+            let resolve = |e: RepairNode| -> NodeId {
+                match e {
+                    RepairNode::Existing(n) => n,
+                    RepairNode::Fresh(i) => fresh[i],
+                }
+            };
+            for &(src, label, dst) in edges {
+                graph.add_edge(resolve(src), label, resolve(dst));
+            }
+            for (target, attr, value) in attrs {
+                graph.set_attr(resolve(*target), *attr, value.clone());
+            }
         }
         RepairKind::DeleteEdge { src, label, dst } => {
             let mut rebuilt = Graph::with_capacity(graph.node_count());
@@ -207,14 +345,14 @@ pub fn apply_repair(graph: &mut Graph, repair: &Repair) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::detector::{detect, DetectConfig};
-    use gfd_core::{Gfd, GfdSet, Literal};
+    use crate::detector::{detect_deps as detect, DetectConfig};
+    use gfd_core::{Dependency, Gfd, GfdSet, Literal};
     use gfd_graph::{Pattern, Value};
 
-    fn vocab_with(f: impl FnOnce(&mut Vocab) -> (Graph, GfdSet)) -> (Graph, GfdSet, Vocab) {
+    fn vocab_with(f: impl FnOnce(&mut Vocab) -> (Graph, GfdSet)) -> (Graph, DepSet, Vocab) {
         let mut vocab = Vocab::new();
         let (g, s) = f(&mut vocab);
-        (g, s, vocab)
+        (g, DepSet::from_gfds(s), vocab)
     }
 
     #[test]
@@ -313,6 +451,45 @@ mod tests {
                 r.description,
             );
         }
+    }
+
+    #[test]
+    fn generate_violation_suggests_create_subgraph() {
+        let mut vocab = Vocab::new();
+        let person = vocab.label("person");
+        let meeting = vocab.label("meeting");
+        let attends = vocab.label("attends");
+        let city = vocab.attr("city");
+        let mut p = Pattern::new();
+        let x = p.add_node(person, "x");
+        let mut gen = GenerateConsequence::over(&p);
+        let m = gen.add_fresh(meeting, "m");
+        gen.add_edge(x, attends, m);
+        gen.push_attr(Literal::eq_attr(m, city, x, city));
+        let dep = Dependency::new("meetup", p, vec![], gfd_core::Consequence::Generate(gen));
+        let sigma = DepSet::from_vec(vec![dep]);
+        let mut g = Graph::new();
+        let n = g.add_node(person);
+        g.set_attr(n, city, Value::str("nbo"));
+
+        let report = detect(&g, &sigma, &DetectConfig::with_workers(1));
+        assert_eq!(report.violations.len(), 1);
+        let repairs = suggest_repairs(&g, &sigma, &report.violations[0], &vocab);
+        assert_eq!(repairs.len(), 1);
+        assert!(repairs[0].description.contains("create subgraph"));
+        assert!(
+            repairs[0].description.contains("node m: meeting"),
+            "{}",
+            repairs[0].description
+        );
+        // Applying the repair realizes the target: the graph is clean.
+        let mut fixed = g.clone();
+        apply_repair(&mut fixed, &repairs[0]);
+        assert_eq!(fixed.node_count(), 2);
+        assert!(
+            detect(&fixed, &sigma, &DetectConfig::with_workers(1)).is_clean(),
+            "materializing the target must clean the graph"
+        );
     }
 
     #[test]

@@ -1,46 +1,94 @@
 //! Structured detection reports.
 
-use gfd_core::{Gfd, GfdSet, Literal, Operand};
+use gfd_core::{Consequence, DepSet, Literal, Operand};
 use gfd_graph::{GfdId, Graph, NodeId, Vocab};
 use std::fmt::Write as _;
 
-/// One witnessed violation: a match of a GFD's pattern whose premise holds
-/// on the data but whose consequence does not.
+/// One witnessed violation: a match of a rule's pattern whose premise
+/// holds on the data but whose consequence does not.
+///
+/// For literal consequences, `failed` points at the failing literals.
+/// For generating consequences, `failed` is empty — the witness of the
+/// missing subgraph is the `(rule, match)` pair: no extension of `m`
+/// realizes the target, and [`ViolationRecord::explain`] renders the
+/// required fresh nodes, edges and assignments from the rule itself.
 #[derive(Clone, Debug)]
 pub struct ViolationRecord {
-    /// The violated GFD.
+    /// The violated rule.
     pub gfd: GfdId,
     /// The match, indexed by pattern variable.
     pub m: Box<[NodeId]>,
-    /// Indices (into the GFD's consequence) of the literals that fail.
+    /// Indices (into a literal consequence) of the literals that fail;
+    /// empty for generating consequences.
     pub failed: Vec<usize>,
 }
 
 impl ViolationRecord {
     /// Render a human-readable explanation of this violation.
-    pub fn explain(&self, graph: &Graph, sigma: &GfdSet, vocab: &Vocab) -> String {
-        let gfd = sigma.get(self.gfd);
+    pub fn explain(&self, graph: &Graph, sigma: &DepSet, vocab: &Vocab) -> String {
+        let dep = sigma.get(self.gfd);
         let mut out = String::new();
-        let _ = writeln!(out, "violation of {}", gfd.display(vocab));
+        let _ = writeln!(out, "violation of {}", dep.display(vocab));
         let _ = writeln!(out, "  match:");
-        for v in gfd.pattern.vars() {
+        for v in dep.pattern.vars() {
             let node = self.m[v.index()];
             let _ = writeln!(
                 out,
                 "    {} ↦ n{} ({})",
-                gfd.pattern.var_name(v),
+                dep.pattern.var_name(v),
                 node.index(),
                 vocab.label_name(graph.label(node)),
             );
         }
-        for &i in &self.failed {
-            let lit = &gfd.consequence[i];
-            let _ = writeln!(
-                out,
-                "  fails: {} — {}",
-                lit.display(&gfd.pattern, vocab),
-                describe_failure(graph, gfd, lit, &self.m, vocab),
-            );
+        match &dep.consequence {
+            Consequence::Literals(lits) => {
+                for &i in &self.failed {
+                    let lit = &lits[i];
+                    let _ = writeln!(
+                        out,
+                        "  fails: {} — {}",
+                        lit.display(&dep.pattern, vocab),
+                        describe_failure(graph, &dep.pattern, lit, &self.m, vocab),
+                    );
+                }
+            }
+            Consequence::Generate(gen) => {
+                let _ = writeln!(
+                    out,
+                    "  missing: no extension of the match realizes the target subgraph"
+                );
+                for v in gen.fresh_vars() {
+                    let _ = writeln!(
+                        out,
+                        "    requires node {}: {}",
+                        gen.pattern.var_name(v),
+                        vocab.label_name(gen.pattern.label(v)),
+                    );
+                }
+                let bound = |v: gfd_graph::VarId| -> String {
+                    if v.index() < gen.shared {
+                        format!(
+                            "{}(n{})",
+                            gen.pattern.var_name(v),
+                            self.m[v.index()].index()
+                        )
+                    } else {
+                        gen.pattern.var_name(v).to_string()
+                    }
+                };
+                for e in gen.pattern.edges() {
+                    let _ = writeln!(
+                        out,
+                        "    requires edge {} -{}-> {}",
+                        bound(e.src),
+                        vocab.label_name(e.label),
+                        bound(e.dst),
+                    );
+                }
+                for lit in &gen.attrs {
+                    let _ = writeln!(out, "    requires {}", lit.display(&gen.pattern, vocab));
+                }
+            }
         }
         out
     }
@@ -49,7 +97,7 @@ impl ViolationRecord {
 /// Why a consequence literal fails on the actual attribute values.
 pub(crate) fn describe_failure(
     graph: &Graph,
-    gfd: &Gfd,
+    pattern: &gfd_graph::Pattern,
     lit: &Literal,
     m: &[NodeId],
     vocab: &Vocab,
@@ -59,12 +107,12 @@ pub(crate) fn describe_failure(
     let left_desc = match left {
         Some(v) => format!(
             "{}.{} is {v:?}",
-            gfd.pattern.var_name(lit.var),
+            pattern.var_name(lit.var),
             vocab.attr_name(lit.attr)
         ),
         None => format!(
             "{}.{} is missing",
-            gfd.pattern.var_name(lit.var),
+            pattern.var_name(lit.var),
             vocab.attr_name(lit.attr)
         ),
     };
@@ -75,12 +123,12 @@ pub(crate) fn describe_failure(
             let right_desc = match right {
                 Some(v) => format!(
                     "{}.{} is {v:?}",
-                    gfd.pattern.var_name(*v2),
+                    pattern.var_name(*v2),
                     vocab.attr_name(*a2)
                 ),
                 None => format!(
                     "{}.{} is missing",
-                    gfd.pattern.var_name(*v2),
+                    pattern.var_name(*v2),
                     vocab.attr_name(*a2)
                 ),
             };
@@ -127,7 +175,7 @@ impl DetectionReport {
     }
 
     /// Render a compact multi-line summary (one line per dirty rule).
-    pub fn summary(&self, sigma: &GfdSet, vocab: &Vocab) -> String {
+    pub fn summary(&self, sigma: &DepSet, vocab: &Vocab) -> String {
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -140,11 +188,11 @@ impl DetectionReport {
             if stats.violations == 0 {
                 continue;
             }
-            let gfd = sigma.get(GfdId::new(i));
+            let dep = sigma.get(GfdId::new(i));
             let _ = writeln!(
                 out,
                 "  {}: {} violation(s) / {} match(es)",
-                gfd.display(vocab),
+                dep.display(vocab),
                 stats.violations,
                 stats.matches,
             );
@@ -156,10 +204,10 @@ impl DetectionReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gfd_core::Literal;
+    use gfd_core::{Dependency, GenerateConsequence, Gfd, GfdSet, Literal};
     use gfd_graph::{Pattern, Value};
 
-    fn setup() -> (Graph, GfdSet, Vocab) {
+    fn setup() -> (Graph, DepSet, Vocab) {
         let mut vocab = Vocab::new();
         let t = vocab.label("t");
         let a = vocab.attr("a");
@@ -169,7 +217,7 @@ mod tests {
         let mut g = Graph::new();
         let n = g.add_node(t);
         g.set_attr(n, a, Value::int(7));
-        (g, GfdSet::from_vec(vec![gfd]), vocab)
+        (g, DepSet::from_gfds(GfdSet::from_vec(vec![gfd])), vocab)
     }
 
     #[test]
@@ -203,6 +251,35 @@ mod tests {
         };
         let text = rec.explain(&g, &sigma, &vocab);
         assert!(text.contains("x.a is missing"), "{text}");
+    }
+
+    #[test]
+    fn explain_renders_missing_subgraph() {
+        let mut vocab = Vocab::new();
+        let person = vocab.label("person");
+        let meeting = vocab.label("meeting");
+        let attends = vocab.label("attends");
+        let city = vocab.attr("city");
+        let mut p = Pattern::new();
+        let x = p.add_node(person, "x");
+        let mut gen = GenerateConsequence::over(&p);
+        let m = gen.add_fresh(meeting, "m");
+        gen.add_edge(x, attends, m);
+        gen.push_attr(Literal::eq_attr(m, city, x, city));
+        let dep = Dependency::new("meetup", p, vec![], gfd_core::Consequence::Generate(gen));
+        let sigma = DepSet::from_vec(vec![dep]);
+        let mut g = Graph::new();
+        g.add_node(person);
+        let rec = ViolationRecord {
+            gfd: GfdId::new(0),
+            m: vec![NodeId::new(0)].into_boxed_slice(),
+            failed: vec![],
+        };
+        let text = rec.explain(&g, &sigma, &vocab);
+        assert!(text.contains("missing"), "{text}");
+        assert!(text.contains("requires node m: meeting"), "{text}");
+        assert!(text.contains("requires edge x(n0) -attends-> m"), "{text}");
+        assert!(text.contains("m.city = x.city"), "{text}");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! contiguous batches of pivot candidates; TTL splitting produces
 //! prefix-assignment units exactly like `ParSat`'s Example 6.
 
-use gfd_core::GfdSet;
+use gfd_core::DepSet;
 use gfd_graph::{GfdId, MatchIndex, NodeId, VarId};
 use gfd_match::MatchPlan;
 
@@ -52,13 +52,13 @@ impl RulePlans {
     /// [`MatchIndex`] serves: the incremental engine re-plans against its
     /// `DeltaIndex` after each batch, so pivots and variable orders track
     /// the overlay-adjusted frequencies rather than the frozen base.
-    pub fn build<I: MatchIndex>(sigma: &GfdSet, index: &I) -> Self {
+    pub fn build<I: MatchIndex>(sigma: &DepSet, index: &I) -> Self {
         let mut pivots = Vec::with_capacity(sigma.len());
         let mut plans = Vec::with_capacity(sigma.len());
-        for (_, gfd) in sigma.iter() {
-            let pivot = gfd_core::choose_pivot(&gfd.pattern, index);
+        for (_, dep) in sigma.iter() {
+            let pivot = gfd_core::choose_pivot(&dep.pattern, index);
             pivots.push(pivot);
-            plans.push(MatchPlan::build(&gfd.pattern, Some(pivot), Some(index)));
+            plans.push(MatchPlan::build(&dep.pattern, Some(pivot), Some(index)));
         }
         RulePlans { pivots, plans }
     }
@@ -70,16 +70,16 @@ impl RulePlans {
 /// Rules are interleaved round-robin so that early termination (violation
 /// budget) sees a sample of every rule rather than exhausting rule 0 first.
 pub fn initial_units<I: MatchIndex>(
-    sigma: &GfdSet,
+    sigma: &DepSet,
     index: &I,
     plans: &RulePlans,
     batch_size: usize,
 ) -> Vec<DetectUnit> {
     let per_rule = sigma
         .iter()
-        .map(|(id, gfd)| {
+        .map(|(id, dep)| {
             let pivot = plans.pivots[id.index()];
-            (id, index.candidates(gfd.pattern.label(pivot)).to_vec())
+            (id, index.candidates(dep.pattern.label(pivot)).to_vec())
         })
         .collect();
     units_for_pivots(per_rule, batch_size)
@@ -127,7 +127,7 @@ mod tests {
     use gfd_core::{Gfd, Literal};
     use gfd_graph::{Graph, LabelIndex, Pattern, Vocab};
 
-    fn two_rule_setup() -> (Graph, GfdSet, Vocab) {
+    fn two_rule_setup() -> (Graph, DepSet, Vocab) {
         let mut vocab = Vocab::new();
         let t = vocab.label("t");
         let u = vocab.label("u");
@@ -145,7 +145,11 @@ mod tests {
         for _ in 0..3 {
             g.add_node(u);
         }
-        (g, GfdSet::from_vec(vec![g1, g2]), vocab)
+        (
+            g,
+            DepSet::from_gfds(gfd_core::GfdSet::from_vec(vec![g1, g2])),
+            vocab,
+        )
     }
 
     #[test]

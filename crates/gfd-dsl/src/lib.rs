@@ -33,7 +33,10 @@ pub mod printer;
 pub mod token;
 
 pub use parser::{parse_document, parse_ged, parse_gfd, Document};
-pub use printer::{print_ged, print_ged_set, print_gfd, print_gfd_set, print_graph};
+pub use printer::{
+    print_dep_set, print_dependency, print_ged, print_ged_set, print_gfd, print_gfd_set,
+    print_graph,
+};
 pub use token::ParseError;
 
 #[cfg(test)]
@@ -252,6 +255,147 @@ mod proptests {
             prop_assert_eq!(reparsed.pattern.edges(), ged.pattern.edges());
             let printed2 = crate::print_ged(&reparsed, &vocab);
             prop_assert_eq!(printed, printed2);
+        }
+    }
+
+    /// Strategy: a small random GGD — premise pattern over t/u/v labels,
+    /// 1–2 fresh nodes, generated edges over the combined variable space
+    /// and attribute assignments (`set`).
+    fn arb_ggd() -> impl Strategy<Value = (gfd_core::Dependency, Vocab)> {
+        use gfd_core::{Consequence, Dependency, GenerateConsequence};
+        (
+            1usize..3,
+            proptest::collection::vec((0usize..3, 0usize..3, 0usize..3), 0..3),
+            1usize..3,
+            proptest::collection::vec((0usize..5, 0usize..3, 0usize..5), 1..4),
+            proptest::collection::vec(
+                (
+                    0usize..5,
+                    0usize..3,
+                    proptest::option::of(0i64..5),
+                    0usize..5,
+                    0usize..3,
+                ),
+                0..3,
+            ),
+            proptest::collection::vec(
+                (
+                    0usize..3,
+                    0usize..3,
+                    proptest::option::of(0i64..5),
+                    0usize..3,
+                    0usize..3,
+                ),
+                0..2,
+            ),
+        )
+            .prop_map(move |(k, edges, fresh, gen_edges, gen_attrs, premise)| {
+                let mut vocab = Vocab::new();
+                let labels = [vocab.label("t"), vocab.label("u"), vocab.label("v")];
+                let attrs = [vocab.attr("a"), vocab.attr("b"), vocab.attr("c")];
+                let mut p = Pattern::new();
+                for i in 0..k {
+                    p.add_node(labels[i % labels.len()], format!("x{i}"));
+                }
+                for (s, l, d) in edges {
+                    p.add_edge(
+                        VarId::new(s % k),
+                        labels[l % labels.len()],
+                        VarId::new(d % k),
+                    );
+                }
+                let premise: Vec<Literal> = premise
+                    .into_iter()
+                    .map(|(v, a, c, v2, a2)| match c {
+                        Some(c) => Literal::eq_const(
+                            VarId::new(v % k),
+                            attrs[a % attrs.len()],
+                            Value::Int(c),
+                        ),
+                        None => Literal::eq_attr(
+                            VarId::new(v % k),
+                            attrs[a % attrs.len()],
+                            VarId::new(v2 % k),
+                            attrs[a2 % attrs.len()],
+                        ),
+                    })
+                    .collect();
+                let mut gen = GenerateConsequence::over(&p);
+                for i in 0..fresh {
+                    gen.add_fresh(labels[i % labels.len()], format!("f{i}"));
+                }
+                let total = k + fresh;
+                for (s, l, d) in gen_edges {
+                    gen.add_edge(
+                        VarId::new(s % total),
+                        labels[l % labels.len()],
+                        VarId::new(d % total),
+                    );
+                }
+                for (v, a, c, v2, a2) in gen_attrs {
+                    let lit = match c {
+                        Some(c) => Literal::eq_const(
+                            VarId::new(v % total),
+                            attrs[a % attrs.len()],
+                            Value::Int(c),
+                        ),
+                        None => Literal::eq_attr(
+                            VarId::new(v % total),
+                            attrs[a % attrs.len()],
+                            VarId::new(v2 % total),
+                            attrs[a2 % attrs.len()],
+                        ),
+                    };
+                    gen.push_attr(lit);
+                }
+                (
+                    Dependency::new("g", p, premise, Consequence::Generate(gen)),
+                    vocab,
+                )
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Mixed GFD/GGD rule files round-trip: print → parse preserves
+        /// every rule's structure in order, and printing the reparsed
+        /// document is a fixpoint (`gfd fmt` canonicalization is stable).
+        #[test]
+        fn mixed_rule_file_round_trip(
+            rules in proptest::collection::vec(
+                prop_oneof![
+                    arb_gfd().prop_map(|(g, v)| (gfd_core::Dependency::from_gfd(g), v)),
+                    arb_ggd(),
+                ],
+                1..4,
+            )
+        ) {
+            let mut src = String::new();
+            for (i, (dep, vocab)) in rules.iter().enumerate() {
+                let mut named = dep.clone();
+                named.name = format!("r{i}");
+                src.push_str(&crate::print_dependency(&named, vocab));
+            }
+            let mut vocab = Vocab::new();
+            let doc = crate::parse_document(&src, &mut vocab).expect("mixed print must parse");
+            prop_assert_eq!(doc.deps.len(), rules.len());
+            // Interned ids differ between each rule's private vocab and
+            // the document's, so compare structure through the printed
+            // form (names resolve identically on both sides).
+            for (i, (dep, rule_vocab)) in rules.iter().enumerate() {
+                let mut named = dep.clone();
+                named.name = format!("r{i}");
+                let expect = crate::print_dependency(&named, rule_vocab);
+                let back = doc.deps.get(gfd_graph::GfdId::new(i));
+                prop_assert_eq!(back.is_generating(), dep.is_generating(), "rule {}", i);
+                prop_assert_eq!(crate::print_dependency(back, &vocab), expect, "rule {}", i);
+            }
+            // Fixpoint: printing the reparsed set reproduces the text.
+            let printed = crate::print_dep_set(&doc.deps, &vocab);
+            let mut vocab2 = Vocab::new();
+            let doc2 = crate::parse_document(&printed, &mut vocab2).expect("fixpoint parse");
+            prop_assert_eq!(crate::print_dep_set(&doc2.deps, &vocab2), printed);
         }
     }
 

@@ -20,17 +20,23 @@
 //! ```
 
 use crate::token::{tokenize, ParseError, Token};
-use gfd_core::{Gfd, GfdSet, Literal};
+use gfd_core::{Consequence, DepSet, Dependency, GenerateConsequence, Gfd, GfdSet, Literal};
 use gfd_ged::{CmpOp, Ged, GedLiteral, GedSet};
 use gfd_graph::{Graph, NodeId, Pattern, Value, VarId, Vocab};
 use rustc_hash::FxHashMap;
 
-/// A parsed document: named graphs, a GFD set, and (optionally) GEDs.
+/// A parsed document: named graphs, the generalized rule set, and
+/// (optionally) GEDs.
 #[derive(Debug, Default)]
 pub struct Document {
     /// Named data graphs, in source order.
     pub graphs: Vec<(String, Graph)>,
-    /// All GFDs, in source order.
+    /// Every `gfd` and `ggd` block as a generalized [`Dependency`], in
+    /// source order — what the reasoning and detection commands consume
+    /// (mixed rule sets allowed).
+    pub deps: DepSet,
+    /// The `gfd` blocks only, in source order — the literal subset, kept
+    /// for call sites that speak the classic [`GfdSet`].
     pub gfds: GfdSet,
     /// All GEDs (`ged NAME { ... }` blocks), in source order.
     pub geds: GedSet,
@@ -140,7 +146,13 @@ impl<'v> Parser<'v> {
                 Token::Ident(s) if s == "gfd" => {
                     self.pos += 1;
                     let gfd = self.parse_gfd_body()?;
+                    doc.deps.push(Dependency::from_gfd(gfd.clone()));
                     doc.gfds.push(gfd);
+                }
+                Token::Ident(s) if s == "ggd" => {
+                    self.pos += 1;
+                    let dep = self.parse_ggd_body()?;
+                    doc.deps.push(dep);
                 }
                 Token::Ident(s) if s == "ged" => {
                     self.pos += 1;
@@ -149,7 +161,9 @@ impl<'v> Parser<'v> {
                 }
                 t => {
                     let t = t.clone();
-                    return self.err(format!("expected `graph`, `gfd` or `ged`, found {t}"));
+                    return self.err(format!(
+                        "expected `graph`, `gfd`, `ggd` or `ged`, found {t}"
+                    ));
                 }
             }
         }
@@ -280,6 +294,105 @@ impl<'v> Parser<'v> {
             // `then { false }`: the denial sugar.
             None => Gfd::with_false_consequence(name, pattern, premise, self.vocab),
         })
+    }
+
+    /// Parse a `ggd NAME { pattern {...} [when {...}] create {...} }`
+    /// block: a graph-generating dependency whose consequence asserts —
+    /// and, under the chase, creates — a target subgraph:
+    ///
+    /// ```text
+    /// ggd meetup {
+    ///   pattern { node x: person  node y: person  edge x -knows-> y }
+    ///   when { x.city = y.city }
+    ///   create {
+    ///     node m: meeting
+    ///     edge x -attends-> m
+    ///     edge y -attends-> m
+    ///     set { m.city = x.city }
+    ///   }
+    /// }
+    /// ```
+    ///
+    /// `node` entries are fresh variables (concrete labels only), `edge`
+    /// entries may connect pattern and fresh variables freely, and the
+    /// optional `set` block assigns attributes over the combined
+    /// variable space.
+    fn parse_ggd_body(&mut self) -> Result<Dependency, ParseError> {
+        let name = self.expect_ident()?;
+        self.expect(&Token::LBrace)?;
+        let (pattern, mut vars) = self.parse_pattern()?;
+
+        let premise = if self.eat_keyword("when") {
+            match self.parse_literals(&pattern, &vars)? {
+                Some(lits) => lits,
+                None => return self.err("`false` is not allowed in a premise"),
+            }
+        } else {
+            Vec::new()
+        };
+
+        if !self.eat_keyword("create") {
+            return self.err("expected `create` block in ggd");
+        }
+        self.expect(&Token::LBrace)?;
+        let mut gen = GenerateConsequence::over(&pattern);
+        let mut attrs: Option<Vec<Literal>> = None;
+        loop {
+            if self.eat_keyword("node") {
+                let var_name = self.expect_ident()?;
+                if vars.contains_key(&var_name) {
+                    return self.err(format!("duplicate variable `{var_name}` in create"));
+                }
+                self.expect(&Token::Colon)?;
+                let label_name = self.expect_ident()?;
+                let label = self.vocab.label(&label_name);
+                if label.is_wildcard() {
+                    return self.err(format!(
+                        "generated node `{var_name}` needs a concrete label, not `_`"
+                    ));
+                }
+                let v = gen.add_fresh(label, var_name.clone());
+                vars.insert(var_name, v);
+            } else if self.eat_keyword("edge") {
+                let src = self.expect_ident()?;
+                self.expect(&Token::Dash)?;
+                let label_name = self.expect_ident()?;
+                self.expect(&Token::Arrow)?;
+                let dst = self.expect_ident()?;
+                let (Some(&s), Some(&d)) = (vars.get(&src), vars.get(&dst)) else {
+                    return self.err(format!("edge references unknown variable `{src}`/`{dst}`"));
+                };
+                let label = self.vocab.label(&label_name);
+                if label.is_wildcard() {
+                    return self.err("generated edges need a concrete label, not `_`");
+                }
+                gen.add_edge(s, label, d);
+            } else if self.eat_keyword("set") {
+                if attrs.is_some() {
+                    return self.err("duplicate `set` block in create");
+                }
+                let target = gen.pattern.clone();
+                match self.parse_literals(&target, &vars)? {
+                    Some(lits) => attrs = Some(lits),
+                    None => return self.err("`false` is not allowed in a `set` block"),
+                }
+            } else if self.peek() == Some(&Token::RBrace) {
+                self.pos += 1;
+                break;
+            } else {
+                return self.err("expected `node`, `edge`, `set` or `}` in create body");
+            }
+        }
+        for lit in attrs.unwrap_or_default() {
+            gen.push_attr(lit);
+        }
+        self.expect(&Token::RBrace)?;
+        Ok(Dependency::new(
+            name,
+            pattern,
+            premise,
+            Consequence::Generate(gen),
+        ))
     }
 
     /// Parse `{ lit, lit, ... }`. Returns `None` for the special body
@@ -477,7 +590,8 @@ pub fn parse_document(src: &str, vocab: &mut Vocab) -> Result<Document, ParseErr
 /// Parse a source containing exactly one GFD.
 pub fn parse_gfd(src: &str, vocab: &mut Vocab) -> Result<Gfd, ParseError> {
     let doc = parse_document(src, vocab)?;
-    if doc.gfds.len() != 1 || !doc.graphs.is_empty() || !doc.geds.is_empty() {
+    if doc.gfds.len() != 1 || doc.deps.len() != 1 || !doc.graphs.is_empty() || !doc.geds.is_empty()
+    {
         return Err(ParseError {
             line: 1,
             msg: format!(
@@ -494,7 +608,7 @@ pub fn parse_gfd(src: &str, vocab: &mut Vocab) -> Result<Gfd, ParseError> {
 /// Parse a source containing exactly one GED.
 pub fn parse_ged(src: &str, vocab: &mut Vocab) -> Result<Ged, ParseError> {
     let doc = parse_document(src, vocab)?;
-    if doc.geds.len() != 1 || !doc.graphs.is_empty() || !doc.gfds.is_empty() {
+    if doc.geds.len() != 1 || !doc.graphs.is_empty() || !doc.deps.is_empty() {
         return Err(ParseError {
             line: 1,
             msg: format!(
@@ -602,9 +716,104 @@ mod tests {
         assert!(err.msg.contains("unknown node"), "{err}");
         let err = parse_document("bogus", &mut vocab).unwrap_err();
         assert!(
-            err.msg.contains("expected `graph`, `gfd` or `ged`"),
+            err.msg.contains("expected `graph`, `gfd`, `ggd` or `ged`"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn parse_ggd_create_block() {
+        let mut vocab = Vocab::new();
+        let src = r#"
+            ggd meetup {
+              pattern {
+                node x: person
+                node y: person
+                edge x -knows-> y
+              }
+              when { x.city = y.city }
+              create {
+                node m: meeting
+                edge x -attends-> m
+                edge y -attends-> m
+                set { m.city = x.city, m.open = true }
+              }
+            }
+        "#;
+        let doc = parse_document(src, &mut vocab).unwrap();
+        assert_eq!(doc.deps.len(), 1);
+        assert!(doc.gfds.is_empty());
+        let dep = doc.deps.get(gfd_graph::GfdId::new(0));
+        assert!(dep.is_generating());
+        assert_eq!(dep.premise.len(), 1);
+        let gfd_core::Consequence::Generate(gen) = &dep.consequence else {
+            panic!("expected a generating consequence")
+        };
+        assert_eq!(gen.shared, 2);
+        assert_eq!(gen.fresh_count(), 1);
+        assert_eq!(gen.pattern.edge_count(), 2);
+        assert_eq!(gen.attrs.len(), 2);
+        assert_eq!(gen.pattern.var_name(VarId::new(2)), "m");
+    }
+
+    #[test]
+    fn mixed_gfd_ggd_documents_keep_source_order() {
+        let mut vocab = Vocab::new();
+        let src = r#"
+            gfd a { pattern { node x: t } then { x.v = 1 } }
+            ggd b { pattern { node x: t } create { node y: u edge x -e-> y } }
+            gfd c { pattern { node x: t } then { x.w = 2 } }
+        "#;
+        let doc = parse_document(src, &mut vocab).unwrap();
+        assert_eq!(doc.deps.len(), 3);
+        assert_eq!(doc.gfds.len(), 2);
+        let names: Vec<&str> = doc.deps.iter().map(|(_, d)| d.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert!(doc.deps.has_generating());
+        // The literal deps match their gfd twins byte for byte.
+        assert_eq!(
+            doc.deps
+                .get(gfd_graph::GfdId::new(0))
+                .as_gfd()
+                .unwrap()
+                .consequence,
+            doc.gfds.get(gfd_graph::GfdId::new(0)).consequence
+        );
+    }
+
+    #[test]
+    fn ggd_errors_are_informative() {
+        let mut vocab = Vocab::new();
+        let err = parse_document(
+            "ggd g { pattern { node x: t } create { node y: _ } }",
+            &mut vocab,
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("concrete label"), "{err}");
+        let err = parse_document(
+            "ggd g { pattern { node x: t } create { node x: u } }",
+            &mut vocab,
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("duplicate variable"), "{err}");
+        let err = parse_document(
+            "ggd g { pattern { node x: t } create { edge x -e-> z } }",
+            &mut vocab,
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("unknown variable"), "{err}");
+        let err = parse_document(
+            "ggd g { pattern { node x: t } then { x.a = 1 } }",
+            &mut vocab,
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("expected `create`"), "{err}");
+        let err = parse_document(
+            "ggd g { pattern { node x: t } create { set { false } } }",
+            &mut vocab,
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("`false` is not allowed"), "{err}");
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Pretty-printer for the GFD text format (round-trips through the
 //! parser).
 
-use gfd_core::{Gfd, GfdSet, Operand};
-use gfd_graph::{Graph, Value, Vocab};
+use gfd_core::{Consequence, DepSet, Dependency, Gfd, GfdSet, Operand};
+use gfd_graph::{Graph, Pattern, Value, Vocab};
 use std::fmt::Write as _;
 
 fn print_value(v: &Value, out: &mut String) {
@@ -23,53 +23,60 @@ fn print_value(v: &Value, out: &mut String) {
     }
 }
 
+/// Render a comma-separated literal list with variable names resolved
+/// against `pattern` (for GGDs this is the *target* pattern, which
+/// extends the premise variables with the fresh ones).
+fn print_literals(lits: &[gfd_core::Literal], pattern: &Pattern, vocab: &Vocab, out: &mut String) {
+    for (i, lit) in lits.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{}.{} = ",
+            pattern.var_name(lit.var),
+            vocab.attr_name(lit.attr)
+        );
+        match &lit.rhs {
+            Operand::Const(v) => print_value(v, out),
+            Operand::Attr(v2, a2) => {
+                let _ = write!(out, "{}.{}", pattern.var_name(*v2), vocab.attr_name(*a2));
+            }
+        }
+    }
+}
+
+/// Render a `pattern { ... }` block body (shared by all rule kinds).
+fn print_pattern(pattern: &Pattern, vocab: &Vocab, out: &mut String) {
+    out.push_str("  pattern {\n");
+    for v in pattern.vars() {
+        let _ = writeln!(
+            out,
+            "    node {}: {}",
+            pattern.var_name(v),
+            vocab.label_name(pattern.label(v))
+        );
+    }
+    for e in pattern.edges() {
+        let _ = writeln!(
+            out,
+            "    edge {} -{}-> {}",
+            pattern.var_name(e.src),
+            vocab.label_name(e.label),
+            pattern.var_name(e.dst)
+        );
+    }
+    out.push_str("  }\n");
+}
+
 /// Render one GFD in the text format.
 pub fn print_gfd(gfd: &Gfd, vocab: &Vocab) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "gfd {} {{", gfd.name);
-    out.push_str("  pattern {\n");
-    for v in gfd.pattern.vars() {
-        let _ = writeln!(
-            out,
-            "    node {}: {}",
-            gfd.pattern.var_name(v),
-            vocab.label_name(gfd.pattern.label(v))
-        );
-    }
-    for e in gfd.pattern.edges() {
-        let _ = writeln!(
-            out,
-            "    edge {} -{}-> {}",
-            gfd.pattern.var_name(e.src),
-            vocab.label_name(e.label),
-            gfd.pattern.var_name(e.dst)
-        );
-    }
-    out.push_str("  }\n");
+    print_pattern(&gfd.pattern, vocab, &mut out);
 
     let print_lits = |lits: &[gfd_core::Literal], out: &mut String| {
-        for (i, lit) in lits.iter().enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            let _ = write!(
-                out,
-                "{}.{} = ",
-                gfd.pattern.var_name(lit.var),
-                vocab.attr_name(lit.attr)
-            );
-            match &lit.rhs {
-                Operand::Const(v) => print_value(v, out),
-                Operand::Attr(v2, a2) => {
-                    let _ = write!(
-                        out,
-                        "{}.{}",
-                        gfd.pattern.var_name(*v2),
-                        vocab.attr_name(*a2)
-                    );
-                }
-            }
-        }
+        print_literals(lits, &gfd.pattern, vocab, out);
     };
 
     if !gfd.premise.is_empty() {
@@ -102,6 +109,65 @@ pub fn print_gfd_set(sigma: &GfdSet, vocab: &Vocab) -> String {
     let mut out = String::new();
     for (_, gfd) in sigma.iter() {
         out.push_str(&print_gfd(gfd, vocab));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render one generalized dependency: literal consequences print as a
+/// `gfd` block (byte-identical to [`print_gfd`]), generating ones as a
+/// `ggd` block with a `create { ... }` consequence. Round-trips through
+/// [`crate::parse_document`].
+pub fn print_dependency(dep: &Dependency, vocab: &Vocab) -> String {
+    let gen = match &dep.consequence {
+        Consequence::Literals(_) => {
+            let gfd = dep.as_gfd().expect("literal consequence lowers");
+            return print_gfd(&gfd, vocab);
+        }
+        Consequence::Generate(gen) => gen,
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "ggd {} {{", dep.name);
+    print_pattern(&dep.pattern, vocab, &mut out);
+    if !dep.premise.is_empty() {
+        out.push_str("  when { ");
+        print_literals(&dep.premise, &dep.pattern, vocab, &mut out);
+        out.push_str(" }\n");
+    }
+    out.push_str("  create {\n");
+    for v in gen.fresh_vars() {
+        let _ = writeln!(
+            out,
+            "    node {}: {}",
+            gen.pattern.var_name(v),
+            vocab.label_name(gen.pattern.label(v))
+        );
+    }
+    for e in gen.pattern.edges() {
+        let _ = writeln!(
+            out,
+            "    edge {} -{}-> {}",
+            gen.pattern.var_name(e.src),
+            vocab.label_name(e.label),
+            gen.pattern.var_name(e.dst)
+        );
+    }
+    if !gen.attrs.is_empty() {
+        out.push_str("    set { ");
+        print_literals(&gen.attrs, &gen.pattern, vocab, &mut out);
+        out.push_str(" }\n");
+    }
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Render a generalized dependency set, one rule after another, in the
+/// canonical form `gfd fmt` emits.
+pub fn print_dep_set(sigma: &DepSet, vocab: &Vocab) -> String {
+    let mut out = String::new();
+    for (_, dep) in sigma.iter() {
+        out.push_str(&print_dependency(dep, vocab));
         out.push('\n');
     }
     out
@@ -318,6 +384,59 @@ mod tests {
             g2.attr(NodeId::new(0), vocab.find_attr("pop").unwrap()),
             Some(&Value::Int(-5))
         );
+    }
+
+    #[test]
+    fn ggd_round_trip() {
+        use gfd_core::{Consequence, Dependency, GenerateConsequence};
+        let mut vocab = Vocab::new();
+        let mut p = Pattern::new();
+        let x = p.add_node(vocab.label("person"), "x");
+        let y = p.add_node(vocab.label("person"), "y");
+        p.add_edge(x, vocab.label("knows"), y);
+        let city = vocab.attr("city");
+        let mut gen = GenerateConsequence::over(&p);
+        let m = gen.add_fresh(vocab.label("meeting"), "m");
+        gen.add_edge(x, vocab.label("attends"), m);
+        gen.add_edge(y, vocab.label("attends"), m);
+        gen.push_attr(Literal::eq_attr(m, city, x, city));
+        let dep = Dependency::new(
+            "meetup",
+            p,
+            vec![Literal::eq_attr(x, city, y, city)],
+            Consequence::Generate(gen),
+        );
+        let printed = print_dependency(&dep, &vocab);
+        assert!(printed.contains("ggd meetup {"), "{printed}");
+        assert!(printed.contains("create {"), "{printed}");
+        assert!(printed.contains("node m: meeting"), "{printed}");
+        assert!(printed.contains("set { m.city = x.city }"), "{printed}");
+        let doc = parse_document(&printed, &mut vocab).unwrap();
+        assert_eq!(doc.deps.len(), 1);
+        let back = doc.deps.get(gfd_graph::GfdId::new(0));
+        assert_eq!(back.name, dep.name);
+        assert_eq!(back.premise, dep.premise);
+        let (gfd_core::Consequence::Generate(g1), gfd_core::Consequence::Generate(g2)) =
+            (&back.consequence, &dep.consequence)
+        else {
+            panic!("both must generate")
+        };
+        assert_eq!(g1.shared, g2.shared);
+        assert_eq!(g1.pattern.edges(), g2.pattern.edges());
+        assert_eq!(g1.attrs, g2.attrs);
+        // Printing again is a fixpoint.
+        assert_eq!(print_dependency(back, &vocab), printed);
+    }
+
+    #[test]
+    fn literal_dependency_prints_as_gfd() {
+        let mut vocab = Vocab::new();
+        let mut p = Pattern::new();
+        let x = p.add_node(vocab.label("t"), "x");
+        let a = vocab.attr("a");
+        let gfd = Gfd::new("g", p, vec![], vec![Literal::eq_const(x, a, 1i64)]);
+        let dep = gfd_core::Dependency::from_gfd(gfd.clone());
+        assert_eq!(print_dependency(&dep, &vocab), print_gfd(&gfd, &vocab));
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! * [`pattern_gen`] — random connected patterns with cycles/wildcards;
 //! * [`gfd_gen`] — satisfiable-by-construction rule sets, conflict
 //!   injection, implication probes;
+//! * [`ggd_gen`] — seeded GGD workloads: terminating-by-construction
+//!   tiered generation chains, mixed GFD+GGD sets, deep-conflict
+//!   injection;
 //! * [`graph_gen`] — random property graphs and violation planting;
 //! * [`delta_gen`] — seeded delta streams for the incremental engine;
 //! * [`workload`] — the named workloads behind every table and figure.
@@ -19,6 +22,7 @@
 
 pub mod delta_gen;
 pub mod gfd_gen;
+pub mod ggd_gen;
 pub mod graph_gen;
 pub mod pattern_gen;
 pub mod schema;
@@ -28,6 +32,9 @@ pub use delta_gen::{delta_stream, DeltaStreamConfig};
 pub use gfd_gen::{
     canonical_value, conflicting_value, generate_sigma, implied_probe, inject_chain_conflict,
     inject_direct_conflict, not_implied_probe, GfdGenConfig,
+};
+pub use ggd_gen::{
+    ggd_chain_workload, ggd_conflict_workload, mixed_ggd_workload, tier0_graph, GgdGenConfig,
 };
 pub use graph_gen::{plant_violation, random_graph, GraphGenConfig};
 pub use pattern_gen::{mutate_pattern, random_pattern, PatternGenConfig};

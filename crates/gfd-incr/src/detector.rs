@@ -2,7 +2,7 @@
 //! under a stream of delta batches.
 
 use crate::frontier::bounded_frontier;
-use gfd_core::GfdSet;
+use gfd_core::DepSet;
 use gfd_detect::{
     detect_units, initial_units, units_for_pivots, DetectConfig, RulePlans, RunMetrics,
     ViolationRecord,
@@ -86,31 +86,35 @@ pub struct BatchReport {
 /// Per-rule facts the frontier computation needs, derived from the
 /// current plans (pivots can move at compaction).
 struct RuleMeta {
-    /// Pattern radius at the pivot (connected rules only).
+    /// Pattern radius at the pivot (locality-bounded rules only).
     radii: Vec<u32>,
-    /// Is the pattern connected? Disconnected patterns get full re-runs.
-    connected: Vec<bool>,
-    /// Largest radius over connected rules — the BFS bound.
+    /// Does the rule have a locality bound? Disconnected patterns do not
+    /// (a far component can match anywhere), and neither do generating
+    /// consequences (the realization extension can bind a fresh variable
+    /// to *any* node, so an update far from the pivot can realize — or
+    /// un-realize — the target). Both get full per-rule re-runs.
+    local: Vec<bool>,
+    /// Largest radius over locality-bounded rules — the BFS bound.
     max_radius: u32,
 }
 
 impl RuleMeta {
-    fn build(sigma: &GfdSet, plans: &RulePlans) -> Self {
+    fn build(sigma: &DepSet, plans: &RulePlans) -> Self {
         let mut radii = Vec::with_capacity(sigma.len());
-        let mut connected = Vec::with_capacity(sigma.len());
+        let mut local = Vec::with_capacity(sigma.len());
         let mut max_radius = 0;
-        for (id, gfd) in sigma.iter() {
-            let conn = gfd.pattern.is_connected();
-            let r = gfd.pattern.radius_at(plans.pivots[id.index()]);
-            if conn {
+        for (id, dep) in sigma.iter() {
+            let loc = dep.pattern.is_connected() && !dep.is_generating();
+            let r = dep.pattern.radius_at(plans.pivots[id.index()]);
+            if loc {
                 max_radius = max_radius.max(r);
             }
             radii.push(r);
-            connected.push(conn);
+            local.push(loc);
         }
         RuleMeta {
             radii,
-            connected,
+            local,
             max_radius,
         }
     }
@@ -124,7 +128,7 @@ impl RuleMeta {
 /// trips the overlay's staleness assertion on the next pass).
 pub struct IncrementalDetector {
     graph: Graph,
-    sigma: GfdSet,
+    sigma: DepSet,
     index: DeltaIndex,
     plans: RulePlans,
     meta: RuleMeta,
@@ -140,10 +144,11 @@ impl IncrementalDetector {
     /// # Panics
     ///
     /// On an invalid configuration (see [`IncrConfig::validate`]).
-    pub fn new(graph: Graph, sigma: GfdSet, config: IncrConfig) -> Self {
+    pub fn new(graph: Graph, sigma: impl Into<DepSet>, config: IncrConfig) -> Self {
         if let Err(msg) = config.validate() {
             panic!("invalid IncrConfig: {msg}");
         }
+        let sigma: DepSet = sigma.into();
         let li = LabelIndex::build(&graph);
         let plans = RulePlans::build(&sigma, &li);
         let meta = RuleMeta::build(&sigma, &plans);
@@ -182,7 +187,7 @@ impl IncrementalDetector {
     }
 
     /// The rule set being enforced.
-    pub fn sigma(&self) -> &GfdSet {
+    pub fn sigma(&self) -> &DepSet {
         &self.sigma
     }
 
@@ -245,9 +250,9 @@ impl IncrementalDetector {
         // argument), filtered per rule by radius and pivot label.
         let frontier = bounded_frontier(&self.graph, &applied.dirty, self.meta.max_radius);
         let mut rule_pivots: Vec<(gfd_graph::GfdId, Vec<NodeId>)> = Vec::new();
-        for (id, gfd) in self.sigma.iter() {
-            let pivot_label = gfd.pattern.label(self.plans.pivots[id.index()]);
-            let pivots: Vec<NodeId> = if self.meta.connected[id.index()] {
+        for (id, dep) in self.sigma.iter() {
+            let pivot_label = dep.pattern.label(self.plans.pivots[id.index()]);
+            let pivots: Vec<NodeId> = if self.meta.local[id.index()] {
                 frontier
                     .iter()
                     .filter(|&&(n, d)| {
@@ -257,9 +262,10 @@ impl IncrementalDetector {
                     .map(|&(n, _)| n)
                     .collect()
             } else {
-                // Disconnected pattern: a non-pivot component can match
-                // anywhere in the graph, so locality gives no bound —
-                // re-run every pivot of this rule.
+                // No locality bound: a disconnected pattern's non-pivot
+                // component can match anywhere, and a generating
+                // consequence's realization extension can bind fresh
+                // variables anywhere — re-run every pivot of this rule.
                 report.full_rerun_rules += 1;
                 self.index.candidates(pivot_label).to_vec()
             };
@@ -313,14 +319,14 @@ impl IncrementalDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gfd_core::{Gfd, Literal};
-    use gfd_detect::detect;
+    use gfd_core::{Consequence, Dependency, GenerateConsequence, Gfd, GfdSet, Literal};
+    use gfd_detect::detect_deps;
     use gfd_graph::{Pattern, Value, Vocab};
 
     /// The detector's cached set must equal a from-scratch detect on the
     /// same graph, as (rule, match) key sets.
     fn assert_matches_full_detect(incr: &IncrementalDetector) {
-        let full = detect(incr.graph(), incr.sigma(), &DetectConfig::with_workers(2));
+        let full = detect_deps(incr.graph(), incr.sigma(), &DetectConfig::with_workers(2));
         let key = |v: &ViolationRecord| (v.gfd, v.m.clone());
         let got: Vec<_> = incr.violations().iter().map(key).collect();
         let want: Vec<_> = full.violations.iter().map(key).collect();
@@ -621,6 +627,52 @@ mod tests {
         batch.set_attr(n1, a, Value::int(2));
         let rep = incr.apply(&batch);
         assert_eq!(rep.full_rerun_rules, 1);
+        assert_eq!(incr.violations().len(), 1);
+        assert_matches_full_detect(&incr);
+    }
+
+    /// Generating rules have no locality bound: realization extensions
+    /// can bind fresh variables anywhere, so the engine must fall back
+    /// to full per-rule re-runs — and stay exact — for GGDs.
+    #[test]
+    fn generating_rules_full_rerun_and_stay_exact() {
+        let mut vocab = Vocab::new();
+        let person = vocab.label("person");
+        let dept = vocab.label("dept");
+        let member = vocab.label("memberOf");
+        // GGD: every person must be a member of some dept node.
+        let mut p = Pattern::new();
+        let x = p.add_node(person, "x");
+        let mut gen = GenerateConsequence::over(&p);
+        let d = gen.add_fresh(dept, "d");
+        gen.add_edge(x, member, d);
+        let ggd = Dependency::new("has_dept", p, vec![], Consequence::Generate(gen));
+        let sigma = DepSet::from_vec(vec![ggd]);
+
+        let mut g = Graph::new();
+        let p0 = g.add_node(person);
+        let _p1 = g.add_node(person);
+        let d0 = g.add_node(dept);
+        g.add_edge(p0, member, d0);
+
+        let mut incr = IncrementalDetector::new(g, sigma, IncrConfig::with_workers(2));
+        // p1 has no dept: one violation.
+        assert_eq!(incr.violations().len(), 1);
+        assert_matches_full_detect(&incr);
+
+        // Wiring p1 to the existing dept realizes the target.
+        let mut batch = DeltaBatch::new();
+        batch.add_edge(NodeId::new(1), member, NodeId::new(2));
+        let rep = incr.apply(&batch);
+        assert_eq!(rep.full_rerun_rules, 1, "GGDs must fully re-run");
+        assert!(incr.is_clean());
+        assert_matches_full_detect(&incr);
+
+        // Deleting the *other* person's membership re-violates — even
+        // though the deletion is far from p0's pivot under any radius.
+        let mut batch = DeltaBatch::new();
+        batch.del_edge(NodeId::new(0), member, NodeId::new(2));
+        incr.apply(&batch);
         assert_eq!(incr.violations().len(), 1);
         assert_matches_full_detect(&incr);
     }

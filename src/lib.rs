@@ -85,10 +85,10 @@ pub use gfd_ged as ged;
 /// Interchange formats: JSON and SNAP edge lists (re-export of `gfd-io`).
 pub use gfd_io as io;
 
-pub use gfd_chase::{chase_imp, chase_sat};
+pub use gfd_chase::{chase_imp, chase_sat, dep_imp, dep_sat};
 pub use gfd_core::{
-    find_violations, graph_satisfies, graph_satisfies_all, seq_imp, seq_sat, Gfd, GfdSet,
-    ImpOutcome, Literal, SatOutcome,
+    find_violations, graph_satisfies, graph_satisfies_all, seq_imp, seq_sat, Consequence, DepSet,
+    Dependency, GenerateConsequence, Gfd, GfdSet, ImpOutcome, Literal, SatOutcome,
 };
 pub use gfd_graph::{Graph, LabelId, Pattern, Value, Vocab};
 pub use gfd_parallel::{par_imp, par_sat, ParConfig};
@@ -96,8 +96,9 @@ pub use gfd_parallel::{par_imp, par_sat, ParConfig};
 /// The most commonly used names in one import.
 pub mod prelude {
     pub use gfd_core::{
-        find_violations, graph_satisfies, graph_satisfies_all, seq_imp, seq_sat, Gfd, GfdSet,
-        ImpOutcome, ImpliedVia, Literal, Operand, SatOutcome,
+        find_violations, graph_satisfies, graph_satisfies_all, seq_imp, seq_sat, Consequence,
+        DepSet, Dependency, GenerateConsequence, Gfd, GfdSet, ImpOutcome, ImpliedVia, Literal,
+        Operand, SatOutcome,
     };
     pub use gfd_graph::{AttrId, Graph, LabelId, NodeId, Pattern, Value, VarId, Vocab};
     pub use gfd_parallel::{par_imp, par_sat, ParConfig};
