@@ -26,13 +26,13 @@
 //! the baseline, not a scan-order artifact.
 
 use gfd_core::{
-    eval_premise_lits, generate_deducible, CanonicalGraph, Conflict, Consequence, DepSet, EqRel,
-    GfdSet, Literal, Operand, PremiseStatus,
+    eval_premise_lits, generate_deducible, Budget, CanonicalGraph, Conflict, Consequence, DepSet,
+    EqRel, GfdSet, Interrupt, Literal, Operand, PremiseStatus,
 };
 use gfd_graph::{Graph, NodeId};
 use gfd_match::{find_all_matches, Match};
-use gfd_runtime::sched::{run_scheduler, Task, WorkerCtx};
-use gfd_runtime::{DispatchMode, RunMetrics};
+use gfd_runtime::sched::{run_scheduler_with, SchedOptions, Task, WorkerCtx};
+use gfd_runtime::{failpoint, DispatchMode, RunMetrics};
 use rustc_hash::FxHashSet;
 use std::sync::atomic::AtomicBool;
 use std::time::{Duration, Instant};
@@ -56,6 +56,12 @@ pub struct ChaseConfig {
     /// them the way `max_branches` bounds the GED search (DESIGN.md §10).
     /// Irrelevant to literal-only rule sets.
     pub max_generated_nodes: u64,
+    /// Unified resource budget (DESIGN.md §11.2): the deadline is checked
+    /// at round boundaries and inside the scan via the scheduler, the unit
+    /// cap across all rounds, and the fresh-node axis tightens
+    /// `max_generated_nodes`. Exhaustion degrades to an `Interrupted`
+    /// outcome — the chase never claims a fixpoint it did not reach.
+    pub budget: Budget,
 }
 
 impl Default for ChaseConfig {
@@ -66,6 +72,7 @@ impl Default for ChaseConfig {
             batch: 256,
             dispatch: DispatchMode::WorkStealing,
             max_generated_nodes: 100_000,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -76,6 +83,34 @@ impl ChaseConfig {
         ChaseConfig {
             workers,
             ..Self::default()
+        }
+    }
+
+    /// Attach a unified resource budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The effective fresh-node cap: the legacy `max_generated_nodes`
+    /// knob tightened by the budget's fresh-node axis.
+    fn effective_max_generated(&self) -> u64 {
+        match self.budget.max_fresh_nodes {
+            Some(b) => self.max_generated_nodes.min(b),
+            None => self.max_generated_nodes,
+        }
+    }
+
+    /// Scheduler options for one round's scan: the global deadline plus
+    /// whatever of the unit budget is left after `units_so_far`.
+    fn round_sched_options(&self, units_so_far: u64) -> SchedOptions {
+        SchedOptions {
+            deadline: self.budget.deadline,
+            max_units: self
+                .budget
+                .max_units
+                .map(|max| max.saturating_sub(units_so_far)),
+            unit_retries: 0,
         }
     }
 }
@@ -104,6 +139,9 @@ pub enum ChaseOutcome {
     Fixpoint(EqRel),
     /// Two distinct constants were forced onto one class.
     Conflict(Conflict),
+    /// The run was cut short — deadline, unit budget, or an injected
+    /// fault — before the fixpoint: no definite answer.
+    Interrupted(Interrupt),
 }
 
 /// Apply the consequence of `gfd` at `m`; returns whether anything changed.
@@ -255,9 +293,24 @@ pub fn chase_to_fixpoint_with_config(
         .iter()
         .map(|g| g.premise.as_slice())
         .collect();
+    let done = |outcome: ChaseOutcome, stats: ChaseStats, mut metrics: RunMetrics| {
+        metrics.elapsed = start.elapsed();
+        metrics.deadline_slack_ms = config.budget.deadline_slack_ms();
+        (outcome, stats, metrics)
+    };
     loop {
+        // Round boundary: the cooperative deadline check the scheduler
+        // cannot make for us between scans.
+        if config.budget.expired() {
+            metrics.early_terminated = true;
+            return done(
+                ChaseOutcome::Interrupted(Interrupt::Deadline),
+                stats,
+                metrics,
+            );
+        }
         stats.rounds += 1;
-        let fired = scan_round(
+        let (fired, interrupt) = scan_round(
             &premises,
             &all_matches,
             &eq,
@@ -266,8 +319,25 @@ pub fn chase_to_fixpoint_with_config(
             &mut stats,
             &mut metrics,
         );
+        if let Some(interrupt) = interrupt {
+            // A degraded scan saw only part of this round's premises;
+            // claiming a fixpoint (or applying a partial round) would be
+            // answering a question we did not finish asking.
+            metrics.early_terminated = true;
+            return done(ChaseOutcome::Interrupted(interrupt), stats, metrics);
+        }
 
         // ---- serial apply phase ----
+        if failpoint::triggered("chase/apply") {
+            metrics.early_terminated = true;
+            return done(
+                ChaseOutcome::Interrupted(Interrupt::Aborted(
+                    "failpoint chase/apply fired".to_string(),
+                )),
+                stats,
+                metrics,
+            );
+        }
         let mut changed = false;
         for (rule, idx) in fired {
             let id = gfd_graph::GfdId::new(rule as usize);
@@ -276,14 +346,12 @@ pub fn chase_to_fixpoint_with_config(
                 Ok(c) => changed |= c,
                 Err(e) => {
                     metrics.early_terminated = true;
-                    metrics.elapsed = start.elapsed();
-                    return (ChaseOutcome::Conflict(e.with_gfd(id)), stats, metrics);
+                    return done(ChaseOutcome::Conflict(e.with_gfd(id)), stats, metrics);
                 }
             }
         }
         if !changed {
-            metrics.elapsed = start.elapsed();
-            return (ChaseOutcome::Fixpoint(eq), stats, metrics);
+            return done(ChaseOutcome::Fixpoint(eq), stats, metrics);
         }
     }
 }
@@ -299,7 +367,7 @@ fn scan_round(
     p: usize,
     stats: &mut ChaseStats,
     metrics: &mut RunMetrics,
-) -> Vec<(u32, u32)> {
+) -> (Vec<(u32, u32)>, Option<Interrupt>) {
     let batch = config.batch.max(1);
     let mut units: Vec<ScanUnit> = Vec::new();
     for (rule, list) in all_matches.iter().enumerate() {
@@ -322,10 +390,13 @@ fn scan_round(
         ttl: config.ttl,
     };
     metrics.units_generated += units.len();
-    let run = run_scheduler(&task, units, p, config.dispatch, &stop);
+    let opts = config.round_sched_options(metrics.units_dispatched);
+    let run = run_scheduler_with(&task, units, p, config.dispatch, &stop, opts);
     metrics.units_dispatched += run.units_executed;
     metrics.units_split += run.units_split;
     metrics.units_stolen += run.units_stolen;
+    metrics.units_panicked += run.units_panicked;
+    metrics.units_retried += run.units_retried;
     for (acc, d) in metrics.worker_busy.iter_mut().zip(&run.worker_busy) {
         *acc += *d;
     }
@@ -338,7 +409,7 @@ fn scan_round(
         fired.extend(w.fired);
     }
     fired.sort_unstable();
-    fired
+    (fired, Interrupt::from_outcome(&run.outcome))
 }
 
 /// Outcome of chasing a generalized dependency set over a growable graph.
@@ -360,6 +431,9 @@ pub enum DepChaseOutcome {
         /// Fresh nodes materialized before giving up.
         generated_nodes: u64,
     },
+    /// The run was cut short — deadline, unit budget, or an injected
+    /// fault — before the fixpoint: no definite answer.
+    Interrupted(Interrupt),
 }
 
 /// Chase a generalized [`DepSet`] over `graph0` to fixpoint, conflict or
@@ -414,8 +488,10 @@ pub fn dep_chase_with_config(
 
     let done = |outcome: DepChaseOutcome, stats: ChaseStats, mut metrics: RunMetrics| {
         metrics.elapsed = start.elapsed();
+        metrics.deadline_slack_ms = config.budget.deadline_slack_ms();
         (outcome, stats, metrics)
     };
+    let max_generated = config.effective_max_generated();
 
     'rebuild: loop {
         // (Re-)freeze the current topology and enumerate premise matches.
@@ -428,8 +504,16 @@ pub fn dep_chase_with_config(
         }
 
         loop {
+            if config.budget.expired() {
+                metrics.early_terminated = true;
+                return done(
+                    DepChaseOutcome::Interrupted(Interrupt::Deadline),
+                    stats,
+                    metrics,
+                );
+            }
             stats.rounds += 1;
-            let fired = scan_round(
+            let (fired, interrupt) = scan_round(
                 &premises,
                 &all_matches,
                 &eq,
@@ -438,8 +522,22 @@ pub fn dep_chase_with_config(
                 &mut stats,
                 &mut metrics,
             );
+            if let Some(interrupt) = interrupt {
+                metrics.early_terminated = true;
+                return done(DepChaseOutcome::Interrupted(interrupt), stats, metrics);
+            }
 
             // ---- serial apply phase ----
+            if failpoint::triggered("chase/apply") {
+                metrics.early_terminated = true;
+                return done(
+                    DepChaseOutcome::Interrupted(Interrupt::Aborted(
+                        "failpoint chase/apply fired".to_string(),
+                    )),
+                    stats,
+                    metrics,
+                );
+            }
             // Realization is judged against the round-start snapshots
             // (the `canon` topology and a clone of the round-start
             // relation), so within-round apply order cannot change which
@@ -493,7 +591,7 @@ pub fn dep_chase_with_config(
                             Ok(fresh) => {
                                 stats.generated_nodes += fresh.len() as u64;
                                 changed = true;
-                                if stats.generated_nodes > config.max_generated_nodes {
+                                if stats.generated_nodes > max_generated {
                                     metrics.early_terminated = true;
                                     return done(
                                         DepChaseOutcome::BudgetExhausted {
@@ -585,6 +683,7 @@ mod tests {
                 }
             }
             ChaseOutcome::Conflict(c) => panic!("unexpected conflict: {c}"),
+            ChaseOutcome::Interrupted(i) => panic!("unexpected interrupt: {i}"),
         }
         // The chain needs multiple rounds — the naive overhead the paper
         // measures.
@@ -655,6 +754,7 @@ mod tests {
                         }
                     }
                     ChaseOutcome::Conflict(e) => panic!("p={p} {dispatch:?}: {e}"),
+                    ChaseOutcome::Interrupted(i) => panic!("p={p} {dispatch:?}: {i}"),
                 }
                 assert!(stats.rounds >= 3);
                 assert_eq!(metrics.workers, p);

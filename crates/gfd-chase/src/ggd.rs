@@ -25,12 +25,13 @@ use crate::chase::{dep_chase_with_config, ChaseConfig, ChaseStats, DepChaseOutco
 use gfd_core::{
     consequence_lits_deducible, extract_model, generate_deducible, ggd_imp_with_config,
     imp_with_config, sat_with_config, CanonicalGraph, Conflict, Consequence, DepSet, Dependency,
-    EqRel, ImpOutcome, ImpliedVia, ReasonConfig, SatOutcome,
+    EqRel, ImpOutcome, ImpliedVia, Interrupt, ReasonConfig, SatOutcome,
 };
 use gfd_graph::{Graph, LabelIndex, NodeId};
 use gfd_runtime::RunMetrics;
 
 /// The outcome of satisfiability over a generalized dependency set.
+#[derive(Debug)]
 pub enum DepSatOutcome {
     /// Σ has a model (the chased graph populated through the relation).
     Satisfiable(Box<Graph>),
@@ -41,6 +42,9 @@ pub enum DepSatOutcome {
         /// Fresh nodes materialized before giving up.
         generated_nodes: u64,
     },
+    /// The run was cut short — deadline, unit budget, or an injected
+    /// fault — before a verdict: undecided.
+    Interrupted(Interrupt),
 }
 
 /// Result + statistics of [`dep_sat`].
@@ -59,9 +63,12 @@ impl DepSatResult {
         matches!(self.outcome, DepSatOutcome::Satisfiable(_))
     }
 
-    /// True iff the budget ran out before a verdict.
+    /// True iff the run degraded before a verdict.
     pub fn is_unknown(&self) -> bool {
-        matches!(self.outcome, DepSatOutcome::Unknown { .. })
+        matches!(
+            self.outcome,
+            DepSatOutcome::Unknown { .. } | DepSatOutcome::Interrupted(_)
+        )
     }
 
     /// The model, if satisfiable.
@@ -83,6 +90,7 @@ fn reason_config(cfg: &ChaseConfig) -> ReasonConfig {
         workers: cfg.workers.max(1),
         ttl: cfg.ttl,
         dispatch: cfg.dispatch,
+        budget: cfg.budget,
         ..ReasonConfig::default()
     }
 }
@@ -102,6 +110,7 @@ pub fn dep_sat_with_config(deps: &DepSet, config: &ChaseConfig) -> DepSatResult 
         let outcome = match r.outcome {
             SatOutcome::Satisfiable(m) => DepSatOutcome::Satisfiable(m),
             SatOutcome::Unsatisfiable(c) => DepSatOutcome::Unsatisfiable(c),
+            SatOutcome::Unknown(i) => DepSatOutcome::Interrupted(i),
         };
         return DepSatResult {
             outcome,
@@ -126,6 +135,7 @@ pub fn dep_sat_with_config(deps: &DepSet, config: &ChaseConfig) -> DepSatResult 
         DepChaseOutcome::BudgetExhausted { generated_nodes } => {
             DepSatOutcome::Unknown { generated_nodes }
         }
+        DepChaseOutcome::Interrupted(i) => DepSatOutcome::Interrupted(i),
     };
     DepSatResult {
         outcome,
@@ -135,6 +145,7 @@ pub fn dep_sat_with_config(deps: &DepSet, config: &ChaseConfig) -> DepSatResult 
 }
 
 /// The outcome of implication over a generalized dependency set.
+#[derive(Debug)]
 pub enum DepImpOutcome {
     /// `Σ |= ϕ`.
     Implied(ImpliedVia),
@@ -145,6 +156,9 @@ pub enum DepImpOutcome {
         /// Fresh nodes materialized before giving up.
         generated_nodes: u64,
     },
+    /// The run was cut short — deadline, unit budget, or an injected
+    /// fault — before a verdict: undecided.
+    Interrupted(Interrupt),
 }
 
 /// Result + statistics of [`dep_imp`].
@@ -163,9 +177,12 @@ impl DepImpResult {
         matches!(self.outcome, DepImpOutcome::Implied(_))
     }
 
-    /// True iff the budget ran out before a verdict.
+    /// True iff the run degraded before a verdict.
     pub fn is_unknown(&self) -> bool {
-        matches!(self.outcome, DepImpOutcome::Unknown { .. })
+        matches!(
+            self.outcome,
+            DepImpOutcome::Unknown { .. } | DepImpOutcome::Interrupted(_)
+        )
     }
 }
 
@@ -188,6 +205,7 @@ pub fn dep_imp_with_config(deps: &DepSet, phi: &Dependency, config: &ChaseConfig
         let outcome = match r.outcome {
             ImpOutcome::Implied(via) => DepImpOutcome::Implied(via),
             ImpOutcome::NotImplied => DepImpOutcome::NotImplied,
+            ImpOutcome::Unknown(i) => DepImpOutcome::Interrupted(i),
         };
         return DepImpResult {
             outcome,
@@ -226,6 +244,7 @@ pub fn dep_imp_with_config(deps: &DepSet, phi: &Dependency, config: &ChaseConfig
         DepChaseOutcome::BudgetExhausted { generated_nodes } => {
             DepImpOutcome::Unknown { generated_nodes }
         }
+        DepChaseOutcome::Interrupted(i) => DepImpOutcome::Interrupted(i),
         DepChaseOutcome::Fixpoint { graph, mut eq } => {
             let index = LabelIndex::build(&graph);
             if consequence_holds_on(&mut eq, &index, phi, &identity) {

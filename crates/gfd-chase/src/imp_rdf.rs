@@ -70,6 +70,7 @@ pub fn chase_imp_with_config(sigma: &GfdSet, phi: &Gfd, config: &ChaseConfig) ->
                 ImpOutcome::NotImplied
             }
         }
+        ChaseOutcome::Interrupted(i) => ImpOutcome::Unknown(i),
     };
     ChaseImpResult {
         outcome,

@@ -56,6 +56,7 @@ pub fn chase_sat_with_config(sigma: &GfdSet, config: &ChaseConfig) -> ChaseSatRe
         ChaseOutcome::Fixpoint(mut eq) => {
             SatOutcome::Satisfiable(Box::new(extract_model(&canon.graph, &mut eq)))
         }
+        ChaseOutcome::Interrupted(i) => SatOutcome::Unknown(i),
     };
     ChaseSatResult {
         outcome,

@@ -136,6 +136,30 @@ impl Parsed {
     }
 }
 
+/// Parse the uniform resource-budget flags every reasoning command
+/// accepts: `--deadline-ms T` (wall-clock) and `--max-units N`
+/// (scheduler work units). Exhausting either limit is reported as a
+/// clean exit-2 diagnostic — never a wrong definite verdict.
+pub fn parse_budget(args: &Parsed) -> Result<gfd_core::Budget, ArgError> {
+    let mut budget = gfd_core::Budget::unlimited();
+    if let Some(v) = args.opt_str("deadline-ms")? {
+        let ms: u64 = v
+            .parse()
+            .map_err(|_| ArgError::new(format!("--deadline-ms expects an integer, got `{v}`")))?;
+        budget = budget.with_deadline_ms(ms);
+    }
+    if let Some(v) = args.opt_str("max-units")? {
+        let n: u64 = v
+            .parse()
+            .map_err(|_| ArgError::new(format!("--max-units expects an integer, got `{v}`")))?;
+        if n == 0 {
+            return Err(ArgError::new("--max-units must be positive"));
+        }
+        budget = budget.with_max_units(n);
+    }
+    Ok(budget)
+}
+
 /// Read a rule file and parse it as a DSL document.
 pub fn load_document(
     path: &str,

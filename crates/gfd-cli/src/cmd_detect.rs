@@ -1,15 +1,19 @@
 //! `gfd detect FILE` — violation detection over the file's graphs.
 
-use crate::args::{load_document, ArgError, Parsed};
+use crate::args::{load_document, parse_budget, ArgError, Parsed};
+use crate::cmd_sat::interrupted;
 use crate::output::fmt_duration;
 use gfd_detect::{detect_deps, suggest_repairs, DetectConfig};
 use std::io::Write;
+use std::path::PathBuf;
 use std::time::Duration;
 
 const HELP: &str = "\
 gfd detect FILE [--graph NAME] [--limit N] [--workers N] [--ttl-ms T]
                [--repair] [--quiet] [--metrics]
+               [--deadline-ms T] [--max-units N]
                [--stream DELTALOG] [--compact-frac F]
+               [--checkpoint PATH] [--checkpoint-every N] [--skip-corrupt]
 
 Runs the rules in FILE against the graph(s) declared in FILE (the paper's
 error-detection application, ϕ1–ϕ4 of Example 1). FILE may mix `gfd` and
@@ -20,6 +24,9 @@ violation with a witness of the missing subgraph.
   --repair      print minimal repair suggestions per violation
   --quiet       summary only, no per-violation explanations
   --metrics     print scheduler metrics (units, splits, steals, idle time)
+  --deadline-ms T  wall-clock budget; an interrupted detection exits 2
+                   (any violations already found are printed first)
+  --max-units N    scheduler work-unit budget; exhaustion exits 2
 
 Streaming mode (requires exactly one selected graph):
   --stream DELTALOG  replay the delta log batch by batch, keeping the
@@ -29,6 +36,13 @@ Streaming mode (requires exactly one selected graph):
   --compact-frac F   overlay compaction threshold as a fraction of the
                      base edge count (default 0.25; 0.0 compacts after
                      every batch; must be non-negative and finite)
+  --checkpoint PATH  write a resumable checkpoint (graph + violation
+                     cache + batch cursor) after applying batches; if
+                     PATH already exists the run resumes from it instead
+                     of replaying from the start
+  --checkpoint-every N  checkpoint every N batches (default 1)
+  --skip-corrupt     tolerate corrupt delta-log lines: skip them, report
+                     each skipped line number, and replay the rest
 Exit code: 0 clean, 1 violations found, 2 error.
 ";
 
@@ -45,7 +59,14 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     let repair = args.flag("repair");
     let quiet = args.flag("quiet");
     let show_metrics = args.flag("metrics");
+    let budget = parse_budget(&args)?;
     let stream = args.opt_str("stream")?.map(str::to_string);
+    let checkpoint = args.opt_str("checkpoint")?.map(PathBuf::from);
+    let checkpoint_every = args.opt_usize("checkpoint-every", 1)?;
+    if checkpoint_every == 0 {
+        return Err(ArgError::new("--checkpoint-every must be positive"));
+    }
+    let skip_corrupt = args.flag("skip-corrupt");
     let compact_frac = match args.opt_str("compact-frac")? {
         None => 0.25,
         Some(v) => {
@@ -81,9 +102,22 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
         workers,
         ttl,
         max_violations: limit,
+        budget,
         ..DetectConfig::default()
     };
 
+    if stream.is_none() {
+        for (flag, set) in [
+            ("--checkpoint", checkpoint.is_some()),
+            ("--skip-corrupt", skip_corrupt),
+        ] {
+            if set {
+                return Err(ArgError::new(format!(
+                    "{flag} only applies to streaming mode (--stream DELTALOG)"
+                )));
+            }
+        }
+    }
     if let Some(log_path) = stream {
         if repair {
             return Err(ArgError::new(
@@ -97,15 +131,22 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
                  cache must hold the complete violation set",
             ));
         }
+        let stream_opts = StreamOptions {
+            compact_frac,
+            show_metrics,
+            quiet,
+            checkpoint,
+            checkpoint_every,
+            skip_corrupt,
+            budget,
+        };
         return run_stream(
             &doc,
             graph_name.as_deref(),
             &log_path,
             &mut vocab,
             config,
-            compact_frac,
-            show_metrics,
-            quiet,
+            &stream_opts,
             out,
         );
     }
@@ -124,6 +165,14 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
             report.violations.len(),
             fmt_duration(report.metrics.elapsed),
         );
+        // The violations below are real even when the run was cut short;
+        // print them, then fail with the interrupt so scripts see exit 2.
+        if let Some(i) = &report.interrupted {
+            if !report.is_clean() && !quiet {
+                let _ = write!(out, "{}", report.summary(&doc.deps, &vocab));
+            }
+            return Err(interrupted(i, &report.metrics));
+        }
         if show_metrics {
             let _ = write!(out, "{}", crate::output::fmt_metrics(&report.metrics));
         }
@@ -145,18 +194,27 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     Ok(if dirty { 1 } else { 0 })
 }
 
+/// Streaming-mode options beyond the shared [`DetectConfig`].
+struct StreamOptions {
+    compact_frac: f64,
+    show_metrics: bool,
+    quiet: bool,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: usize,
+    skip_corrupt: bool,
+    budget: gfd_core::Budget,
+}
+
 /// Replay a delta log against one graph, keeping the violation set live
-/// through the incremental engine.
-#[allow(clippy::too_many_arguments)]
+/// through the incremental engine. With `--checkpoint` the run persists
+/// its state as it goes and resumes from an existing checkpoint file.
 fn run_stream(
     doc: &gfd_dsl::Document,
     graph_name: Option<&str>,
     log_path: &str,
     vocab: &mut gfd_graph::Vocab,
     config: DetectConfig,
-    compact_frac: f64,
-    show_metrics: bool,
-    quiet: bool,
+    opts: &StreamOptions,
     out: &mut dyn Write,
 ) -> Result<i32, ArgError> {
     let selected: Vec<&(String, gfd_graph::Graph)> = doc
@@ -178,23 +236,84 @@ fn run_stream(
     // The bounded parse rejects references to nodes that will not exist
     // at that point of the replay, with the offending line number — the
     // library panics on bad ids; the CLI reports a normal exit-2 error.
-    let batches = gfd_io::parse_delta_log_for(&log_src, vocab, graph.node_count())
-        .map_err(|e| ArgError::new(format!("bad delta log {log_path}: {e}")))?;
+    let batches = if opts.skip_corrupt {
+        let lenient = gfd_io::parse_delta_log_lenient(&log_src, vocab, Some(graph.node_count()))
+            .map_err(|e| ArgError::new(format!("bad delta log {log_path}: {e}")))?;
+        for (line, reason) in &lenient.skipped {
+            let _ = writeln!(out, "skipped corrupt line {line}: {reason}");
+        }
+        if !lenient.skipped.is_empty() {
+            let _ = writeln!(
+                out,
+                "skipped {} corrupt line(s) in {log_path}",
+                lenient.skipped.len()
+            );
+        }
+        lenient.batches
+    } else {
+        gfd_io::parse_delta_log_for(&log_src, vocab, graph.node_count())
+            .map_err(|e| ArgError::new(format!("bad delta log {log_path}: {e}")))?
+    };
 
     let incr_config = gfd_incr::IncrConfig {
         detect: config,
-        compact_fraction: compact_frac,
+        compact_fraction: opts.compact_frac,
     };
-    let mut incr = gfd_incr::IncrementalDetector::new(graph.clone(), doc.deps.clone(), incr_config);
+    // Resume from the checkpoint when one exists: rebuild the detector
+    // from the persisted graph + violation cache and skip the batches it
+    // already applied. Otherwise seed from the document's graph.
+    let mut applied = 0usize;
+    let mut incr = match &opts.checkpoint {
+        Some(path) if path.exists() => {
+            let ckpt = gfd_io::load_checkpoint(path, vocab)
+                .map_err(|e| ArgError::new(format!("bad checkpoint {}: {e}", path.display())))?;
+            if ckpt.batches_applied > batches.len() {
+                return Err(ArgError::new(format!(
+                    "checkpoint {} is ahead of the log: {} batch(es) applied, \
+                     but {log_path} has only {}",
+                    path.display(),
+                    ckpt.batches_applied,
+                    batches.len()
+                )));
+            }
+            applied = ckpt.batches_applied;
+            let _ = writeln!(
+                out,
+                "resumed from {} at batch {} ({} violation(s) cached)",
+                path.display(),
+                applied,
+                ckpt.violations.len()
+            );
+            gfd_incr::IncrementalDetector::from_parts(
+                ckpt.graph,
+                doc.deps.clone(),
+                ckpt.violations,
+                incr_config,
+            )
+        }
+        _ => gfd_incr::IncrementalDetector::new(graph.clone(), doc.deps.clone(), incr_config),
+    };
     let _ = writeln!(
         out,
         "graph {name}: {} node(s), {} edge(s) — {} violation(s) before the stream",
-        graph.node_count(),
-        graph.edge_count(),
+        incr.graph().node_count(),
+        incr.graph().edge_count(),
         incr.violations().len(),
     );
 
-    for (i, batch) in batches.iter().enumerate() {
+    for (i, batch) in batches.iter().enumerate().skip(applied) {
+        // Cooperative batch-boundary deadline check: finish the current
+        // batch, persist it, and stop — the checkpoint makes an
+        // interrupted replay resumable instead of wasted.
+        if opts.budget.expired() {
+            return Err(interrupted(
+                &gfd_core::Interrupt::Deadline,
+                &gfd_parallel::RunMetrics {
+                    deadline_slack_ms: opts.budget.deadline_slack_ms(),
+                    ..Default::default()
+                },
+            ));
+        }
         let rep = incr.apply(batch);
         let _ = writeln!(
             out,
@@ -209,8 +328,22 @@ fn run_stream(
             rep.violations_total,
             if rep.compacted { " [compacted]" } else { "" },
         );
-        if show_metrics {
+        if opts.show_metrics {
             let _ = write!(out, "{}", crate::output::fmt_metrics(&rep.metrics));
+        }
+        if let Some(path) = &opts.checkpoint {
+            let due =
+                (i + 1 - applied).is_multiple_of(opts.checkpoint_every) || i + 1 == batches.len();
+            if due {
+                let ckpt = gfd_io::Checkpoint {
+                    batches_applied: i + 1,
+                    graph: incr.graph().clone(),
+                    violations: incr.violations().to_vec(),
+                };
+                gfd_io::save_checkpoint(path, &ckpt, vocab).map_err(|e| {
+                    ArgError::new(format!("cannot write checkpoint {}: {e}", path.display()))
+                })?;
+            }
         }
     }
 
@@ -222,7 +355,7 @@ fn run_stream(
         incr.graph().edge_count(),
         incr.violations().len(),
     );
-    if !incr.is_clean() && !quiet {
+    if !incr.is_clean() && !opts.quiet {
         for v in incr.violations() {
             let _ = write!(out, "{}", v.explain(incr.graph(), incr.sigma(), vocab));
         }

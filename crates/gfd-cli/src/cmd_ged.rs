@@ -1,7 +1,7 @@
 //! `gfd ged-sat`, `gfd ged-imp`, `gfd resolve` — the GED extension
 //! commands (§IX of the paper).
 
-use crate::args::{load_document, ArgError, Parsed};
+use crate::args::{load_document, parse_budget, ArgError, Parsed};
 use crate::output::{fmt_duration, fmt_metrics};
 use gfd_ged::{
     ged_implies_with_config, ged_sat_with_config, resolve_entities, Ged, GedLiteral,
@@ -18,14 +18,33 @@ fn reason_config(args: &Parsed) -> Result<GedReasonConfig, ArgError> {
     if max_branches == 0 {
         return Err(ArgError::new("--max-branches must be positive"));
     }
+    let budget = parse_budget(args)?;
     Ok(GedReasonConfig::with_workers(workers.max(1))
         .with_ttl(ttl)
-        .with_max_branches(max_branches))
+        .with_max_branches(max_branches)
+        .with_budget(budget))
+}
+
+/// Render an inconclusive GED run as the uniform exit-2 diagnostic,
+/// naming the specific exhausted axis (the branch budget keeps its
+/// historical `raise --max-branches` hint).
+fn ged_interrupted(run_interrupt: Option<&gfd_core::Interrupt>, cfg: &GedReasonConfig) -> ArgError {
+    match run_interrupt {
+        Some(gfd_core::Interrupt::Branches) => ArgError::new(format!(
+            "branch budget ({}) exhausted before the search completed; \
+             raise --max-branches",
+            cfg.max_branches
+        )),
+        Some(i) => ArgError::new(format!(
+            "run interrupted: {i}; raise --deadline-ms/--max-units to keep going"
+        )),
+        None => ArgError::new("search ended without a verdict"),
+    }
 }
 
 const SAT_HELP: &str = "\
 gfd ged-sat FILE [--witness] [--workers N] [--ttl-ms T] [--max-branches B]
-                 [--metrics]
+                 [--metrics] [--deadline-ms T] [--max-units N]
 
 Checks whether the rules in FILE (both `ged` and `gfd` blocks, the latter
 lifted) have a common model, using the GED chase with order predicates,
@@ -35,6 +54,8 @@ work-stealing scheduler; the first model found cancels the run.
   --workers N      parallel workers (default 1 = the sequential search)
   --ttl-ms T       straggler-splitting TTL in milliseconds (default 100)
   --max-branches B branch budget (default 1000000); exhaustion exits 2
+  --deadline-ms T  wall-clock budget; expiry degrades to unknown (exit 2)
+  --max-units N    scheduler work-unit budget; exhaustion exits 2
   --metrics        print scheduler metrics (branches, splits, steals, idle)
 Exit code: 0 satisfiable, 1 unsatisfiable, 2 error or budget exhausted.
 ";
@@ -65,11 +86,7 @@ pub(crate) fn run_sat(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError
     );
     let run = ged_sat_with_config(&sigma, &cfg);
     let Some(outcome) = run.outcome else {
-        return Err(ArgError::new(format!(
-            "branch budget ({}) exhausted before the search completed; \
-             raise --max-branches",
-            cfg.max_branches
-        )));
+        return Err(ged_interrupted(run.interrupt.as_ref(), &cfg));
     };
     let verdict = if outcome.is_satisfiable() {
         "SATISFIABLE"
@@ -99,7 +116,7 @@ pub(crate) fn run_sat(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError
 
 const IMP_HELP: &str = "\
 gfd ged-imp FILE --phi NAME [--workers N] [--ttl-ms T] [--max-branches B]
-                 [--metrics]
+                 [--metrics] [--deadline-ms T] [--max-units N]
 
 Checks whether the other rules in FILE imply rule NAME, under GED
 semantics (order predicates, id literals, disjunction). The branch
@@ -108,6 +125,8 @@ counterexample found cancels the run.
   --workers N      parallel workers (default 1 = the sequential search)
   --ttl-ms T       straggler-splitting TTL in milliseconds (default 100)
   --max-branches B branch budget (default 1000000); exhaustion exits 2
+  --deadline-ms T  wall-clock budget; expiry degrades to unknown (exit 2)
+  --max-units N    scheduler work-unit budget; exhaustion exits 2
   --metrics        print scheduler metrics (branches, splits, steals, idle)
 Exit code: 0 implied, 1 not implied, 2 error or budget exhausted.
 ";
@@ -148,11 +167,7 @@ pub(crate) fn run_imp(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError
     );
     let run = ged_implies_with_config(&sigma, &phi, &cfg);
     let Some(outcome) = run.outcome else {
-        return Err(ArgError::new(format!(
-            "branch budget ({}) exhausted before the search completed; \
-             raise --max-branches",
-            cfg.max_branches
-        )));
+        return Err(ged_interrupted(run.interrupt.as_ref(), &cfg));
     };
     let implied = outcome.is_implied();
     let verdict = if implied { "IMPLIED" } else { "NOT IMPLIED" };

@@ -1,6 +1,7 @@
 //! `gfd imp FILE` — implication checking.
 
-use crate::args::{load_document, ArgError, Parsed};
+use crate::args::{load_document, parse_budget, ArgError, Parsed};
+use crate::cmd_sat::interrupted;
 use crate::output::{fmt_chase_stats, fmt_duration, fmt_metrics};
 use gfd_core::{DepSet, ReasonConfig};
 use gfd_parallel::ParConfig;
@@ -9,7 +10,7 @@ use std::time::{Duration, Instant};
 
 const HELP: &str = "\
 gfd imp FILE --phi NAME [--workers N] [--ttl-ms T] [--seq] [--metrics]
-             [--gen-budget B]
+             [--gen-budget B] [--deadline-ms T] [--max-units N]
 
 Checks whether the other rules in FILE imply rule NAME (§VI). FILE may
 mix `gfd` and `ggd` blocks: a generating candidate against literal rules
@@ -22,6 +23,9 @@ the GGD chase over the candidate's canonical graph.
   --metrics      print scheduler metrics (units, splits, steals, idle)
   --gen-budget B fresh-node budget of the GGD chase (default 100000);
                  exhaustion exits 2
+  --deadline-ms T wall-clock budget; an expired run degrades to unknown
+                 (exit 2), never to a wrong definite verdict
+  --max-units N  scheduler work-unit budget; exhaustion exits 2
 Exit code: 0 implied, 1 not implied, 2 error or budget exhausted.
 ";
 
@@ -40,6 +44,7 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     let sequential = args.flag("seq");
     let show_metrics = args.flag("metrics");
     let gen_budget = args.opt_u64("gen-budget", 100_000)?;
+    let budget = parse_budget(&args)?;
     args.finish()?;
 
     let mut vocab = gfd_graph::Vocab::new();
@@ -68,22 +73,35 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     // under `Goal::GgdImp`; a generating Σ needs the chase.
     let (implied, metrics, chase_stats) = match (sigma.to_gfds(), phi.as_gfd()) {
         (Some(gfds), Some(gfd)) => {
-            if sequential {
-                let r = gfd_core::seq_imp(&gfds, &gfd);
-                (r.is_implied(), r.stats, None)
+            let cfg = if sequential {
+                gfd_core::ReasonConfig {
+                    split: false,
+                    ..ParConfig::with_workers(1).with_ttl(ttl).with_budget(budget)
+                }
             } else {
-                let cfg = ParConfig::with_workers(workers).with_ttl(ttl);
-                let r = gfd_parallel::par_imp(&gfds, &gfd, &cfg);
-                (r.is_implied(), r.metrics, None)
+                ParConfig::with_workers(workers)
+                    .with_ttl(ttl)
+                    .with_budget(budget)
+            };
+            let r = gfd_parallel::par_imp(&gfds, &gfd, &cfg);
+            // Check the unknown arm before the yes/no split: a deadline
+            // expiry must exit 2, not report NOT IMPLIED.
+            if let gfd_core::ImpOutcome::Unknown(i) = &r.outcome {
+                return Err(interrupted(i, &r.metrics));
             }
+            (r.is_implied(), r.metrics, None)
         }
         (Some(gfds), None) => {
             let cfg = ReasonConfig {
                 workers: if sequential { 1 } else { workers.max(1) },
                 ttl,
+                budget,
                 ..ReasonConfig::default()
             };
             let r = gfd_core::ggd_imp_with_config(&gfds, &phi, &cfg);
+            if let Some(i) = r.interrupt() {
+                return Err(interrupted(i, &r.stats));
+            }
             (r.is_implied(), r.stats, None)
         }
         (None, _) => {
@@ -91,6 +109,7 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
                 workers: if sequential { 1 } else { workers.max(1) },
                 ttl,
                 max_generated_nodes: gen_budget,
+                budget,
                 ..gfd_chase::ChaseConfig::default()
             };
             let r = gfd_chase::dep_imp_with_config(&sigma, &phi, &cfg);
@@ -99,6 +118,9 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
                     "generation budget ({gen_budget}) exhausted after materializing \
                      {generated_nodes} node(s); raise --gen-budget to keep going"
                 )));
+            }
+            if let gfd_chase::DepImpOutcome::Interrupted(i) = &r.outcome {
+                return Err(interrupted(i, &r.metrics));
             }
             (r.is_implied(), r.metrics, Some(r.stats))
         }

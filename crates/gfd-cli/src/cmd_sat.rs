@@ -1,6 +1,6 @@
 //! `gfd sat FILE` — satisfiability checking.
 
-use crate::args::{load_document, ArgError, Parsed};
+use crate::args::{load_document, parse_budget, ArgError, Parsed};
 use crate::output::{fmt_duration, fmt_metrics};
 use gfd_parallel::ParConfig;
 use std::io::Write;
@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 
 const HELP: &str = "\
 gfd sat FILE [--workers N] [--ttl-ms T] [--seq] [--model] [--metrics]
-             [--gen-budget B]
+             [--gen-budget B] [--deadline-ms T] [--max-units N]
 
 Checks whether the rule set in FILE has a model (§IV–V of the paper).
 FILE may mix `gfd` and `ggd` blocks: literal-only sets run the
@@ -20,6 +20,9 @@ SeqSat/ParSat driver, sets with generating rules the GGD chase.
   --metrics      print scheduler metrics (units, splits, steals, idle)
   --gen-budget B fresh-node budget of the GGD chase (default 100000);
                  exhaustion exits 2
+  --deadline-ms T wall-clock budget; an expired run degrades to unknown
+                 (exit 2), never to a wrong definite verdict
+  --max-units N  scheduler work-unit budget; exhaustion exits 2
 Exit code: 0 satisfiable, 1 unsatisfiable, 2 error or budget exhausted.
 ";
 
@@ -35,6 +38,7 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     let show_model = args.flag("model");
     let show_metrics = args.flag("metrics");
     let gen_budget = args.opt_u64("gen-budget", 100_000)?;
+    let budget = parse_budget(&args)?;
     args.finish()?;
 
     let mut vocab = gfd_graph::Vocab::new();
@@ -53,6 +57,7 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
             show_model,
             show_metrics,
             gen_budget,
+            budget,
             out,
         );
     }
@@ -69,12 +74,26 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     // The sequential and parallel algorithms share one driver: `--seq` is
     // the workers = 1 instantiation, and both report the same metrics.
     let (satisfiable, model, metrics) = if sequential {
-        let r = gfd_core::seq_sat(&sigma);
+        let cfg = gfd_core::ReasonConfig {
+            split: false,
+            ..ParConfig::with_workers(1).with_ttl(ttl).with_budget(budget)
+        };
+        let r = gfd_core::sat_with_config(&sigma, &cfg);
+        // An interrupted run has no verdict: check before the yes/no
+        // split so a timeout cannot masquerade as UNSATISFIABLE.
+        if let Some(i) = r.interrupt() {
+            return Err(interrupted(i, &r.stats));
+        }
         let model = r.model().cloned();
         (r.is_satisfiable(), model, r.stats)
     } else {
-        let cfg = ParConfig::with_workers(workers).with_ttl(ttl);
+        let cfg = ParConfig::with_workers(workers)
+            .with_ttl(ttl)
+            .with_budget(budget);
         let r = gfd_parallel::par_sat(&sigma, &cfg);
+        if let gfd_core::SatOutcome::Unknown(i) = &r.outcome {
+            return Err(interrupted(i, &r.metrics));
+        }
         let sat = r.is_satisfiable();
         (sat, None, r.metrics)
     };
@@ -106,6 +125,23 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     Ok(if satisfiable { 0 } else { 1 })
 }
 
+/// Render an interrupted run as the uniform exit-2 diagnostic, with the
+/// budget context (panics, retries, deadline slack) that explains it.
+pub(crate) fn interrupted(i: &gfd_core::Interrupt, m: &gfd_parallel::RunMetrics) -> ArgError {
+    let mut msg = format!("run interrupted: {i}");
+    if let Some(slack) = m.deadline_slack_ms {
+        msg.push_str(&format!(" (deadline slack {slack}ms)"));
+    }
+    if m.units_panicked > 0 {
+        msg.push_str(&format!(
+            "; {} unit(s) panicked, {} retried",
+            m.units_panicked, m.units_retried
+        ));
+    }
+    msg.push_str("; raise --deadline-ms/--max-units to keep going");
+    ArgError::new(msg)
+}
+
 /// The GGD route: the set contains generating rules, so satisfiability
 /// runs the chase over `GΣ` (scan units on the shared scheduler, serial
 /// generation between rounds) with a fresh-node termination budget.
@@ -120,6 +156,7 @@ fn run_generating(
     show_model: bool,
     show_metrics: bool,
     gen_budget: u64,
+    budget: gfd_core::Budget,
     out: &mut dyn Write,
 ) -> Result<i32, ArgError> {
     let sigma = doc.deps;
@@ -136,6 +173,7 @@ fn run_generating(
         workers: if sequential { 1 } else { workers.max(1) },
         ttl,
         max_generated_nodes: gen_budget,
+        budget,
         ..gfd_chase::ChaseConfig::default()
     };
     let start = Instant::now();
@@ -147,6 +185,9 @@ fn run_generating(
              {generated_nodes} node(s); the set may have no finite chase — \
              raise --gen-budget to keep going"
         )));
+    }
+    if let gfd_chase::DepSatOutcome::Interrupted(i) = &r.outcome {
+        return Err(interrupted(i, &r.metrics));
     }
     let satisfiable = r.is_satisfiable();
     let verdict = if satisfiable {

@@ -61,11 +61,27 @@ Run `gfd <COMMAND> --help` for command-specific options.
 
 /// Run the CLI: parse `argv` (without the program name), execute, write
 /// human-readable output to `out`. Returns the process exit code.
+///
+/// Diagnostics go to `out` too; the binary uses [`run_with_err`] to keep
+/// them on stderr.
 pub fn run(argv: &[String], out: &mut dyn Write) -> i32 {
     match dispatch(argv, out) {
         Ok(code) => code,
         Err(e) => {
             let _ = writeln!(out, "error: {e}");
+            2
+        }
+    }
+}
+
+/// Like [`run`], but the one-line `error: ...` diagnostic goes to `err`
+/// (the binary passes stderr) so results on stdout stay machine-readable
+/// even when a run fails.
+pub fn run_with_err(argv: &[String], out: &mut dyn Write, err: &mut dyn Write) -> i32 {
+    match dispatch(argv, out) {
+        Ok(code) => code,
+        Err(e) => {
+            let _ = writeln!(err, "error: {e}");
             2
         }
     }
@@ -101,11 +117,15 @@ fn dispatch(argv: &[String], out: &mut dyn Write) -> Result<i32, ArgError> {
 mod tests {
     use super::*;
 
+    /// Run through the stderr-routing entry point and concatenate both
+    /// streams, so assertions can match either results or diagnostics.
     fn run_vec(args: &[&str]) -> (i32, String) {
         let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
-        let mut out = Vec::new();
-        let code = run(&argv, &mut out);
-        (code, String::from_utf8(out).unwrap())
+        let (mut out, mut err) = (Vec::new(), Vec::new());
+        let code = run_with_err(&argv, &mut out, &mut err);
+        let mut text = String::from_utf8(out).unwrap();
+        text.push_str(&String::from_utf8(err).unwrap());
+        (code, text)
     }
 
     #[test]
@@ -550,6 +570,213 @@ mod tests {
         let (code, text) = run_vec(&["sat", path.to_str().unwrap(), "--gen-budget", "25"]);
         assert_eq!(code, 2, "{text}");
         assert!(text.contains("generation budget"), "{text}");
+    }
+
+    #[test]
+    fn malformed_rule_files_exit_2_on_every_subcommand() {
+        let dir = std::env::temp_dir().join("gfd-cli-test-malformed");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.gfd");
+        std::fs::write(&path, "gfd broken { pattern { node x: } \x07\x00 oops").unwrap();
+        let p = path.to_str().unwrap();
+        for argv in [
+            vec!["sat", p],
+            vec!["imp", p, "--phi", "x"],
+            vec!["minimize", p],
+            vec!["detect", p],
+            vec!["fmt", p],
+            vec!["ged-sat", p],
+            vec!["ged-imp", p, "--phi", "x"],
+            vec!["resolve", p],
+        ] {
+            let (code, text) = run_vec(&argv);
+            assert_eq!(code, 2, "{argv:?}: {text}");
+            assert!(text.starts_with("error:"), "{argv:?}: {text}");
+            assert_eq!(text.trim_end().lines().count(), 1, "one-line diag: {text}");
+        }
+    }
+
+    #[test]
+    fn error_diagnostics_go_to_stderr() {
+        let argv = vec!["sat".to_string(), "/nonexistent/x.gfd".to_string()];
+        let (mut out, mut err) = (Vec::new(), Vec::new());
+        let code = run_with_err(&argv, &mut out, &mut err);
+        assert_eq!(code, 2);
+        assert!(out.is_empty(), "stdout stays clean on failure");
+        assert!(String::from_utf8(err).unwrap().starts_with("error:"));
+    }
+
+    #[test]
+    fn expired_deadline_degrades_to_exit_2_everywhere() {
+        let dir = std::env::temp_dir().join("gfd-cli-test-deadline");
+        std::fs::create_dir_all(&dir).unwrap();
+        let rules = dir.join("rules.gfd");
+        // Unsatisfiable set: without the budget both sat routes exit 1.
+        std::fs::write(
+            &rules,
+            "graph g { node a: t { v = 2 } }\n\
+             gfd a { pattern { node x: t } then { x.v = 1 } }\n\
+             gfd b { pattern { node x: t } then { x.v = 2 } }\n",
+        )
+        .unwrap();
+        let p = rules.to_str().unwrap();
+        for argv in [
+            vec!["sat", p, "--deadline-ms", "0"],
+            vec!["sat", p, "--seq", "--deadline-ms", "0"],
+            vec!["imp", p, "--phi", "a", "--deadline-ms", "0"],
+            vec!["ged-sat", p, "--deadline-ms", "0"],
+            vec!["ged-imp", p, "--phi", "a", "--deadline-ms", "0"],
+            vec!["detect", p, "--deadline-ms", "0"],
+        ] {
+            let (code, text) = run_vec(&argv);
+            assert_eq!(code, 2, "{argv:?}: {text}");
+            assert!(
+                text.contains("deadline expired"),
+                "{argv:?} must name the interrupt: {text}"
+            );
+            assert!(
+                !text.contains("UNSATISFIABLE") && !text.contains("NOT IMPLIED"),
+                "an expired run must not claim a definite verdict: {text}"
+            );
+        }
+        // Without the flag the same files produce definite verdicts.
+        let (code, text) = run_vec(&["sat", p]);
+        assert_eq!(code, 1, "{text}");
+        let (code, _) = run_vec(&["detect", p]);
+        assert_eq!(code, 1);
+    }
+
+    #[test]
+    fn stream_checkpoint_resume_matches_a_full_replay() {
+        let dir = std::env::temp_dir().join("gfd-cli-test-ckpt");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let rules = dir.join("stream.gfd");
+        std::fs::write(
+            &rules,
+            "graph g {\n\
+               node a: t { v = 1 }\n\
+               node b: t { v = 1 }\n\
+               edge a -e-> b\n\
+             }\n\
+             gfd same {\n\
+               pattern { node x: t node y: t edge x -e-> y }\n\
+               then { x.v = y.v }\n\
+             }\n",
+        )
+        .unwrap();
+        let full = "batch\nattr 1 v=2\nbatch\nnode t\nattr 2 v=1\nedge 1 e 2\nbatch\ndel 0 e 1\n";
+        let log = dir.join("full.delta");
+        std::fs::write(&log, full).unwrap();
+
+        // Reference: a plain full replay.
+        let (ref_code, ref_text) = run_vec(&[
+            "detect",
+            rules.to_str().unwrap(),
+            "--stream",
+            log.to_str().unwrap(),
+        ]);
+        let ref_final = ref_text.split("after ").nth(1).unwrap();
+
+        // Crashed run: only batch 1 was applied before the "crash",
+        // leaving a checkpoint behind.
+        let partial = dir.join("partial.delta");
+        std::fs::write(&partial, "batch\nattr 1 v=2\n").unwrap();
+        let ckpt = dir.join("state.ckpt");
+        let (code, text) = run_vec(&[
+            "detect",
+            rules.to_str().unwrap(),
+            "--stream",
+            partial.to_str().unwrap(),
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 1, "{text}");
+        assert!(ckpt.exists(), "checkpoint written");
+
+        // Resume against the full log: batches 2 and 3 replay on top of
+        // the persisted state and the final report matches the reference.
+        let (code, text) = run_vec(&[
+            "detect",
+            rules.to_str().unwrap(),
+            "--stream",
+            log.to_str().unwrap(),
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ]);
+        assert_eq!(code, ref_code, "{text}");
+        assert!(text.contains("resumed from"), "{text}");
+        assert!(text.contains("at batch 1"), "{text}");
+        assert!(
+            !text.contains("batch 1:"),
+            "batch 1 must not replay: {text}"
+        );
+        assert!(text.contains("batch 2:"), "{text}");
+        let resumed_final = text.split("after ").nth(1).unwrap();
+        assert_eq!(resumed_final, ref_final, "resume must match full replay");
+
+        // A checkpoint ahead of its log is a clean error.
+        let (code, text) = run_vec(&[
+            "detect",
+            rules.to_str().unwrap(),
+            "--stream",
+            partial.to_str().unwrap(),
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 2, "{text}");
+        assert!(text.contains("ahead of the log"), "{text}");
+
+        // Checkpoint flags outside --stream are rejected.
+        let (code, text) = run_vec(&[
+            "detect",
+            rules.to_str().unwrap(),
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 2, "{text}");
+        assert!(text.contains("--checkpoint"), "{text}");
+    }
+
+    #[test]
+    fn stream_skip_corrupt_salvages_the_readable_lines() {
+        let dir = std::env::temp_dir().join("gfd-cli-test-skipcorrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let rules = dir.join("rules.gfd");
+        std::fs::write(
+            &rules,
+            "graph g { node a: t { v = 1 } }\n\
+             gfd r { pattern { node x: t } then { x.v = 1 } }\n",
+        )
+        .unwrap();
+        // Line 3 is garbled mid-write; line 4 still parses.
+        let log = dir.join("torn.delta");
+        std::fs::write(&log, "batch\nattr 0 v=2\nattr 0 \nbatch\nattr 0 v=1\n").unwrap();
+
+        let (code, text) = run_vec(&[
+            "detect",
+            rules.to_str().unwrap(),
+            "--stream",
+            log.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 2, "strict mode rejects the log: {text}");
+
+        let (code, text) = run_vec(&[
+            "detect",
+            rules.to_str().unwrap(),
+            "--stream",
+            log.to_str().unwrap(),
+            "--skip-corrupt",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("skipped corrupt line 3"), "{text}");
+        assert!(text.contains("skipped 1 corrupt line(s)"), "{text}");
+        assert!(text.contains("batch 2:"), "the good lines replay: {text}");
+
+        // --skip-corrupt outside streaming mode is rejected.
+        let (code, text) = run_vec(&["detect", rules.to_str().unwrap(), "--skip-corrupt"]);
+        assert_eq!(code, 2, "{text}");
+        assert!(text.contains("--skip-corrupt"), "{text}");
     }
 
     #[test]

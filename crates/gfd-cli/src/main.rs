@@ -1,8 +1,10 @@
-//! The `gfd` binary: a thin wrapper over [`gfd_cli::run`].
+//! The `gfd` binary: a thin wrapper over [`gfd_cli::run_with_err`].
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let stdout = std::io::stdout();
+    let stderr = std::io::stderr();
     let mut out = stdout.lock();
-    std::process::exit(gfd_cli::run(&args, &mut out));
+    let mut err = stderr.lock();
+    std::process::exit(gfd_cli::run_with_err(&args, &mut out, &mut err));
 }

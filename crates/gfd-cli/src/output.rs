@@ -32,6 +32,13 @@ pub fn fmt_metrics(m: &RunMetrics) -> String {
         m.matches, m.pending, m.rechecks, m.delta_ops_broadcast
     ));
     out.push_str(&format!("  branches explored: {}\n", m.branches));
+    out.push_str(&format!(
+        "  faults: {} unit(s) panicked, {} retried\n",
+        m.units_panicked, m.units_retried
+    ));
+    if let Some(slack) = m.deadline_slack_ms {
+        out.push_str(&format!("  deadline slack: {slack}ms\n"));
+    }
     if let Some(ms) = m.makespan() {
         out.push_str(&format!(
             "  makespan: {} (idle: {})\n",
@@ -59,6 +66,30 @@ pub fn fmt_chase_stats(s: &gfd_chase::ChaseStats) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn metrics_report_faults_and_slack() {
+        let m = RunMetrics {
+            units_panicked: 2,
+            units_retried: 1,
+            deadline_slack_ms: Some(-7),
+            ..Default::default()
+        };
+        let text = fmt_metrics(&m);
+        assert!(
+            text.contains("faults: 2 unit(s) panicked, 1 retried"),
+            "{text}"
+        );
+        assert!(text.contains("deadline slack: -7ms"), "{text}");
+        // Without a deadline the slack line disappears; the fault line
+        // prints unconditionally like every other counter.
+        let text = fmt_metrics(&RunMetrics::default());
+        assert!(
+            text.contains("faults: 0 unit(s) panicked, 0 retried"),
+            "{text}"
+        );
+        assert!(!text.contains("deadline slack"), "{text}");
+    }
 
     #[test]
     fn durations_pick_sensible_units() {

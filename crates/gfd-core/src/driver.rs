@@ -27,6 +27,7 @@
 //! thread. Sequential and parallel reasoning therefore cannot drift
 //! semantically — they are the same code path.
 
+use crate::budget::{Budget, Interrupt};
 use crate::canonical::{build_plans_lazy, consequence_deducible, CanonicalGraph};
 use crate::dependency::{generate_deducible, Consequence, Dependency};
 use crate::enforce::EnforceEngine;
@@ -38,8 +39,8 @@ use crate::unit::{generate_units, order_units, WorkUnit};
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use gfd_graph::GfdId;
 use gfd_match::{HomSearch, Match, MatchPlan, RunOutcome, SearchLimits};
-use gfd_runtime::sched::{run_scheduler, Task, WorkerCtx};
-use gfd_runtime::{DispatchMode, RunMetrics};
+use gfd_runtime::sched::{run_scheduler_with, Task, WorkerCtx};
+use gfd_runtime::{DispatchMode, RunMetrics, RunOutcome as SchedOutcome};
 use parking_lot::Mutex;
 use rustc_hash::FxHashSet;
 use std::ops::ControlFlow;
@@ -113,6 +114,9 @@ pub struct ReasonConfig {
     /// How units reach the workers: per-worker deques with stealing
     /// (default) or the centralized-queue baseline.
     pub dispatch: DispatchMode,
+    /// Resource limits (deadline, max units). Exhaustion degrades the run
+    /// to an unknown outcome (DESIGN.md §11.2); the default is unlimited.
+    pub budget: Budget,
 }
 
 impl Default for ReasonConfig {
@@ -125,6 +129,7 @@ impl Default for ReasonConfig {
             use_dependency_order: true,
             prune_components: true,
             dispatch: DispatchMode::WorkStealing,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -161,6 +166,12 @@ impl ReasonConfig {
         self.dispatch = dispatch;
         self
     }
+
+    /// Override the resource budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
 }
 
 /// The outcome of a reasoning run, before goal-specific interpretation.
@@ -168,8 +179,12 @@ pub struct ReasonRun {
     /// Early or final terminal event, if any.
     pub terminal: Option<TerminalEvent>,
     /// The merged engine after the convergence phase (absent when the run
-    /// terminated early).
+    /// terminated early or was degraded by its budget).
     pub engine: Option<EnforceEngine>,
+    /// How the scheduler run ended. Anything other than `Completed` /
+    /// `Stopped` means the fixpoint was not reached: a missing terminal
+    /// event then maps to an *unknown* outcome, never a definite one.
+    pub sched_outcome: SchedOutcome,
     /// Run counters.
     pub metrics: RunMetrics,
 }
@@ -545,11 +560,20 @@ pub fn run_reason(
         terminal: Mutex::new(None),
     };
 
-    let run = run_scheduler(&task, units, p, cfg.dispatch, &stop);
+    let run = run_scheduler_with(
+        &task,
+        units,
+        p,
+        cfg.dispatch,
+        &stop,
+        cfg.budget.sched_options(),
+    );
 
     metrics.units_dispatched = run.units_executed;
     metrics.units_split = run.units_split;
     metrics.units_stolen = run.units_stolen;
+    metrics.units_panicked = run.units_panicked;
+    metrics.units_retried = run.units_retried;
     metrics.worker_busy = run.worker_busy;
     metrics.worker_idle = run.worker_idle;
     let mut workers = run.workers;
@@ -602,10 +626,22 @@ pub fn run_reason(
         (terminal.is_none()).then_some(engine)
     };
 
+    // A degraded run (deadline, unit budget, panic abort) did not reach
+    // the fixpoint: its merged state must never be read as a model. Any
+    // terminal event found on the way — enforcement is monotone, so a
+    // conflict derived from partial work is still definitive — survives.
+    let engine = if terminal.is_none() && Interrupt::from_outcome(&run.outcome).is_some() {
+        None
+    } else {
+        engine
+    };
+
     metrics.elapsed = start.elapsed();
+    metrics.deadline_slack_ms = cfg.budget.deadline_slack_ms();
     ReasonRun {
         terminal,
         engine,
+        sched_outcome: run.outcome,
         metrics,
     }
 }

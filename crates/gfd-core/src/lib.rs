@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod canonical;
 pub mod dependency;
 pub mod driver;
@@ -37,6 +38,7 @@ pub mod sigma;
 pub mod unit;
 pub mod validate;
 
+pub use budget::{Budget, Interrupt};
 pub use canonical::{
     build_plans, build_plans_lazy, choose_pivot, consequence_deducible, consequence_lits_deducible,
     CanonicalGraph,

@@ -6,6 +6,7 @@
 //! in `G^X_Q` starting from `EqX` and terminates with *implied* as soon as
 //! either condition holds; if the fixpoint completes without them, `Σ 6|= ϕ`.
 
+use crate::budget::Interrupt;
 use crate::canonical::{consequence_deducible, CanonicalGraph};
 use crate::dependency::{generate_deducible, Consequence, Dependency};
 use crate::driver::{run_reason, Goal, ReasonConfig, TerminalEvent};
@@ -35,6 +36,10 @@ pub enum ImpOutcome {
     Implied(ImpliedVia),
     /// `Σ 6|= ϕ` — a counterexample population of `G^X_Q` exists.
     NotImplied,
+    /// The run was cut short — deadline, unit budget, or a panic abort —
+    /// before the fixpoint: no definite answer. Never produced with an
+    /// unlimited [`crate::Budget`] and no faults.
+    Unknown(Interrupt),
 }
 
 /// Result + statistics.
@@ -50,6 +55,19 @@ impl ImpResult {
     /// True iff `Σ |= ϕ`.
     pub fn is_implied(&self) -> bool {
         matches!(self.outcome, ImpOutcome::Implied(_))
+    }
+
+    /// True iff the run degraded without a definite answer.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self.outcome, ImpOutcome::Unknown(_))
+    }
+
+    /// The interrupt that degraded the run, if any.
+    pub fn interrupt(&self) -> Option<&Interrupt> {
+        match &self.outcome {
+            ImpOutcome::Unknown(i) => Some(i),
+            _ => None,
+        }
     }
 }
 
@@ -119,7 +137,12 @@ pub fn imp_with_config(sigma: &GfdSet, phi: &Gfd, cfg: &ReasonConfig) -> ImpResu
     let outcome = match run.terminal {
         Some(TerminalEvent::Conflict(c)) => ImpOutcome::Implied(ImpliedVia::Conflict(c)),
         Some(TerminalEvent::Consequence) => ImpOutcome::Implied(ImpliedVia::Consequence),
-        None => ImpOutcome::NotImplied,
+        // Degraded run, no terminal event: claiming "not implied" would
+        // turn a timeout into a wrong definite verdict.
+        None => match Interrupt::from_outcome(&run.sched_outcome) {
+            Some(interrupt) => ImpOutcome::Unknown(interrupt),
+            None => ImpOutcome::NotImplied,
+        },
     };
     let mut stats = run.metrics;
     stats.elapsed = start.elapsed();
@@ -174,7 +197,12 @@ pub fn ggd_imp_with_config(sigma: &GfdSet, phi: &Dependency, cfg: &ReasonConfig)
     let outcome = match run.terminal {
         Some(TerminalEvent::Conflict(c)) => ImpOutcome::Implied(ImpliedVia::Conflict(c)),
         Some(TerminalEvent::Consequence) => ImpOutcome::Implied(ImpliedVia::Consequence),
-        None => ImpOutcome::NotImplied,
+        // Degraded run, no terminal event: claiming "not implied" would
+        // turn a timeout into a wrong definite verdict.
+        None => match Interrupt::from_outcome(&run.sched_outcome) {
+            Some(interrupt) => ImpOutcome::Unknown(interrupt),
+            None => ImpOutcome::NotImplied,
+        },
     };
     let mut stats = run.metrics;
     stats.elapsed = start.elapsed();

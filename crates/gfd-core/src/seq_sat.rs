@@ -11,6 +11,7 @@
 //! `workers = 1`): same unit generation, same ordering, same enforcement
 //! loop, run inline on the calling thread with broadcast a natural no-op.
 
+use crate::budget::Interrupt;
 use crate::canonical::CanonicalGraph;
 use crate::driver::{run_reason, Goal, ReasonConfig, TerminalEvent};
 use crate::eq::EqRel;
@@ -67,6 +68,10 @@ pub enum SatOutcome {
     /// Enforcing Σ on `GΣ` forces two distinct constants onto one
     /// attribute class.
     Unsatisfiable(Conflict),
+    /// The run was cut short — deadline, unit budget, or a panic abort —
+    /// before the fixpoint: no definite answer. Never produced with an
+    /// unlimited [`crate::Budget`] and no faults.
+    Unknown(Interrupt),
 }
 
 /// Result + statistics.
@@ -84,11 +89,24 @@ impl SatResult {
         matches!(self.outcome, SatOutcome::Satisfiable(_))
     }
 
+    /// True iff the run degraded without a definite answer.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self.outcome, SatOutcome::Unknown(_))
+    }
+
+    /// The interrupt that degraded the run, if any.
+    pub fn interrupt(&self) -> Option<&Interrupt> {
+        match &self.outcome {
+            SatOutcome::Unknown(i) => Some(i),
+            _ => None,
+        }
+    }
+
     /// The model, if satisfiable.
     pub fn model(&self) -> Option<&gfd_graph::Graph> {
         match &self.outcome {
             SatOutcome::Satisfiable(m) => Some(m),
-            SatOutcome::Unsatisfiable(_) => None,
+            _ => None,
         }
     }
 }
@@ -126,10 +144,16 @@ pub fn sat_with_config(sigma: &GfdSet, cfg: &ReasonConfig) -> SatResult {
         Some(TerminalEvent::Consequence) => {
             unreachable!("consequence events are implication-only")
         }
-        None => {
-            let mut engine = run.engine.expect("quiescent run produces merged state");
-            SatOutcome::Satisfiable(Box::new(extract_model(&canon.graph, &mut engine.eq)))
-        }
+        None => match Interrupt::from_outcome(&run.sched_outcome) {
+            // Degraded run, no conflict found: the answer is unknown —
+            // claiming UNSAT here would turn a timeout into a wrong
+            // definite verdict.
+            Some(interrupt) => SatOutcome::Unknown(interrupt),
+            None => {
+                let mut engine = run.engine.expect("quiescent run produces merged state");
+                SatOutcome::Satisfiable(Box::new(extract_model(&canon.graph, &mut engine.eq)))
+            }
+        },
     };
     SatResult {
         outcome,

@@ -11,10 +11,10 @@
 use crate::report::{DetectionReport, RuleStats, ViolationRecord};
 use crate::units::{initial_units, DetectUnit, RulePlans};
 use gfd_core::validate::literal_holds;
-use gfd_core::{Consequence, DepSet, GfdSet};
+use gfd_core::{Budget, Consequence, DepSet, GfdSet, Interrupt};
 use gfd_graph::{Graph, LabelIndex, MatchIndex, NodeId};
 use gfd_match::{HomSearch, RunOutcome, SearchLimits};
-use gfd_runtime::sched::{run_scheduler, Task, WorkerCtx};
+use gfd_runtime::sched::{run_scheduler_with, Task, WorkerCtx};
 use gfd_runtime::{DispatchMode, RunMetrics};
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -35,6 +35,11 @@ pub struct DetectConfig {
     /// How units reach the workers: per-worker deques with stealing
     /// (default) or the centralized-queue baseline.
     pub dispatch: DispatchMode,
+    /// Unified resource budget (DESIGN.md §11.2): deadline and unit cap
+    /// enforced by the scheduler at unit boundaries. Exhaustion yields a
+    /// partial report flagged with [`DetectionReport::interrupted`] — the
+    /// violations found so far are real, the sweep just did not finish.
+    pub budget: Budget,
 }
 
 impl Default for DetectConfig {
@@ -45,6 +50,7 @@ impl Default for DetectConfig {
             max_violations: usize::MAX,
             batch_size: 1024,
             dispatch: DispatchMode::WorkStealing,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -56,6 +62,12 @@ impl DetectConfig {
             workers,
             ..Default::default()
         }
+    }
+
+    /// Attach a unified resource budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
     }
 
     fn effective_workers(&self) -> usize {
@@ -304,14 +316,25 @@ pub fn detect_units<I: MatchIndex>(
         units_generated: units.len(),
         ..Default::default()
     };
-    let run = run_scheduler(&task, units, workers, config.dispatch, &stop);
+    let run = run_scheduler_with(
+        &task,
+        units,
+        workers,
+        config.dispatch,
+        &stop,
+        config.budget.sched_options(),
+    );
     metrics.units_dispatched = run.units_executed;
     metrics.units_split = run.units_split;
     metrics.units_stolen = run.units_stolen;
     metrics.worker_busy = run.worker_busy;
     metrics.worker_idle = run.worker_idle;
+    metrics.units_panicked = run.units_panicked;
+    metrics.units_retried = run.units_retried;
     metrics.elapsed = start.elapsed();
-    merge_report(sigma, run.workers, metrics, config)
+    metrics.deadline_slack_ms = config.budget.deadline_slack_ms();
+    let interrupted = Interrupt::from_outcome(&run.outcome);
+    merge_report(sigma, run.workers, metrics, config, interrupted)
 }
 
 /// Sequential reference detector (one worker, same code path). Used by
@@ -327,6 +350,7 @@ fn merge_report(
     locals: Vec<Local>,
     mut metrics: RunMetrics,
     config: &DetectConfig,
+    interrupted: Option<Interrupt>,
 ) -> DetectionReport {
     let mut violations = Vec::new();
     let mut per_rule = vec![RuleStats::default(); sigma.len()];
@@ -342,11 +366,12 @@ fn merge_report(
     // Deterministic order regardless of worker interleaving.
     violations.sort_by(|a, b| (a.gfd, &a.m).cmp(&(b.gfd, &b.m)));
     let truncated = violations.len() >= config.max_violations;
-    metrics.early_terminated = truncated;
+    metrics.early_terminated = truncated || interrupted.is_some();
     DetectionReport {
         violations,
         per_rule,
         truncated,
+        interrupted,
         metrics,
     }
 }

@@ -12,7 +12,7 @@ use std::fmt::Write as _;
 /// missing subgraph is the `(rule, match)` pair: no extension of `m`
 /// realizes the target, and [`ViolationRecord::explain`] renders the
 /// required fresh nodes, edges and assignments from the rule itself.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ViolationRecord {
     /// The violated rule.
     pub gfd: GfdId,
@@ -158,6 +158,10 @@ pub struct DetectionReport {
     /// True iff detection stopped early because the violation budget was
     /// reached.
     pub truncated: bool,
+    /// Set when the sweep was cut short by the resource budget or a
+    /// worker panic ([`gfd_core::Interrupt`]): the violations listed are
+    /// real but the report may be incomplete.
+    pub interrupted: Option<gfd_core::Interrupt>,
     /// The unified scheduler metrics (units, splits, steals, per-worker
     /// busy/idle time, wall-clock time).
     pub metrics: gfd_runtime::RunMetrics,
@@ -286,6 +290,7 @@ mod tests {
     fn summary_counts_dirty_rules() {
         let (_, sigma, vocab) = setup();
         let report = DetectionReport {
+            interrupted: None,
             violations: vec![ViolationRecord {
                 gfd: GfdId::new(0),
                 m: vec![NodeId::new(0)].into_boxed_slice(),

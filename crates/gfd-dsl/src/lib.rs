@@ -144,6 +144,34 @@ mod proptests {
             let doc = crate::parse_document(&src, &mut vocab).expect("parse set");
             prop_assert_eq!(doc.gfds.len(), gv.len());
         }
+
+        /// Fuzz (DESIGN.md §11): the parser is panic-free on arbitrary
+        /// text — every input yields a document or a structured error.
+        #[test]
+        fn parse_document_never_panics(src in "\\PC*") {
+            let mut vocab = Vocab::new();
+            let _ = crate::parse_document(&src, &mut vocab);
+        }
+
+        /// …and on token soup built from the DSL's own keywords and
+        /// punctuation, which reaches far deeper than random text.
+        #[test]
+        fn parse_document_never_panics_on_token_soup(
+            picks in proptest::collection::vec(0usize..25, 0..40),
+        ) {
+            const POOL: [&str; 25] = [
+                "graph", "gfd", "ggd", "ged", "pattern", "when", "then",
+                "create", "set", "node", "edge", "{", "}", ":", "=", ">=",
+                ",", ".", "->", "-e->", "x", "t", "1", "\"s", "_",
+            ];
+            let src = picks
+                .iter()
+                .map(|i| POOL[*i])
+                .collect::<Vec<_>>()
+                .join(" ");
+            let mut vocab = Vocab::new();
+            let _ = crate::parse_document(&src, &mut vocab);
+        }
     }
 
     /// Strategy: a small random GED with order predicates, id literals

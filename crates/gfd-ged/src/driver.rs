@@ -42,8 +42,9 @@ use crate::ged::{Ged, GedLiteral, GedSet};
 use crate::imp::GedImpOutcome;
 use crate::sat::{extract_witness, GedSatOutcome};
 use crate::store::GedStore;
+use gfd_core::{Budget, Interrupt};
 use gfd_graph::{Graph, NodeId};
-use gfd_runtime::sched::{run_scheduler, Task, WorkerCtx};
+use gfd_runtime::sched::{run_scheduler_with, Task, WorkerCtx};
 use gfd_runtime::{DispatchMode, RunMetrics};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -68,6 +69,11 @@ pub struct GedReasonConfig {
     /// pathological inputs; exceeding the budget ends the run with
     /// `outcome: None` rather than looping. Shared across all workers.
     pub max_branches: usize,
+    /// Unified resource budget (DESIGN.md §11.2): wall-clock deadline and
+    /// scheduler unit cap, checked cooperatively at branch boundaries, plus
+    /// an optional branch cap that tightens `max_branches`. Exhaustion
+    /// degrades to `outcome: None` with the [`Interrupt`] reason attached.
+    pub budget: Budget,
 }
 
 impl Default for GedReasonConfig {
@@ -78,6 +84,7 @@ impl Default for GedReasonConfig {
             split: true,
             dispatch: DispatchMode::WorkStealing,
             max_branches: 1_000_000,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -108,14 +115,34 @@ impl GedReasonConfig {
         self.max_branches = max_branches;
         self
     }
+
+    /// Attach a unified resource budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The effective branch cap: the legacy `max_branches` knob tightened
+    /// by the budget's branch axis, whichever is smaller.
+    fn effective_max_branches(&self) -> usize {
+        match self.budget.max_branches {
+            Some(b) => self
+                .max_branches
+                .min(usize::try_from(b).unwrap_or(usize::MAX)),
+            None => self.max_branches,
+        }
+    }
 }
 
 /// A satisfiability run: outcome plus unified scheduler metrics.
 #[derive(Debug)]
 pub struct GedSatRun {
-    /// `None` when the branch budget was exhausted before the search
-    /// completed (the answer is unknown).
+    /// `None` when the run degraded — branch budget, deadline, unit
+    /// budget, or a panic abort — before the search completed (the answer
+    /// is unknown).
     pub outcome: Option<GedSatOutcome>,
+    /// Why the outcome is `None`; always `Some` exactly when it is.
+    pub interrupt: Option<Interrupt>,
     /// Unified scheduler counters (branches, splits, steals, idle time).
     pub metrics: RunMetrics,
 }
@@ -123,9 +150,12 @@ pub struct GedSatRun {
 /// An implication run: outcome plus unified scheduler metrics.
 #[derive(Debug)]
 pub struct GedImpRun {
-    /// `None` when the branch budget was exhausted before the search
-    /// completed (the answer is unknown).
+    /// `None` when the run degraded — branch budget, deadline, unit
+    /// budget, or a panic abort — before the search completed (the answer
+    /// is unknown).
     pub outcome: Option<GedImpOutcome>,
+    /// Why the outcome is `None`; always `Some` exactly when it is.
+    pub interrupt: Option<Interrupt>,
     /// Unified scheduler counters (branches, splits, steals, idle time).
     pub metrics: RunMetrics,
 }
@@ -162,7 +192,10 @@ struct GedTask<'a> {
     stop: &'a AtomicBool,
     /// Branches explored across all workers (the budget counter).
     branches: AtomicUsize,
+    /// The effective branch cap ([`GedReasonConfig::effective_max_branches`]).
+    max_branches: usize,
     budget_exceeded: AtomicBool,
+    deadline_exceeded: AtomicBool,
     /// Satisfiability: the first quiescent store (first writer wins).
     witness: Mutex<Option<GedStore>>,
     /// Implication: a counterexample leaf was found.
@@ -291,7 +324,14 @@ impl Task for GedTask<'_> {
             if self.stop.load(Ordering::Relaxed) {
                 return;
             }
-            if self.branches.fetch_add(1, Ordering::Relaxed) >= self.cfg.max_branches {
+            // The scheduler checks the wall clock only between units; a
+            // unit exploring a large subtree must check cooperatively.
+            if self.cfg.budget.expired() {
+                self.deadline_exceeded.store(true, Ordering::Relaxed);
+                self.stop.store(true, Ordering::Relaxed);
+                return;
+            }
+            if self.branches.fetch_add(1, Ordering::Relaxed) >= self.max_branches {
                 self.budget_exceeded.store(true, Ordering::Relaxed);
                 self.stop.store(true, Ordering::Relaxed);
                 return;
@@ -321,7 +361,9 @@ impl Task for GedTask<'_> {
 struct GedRunOutput {
     witness: Option<GedStore>,
     refuted: bool,
-    budget_exceeded: bool,
+    /// Why the run degraded, if it did (branch/deadline/unit budget or a
+    /// panic abort); `None` for a run that searched to completion.
+    interrupt: Option<Interrupt>,
     metrics: RunMetrics,
 }
 
@@ -343,7 +385,9 @@ fn run_ged(
         cfg,
         stop: &stop,
         branches: AtomicUsize::new(0),
+        max_branches: cfg.effective_max_branches(),
         budget_exceeded: AtomicBool::new(false),
+        deadline_exceeded: AtomicBool::new(false),
         witness: Mutex::new(None),
         refuted: AtomicBool::new(false),
     };
@@ -354,20 +398,45 @@ fn run_ged(
         units_generated: seed_units.len(),
         ..Default::default()
     };
-    let run = run_scheduler(&task, seed_units, p, cfg.dispatch, &stop);
+    let run = run_scheduler_with(
+        &task,
+        seed_units,
+        p,
+        cfg.dispatch,
+        &stop,
+        cfg.budget.sched_options(),
+    );
     metrics.units_dispatched = run.units_executed;
     metrics.units_split = run.units_split;
     metrics.units_stolen = run.units_stolen;
     metrics.worker_busy = run.worker_busy;
     metrics.worker_idle = run.worker_idle;
+    metrics.units_panicked = run.units_panicked;
+    metrics.units_retried = run.units_retried;
     metrics.branches = run.workers.iter().map(|w| w.branches_explored).sum();
     metrics.early_terminated = stop.load(Ordering::Relaxed);
     metrics.elapsed = start.elapsed();
+    metrics.deadline_slack_ms = cfg.budget.deadline_slack_ms();
+
+    // Panic aborts outrank budget reasons (the run did not merely run
+    // out of resources); the cooperative flags cover exhaustion detected
+    // inside a unit, the scheduler outcome covers unit boundaries.
+    let interrupt = Interrupt::from_outcome(&run.outcome)
+        .or_else(|| {
+            task.deadline_exceeded
+                .load(Ordering::Relaxed)
+                .then_some(Interrupt::Deadline)
+        })
+        .or_else(|| {
+            task.budget_exceeded
+                .load(Ordering::Relaxed)
+                .then_some(Interrupt::Branches)
+        });
 
     GedRunOutput {
         witness: task.witness.into_inner(),
         refuted: task.refuted.load(Ordering::Relaxed),
-        budget_exceeded: task.budget_exceeded.load(Ordering::Relaxed),
+        interrupt,
         metrics,
     }
 }
@@ -383,6 +452,7 @@ pub fn ged_sat_with_config(sigma: &GedSet, cfg: &GedReasonConfig) -> GedSatRun {
         g.add_node(gfd_graph::LabelId::WILDCARD);
         return GedSatRun {
             outcome: Some(GedSatOutcome::Satisfiable { witness: Some(g) }),
+            interrupt: None,
             metrics: RunMetrics {
                 workers: cfg.workers.max(1),
                 ..Default::default()
@@ -399,17 +469,23 @@ pub fn ged_sat_with_config(sigma: &GedSet, cfg: &GedReasonConfig) -> GedSatRun {
     // A found model is definitive regardless of the budget flag: near
     // the budget, one worker can record the witness while another's
     // counter crosses the cap before observing stop. Only an
-    // *inconclusive* exhausted run is "unknown".
+    // *inconclusive* interrupted run is "unknown".
     let outcome = if let Some(mut store) = out.witness {
         let witness = extract_witness(&mut store, &base);
         Some(GedSatOutcome::Satisfiable { witness })
-    } else if out.budget_exceeded {
+    } else if out.interrupt.is_some() {
         None
     } else {
         Some(GedSatOutcome::Unsatisfiable)
     };
+    let interrupt = if outcome.is_none() {
+        out.interrupt
+    } else {
+        None
+    };
     GedSatRun {
         outcome,
+        interrupt,
         metrics: out.metrics,
     }
 }
@@ -427,6 +503,7 @@ pub fn ged_implies_with_config(sigma: &GedSet, phi: &Ged, cfg: &GedReasonConfig)
         if store.assert_literal(lit, &identity).is_err() {
             return GedImpRun {
                 outcome: Some(GedImpOutcome::Implied),
+                interrupt: None,
                 metrics: RunMetrics {
                     workers: cfg.workers.max(1),
                     ..Default::default()
@@ -439,13 +516,19 @@ pub fn ged_implies_with_config(sigma: &GedSet, phi: &Ged, cfg: &GedReasonConfig)
     // budget flag raced in; only exhaustion without one is "unknown".
     let outcome = if out.refuted {
         Some(GedImpOutcome::NotImplied)
-    } else if out.budget_exceeded {
+    } else if out.interrupt.is_some() {
         None
     } else {
         Some(GedImpOutcome::Implied)
     };
+    let interrupt = if outcome.is_none() {
+        out.interrupt
+    } else {
+        None
+    };
     GedImpRun {
         outcome,
+        interrupt,
         metrics: out.metrics,
     }
 }
@@ -522,6 +605,32 @@ mod tests {
             assert!(run.outcome.is_none(), "p={p}: budget should be unknown");
             assert!(run.metrics.early_terminated);
         }
+    }
+
+    #[test]
+    fn expired_deadline_degrades_to_unknown() {
+        let mut vocab = Vocab::new();
+        let sigma = unsat_disjunctive(&mut vocab, 6);
+        for p in [1usize, 2] {
+            let cfg = GedReasonConfig::with_workers(p).with_budget(
+                Budget::unlimited().with_deadline(Instant::now() - Duration::from_millis(1)),
+            );
+            let run = ged_sat_with_config(&sigma, &cfg);
+            assert!(run.outcome.is_none(), "p={p}");
+            assert_eq!(run.interrupt, Some(Interrupt::Deadline), "p={p}");
+            assert!(run.metrics.deadline_slack_ms.unwrap() < 0);
+        }
+    }
+
+    #[test]
+    fn budget_branch_axis_tightens_the_legacy_knob() {
+        let mut vocab = Vocab::new();
+        let sigma = unsat_disjunctive(&mut vocab, 2);
+        let cfg =
+            GedReasonConfig::with_workers(1).with_budget(Budget::unlimited().with_max_branches(2));
+        let run = ged_sat_with_config(&sigma, &cfg);
+        assert!(run.outcome.is_none());
+        assert_eq!(run.interrupt, Some(Interrupt::Branches));
     }
 
     #[test]

@@ -8,6 +8,7 @@ use gfd_detect::{
     ViolationRecord,
 };
 use gfd_graph::{DeltaBatch, DeltaIndex, Graph, LabelIndex, MatchIndex, NodeId};
+use gfd_runtime::failpoint;
 use rustc_hash::FxHashSet;
 
 /// Configuration of an incremental detection session.
@@ -172,6 +173,44 @@ impl IncrementalDetector {
         }
     }
 
+    /// Rebuild a session from checkpointed parts — the current graph and
+    /// the violation cache — *without* the seeding detection pass.
+    ///
+    /// The candidate index is re-frozen from the graph (a resumed session
+    /// starts with an empty overlay: resuming is also a compaction), so
+    /// the only trust placed in the caller is that `violations` is the
+    /// exact violation set of `graph` under `sigma` — which is what a
+    /// checkpoint written by [`violations`](IncrementalDetector::violations)
+    /// after an `apply` guarantees.
+    ///
+    /// # Panics
+    ///
+    /// On an invalid configuration (see [`IncrConfig::validate`]).
+    pub fn from_parts(
+        graph: Graph,
+        sigma: impl Into<DepSet>,
+        mut violations: Vec<ViolationRecord>,
+        config: IncrConfig,
+    ) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid IncrConfig: {msg}");
+        }
+        let sigma: DepSet = sigma.into();
+        let li = LabelIndex::build(&graph);
+        let plans = RulePlans::build(&sigma, &li);
+        let meta = RuleMeta::build(&sigma, &plans);
+        violations.sort_by(|a, b| (a.gfd, &a.m).cmp(&(b.gfd, &b.m)));
+        IncrementalDetector {
+            graph,
+            sigma,
+            index: li.into_delta(),
+            plans,
+            meta,
+            violations,
+            config,
+        }
+    }
+
     /// The detect config with the violation budget disabled (the cache
     /// must be complete — see [`IncrConfig::detect`]).
     fn find_all(base: &DetectConfig) -> DetectConfig {
@@ -229,8 +268,13 @@ impl IncrementalDetector {
         // after every batch that left an overlay" — an empty overlay
         // (e.g. an attribute-only batch) has nothing to fold and skips
         // the re-freeze.
+        // The `incr/compact` failpoint models a compaction that could
+        // not run (e.g. an allocation failure caught upstream): deferring
+        // the re-freeze is always safe — the overlay view answers the
+        // same probes — so the fault degrades performance, never answers.
         if self.index.delta_fraction() >= self.config.compact_fraction
             && self.index.delta().delta_size() > 0
+            && !failpoint::triggered("incr/compact")
         {
             self.index = LabelIndex::build(&self.graph).into_delta();
             report.compacted = true;

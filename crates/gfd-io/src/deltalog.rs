@@ -23,6 +23,7 @@
 
 use crate::edgelist::LoadError;
 use gfd_graph::{DeltaBatch, DeltaOp, NodeId, Value, Vocab};
+use gfd_runtime::failpoint;
 use std::fmt::Write as _;
 
 fn err(line: usize, message: impl Into<String>) -> LoadError {
@@ -37,7 +38,7 @@ fn err(line: usize, message: impl Into<String>) -> LoadError {
 /// integer parse, and ids at or above `u32::MAX` are rejected explicitly
 /// (`u32::MAX` is reserved as a sentinel by several consumers) rather
 /// than wrapped or debug-asserted away downstream.
-fn parse_node(token: &str, line: usize) -> Result<NodeId, LoadError> {
+pub(crate) fn parse_node(token: &str, line: usize) -> Result<NodeId, LoadError> {
     let id = token.parse::<u64>().map_err(|_| {
         err(
             line,
@@ -61,7 +62,7 @@ fn parse_node(token: &str, line: usize) -> Result<NodeId, LoadError> {
 /// reject references to nodes that will not exist at that point of the
 /// replay.
 pub fn parse_delta_log(src: &str, vocab: &mut Vocab) -> Result<Vec<DeltaBatch>, LoadError> {
-    parse_inner(src, vocab, None)
+    parse_inner(src, vocab, None, None).map(|p| p.batches)
 }
 
 /// Parse a delta log destined for a graph that currently has
@@ -75,23 +76,56 @@ pub fn parse_delta_log_for(
     vocab: &mut Vocab,
     existing_nodes: usize,
 ) -> Result<Vec<DeltaBatch>, LoadError> {
-    parse_inner(src, vocab, Some(existing_nodes))
+    parse_inner(src, vocab, Some(existing_nodes), None).map(|p| p.batches)
 }
 
-fn parse_inner(
+/// What a lenient parse salvaged: the clean batches plus every line it
+/// had to skip, with the reason.
+#[derive(Debug)]
+pub struct LenientParse {
+    /// Batches assembled from the lines that parsed.
+    pub batches: Vec<DeltaBatch>,
+    /// `(line number, reason)` for each corrupt line dropped.
+    pub skipped: Vec<(usize, String)>,
+}
+
+/// Parse a delta log, skipping corrupt lines instead of failing the
+/// whole log (`gfd detect --stream --skip-corrupt`): a truncated or
+/// garbled line — the usual tail damage of a log cut off mid-write — is
+/// recorded in [`LenientParse::skipped`] and the replay continues with
+/// the lines that survive. A skipped `node` line does not advance the
+/// dense id counter, so later in-range references stay consistent with
+/// what the replay will actually build.
+pub fn parse_delta_log_lenient(
     src: &str,
     vocab: &mut Vocab,
-    bound: Option<usize>,
-) -> Result<Vec<DeltaBatch>, LoadError> {
-    let mut batches = Vec::new();
-    let mut current = DeltaBatch::new();
-    let mut started = false;
-    // Nodes the replay target will have at this point of the log.
-    let mut known_nodes = bound;
-    let check_ref = |n: NodeId, known: Option<usize>, line: usize| -> Result<(), LoadError> {
-        match known {
+    existing_nodes: Option<usize>,
+) -> Result<LenientParse, LoadError> {
+    let mut skipped = Vec::new();
+    parse_inner(src, vocab, existing_nodes, Some(&mut skipped)).map(|mut p| {
+        p.skipped = skipped;
+        p
+    })
+}
+
+/// One parsed line, validated but not yet applied — applying only after
+/// full validation is what lets the lenient mode drop a line without
+/// half of it having leaked into the current batch.
+enum LineAction {
+    NewBatch,
+    Op(DeltaOp),
+}
+
+fn parse_line(
+    tokens: &[String],
+    vocab: &mut Vocab,
+    known_nodes: Option<usize>,
+    line_no: usize,
+) -> Result<LineAction, LoadError> {
+    let check_ref = |n: NodeId| -> Result<(), LoadError> {
+        match known_nodes {
             Some(count) if n.index() >= count => Err(err(
-                line,
+                line_no,
                 format!(
                     "refers to node {} but only {count} node(s) exist at this \
                      point of the log",
@@ -101,6 +135,81 @@ fn parse_inner(
             _ => Ok(()),
         }
     };
+    let mut parts = tokens.iter().map(String::as_str);
+    let keyword = parts.next().expect("non-empty line");
+    let action = match keyword {
+        "batch" => {
+            if parts.next().is_some() {
+                return Err(err(line_no, "`batch` takes no arguments"));
+            }
+            LineAction::NewBatch
+        }
+        "node" => {
+            let label = parts
+                .next()
+                .ok_or_else(|| err(line_no, "expected `node LABEL`"))?;
+            LineAction::Op(DeltaOp::AddNode {
+                label: vocab.label(label),
+            })
+        }
+        "edge" | "del" => {
+            let (Some(s), Some(l), Some(d)) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(err(line_no, format!("expected `{keyword} SRC LABEL DST`")));
+            };
+            let src = parse_node(s, line_no)?;
+            let dst = parse_node(d, line_no)?;
+            check_ref(src)?;
+            check_ref(dst)?;
+            let label = vocab.label(l);
+            LineAction::Op(if keyword == "edge" {
+                DeltaOp::AddEdge { src, label, dst }
+            } else {
+                DeltaOp::DelEdge { src, label, dst }
+            })
+        }
+        "attr" => {
+            let (Some(n), Some(kv)) = (parts.next(), parts.next()) else {
+                return Err(err(line_no, "expected `attr NODE name=value`"));
+            };
+            let node = parse_node(n, line_no)?;
+            check_ref(node)?;
+            let (name, value) = crate::edgelist::parse_attr(kv, line_no)?;
+            LineAction::Op(DeltaOp::SetAttr {
+                node,
+                attr: vocab.attr(name),
+                value,
+            })
+        }
+        other => {
+            return Err(err(
+                line_no,
+                format!("unknown delta keyword `{other}` (batch/node/edge/del/attr)"),
+            ));
+        }
+    };
+    if parts.next().is_some() {
+        return Err(err(line_no, "trailing tokens on delta line"));
+    }
+    Ok(action)
+}
+
+fn parse_inner(
+    src: &str,
+    vocab: &mut Vocab,
+    bound: Option<usize>,
+    mut lenient: Option<&mut Vec<(usize, String)>>,
+) -> Result<LenientParse, LoadError> {
+    // The structured-error fault site of the log reader: an armed
+    // failpoint models an unreadable log (I/O error, torn write) and
+    // must surface as a normal LoadError, never a panic.
+    if failpoint::triggered("io/deltalog") {
+        return Err(err(0, "failpoint io/deltalog fired"));
+    }
+    let mut batches = Vec::new();
+    let mut current = DeltaBatch::new();
+    let mut started = false;
+    // Nodes the replay target will have at this point of the log.
+    let mut known_nodes = bound;
     for (i, raw) in src.lines().enumerate() {
         let line_no = i + 1;
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -108,70 +217,41 @@ fn parse_inner(
             continue;
         }
         let tokens = crate::edgelist::tokenize(line);
-        let mut parts = tokens.iter().map(String::as_str);
-        let keyword = parts.next().expect("non-empty line");
-        match keyword {
-            "batch" => {
-                if parts.next().is_some() {
-                    return Err(err(line_no, "`batch` takes no arguments"));
+        let action = match parse_line(&tokens, vocab, known_nodes, line_no) {
+            Ok(action) => action,
+            Err(e) => match lenient.as_deref_mut() {
+                Some(skipped) => {
+                    skipped.push((e.line, e.message));
+                    continue;
                 }
+                None => return Err(e),
+            },
+        };
+        match action {
+            LineAction::NewBatch => {
                 if started {
                     batches.push(std::mem::take(&mut current));
                 }
-                started = true;
             }
-            "node" => {
-                let label = parts
-                    .next()
-                    .ok_or_else(|| err(line_no, "expected `node LABEL`"))?;
-                current.add_node(vocab.label(label));
-                known_nodes = known_nodes.map(|n| n + 1);
-                started = true;
-            }
-            "edge" | "del" => {
-                let (Some(s), Some(l), Some(d)) = (parts.next(), parts.next(), parts.next()) else {
-                    return Err(err(line_no, format!("expected `{keyword} SRC LABEL DST`")));
-                };
-                let src_id = parse_node(s, line_no)?;
-                let dst_id = parse_node(d, line_no)?;
-                check_ref(src_id, known_nodes, line_no)?;
-                check_ref(dst_id, known_nodes, line_no)?;
-                let label = vocab.label(l);
-                if keyword == "edge" {
-                    current.add_edge(src_id, label, dst_id);
-                } else {
-                    current.del_edge(src_id, label, dst_id);
+            LineAction::Op(op) => {
+                if matches!(op, DeltaOp::AddNode { .. }) {
+                    known_nodes = known_nodes.map(|n| n + 1);
                 }
-                started = true;
-            }
-            "attr" => {
-                let (Some(n), Some(kv)) = (parts.next(), parts.next()) else {
-                    return Err(err(line_no, "expected `attr NODE name=value`"));
-                };
-                let node = parse_node(n, line_no)?;
-                check_ref(node, known_nodes, line_no)?;
-                let (name, value) = crate::edgelist::parse_attr(kv, line_no)?;
-                current.set_attr(node, vocab.attr(name), value);
-                started = true;
-            }
-            other => {
-                return Err(err(
-                    line_no,
-                    format!("unknown delta keyword `{other}` (batch/node/edge/del/attr)"),
-                ));
+                current.ops.push(op);
             }
         }
-        if parts.next().is_some() {
-            return Err(err(line_no, "trailing tokens on delta line"));
-        }
+        started = true;
     }
     if started {
         batches.push(current);
     }
-    Ok(batches)
+    Ok(LenientParse {
+        batches,
+        skipped: Vec::new(),
+    })
 }
 
-fn fmt_value(value: &Value) -> String {
+pub(crate) fn fmt_value(value: &Value) -> String {
     match value {
         Value::Int(i) => i.to_string(),
         Value::Bool(b) => b.to_string(),
@@ -354,5 +434,55 @@ attr 4 verified=true
 
         // The unbounded parser accepts the same text (round-trip use).
         assert!(parse_delta_log("edge 0 e 2\n", &mut vocab).is_ok());
+    }
+
+    #[test]
+    fn lenient_parse_skips_corrupt_lines_with_reasons() {
+        let mut vocab = Vocab::new();
+        let src = "batch\nnode a\nedge 0 e\nnode b\nbogus 1 2\nedge 0 e 1\n";
+        let p = parse_delta_log_lenient(src, &mut vocab, None).unwrap();
+        assert_eq!(p.batches.len(), 1);
+        assert_eq!(p.batches[0].ops.len(), 3, "two nodes + the good edge");
+        assert_eq!(p.skipped.len(), 2);
+        assert_eq!(p.skipped[0].0, 3);
+        assert!(p.skipped[0].1.contains("expected `edge"), "{:?}", p.skipped);
+        assert_eq!(p.skipped[1].0, 5);
+        assert!(p.skipped[1].1.contains("bogus"), "{:?}", p.skipped);
+        // The strict parser rejects the same text at the first bad line.
+        let e = parse_delta_log(src, &mut vocab).unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn lenient_skipped_node_does_not_advance_the_id_counter() {
+        let mut vocab = Vocab::new();
+        // Line 2's node is corrupt (trailing junk after the op). With 1
+        // existing node, the replay target will only ever have node 1
+        // from line 3 — so `attr 2` must be skipped as out of range,
+        // not accepted against a phantom id.
+        let src = "batch\nnode a extra junk\nnode b\nattr 2 x=1\nattr 1 x=1\n";
+        let p = parse_delta_log_lenient(src, &mut vocab, Some(1)).unwrap();
+        assert_eq!(p.skipped.len(), 2, "{:?}", p.skipped);
+        assert_eq!(p.skipped[0].0, 2);
+        assert_eq!(p.skipped[1].0, 4);
+        assert!(
+            p.skipped[1].1.contains("refers to node 2"),
+            "{:?}",
+            p.skipped
+        );
+        assert_eq!(p.batches[0].ops.len(), 2, "node b + attr 1");
+    }
+
+    #[test]
+    fn lenient_on_clean_input_matches_strict() {
+        let mut vocab = Vocab::new();
+        let src = "batch\nnode a\nedge 0 e 0\nbatch\nattr 0 k=\"v\"\n";
+        let strict = parse_delta_log(src, &mut vocab).unwrap();
+        let lenient = parse_delta_log_lenient(src, &mut vocab, None).unwrap();
+        assert!(lenient.skipped.is_empty());
+        assert_eq!(strict.len(), lenient.batches.len());
+        for (a, b) in strict.iter().zip(&lenient.batches) {
+            assert_eq!(a.ops, b.ops);
+        }
     }
 }

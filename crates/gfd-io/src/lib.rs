@@ -13,6 +13,9 @@
 //! * [`deltalog`] — a replayable line-oriented stream of graph update
 //!   batches, the wire form of `gfd detect --stream` and the `gfd-incr`
 //!   engine.
+//! * [`checkpoint`] — the resumable state of a streaming detection run
+//!   (graph + violation cache + batch cursor), written atomically so a
+//!   crash mid-write never loses the previous checkpoint.
 //!
 //! The DSL in `gfd-dsl` remains the *human-authored* format; this crate
 //! covers the machine-interchange cases.
@@ -23,12 +26,19 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod deltalog;
 pub mod edgelist;
 pub mod json;
 pub mod jsonval;
 mod proptests;
 
-pub use deltalog::{delta_log_to_string, parse_delta_log, parse_delta_log_for};
+pub use checkpoint::{
+    checkpoint_to_string, load_checkpoint, parse_checkpoint, save_checkpoint, Checkpoint,
+};
+pub use deltalog::{
+    delta_log_to_string, parse_delta_log, parse_delta_log_for, parse_delta_log_lenient,
+    LenientParse,
+};
 pub use edgelist::{load_edge_list, load_node_table, EdgeListOptions};
 pub use json::{graph_from_json, graph_to_json, sigma_from_json, sigma_to_json, JsonError};

@@ -32,8 +32,12 @@
 #![warn(missing_docs)]
 
 pub mod cputime;
+pub mod failpoint;
 pub mod metrics;
 pub mod sched;
 
 pub use metrics::RunMetrics;
-pub use sched::{run_scheduler, DispatchMode, SchedRun, Task, WorkerCtx};
+pub use sched::{
+    run_scheduler, run_scheduler_with, AbortInfo, DispatchMode, Exhaustion, RunOutcome,
+    SchedOptions, SchedRun, Task, WorkerCtx,
+};

@@ -34,6 +34,15 @@ pub struct RunMetrics {
     pub rechecks: u64,
     /// ΔEq ops broadcast between workers.
     pub delta_ops_broadcast: u64,
+    /// Unit executions that panicked and were caught by the scheduler's
+    /// isolation envelope.
+    pub units_panicked: u64,
+    /// Panicked units requeued for another attempt.
+    pub units_retried: u64,
+    /// When the run had a wall-clock deadline: the slack left at the end,
+    /// in milliseconds (negative = the run overshot the deadline while
+    /// finishing its last units).
+    pub deadline_slack_ms: Option<i64>,
     /// Busy (CPU) time per worker.
     pub worker_busy: Vec<Duration>,
     /// Wall time each worker spent with no runnable unit (steal attempts

@@ -21,10 +21,28 @@
 //! whichever worker reports done, costing an idle channel round-trip per
 //! batch — survives as [`DispatchMode::Coordinator`] for the head-to-head
 //! benchmarks.
+//!
+//! # Fault tolerance (DESIGN.md §11)
+//!
+//! Every unit executes inside a `catch_unwind` envelope. A panicking
+//! unit can therefore never wedge the run: the in-flight counter is
+//! decremented on the unwind path too, the deques use `parking_lot`
+//! mutexes (no lock poisoning), and the run terminates with a structured
+//! [`RunOutcome::Aborted`] carrying the worker id, the unit description
+//! and the panic payload — all worker threads joined. With
+//! [`SchedOptions::unit_retries`] > 0 a panicked unit is requeued (from
+//! a clone taken before execution, see [`Task::clone_unit`]) up to that
+//! many times before the run aborts. Cooperative resource limits — a
+//! wall-clock deadline and a max-units budget — are checked at unit
+//! boundaries and degrade the run to [`RunOutcome::BudgetExceeded`]
+//! rather than panicking.
 
 use crate::cputime::BusyTimer;
+use crate::failpoint;
 use parking_lot::Mutex;
+use std::any::Any;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -68,23 +86,141 @@ pub trait Task: Sync {
     /// steals failed) but the run is not yet quiescent — a chance to drain
     /// inboxes while another worker's straggler may still split.
     fn on_idle(&self, _worker: &mut Self::Worker, _ctx: &WorkerCtx<'_, Self::Unit>) {}
+
+    /// A short human-readable label for `unit`, used in
+    /// [`AbortInfo::unit`] when the unit panics. The default is the empty
+    /// string (rendered as `"unit"`), so tasks that do not care pay no
+    /// per-unit allocation.
+    fn describe_unit(&self, _unit: &Self::Unit) -> String {
+        String::new()
+    }
+
+    /// Clone `unit` for the retry path. Returns `None` (the default) when
+    /// units are not retryable; then a panicking unit always aborts the
+    /// run regardless of [`SchedOptions::unit_retries`]. Tasks opting in
+    /// must tolerate a unit re-running against worker state the failed
+    /// attempt may have partially mutated.
+    fn clone_unit(&self, _unit: &Self::Unit) -> Option<Self::Unit> {
+        None
+    }
 }
 
+/// Cooperative limits and fault-handling knobs for one scheduler run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SchedOptions {
+    /// Abort dispatch (degrading to [`RunOutcome::BudgetExceeded`]) once
+    /// this instant passes. Checked at unit boundaries: a unit already
+    /// running is allowed to finish, so overshoot is bounded by the
+    /// longest single unit.
+    pub deadline: Option<Instant>,
+    /// Stop dispatching after this many units have executed.
+    pub max_units: Option<u64>,
+    /// Requeue a panicked unit (cloned before execution) up to this many
+    /// times before aborting the run. Requires [`Task::clone_unit`].
+    pub unit_retries: u32,
+}
+
+/// Which cooperative limit ended a [`RunOutcome::BudgetExceeded`] run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Exhaustion {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The max-units budget was consumed.
+    Units,
+}
+
+impl std::fmt::Display for Exhaustion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Exhaustion::Deadline => write!(f, "deadline expired"),
+            Exhaustion::Units => write!(f, "unit budget exhausted"),
+        }
+    }
+}
+
+/// Where and why a run aborted: the structured surface of a unit panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AbortInfo {
+    /// Worker that observed the panic.
+    pub worker: usize,
+    /// [`Task::describe_unit`] of the panicking unit (`"unit"` when the
+    /// task provides no description; `"<dispatch>"` for a panic raised
+    /// while acquiring a unit, `"<worker-init>"` for one in
+    /// [`Task::worker`]).
+    pub unit: String,
+    /// The panic payload, when it was a string (the common case).
+    pub payload: String,
+}
+
+impl std::fmt::Display for AbortInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let unit = if self.unit.is_empty() {
+            "unit"
+        } else {
+            &self.unit
+        };
+        write!(
+            f,
+            "worker {} panicked in {}: {}",
+            self.worker, unit, self.payload
+        )
+    }
+}
+
+/// How a scheduler run ended.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum RunOutcome {
+    /// Quiescence: every seeded and split unit executed.
+    #[default]
+    Completed,
+    /// The task raised the stop flag (early termination: first conflict,
+    /// first witness, violation budget…).
+    Stopped,
+    /// A cooperative limit from [`SchedOptions`] tripped; the run stopped
+    /// cleanly with work left undone.
+    BudgetExceeded(Exhaustion),
+    /// A unit panicked (with retries exhausted): the run was cancelled,
+    /// all workers joined, partial worker states returned.
+    Aborted(AbortInfo),
+}
+
+impl RunOutcome {
+    /// Did the run reach quiescence (so per-worker results are complete)?
+    pub fn is_complete(&self) -> bool {
+        matches!(self, RunOutcome::Completed)
+    }
+
+    /// Did the run end on a panic?
+    pub fn is_aborted(&self) -> bool {
+        matches!(self, RunOutcome::Aborted(_))
+    }
+}
+
+/// A queued unit plus how many times it has been retried.
+type Envelope<U> = (U, u32);
+
 struct Shared<'s, U> {
-    queues: Vec<Mutex<VecDeque<U>>>,
+    queues: Vec<Mutex<VecDeque<Envelope<U>>>>,
     /// Units seeded or split but not yet fully executed.
     in_flight: AtomicUsize,
     stop: &'s AtomicBool,
     mode: DispatchMode,
+    opts: SchedOptions,
     units_executed: AtomicU64,
     units_stolen: AtomicU64,
     units_split: AtomicU64,
+    units_panicked: AtomicU64,
+    units_retried: AtomicU64,
+    /// First scheduler-raised stop cause wins; task-raised stops leave
+    /// this empty and resolve to [`RunOutcome::Stopped`] at the end.
+    verdict: Mutex<Option<RunOutcome>>,
 }
 
 impl<U> Shared<'_, U> {
     /// Next unit for worker `id`: own front, else steal a victim's back
     /// half (work stealing), or the single shared front (coordinator).
-    fn pop(&self, id: usize) -> Option<U> {
+    fn pop(&self, id: usize) -> Option<Envelope<U>> {
+        failpoint::maybe_panic("sched/dispatch");
         match self.mode {
             DispatchMode::Coordinator => self.queues[0].lock().pop_front(),
             DispatchMode::WorkStealing => {
@@ -96,7 +232,8 @@ impl<U> Shared<'_, U> {
         }
     }
 
-    fn steal(&self, thief: usize) -> Option<U> {
+    fn steal(&self, thief: usize) -> Option<Envelope<U>> {
+        failpoint::maybe_panic("sched/steal");
         let p = self.queues.len();
         for k in 1..p {
             let victim = (thief + k) % p;
@@ -119,6 +256,36 @@ impl<U> Shared<'_, U> {
             return first;
         }
         None
+    }
+
+    /// Record a scheduler-raised stop cause (first writer wins) and raise
+    /// the stop flag so every worker exits its loop.
+    fn cancel(&self, outcome: RunOutcome) {
+        {
+            let mut v = self.verdict.lock();
+            if v.is_none() {
+                *v = Some(outcome);
+            }
+        }
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    fn abort(&self, worker: usize, unit: String, payload: Box<dyn Any + Send>) {
+        self.cancel(RunOutcome::Aborted(AbortInfo {
+            worker,
+            unit,
+            payload: payload_str(payload),
+        }));
+    }
+}
+
+fn payload_str(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -154,21 +321,30 @@ impl<U> WorkerCtx<'_, U> {
         };
         let mut q = self.shared.queues[qi].lock();
         for u in units.into_iter().rev() {
-            q.push_front(u);
+            q.push_front((u, 0));
         }
     }
 }
 
 /// What a finished scheduler run hands back to the caller.
 pub struct SchedRun<W> {
-    /// Per-worker final states, in worker-id order.
+    /// Per-worker final states, in worker-id order. Complete on every
+    /// outcome except [`RunOutcome::Aborted`], where the state of a
+    /// worker whose thread died outside the per-unit envelope may be
+    /// missing.
     pub workers: Vec<W>,
-    /// Units executed (seeded + split).
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Units executed (seeded + split; panicked attempts count).
     pub units_executed: u64,
     /// Units taken from another worker's deque.
     pub units_stolen: u64,
     /// Units created by splitting.
     pub units_split: u64,
+    /// Unit executions that panicked (caught by the isolation envelope).
+    pub units_panicked: u64,
+    /// Panicked units that were requeued for another attempt.
+    pub units_retried: u64,
     /// Busy (CPU) time per worker.
     pub worker_busy: Vec<Duration>,
     /// Idle (wall) time per worker.
@@ -179,8 +355,14 @@ fn worker_loop<T: Task>(
     task: &T,
     shared: &Shared<'_, T::Unit>,
     id: usize,
-) -> (T::Worker, Duration, Duration) {
-    let mut worker = task.worker(id);
+) -> Option<(T::Worker, Duration, Duration)> {
+    let mut worker = match catch_unwind(AssertUnwindSafe(|| task.worker(id))) {
+        Ok(w) => w,
+        Err(payload) => {
+            shared.abort(id, "<worker-init>".to_string(), payload);
+            return None;
+        }
+    };
     let mut busy = Duration::ZERO;
     let mut idle = Duration::ZERO;
     let mut spins = 0u32;
@@ -189,13 +371,66 @@ fn worker_loop<T: Task>(
         if shared.stop.load(Ordering::Relaxed) {
             break;
         }
-        if let Some(unit) = shared.pop(id) {
+        if let Some(deadline) = shared.opts.deadline {
+            if Instant::now() >= deadline {
+                shared.cancel(RunOutcome::BudgetExceeded(Exhaustion::Deadline));
+                break;
+            }
+        }
+        if let Some(max) = shared.opts.max_units {
+            if shared.units_executed.load(Ordering::Relaxed) >= max {
+                shared.cancel(RunOutcome::BudgetExceeded(Exhaustion::Units));
+                break;
+            }
+        }
+        let popped = match catch_unwind(AssertUnwindSafe(|| shared.pop(id))) {
+            Ok(p) => p,
+            Err(payload) => {
+                // A panic while acquiring a unit (e.g. an armed steal
+                // failpoint) happens before any queue mutation for this
+                // worker; the run aborts cleanly.
+                shared.abort(id, "<dispatch>".to_string(), payload);
+                break;
+            }
+        };
+        if let Some((unit, attempt)) = popped {
             spins = 0;
+            let retry = if attempt < shared.opts.unit_retries {
+                task.clone_unit(&unit)
+            } else {
+                None
+            };
+            let label = task.describe_unit(&unit);
             let timer = BusyTimer::start();
-            task.run_unit(&mut worker, unit, &ctx);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                failpoint::maybe_panic("sched/unit");
+                task.run_unit(&mut worker, unit, &ctx);
+            }));
             busy += timer.elapsed();
             shared.units_executed.fetch_add(1, Ordering::Relaxed);
-            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            match result {
+                Ok(()) => {
+                    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                }
+                Err(payload) => {
+                    shared.units_panicked.fetch_add(1, Ordering::Relaxed);
+                    if let Some(clone) = retry {
+                        // The unit stays in flight: requeue the clone at
+                        // this worker's front with its attempt count
+                        // bumped.
+                        shared.units_retried.fetch_add(1, Ordering::Relaxed);
+                        let qi = match shared.mode {
+                            DispatchMode::Coordinator => 0,
+                            DispatchMode::WorkStealing => id,
+                        };
+                        shared.queues[qi].lock().push_front((clone, attempt + 1));
+                    } else {
+                        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                        shared.abort(id, label, payload);
+                        break;
+                    }
+                }
+            }
             continue;
         }
         if shared.in_flight.load(Ordering::SeqCst) == 0 {
@@ -206,8 +441,12 @@ fn worker_loop<T: Task>(
         // pending rechecks), so its CPU time counts as busy; only the
         // yield/sleep wait is booked as idle.
         let timer = BusyTimer::start();
-        task.on_idle(&mut worker, &ctx);
+        let idled = catch_unwind(AssertUnwindSafe(|| task.on_idle(&mut worker, &ctx)));
         busy += timer.elapsed();
+        if let Err(payload) = idled {
+            shared.abort(id, "<on-idle>".to_string(), payload);
+            break;
+        }
         let idle_start = Instant::now();
         if spins < 64 {
             spins += 1;
@@ -217,11 +456,24 @@ fn worker_loop<T: Task>(
         }
         idle += idle_start.elapsed();
     }
-    (worker, busy, idle)
+    Some((worker, busy, idle))
 }
 
 /// Run `task` over `seed` units on `workers` threads until quiescence or
-/// until `stop` is raised.
+/// until `stop` is raised. Equivalent to [`run_scheduler_with`] with
+/// default [`SchedOptions`] (no limits, no retries).
+pub fn run_scheduler<T: Task>(
+    task: &T,
+    seed: Vec<T::Unit>,
+    workers: usize,
+    mode: DispatchMode,
+    stop: &AtomicBool,
+) -> SchedRun<T::Worker> {
+    run_scheduler_with(task, seed, workers, mode, stop, SchedOptions::default())
+}
+
+/// Run `task` over `seed` units on `workers` threads until quiescence,
+/// until `stop` is raised, or until a limit in `opts` trips.
 ///
 /// Seed units are dealt round-robin across the per-worker deques in the
 /// given order (all into one queue under [`DispatchMode::Coordinator`]),
@@ -230,12 +482,15 @@ fn worker_loop<T: Task>(
 /// With `workers == 1` the single worker runs inline on the calling
 /// thread — the sequential algorithms are exactly this instantiation and
 /// pay no thread-spawn cost.
-pub fn run_scheduler<T: Task>(
+///
+/// Unit panics are isolated: see the module docs and [`RunOutcome`].
+pub fn run_scheduler_with<T: Task>(
     task: &T,
     seed: Vec<T::Unit>,
     workers: usize,
     mode: DispatchMode,
     stop: &AtomicBool,
+    opts: SchedOptions,
 ) -> SchedRun<T::Worker> {
     let p = workers.max(1);
     let queue_count = match mode {
@@ -243,23 +498,27 @@ pub fn run_scheduler<T: Task>(
         DispatchMode::WorkStealing => p,
     };
     let in_flight = seed.len();
-    let queues: Vec<Mutex<VecDeque<T::Unit>>> = (0..queue_count)
+    let queues: Vec<Mutex<VecDeque<Envelope<T::Unit>>>> = (0..queue_count)
         .map(|_| Mutex::new(VecDeque::new()))
         .collect();
     for (i, unit) in seed.into_iter().enumerate() {
-        queues[i % queue_count].lock().push_back(unit);
+        queues[i % queue_count].lock().push_back((unit, 0));
     }
     let shared = Shared {
         queues,
         in_flight: AtomicUsize::new(in_flight),
         stop,
         mode,
+        opts,
         units_executed: AtomicU64::new(0),
         units_stolen: AtomicU64::new(0),
         units_split: AtomicU64::new(0),
+        units_panicked: AtomicU64::new(0),
+        units_retried: AtomicU64::new(0),
+        verdict: Mutex::new(None),
     };
 
-    let mut states: Vec<(T::Worker, Duration, Duration)> = if p == 1 {
+    let mut states: Vec<Option<(T::Worker, Duration, Duration)>> = if p == 1 {
         vec![worker_loop(task, &shared, 0)]
     } else {
         std::thread::scope(|scope| {
@@ -270,20 +529,43 @@ pub fn run_scheduler<T: Task>(
             // Re-derive ids from spawn order: handles join in id order.
             handles
                 .into_iter()
-                .map(|h| h.join().expect("scheduler worker panicked"))
+                .enumerate()
+                .map(|(id, h)| match h.join() {
+                    Ok(state) => state,
+                    Err(payload) => {
+                        // Should be unreachable — every panic source in
+                        // the loop is wrapped — but a worker thread dying
+                        // must still surface as a structured abort.
+                        shared.abort(id, "<worker>".to_string(), payload);
+                        None
+                    }
+                })
                 .collect()
         })
     };
 
+    let outcome = shared.verdict.lock().take().unwrap_or_else(|| {
+        if stop.load(Ordering::SeqCst) {
+            RunOutcome::Stopped
+        } else {
+            RunOutcome::Completed
+        }
+    });
     let mut run = SchedRun {
         workers: Vec::with_capacity(p),
+        outcome,
         units_executed: shared.units_executed.load(Ordering::Relaxed),
         units_stolen: shared.units_stolen.load(Ordering::Relaxed),
         units_split: shared.units_split.load(Ordering::Relaxed),
+        units_panicked: shared.units_panicked.load(Ordering::Relaxed),
+        units_retried: shared.units_retried.load(Ordering::Relaxed),
         worker_busy: Vec::with_capacity(p),
         worker_idle: Vec::with_capacity(p),
     };
-    for (worker, busy, idle) in states.drain(..) {
+    for state in states.drain(..) {
+        let Some((worker, busy, idle)) = state else {
+            continue;
+        };
         run.workers.push(worker);
         run.worker_busy.push(busy);
         run.worker_idle.push(idle);
@@ -339,6 +621,8 @@ mod tests {
             assert_eq!(run.workers.iter().sum::<u64>(), total(&seed), "p={p}");
             assert_eq!(run.units_executed, 100);
             assert_eq!(run.units_split, 0);
+            assert_eq!(run.units_panicked, 0);
+            assert_eq!(run.outcome, RunOutcome::Completed);
             assert_eq!(run.worker_busy.len(), p);
         }
     }
@@ -388,6 +672,7 @@ mod tests {
         // runs.
         assert!(run.units_executed <= 4);
         assert_eq!(run.workers.len(), 4);
+        assert_eq!(run.outcome, RunOutcome::Stopped);
     }
 
     #[test]
@@ -432,6 +717,7 @@ mod tests {
         let run = run_scheduler(&task, Vec::new(), 8, DispatchMode::WorkStealing, &stop);
         assert_eq!(run.units_executed, 0);
         assert_eq!(run.workers.len(), 8);
+        assert_eq!(run.outcome, RunOutcome::Completed);
     }
 
     #[test]
@@ -445,5 +731,184 @@ mod tests {
         let run = run_scheduler(&task, seed.clone(), 4, DispatchMode::Coordinator, &stop);
         assert_eq!(run.workers.iter().sum::<u64>(), total(&seed));
         assert_eq!(run.units_stolen, 0, "coordinator mode never steals");
+    }
+
+    /// A task whose units panic when the payload exceeds a threshold,
+    /// used to pin panic isolation and the retry path.
+    struct FaultyTask {
+        panic_above: u64,
+        /// When set, a unit only panics on its first attempt — the retry
+        /// succeeds, modelling a transient fault.
+        transient: bool,
+        attempts: TestCounter,
+    }
+
+    impl Task for FaultyTask {
+        type Unit = u64;
+        type Worker = u64;
+
+        fn worker(&self, _id: usize) -> u64 {
+            0
+        }
+
+        fn run_unit(&self, acc: &mut u64, unit: u64, _ctx: &WorkerCtx<'_, u64>) {
+            if unit > self.panic_above {
+                let n = self.attempts.fetch_add(1, Ordering::SeqCst);
+                if !self.transient || n == 0 {
+                    panic!("injected unit failure (payload {unit})");
+                }
+            }
+            *acc += unit;
+        }
+
+        fn describe_unit(&self, unit: &u64) -> String {
+            format!("unit({unit})")
+        }
+
+        fn clone_unit(&self, unit: &u64) -> Option<u64> {
+            Some(*unit)
+        }
+    }
+
+    #[test]
+    fn unit_panic_aborts_with_structured_outcome() {
+        for p in [1usize, 2, 4] {
+            let mut seed: Vec<u64> = vec![1; 40];
+            seed[17] = 1000; // the poisoned unit
+            let task = FaultyTask {
+                panic_above: 100,
+                transient: false,
+                attempts: TestCounter::new(0),
+            };
+            let stop = AtomicBool::new(false);
+            let run = run_scheduler(&task, seed, p, DispatchMode::WorkStealing, &stop);
+            let RunOutcome::Aborted(info) = &run.outcome else {
+                panic!("p={p}: expected Aborted, got {:?}", run.outcome);
+            };
+            assert_eq!(info.unit, "unit(1000)", "p={p}");
+            assert!(info.payload.contains("injected unit failure"), "p={p}");
+            assert!(info.worker < p, "p={p}");
+            assert!(run.units_panicked >= 1, "p={p}");
+            assert_eq!(run.units_retried, 0, "p={p}");
+            assert!(stop.load(Ordering::SeqCst), "p={p}: stop flag raised");
+        }
+    }
+
+    #[test]
+    fn transient_panic_is_retried_and_the_run_completes() {
+        let mut seed: Vec<u64> = vec![1; 20];
+        seed[5] = 1000;
+        let task = FaultyTask {
+            panic_above: 100,
+            transient: true,
+            attempts: TestCounter::new(0),
+        };
+        let stop = AtomicBool::new(false);
+        let run = run_scheduler_with(
+            &task,
+            seed,
+            2,
+            DispatchMode::WorkStealing,
+            &stop,
+            SchedOptions {
+                unit_retries: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(run.outcome, RunOutcome::Completed);
+        assert_eq!(run.units_panicked, 1);
+        assert_eq!(run.units_retried, 1);
+        // 19 ones + the retried 1000 all landed.
+        assert_eq!(run.workers.iter().sum::<u64>(), 19 + 1000);
+    }
+
+    #[test]
+    fn persistent_panic_exhausts_retries_then_aborts() {
+        let seed: Vec<u64> = vec![1000];
+        let task = FaultyTask {
+            panic_above: 100,
+            transient: false,
+            attempts: TestCounter::new(0),
+        };
+        let stop = AtomicBool::new(false);
+        let run = run_scheduler_with(
+            &task,
+            seed,
+            1,
+            DispatchMode::WorkStealing,
+            &stop,
+            SchedOptions {
+                unit_retries: 1,
+                ..Default::default()
+            },
+        );
+        assert!(run.outcome.is_aborted());
+        assert_eq!(run.units_panicked, 2, "original + one retry");
+        assert_eq!(run.units_retried, 1);
+    }
+
+    #[test]
+    fn deadline_degrades_to_budget_exceeded() {
+        struct SlowTask;
+        impl Task for SlowTask {
+            type Unit = u64;
+            type Worker = u64;
+            fn worker(&self, _id: usize) -> u64 {
+                0
+            }
+            fn run_unit(&self, done: &mut u64, _u: u64, _ctx: &WorkerCtx<'_, u64>) {
+                std::thread::sleep(Duration::from_millis(5));
+                *done += 1;
+            }
+        }
+        let stop = AtomicBool::new(false);
+        let run = run_scheduler_with(
+            &SlowTask,
+            (0..1000).collect(),
+            2,
+            DispatchMode::WorkStealing,
+            &stop,
+            SchedOptions {
+                deadline: Some(Instant::now() + Duration::from_millis(20)),
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            run.outcome,
+            RunOutcome::BudgetExceeded(Exhaustion::Deadline)
+        );
+        assert!(run.units_executed < 1000, "deadline must cut the run short");
+    }
+
+    #[test]
+    fn max_units_budget_stops_dispatch() {
+        let task = SumTask {
+            split_above: u64::MAX,
+            executed: TestCounter::new(0),
+        };
+        let stop = AtomicBool::new(false);
+        let run = run_scheduler_with(
+            &task,
+            (1..=100).collect(),
+            1,
+            DispatchMode::WorkStealing,
+            &stop,
+            SchedOptions {
+                max_units: Some(10),
+                ..Default::default()
+            },
+        );
+        assert_eq!(run.outcome, RunOutcome::BudgetExceeded(Exhaustion::Units));
+        assert_eq!(run.units_executed, 10);
+    }
+
+    #[test]
+    fn abort_info_displays_defaults() {
+        let info = AbortInfo {
+            worker: 3,
+            unit: String::new(),
+            payload: "boom".into(),
+        };
+        assert_eq!(info.to_string(), "worker 3 panicked in unit: boom");
     }
 }

@@ -90,7 +90,7 @@ fn unsat_witness_names_a_real_conflict() {
             assert_ne!(conflict.existing, conflict.incoming);
             assert!(conflict.gfd.is_some());
         }
-        SatOutcome::Satisfiable(_) => panic!("must be unsatisfiable"),
+        other => panic!("must be unsatisfiable, got {other:?}"),
     }
 }
 
