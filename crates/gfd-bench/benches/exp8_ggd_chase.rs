@@ -1,17 +1,21 @@
 //! Exp-8 (beyond paper): GGD chase makespan on the shared scheduler.
 //!
 //! The generalized rule layer routes mixed GFD+GGD sets through the
-//! chase: per round, every dependency's premise scan runs as scan units
-//! on the work-stealing scheduler; generating consequences materialize
-//! serially between rounds against round-start snapshots. This
-//! experiment measures how that per-round scan parallelism scales: a
+//! chase: per round, premise scans run as scan units on the
+//! work-stealing scheduler, and the apply phase now plans every fired
+//! consequence in parallel too — realization checks and patch building
+//! on the scheduler, then a conflict partition commits independent
+//! firings concurrently and replays the overlapping residual serially
+//! (DESIGN.md §12). This experiment measures how both phases scale: a
 //! seeded generation-heavy tiered workload (`ggd_gen`) chased to
 //! fixpoint at p = 1 → 8.
 //!
 //! Like Exp-1/Exp-7 the headline number is the **simulated makespan**
-//! (max per-worker busy CPU time): the serial apply phase is a fixed
-//! cost at every p, so the curve flattens toward the Amdahl floor the
-//! serial generation step sets. Results land in `BENCH_exp8.json`.
+//! (max per-worker busy CPU time). With the apply wall broken, the
+//! Amdahl floor is set only by the commit walk over the conflicting
+//! residual; rows also break out scan vs apply wall time and the
+//! independent-vs-conflict group counts. Results land in
+//! `BENCH_exp8.json`.
 
 use gfd_bench::{banner, fmt_duration, scale, Table};
 use gfd_chase::{dep_sat_with_config, ChaseConfig};
@@ -58,19 +62,23 @@ fn main() {
         "p",
         "makespan",
         "speedup",
+        "scan",
+        "apply",
+        "indep",
+        "confl",
         "rounds",
         "generated",
-        "evals",
         "steals",
     ]);
-    let mut rows: Vec<(usize, Duration, u64, u64, u64, u64)> = Vec::new();
+    let mut rows: Vec<Row> = Vec::new();
     let mut base = Duration::ZERO;
     let mut base_generated = 0u64;
+    let mut base_rounds = 0u64;
     for &p in &workers {
         let ccfg = ChaseConfig {
             workers: p,
             ttl: Duration::from_micros(200),
-            batch: 32,
+            batch: 8,
             max_generated_nodes: 10_000_000,
             ..ChaseConfig::default()
         };
@@ -80,11 +88,13 @@ fn main() {
         if p == 1 {
             base = makespan;
             base_generated = r.stats.generated_nodes;
+            base_rounds = r.stats.rounds;
         }
         assert_eq!(
             r.stats.generated_nodes, base_generated,
             "generation must be p-invariant"
         );
+        assert_eq!(r.stats.rounds, base_rounds, "rounds must be p-invariant");
         table.row(vec![
             p.to_string(),
             fmt_duration(makespan),
@@ -92,28 +102,36 @@ fn main() {
                 "{:.2}x",
                 base.as_secs_f64() / makespan.as_secs_f64().max(1e-9)
             ),
+            fmt_duration(r.stats.scan_time),
+            fmt_duration(r.stats.apply_time),
+            r.stats.apply_independent.to_string(),
+            r.stats.apply_conflicts.to_string(),
             r.stats.rounds.to_string(),
             r.stats.generated_nodes.to_string(),
-            r.stats.premise_evals.to_string(),
             r.metrics.units_stolen.to_string(),
         ]);
-        rows.push((
+        rows.push(Row {
             p,
             makespan,
-            r.stats.rounds,
-            r.stats.generated_nodes,
-            r.stats.premise_evals,
-            r.metrics.units_stolen,
-        ));
+            scan: r.stats.scan_time,
+            apply: r.stats.apply_time,
+            independent: r.stats.apply_independent,
+            conflicts: r.stats.apply_conflicts,
+            rounds: r.stats.rounds,
+            generated: r.stats.generated_nodes,
+            evals: r.stats.premise_evals,
+            steals: r.metrics.units_stolen,
+        });
     }
 
     println!("\nGGD chase makespan (max per-worker busy time) vs p:");
     table.print();
     println!(
-        "\nexpected shape: the parallel premise scan shrinks with p while the\n\
-         serial apply/materialize phase stays fixed — speedup approaches the\n\
-         scan fraction's Amdahl bound; rounds and generated nodes are\n\
-         invariant across p (round-snapshot semantics)."
+        "\nexpected shape: both the premise scan and the apply planning pass\n\
+         shrink with p; the conflict-free share of firings commits\n\
+         concurrently, so only the conflicting residual's commit walk is\n\
+         serial — rounds and generated nodes stay invariant across p\n\
+         (round-snapshot semantics)."
     );
 
     let json = render_json(scale.name, &cfg, base, &rows);
@@ -124,12 +142,20 @@ fn main() {
     }
 }
 
-fn render_json(
-    scale: &str,
-    cfg: &GgdGenConfig,
-    base: Duration,
-    rows: &[(usize, Duration, u64, u64, u64, u64)],
-) -> String {
+struct Row {
+    p: usize,
+    makespan: Duration,
+    scan: Duration,
+    apply: Duration,
+    independent: u64,
+    conflicts: u64,
+    rounds: u64,
+    generated: u64,
+    evals: u64,
+    steals: u64,
+}
+
+fn render_json(scale: &str, cfg: &GgdGenConfig, base: Duration, rows: &[Row]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"experiment\": \"exp8_ggd_chase\",\n");
     out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
@@ -138,13 +164,24 @@ fn render_json(
         cfg.chain_depth, cfg.gen_per_tier, cfg.fanout
     ));
     out.push_str("  \"rows\": [\n");
-    for (i, (p, makespan, rounds, generated, evals, steals)) in rows.iter().enumerate() {
+    for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"workers\": {p}, \"makespan_ms\": {:.3}, \"speedup\": {:.2}, \
-             \"rounds\": {rounds}, \"generated_nodes\": {generated}, \
-             \"premise_evals\": {evals}, \"steals\": {steals}}}{}\n",
-            makespan.as_secs_f64() * 1e3,
-            base.as_secs_f64() / makespan.as_secs_f64().max(1e-9),
+            "    {{\"workers\": {}, \"makespan_ms\": {:.3}, \"speedup\": {:.2}, \
+             \"scan_ms\": {:.3}, \"apply_ms\": {:.3}, \
+             \"apply_independent\": {}, \"apply_conflicts\": {}, \
+             \"rounds\": {}, \"generated_nodes\": {}, \
+             \"premise_evals\": {}, \"steals\": {}}}{}\n",
+            r.p,
+            r.makespan.as_secs_f64() * 1e3,
+            base.as_secs_f64() / r.makespan.as_secs_f64().max(1e-9),
+            r.scan.as_secs_f64() * 1e3,
+            r.apply.as_secs_f64() * 1e3,
+            r.independent,
+            r.conflicts,
+            r.rounds,
+            r.generated,
+            r.evals,
+            r.steals,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }

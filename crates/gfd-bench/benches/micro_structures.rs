@@ -188,6 +188,167 @@ fn bench_structures(c: &mut Criterion) {
     group.finish();
 }
 
+/// Head-to-head: streamed two-pointer intersection vs the galloping
+/// (exponential-probe) fallback `intersect_sorted_view` switches to when
+/// one side is ≥8x longer. Balanced inputs stay on the two-pointer; the
+/// skewed cases pin that galloping wins by a wide margin there.
+fn bench_intersect(c: &mut Criterion) {
+    // `long` = every 3rd id of a 192k universe; `short` = 64 scattered
+    // ids (1000x skew); `mid` = comparable density for the balanced case.
+    let long: Vec<NodeId> = (0..65_536usize).map(|i| NodeId::new(i * 3)).collect();
+    let short: Vec<NodeId> = (0..64usize).map(|i| NodeId::new(i * 3001)).collect();
+    let mid: Vec<NodeId> = (0..65_536usize).map(|i| NodeId::new(i * 3 + 1)).collect();
+    let expect = gfd_match::intersect_slices_two_pointer(&short, &long);
+    assert_eq!(gfd_match::intersect_slices_gallop(&short, &long), expect);
+
+    let mut group = c.benchmark_group("intersect");
+    group.bench_function("skewed_1000x/two_pointer", |b| {
+        b.iter(|| black_box(gfd_match::intersect_slices_two_pointer(&short, &long)))
+    });
+    group.bench_function("skewed_1000x/gallop", |b| {
+        b.iter(|| black_box(gfd_match::intersect_slices_gallop(&short, &long)))
+    });
+    group.bench_function("balanced/two_pointer", |b| {
+        b.iter(|| black_box(gfd_match::intersect_slices_two_pointer(&mid, &long)))
+    });
+    group.bench_function("balanced/gallop", |b| {
+        b.iter(|| black_box(gfd_match::intersect_slices_gallop(&mid, &long)))
+    });
+    group.finish();
+}
+
+/// Head-to-head: the raw queue structures under the scheduler's access
+/// pattern — one owner draining its own queue, `p - 1` thieves pulling
+/// from the other end — Chase–Lev [`WsDeque`] vs the old
+/// `Mutex<VecDeque>`. Acceptance: the lock-free deque is no slower at
+/// p = 2 and faster at p = 8.
+fn bench_deque(c: &mut Criterion) {
+    use gfd_runtime::deque::{Steal, WsDeque};
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    const UNITS: usize = 65_536;
+    // A unit costs a few nanoseconds, like a cheap scan unit: enough
+    // that the structures are exercised at a realistic op:work ratio,
+    // small enough that queue overhead still shows.
+    fn consume(v: usize) -> usize {
+        let mut h = v as u64 ^ 0x9e37_79b9_7f4a_7c15;
+        for _ in 0..4 {
+            h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9).rotate_left(17);
+        }
+        h as usize & 0xff
+    }
+
+    let mut group = c.benchmark_group("deque");
+    for p in [2usize, 8] {
+        // Chase–Lev under the scheduler's pattern: the owner drains its
+        // own bottom lock-free; each thief claims up to half the deque
+        // (one top-CAS per element, like `sched::steal`), consumes the
+        // loot locally, and yields when it finds nothing.
+        group.bench_with_input(BenchmarkId::new("chase_lev", p), &p, |b, &p| {
+            b.iter(|| {
+                let dq = WsDeque::new();
+                for v in (0..UNITS).rev() {
+                    dq.push(v);
+                }
+                let consumed = AtomicUsize::new(0);
+                let sink = AtomicUsize::new(0);
+                std::thread::scope(|s| {
+                    for t in 0..p {
+                        let (dq, consumed, sink) = (&dq, &consumed, &sink);
+                        s.spawn(move || {
+                            let mut local = 0usize;
+                            while consumed.load(Ordering::Relaxed) < UNITS {
+                                if t == 0 {
+                                    let mut n = 0;
+                                    while let Some(v) = dq.pop() {
+                                        local += consume(v);
+                                        n += 1;
+                                    }
+                                    consumed.fetch_add(n, Ordering::Relaxed);
+                                    std::thread::yield_now();
+                                } else {
+                                    let mut budget = dq.len_hint().div_ceil(2).max(1);
+                                    let mut loot = Vec::with_capacity(budget);
+                                    while budget > 0 {
+                                        match dq.steal() {
+                                            Steal::Success(v) => {
+                                                loot.push(v);
+                                                budget -= 1;
+                                            }
+                                            Steal::Retry => continue,
+                                            Steal::Empty => break,
+                                        }
+                                    }
+                                    if loot.is_empty() {
+                                        std::thread::yield_now();
+                                        continue;
+                                    }
+                                    let n = loot.len();
+                                    for v in loot {
+                                        local += consume(v);
+                                    }
+                                    consumed.fetch_add(n, Ordering::Relaxed);
+                                }
+                            }
+                            sink.fetch_add(local, Ordering::Relaxed);
+                        });
+                    }
+                });
+                black_box(sink.into_inner())
+            })
+        });
+        // The old layout: every owner pop takes the lock; a thief locks
+        // and splits off the back half wholesale.
+        group.bench_with_input(BenchmarkId::new("mutex_vecdeque", p), &p, |b, &p| {
+            b.iter(|| {
+                let q = Mutex::new((0..UNITS).collect::<VecDeque<usize>>());
+                let consumed = AtomicUsize::new(0);
+                let sink = AtomicUsize::new(0);
+                std::thread::scope(|s| {
+                    for t in 0..p {
+                        let (q, consumed, sink) = (&q, &consumed, &sink);
+                        s.spawn(move || {
+                            let mut local = 0usize;
+                            while consumed.load(Ordering::Relaxed) < UNITS {
+                                if t == 0 {
+                                    let got = q.lock().unwrap().pop_front();
+                                    match got {
+                                        Some(v) => {
+                                            local += consume(v);
+                                            consumed.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        None => std::thread::yield_now(),
+                                    }
+                                } else {
+                                    let loot = {
+                                        let mut q = q.lock().unwrap();
+                                        let keep = q.len().div_ceil(2);
+                                        q.split_off(keep)
+                                    };
+                                    if loot.is_empty() {
+                                        std::thread::yield_now();
+                                        continue;
+                                    }
+                                    let n = loot.len();
+                                    for v in loot {
+                                        local += consume(v);
+                                    }
+                                    consumed.fetch_add(n, Ordering::Relaxed);
+                                }
+                            }
+                            sink.fetch_add(local, Ordering::Relaxed);
+                        });
+                    }
+                });
+                black_box(sink.into_inner())
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Head-to-head: the old centralized coordinator dispatch vs per-worker
 /// deques with work stealing, on the same satisfiability workload at
 /// p ∈ {2, 4, 8}. Work stealing removes the idle round-trip a worker paid
@@ -234,6 +395,8 @@ criterion_group!(
     bench_eq_rel,
     bench_structures,
     bench_matching,
+    bench_intersect,
+    bench_deque,
     bench_scheduler,
     bench_ablations
 );

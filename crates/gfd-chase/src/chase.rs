@@ -29,9 +29,9 @@ use gfd_core::{
     eval_premise_lits, generate_deducible, Budget, CanonicalGraph, Conflict, Consequence, DepSet,
     EqRel, GfdSet, Interrupt, Literal, Operand, PremiseStatus,
 };
-use gfd_graph::{Graph, NodeId};
+use gfd_graph::{AttrId, Graph, LabelId, MatchIndex, NodeId, Value, VarId};
 use gfd_match::{find_all_matches, Match};
-use gfd_runtime::sched::{run_scheduler_with, SchedOptions, Task, WorkerCtx};
+use gfd_runtime::sched::{run_scheduler_with, SchedOptions, SchedRun, Task, WorkerCtx};
 use gfd_runtime::{failpoint, DispatchMode, RunMetrics};
 use rustc_hash::FxHashSet;
 use std::sync::atomic::AtomicBool;
@@ -131,6 +131,20 @@ pub struct ChaseStats {
     pub generated_nodes: u64,
     /// Realization checks run against round-start snapshots.
     pub realization_checks: u64,
+    /// Firings committed by splicing a concurrently-built patch — the
+    /// parallel-independent set of the conflict partition (DESIGN.md
+    /// §12.2). Zero for the literal [`GfdSet`] baseline, which keeps
+    /// the fully serial apply.
+    pub apply_independent: u64,
+    /// Firings whose touched classes or nodes overlapped an earlier
+    /// firing of the same round, replayed through the serial fallback.
+    pub apply_conflicts: u64,
+    /// Wall time spent in premise scans, across all rounds.
+    pub scan_time: Duration,
+    /// Wall time spent planning and committing consequences, across all
+    /// completed apply phases (a round cut short mid-apply is not
+    /// booked).
+    pub apply_time: Duration,
 }
 
 /// Outcome of chasing Σ over a canonical graph.
@@ -245,6 +259,349 @@ impl Task for ScanTask<'_> {
     }
 }
 
+/// A node operand inside a [`Patch`]: a premise node fixed by the
+/// firing's match, or the `k`-th fresh node the patch creates. Fresh
+/// nodes stay relative so a patch can be built concurrently and
+/// committed at whatever ids the deterministic walk reaches.
+#[derive(Clone, Copy)]
+enum RelNode {
+    /// A node bound by the premise match.
+    Premise(NodeId),
+    /// The `k`-th fresh node of this firing.
+    Fresh(u32),
+}
+
+/// One relation mutation inside a [`Patch`].
+#[derive(Clone)]
+enum RelOp {
+    Bind(RelNode, AttrId, Value),
+    Merge(RelNode, AttrId, RelNode, AttrId),
+}
+
+/// The precomputed mutation buffer of one fired consequence: fresh-node
+/// labels (empty for literal consequences), generated edges, and
+/// relation ops. Built concurrently on the scheduler during the apply
+/// phase's planning pass; spliced (independent set) or discarded in
+/// favour of the serial fallback (conflicting residual) at commit.
+#[derive(Default)]
+struct Patch {
+    labels: Vec<LabelId>,
+    edges: Vec<(RelNode, LabelId, RelNode)>,
+    ops: Vec<RelOp>,
+}
+
+/// What the planning pass decided for one pending firing.
+enum FiringPlan {
+    /// Generating firing whose target is already realized in the
+    /// round-start snapshot: nothing to do.
+    Realized,
+    /// Mutation buffer ready to commit.
+    Patch(Patch),
+}
+
+fn rel(v: VarId, m: &[NodeId], shared: usize) -> RelNode {
+    if v.index() < shared {
+        RelNode::Premise(m[v.index()])
+    } else {
+        RelNode::Fresh((v.index() - shared) as u32)
+    }
+}
+
+fn rel_op(lit: &Literal, m: &[NodeId], shared: usize) -> RelOp {
+    let r1 = rel(lit.var, m, shared);
+    match &lit.rhs {
+        Operand::Const(c) => RelOp::Bind(r1, lit.attr, c.clone()),
+        Operand::Attr(v2, a2) => RelOp::Merge(r1, lit.attr, rel(*v2, m, shared), *a2),
+    }
+}
+
+/// Apply one relative op against `eq`, resolving fresh nodes through
+/// `fresh`. Returns whether the relation changed.
+fn commit_op(eq: &mut EqRel, op: &RelOp, fresh: &[NodeId]) -> Result<bool, Conflict> {
+    let abs = |r: RelNode| match r {
+        RelNode::Premise(n) => n,
+        RelNode::Fresh(k) => fresh[k as usize],
+    };
+    match op {
+        RelOp::Bind(r, a, v) => Ok(eq.bind((abs(*r), *a), v.clone())?.changed),
+        RelOp::Merge(r1, a1, r2, a2) => Ok(eq.merge((abs(*r1), *a1), (abs(*r2), *a2))?.changed),
+    }
+}
+
+fn splice_ops(eq: &mut EqRel, ops: &[RelOp], fresh: &[NodeId]) -> Result<bool, Conflict> {
+    let mut changed = false;
+    for op in ops {
+        changed |= commit_op(eq, op, fresh)?;
+    }
+    Ok(changed)
+}
+
+/// Commit a generating patch: create the fresh nodes (ids fall out of
+/// the walk order, identically to the serial `materialize`), add the
+/// generated edges, splice the relation ops. Returns the fresh-node
+/// count.
+fn splice_patch(graph: &mut Graph, eq: &mut EqRel, patch: &Patch) -> Result<usize, Conflict> {
+    let fresh: Vec<NodeId> = patch.labels.iter().map(|&l| graph.add_node(l)).collect();
+    for &(s, l, d) in &patch.edges {
+        let abs = |r: RelNode| match r {
+            RelNode::Premise(n) => n,
+            RelNode::Fresh(k) => fresh[k as usize],
+        };
+        graph.add_edge(abs(s), l, abs(d));
+    }
+    splice_ops(eq, &patch.ops, &fresh)?;
+    Ok(fresh.len())
+}
+
+/// A contiguous chunk of the round's pending firings to plan.
+#[derive(Clone, Copy)]
+struct ApplyUnit {
+    start: u32,
+    end: u32,
+}
+
+/// Per-worker planning state: a clone of the round-start relation for
+/// realization checks (mutated only by path compression and latent
+/// `ensure`s — semantically inert), plus the plans produced.
+struct ApplyWorker {
+    eq: EqRel,
+    plans: Vec<(u32, FiringPlan)>,
+    realization_checks: u64,
+}
+
+/// The apply phase's planning pass as a scheduler workload: every
+/// pending firing's realization check runs against the round-start
+/// snapshot (checks are read-only, so they are all trivially parallel
+/// under round-snapshot semantics) and its mutation buffer is built
+/// concurrently. Nothing here touches the live graph or relation —
+/// mutation happens only in the deterministic commit walk.
+struct ApplyTask<'a, I: MatchIndex> {
+    deps: &'a DepSet,
+    matches: &'a [Vec<Match>],
+    /// The round's pending `(rule, match index)` firings, sorted.
+    pending: &'a [(u32, u32)],
+    index: &'a I,
+    snapshot: &'a EqRel,
+    ttl: Duration,
+}
+
+impl<I: MatchIndex> Task for ApplyTask<'_, I> {
+    type Unit = ApplyUnit;
+    type Worker = ApplyWorker;
+
+    fn worker(&self, _id: usize) -> ApplyWorker {
+        ApplyWorker {
+            eq: self.snapshot.clone(),
+            plans: Vec::new(),
+            realization_checks: 0,
+        }
+    }
+
+    fn run_unit(&self, w: &mut ApplyWorker, unit: ApplyUnit, ctx: &WorkerCtx<'_, ApplyUnit>) {
+        let deadline = Instant::now() + self.ttl;
+        for i in unit.start..unit.end {
+            let (rule, idx) = self.pending[i as usize];
+            let dep = &self.deps.as_slice()[rule as usize];
+            let m = &self.matches[rule as usize][idx as usize];
+            let plan = match &dep.consequence {
+                Consequence::Literals(lits) => {
+                    let mut patch = Patch::default();
+                    patch
+                        .ops
+                        .extend(lits.iter().map(|lit| rel_op(lit, m, m.len())));
+                    FiringPlan::Patch(patch)
+                }
+                Consequence::Generate(gen) => {
+                    w.realization_checks += 1;
+                    if generate_deducible(&mut w.eq, self.index, gen, m) {
+                        FiringPlan::Realized
+                    } else {
+                        let mut patch = Patch::default();
+                        patch
+                            .labels
+                            .extend(gen.fresh_vars().map(|v| gen.pattern.label(v)));
+                        patch.edges.extend(gen.pattern.edges().iter().map(|e| {
+                            (
+                                rel(e.src, m, gen.shared),
+                                e.label,
+                                rel(e.dst, m, gen.shared),
+                            )
+                        }));
+                        patch
+                            .ops
+                            .extend(gen.attrs.iter().map(|lit| rel_op(lit, m, gen.shared)));
+                        FiringPlan::Patch(patch)
+                    }
+                }
+            };
+            w.plans.push((i, plan));
+            // Straggler: offer the rest of the range in two halves, as
+            // the scan does.
+            let next = i + 1;
+            if next < unit.end && Instant::now() >= deadline {
+                let mid = next + (unit.end - next) / 2;
+                let mut rest = vec![ApplyUnit {
+                    start: next,
+                    end: mid,
+                }];
+                if mid < unit.end {
+                    rest.push(ApplyUnit {
+                        start: mid,
+                        end: unit.end,
+                    });
+                }
+                ctx.split(rest);
+                return;
+            }
+        }
+    }
+}
+
+/// Fold one scheduler run's counters and per-worker times into the
+/// accumulated chase metrics.
+fn absorb_run<W>(metrics: &mut RunMetrics, run: &SchedRun<W>) {
+    metrics.units_dispatched += run.units_executed;
+    metrics.units_split += run.units_split;
+    metrics.units_stolen += run.units_stolen;
+    metrics.units_panicked += run.units_panicked;
+    metrics.units_retried += run.units_retried;
+    for (acc, d) in metrics.worker_busy.iter_mut().zip(&run.worker_busy) {
+        *acc += *d;
+    }
+    for (acc, d) in metrics.worker_idle.iter_mut().zip(&run.worker_idle) {
+        *acc += *d;
+    }
+}
+
+/// Dispatch the planning pass for one round's pending firings. Returns
+/// the plans in pending order plus one worker's snapshot clone (reused
+/// as the partition probe), or the interrupt that cut the pass short.
+#[allow(clippy::too_many_arguments)]
+fn plan_round<I: MatchIndex>(
+    deps: &DepSet,
+    all_matches: &[Vec<Match>],
+    pending: &[(u32, u32)],
+    index: &I,
+    snapshot: &EqRel,
+    config: &ChaseConfig,
+    p: usize,
+    stats: &mut ChaseStats,
+    metrics: &mut RunMetrics,
+) -> Result<(Vec<FiringPlan>, EqRel), Interrupt> {
+    let batch = config.batch.max(1);
+    let mut units: Vec<ApplyUnit> = Vec::new();
+    let mut start = 0usize;
+    while start < pending.len() {
+        let end = (start + batch).min(pending.len());
+        units.push(ApplyUnit {
+            start: start as u32,
+            end: end as u32,
+        });
+        start = end;
+    }
+    let stop = AtomicBool::new(false);
+    let task = ApplyTask {
+        deps,
+        matches: all_matches,
+        pending,
+        index,
+        snapshot,
+        ttl: config.ttl,
+    };
+    metrics.units_generated += units.len();
+    let opts = config.round_sched_options(metrics.units_dispatched);
+    let run = run_scheduler_with(&task, units, p, config.dispatch, &stop, opts);
+    absorb_run(metrics, &run);
+    let interrupt = Interrupt::from_outcome(&run.outcome);
+    let mut plans: Vec<Option<FiringPlan>> = (0..pending.len()).map(|_| None).collect();
+    let mut probe: Option<EqRel> = None;
+    for w in run.workers {
+        stats.realization_checks += w.realization_checks;
+        for (i, plan) in w.plans {
+            plans[i as usize] = Some(plan);
+        }
+        probe.get_or_insert(w.eq);
+    }
+    if let Some(interrupt) = interrupt {
+        return Err(interrupt);
+    }
+    let plans = plans
+        .into_iter()
+        .map(|p| p.expect("a completed planning pass plans every firing"))
+        .collect();
+    Ok((plans, probe.expect("at least one worker state")))
+}
+
+/// The greedy conflict partition (DESIGN.md §12.2). Walk the round's
+/// plans in deterministic (rule, match index) order; each firing claims
+/// its touched equivalence *classes* — premise attribute keys resolved
+/// to class ids against the round-start snapshot — and its touched
+/// premise *nodes* (adjacency-list writes of generated edges). A firing
+/// whose claims are all unclaimed joins the independent set and commits
+/// from its patch; any overlap routes it to the serial fallback.
+///
+/// Class-level (not key-level) resolution is what makes the criterion
+/// the commutation condition of attributed-graph parallel independence:
+/// two independent firings write disjoint union-find components, touch
+/// disjoint adjacency lists, and create disjoint fresh-node ranges, so
+/// their patches compose in either order with identical outcome —
+/// including identical conflict behaviour.
+///
+/// The probe may carry extra latent keys from the planning pass; that
+/// never changes *which keys share a class* (planning only
+/// path-compresses), so the partition is invariant across worker
+/// counts.
+fn partition_independent(plans: &[FiringPlan], probe: &mut EqRel) -> Vec<bool> {
+    let mut independent = vec![false; plans.len()];
+    let mut claimed_classes: FxHashSet<u32> = FxHashSet::default();
+    let mut claimed_nodes: FxHashSet<NodeId> = FxHashSet::default();
+    let mut classes: Vec<u32> = Vec::new();
+    let mut nodes: Vec<NodeId> = Vec::new();
+    for (i, plan) in plans.iter().enumerate() {
+        let FiringPlan::Patch(patch) = plan else {
+            // Realized: writes nothing, independent of everything.
+            independent[i] = true;
+            continue;
+        };
+        classes.clear();
+        nodes.clear();
+        for (s, _, d) in &patch.edges {
+            if let RelNode::Premise(n) = s {
+                nodes.push(*n);
+            }
+            if let RelNode::Premise(n) = d {
+                nodes.push(*n);
+            }
+        }
+        for op in &patch.ops {
+            let mut claim = |r: &RelNode, a: AttrId| {
+                if let RelNode::Premise(n) = r {
+                    classes.push(probe.class_id((*n, a)));
+                }
+            };
+            match op {
+                RelOp::Bind(r, a, _) => claim(r, *a),
+                RelOp::Merge(r1, a1, r2, a2) => {
+                    claim(r1, *a1);
+                    claim(r2, *a2);
+                }
+            }
+        }
+        classes.sort_unstable();
+        classes.dedup();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let free = classes.iter().all(|c| !claimed_classes.contains(c))
+            && nodes.iter().all(|n| !claimed_nodes.contains(n));
+        if free {
+            claimed_classes.extend(classes.iter().copied());
+            claimed_nodes.extend(nodes.iter().copied());
+            independent[i] = true;
+        }
+    }
+    independent
+}
+
 /// Chase Σ over `canon` starting from `eq0` until fixpoint or conflict,
 /// with the default (sequential) configuration.
 ///
@@ -327,7 +684,7 @@ pub fn chase_to_fixpoint_with_config(
             return done(ChaseOutcome::Interrupted(interrupt), stats, metrics);
         }
 
-        // ---- serial apply phase ----
+        // ---- serial apply phase (the deliberately naive baseline) ----
         if failpoint::triggered("chase/apply") {
             metrics.early_terminated = true;
             return done(
@@ -338,6 +695,7 @@ pub fn chase_to_fixpoint_with_config(
                 metrics,
             );
         }
+        let apply_start = Instant::now();
         let mut changed = false;
         for (rule, idx) in fired {
             let id = gfd_graph::GfdId::new(rule as usize);
@@ -350,6 +708,7 @@ pub fn chase_to_fixpoint_with_config(
                 }
             }
         }
+        stats.apply_time += apply_start.elapsed();
         if !changed {
             return done(ChaseOutcome::Fixpoint(eq), stats, metrics);
         }
@@ -368,6 +727,7 @@ fn scan_round(
     stats: &mut ChaseStats,
     metrics: &mut RunMetrics,
 ) -> (Vec<(u32, u32)>, Option<Interrupt>) {
+    let scan_start = Instant::now();
     let batch = config.batch.max(1);
     let mut units: Vec<ScanUnit> = Vec::new();
     for (rule, list) in all_matches.iter().enumerate() {
@@ -392,23 +752,14 @@ fn scan_round(
     metrics.units_generated += units.len();
     let opts = config.round_sched_options(metrics.units_dispatched);
     let run = run_scheduler_with(&task, units, p, config.dispatch, &stop, opts);
-    metrics.units_dispatched += run.units_executed;
-    metrics.units_split += run.units_split;
-    metrics.units_stolen += run.units_stolen;
-    metrics.units_panicked += run.units_panicked;
-    metrics.units_retried += run.units_retried;
-    for (acc, d) in metrics.worker_busy.iter_mut().zip(&run.worker_busy) {
-        *acc += *d;
-    }
-    for (acc, d) in metrics.worker_idle.iter_mut().zip(&run.worker_idle) {
-        *acc += *d;
-    }
+    absorb_run(metrics, &run);
     let mut fired: Vec<(u32, u32)> = Vec::new();
     for w in run.workers {
         stats.premise_evals += w.premise_evals;
         fired.extend(w.fired);
     }
     fired.sort_unstable();
+    stats.scan_time += scan_start.elapsed();
     (fired, Interrupt::from_outcome(&run.outcome))
 }
 
@@ -441,18 +792,23 @@ pub enum DepChaseOutcome {
 ///
 /// Each round runs the premise scan of **every** dependency as scan units
 /// on the shared scheduler (identical to the literal chase), then the
-/// serial apply phase between rounds handles both consequence actions in
-/// deterministic `(rule, match index)` order:
+/// apply phase handles both consequence actions in two passes:
 ///
-/// * literal consequences enforce into the relation as before;
-/// * generating consequences are checked for *realization* against the
-///   **round-start** topology and relation snapshot — every firing is
-///   evaluated against the same state, so the set of materializations per
-///   round is invariant under rule reordering and worker count (the
-///   parallel-independence condition of attributed graph rewriting) —
-///   and unrealized firings materialize their target (fresh nodes, edges,
-///   attribute bindings into the live relation). A `(rule, match)` key
-///   fires at most once.
+/// * a **parallel planning pass**, also on the scheduler: every
+///   generating firing's *realization* is checked against the
+///   **round-start** topology and relation snapshot — checks are
+///   read-only, so they are all independent by construction — and every
+///   firing's mutation buffer (`Patch`) is built concurrently. A
+///   `(rule, match)` key fires at most once across rounds.
+/// * a **deterministic commit walk** in sorted `(rule, match index)`
+///   order: the greedy conflict partition (DESIGN.md §12.2) splits the
+///   round into the parallel-independent set — disjoint touched
+///   equivalence classes, premise nodes, and fresh-node ranges, whose
+///   patches provably commute and are spliced directly — and the
+///   conflicting residual, which replays the original fully serial
+///   apply. Because the walk order equals the old serial order, node
+///   ids, conflict attribution, and budget cut points are byte-identical
+///   to the serial chase at every worker count.
 ///
 /// When a round materialized topology, matches are re-enumerated against
 /// the grown graph before the next round; fixpoint is reached when a
@@ -527,7 +883,7 @@ pub fn dep_chase_with_config(
                 return done(DepChaseOutcome::Interrupted(interrupt), stats, metrics);
             }
 
-            // ---- serial apply phase ----
+            // ---- apply phase: plan in parallel, commit in order ----
             if failpoint::triggered("chase/apply") {
                 metrics.early_terminated = true;
                 return done(
@@ -538,58 +894,111 @@ pub fn dep_chase_with_config(
                     metrics,
                 );
             }
-            // Realization is judged against the round-start snapshots
-            // (the `canon` topology and a clone of the round-start
-            // relation), so within-round apply order cannot change which
-            // firings materialize. The relation snapshot must be taken
-            // *before* any literal apply of this round mutates `eq` —
-            // but only rounds with generating firings ever read it, so
-            // literal-only rounds (the common tail once generation has
-            // converged) skip the clone entirely.
-            let mut realize_snap = fired
-                .iter()
-                .any(|&(rule, _)| deps.as_slice()[rule as usize].is_generating())
-                .then(|| eq.clone());
+            // Pending firings: literal consequences as-is, generating
+            // firings deduped against every earlier round (a (rule,
+            // match) key fires at most once). Within a round every match
+            // index is distinct, so the round cannot collide with
+            // itself.
+            let mut pending: Vec<(u32, u32)> = Vec::with_capacity(fired.len());
+            for &(rule, idx) in &fired {
+                match &deps.as_slice()[rule as usize].consequence {
+                    Consequence::Literals(_) => pending.push((rule, idx)),
+                    Consequence::Generate(_) => {
+                        let key: FiredKey =
+                            (rule, all_matches[rule as usize][idx as usize].clone());
+                        if fired_gen.insert(key) {
+                            pending.push((rule, idx));
+                        }
+                    }
+                }
+            }
+
+            // Planning pass (on the scheduler): realization checks are
+            // read-only against the round-start snapshots — trivially
+            // parallel under round-snapshot semantics — and every
+            // firing's mutation buffer is built concurrently. The
+            // greedy partition then splits the round into the
+            // parallel-independent set (disjoint touched classes,
+            // nodes, and fresh ranges — those patches commute) and the
+            // conflicting residual, which replays the serial apply.
+            let apply_start = Instant::now();
+            let (plans, independent) = if pending.is_empty() {
+                (Vec::new(), Vec::new())
+            } else {
+                match plan_round(
+                    deps,
+                    &all_matches,
+                    &pending,
+                    &canon.index,
+                    &eq,
+                    config,
+                    p,
+                    &mut stats,
+                    &mut metrics,
+                ) {
+                    Ok((plans, mut probe)) => {
+                        let independent = partition_independent(&plans, &mut probe);
+                        (plans, independent)
+                    }
+                    Err(interrupt) => {
+                        metrics.early_terminated = true;
+                        return done(DepChaseOutcome::Interrupted(interrupt), stats, metrics);
+                    }
+                }
+            };
+
+            // Deterministic commit walk in sorted (rule, match index)
+            // order — the same order the fully serial apply used, so
+            // node ids, conflict attribution and budget cut points are
+            // identical at every worker count.
             let topo_before = graph.topology_version();
             let mut changed = false;
-            for (rule, idx) in fired {
+            for (i, &(rule, idx)) in pending.iter().enumerate() {
                 let id = gfd_graph::GfdId::new(rule as usize);
                 let dep = &deps.as_slice()[rule as usize];
                 let m = &all_matches[rule as usize][idx as usize];
-                match &dep.consequence {
-                    Consequence::Literals(lits) => match apply_literals(&mut eq, lits, m) {
-                        Ok(c) => changed |= c,
-                        Err(e) => {
-                            metrics.early_terminated = true;
-                            return done(DepChaseOutcome::Conflict(e.with_gfd(id)), stats, metrics);
-                        }
-                    },
-                    Consequence::Generate(gen) => {
-                        let key: FiredKey = (rule, m.clone());
-                        if fired_gen.contains(&key) {
-                            continue;
-                        }
-                        stats.realization_checks += 1;
-                        let snap = realize_snap
-                            .as_mut()
-                            .expect("a generating firing implies the snapshot was taken");
-                        let realized = generate_deducible(snap, &canon.index, gen, m);
-                        fired_gen.insert(key);
-                        if realized {
-                            continue;
-                        }
-                        let outcome = gen.materialize(&mut graph, m, &mut |lit, asn| {
-                            let k1 = (asn[lit.var.index()], lit.attr);
-                            match &lit.rhs {
-                                Operand::Const(c) => eq.bind(k1, c.clone()).map(|_| ()),
-                                Operand::Attr(v2, a2) => {
-                                    eq.merge(k1, (asn[v2.index()], *a2)).map(|_| ())
-                                }
+                match (&dep.consequence, &plans[i]) {
+                    (_, FiringPlan::Realized) => {}
+                    (Consequence::Literals(lits), FiringPlan::Patch(patch)) => {
+                        let applied = if independent[i] {
+                            stats.apply_independent += 1;
+                            splice_ops(&mut eq, &patch.ops, &[])
+                        } else {
+                            stats.apply_conflicts += 1;
+                            apply_literals(&mut eq, lits, m)
+                        };
+                        match applied {
+                            Ok(c) => changed |= c,
+                            Err(e) => {
+                                metrics.early_terminated = true;
+                                return done(
+                                    DepChaseOutcome::Conflict(e.with_gfd(id)),
+                                    stats,
+                                    metrics,
+                                );
                             }
-                        });
-                        match outcome {
+                        }
+                    }
+                    (Consequence::Generate(gen), FiringPlan::Patch(patch)) => {
+                        let materialized = if independent[i] {
+                            stats.apply_independent += 1;
+                            splice_patch(&mut graph, &mut eq, patch)
+                        } else {
+                            stats.apply_conflicts += 1;
+                            gen.materialize(&mut graph, m, &mut |lit, asn| {
+                                let k1 = (asn[lit.var.index()], lit.attr);
+                                match &lit.rhs {
+                                    Operand::Const(c) => eq.bind(k1, c.clone()).map(|_| ()),
+                                    Operand::Attr(v2, a2) => {
+                                        eq.merge(k1, (asn[v2.index()], *a2)).map(|_| ())
+                                    }
+                                }
+                            })
+                            .map(|fresh| fresh.len())
+                        };
+                        match materialized {
                             Ok(fresh) => {
-                                stats.generated_nodes += fresh.len() as u64;
+                                stats.generated_nodes += fresh as u64;
                                 changed = true;
                                 if stats.generated_nodes > max_generated {
                                     metrics.early_terminated = true;
@@ -614,6 +1023,7 @@ pub fn dep_chase_with_config(
                     }
                 }
             }
+            stats.apply_time += apply_start.elapsed();
             if !changed {
                 return done(
                     DepChaseOutcome::Fixpoint {

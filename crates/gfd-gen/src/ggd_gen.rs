@@ -140,6 +140,51 @@ pub fn mixed_ggd_workload(cfg: &GgdGenConfig, vocab: &mut Vocab) -> DepSet {
     deps
 }
 
+/// The chain made adversarial for the **parallel apply's conflict
+/// partition**: every tier gains a clique of same-key literal riders
+/// (each writes the same constant to the one shared attribute of `x`,
+/// so the workload stays satisfiable while any two firings on a node
+/// claim the same class), and every generated `gen` edge gains a
+/// cross-node merge rider `x.shared = y.shared` whose sibling matches
+/// all touch the parent's class. Combined with `gen_per_tier > 1`
+/// (sibling generators claiming the same premise node for adjacency
+/// writes), almost every round's firing set overlaps — the worst case
+/// for the independence analysis, which must shunt the residual through
+/// the serial fallback without changing the fixpoint.
+pub fn ggd_overlap_workload(cfg: &GgdGenConfig, vocab: &mut Vocab) -> DepSet {
+    let mut deps = ggd_chain_workload(cfg, vocab);
+    let depth = cfg.chain_depth.max(1);
+    let shared = vocab.attr("shared");
+    let gen_label = vocab.label("gen");
+    let x = VarId::new(0);
+    for tier in 0..=depth {
+        let premise_attr = tier_attr(vocab, tier);
+        for j in 0..cfg.literal_rules.max(2) {
+            deps.push(Dependency::from_gfd(Gfd::new(
+                format!("overlap_t{tier}_{j}"),
+                tier_pattern(vocab, tier),
+                vec![Literal::eq_const(x, premise_attr, tier as i64)],
+                vec![Literal::eq_const(x, shared, 1i64)],
+            )));
+        }
+    }
+    for tier in 0..depth {
+        let src = vocab.label(&format!("tier{tier}"));
+        let dst = vocab.label(&format!("tier{}", tier + 1));
+        let mut p = Pattern::new();
+        let px = p.add_node(src, "x");
+        let py = p.add_node(dst, "y");
+        p.add_edge(px, gen_label, py);
+        deps.push(Dependency::from_gfd(Gfd::new(
+            format!("link_t{tier}"),
+            p,
+            vec![],
+            vec![Literal::eq_attr(px, shared, py, shared)],
+        )));
+    }
+    deps
+}
+
 /// The chain plus a denial on the final tier: every generated
 /// `tier{D}` node carries `a{D} = D`, and the injected rule forces a
 /// different constant onto the same attribute — unsatisfiable, but only
@@ -242,6 +287,33 @@ mod tests {
         assert!(
             r.stats.generated_nodes > 0,
             "the conflict is only reachable through generation"
+        );
+    }
+
+    #[test]
+    fn overlap_workloads_exercise_the_serial_fallback() {
+        let mut vocab = Vocab::new();
+        let cfg = GgdGenConfig {
+            chain_depth: 3,
+            gen_per_tier: 2,
+            fanout: 2,
+            literal_rules: 3,
+            seed: 11,
+        };
+        let deps = ggd_overlap_workload(&cfg, &mut vocab);
+        let r = dep_sat_with_config(
+            &deps,
+            &ChaseConfig {
+                workers: 4,
+                ..ChaseConfig::default()
+            },
+        );
+        assert!(r.is_satisfiable(), "same-constant overlap riders agree");
+        assert!(r.stats.generated_nodes > 0);
+        assert!(
+            r.stats.apply_conflicts > 0,
+            "the clique of same-key riders must collide in the partition: {:?}",
+            r.stats
         );
     }
 

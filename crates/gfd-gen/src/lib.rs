@@ -34,7 +34,8 @@ pub use gfd_gen::{
     inject_direct_conflict, not_implied_probe, GfdGenConfig,
 };
 pub use ggd_gen::{
-    ggd_chain_workload, ggd_conflict_workload, mixed_ggd_workload, tier0_graph, GgdGenConfig,
+    ggd_chain_workload, ggd_conflict_workload, ggd_overlap_workload, mixed_ggd_workload,
+    tier0_graph, GgdGenConfig,
 };
 pub use graph_gen::{plant_violation, random_graph, GraphGenConfig};
 pub use pattern_gen::{mutate_pattern, random_pattern, PatternGenConfig};

@@ -21,7 +21,8 @@ pub mod simulation;
 
 pub use plan::{Anchor, AnchorDir, MatchPlan, PlanStep};
 pub use search::{
-    count_matches, find_all_matches, has_match, HomSearch, Match, RunOutcome, SearchLimits,
+    count_matches, find_all_matches, gallop_lower_bound, has_match, intersect_slices_gallop,
+    intersect_slices_two_pointer, HomSearch, Match, RunOutcome, SearchLimits,
 };
 pub use simulation::{dual_simulation, may_embed};
 

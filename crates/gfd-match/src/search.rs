@@ -398,9 +398,86 @@ impl<'a, I: MatchIndex> HomSearch<'a, I> {
     }
 }
 
+/// Length-ratio at which [`intersect_sorted_view`] abandons the linear
+/// two-pointer merge for a galloping (exponential-probe) strategy.
+const GALLOP_FACTOR: usize = 8;
+
+/// Least index `j >= start` with `slice[j] >= target`, assuming `slice`
+/// is ascending. Probes exponentially (`start+1`, `start+2`, `start+4`,
+/// …) to bracket the answer, then binary-searches the bracketed window:
+/// O(log gap) comparisons instead of the two-pointer's O(gap).
+pub fn gallop_lower_bound(slice: &[NodeId], start: usize, target: NodeId) -> usize {
+    if start >= slice.len() || slice[start] >= target {
+        return start;
+    }
+    // Invariant: slice[lo] < target.
+    let mut lo = start;
+    let mut step = 1;
+    loop {
+        let hi = lo + step;
+        if hi >= slice.len() {
+            return lo + 1 + slice[lo + 1..].partition_point(|&x| x < target);
+        }
+        if slice[hi] >= target {
+            return lo + 1 + slice[lo + 1..hi].partition_point(|&x| x < target);
+        }
+        lo = hi;
+        step *= 2;
+    }
+}
+
+/// Plain two-pointer intersection of two ascending slices. The baseline
+/// the adaptive strategies in `intersect_sorted_view` are measured
+/// against (see the `micro_structures` bench).
+pub fn intersect_slices_two_pointer(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Galloping intersection of two ascending slices where `short` is much
+/// shorter than `long`: for each element of `short`, advance a cursor
+/// into `long` by [`gallop_lower_bound`]. O(|short| · log(|long|/|short|)).
+pub fn intersect_slices_gallop(short: &[NodeId], long: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(short.len());
+    let mut j = 0;
+    for &x in short {
+        j = gallop_lower_bound(long, j, x);
+        if j == long.len() {
+            break;
+        }
+        if long[j] == x {
+            out.push(x);
+            j += 1;
+        }
+    }
+    out
+}
+
 /// Intersect an ascending candidate list with the concrete-label
-/// adjacency of `(v, dir)` — whose node ids the view emits ascending —
-/// by a single streamed two-pointer pass (no materialized second list).
+/// adjacency of `(v, dir)` — whose node ids the view emits ascending.
+///
+/// Adaptive on the length ratio (satellite of the parallel-apply PR):
+///
+/// * adjacency ≥ [`GALLOP_FACTOR`]× longer — probe each candidate with
+///   a direction-aware `has_edge_pattern` membership test instead of
+///   streaming the long adjacency: O(c·log d);
+/// * candidates ≥ [`GALLOP_FACTOR`]× longer — stream the short
+///   adjacency and advance the candidate cursor by
+///   [`gallop_lower_bound`]: O(d·log(c/d));
+/// * comparable lengths — the original single streamed two-pointer
+///   pass (no materialized second list).
 fn intersect_sorted_view<V: TopologyView>(
     view: &V,
     candidates: &[NodeId],
@@ -408,11 +485,30 @@ fn intersect_sorted_view<V: TopologyView>(
     dir: Dir,
     label: gfd_graph::LabelId,
 ) -> Vec<NodeId> {
-    let mut out = Vec::with_capacity(candidates.len());
+    let adj_len = view.matching_len(v, dir, label);
+    if candidates.is_empty() || adj_len == 0 {
+        return Vec::new();
+    }
+    if adj_len >= GALLOP_FACTOR * candidates.len() {
+        return candidates
+            .iter()
+            .copied()
+            .filter(|&c| match dir {
+                Dir::Out => view.has_edge_pattern(v, label, c),
+                Dir::In => view.has_edge_pattern(c, label, v),
+            })
+            .collect();
+    }
+    let gallop = candidates.len() >= GALLOP_FACTOR * adj_len;
+    let mut out = Vec::with_capacity(candidates.len().min(adj_len));
     let mut i = 0;
     let _ = view.try_for_matching(v, dir, label, &mut |(_, n)| {
-        while i < candidates.len() && candidates[i] < n {
-            i += 1;
+        if gallop {
+            i = gallop_lower_bound(candidates, i, n);
+        } else {
+            while i < candidates.len() && candidates[i] < n {
+                i += 1;
+            }
         }
         if i == candidates.len() {
             return ControlFlow::Break(());
@@ -941,5 +1037,80 @@ mod tests {
         );
         assert_eq!(outcome, RunOutcome::Exhausted);
         assert_eq!(n, 0);
+    }
+
+    fn ids(xs: &[usize]) -> Vec<NodeId> {
+        xs.iter().copied().map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn gallop_lower_bound_matches_linear_scan() {
+        let slice = ids(&[1, 3, 4, 8, 9, 15, 20, 21, 22, 40, 41, 99]);
+        for start in 0..=slice.len() {
+            for t in 0..=100 {
+                let target = NodeId::new(t);
+                let linear = (start..slice.len())
+                    .find(|&j| slice[j] >= target)
+                    .unwrap_or(slice.len());
+                assert_eq!(
+                    gallop_lower_bound(&slice, start, target),
+                    linear,
+                    "start={start} target={target}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slice_intersections_agree_across_skews() {
+        let a = ids(&(0..400).step_by(3).collect::<Vec<_>>());
+        let b = ids(&[2, 3, 6, 7, 9, 150, 151, 153, 399]);
+        let expect = intersect_slices_two_pointer(&a, &b);
+        assert_eq!(intersect_slices_gallop(&b, &a), expect);
+        assert_eq!(intersect_slices_two_pointer(&b, &a), expect);
+        assert_eq!(intersect_slices_gallop(&[], &a), Vec::<NodeId>::new());
+        assert_eq!(intersect_slices_gallop(&b, &[]), Vec::<NodeId>::new());
+    }
+
+    /// A hub with many `e`-successors so the three intersect regimes
+    /// (adjacency-heavy probe, candidate-heavy gallop, balanced
+    /// two-pointer) can all be driven through `intersect_sorted_view`
+    /// and checked against each other.
+    #[test]
+    fn intersect_sorted_view_is_skew_invariant() {
+        let mut v = Vocab::new();
+        let t = v.label("t");
+        let e = v.label("e");
+        let mut g = Graph::new();
+        let hub = g.add_node(t);
+        let spokes: Vec<NodeId> = (0..256).map(|_| g.add_node(t)).collect();
+        for (i, &s) in spokes.iter().enumerate() {
+            if i % 2 == 0 {
+                g.add_edge(hub, e, s);
+            }
+        }
+        let view = g.freeze();
+        let even: Vec<NodeId> = spokes.iter().copied().step_by(2).collect();
+
+        // Adjacency (128 edges) >= 8x candidates: membership-probe path.
+        let few: Vec<NodeId> = spokes[..12].to_vec();
+        let got = intersect_sorted_view(&view, &few, hub, Dir::Out, e);
+        assert_eq!(got, intersect_slices_two_pointer(&few, &even));
+
+        // Candidates cover every spoke plus hub: galloping path (and the
+        // balanced two-pointer on the reverse direction must agree).
+        let mut all: Vec<NodeId> = vec![hub];
+        all.extend(&spokes);
+        let got = intersect_sorted_view(&view, &all, hub, Dir::Out, e);
+        assert_eq!(got, even);
+        for &s in &spokes[..8] {
+            let got = intersect_sorted_view(&view, &all, s, Dir::In, e);
+            let expect = if spokes.iter().position(|&x| x == s).unwrap() % 2 == 0 {
+                vec![hub]
+            } else {
+                vec![]
+            };
+            assert_eq!(got, expect);
+        }
     }
 }

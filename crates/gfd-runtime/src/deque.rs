@@ -1,0 +1,443 @@
+//! A hand-rolled Chase–Lev work-stealing deque (DESIGN.md §12.3).
+//!
+//! One [`WsDeque`] per worker replaces the former `Mutex<VecDeque>`:
+//! the owner pushes and pops at the **bottom** with plain loads and one
+//! release store; thieves race a single compare-exchange on the **top**.
+//! The scheduler hot path — a worker draining its own deque — therefore
+//! runs without ever touching a lock, and a steal costs one CAS instead
+//! of two mutex acquisitions (victim + thief).
+//!
+//! The implementation follows the C11 formulation of Lê, Pop, Cohen &
+//! Zappa Nardelli, *Correct and Efficient Work-Stealing for Weak Memory
+//! Models* (PPoPP '13), with Rust's memory model standing in for C11's:
+//!
+//! * `bottom` is owner-private for writes; thieves only read it. The
+//!   owner's `push` publishes the slot write with a **release** store of
+//!   `bottom`, which a thief's **acquire** load synchronizes with — the
+//!   thief never reads an unwritten slot.
+//! * `top` only ever increases, and only via compare-exchange (thieves)
+//!   or, in `pop`'s last-element race, by the owner winning that same
+//!   CAS. A successful **SeqCst** CAS on `top` is the linearization
+//!   point of a steal: it transfers ownership of exactly one element.
+//! * The owner's `pop` decrements `bottom` and then issues a **SeqCst**
+//!   fence before reading `top`; a thief issues the matching SeqCst
+//!   ordering via its `top` CAS. This pairing makes it impossible for
+//!   an owner-pop and a thief-steal to both claim the final element:
+//!   at least one of them observes the other's write and backs off.
+//! * Buffer growth is owner-only. The owner copies live elements into a
+//!   buffer twice the size and publishes it with a **release** store of
+//!   the buffer pointer; thieves re-acquire the pointer on every probe.
+//!   Retired buffers are *not* freed until the deque is dropped — a
+//!   thief may still be reading a slot of an old buffer — so memory
+//!   reclamation needs no epoch scheme; the peak waste is bounded by
+//!   2x the high-water mark (a geometric series of retired capacities).
+//! * A thief reads the element *before* its CAS, so the read can race
+//!   with nothing that matters: slots are only rewritten by `push`, and
+//!   `push` only reuses a slot index after `top` has advanced past it —
+//!   which fails the thief's CAS, discarding the (possibly stale) value
+//!   without dropping it. The value is only *used* when the CAS
+//!   succeeds, which proves the slot was stable over the read.
+//!
+//! Elements are stored as `MaybeUninit` bit copies; exactly one side
+//! ever materializes (and eventually drops) each element, so the grow
+//! path's duplicate bit copies are never double-dropped.
+
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+
+/// Result of a steal attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The victim's deque was observed empty.
+    Empty,
+    /// Lost a race (another thief, or the owner popping the last
+    /// element); the caller may retry or move to the next victim.
+    Retry,
+    /// One element, taken from the top (the owner's lowest-priority
+    /// end).
+    Success(T),
+}
+
+/// A growable circular buffer. Slot `i` lives at index `i & mask`; the
+/// live window is `[top, bottom)`, at most `cap` elements wide.
+struct Buffer<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+}
+
+impl<T> Buffer<T> {
+    fn new(cap: usize) -> Box<Self> {
+        debug_assert!(cap.is_power_of_two());
+        let slots = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        Box::new(Buffer {
+            slots,
+            mask: cap - 1,
+        })
+    }
+
+    fn cap(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Bitwise-read slot `i`. Safety: the caller must hold a claim on
+    /// the element (owner within `[top, bottom)`, or a thief whose
+    /// subsequent `top` CAS validates the read).
+    unsafe fn read(&self, i: isize) -> T {
+        let slot = self.slots[(i as usize) & self.mask].get();
+        (*slot).assume_init_read()
+    }
+
+    /// Bitwise-write slot `i`. Safety: owner-only, and `i` must be
+    /// outside every thief-visible live window (`i == bottom`).
+    unsafe fn write(&self, i: isize, value: T) {
+        let slot = self.slots[(i as usize) & self.mask].get();
+        (*slot).write(value);
+    }
+}
+
+/// The Chase–Lev deque. Owner calls [`push`](WsDeque::push) /
+/// [`pop`](WsDeque::pop); any thread may call [`steal`](WsDeque::steal).
+///
+/// The type does not *statically* enforce the single-owner protocol
+/// (the scheduler indexes deques by worker id, so the discipline is
+/// structural there); the owner-end methods are therefore `unsafe`-free
+/// but documented owner-only, and the debug build asserts nothing about
+/// cross-thread misuse beyond what the algorithm tolerates.
+pub struct WsDeque<T> {
+    /// Owner end. Written only by the owner; read by thieves.
+    bottom: AtomicIsize,
+    /// Thief end. Advanced by successful steals (and the owner's
+    /// last-element CAS in `pop`); never decreases.
+    top: AtomicIsize,
+    buf: AtomicPtr<Buffer<T>>,
+    /// Buffers retired by `grow`, freed on drop (see module docs). The
+    /// boxes must not be flattened into the `Vec`: a racing thief may
+    /// still read through a stale `buf` pointer, so a retired buffer
+    /// has to keep its heap address until the deque itself drops.
+    #[allow(clippy::vec_box)]
+    retired: Mutex<Vec<Box<Buffer<T>>>>,
+}
+
+// SAFETY: the deque hands each element to exactly one thread (owner pop
+// or CAS-validated steal); `T: Send` is all that transfer needs.
+unsafe impl<T: Send> Send for WsDeque<T> {}
+unsafe impl<T: Send> Sync for WsDeque<T> {}
+
+impl<T> Default for WsDeque<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> WsDeque<T> {
+    /// An empty deque with a small initial capacity.
+    pub fn new() -> Self {
+        WsDeque {
+            bottom: AtomicIsize::new(0),
+            top: AtomicIsize::new(0),
+            buf: AtomicPtr::new(Box::into_raw(Buffer::new(64))),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A racy size estimate: exact when called by the owner with no
+    /// concurrent steal, a lower bound otherwise. Used to size steal
+    /// batches — a stale answer only makes a thief take a slightly
+    /// wrong half, never break correctness.
+    pub fn len_hint(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        b.saturating_sub(t).max(0) as usize
+    }
+
+    /// Owner-only: push `value` at the bottom.
+    pub fn push(&self, value: T) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        let mut buf = self.buf.load(Ordering::Relaxed);
+        // SAFETY: `buf` is only replaced by the owner (us), so the
+        // pointer is the current buffer and stays valid.
+        unsafe {
+            if b - t >= (*buf).cap() as isize {
+                buf = self.grow(b, t, buf);
+            }
+            (*buf).write(b, value);
+        }
+        // Release: a thief that acquires the new `bottom` sees the slot
+        // write above.
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Owner-only: pop from the bottom (the most recently pushed / the
+    /// highest-priority end under the scheduler's reverse-seeding).
+    pub fn pop(&self) -> Option<T> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        let buf = self.buf.load(Ordering::Relaxed);
+        self.bottom.store(b, Ordering::Relaxed);
+        // SeqCst: order the `bottom` decrement before the `top` read
+        // below, against every thief's SeqCst CAS. Without this a pop
+        // and a steal could both claim the last element.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Already empty: undo the decrement.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        // SAFETY: `[t, b]` is non-empty here, so slot `b` was written by
+        // a prior push and no thief can claim it without first claiming
+        // everything below index b (thieves take from the top).
+        let value = unsafe { (*buf).read(b) };
+        if t == b {
+            // Last element: race the thieves for it. Winning the CAS
+            // claims the element; losing means a thief took it.
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            if won {
+                return Some(value);
+            }
+            // A thief owns it now; forget our bit copy without dropping.
+            std::mem::forget(value);
+            return None;
+        }
+        Some(value)
+    }
+
+    /// Steal one element from the top (the owner's lowest-priority
+    /// end). Callable from any thread.
+    pub fn steal(&self) -> Steal<T> {
+        let t = self.top.load(Ordering::Acquire);
+        // SeqCst: order the `top` read before the `bottom` read against
+        // the owner-pop's fence (see `pop`).
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Re-acquire the buffer pointer *after* reading `top`: a grow
+        // publishes the new buffer before any push that could recycle
+        // old slot indices, so the buffer we read covers index `t`.
+        let buf = self.buf.load(Ordering::Acquire);
+        // SAFETY: speculative bit copy; only *used* if the CAS below
+        // succeeds, which proves no push recycled the slot and no other
+        // claimant took index `t` (see module docs).
+        let value = unsafe { (*buf).read(t) };
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            // Lost the race; the bit copy is stale — discard undropped.
+            std::mem::forget(value);
+            return Steal::Retry;
+        }
+        Steal::Success(value)
+    }
+
+    /// Owner-only, cold: replace the buffer with one twice the size,
+    /// copying the live window `[t, b)`. Returns the new buffer.
+    ///
+    /// The old buffer is retired, not freed: a thief may hold its
+    /// pointer mid-read. Duplicate bit copies left in the old buffer
+    /// are never dropped (slots are `MaybeUninit`), so each element
+    /// still has exactly one eventual owner.
+    unsafe fn grow(&self, b: isize, t: isize, old: *mut Buffer<T>) -> *mut Buffer<T> {
+        let new = Buffer::new(((*old).cap() * 2).max(64));
+        for i in t..b {
+            new.write(i, (*old).read(i));
+        }
+        let new = Box::into_raw(new);
+        // Release: thieves acquiring the pointer see the copied slots.
+        self.buf.store(new, Ordering::Release);
+        self.retired.lock().push(Box::from_raw(old));
+        new
+    }
+}
+
+impl<T> Drop for WsDeque<T> {
+    fn drop(&mut self) {
+        // Exclusive access: drop the live window, then free buffers.
+        let b = *self.bottom.get_mut();
+        let t = *self.top.get_mut();
+        let buf = *self.buf.get_mut();
+        unsafe {
+            for i in t..b {
+                drop((*buf).read(i));
+            }
+            drop(Box::from_raw(buf));
+        }
+        self.retired.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn owner_lifo_order() {
+        let d = WsDeque::new();
+        for i in 0..10 {
+            d.push(i);
+        }
+        for i in (0..10).rev() {
+            assert_eq!(d.pop(), Some(i));
+        }
+        assert_eq!(d.pop(), None);
+    }
+
+    #[test]
+    fn steal_takes_fifo_from_the_top() {
+        let d = WsDeque::new();
+        for i in 0..4 {
+            d.push(i);
+        }
+        assert_eq!(d.steal(), Steal::Success(0));
+        assert_eq!(d.steal(), Steal::Success(1));
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let d = WsDeque::new();
+        for i in 0..1000 {
+            d.push(i);
+        }
+        assert_eq!(d.len_hint(), 1000);
+        for i in (0..1000).rev() {
+            assert_eq!(d.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn drop_releases_undrained_elements() {
+        // Arc counts prove each element is dropped exactly once.
+        let marker = Arc::new(());
+        let d = WsDeque::new();
+        for _ in 0..100 {
+            d.push(Arc::clone(&marker));
+        }
+        let _ = d.pop();
+        let _ = d.steal();
+        drop(d);
+        assert_eq!(Arc::strong_count(&marker), 1);
+    }
+
+    #[test]
+    fn concurrent_steal_storm_loses_nothing() {
+        // 1 owner pushing/popping, 7 thieves hammering steal: every
+        // element is claimed exactly once and the claimed sum matches.
+        const N: usize = 20_000;
+        const THIEVES: usize = 7;
+        let d = Arc::new(WsDeque::new());
+        let taken = Arc::new(AtomicUsize::new(0));
+        let sum = Arc::new(AtomicUsize::new(0));
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let mut handles = Vec::new();
+        for _ in 0..THIEVES {
+            let d = Arc::clone(&d);
+            let taken = Arc::clone(&taken);
+            let sum = Arc::clone(&sum);
+            let done = Arc::clone(&done);
+            handles.push(std::thread::spawn(move || loop {
+                match d.steal() {
+                    Steal::Success(v) => {
+                        taken.fetch_add(1, Ordering::Relaxed);
+                        sum.fetch_add(v, Ordering::Relaxed);
+                    }
+                    Steal::Retry => std::hint::spin_loop(),
+                    Steal::Empty => {
+                        if done.load(Ordering::Acquire) {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+
+        let mut owner_taken = 0usize;
+        let mut owner_sum = 0usize;
+        for i in 0..N {
+            d.push(i + 1);
+            // Interleave pops to exercise the last-element race.
+            if i % 3 == 0 {
+                if let Some(v) = d.pop() {
+                    owner_taken += 1;
+                    owner_sum += v;
+                }
+            }
+        }
+        while let Some(v) = d.pop() {
+            owner_taken += 1;
+            owner_sum += v;
+        }
+        done.store(true, Ordering::Release);
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Late steals may still drain after the owner saw empty.
+        while let Steal::Success(v) = d.steal() {
+            owner_taken += 1;
+            owner_sum += v;
+        }
+        assert_eq!(owner_taken + taken.load(Ordering::Relaxed), N);
+        assert_eq!(owner_sum + sum.load(Ordering::Relaxed), N * (N + 1) / 2);
+    }
+
+    #[test]
+    fn concurrent_growth_under_steals() {
+        // Push far past capacity while thieves steal, forcing grows
+        // with live readers on retired buffers.
+        const N: usize = 50_000;
+        let d = Arc::new(WsDeque::new());
+        let taken = Arc::new(AtomicUsize::new(0));
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let d = Arc::clone(&d);
+            let taken = Arc::clone(&taken);
+            let done = Arc::clone(&done);
+            handles.push(std::thread::spawn(move || loop {
+                match d.steal() {
+                    Steal::Success(_) => {
+                        taken.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Steal::Retry => {}
+                    Steal::Empty => {
+                        if done.load(Ordering::Acquire) {
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+        for i in 0..N {
+            d.push(i);
+        }
+        let mut owner = 0usize;
+        while d.pop().is_some() {
+            owner += 1;
+        }
+        done.store(true, Ordering::Release);
+        for h in handles {
+            h.join().unwrap();
+        }
+        while let Steal::Success(_) = d.steal() {
+            owner += 1;
+        }
+        assert_eq!(owner + taken.load(Ordering::Relaxed), N);
+    }
+}

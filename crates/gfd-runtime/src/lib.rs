@@ -7,11 +7,12 @@
 //!
 //! * a generic [`Task`] trait: a workload describes how to create per-worker
 //!   state and how to execute one unit; the scheduler owns dispatch;
-//! * per-worker deques with **work stealing** ([`DispatchMode::WorkStealing`],
-//!   the default): a worker pops its own queue from the front, steals the
-//!   back half of a victim's queue when idle, and pushes split units to its
-//!   own front so straggler remainders inherit their parent's priority and
-//!   cache locality;
+//! * per-worker **lock-free Chase–Lev deques** with work stealing
+//!   ([`DispatchMode::WorkStealing`], the default): a worker pops its own
+//!   deque from the front without ever taking a lock, steals the back half
+//!   of a victim's deque when idle (one top-CAS per claimed unit), and
+//!   pushes split units to its own front so straggler remainders inherit
+//!   their parent's priority and cache locality;
 //! * a **coordinator** baseline ([`DispatchMode::Coordinator`]): one shared
 //!   queue all workers pop from, the centralized-dispatch shape the
 //!   original runtime used (kept for the head-to-head benches);
@@ -32,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod cputime;
+pub mod deque;
 pub mod failpoint;
 pub mod metrics;
 pub mod sched;

@@ -2,15 +2,18 @@
 //!
 //! Dispatch topology (the work-stealing default):
 //!
-//! * Seed units are dealt round-robin across `p` per-worker deques in
-//!   priority order, so every deque is priority-ascending front to back.
+//! * Seed units are dealt round-robin across `p` per-worker lock-free
+//!   [Chase–Lev deques](crate::deque) in priority order, so every deque
+//!   is priority-ascending front to back.
 //! * A worker pops its **own deque from the front** (highest priority
-//!   first). Split units produced mid-run are pushed to the owner's
-//!   **front**: a straggler's remainder inherits its parent's priority
-//!   and stays on the worker whose caches already hold its prefix.
+//!   first; the Chase–Lev *bottom* — a lock-free owner operation).
+//!   Split units produced mid-run are pushed to the owner's **front**:
+//!   a straggler's remainder inherits its parent's priority and stays
+//!   on the worker whose caches already hold its prefix.
 //! * An idle worker **steals the back half** of a victim's deque — the
-//!   lowest-priority work, so the victim keeps the units the priority
-//!   order wanted it to run next.
+//!   lowest-priority work, claimed one CAS-validated element at a time
+//!   from the Chase–Lev *top* — so the victim keeps the units the
+//!   priority order wanted it to run next.
 //! * Quiescence is an in-flight counter: seeded and split units increment
 //!   it, completed units decrement it; workers exit when it reaches zero
 //!   (or the shared stop flag is raised). Because a split happens *while
@@ -26,8 +29,10 @@
 //!
 //! Every unit executes inside a `catch_unwind` envelope. A panicking
 //! unit can therefore never wedge the run: the in-flight counter is
-//! decremented on the unwind path too, the deques use `parking_lot`
-//! mutexes (no lock poisoning), and the run terminates with a structured
+//! decremented on the unwind path too, the per-worker deques are
+//! lock-free [Chase–Lev deques](crate::deque) (the coordinator's single
+//! shared queue keeps a `parking_lot` mutex — no lock poisoning either
+//! way), and the run terminates with a structured
 //! [`RunOutcome::Aborted`] carrying the worker id, the unit description
 //! and the panic payload — all worker threads joined. With
 //! [`SchedOptions::unit_retries`] > 0 a panicked unit is requeued (from
@@ -38,6 +43,7 @@
 //! rather than panicking.
 
 use crate::cputime::BusyTimer;
+use crate::deque::{Steal, WsDeque};
 use crate::failpoint;
 use parking_lot::Mutex;
 use std::any::Any;
@@ -199,12 +205,22 @@ impl RunOutcome {
 /// A queued unit plus how many times it has been retried.
 type Envelope<U> = (U, u32);
 
+/// The queue topology behind one run: lock-free per-worker Chase–Lev
+/// deques under [`DispatchMode::WorkStealing`], one mutexed shared queue
+/// under [`DispatchMode::Coordinator`].
+enum Queues<U> {
+    /// One [`WsDeque`] per worker; worker `i` owns `deques[i]`'s bottom
+    /// end, every other worker may CAS its top.
+    Stealing(Vec<WsDeque<Envelope<U>>>),
+    /// The centralized-dispatch baseline.
+    Central(Mutex<VecDeque<Envelope<U>>>),
+}
+
 struct Shared<'s, U> {
-    queues: Vec<Mutex<VecDeque<Envelope<U>>>>,
+    queues: Queues<U>,
     /// Units seeded or split but not yet fully executed.
     in_flight: AtomicUsize,
     stop: &'s AtomicBool,
-    mode: DispatchMode,
     opts: SchedOptions,
     units_executed: AtomicU64,
     units_stolen: AtomicU64,
@@ -217,14 +233,15 @@ struct Shared<'s, U> {
 }
 
 impl<U> Shared<'_, U> {
-    /// Next unit for worker `id`: own front, else steal a victim's back
-    /// half (work stealing), or the single shared front (coordinator).
+    /// Next unit for worker `id`: own bottom (lock-free, highest
+    /// priority first), else steal a victim's back half (work stealing),
+    /// or the single shared front (coordinator).
     fn pop(&self, id: usize) -> Option<Envelope<U>> {
         failpoint::maybe_panic("sched/dispatch");
-        match self.mode {
-            DispatchMode::Coordinator => self.queues[0].lock().pop_front(),
-            DispatchMode::WorkStealing => {
-                if let Some(u) = self.queues[id].lock().pop_front() {
+        match &self.queues {
+            Queues::Central(q) => q.lock().pop_front(),
+            Queues::Stealing(deques) => {
+                if let Some(u) = deques[id].pop() {
                     return Some(u);
                 }
                 self.steal(id)
@@ -234,24 +251,46 @@ impl<U> Shared<'_, U> {
 
     fn steal(&self, thief: usize) -> Option<Envelope<U>> {
         failpoint::maybe_panic("sched/steal");
-        let p = self.queues.len();
+        let Queues::Stealing(deques) = &self.queues else {
+            return None;
+        };
+        let p = deques.len();
         for k in 1..p {
             let victim = (thief + k) % p;
-            let mut loot = {
-                let mut q = self.queues[victim].lock();
-                let n = q.len();
-                if n == 0 {
-                    continue;
+            let v = &deques[victim];
+            // Steal-half policy on the lock-free deque: claim (up to)
+            // the ceil-half of the victim's observed size, one
+            // CAS-validated element at a time from the top — the
+            // lowest-priority end, so the victim keeps the units the
+            // priority order wanted it to run next. A lost CAS means
+            // someone else made progress; retry until the budget is
+            // met or the victim drains.
+            let mut budget = v.len_hint().div_ceil(2);
+            let mut loot: Vec<Envelope<U>> = Vec::new();
+            while budget > 0 {
+                match v.steal() {
+                    Steal::Success(u) => {
+                        loot.push(u);
+                        budget -= 1;
+                    }
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
                 }
-                // Take the back half (lowest priority), keeping its
-                // internal order.
-                q.split_off(n - n.div_ceil(2))
-            };
+            }
+            if loot.is_empty() {
+                continue;
+            }
+            // Only elements actually claimed count as stolen — a lost
+            // CAS is not a steal.
             self.units_stolen
                 .fetch_add(loot.len() as u64, Ordering::Relaxed);
-            let first = loot.pop_front();
-            if !loot.is_empty() {
-                self.queues[thief].lock().extend(loot);
+            // `loot` is top-first, i.e. ascending priority: run the
+            // best loot unit now and keep the rest in our own deque in
+            // that order, so subsequent owner pops (bottom = last
+            // pushed) also see best-first.
+            let first = loot.pop();
+            for u in loot {
+                deques[thief].push(u);
             }
             return first;
         }
@@ -315,13 +354,23 @@ impl<U> WorkerCtx<'_, U> {
         self.shared
             .units_split
             .fetch_add(units.len() as u64, Ordering::Relaxed);
-        let qi = match self.shared.mode {
-            DispatchMode::Coordinator => 0,
-            DispatchMode::WorkStealing => self.worker,
-        };
-        let mut q = self.shared.queues[qi].lock();
-        for u in units.into_iter().rev() {
-            q.push_front((u, 0));
+        match &self.shared.queues {
+            Queues::Central(q) => {
+                let mut q = q.lock();
+                for u in units.into_iter().rev() {
+                    q.push_front((u, 0));
+                }
+            }
+            Queues::Stealing(deques) => {
+                // Owner-end pushes in reverse order: the first split
+                // unit lands bottom-most, so this worker pops it next —
+                // the same front-of-deque priority the mutexed queues
+                // gave split remainders.
+                let dq = &deques[self.worker];
+                for u in units.into_iter().rev() {
+                    dq.push((u, 0));
+                }
+            }
         }
     }
 }
@@ -337,7 +386,9 @@ pub struct SchedRun<W> {
     pub outcome: RunOutcome,
     /// Units executed (seeded + split; panicked attempts count).
     pub units_executed: u64,
-    /// Units taken from another worker's deque.
+    /// Units actually claimed from another worker's deque — each one a
+    /// successful top CAS on the victim's Chase–Lev deque. Lost CAS
+    /// races ([`Steal::Retry`]) are not counted.
     pub units_stolen: u64,
     /// Units created by splitting.
     pub units_split: u64,
@@ -416,14 +467,13 @@ fn worker_loop<T: Task>(
                     shared.units_panicked.fetch_add(1, Ordering::Relaxed);
                     if let Some(clone) = retry {
                         // The unit stays in flight: requeue the clone at
-                        // this worker's front with its attempt count
-                        // bumped.
+                        // this worker's front (owner end) with its
+                        // attempt count bumped.
                         shared.units_retried.fetch_add(1, Ordering::Relaxed);
-                        let qi = match shared.mode {
-                            DispatchMode::Coordinator => 0,
-                            DispatchMode::WorkStealing => id,
-                        };
-                        shared.queues[qi].lock().push_front((clone, attempt + 1));
+                        match &shared.queues {
+                            Queues::Central(q) => q.lock().push_front((clone, attempt + 1)),
+                            Queues::Stealing(deques) => deques[id].push((clone, attempt + 1)),
+                        }
                     } else {
                         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
                         shared.abort(id, label, payload);
@@ -493,22 +543,37 @@ pub fn run_scheduler_with<T: Task>(
     opts: SchedOptions,
 ) -> SchedRun<T::Worker> {
     let p = workers.max(1);
-    let queue_count = match mode {
-        DispatchMode::Coordinator => 1,
-        DispatchMode::WorkStealing => p,
-    };
     let in_flight = seed.len();
-    let queues: Vec<Mutex<VecDeque<Envelope<T::Unit>>>> = (0..queue_count)
-        .map(|_| Mutex::new(VecDeque::new()))
-        .collect();
-    for (i, unit) in seed.into_iter().enumerate() {
-        queues[i % queue_count].lock().push_back((unit, 0));
-    }
+    let queues = match mode {
+        DispatchMode::Coordinator => {
+            let q: VecDeque<Envelope<T::Unit>> = seed.into_iter().map(|u| (u, 0)).collect();
+            Queues::Central(Mutex::new(q))
+        }
+        DispatchMode::WorkStealing => {
+            // Deal round-robin, then load each deque in *reverse* order:
+            // the owner pops the bottom (last pushed), so pushing
+            // lowest-priority first leaves the highest-priority unit
+            // bottom-most — every deque pops priority-ascending, exactly
+            // as the mutexed front-pop queues did. The deques are still
+            // caller-owned here; workers take over ownership when the
+            // threads spawn (the spawn is the happens-before edge).
+            let deques: Vec<WsDeque<Envelope<T::Unit>>> = (0..p).map(|_| WsDeque::new()).collect();
+            let mut dealt: Vec<Vec<Envelope<T::Unit>>> = (0..p).map(|_| Vec::new()).collect();
+            for (i, unit) in seed.into_iter().enumerate() {
+                dealt[i % p].push((unit, 0));
+            }
+            for (dq, units) in deques.iter().zip(dealt) {
+                for u in units.into_iter().rev() {
+                    dq.push(u);
+                }
+            }
+            Queues::Stealing(deques)
+        }
+    };
     let shared = Shared {
         queues,
         in_flight: AtomicUsize::new(in_flight),
         stop,
-        mode,
         opts,
         units_executed: AtomicU64::new(0),
         units_stolen: AtomicU64::new(0),

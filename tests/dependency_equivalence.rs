@@ -19,8 +19,8 @@
 use gfd::chase::{dep_imp_with_config, dep_sat_with_config, ChaseConfig, DepSatOutcome};
 use gfd::detect::{detect_deps, DetectConfig};
 use gfd::gen::{
-    ggd_conflict_workload, mixed_ggd_workload, real_life_workload, tier0_graph, Dataset,
-    GgdGenConfig,
+    ggd_conflict_workload, ggd_overlap_workload, mixed_ggd_workload, real_life_workload,
+    tier0_graph, Dataset, GgdGenConfig,
 };
 use gfd::prelude::*;
 use proptest::prelude::*;
@@ -203,6 +203,52 @@ fn ggd_chase_sat_is_worker_count_invariant() {
     }
 }
 
+/// Adversarial case for the parallel apply: the overlap workload is
+/// built so that almost every round's firings collide in the conflict
+/// partition (same-key rider cliques, cross-node merges along generated
+/// edges, sibling generators on one premise node). The parallel path
+/// must route the residual through the serial fallback and still land
+/// on the serial fixpoint — bit for bit, at every worker count, under
+/// forced maximal splitting.
+#[test]
+fn conflict_heavy_chase_is_worker_count_invariant() {
+    let cfg = GgdGenConfig {
+        chain_depth: 3,
+        gen_per_tier: 2,
+        fanout: 2,
+        literal_rules: 3,
+        seed: 37,
+    };
+    let mut vocab = Vocab::new();
+    let deps = ggd_overlap_workload(&cfg, &mut vocab);
+    let base = dep_sat_with_config(&deps, &chase_cfg(1));
+    assert!(base.is_satisfiable());
+    assert!(
+        base.stats.apply_conflicts > 0,
+        "workload must actually exercise the serial fallback: {:?}",
+        base.stats
+    );
+    let base_fp = fingerprint(base.model().unwrap());
+    for p in worker_counts() {
+        let mut ccfg = chase_cfg(p);
+        ccfg.ttl = std::time::Duration::ZERO;
+        ccfg.batch = 1; // force maximal splitting
+        let r = dep_sat_with_config(&deps, &ccfg);
+        assert!(r.is_satisfiable(), "p={p}");
+        assert_eq!(r.stats.rounds, base.stats.rounds, "p={p}");
+        assert_eq!(r.stats.generated_nodes, base.stats.generated_nodes, "p={p}");
+        assert_eq!(
+            r.stats.apply_conflicts, base.stats.apply_conflicts,
+            "the conflict partition is deterministic, p={p}"
+        );
+        assert_eq!(
+            r.stats.apply_independent, base.stats.apply_independent,
+            "p={p}"
+        );
+        assert_eq!(fingerprint(r.model().unwrap()), base_fp, "p={p}");
+    }
+}
+
 #[test]
 fn ggd_imp_is_worker_count_invariant() {
     let cfg = GgdGenConfig {
@@ -343,6 +389,42 @@ proptest! {
         prop_assert_eq!(a.stats.generated_nodes, b.stats.generated_nodes);
         if let (Some(ma), Some(mb)) = (a.model(), b.model()) {
             prop_assert_eq!(fingerprint(ma), fingerprint(mb));
+        }
+    }
+
+    /// Conflict-heavy variant of worker independence: random overlap
+    /// workloads whose firings share touched attrs and premise nodes,
+    /// chased at p ∈ {1, 2, 8} with forced splitting. Parallel apply ≡
+    /// serial apply even when the partition is mostly conflicts.
+    #[test]
+    fn conflict_heavy_chase_is_worker_independent(
+        depth in 1usize..3,
+        gen_per_tier in 1usize..3,
+        literal_rules in 2usize..4,
+        seed in 0u64..500,
+    ) {
+        let cfg = GgdGenConfig {
+            chain_depth: depth,
+            gen_per_tier,
+            fanout: 2,
+            literal_rules,
+            seed,
+        };
+        let mut vocab = Vocab::new();
+        let deps = ggd_overlap_workload(&cfg, &mut vocab);
+        let base = dep_sat_with_config(&deps, &chase_cfg(1));
+        prop_assert!(base.is_satisfiable());
+        let base_fp = fingerprint(base.model().unwrap());
+        for p in [2usize, 8] {
+            let mut ccfg = chase_cfg(p);
+            ccfg.ttl = std::time::Duration::ZERO;
+            ccfg.batch = 1;
+            let r = dep_sat_with_config(&deps, &ccfg);
+            prop_assert!(r.is_satisfiable(), "p={}", p);
+            prop_assert_eq!(r.stats.rounds, base.stats.rounds);
+            prop_assert_eq!(r.stats.generated_nodes, base.stats.generated_nodes);
+            prop_assert_eq!(r.stats.apply_conflicts, base.stats.apply_conflicts);
+            prop_assert_eq!(fingerprint(r.model().unwrap()), base_fp.clone());
         }
     }
 

@@ -175,6 +175,101 @@ fn dispatch_and_steal_failpoints_abort_cleanly() {
     failpoint::disarm_all();
 }
 
+/// Steal storm on the raw scheduler: instant units at eight workers, so
+/// the pool spends most of the run racing top-CAS claims on each other's
+/// Chase–Lev deques. Every unit must execute exactly once per round (no
+/// loss, no duplication across lost CAS races), and `units_stolen` must
+/// count only successful claims.
+#[test]
+fn steal_storm_executes_every_unit_exactly_once() {
+    let _g = serial();
+
+    struct CountTask {
+        executed: AtomicU64,
+    }
+    impl Task for CountTask {
+        type Unit = u32;
+        type Worker = ();
+        fn worker(&self, _id: usize) -> Self::Worker {}
+        fn run_unit(&self, _w: &mut Self::Worker, _unit: u32, _ctx: &WorkerCtx<'_, u32>) {
+            self.executed.fetch_add(1, Ordering::SeqCst);
+        }
+        fn describe_unit(&self, unit: &u32) -> String {
+            format!("count-unit-{unit}")
+        }
+    }
+
+    let mut total_stolen = 0u64;
+    for _round in 0..8 {
+        let task = CountTask {
+            executed: AtomicU64::new(0),
+        };
+        let stop = AtomicBool::new(false);
+        let run = run_scheduler_with(
+            &task,
+            (0..512u32).collect(),
+            8,
+            DispatchMode::WorkStealing,
+            &stop,
+            SchedOptions::default(),
+        );
+        assert_eq!(run.outcome, RunOutcome::Completed);
+        assert_eq!(task.executed.load(Ordering::SeqCst), 512);
+        assert_eq!(run.units_executed, 512);
+        assert!(run.units_stolen <= 512, "{}", run.units_stolen);
+        total_stolen += run.units_stolen;
+    }
+    assert!(
+        total_stolen > 0,
+        "eight rounds at p=8 must steal at least once"
+    );
+}
+
+/// Steal storm through the chase: the conflict-heavy workload at eight
+/// workers with TTL zero and singleton batches (maximal splitting). A
+/// seeded `sched/steal` failpoint mid-storm maps to a clean unknown;
+/// disarmed, the same storm lands on the serial fixpoint bit for bit.
+#[test]
+fn steal_storm_chase_stays_invariant_under_failpoints() {
+    let _g = serial();
+    let mut vocab = Vocab::new();
+    let deps = gfd::gen::ggd_overlap_workload(
+        &gfd::gen::GgdGenConfig {
+            chain_depth: 2,
+            gen_per_tier: 2,
+            fanout: 2,
+            literal_rules: 2,
+            seed: 23,
+        },
+        &mut vocab,
+    );
+    let storm_cfg = ChaseConfig {
+        workers: 8,
+        ttl: Duration::ZERO,
+        batch: 1,
+        ..ChaseConfig::default()
+    };
+
+    failpoint::arm("sched/steal=~1:10").unwrap();
+    let r = dep_sat_with_config(&deps, &storm_cfg);
+    failpoint::disarm_all();
+    match &r.outcome {
+        DepSatOutcome::Interrupted(Interrupt::Aborted(msg)) => {
+            assert!(msg.contains("sched/steal"), "{msg}")
+        }
+        other => panic!("expected an interrupted chase, got {other:?}"),
+    }
+    assert!(r.is_unknown(), "an aborted storm has no verdict");
+
+    let base = dep_sat_with_config(&deps, &ChaseConfig::default());
+    assert!(base.is_satisfiable());
+    let r = dep_sat_with_config(&deps, &storm_cfg);
+    assert!(r.is_satisfiable(), "no sticky state after disarm");
+    assert_eq!(r.stats.rounds, base.stats.rounds);
+    assert_eq!(r.stats.generated_nodes, base.stats.generated_nodes);
+    assert!(r.stats.apply_conflicts > 0, "{:?}", r.stats);
+}
+
 #[test]
 fn reasoning_driver_maps_a_unit_panic_to_unknown() {
     let _g = serial();
