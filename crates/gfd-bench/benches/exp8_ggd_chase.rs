@@ -15,12 +15,18 @@
 //! Amdahl floor is set only by the commit walk over the conflicting
 //! residual; rows also break out scan vs apply wall time and the
 //! independent-vs-conflict group counts. Results land in
-//! `BENCH_exp8.json`.
+//! `BENCH_exp8.json`, plus the run-report schema shared with the CLI's
+//! `--metrics-json` in `BENCH_exp8.metrics.json` (DESIGN.md §13).
+//!
+//! `GFD_TRACE=FILE` additionally enables event tracing on the widest run
+//! and writes its Chrome trace-event timeline to FILE — the file
+//! `gfd trace-check` validates in CI.
 
 use gfd_bench::{banner, fmt_duration, scale, Table};
 use gfd_chase::{dep_sat_with_config, ChaseConfig};
 use gfd_gen::{mixed_ggd_workload, GgdGenConfig};
 use gfd_graph::Vocab;
+use gfd_runtime::{RunMetrics, TraceSpec};
 use std::time::Duration;
 
 fn main() {
@@ -57,6 +63,11 @@ fn main() {
         cfg.fanout,
     );
 
+    // `GFD_TRACE=FILE` turns event tracing on for the widest run only, so
+    // the timed narrower rows stay on the instrumentation's no-op path.
+    let trace_path = std::env::var("GFD_TRACE").ok();
+    let rule_names: Vec<String> = deps.iter().map(|(_, d)| d.name.clone()).collect();
+
     let workers = [1usize, 2, 4, 8];
     let mut table = Table::new(&[
         "p",
@@ -74,12 +85,20 @@ fn main() {
     let mut base = Duration::ZERO;
     let mut base_generated = 0u64;
     let mut base_rounds = 0u64;
+    let widest = *workers.last().unwrap();
+    let mut widest_metrics = RunMetrics::default();
     for &p in &workers {
+        let trace = if trace_path.is_some() && p == widest {
+            TraceSpec::enabled()
+        } else {
+            TraceSpec::disabled()
+        };
         let ccfg = ChaseConfig {
             workers: p,
             ttl: Duration::from_micros(200),
             batch: 8,
             max_generated_nodes: 10_000_000,
+            trace,
             ..ChaseConfig::default()
         };
         let r = dep_sat_with_config(&deps, &ccfg);
@@ -122,6 +141,9 @@ fn main() {
             evals: r.stats.premise_evals,
             steals: r.metrics.units_stolen,
         });
+        if p == widest {
+            widest_metrics = r.metrics.clone();
+        }
     }
 
     println!("\nGGD chase makespan (max per-worker busy time) vs p:");
@@ -139,6 +161,26 @@ fn main() {
     match std::fs::write(path, &json) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+
+    // The widest run's full report, in the exact schema the CLI's
+    // `--metrics-json` emits — one format for bench and CLI consumers.
+    let metrics_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exp8.metrics.json");
+    match std::fs::write(metrics_path, widest_metrics.to_json(&rule_names)) {
+        Ok(()) => println!("wrote {metrics_path} (p = {widest} run report)"),
+        Err(e) => println!("could not write {metrics_path}: {e}"),
+    }
+
+    if let Some(tp) = trace_path {
+        let chrome = widest_metrics.trace.to_chrome_json(&rule_names);
+        match std::fs::write(&tp, chrome) {
+            Ok(()) => println!(
+                "wrote {tp} ({} event(s), {} dropped) — validate with `gfd trace-check`",
+                widest_metrics.trace.events.len(),
+                widest_metrics.trace.dropped,
+            ),
+            Err(e) => println!("could not write {tp}: {e}"),
+        }
     }
 }
 

@@ -371,6 +371,73 @@ fn bench_scheduler(c: &mut Criterion) {
     group.finish();
 }
 
+/// Head-to-head guard for the observability layer (DESIGN.md §13), in two
+/// halves. First the dormant path in isolation: a disabled `TraceBuf`'s
+/// per-event-site cost must stay branch-cheap (no clock read, no ring
+/// write). Then the sched workload off-vs-on: with event tracing
+/// *enabled* the run must stay within 2% of the trace-disabled run
+/// (interleaved min-of-runs, robust to load spikes). The disabled path
+/// executes a strict subset of the enabled path's per-event work, so the
+/// asserted bound also caps what the no-op instrumentation costs a
+/// production run. The workload uses k = 6 patterns so per-unit match
+/// work amortizes the enabled path's two clock reads per span — the
+/// regime every real workload is in; tracing sub-microsecond units is
+/// what the ring's drop counter is for.
+fn bench_trace_overhead(_c: &mut Criterion) {
+    use gfd_bench::fmt_duration;
+    use gfd_parallel::{EventKind, TraceBuf, TraceSpec};
+    use std::time::{Duration, Instant};
+
+    // Half 1: the no-op event site, measured directly.
+    const SITES: u32 = 4_000_000;
+    let mut buf = TraceBuf::new(black_box(TraceSpec::disabled()), 0);
+    let start = Instant::now();
+    for i in 0..SITES {
+        let span = buf.start();
+        buf.span(EventKind::RuleEval, i, span, 1, 0);
+    }
+    black_box(&mut buf);
+    let per_site = start.elapsed().as_nanos() as f64 / f64::from(SITES);
+    println!("trace_disabled_event_site: {per_site:.2} ns/site ({SITES} sites)");
+    assert!(
+        per_site < 5.0,
+        "disabled event site must stay branch-cheap, got {per_site:.2} ns"
+    );
+
+    // Half 2: the sched workload (the same one `bench_scheduler` times),
+    // tracing off vs on. The enabled ring is sized to the run: the
+    // default 2^16-entry ring is a ~3 MiB-per-worker allocation that
+    // would dominate a millisecond-scale run as a fixed cost, which is
+    // start-up amortization, not per-event overhead.
+    let w = synthetic_workload(60, 5, 3, 7);
+    let off_cfg = ParConfig::with_workers(4).with_trace(TraceSpec::disabled());
+    let on_cfg = ParConfig::with_workers(4).with_trace(TraceSpec::with_capacity(1 << 12));
+    let run = |cfg: &ParConfig| {
+        let start = Instant::now();
+        black_box(gfd_parallel::par_sat(&w.sigma, cfg).is_satisfiable());
+        start.elapsed()
+    };
+    let (_, _) = (run(&off_cfg), run(&on_cfg)); // warm-up
+    let (mut off, mut on) = (Duration::MAX, Duration::MAX);
+    for _ in 0..9 {
+        off = off.min(run(&off_cfg));
+        on = on.min(run(&on_cfg));
+    }
+    let overhead = on.as_secs_f64() / off.as_secs_f64() - 1.0;
+    println!(
+        "sched_trace_overhead/p4: trace_off {}  trace_on {}  overhead {:+.2}%",
+        fmt_duration(off),
+        fmt_duration(on),
+        overhead * 100.0,
+    );
+    // 2% relative plus a 2ms absolute floor: quick-scale runs are a few
+    // tens of ms, where a bare percentage would amplify timer noise.
+    assert!(
+        on <= off.mul_f64(1.02) + Duration::from_millis(2),
+        "tracing overhead exceeded 2%: off={off:?} on={on:?}"
+    );
+}
+
 fn bench_ablations(c: &mut Criterion) {
     let w = synthetic_workload(80, 5, 3, 42);
     let mut group = c.benchmark_group("seq_sat_ablations");
@@ -398,6 +465,7 @@ criterion_group!(
     bench_intersect,
     bench_deque,
     bench_scheduler,
+    bench_trace_overhead,
     bench_ablations
 );
 criterion_main!(benches);

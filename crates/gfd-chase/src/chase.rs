@@ -32,10 +32,43 @@ use gfd_core::{
 use gfd_graph::{AttrId, Graph, LabelId, MatchIndex, NodeId, Value, VarId};
 use gfd_match::{find_all_matches, Match};
 use gfd_runtime::sched::{run_scheduler_with, SchedOptions, SchedRun, Task, WorkerCtx};
-use gfd_runtime::{failpoint, DispatchMode, RunMetrics};
+use gfd_runtime::{
+    failpoint, DispatchMode, EventKind, RunMetrics, TraceBuf, TraceSpec, CONTROL_WORKER,
+};
 use rustc_hash::FxHashSet;
+use std::cell::RefCell;
 use std::sync::atomic::AtomicBool;
 use std::time::{Duration, Instant};
+
+/// The control-track ring buffer a chase run records its phase spans
+/// into (`ChaseRound`, `ApplyPlan`, `ApplyCommit` — DESIGN.md §13). The
+/// chase driver runs on the calling thread, outside any scheduler
+/// worker, so these spans carry [`CONTROL_WORKER`] and are absorbed into
+/// the run's merged trace when it finishes.
+struct ControlTrace(RefCell<TraceBuf>);
+
+impl ControlTrace {
+    fn new(spec: TraceSpec) -> Self {
+        ControlTrace(RefCell::new(TraceBuf::new(spec.control(), CONTROL_WORKER)))
+    }
+
+    fn start(&self) -> gfd_runtime::SpanStart {
+        self.0.borrow().start()
+    }
+
+    fn span(&self, kind: EventKind, id: u32, start: gfd_runtime::SpanStart, a: u64, b: u64) {
+        self.0.borrow_mut().span(kind, id, start, a, b);
+    }
+
+    /// Move the recorded events into `metrics.trace`, leaving the buffer
+    /// empty (the chase calls this once, on its single exit path).
+    fn flush_into(&self, metrics: &mut RunMetrics) {
+        let buf = self
+            .0
+            .replace(TraceBuf::new(TraceSpec::disabled(), CONTROL_WORKER));
+        metrics.trace.absorb_buf(buf);
+    }
+}
 
 /// Scheduler knobs of the chase baseline.
 #[derive(Clone, Debug)]
@@ -62,6 +95,10 @@ pub struct ChaseConfig {
     /// `max_generated_nodes`. Exhaustion degrades to an `Interrupted`
     /// outcome — the chase never claims a fixpoint it did not reach.
     pub budget: Budget,
+    /// Structured tracing (DESIGN.md §13): per-rule scan spans on the
+    /// scheduler workers, `ChaseRound`/`ApplyPlan`/`ApplyCommit` phase
+    /// spans on the control track. Off by default.
+    pub trace: gfd_runtime::TraceSpec,
 }
 
 impl Default for ChaseConfig {
@@ -73,6 +110,7 @@ impl Default for ChaseConfig {
             dispatch: DispatchMode::WorkStealing,
             max_generated_nodes: 100_000,
             budget: Budget::unlimited(),
+            trace: gfd_runtime::TraceSpec::disabled(),
         }
     }
 }
@@ -111,6 +149,7 @@ impl ChaseConfig {
                 .max_units
                 .map(|max| max.saturating_sub(units_so_far)),
             unit_retries: 0,
+            trace: self.trace,
         }
     }
 }
@@ -225,6 +264,9 @@ impl Task for ScanTask<'_> {
     }
 
     fn run_unit(&self, w: &mut ScanWorker, unit: ScanUnit, ctx: &WorkerCtx<'_, ScanUnit>) {
+        let span = ctx.trace_start();
+        let evals0 = w.premise_evals;
+        let fired0 = w.fired.len() as u64;
         let premise = self.premises[unit.rule as usize];
         let list = &self.matches[unit.rule as usize];
         let deadline = Instant::now() + self.ttl;
@@ -253,9 +295,16 @@ impl Task for ScanTask<'_> {
                     });
                 }
                 ctx.split(rest);
-                return;
+                break;
             }
         }
+        ctx.trace_span(
+            EventKind::RuleEval,
+            unit.rule,
+            span,
+            w.premise_evals - evals0,
+            w.fired.len() as u64 - fired0,
+        );
     }
 }
 
@@ -460,6 +509,7 @@ impl<I: MatchIndex> Task for ApplyTask<'_, I> {
 /// Fold one scheduler run's counters and per-worker times into the
 /// accumulated chase metrics.
 fn absorb_run<W>(metrics: &mut RunMetrics, run: &SchedRun<W>) {
+    metrics.trace.merge(&run.trace);
     metrics.units_dispatched += run.units_executed;
     metrics.units_split += run.units_split;
     metrics.units_stolen += run.units_stolen;
@@ -650,7 +700,9 @@ pub fn chase_to_fixpoint_with_config(
         .iter()
         .map(|g| g.premise.as_slice())
         .collect();
+    let ctl = ControlTrace::new(config.trace);
     let done = |outcome: ChaseOutcome, stats: ChaseStats, mut metrics: RunMetrics| {
+        ctl.flush_into(&mut metrics);
         metrics.elapsed = start.elapsed();
         metrics.deadline_slack_ms = config.budget.deadline_slack_ms();
         (outcome, stats, metrics)
@@ -667,6 +719,8 @@ pub fn chase_to_fixpoint_with_config(
             );
         }
         stats.rounds += 1;
+        let round = stats.rounds as u32;
+        let round_span = ctl.start();
         let (fired, interrupt) = scan_round(
             &premises,
             &all_matches,
@@ -696,6 +750,8 @@ pub fn chase_to_fixpoint_with_config(
             );
         }
         let apply_start = Instant::now();
+        let apply_span = ctl.start();
+        let fired_count = fired.len() as u64;
         let mut changed = false;
         for (rule, idx) in fired {
             let id = gfd_graph::GfdId::new(rule as usize);
@@ -709,6 +765,16 @@ pub fn chase_to_fixpoint_with_config(
             }
         }
         stats.apply_time += apply_start.elapsed();
+        // The literal baseline applies fully serially: its whole round is
+        // booked as the conflicting residual (`a = 0` independent).
+        ctl.span(EventKind::ApplyCommit, round, apply_span, 0, fired_count);
+        ctl.span(
+            EventKind::ChaseRound,
+            round,
+            round_span,
+            fired_count,
+            sigma.len() as u64,
+        );
         if !changed {
             return done(ChaseOutcome::Fixpoint(eq), stats, metrics);
         }
@@ -842,7 +908,9 @@ pub fn dep_chase_with_config(
     type FiredKey = (u32, Match);
     let mut fired_gen: FxHashSet<FiredKey> = FxHashSet::default();
 
+    let ctl = ControlTrace::new(config.trace);
     let done = |outcome: DepChaseOutcome, stats: ChaseStats, mut metrics: RunMetrics| {
+        ctl.flush_into(&mut metrics);
         metrics.elapsed = start.elapsed();
         metrics.deadline_slack_ms = config.budget.deadline_slack_ms();
         (outcome, stats, metrics)
@@ -869,6 +937,8 @@ pub fn dep_chase_with_config(
                 );
             }
             stats.rounds += 1;
+            let round = stats.rounds as u32;
+            let round_span = ctl.start();
             let (fired, interrupt) = scan_round(
                 &premises,
                 &all_matches,
@@ -922,6 +992,8 @@ pub fn dep_chase_with_config(
             // nodes, and fresh ranges — those patches commute) and the
             // conflicting residual, which replays the serial apply.
             let apply_start = Instant::now();
+            let plan_span = ctl.start();
+            let checks0 = stats.realization_checks;
             let (plans, independent) = if pending.is_empty() {
                 (Vec::new(), Vec::new())
             } else {
@@ -946,12 +1018,22 @@ pub fn dep_chase_with_config(
                     }
                 }
             };
+            ctl.span(
+                EventKind::ApplyPlan,
+                round,
+                plan_span,
+                pending.len() as u64,
+                stats.realization_checks - checks0,
+            );
 
             // Deterministic commit walk in sorted (rule, match index)
             // order — the same order the fully serial apply used, so
             // node ids, conflict attribution and budget cut points are
             // identical at every worker count.
             let topo_before = graph.topology_version();
+            let commit_span = ctl.start();
+            let independent0 = stats.apply_independent;
+            let conflicts0 = stats.apply_conflicts;
             let mut changed = false;
             for (i, &(rule, idx)) in pending.iter().enumerate() {
                 let id = gfd_graph::GfdId::new(rule as usize);
@@ -1024,6 +1106,20 @@ pub fn dep_chase_with_config(
                 }
             }
             stats.apply_time += apply_start.elapsed();
+            ctl.span(
+                EventKind::ApplyCommit,
+                round,
+                commit_span,
+                stats.apply_independent - independent0,
+                stats.apply_conflicts - conflicts0,
+            );
+            ctl.span(
+                EventKind::ChaseRound,
+                round,
+                round_span,
+                fired.len() as u64,
+                deps.len() as u64,
+            );
             if !changed {
                 return done(
                     DepChaseOutcome::Fixpoint {
@@ -1171,6 +1267,43 @@ mod tests {
                 assert!(metrics.units_dispatched >= metrics.units_generated as u64);
             }
         }
+    }
+
+    /// Tracing on: the run's merged trace carries per-rule scan spans
+    /// from the workers and round/apply phase spans from the control
+    /// track, one `ChaseRound` per round. Tracing off (the default):
+    /// nothing is recorded.
+    #[test]
+    fn tracing_records_rule_and_phase_spans() {
+        let mut vocab = Vocab::new();
+        let sigma = chain_sigma(&mut vocab);
+        let (canon, _) = CanonicalGraph::for_sigma(&sigma);
+        let cfg = ChaseConfig {
+            trace: TraceSpec::enabled(),
+            ..ChaseConfig::with_workers(2)
+        };
+        let (outcome, stats, metrics) =
+            chase_to_fixpoint_with_config(&sigma, &canon, EqRel::new(), &cfg);
+        assert!(matches!(outcome, ChaseOutcome::Fixpoint(_)));
+        let count =
+            |k: EventKind| metrics.trace.events.iter().filter(|e| e.kind == k).count() as u64;
+        assert!(count(EventKind::RuleEval) > 0, "no scan spans recorded");
+        assert_eq!(count(EventKind::ChaseRound), stats.rounds);
+        assert_eq!(count(EventKind::ApplyCommit), stats.rounds);
+        // Control spans carry the control worker id; scan spans do not.
+        for e in &metrics.trace.events {
+            match e.kind {
+                EventKind::ChaseRound | EventKind::ApplyPlan | EventKind::ApplyCommit => {
+                    assert_eq!(e.worker, CONTROL_WORKER, "{:?}", e.kind);
+                }
+                EventKind::RuleEval => assert_ne!(e.worker, CONTROL_WORKER),
+                _ => {}
+            }
+        }
+
+        let (_, _, quiet) =
+            chase_to_fixpoint_with_config(&sigma, &canon, EqRel::new(), &ChaseConfig::default());
+        assert!(quiet.trace.is_empty(), "default config must not trace");
     }
 
     #[test]

@@ -3,7 +3,9 @@
 use crate::args::{load_document, parse_budget, ArgError, Parsed};
 use crate::cmd_sat::interrupted;
 use crate::output::fmt_duration;
+use crate::traceopt::{dep_rule_names, TraceArgs, TRACE_HELP};
 use gfd_detect::{detect_deps, suggest_repairs, DetectConfig};
+use gfd_parallel::{EventKind, RunMetrics, TraceBuf, CONTROL_WORKER};
 use std::io::Write;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -12,6 +14,7 @@ const HELP: &str = "\
 gfd detect FILE [--graph NAME] [--limit N] [--workers N] [--ttl-ms T]
                [--repair] [--quiet] [--metrics]
                [--deadline-ms T] [--max-units N]
+               [--trace FILE] [--profile] [--metrics-json FILE]
                [--stream DELTALOG] [--compact-frac F]
                [--checkpoint PATH] [--checkpoint-every N] [--skip-corrupt]
 
@@ -27,12 +30,13 @@ violation with a witness of the missing subgraph.
   --deadline-ms T  wall-clock budget; an interrupted detection exits 2
                    (any violations already found are printed first)
   --max-units N    scheduler work-unit budget; exhaustion exits 2
-
+{TRACE}
 Streaming mode (requires exactly one selected graph):
   --stream DELTALOG  replay the delta log batch by batch, keeping the
                      violation set live incrementally (gfd-incr) instead
                      of re-detecting from scratch; prints per-batch stats
-                     (and per-batch scheduler metrics under --metrics)
+                     (and per-batch scheduler metrics under --metrics,
+                     followed by accumulated whole-stream totals)
   --compact-frac F   overlay compaction threshold as a fraction of the
                      base edge count (default 0.25; 0.0 compacts after
                      every batch; must be non-negative and finite)
@@ -48,7 +52,7 @@ Exit code: 0 clean, 1 violations found, 2 error.
 
 pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     if args.flag("help") {
-        let _ = write!(out, "{HELP}");
+        let _ = write!(out, "{}", HELP.replace("{TRACE}", TRACE_HELP));
         return Ok(0);
     }
     let path = args.positional(0, "FILE")?.to_string();
@@ -67,6 +71,7 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
         return Err(ArgError::new("--checkpoint-every must be positive"));
     }
     let skip_corrupt = args.flag("skip-corrupt");
+    let tracing = TraceArgs::parse(&args)?;
     let compact_frac = match args.opt_str("compact-frac")? {
         None => 0.25,
         Some(v) => {
@@ -103,6 +108,7 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
         ttl,
         max_violations: limit,
         budget,
+        trace: tracing.spec(),
         ..DetectConfig::default()
     };
 
@@ -147,16 +153,21 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
             &mut vocab,
             config,
             &stream_opts,
+            &tracing,
             out,
         );
     }
 
+    // Accumulate across graphs so one exporter call covers the whole
+    // invocation (multi-graph files merge their per-graph runs).
+    let mut totals = RunMetrics::default();
     let mut dirty = false;
     for (name, graph) in &doc.graphs {
         if graph_name.as_deref().is_some_and(|g| g != name) {
             continue;
         }
         let report = detect_deps(graph, &doc.deps, &config);
+        totals.merge(&report.metrics);
         let _ = writeln!(
             out,
             "graph {name}: {} node(s), {} edge(s) — {} violation(s) in {}",
@@ -191,6 +202,7 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
             }
         }
     }
+    tracing.emit(&totals, &dep_rule_names(&doc.deps), out)?;
     Ok(if dirty { 1 } else { 0 })
 }
 
@@ -208,6 +220,7 @@ struct StreamOptions {
 /// Replay a delta log against one graph, keeping the violation set live
 /// through the incremental engine. With `--checkpoint` the run persists
 /// its state as it goes and resumes from an existing checkpoint file.
+#[allow(clippy::too_many_arguments)]
 fn run_stream(
     doc: &gfd_dsl::Document,
     graph_name: Option<&str>,
@@ -215,6 +228,7 @@ fn run_stream(
     vocab: &mut gfd_graph::Vocab,
     config: DetectConfig,
     opts: &StreamOptions,
+    tracing: &TraceArgs,
     out: &mut dyn Write,
 ) -> Result<i32, ArgError> {
     let selected: Vec<&(String, gfd_graph::Graph)> = doc
@@ -255,6 +269,7 @@ fn run_stream(
             .map_err(|e| ArgError::new(format!("bad delta log {log_path}: {e}")))?
     };
 
+    let trace_spec = config.trace;
     let incr_config = gfd_incr::IncrConfig {
         detect: config,
         compact_fraction: opts.compact_frac,
@@ -301,6 +316,14 @@ fn run_stream(
         incr.violations().len(),
     );
 
+    // Whole-stream totals: per-batch metrics print live, but steals,
+    // splits and idle would otherwise reset every batch — the merged
+    // accumulator is what `--metrics` summarizes at end of stream and
+    // what the exporters consume.
+    let mut totals = RunMetrics::default();
+    // Checkpoint writes happen outside any scheduler run; record them on
+    // the control track, stitched into the same timeline.
+    let mut ctl = TraceBuf::new(trace_spec.control(), CONTROL_WORKER);
     for (i, batch) in batches.iter().enumerate().skip(applied) {
         // Cooperative batch-boundary deadline check: finish the current
         // batch, persist it, and stop — the checkpoint makes an
@@ -315,6 +338,7 @@ fn run_stream(
             ));
         }
         let rep = incr.apply(batch);
+        totals.merge(&rep.metrics);
         let _ = writeln!(
             out,
             "batch {}: {} op(s), {} dirty node(s), {} pivot(s) re-run, \
@@ -335,6 +359,7 @@ fn run_stream(
             let due =
                 (i + 1 - applied).is_multiple_of(opts.checkpoint_every) || i + 1 == batches.len();
             if due {
+                let span = ctl.start();
                 let ckpt = gfd_io::Checkpoint {
                     batches_applied: i + 1,
                     graph: incr.graph().clone(),
@@ -343,8 +368,24 @@ fn run_stream(
                 gfd_io::save_checkpoint(path, &ckpt, vocab).map_err(|e| {
                     ArgError::new(format!("cannot write checkpoint {}: {e}", path.display()))
                 })?;
+                ctl.span(
+                    EventKind::Checkpoint,
+                    (i + 1) as u32,
+                    span,
+                    (i + 1) as u64,
+                    0,
+                );
             }
         }
+    }
+    totals.trace.absorb_buf(ctl);
+
+    // The end-of-stream totals (the per-batch lines above reset every
+    // batch); printed before the summary line so scripts that parse the
+    // `after N batch(es)` tail are unaffected.
+    if opts.show_metrics {
+        let _ = writeln!(out, "stream totals:");
+        let _ = write!(out, "{}", crate::output::fmt_metrics(&totals));
     }
 
     let _ = writeln!(
@@ -360,5 +401,6 @@ fn run_stream(
             let _ = write!(out, "{}", v.explain(incr.graph(), incr.sigma(), vocab));
         }
     }
+    tracing.emit(&totals, &dep_rule_names(incr.sigma()), out)?;
     Ok(if incr.is_clean() { 0 } else { 1 })
 }

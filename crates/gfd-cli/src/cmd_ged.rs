@@ -3,6 +3,7 @@
 
 use crate::args::{load_document, parse_budget, ArgError, Parsed};
 use crate::output::{fmt_duration, fmt_metrics};
+use crate::traceopt::{TraceArgs, TRACE_HELP};
 use gfd_ged::{
     ged_implies_with_config, ged_sat_with_config, resolve_entities, Ged, GedLiteral,
     GedReasonConfig, Key,
@@ -11,7 +12,7 @@ use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Parse the scheduler flags shared by `ged-sat` and `ged-imp`.
-fn reason_config(args: &Parsed) -> Result<GedReasonConfig, ArgError> {
+fn reason_config(args: &Parsed, tracing: &TraceArgs) -> Result<GedReasonConfig, ArgError> {
     let workers = args.opt_usize("workers", 1)?;
     let ttl = Duration::from_millis(args.opt_u64("ttl-ms", 100)?);
     let max_branches = args.opt_usize("max-branches", 1_000_000)?;
@@ -19,10 +20,12 @@ fn reason_config(args: &Parsed) -> Result<GedReasonConfig, ArgError> {
         return Err(ArgError::new("--max-branches must be positive"));
     }
     let budget = parse_budget(args)?;
-    Ok(GedReasonConfig::with_workers(workers.max(1))
+    let mut cfg = GedReasonConfig::with_workers(workers.max(1))
         .with_ttl(ttl)
         .with_max_branches(max_branches)
-        .with_budget(budget))
+        .with_budget(budget);
+    cfg.trace = tracing.spec();
+    Ok(cfg)
 }
 
 /// Render an inconclusive GED run as the uniform exit-2 diagnostic,
@@ -45,6 +48,7 @@ fn ged_interrupted(run_interrupt: Option<&gfd_core::Interrupt>, cfg: &GedReasonC
 const SAT_HELP: &str = "\
 gfd ged-sat FILE [--witness] [--workers N] [--ttl-ms T] [--max-branches B]
                  [--metrics] [--deadline-ms T] [--max-units N]
+                 [--trace FILE] [--profile] [--metrics-json FILE]
 
 Checks whether the rules in FILE (both `ged` and `gfd` blocks, the latter
 lifted) have a common model, using the GED chase with order predicates,
@@ -57,18 +61,20 @@ work-stealing scheduler; the first model found cancels the run.
   --deadline-ms T  wall-clock budget; expiry degrades to unknown (exit 2)
   --max-units N    scheduler work-unit budget; exhaustion exits 2
   --metrics        print scheduler metrics (branches, splits, steals, idle)
+{TRACE}\
 Exit code: 0 satisfiable, 1 unsatisfiable, 2 error or budget exhausted.
 ";
 
 pub(crate) fn run_sat(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     if args.flag("help") {
-        let _ = write!(out, "{SAT_HELP}");
+        let _ = write!(out, "{}", SAT_HELP.replace("{TRACE}", TRACE_HELP));
         return Ok(0);
     }
     let path = args.positional(0, "FILE")?.to_string();
     let witness = args.flag("witness");
     let show_metrics = args.flag("metrics");
-    let cfg = reason_config(&args)?;
+    let tracing = TraceArgs::parse(&args)?;
+    let cfg = reason_config(&args, &tracing)?;
     args.finish()?;
 
     let mut vocab = gfd_graph::Vocab::new();
@@ -97,6 +103,9 @@ pub(crate) fn run_sat(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError
     if show_metrics {
         let _ = write!(out, "{}", fmt_metrics(&run.metrics));
     }
+    // GED rule ids don't label RuleEval events (the search traces
+    // GedBranch spans), so the exporters take an empty name table.
+    tracing.emit(&run.metrics, &[], out)?;
     if witness {
         match outcome.witness() {
             Some(w) => {
@@ -117,6 +126,7 @@ pub(crate) fn run_sat(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError
 const IMP_HELP: &str = "\
 gfd ged-imp FILE --phi NAME [--workers N] [--ttl-ms T] [--max-branches B]
                  [--metrics] [--deadline-ms T] [--max-units N]
+                 [--trace FILE] [--profile] [--metrics-json FILE]
 
 Checks whether the other rules in FILE imply rule NAME, under GED
 semantics (order predicates, id literals, disjunction). The branch
@@ -128,12 +138,13 @@ counterexample found cancels the run.
   --deadline-ms T  wall-clock budget; expiry degrades to unknown (exit 2)
   --max-units N    scheduler work-unit budget; exhaustion exits 2
   --metrics        print scheduler metrics (branches, splits, steals, idle)
+{TRACE}\
 Exit code: 0 implied, 1 not implied, 2 error or budget exhausted.
 ";
 
 pub(crate) fn run_imp(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     if args.flag("help") {
-        let _ = write!(out, "{IMP_HELP}");
+        let _ = write!(out, "{}", IMP_HELP.replace("{TRACE}", TRACE_HELP));
         return Ok(0);
     }
     let path = args.positional(0, "FILE")?.to_string();
@@ -142,7 +153,8 @@ pub(crate) fn run_imp(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError
         .ok_or_else(|| ArgError::new("ged-imp requires --phi NAME"))?
         .to_string();
     let show_metrics = args.flag("metrics");
-    let cfg = reason_config(&args)?;
+    let tracing = TraceArgs::parse(&args)?;
+    let cfg = reason_config(&args, &tracing)?;
     args.finish()?;
 
     let mut vocab = gfd_graph::Vocab::new();
@@ -175,6 +187,7 @@ pub(crate) fn run_imp(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError
     if show_metrics {
         let _ = write!(out, "{}", fmt_metrics(&run.metrics));
     }
+    tracing.emit(&run.metrics, &[], out)?;
     Ok(if implied { 0 } else { 1 })
 }
 

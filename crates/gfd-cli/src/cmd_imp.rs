@@ -3,6 +3,7 @@
 use crate::args::{load_document, parse_budget, ArgError, Parsed};
 use crate::cmd_sat::interrupted;
 use crate::output::{fmt_chase_stats, fmt_duration, fmt_metrics};
+use crate::traceopt::{dep_rule_names, gfd_rule_names, TraceArgs, TRACE_HELP};
 use gfd_core::{DepSet, ReasonConfig};
 use gfd_parallel::ParConfig;
 use std::io::Write;
@@ -11,6 +12,7 @@ use std::time::{Duration, Instant};
 const HELP: &str = "\
 gfd imp FILE --phi NAME [--workers N] [--ttl-ms T] [--seq] [--metrics]
              [--gen-budget B] [--deadline-ms T] [--max-units N]
+             [--trace FILE] [--profile] [--metrics-json FILE]
 
 Checks whether the other rules in FILE imply rule NAME (§VI). FILE may
 mix `gfd` and `ggd` blocks: a generating candidate against literal rules
@@ -26,12 +28,13 @@ the GGD chase over the candidate's canonical graph.
   --deadline-ms T wall-clock budget; an expired run degrades to unknown
                  (exit 2), never to a wrong definite verdict
   --max-units N  scheduler work-unit budget; exhaustion exits 2
+{TRACE}\
 Exit code: 0 implied, 1 not implied, 2 error or budget exhausted.
 ";
 
 pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     if args.flag("help") {
-        let _ = write!(out, "{HELP}");
+        let _ = write!(out, "{}", HELP.replace("{TRACE}", TRACE_HELP));
         return Ok(0);
     }
     let path = args.positional(0, "FILE")?.to_string();
@@ -45,6 +48,7 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     let show_metrics = args.flag("metrics");
     let gen_budget = args.opt_u64("gen-budget", 100_000)?;
     let budget = parse_budget(&args)?;
+    let tracing = TraceArgs::parse(&args)?;
     args.finish()?;
 
     let mut vocab = gfd_graph::Vocab::new();
@@ -71,17 +75,21 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     // Route: a literal Σ with a literal ϕ is exactly the pre-refactor
     // SeqImp/ParImp; a literal Σ with a generating ϕ runs the same driver
     // under `Goal::GgdImp`; a generating Σ needs the chase.
-    let (implied, metrics, chase_stats) = match (sigma.to_gfds(), phi.as_gfd()) {
+    let (implied, metrics, chase_stats, rule_names) = match (sigma.to_gfds(), phi.as_gfd()) {
         (Some(gfds), Some(gfd)) => {
             let cfg = if sequential {
                 gfd_core::ReasonConfig {
                     split: false,
-                    ..ParConfig::with_workers(1).with_ttl(ttl).with_budget(budget)
+                    ..ParConfig::with_workers(1)
+                        .with_ttl(ttl)
+                        .with_budget(budget)
+                        .with_trace(tracing.spec())
                 }
             } else {
                 ParConfig::with_workers(workers)
                     .with_ttl(ttl)
                     .with_budget(budget)
+                    .with_trace(tracing.spec())
             };
             let r = gfd_parallel::par_imp(&gfds, &gfd, &cfg);
             // Check the unknown arm before the yes/no split: a deadline
@@ -89,20 +97,21 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
             if let gfd_core::ImpOutcome::Unknown(i) = &r.outcome {
                 return Err(interrupted(i, &r.metrics));
             }
-            (r.is_implied(), r.metrics, None)
+            (r.is_implied(), r.metrics, None, gfd_rule_names(&gfds))
         }
         (Some(gfds), None) => {
             let cfg = ReasonConfig {
                 workers: if sequential { 1 } else { workers.max(1) },
                 ttl,
                 budget,
+                trace: tracing.spec(),
                 ..ReasonConfig::default()
             };
             let r = gfd_core::ggd_imp_with_config(&gfds, &phi, &cfg);
             if let Some(i) = r.interrupt() {
                 return Err(interrupted(i, &r.stats));
             }
-            (r.is_implied(), r.stats, None)
+            (r.is_implied(), r.stats, None, gfd_rule_names(&gfds))
         }
         (None, _) => {
             let cfg = gfd_chase::ChaseConfig {
@@ -110,6 +119,7 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
                 ttl,
                 max_generated_nodes: gen_budget,
                 budget,
+                trace: tracing.spec(),
                 ..gfd_chase::ChaseConfig::default()
             };
             let r = gfd_chase::dep_imp_with_config(&sigma, &phi, &cfg);
@@ -122,7 +132,12 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
             if let gfd_chase::DepImpOutcome::Interrupted(i) = &r.outcome {
                 return Err(interrupted(i, &r.metrics));
             }
-            (r.is_implied(), r.metrics, Some(r.stats))
+            (
+                r.is_implied(),
+                r.metrics,
+                Some(r.stats),
+                dep_rule_names(&sigma),
+            )
         }
     };
     let elapsed = start.elapsed();
@@ -135,5 +150,6 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
             let _ = write!(out, "{}", fmt_chase_stats(stats));
         }
     }
+    tracing.emit(&metrics, &rule_names, out)?;
     Ok(if implied { 0 } else { 1 })
 }

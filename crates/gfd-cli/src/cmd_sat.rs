@@ -2,6 +2,7 @@
 
 use crate::args::{load_document, parse_budget, ArgError, Parsed};
 use crate::output::{fmt_duration, fmt_metrics};
+use crate::traceopt::{dep_rule_names, gfd_rule_names, TraceArgs, TRACE_HELP};
 use gfd_parallel::ParConfig;
 use std::io::Write;
 use std::time::{Duration, Instant};
@@ -9,6 +10,7 @@ use std::time::{Duration, Instant};
 const HELP: &str = "\
 gfd sat FILE [--workers N] [--ttl-ms T] [--seq] [--model] [--metrics]
              [--gen-budget B] [--deadline-ms T] [--max-units N]
+             [--trace FILE] [--profile] [--metrics-json FILE]
 
 Checks whether the rule set in FILE has a model (§IV–V of the paper).
 FILE may mix `gfd` and `ggd` blocks: literal-only sets run the
@@ -23,12 +25,13 @@ SeqSat/ParSat driver, sets with generating rules the GGD chase.
   --deadline-ms T wall-clock budget; an expired run degrades to unknown
                  (exit 2), never to a wrong definite verdict
   --max-units N  scheduler work-unit budget; exhaustion exits 2
+{TRACE}\
 Exit code: 0 satisfiable, 1 unsatisfiable, 2 error or budget exhausted.
 ";
 
 pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     if args.flag("help") {
-        let _ = write!(out, "{HELP}");
+        let _ = write!(out, "{}", HELP.replace("{TRACE}", TRACE_HELP));
         return Ok(0);
     }
     let path = args.positional(0, "FILE")?.to_string();
@@ -39,6 +42,7 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     let show_metrics = args.flag("metrics");
     let gen_budget = args.opt_u64("gen-budget", 100_000)?;
     let budget = parse_budget(&args)?;
+    let tracing = TraceArgs::parse(&args)?;
     args.finish()?;
 
     let mut vocab = gfd_graph::Vocab::new();
@@ -58,6 +62,7 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
             show_metrics,
             gen_budget,
             budget,
+            &tracing,
             out,
         );
     }
@@ -76,7 +81,10 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     let (satisfiable, model, metrics) = if sequential {
         let cfg = gfd_core::ReasonConfig {
             split: false,
-            ..ParConfig::with_workers(1).with_ttl(ttl).with_budget(budget)
+            ..ParConfig::with_workers(1)
+                .with_ttl(ttl)
+                .with_budget(budget)
+                .with_trace(tracing.spec())
         };
         let r = gfd_core::sat_with_config(&sigma, &cfg);
         // An interrupted run has no verdict: check before the yes/no
@@ -89,7 +97,8 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     } else {
         let cfg = ParConfig::with_workers(workers)
             .with_ttl(ttl)
-            .with_budget(budget);
+            .with_budget(budget)
+            .with_trace(tracing.spec());
         let r = gfd_parallel::par_sat(&sigma, &cfg);
         if let gfd_core::SatOutcome::Unknown(i) = &r.outcome {
             return Err(interrupted(i, &r.metrics));
@@ -108,6 +117,7 @@ pub(crate) fn run(args: Parsed, out: &mut dyn Write) -> Result<i32, ArgError> {
     if show_metrics {
         let _ = write!(out, "{}", fmt_metrics(&metrics));
     }
+    tracing.emit(&metrics, &gfd_rule_names(&sigma), out)?;
     if show_model {
         if let Some(model) = &model {
             let _ = writeln!(
@@ -157,6 +167,7 @@ fn run_generating(
     show_metrics: bool,
     gen_budget: u64,
     budget: gfd_core::Budget,
+    tracing: &TraceArgs,
     out: &mut dyn Write,
 ) -> Result<i32, ArgError> {
     let sigma = doc.deps;
@@ -174,6 +185,7 @@ fn run_generating(
         ttl,
         max_generated_nodes: gen_budget,
         budget,
+        trace: tracing.spec(),
         ..gfd_chase::ChaseConfig::default()
     };
     let start = Instant::now();
@@ -200,6 +212,7 @@ fn run_generating(
         let _ = write!(out, "{}", fmt_metrics(&r.metrics));
         let _ = write!(out, "{}", crate::output::fmt_chase_stats(&r.stats));
     }
+    tracing.emit(&r.metrics, &dep_rule_names(&sigma), out)?;
     if show_model {
         if let Some(model) = r.model() {
             let _ = writeln!(

@@ -26,7 +26,9 @@ mod cmd_gen;
 mod cmd_imp;
 mod cmd_minimize;
 mod cmd_sat;
+mod cmd_trace_check;
 pub mod output;
+mod traceopt;
 
 use args::{ArgError, Parsed};
 use std::io::Write;
@@ -50,11 +52,19 @@ COMMANDS:
     ged-sat FILE    GED satisfiability (order predicates, ids, disjunction)
     ged-imp FILE    GED implication
     resolve FILE    entity resolution with recursively-defined keys
+    trace-check FILE  validate a Chrome trace-event file written by --trace
     help            show this message
 
 COMMON OPTIONS:
     --workers N     parallel workers (default 4; 0 = sequential algorithm)
     --ttl-ms T      straggler-splitting TTL in milliseconds (default 2000)
+
+OBSERVABILITY (sat, imp, detect, ged-sat, ged-imp):
+    --trace FILE    write a Chrome trace-event timeline (chrome://tracing,
+                    Perfetto); validate with `gfd trace-check FILE`
+    --profile       print the aggregated per-rule / per-worker / per-phase
+                    profile after the run
+    --metrics-json FILE  write all run counters plus the profile as JSON
 
 Run `gfd <COMMAND> --help` for command-specific options.
 ";
@@ -103,6 +113,7 @@ fn dispatch(argv: &[String], out: &mut dyn Write) -> Result<i32, ArgError> {
         "ged-sat" => cmd_ged::run_sat(Parsed::parse(rest)?, out),
         "ged-imp" => cmd_ged::run_imp(Parsed::parse(rest)?, out),
         "resolve" => cmd_ged::run_resolve(Parsed::parse(rest)?, out),
+        "trace-check" => cmd_trace_check::run(Parsed::parse(rest)?, out),
         "help" | "--help" | "-h" => {
             let _ = write!(out, "{USAGE}");
             Ok(0)
@@ -777,6 +788,141 @@ mod tests {
         let (code, text) = run_vec(&["detect", rules.to_str().unwrap(), "--skip-corrupt"]);
         assert_eq!(code, 2, "{text}");
         assert!(text.contains("--skip-corrupt"), "{text}");
+    }
+
+    /// The shared streaming fixture: a two-node graph, one rule, a
+    /// three-batch delta log that creates, extends and partly repairs a
+    /// violation.
+    fn stream_fixture(dir_name: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(dir_name);
+        std::fs::create_dir_all(&dir).unwrap();
+        let rules = dir.join("stream.gfd");
+        std::fs::write(
+            &rules,
+            "graph g {\n\
+               node a: t { v = 1 }\n\
+               node b: t { v = 1 }\n\
+               edge a -e-> b\n\
+             }\n\
+             gfd same {\n\
+               pattern { node x: t node y: t edge x -e-> y }\n\
+               then { x.v = y.v }\n\
+             }\n",
+        )
+        .unwrap();
+        let log = dir.join("stream.delta");
+        std::fs::write(
+            &log,
+            "batch\nattr 1 v=2\nbatch\nnode t\nattr 2 v=1\nedge 1 e 2\nbatch\ndel 0 e 1\n",
+        )
+        .unwrap();
+        (rules, log)
+    }
+
+    #[test]
+    fn stream_metrics_accumulate_into_whole_run_totals() {
+        let (rules, log) = stream_fixture("gfd-cli-test-stream-totals");
+        let (code, text) = run_vec(&[
+            "detect",
+            rules.to_str().unwrap(),
+            "--stream",
+            log.to_str().unwrap(),
+            "--metrics",
+        ]);
+        assert_eq!(code, 1, "{text}");
+        // One metrics block per batch plus the merged end-of-stream block.
+        assert_eq!(text.matches("  workers:").count(), 4, "{text}");
+        let totals = text.split("stream totals:").nth(1).expect("totals block");
+        // The totals print before the `after N batch(es)` summary so
+        // scripts parsing that tail stay stable.
+        assert!(totals.contains("after 3 batch(es)"), "{text}");
+        // Accumulated scheduler work is visible in the totals block.
+        let units = totals
+            .lines()
+            .find(|l| l.trim_start().starts_with("units:"))
+            .expect("totals units line");
+        let generated: u64 = units
+            .trim_start()
+            .strip_prefix("units: ")
+            .unwrap()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(generated > 0, "merged totals must carry the batches' work");
+    }
+
+    #[test]
+    fn trace_profile_and_metrics_json_exporters_end_to_end() {
+        let (rules, log) = stream_fixture("gfd-cli-test-trace");
+        let dir = std::env::temp_dir().join("gfd-cli-test-trace");
+        let trace = dir.join("out.trace.json");
+        let metrics = dir.join("out.metrics.json");
+        let (code, text) = run_vec(&[
+            "detect",
+            rules.to_str().unwrap(),
+            "--stream",
+            log.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+            "--profile",
+            "--metrics-json",
+            metrics.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("wrote trace"), "{text}");
+        assert!(text.contains("profile: per-rule evaluation"), "{text}");
+        assert!(text.contains("same"), "rule name labels the table: {text}");
+        assert!(text.contains("Batch"), "per-batch phase rows: {text}");
+
+        // The emitted Chrome trace validates, both against the built-in
+        // field list and against the checked-in schema.
+        let (code, check) = run_vec(&["trace-check", trace.to_str().unwrap()]);
+        assert_eq!(code, 0, "{check}");
+        assert!(check.contains("valid"), "{check}");
+        let schema = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../schemas/chrome-trace.schema.json"
+        );
+        let (code, check) = run_vec(&["trace-check", trace.to_str().unwrap(), "--schema", schema]);
+        assert_eq!(code, 0, "{check}");
+
+        // The machine-readable report parses with the interchange parser
+        // and embeds the aggregated profile.
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        let doc = gfd_io::jsonval::parse(&json).expect("metrics JSON parses");
+        assert!(doc.get("profile").is_some(), "{json}");
+        assert!(doc.get("units_dispatched").is_some(), "{json}");
+
+        // A corrupted trace file is rejected with exit 2.
+        std::fs::write(&trace, "{\"traceEvents\": [{\"ph\": \"X\"}]}").unwrap();
+        let (code, check) = run_vec(&["trace-check", trace.to_str().unwrap()]);
+        assert_eq!(code, 2, "{check}");
+
+        // The non-stream path exports through the same flags.
+        let (code, text) = run_vec(&["detect", rules.to_str().unwrap(), "--profile"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("profile:"), "{text}");
+    }
+
+    #[test]
+    fn deadline_overshoot_reports_signed_slack() {
+        let dir = std::env::temp_dir().join("gfd-cli-test-overshoot");
+        std::fs::create_dir_all(&dir).unwrap();
+        let rules = dir.join("rules.gfd");
+        std::fs::write(
+            &rules,
+            "graph g { node a: t { v = 2 } }\n\
+             gfd a { pattern { node x: t } then { x.v = 1 } }\n",
+        )
+        .unwrap();
+        // An already-expired deadline: the run finishes past the cut, so
+        // the diagnostic must carry strictly negative slack — a
+        // sub-millisecond overshoot may not round to `0ms` or vanish.
+        let (code, text) = run_vec(&["detect", rules.to_str().unwrap(), "--deadline-ms", "0"]);
+        assert_eq!(code, 2, "{text}");
+        assert!(text.contains("deadline slack -"), "{text}");
     }
 
     #[test]

@@ -82,24 +82,29 @@ impl Budget {
         self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
-    /// The scheduler-level slice of this budget.
+    /// The scheduler-level slice of this budget. Tracing defaults to off;
+    /// drivers overwrite `trace` from their own config before running.
     pub fn sched_options(&self) -> SchedOptions {
         SchedOptions {
             deadline: self.deadline,
             max_units: self.max_units,
-            unit_retries: 0,
+            ..Default::default()
         }
     }
 
     /// Milliseconds of deadline slack remaining right now (negative once
     /// the deadline has been overshot); `None` without a deadline.
+    ///
+    /// An overshoot always reports a strictly negative value: a run that
+    /// finishes within a millisecond past the cut must not round to `0`
+    /// and masquerade as having met its deadline exactly.
     pub fn deadline_slack_ms(&self) -> Option<i64> {
         let deadline = self.deadline?;
         let now = Instant::now();
         Some(if now <= deadline {
             (deadline - now).as_millis() as i64
         } else {
-            -((now - deadline).as_millis() as i64)
+            -((now - deadline).as_millis() as i64).max(1)
         })
     }
 }
@@ -187,6 +192,16 @@ mod tests {
         let b = Budget::unlimited().with_deadline(Instant::now() - Duration::from_millis(50));
         assert!(b.expired());
         assert!(b.deadline_slack_ms().unwrap() <= -50);
+    }
+
+    #[test]
+    fn overshoot_at_the_budget_cut_stays_strictly_negative() {
+        // A run that finishes a hair past its deadline (sub-millisecond
+        // overshoot) must not round to 0ms slack: the sign is the signal
+        // that the deadline was missed.
+        let b = Budget::unlimited().with_deadline(Instant::now() - Duration::from_micros(10));
+        let slack = b.deadline_slack_ms().unwrap();
+        assert!(slack <= -1, "overshoot must be strictly negative: {slack}");
     }
 
     #[test]

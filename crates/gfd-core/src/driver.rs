@@ -40,7 +40,7 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 use gfd_graph::GfdId;
 use gfd_match::{HomSearch, Match, MatchPlan, RunOutcome, SearchLimits};
 use gfd_runtime::sched::{run_scheduler_with, Task, WorkerCtx};
-use gfd_runtime::{DispatchMode, RunMetrics, RunOutcome as SchedOutcome};
+use gfd_runtime::{DispatchMode, EventKind, RunMetrics, RunOutcome as SchedOutcome, TraceSpec};
 use parking_lot::Mutex;
 use rustc_hash::FxHashSet;
 use std::ops::ControlFlow;
@@ -117,6 +117,10 @@ pub struct ReasonConfig {
     /// Resource limits (deadline, max units). Exhaustion degrades the run
     /// to an unknown outcome (DESIGN.md §11.2); the default is unlimited.
     pub budget: Budget,
+    /// Structured tracing (DESIGN.md §13). Disabled by default; when
+    /// enabled the scheduler and every work unit record typed spans into
+    /// per-worker ring buffers, returned on `RunMetrics::trace`.
+    pub trace: TraceSpec,
 }
 
 impl Default for ReasonConfig {
@@ -130,6 +134,7 @@ impl Default for ReasonConfig {
             prune_components: true,
             dispatch: DispatchMode::WorkStealing,
             budget: Budget::unlimited(),
+            trace: TraceSpec::default(),
         }
     }
 }
@@ -170,6 +175,12 @@ impl ReasonConfig {
     /// Override the resource budget.
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Enable structured tracing with the given spec.
+    pub fn with_trace(mut self, trace: TraceSpec) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -491,11 +502,20 @@ impl Task for ReasonTask<'_> {
         let mut search = HomSearch::new(&self.canon.graph, &self.canon.index, &gfd.pattern, plan)
             .with_prefix(&unit.prefix);
 
+        let span = ctx.trace_start();
+        let matches0 = w.matches;
         if self.cfg.pipeline {
             self.run_streaming(w, &mut search, gfd_id, unit.priority, ctx);
         } else {
             self.run_collect_then_check(w, &mut search, gfd_id, unit.priority, ctx);
         }
+        ctx.trace_span(
+            EventKind::RuleEval,
+            gfd_id.index() as u32,
+            span,
+            w.matches - matches0,
+            0,
+        );
         self.broadcast(w);
     }
 
@@ -560,15 +580,11 @@ pub fn run_reason(
         terminal: Mutex::new(None),
     };
 
-    let run = run_scheduler_with(
-        &task,
-        units,
-        p,
-        cfg.dispatch,
-        &stop,
-        cfg.budget.sched_options(),
-    );
+    let mut opts = cfg.budget.sched_options();
+    opts.trace = cfg.trace;
+    let run = run_scheduler_with(&task, units, p, cfg.dispatch, &stop, opts);
 
+    metrics.trace = run.trace;
     metrics.units_dispatched = run.units_executed;
     metrics.units_split = run.units_split;
     metrics.units_stolen = run.units_stolen;

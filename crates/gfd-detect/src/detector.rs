@@ -15,7 +15,7 @@ use gfd_core::{Budget, Consequence, DepSet, GfdSet, Interrupt};
 use gfd_graph::{Graph, LabelIndex, MatchIndex, NodeId};
 use gfd_match::{HomSearch, RunOutcome, SearchLimits};
 use gfd_runtime::sched::{run_scheduler_with, Task, WorkerCtx};
-use gfd_runtime::{DispatchMode, RunMetrics};
+use gfd_runtime::{DispatchMode, EventKind, RunMetrics, TraceSpec};
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -40,6 +40,10 @@ pub struct DetectConfig {
     /// partial report flagged with [`DetectionReport::interrupted`] — the
     /// violations found so far are real, the sweep just did not finish.
     pub budget: Budget,
+    /// Structured tracing (DESIGN.md §13): per-rule eval spans plus the
+    /// scheduler's own steal/split/budget events, returned on
+    /// `RunMetrics::trace`. Off by default.
+    pub trace: TraceSpec,
 }
 
 impl Default for DetectConfig {
@@ -51,6 +55,7 @@ impl Default for DetectConfig {
             batch_size: 1024,
             dispatch: DispatchMode::WorkStealing,
             budget: Budget::unlimited(),
+            trace: TraceSpec::disabled(),
         }
     }
 }
@@ -244,6 +249,8 @@ impl<I: MatchIndex> Task for DetectTask<'_, I> {
         let gfd_id = unit.gfd();
         let dep = self.sigma.get(gfd_id);
         let plan = &self.plans.plans[gfd_id.index()];
+        let span = ctx.trace_start();
+        let stats0 = local.per_rule[gfd_id.index()];
         match unit {
             DetectUnit::Pivots { batch, .. } => {
                 for z in batch {
@@ -261,6 +268,14 @@ impl<I: MatchIndex> Task for DetectTask<'_, I> {
                 self.run_unit_search(local, gfd_id, search, ctx);
             }
         }
+        let stats = &local.per_rule[gfd_id.index()];
+        ctx.trace_span(
+            EventKind::RuleEval,
+            gfd_id.index() as u32,
+            span,
+            stats.matches - stats0.matches,
+            stats.violations - stats0.violations,
+        );
     }
 }
 
@@ -316,14 +331,10 @@ pub fn detect_units<I: MatchIndex>(
         units_generated: units.len(),
         ..Default::default()
     };
-    let run = run_scheduler_with(
-        &task,
-        units,
-        workers,
-        config.dispatch,
-        &stop,
-        config.budget.sched_options(),
-    );
+    let mut opts = config.budget.sched_options();
+    opts.trace = config.trace;
+    let run = run_scheduler_with(&task, units, workers, config.dispatch, &stop, opts);
+    metrics.trace = run.trace;
     metrics.units_dispatched = run.units_executed;
     metrics.units_split = run.units_split;
     metrics.units_stolen = run.units_stolen;

@@ -45,7 +45,7 @@ use crate::store::GedStore;
 use gfd_core::{Budget, Interrupt};
 use gfd_graph::{Graph, NodeId};
 use gfd_runtime::sched::{run_scheduler_with, Task, WorkerCtx};
-use gfd_runtime::{DispatchMode, RunMetrics};
+use gfd_runtime::{DispatchMode, EventKind, RunMetrics, TraceSpec};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -74,6 +74,10 @@ pub struct GedReasonConfig {
     /// an optional branch cap that tightens `max_branches`. Exhaustion
     /// degrades to `outcome: None` with the [`Interrupt`] reason attached.
     pub budget: Budget,
+    /// Structured tracing (DESIGN.md §13): per-unit `GedBranch` spans
+    /// counting the branches each scheduled subtree explored, plus the
+    /// scheduler's own events. Off by default.
+    pub trace: TraceSpec,
 }
 
 impl Default for GedReasonConfig {
@@ -85,6 +89,7 @@ impl Default for GedReasonConfig {
             dispatch: DispatchMode::WorkStealing,
             max_branches: 1_000_000,
             budget: Budget::unlimited(),
+            trace: TraceSpec::disabled(),
         }
     }
 }
@@ -318,6 +323,24 @@ impl Task for GedTask<'_> {
     }
 
     fn run_unit(&self, w: &mut GedWorker, unit: BranchUnit, ctx: &WorkerCtx<'_, BranchUnit>) {
+        let span = ctx.trace_start();
+        let explored0 = w.branches_explored;
+        self.explore(w, unit, ctx);
+        ctx.trace_span(
+            EventKind::GedBranch,
+            0,
+            span,
+            w.branches_explored - explored0,
+            0,
+        );
+    }
+}
+
+impl GedTask<'_> {
+    /// One scheduled unit's depth-first subtree walk (the body of
+    /// [`Task::run_unit`], factored out so the trace span wraps every
+    /// exit path uniformly).
+    fn explore(&self, w: &mut GedWorker, unit: BranchUnit, ctx: &WorkerCtx<'_, BranchUnit>) {
         let mut stack: Vec<GedStore> = vec![unit.store];
         let deadline = self.cfg.split.then(|| Instant::now() + self.cfg.ttl);
         while let Some(store) = stack.pop() {
@@ -398,14 +421,10 @@ fn run_ged(
         units_generated: seed_units.len(),
         ..Default::default()
     };
-    let run = run_scheduler_with(
-        &task,
-        seed_units,
-        p,
-        cfg.dispatch,
-        &stop,
-        cfg.budget.sched_options(),
-    );
+    let mut opts = cfg.budget.sched_options();
+    opts.trace = cfg.trace;
+    let run = run_scheduler_with(&task, seed_units, p, cfg.dispatch, &stop, opts);
+    metrics.trace = run.trace;
     metrics.units_dispatched = run.units_executed;
     metrics.units_split = run.units_split;
     metrics.units_stolen = run.units_stolen;

@@ -8,7 +8,7 @@ use gfd_detect::{
     ViolationRecord,
 };
 use gfd_graph::{DeltaBatch, DeltaIndex, Graph, LabelIndex, MatchIndex, NodeId};
-use gfd_runtime::failpoint;
+use gfd_runtime::{failpoint, EventKind, TraceBuf, CONTROL_WORKER};
 use rustc_hash::FxHashSet;
 
 /// Configuration of an incremental detection session.
@@ -135,6 +135,9 @@ pub struct IncrementalDetector {
     meta: RuleMeta,
     violations: Vec<ViolationRecord>,
     config: IncrConfig,
+    /// Batches applied so far — the `id` of every [`EventKind::Batch`]
+    /// span this session records.
+    batches_applied: u64,
 }
 
 impl IncrementalDetector {
@@ -170,6 +173,7 @@ impl IncrementalDetector {
             meta,
             violations: report.violations,
             config,
+            batches_applied: 0,
         }
     }
 
@@ -208,6 +212,7 @@ impl IncrementalDetector {
             meta,
             violations,
             config,
+            batches_applied: 0,
         }
     }
 
@@ -251,6 +256,15 @@ impl IncrementalDetector {
     /// the dirty frontier. Returns what was done; the updated violation
     /// set is at [`violations`](IncrementalDetector::violations).
     pub fn apply(&mut self, batch: &DeltaBatch) -> BatchReport {
+        // Control-track buffer for this batch's phase spans (`Batch`,
+        // `FrontierBfs`, `Compact` — DESIGN.md §13), absorbed into the
+        // report's trace before returning.
+        let mut ctl = TraceBuf::new(self.config.detect.trace.control(), CONTROL_WORKER);
+        let batch_span = ctl.start();
+        self.batches_applied += 1;
+        let bid = self.batches_applied as u32;
+        let batch_ops = batch.len() as u64;
+
         let applied = self.index.apply(batch, &mut self.graph);
         let mut report = BatchReport {
             dirty_nodes: applied.dirty.len(),
@@ -258,6 +272,8 @@ impl IncrementalDetector {
         };
         if applied.dirty.is_empty() {
             report.violations_total = self.violations.len();
+            ctl.span(EventKind::Batch, bid, batch_span, batch_ops, 0);
+            report.metrics.trace.absorb_buf(ctl);
             return report;
         }
 
@@ -276,8 +292,11 @@ impl IncrementalDetector {
             && self.index.delta().delta_size() > 0
             && !failpoint::triggered("incr/compact")
         {
+            let compact_span = ctl.start();
+            let overlay_ops = self.index.delta().delta_size() as u64;
             self.index = LabelIndex::build(&self.graph).into_delta();
             report.compacted = true;
+            ctl.span(EventKind::Compact, bid, compact_span, overlay_ops, 0);
         }
 
         // Re-plan against the live statistics: between compactions the
@@ -292,7 +311,15 @@ impl IncrementalDetector {
         // Dirty frontier: every pivot within the largest connected-rule
         // radius of a touched node (see `frontier` for the soundness
         // argument), filtered per rule by radius and pivot label.
+        let bfs_span = ctl.start();
         let frontier = bounded_frontier(&self.graph, &applied.dirty, self.meta.max_radius);
+        ctl.span(
+            EventKind::FrontierBfs,
+            bid,
+            bfs_span,
+            applied.dirty.len() as u64,
+            frontier.len() as u64,
+        );
         let mut rule_pivots: Vec<(gfd_graph::GfdId, Vec<NodeId>)> = Vec::new();
         for (id, dep) in self.sigma.iter() {
             let pivot_label = dep.pattern.label(self.plans.pivots[id.index()]);
@@ -356,6 +383,14 @@ impl IncrementalDetector {
         self.violations
             .sort_by(|a, b| (a.gfd, &a.m).cmp(&(b.gfd, &b.m)));
         report.violations_total = self.violations.len();
+        ctl.span(
+            EventKind::Batch,
+            bid,
+            batch_span,
+            batch_ops,
+            report.rerun_pivots as u64,
+        );
+        report.metrics.trace.absorb_buf(ctl);
         report
     }
 }

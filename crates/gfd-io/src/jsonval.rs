@@ -340,14 +340,28 @@ impl Parser<'_> {
                         c => return Err(self.err(format!("unknown escape `\\{}`", c as char))),
                     }
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                Some(first) if first < 0x80 => {
+                    out.push(first as char);
+                    self.pos += 1;
+                }
+                Some(first) => {
+                    // Consume one multi-byte UTF-8 scalar, validating only
+                    // its own bytes: validating the whole remaining input
+                    // per character made parsing quadratic on large files
+                    // (a multi-megabyte trace took minutes).
+                    let len = match first {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        0xf0..=0xf7 => 4,
+                        _ => return Err(self.err("invalid UTF-8 in string")),
+                    };
+                    let scalar = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .and_then(|b| std::str::from_utf8(b).ok())
+                        .ok_or_else(|| self.err("invalid UTF-8 in string"))?;
+                    out.push(scalar.chars().next().unwrap());
+                    self.pos += len;
                 }
             }
         }

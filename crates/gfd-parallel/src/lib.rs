@@ -35,6 +35,9 @@ pub use gfd_core::unit::WorkUnit;
 pub use gfd_runtime::DispatchMode;
 /// The unified run metrics.
 pub use gfd_runtime::RunMetrics;
+/// The structured-tracing vocabulary (see `gfd_trace` and DESIGN.md §13),
+/// re-exported so CLI-level consumers need only this crate.
+pub use gfd_runtime::{EventKind, Trace, TraceBuf, TraceSpec, CONTROL_WORKER};
 
 pub use par_imp::{par_imp, ParImpResult};
 pub use par_sat::{par_sat, ParSatResult};

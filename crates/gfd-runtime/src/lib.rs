@@ -43,3 +43,6 @@ pub use sched::{
     run_scheduler, run_scheduler_with, AbortInfo, DispatchMode, Exhaustion, RunOutcome,
     SchedOptions, SchedRun, Task, WorkerCtx,
 };
+// The tracing vocabulary tasks record with (`WorkerCtx::trace_span` et
+// al.) and the spec/trace types the configs and metrics carry.
+pub use gfd_trace::{EventKind, SpanStart, Trace, TraceBuf, TraceSpec, CONTROL_WORKER};

@@ -4,6 +4,7 @@
 //! `ReasonStats` / `WorkerStats` / ad-hoc detection atomics): sequential
 //! runs populate the same counters as parallel ones, just with one worker.
 
+use gfd_trace::Trace;
 use std::time::Duration;
 
 /// Counters and timings for one scheduler run (`SeqSat`/`SeqImp`,
@@ -50,6 +51,11 @@ pub struct RunMetrics {
     pub worker_idle: Vec<Duration>,
     /// Did the run end early (conflict / consequence / budget reached)?
     pub early_terminated: bool,
+    /// The structured trace recorded by this run (empty unless tracing
+    /// was enabled — see `gfd_trace` and DESIGN.md §13). Riding on the
+    /// metrics lets every engine's existing return path deliver traces
+    /// to the CLI without new plumbing.
+    pub trace: Trace,
 }
 
 impl RunMetrics {
@@ -88,6 +94,103 @@ impl RunMetrics {
             return Some(1.0);
         }
         Some(max / mean)
+    }
+
+    /// Fold another run's metrics into this one — the accumulator for
+    /// multi-run flows (one streamed `DeltaBatch` after another, or the
+    /// chase's per-round scheduler runs).
+    ///
+    /// Counters sum; `elapsed` sums; `workers` takes the max;
+    /// `early_terminated` is sticky; `deadline_slack_ms` takes the most
+    /// recent measurement (the later run's remaining slack supersedes the
+    /// earlier one's); per-worker busy/idle vectors add element-wise,
+    /// extending with zeros when worker counts differ; traces concatenate.
+    pub fn merge(&mut self, other: &RunMetrics) {
+        self.elapsed += other.elapsed;
+        self.workers = self.workers.max(other.workers);
+        self.units_generated += other.units_generated;
+        self.units_dispatched += other.units_dispatched;
+        self.units_split += other.units_split;
+        self.units_stolen += other.units_stolen;
+        self.matches += other.matches;
+        self.branches += other.branches;
+        self.pending += other.pending;
+        self.rechecks += other.rechecks;
+        self.delta_ops_broadcast += other.delta_ops_broadcast;
+        self.units_panicked += other.units_panicked;
+        self.units_retried += other.units_retried;
+        if other.deadline_slack_ms.is_some() {
+            self.deadline_slack_ms = other.deadline_slack_ms;
+        }
+        if self.worker_busy.len() < other.worker_busy.len() {
+            self.worker_busy
+                .resize(other.worker_busy.len(), Duration::ZERO);
+        }
+        for (acc, d) in self.worker_busy.iter_mut().zip(&other.worker_busy) {
+            *acc += *d;
+        }
+        if self.worker_idle.len() < other.worker_idle.len() {
+            self.worker_idle
+                .resize(other.worker_idle.len(), Duration::ZERO);
+        }
+        for (acc, d) in self.worker_idle.iter_mut().zip(&other.worker_idle) {
+            *acc += *d;
+        }
+        self.early_terminated |= other.early_terminated;
+        self.trace.merge(&other.trace);
+    }
+
+    /// Serialize as a machine-readable JSON object: every counter, the
+    /// per-worker timings (integer microseconds — the interchange parser
+    /// is integer-only), and the aggregated trace profile. One schema
+    /// serves the CLI's `--metrics-json` and the bench harness.
+    pub fn to_json(&self, rule_names: &[String]) -> String {
+        let durs = |v: &[Duration]| {
+            let items: Vec<String> = v.iter().map(|d| d.as_micros().to_string()).collect();
+            format!("[{}]", items.join(", "))
+        };
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"workers\": {},\n", self.workers));
+        out.push_str(&format!(
+            "  \"elapsed_us\": {},\n",
+            self.elapsed.as_micros()
+        ));
+        out.push_str(&format!(
+            "  \"units_generated\": {}, \"units_dispatched\": {}, \
+             \"units_split\": {}, \"units_stolen\": {},\n",
+            self.units_generated, self.units_dispatched, self.units_split, self.units_stolen
+        ));
+        out.push_str(&format!(
+            "  \"matches\": {}, \"branches\": {}, \"pending\": {}, \
+             \"rechecks\": {}, \"delta_ops_broadcast\": {},\n",
+            self.matches, self.branches, self.pending, self.rechecks, self.delta_ops_broadcast
+        ));
+        out.push_str(&format!(
+            "  \"units_panicked\": {}, \"units_retried\": {},\n",
+            self.units_panicked, self.units_retried
+        ));
+        out.push_str(&format!(
+            "  \"deadline_slack_ms\": {},\n",
+            match self.deadline_slack_ms {
+                Some(ms) => ms.to_string(),
+                None => "null".to_string(),
+            }
+        ));
+        out.push_str(&format!(
+            "  \"early_terminated\": {},\n",
+            self.early_terminated
+        ));
+        out.push_str(&format!(
+            "  \"worker_busy_us\": {},\n  \"worker_idle_us\": {},\n",
+            durs(&self.worker_busy),
+            durs(&self.worker_idle)
+        ));
+        out.push_str(&format!(
+            "  \"profile\": {}\n",
+            self.trace.profile().to_json(rule_names, 1)
+        ));
+        out.push('}');
+        out
     }
 }
 
@@ -129,5 +232,130 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(m.total_idle(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn makespan_edge_cases() {
+        // Empty worker_busy: no makespan at all, not a zero one.
+        assert!(RunMetrics::default().makespan().is_none());
+        // All-zero busy times still report a (zero) makespan: the data
+        // was collected, the workers just never ran a unit.
+        let m = RunMetrics {
+            worker_busy: vec![Duration::ZERO; 3],
+            ..Default::default()
+        };
+        assert_eq!(m.makespan(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn imbalance_zero_mean_busy_is_balanced() {
+        // Zero-mean busy (e.g. an empty seed at p > 1) must not divide by
+        // zero: by convention the run is perfectly balanced.
+        let m = RunMetrics {
+            worker_busy: vec![Duration::ZERO; 4],
+            ..Default::default()
+        };
+        assert_eq!(m.imbalance(), Some(1.0));
+    }
+
+    #[test]
+    fn merge_accumulates_counters_and_worker_vectors() {
+        let mut total = RunMetrics {
+            workers: 2,
+            units_dispatched: 10,
+            units_stolen: 1,
+            matches: 5,
+            elapsed: Duration::from_millis(30),
+            worker_busy: vec![Duration::from_millis(10), Duration::from_millis(20)],
+            worker_idle: vec![Duration::from_millis(1), Duration::from_millis(2)],
+            ..Default::default()
+        };
+        let batch = RunMetrics {
+            workers: 4,
+            units_dispatched: 7,
+            units_stolen: 3,
+            units_split: 2,
+            matches: 4,
+            elapsed: Duration::from_millis(12),
+            deadline_slack_ms: Some(-3),
+            early_terminated: true,
+            worker_busy: vec![Duration::from_millis(5); 4],
+            worker_idle: vec![Duration::from_millis(1); 4],
+            ..Default::default()
+        };
+        total.merge(&batch);
+        assert_eq!(total.workers, 4);
+        assert_eq!(total.units_dispatched, 17);
+        assert_eq!(total.units_stolen, 4);
+        assert_eq!(total.units_split, 2);
+        assert_eq!(total.matches, 9);
+        assert_eq!(total.elapsed, Duration::from_millis(42));
+        assert_eq!(total.deadline_slack_ms, Some(-3));
+        assert!(total.early_terminated);
+        // Element-wise busy add, extended with zeros to 4 workers.
+        assert_eq!(
+            total.worker_busy,
+            vec![
+                Duration::from_millis(15),
+                Duration::from_millis(25),
+                Duration::from_millis(5),
+                Duration::from_millis(5),
+            ]
+        );
+        // Merging an empty batch changes nothing.
+        let snapshot = total.units_dispatched;
+        total.merge(&RunMetrics::default());
+        assert_eq!(total.units_dispatched, snapshot);
+        assert_eq!(total.deadline_slack_ms, Some(-3), "None must not clobber");
+    }
+
+    #[test]
+    fn merge_concatenates_traces() {
+        use gfd_trace::{EventKind, Trace, TraceEvent};
+        let ev = |id| TraceEvent {
+            kind: EventKind::UnitExec,
+            worker: 0,
+            id,
+            t0_ns: 0,
+            dur_ns: 5,
+            a: 0,
+            b: 0,
+        };
+        let mut total = RunMetrics {
+            trace: Trace {
+                events: vec![ev(0)],
+                dropped: 1,
+            },
+            ..Default::default()
+        };
+        let batch = RunMetrics {
+            trace: Trace {
+                events: vec![ev(1), ev(2)],
+                dropped: 0,
+            },
+            ..Default::default()
+        };
+        total.merge(&batch);
+        assert_eq!(total.trace.events.len(), 3);
+        assert_eq!(total.trace.dropped, 1);
+    }
+
+    #[test]
+    fn json_export_is_integer_only_and_complete() {
+        let m = RunMetrics {
+            workers: 2,
+            units_dispatched: 3,
+            deadline_slack_ms: Some(-7),
+            worker_busy: vec![Duration::from_micros(1500), Duration::from_micros(200)],
+            ..Default::default()
+        };
+        let json = m.to_json(&[]);
+        assert!(json.contains("\"workers\": 2"), "{json}");
+        assert!(json.contains("\"deadline_slack_ms\": -7"), "{json}");
+        assert!(json.contains("\"worker_busy_us\": [1500, 200]"), "{json}");
+        assert!(json.contains("\"profile\""), "{json}");
+        assert!(!json.contains('.'), "floats would break the parser: {json}");
+        let none = RunMetrics::default().to_json(&[]);
+        assert!(none.contains("\"deadline_slack_ms\": null"), "{none}");
     }
 }

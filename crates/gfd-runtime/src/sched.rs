@@ -45,8 +45,10 @@
 use crate::cputime::BusyTimer;
 use crate::deque::{Steal, WsDeque};
 use crate::failpoint;
+use gfd_trace::{EventKind, SpanStart, Trace, TraceBuf, TraceSpec};
 use parking_lot::Mutex;
 use std::any::Any;
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -124,6 +126,11 @@ pub struct SchedOptions {
     /// Requeue a panicked unit (cloned before execution) up to this many
     /// times before aborting the run. Requires [`Task::clone_unit`].
     pub unit_retries: u32,
+    /// Structured tracing (DESIGN.md §13): when enabled, every worker
+    /// records scheduler events into a private bounded ring drained into
+    /// [`SchedRun::trace`] at quiescence. Disabled (the default) the
+    /// recording sites collapse to a branch — no clock reads, no writes.
+    pub trace: TraceSpec,
 }
 
 /// Which cooperative limit ended a [`RunOutcome::BudgetExceeded`] run.
@@ -205,6 +212,14 @@ impl RunOutcome {
 /// A queued unit plus how many times it has been retried.
 type Envelope<U> = (U, u32);
 
+/// How a popped unit arrived when it came from a steal: the victim and
+/// the number of units the steal claimed (used only for trace events).
+#[derive(Clone, Copy, Debug)]
+struct StolenFrom {
+    victim: u32,
+    claimed: u64,
+}
+
 /// The queue topology behind one run: lock-free per-worker Chase–Lev
 /// deques under [`DispatchMode::WorkStealing`], one mutexed shared queue
 /// under [`DispatchMode::Coordinator`].
@@ -235,21 +250,25 @@ struct Shared<'s, U> {
 impl<U> Shared<'_, U> {
     /// Next unit for worker `id`: own bottom (lock-free, highest
     /// priority first), else steal a victim's back half (work stealing),
-    /// or the single shared front (coordinator).
-    fn pop(&self, id: usize) -> Option<Envelope<U>> {
+    /// or the single shared front (coordinator). A unit that arrived via
+    /// a steal is reported with the claim count and victim id so the
+    /// worker loop can trace it — the steal logic itself is identical
+    /// with tracing on or off (the non-interference contract of
+    /// DESIGN.md §13).
+    fn pop(&self, id: usize) -> Option<(Envelope<U>, Option<StolenFrom>)> {
         failpoint::maybe_panic("sched/dispatch");
         match &self.queues {
-            Queues::Central(q) => q.lock().pop_front(),
+            Queues::Central(q) => q.lock().pop_front().map(|u| (u, None)),
             Queues::Stealing(deques) => {
                 if let Some(u) = deques[id].pop() {
-                    return Some(u);
+                    return Some((u, None));
                 }
                 self.steal(id)
             }
         }
     }
 
-    fn steal(&self, thief: usize) -> Option<Envelope<U>> {
+    fn steal(&self, thief: usize) -> Option<(Envelope<U>, Option<StolenFrom>)> {
         failpoint::maybe_panic("sched/steal");
         let Queues::Stealing(deques) = &self.queues else {
             return None;
@@ -282,8 +301,8 @@ impl<U> Shared<'_, U> {
             }
             // Only elements actually claimed count as stolen — a lost
             // CAS is not a steal.
-            self.units_stolen
-                .fetch_add(loot.len() as u64, Ordering::Relaxed);
+            let claimed = loot.len() as u64;
+            self.units_stolen.fetch_add(claimed, Ordering::Relaxed);
             // `loot` is top-first, i.e. ascending priority: run the
             // best loot unit now and keep the rest in our own deque in
             // that order, so subsequent owner pops (bottom = last
@@ -292,7 +311,15 @@ impl<U> Shared<'_, U> {
             for u in loot {
                 deques[thief].push(u);
             }
-            return first;
+            return first.map(|u| {
+                (
+                    u,
+                    Some(StolenFrom {
+                        victim: victim as u32,
+                        claimed,
+                    }),
+                )
+            });
         }
         None
     }
@@ -332,12 +359,38 @@ fn payload_str(payload: Box<dyn Any + Send>) -> String {
 pub struct WorkerCtx<'s, U> {
     shared: &'s Shared<'s, U>,
     worker: usize,
+    /// This worker's private event ring. `RefCell` because the context is
+    /// shared by reference between the worker loop and the task's
+    /// `run_unit`, but only ever touched from the owning worker's thread.
+    trace: RefCell<TraceBuf>,
 }
 
 impl<U> WorkerCtx<'_, U> {
     /// The id of the worker this context belongs to.
     pub fn worker_id(&self) -> usize {
         self.worker
+    }
+
+    /// Is structured tracing recording on this run?
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.borrow().enabled()
+    }
+
+    /// Open a span (reads the clock only when tracing is enabled).
+    pub fn trace_start(&self) -> SpanStart {
+        self.trace.borrow().start()
+    }
+
+    /// Record a span opened by [`WorkerCtx::trace_start`] into this
+    /// worker's private ring. Tasks use this for their `RuleEval` (and
+    /// kindred) spans; a start taken while disabled records nothing.
+    pub fn trace_span(&self, kind: EventKind, id: u32, start: SpanStart, a: u64, b: u64) {
+        self.trace.borrow_mut().span(kind, id, start, a, b);
+    }
+
+    /// Record an instant event into this worker's private ring.
+    pub fn trace_instant(&self, kind: EventKind, id: u32, a: u64, b: u64) {
+        self.trace.borrow_mut().instant(kind, id, a, b);
     }
 
     /// Enqueue split units carved off a straggler. They go to the front of
@@ -348,6 +401,7 @@ impl<U> WorkerCtx<'_, U> {
         if units.is_empty() {
             return;
         }
+        self.trace_instant(EventKind::Split, 0, units.len() as u64, 0);
         self.shared
             .in_flight
             .fetch_add(units.len(), Ordering::SeqCst);
@@ -400,13 +454,17 @@ pub struct SchedRun<W> {
     pub worker_busy: Vec<Duration>,
     /// Idle (wall) time per worker.
     pub worker_idle: Vec<Duration>,
+    /// The merged trace rings of every worker (empty unless
+    /// [`SchedOptions::trace`] enabled recording).
+    pub trace: Trace,
 }
 
-fn worker_loop<T: Task>(
-    task: &T,
-    shared: &Shared<'_, T::Unit>,
-    id: usize,
-) -> Option<(T::Worker, Duration, Duration)> {
+/// What a worker thread hands back at join: its final task state, busy
+/// and idle time, and its trace ring — `None` when the worker itself
+/// panicked outside a unit envelope.
+type WorkerState<T> = Option<(<T as Task>::Worker, Duration, Duration, TraceBuf)>;
+
+fn worker_loop<T: Task>(task: &T, shared: &Shared<'_, T::Unit>, id: usize) -> WorkerState<T> {
     let mut worker = match catch_unwind(AssertUnwindSafe(|| task.worker(id))) {
         Ok(w) => w,
         Err(payload) => {
@@ -417,19 +475,35 @@ fn worker_loop<T: Task>(
     let mut busy = Duration::ZERO;
     let mut idle = Duration::ZERO;
     let mut spins = 0u32;
-    let ctx = WorkerCtx { shared, worker: id };
+    let ctx = WorkerCtx {
+        shared,
+        worker: id,
+        trace: RefCell::new(TraceBuf::new(shared.opts.trace, id as u32)),
+    };
     loop {
         if shared.stop.load(Ordering::Relaxed) {
             break;
         }
         if let Some(deadline) = shared.opts.deadline {
             if Instant::now() >= deadline {
+                ctx.trace_instant(
+                    EventKind::BudgetCut,
+                    0,
+                    shared.units_executed.load(Ordering::Relaxed),
+                    0,
+                );
                 shared.cancel(RunOutcome::BudgetExceeded(Exhaustion::Deadline));
                 break;
             }
         }
         if let Some(max) = shared.opts.max_units {
             if shared.units_executed.load(Ordering::Relaxed) >= max {
+                ctx.trace_instant(
+                    EventKind::BudgetCut,
+                    0,
+                    shared.units_executed.load(Ordering::Relaxed),
+                    1,
+                );
                 shared.cancel(RunOutcome::BudgetExceeded(Exhaustion::Units));
                 break;
             }
@@ -444,20 +518,27 @@ fn worker_loop<T: Task>(
                 break;
             }
         };
-        if let Some((unit, attempt)) = popped {
+        if let Some(((unit, attempt), stolen)) = popped {
             spins = 0;
+            // Trace the steal after the claim completed: recording is a
+            // worker-local ring write and cannot perturb the steal count.
+            if let Some(s) = stolen {
+                ctx.trace_instant(EventKind::Steal, 0, s.claimed, s.victim as u64);
+            }
             let retry = if attempt < shared.opts.unit_retries {
                 task.clone_unit(&unit)
             } else {
                 None
             };
             let label = task.describe_unit(&unit);
+            let span = ctx.trace_start();
             let timer = BusyTimer::start();
             let result = catch_unwind(AssertUnwindSafe(|| {
                 failpoint::maybe_panic("sched/unit");
                 task.run_unit(&mut worker, unit, &ctx);
             }));
             busy += timer.elapsed();
+            ctx.trace_span(EventKind::UnitExec, 0, span, attempt as u64, 0);
             shared.units_executed.fetch_add(1, Ordering::Relaxed);
             match result {
                 Ok(()) => {
@@ -470,6 +551,7 @@ fn worker_loop<T: Task>(
                         // this worker's front (owner end) with its
                         // attempt count bumped.
                         shared.units_retried.fetch_add(1, Ordering::Relaxed);
+                        ctx.trace_instant(EventKind::PanicRetry, 0, attempt as u64, 0);
                         match &shared.queues {
                             Queues::Central(q) => q.lock().push_front((clone, attempt + 1)),
                             Queues::Stealing(deques) => deques[id].push((clone, attempt + 1)),
@@ -506,7 +588,7 @@ fn worker_loop<T: Task>(
         }
         idle += idle_start.elapsed();
     }
-    Some((worker, busy, idle))
+    Some((worker, busy, idle, ctx.trace.into_inner()))
 }
 
 /// Run `task` over `seed` units on `workers` threads until quiescence or
@@ -583,7 +665,7 @@ pub fn run_scheduler_with<T: Task>(
         verdict: Mutex::new(None),
     };
 
-    let mut states: Vec<Option<(T::Worker, Duration, Duration)>> = if p == 1 {
+    let mut states: Vec<WorkerState<T>> = if p == 1 {
         vec![worker_loop(task, &shared, 0)]
     } else {
         std::thread::scope(|scope| {
@@ -626,14 +708,18 @@ pub fn run_scheduler_with<T: Task>(
         units_retried: shared.units_retried.load(Ordering::Relaxed),
         worker_busy: Vec::with_capacity(p),
         worker_idle: Vec::with_capacity(p),
+        trace: Trace::default(),
     };
     for state in states.drain(..) {
-        let Some((worker, busy, idle)) = state else {
+        let Some((worker, busy, idle, tbuf)) = state else {
             continue;
         };
         run.workers.push(worker);
         run.worker_busy.push(busy);
         run.worker_idle.push(idle);
+        // Drain each worker's private ring at quiescence — the only
+        // moment trace data crosses a thread boundary.
+        run.trace.absorb_buf(tbuf);
     }
     run
 }
@@ -965,6 +1051,133 @@ mod tests {
         );
         assert_eq!(run.outcome, RunOutcome::BudgetExceeded(Exhaustion::Units));
         assert_eq!(run.units_executed, 10);
+    }
+
+    #[test]
+    fn tracing_records_scheduler_events_and_disabled_stays_empty() {
+        let seed: Vec<u64> = vec![1000, 3, 7, 2000];
+        let task = SumTask {
+            split_above: 10,
+            executed: TestCounter::new(0),
+        };
+        let stop = AtomicBool::new(false);
+        let run = run_scheduler_with(
+            &task,
+            seed,
+            2,
+            DispatchMode::WorkStealing,
+            &stop,
+            SchedOptions {
+                trace: TraceSpec::enabled(),
+                ..Default::default()
+            },
+        );
+        assert_eq!(run.outcome, RunOutcome::Completed);
+        let execs = run
+            .trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::UnitExec)
+            .count() as u64;
+        assert_eq!(
+            execs, run.units_executed,
+            "every executed unit gets a UnitExec span"
+        );
+        let split_units: u64 = run
+            .trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Split)
+            .map(|e| e.a)
+            .sum();
+        assert_eq!(
+            split_units, run.units_split,
+            "Split payloads sum to the counter"
+        );
+        let stolen_units: u64 = run
+            .trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Steal)
+            .map(|e| e.a)
+            .sum();
+        assert_eq!(
+            stolen_units, run.units_stolen,
+            "Steal payloads sum to the counter"
+        );
+
+        // Disabled tracing (the default options) collects nothing.
+        let task = SumTask {
+            split_above: 10,
+            executed: TestCounter::new(0),
+        };
+        let stop = AtomicBool::new(false);
+        let run = run_scheduler(
+            &task,
+            vec![1000, 3, 7, 2000],
+            2,
+            DispatchMode::WorkStealing,
+            &stop,
+        );
+        assert!(run.trace.is_empty());
+    }
+
+    #[test]
+    fn tracing_records_the_retry_and_budget_cut_instants() {
+        let mut seed: Vec<u64> = vec![1; 20];
+        seed[5] = 1000;
+        let task = FaultyTask {
+            panic_above: 100,
+            transient: true,
+            attempts: TestCounter::new(0),
+        };
+        let stop = AtomicBool::new(false);
+        let run = run_scheduler_with(
+            &task,
+            seed,
+            2,
+            DispatchMode::WorkStealing,
+            &stop,
+            SchedOptions {
+                unit_retries: 1,
+                trace: TraceSpec::enabled(),
+                ..Default::default()
+            },
+        );
+        assert_eq!(run.outcome, RunOutcome::Completed);
+        let retries = run
+            .trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::PanicRetry)
+            .count() as u64;
+        assert_eq!(retries, run.units_retried);
+
+        let task = SumTask {
+            split_above: u64::MAX,
+            executed: TestCounter::new(0),
+        };
+        let stop = AtomicBool::new(false);
+        let run = run_scheduler_with(
+            &task,
+            (1..=100).collect(),
+            1,
+            DispatchMode::WorkStealing,
+            &stop,
+            SchedOptions {
+                max_units: Some(10),
+                trace: TraceSpec::enabled(),
+                ..Default::default()
+            },
+        );
+        assert_eq!(run.outcome, RunOutcome::BudgetExceeded(Exhaustion::Units));
+        assert!(
+            run.trace
+                .events
+                .iter()
+                .any(|e| e.kind == EventKind::BudgetCut && e.b == 1),
+            "the max-units cut must leave a BudgetCut instant"
+        );
     }
 
     #[test]

@@ -5,10 +5,12 @@
 //! the sequential answers.
 //!
 //! CI runs this suite once per entry of `GFD_EQ_WORKERS` (a single worker
-//! count overriding the default `{1, 2, 8}` sweep).
+//! count overriding the default `{1, 2, 8}` sweep), and again with
+//! `GFD_EQ_TRACE=1` to pin that the observability layer (DESIGN.md §13)
+//! never perturbs answers.
 
 use gfd::detect::{detect, DetectConfig};
-use gfd::parallel::DispatchMode;
+use gfd::parallel::{DispatchMode, TraceSpec};
 use gfd::prelude::*;
 use std::time::Duration;
 
@@ -21,10 +23,23 @@ fn worker_counts() -> Vec<usize> {
     }
 }
 
+/// `GFD_EQ_TRACE=1` runs the whole sweep with event tracing enabled, so
+/// every equivalence assertion doubles as a tracing non-interference
+/// check; the default leaves the instrumentation on its no-op path.
+fn trace_spec() -> TraceSpec {
+    if std::env::var("GFD_EQ_TRACE").as_deref() == Ok("1") {
+        TraceSpec::enabled()
+    } else {
+        TraceSpec::disabled()
+    }
+}
+
 /// A config whose TTL of zero forces a split attempt on every unit that
 /// survives a single deadline poll.
 fn splitty(p: usize) -> ParConfig {
-    ParConfig::with_workers(p).with_ttl(Duration::ZERO)
+    ParConfig::with_workers(p)
+        .with_ttl(Duration::ZERO)
+        .with_trace(trace_spec())
 }
 
 #[test]
@@ -101,6 +116,7 @@ fn detect_agrees_with_the_oracle_under_forced_splitting() {
                 ttl: Duration::ZERO,
                 batch_size: 4,
                 dispatch,
+                trace: trace_spec(),
                 ..DetectConfig::with_workers(p)
             };
             let report = detect(&graph, &w.sigma, &config);
@@ -193,5 +209,36 @@ fn forced_splitting_splits_and_metrics_add_up() {
         );
         assert_eq!(r.metrics.worker_busy.len(), p);
         assert_eq!(r.metrics.worker_idle.len(), p);
+    }
+}
+
+#[test]
+fn tracing_does_not_perturb_answers_or_unit_accounting() {
+    // The non-interference contract of DESIGN.md §13, head-to-head: the
+    // same workload with tracing off and on must agree on the answer and
+    // on the deterministic unit accounting (generated units are the
+    // seeded scans — splits and steals are timing-dependent and are NOT
+    // compared). The off run must record nothing; the on run must record
+    // the per-unit spans the exporters consume.
+    let w = gfd::gen::synthetic_workload(40, 4, 3, 9);
+    let expected = gfd::seq_sat(&w.sigma).is_satisfiable();
+    for p in worker_counts() {
+        let base = ParConfig::with_workers(p).with_ttl(Duration::ZERO);
+        let off = gfd::par_sat(&w.sigma, &base.clone().with_trace(TraceSpec::disabled()));
+        let on = gfd::par_sat(&w.sigma, &base.with_trace(TraceSpec::enabled()));
+        assert_eq!(off.is_satisfiable(), expected, "p={p} tracing off");
+        assert_eq!(on.is_satisfiable(), expected, "p={p} tracing on");
+        assert_eq!(
+            off.metrics.units_generated, on.metrics.units_generated,
+            "tracing changed the seeded unit count: p={p}"
+        );
+        assert!(
+            off.metrics.trace.is_empty(),
+            "disabled tracing recorded events: p={p}"
+        );
+        assert!(
+            !on.metrics.trace.is_empty(),
+            "enabled tracing recorded nothing: p={p}"
+        );
     }
 }
