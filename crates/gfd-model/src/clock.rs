@@ -1,0 +1,95 @@
+//! Vector clocks and epochs — the happens-before bookkeeping the race
+//! detector (DESIGN.md §14.3) runs on.
+//!
+//! A [`VClock`] maps a thread id to the count of operations of that
+//! thread known (transitively, through synchronization edges) to have
+//! happened before the clock's owner. An *epoch* `(tid, k)` names one
+//! operation; `clock.covers((tid, k))` is the FastTrack-style "does the
+//! reader's clock dominate the writer's epoch" test.
+
+/// A virtual thread id. Thread 0 is the scenario root; spawns number
+/// children in program order, so ids are deterministic across replays.
+pub type Tid = usize;
+
+/// One operation of one thread: `(tid, per-thread op count)`.
+pub type Epoch = (Tid, u64);
+
+/// A vector clock over the (small, dense) virtual thread id space.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The zero clock: nothing is known to have happened before.
+    pub fn new() -> Self {
+        VClock(Vec::new())
+    }
+
+    /// The component for `tid` (0 when never touched).
+    pub fn get(&self, tid: Tid) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Set the component for `tid`.
+    pub fn set(&mut self, tid: Tid, v: u64) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] = v;
+    }
+
+    /// Advance `tid`'s own component by one and return the new value —
+    /// the epoch of the operation being performed.
+    pub fn tick(&mut self, tid: Tid) -> u64 {
+        let v = self.get(tid) + 1;
+        self.set(tid, v);
+        v
+    }
+
+    /// Pointwise maximum: absorb everything `other` has seen.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// Does this clock dominate the epoch — i.e. is the operation it
+    /// names ordered before everything the clock's owner does next?
+    pub fn covers(&self, epoch: Epoch) -> bool {
+        self.get(epoch.0) >= epoch.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::new();
+        a.set(0, 3);
+        a.set(2, 1);
+        let mut b = VClock::new();
+        b.set(0, 1);
+        b.set(1, 5);
+        a.join(&b);
+        assert_eq!(a.get(0), 3);
+        assert_eq!(a.get(1), 5);
+        assert_eq!(a.get(2), 1);
+        assert_eq!(a.get(9), 0);
+    }
+
+    #[test]
+    fn covers_is_the_epoch_test() {
+        let mut c = VClock::new();
+        assert!(!c.covers((1, 1)));
+        let e = c.tick(1);
+        assert!(c.covers((1, e)));
+        assert!(!c.covers((1, e + 1)));
+        assert!(c.covers((7, 0)));
+    }
+}

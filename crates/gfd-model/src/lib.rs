@@ -1,0 +1,43 @@
+//! A mini concurrency model checker for the `gfd-runtime` lock-free
+//! core (DESIGN.md §14).
+//!
+//! The runtime's Chase–Lev deque and quiescence protocol are generic
+//! over the [`gfd_runtime::atomics::Atomics`] family. This crate
+//! provides the second family, [`ModelAtomics`]: every load, store,
+//! CAS, fence and raw slot access routes through a controlled
+//! interleaving VM, turning the production source — unchanged — into a
+//! model-checkable program. On top of the VM sit:
+//!
+//! * a deterministic interleaving explorer ([`explore`]):
+//!   bounded-exhaustive DFS with a preemption bound, seeded PCT-style
+//!   randomized scheduling, and exact replay of recorded schedules;
+//! * a FastTrack-style vector-clock happens-before race detector over
+//!   per-slot shadow memory, flagging unordered conflicting accesses,
+//!   reads of retired deque buffers and confirmed reads of
+//!   uninitialized `MaybeUninit` slots;
+//! * checked [`scenarios`] porting the deque's last-element race and
+//!   grow-under-steal path and the scheduler's quiescence/stop-flag
+//!   protocols, with user assertions checked on every explored
+//!   schedule.
+//!
+//! Counterexamples print as deterministic replay traces
+//! ([`Failure`]): the schedule string feeds [`Config::replay`] and is
+//! checked in as a regression (`tests/regressions.rs`).
+//!
+//! The model executes schedules sequentially consistently and detects
+//! weak-memory bugs through the happens-before relation the code's own
+//! acquire/release annotations claim — see DESIGN.md §14.6 for what
+//! that does and does not catch.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+mod explore;
+pub mod scenarios;
+mod shim;
+mod vm;
+
+pub use clock::Tid;
+pub use explore::{explore, Config, Mode, Report};
+pub use shim::{MAtomicIsize, MAtomicUsize, MBool, MPtr, MSlot, ModelAtomics};
+pub use vm::{Env, Failure, FailureKind, Schedule, SpecGuard, VJoin};

@@ -1,0 +1,224 @@
+//! The model atomics family: [`ModelAtomics`] implements
+//! [`gfd_runtime::atomics::Atomics`] by routing every load, store,
+//! CAS, fence and raw slot access through the interleaving VM
+//! (DESIGN.md §14.2). Instantiating `WsDeque<T, ModelAtomics>` or
+//! `Quiesce<ModelAtomics>` turns the production source, unchanged,
+//! into a model-checkable program.
+//!
+//! Values live in `UnsafeCell`s inside the shim types; the VM's
+//! central mutex serializes every access (one virtual thread runs at a
+//! time, and even abort-mode accesses take the lock), which is what
+//! makes the pervasive `unsafe impl Send/Sync` below sound.
+
+use crate::vm::{current, current_opt, SpecGuard};
+use gfd_runtime::atomics::{AtomicFlag, AtomicInt, AtomicPtrCell, Atomics, DataSlot, Weaken};
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::Ordering;
+
+/// The VM-backed atomics family. Usable only on threads of a model
+/// execution (the scenario root or [`crate::Env::spawn`]ed threads);
+/// construction or access anywhere else panics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ModelAtomics;
+
+macro_rules! model_atomic_int {
+    ($(#[$doc:meta])* $name:ident, $v:ty) => {
+        $(#[$doc])*
+        pub struct $name {
+            id: usize,
+            val: UnsafeCell<$v>,
+        }
+
+        // SAFETY: all access to `val` goes through the VM, which holds
+        // its central mutex for the duration of every read and write.
+        unsafe impl Send for $name {}
+        // SAFETY: as above — the VM serializes shared access.
+        unsafe impl Sync for $name {}
+
+        impl AtomicInt<$v> for $name {
+            fn new(v: $v) -> Self {
+                let (vm, _) = current();
+                $name {
+                    id: vm.alloc_atomic(),
+                    val: UnsafeCell::new(v),
+                }
+            }
+            fn load(&self, order: Ordering) -> $v {
+                let (vm, tid) = current();
+                vm.atomic_load(tid, self.id, &self.val, order)
+            }
+            fn store(&self, v: $v, order: Ordering) {
+                let (vm, tid) = current();
+                vm.atomic_store(tid, self.id, &self.val, v, order)
+            }
+            fn compare_exchange(
+                &self,
+                current_v: $v,
+                new: $v,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$v, $v> {
+                let (vm, tid) = current();
+                vm.atomic_cas(tid, self.id, &self.val, current_v, new, success, failure)
+            }
+            fn fetch_add(&self, v: $v, order: Ordering) -> $v {
+                let (vm, tid) = current();
+                vm.atomic_rmw(tid, self.id, &self.val, order, "fetch_add", |old| {
+                    old.wrapping_add(v)
+                })
+            }
+            fn fetch_sub(&self, v: $v, order: Ordering) -> $v {
+                let (vm, tid) = current();
+                vm.atomic_rmw(tid, self.id, &self.val, order, "fetch_sub", |old| {
+                    old.wrapping_sub(v)
+                })
+            }
+            fn unsync_load(&mut self) -> $v {
+                *self.val.get_mut()
+            }
+        }
+    };
+}
+
+model_atomic_int!(
+    /// Model `AtomicIsize` (deque `bottom`/`top`).
+    MAtomicIsize,
+    isize
+);
+model_atomic_int!(
+    /// Model `AtomicUsize` (quiescence counter, scenario counters).
+    MAtomicUsize,
+    usize
+);
+
+/// Model `AtomicBool` (the stop flag).
+pub struct MBool {
+    id: usize,
+    val: UnsafeCell<bool>,
+}
+
+// SAFETY: VM-serialized access (see module docs).
+unsafe impl Send for MBool {}
+// SAFETY: VM-serialized access (see module docs).
+unsafe impl Sync for MBool {}
+
+impl AtomicFlag for MBool {
+    fn new(v: bool) -> Self {
+        let (vm, _) = current();
+        MBool {
+            id: vm.alloc_atomic(),
+            val: UnsafeCell::new(v),
+        }
+    }
+    fn load(&self, order: Ordering) -> bool {
+        let (vm, tid) = current();
+        vm.atomic_load(tid, self.id, &self.val, order)
+    }
+    fn store(&self, v: bool, order: Ordering) {
+        let (vm, tid) = current();
+        vm.atomic_store(tid, self.id, &self.val, v, order)
+    }
+}
+
+/// Model `AtomicPtr` (the deque's buffer pointer).
+pub struct MPtr<P> {
+    id: usize,
+    val: UnsafeCell<*mut P>,
+}
+
+// SAFETY: VM-serialized access; like `std::sync::atomic::AtomicPtr`,
+// only the address is shared, never `P` itself.
+unsafe impl<P> Send for MPtr<P> {}
+// SAFETY: as above.
+unsafe impl<P> Sync for MPtr<P> {}
+
+impl<P> AtomicPtrCell<P> for MPtr<P> {
+    fn new(p: *mut P) -> Self {
+        let (vm, _) = current();
+        MPtr {
+            id: vm.alloc_atomic(),
+            val: UnsafeCell::new(p),
+        }
+    }
+    fn load(&self, order: Ordering) -> *mut P {
+        let (vm, tid) = current();
+        vm.atomic_load(tid, self.id, &self.val, order)
+    }
+    fn store(&self, p: *mut P, order: Ordering) {
+        let (vm, tid) = current();
+        vm.atomic_store(tid, self.id, &self.val, p, order)
+    }
+    fn unsync_load(&mut self) -> *mut P {
+        *self.val.get_mut()
+    }
+}
+
+/// Model data slot: a `MaybeUninit` cell with VM shadow state
+/// (initialized-ness, last-writer epoch, reader epochs). Every access
+/// is race-checked; speculative reads get their verdict deferred to
+/// [`DataSlot::confirm`] / [`DataSlot::discard`].
+pub struct MSlot<V> {
+    id: usize,
+    val: UnsafeCell<MaybeUninit<V>>,
+}
+
+// SAFETY: VM-serialized access (see module docs); `V: Send` because a
+// slot transfers elements between virtual threads.
+unsafe impl<V: Send> Send for MSlot<V> {}
+// SAFETY: as above.
+unsafe impl<V: Send> Sync for MSlot<V> {}
+
+impl<V> DataSlot<V> for MSlot<V> {
+    type Guard = SpecGuard;
+
+    fn vacant() -> Self {
+        let (vm, _) = current();
+        MSlot {
+            id: vm.alloc_cell(),
+            val: UnsafeCell::new(MaybeUninit::uninit()),
+        }
+    }
+
+    unsafe fn read(&self) -> V {
+        let (vm, tid) = current();
+        vm.cell_read(tid, self.id, &self.val)
+    }
+
+    unsafe fn write(&self, value: V) {
+        let (vm, tid) = current();
+        vm.cell_write(tid, self.id, &self.val, value)
+    }
+
+    unsafe fn read_speculative(&self) -> (MaybeUninit<V>, SpecGuard) {
+        let (vm, tid) = current();
+        vm.cell_read_spec(tid, self.id, &self.val)
+    }
+
+    fn confirm(guard: SpecGuard) {
+        let (vm, _) = current();
+        vm.spec_confirm(guard);
+    }
+
+    fn discard(guard: SpecGuard) {
+        let (vm, _) = current();
+        vm.spec_discard(guard);
+    }
+}
+
+impl Atomics for ModelAtomics {
+    type Isize = MAtomicIsize;
+    type Usize = MAtomicUsize;
+    type Bool = MBool;
+    type Ptr<P> = MPtr<P>;
+    type Slot<V> = MSlot<V>;
+
+    fn fence(order: Ordering) {
+        let (vm, tid) = current();
+        vm.fence(tid, order);
+    }
+
+    fn weakened(site: Weaken) -> bool {
+        current_opt().is_some_and(|(vm, _)| vm.is_weakened(site))
+    }
+}

@@ -1,0 +1,121 @@
+//! Model-checking the Chase–Lev deque (DESIGN.md §14.5): the
+//! last-element race and grow-under-steal explore cleanly within the
+//! preemption bound, and each deliberately weakened publish ordering
+//! is caught with a deterministic, replayable counterexample.
+
+use gfd_model::{explore, scenarios, Config, FailureKind, Schedule};
+use gfd_runtime::atomics::Weaken;
+
+/// Exhaustive exploration budget for the deep (`--ignored`) variants:
+/// override with `GFD_MODEL_BOUND=<n>` to push the preemption bound.
+fn deep_bound() -> usize {
+    std::env::var("GFD_MODEL_BOUND")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+}
+
+#[test]
+fn last_element_race_explores_clean() {
+    let report = explore(Config::exhaustive(2), scenarios::deque_last_element);
+    assert!(report.complete, "exploration did not drain the space");
+    assert!(
+        report.explored > 100,
+        "suspiciously small space: {} schedules",
+        report.explored
+    );
+    report.assert_clean();
+}
+
+#[test]
+fn grow_under_steal_explores_clean() {
+    let report = explore(Config::exhaustive(2), scenarios::deque_grow_under_steal);
+    assert!(report.complete, "exploration did not drain the space");
+    assert!(
+        report.explored > 100,
+        "suspiciously small space: {} schedules",
+        report.explored
+    );
+    report.assert_clean();
+}
+
+#[test]
+fn weakened_push_publish_is_caught_and_replays() {
+    let report = explore(
+        Config::exhaustive(2).weaken(Weaken::DequePushPublish),
+        scenarios::deque_last_element,
+    );
+    let failure = report
+        .failure
+        .expect("relaxed push publish must be caught as a counterexample");
+    assert_eq!(failure.kind, FailureKind::DataRace, "{failure}");
+    // The counterexample must print as a deterministic replay trace…
+    let text = failure.to_string();
+    assert!(text.contains("replay schedule:"), "{text}");
+    assert!(!failure.schedule.0.is_empty());
+    // …and replaying that schedule must reproduce the same failure.
+    let replay: Schedule = failure.schedule.to_string().parse().unwrap();
+    let re = explore(
+        Config::replay(replay).weaken(Weaken::DequePushPublish),
+        scenarios::deque_last_element,
+    );
+    let re_failure = re.failure.expect("replay must reproduce the failure");
+    assert_eq!(re_failure.kind, FailureKind::DataRace);
+    assert_eq!(re_failure.schedule, failure.schedule);
+}
+
+#[test]
+fn weakened_buffer_publish_is_caught_and_replays() {
+    let report = explore(
+        Config::exhaustive(2).weaken(Weaken::DequeBufPublish),
+        scenarios::deque_grow_under_steal,
+    );
+    let failure = report
+        .failure
+        .expect("relaxed buffer publish must be caught as a counterexample");
+    assert_eq!(failure.kind, FailureKind::DataRace, "{failure}");
+    let re = explore(
+        Config::replay(failure.schedule.clone()).weaken(Weaken::DequeBufPublish),
+        scenarios::deque_grow_under_steal,
+    );
+    assert_eq!(
+        re.failure.expect("replay must reproduce the failure").kind,
+        FailureKind::DataRace
+    );
+}
+
+#[test]
+fn pct_finds_the_weakened_push_publish() {
+    let report = explore(
+        Config::pct(7, 200).weaken(Weaken::DequePushPublish),
+        scenarios::deque_last_element,
+    );
+    let failure = report
+        .failure
+        .expect("randomized exploration should hit the race within 200 iterations");
+    assert_eq!(failure.kind, FailureKind::DataRace);
+}
+
+// Deep variants for the budget-capped CI model-check job: a wider
+// preemption bound over the same scenarios.
+#[test]
+#[ignore = "deep exploration; run via `cargo test -p gfd-model -- --ignored`"]
+fn deep_last_element_race_explores_clean() {
+    let report = explore(
+        Config::exhaustive(deep_bound()),
+        scenarios::deque_last_element,
+    );
+    assert!(report.complete);
+    report.assert_clean();
+}
+
+#[test]
+#[ignore = "deep exploration; run via `cargo test -p gfd-model -- --ignored`"]
+fn deep_grow_under_steal_explores_clean() {
+    let report = explore(
+        Config::exhaustive(deep_bound()),
+        scenarios::deque_grow_under_steal,
+    );
+    assert!(report.complete);
+    report.assert_clean();
+}

@@ -1,4 +1,7 @@
-//! A hand-rolled Chase–Lev work-stealing deque (DESIGN.md §12.3).
+//! A hand-rolled Chase–Lev work-stealing deque (DESIGN.md §12.3),
+//! generic over the [`Atomics`] family (DESIGN.md §14) so the same
+//! source is both the production structure and a model-checkable
+//! program.
 //!
 //! One [`WsDeque`] per worker replaces the former `Mutex<VecDeque>`:
 //! the owner pushes and pops at the **bottom** with plain loads and one
@@ -34,18 +37,29 @@
 //! * A thief reads the element *before* its CAS, so the read can race
 //!   with nothing that matters: slots are only rewritten by `push`, and
 //!   `push` only reuses a slot index after `top` has advanced past it —
-//!   which fails the thief's CAS, discarding the (possibly stale) value
-//!   without dropping it. The value is only *used* when the CAS
-//!   succeeds, which proves the slot was stable over the read.
+//!   which fails the thief's CAS, discarding the (possibly stale) bits
+//!   without dropping them. The bits are only materialized as a `T`
+//!   when the CAS succeeds, which proves the slot was stable over the
+//!   read. This split (speculative bit copy, CAS-validated
+//!   materialization) is the [`DataSlot::read_speculative`] /
+//!   [`DataSlot::confirm`] pair of the atomics family; the model family
+//!   uses it to excuse exactly the races the CAS discards and flag
+//!   every other unordered slot access.
 //!
 //! Elements are stored as `MaybeUninit` bit copies; exactly one side
 //! ever materializes (and eventually drops) each element, so the grow
 //! path's duplicate bit copies are never double-dropped.
+//!
+//! The prose above is no longer the only correctness argument: the
+//! `gfd-model` crate replays `push`/`pop`/`steal`/grow-under-steal and
+//! the last-element race through a bounded-exhaustive interleaving
+//! explorer with a happens-before race detector, and CI fails if any
+//! explored schedule loses an element, double-claims one, or performs
+//! an unordered slot access (DESIGN.md §14).
 
+use crate::atomics::{AtomicInt, AtomicPtrCell, Atomics, DataSlot, StdAtomics, Weaken};
 use parking_lot::Mutex;
-use std::cell::UnsafeCell;
-use std::mem::MaybeUninit;
-use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::atomic::Ordering;
 
 /// Result of a steal attempt.
 #[derive(Debug, PartialEq, Eq)]
@@ -62,17 +76,15 @@ pub enum Steal<T> {
 
 /// A growable circular buffer. Slot `i` lives at index `i & mask`; the
 /// live window is `[top, bottom)`, at most `cap` elements wide.
-struct Buffer<T> {
-    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+struct Buffer<T, A: Atomics> {
+    slots: Box<[A::Slot<T>]>,
     mask: usize,
 }
 
-impl<T> Buffer<T> {
+impl<T, A: Atomics> Buffer<T, A> {
     fn new(cap: usize) -> Box<Self> {
         debug_assert!(cap.is_power_of_two());
-        let slots = (0..cap)
-            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
-            .collect();
+        let slots = (0..cap).map(|_| A::Slot::vacant()).collect();
         Box::new(Buffer {
             slots,
             mask: cap - 1,
@@ -83,19 +95,33 @@ impl<T> Buffer<T> {
         self.mask + 1
     }
 
-    /// Bitwise-read slot `i`. Safety: the caller must hold a claim on
-    /// the element (owner within `[top, bottom)`, or a thief whose
-    /// subsequent `top` CAS validates the read).
-    unsafe fn read(&self, i: isize) -> T {
-        let slot = self.slots[(i as usize) & self.mask].get();
-        (*slot).assume_init_read()
+    fn slot(&self, i: isize) -> &A::Slot<T> {
+        &self.slots[(i as usize) & self.mask]
     }
 
-    /// Bitwise-write slot `i`. Safety: owner-only, and `i` must be
-    /// outside every thief-visible live window (`i == bottom`).
+    /// Bitwise-read slot `i`.
+    ///
+    /// # Safety
+    /// The caller must hold a claim on the element (owner within
+    /// `[top, bottom)`); the returned copy becomes the element's only
+    /// live owner unless forgotten.
+    unsafe fn read(&self, i: isize) -> T {
+        // SAFETY: forwarded caller contract — the slot is initialized
+        // (a push wrote index `i` before `bottom` moved past it) and
+        // claimed.
+        unsafe { self.slot(i).read() }
+    }
+
+    /// Bitwise-write slot `i`.
+    ///
+    /// # Safety
+    /// Owner-only, and `i` must be outside every thief-visible live
+    /// window (`i == bottom`, or the buffer is not yet published).
     unsafe fn write(&self, i: isize, value: T) {
-        let slot = self.slots[(i as usize) & self.mask].get();
-        (*slot).write(value);
+        // SAFETY: forwarded caller contract — exclusive write access to
+        // an out-of-window slot; old bits are never dropped
+        // (`MaybeUninit` semantics).
+        unsafe { self.slot(i).write(value) };
     }
 }
 
@@ -107,39 +133,56 @@ impl<T> Buffer<T> {
 /// structural there); the owner-end methods are therefore `unsafe`-free
 /// but documented owner-only, and the debug build asserts nothing about
 /// cross-thread misuse beyond what the algorithm tolerates.
-pub struct WsDeque<T> {
+///
+/// The `A` parameter selects the atomics family: [`StdAtomics`]
+/// (the default — production, zero-cost) or `gfd-model`'s VM-backed
+/// family (every synchronization op becomes a controlled, clock-tracked
+/// schedule point).
+pub struct WsDeque<T, A: Atomics = StdAtomics> {
     /// Owner end. Written only by the owner; read by thieves.
-    bottom: AtomicIsize,
+    bottom: A::Isize,
     /// Thief end. Advanced by successful steals (and the owner's
     /// last-element CAS in `pop`); never decreases.
-    top: AtomicIsize,
-    buf: AtomicPtr<Buffer<T>>,
+    top: A::Isize,
+    buf: A::Ptr<Buffer<T, A>>,
     /// Buffers retired by `grow`, freed on drop (see module docs). The
     /// boxes must not be flattened into the `Vec`: a racing thief may
     /// still read through a stale `buf` pointer, so a retired buffer
     /// has to keep its heap address until the deque itself drops.
     #[allow(clippy::vec_box)]
-    retired: Mutex<Vec<Box<Buffer<T>>>>,
+    retired: Mutex<Vec<Box<Buffer<T, A>>>>,
 }
 
 // SAFETY: the deque hands each element to exactly one thread (owner pop
-// or CAS-validated steal); `T: Send` is all that transfer needs.
-unsafe impl<T: Send> Send for WsDeque<T> {}
-unsafe impl<T: Send> Sync for WsDeque<T> {}
+// or CAS-validated steal); `T: Send` is all that transfer needs. The
+// shared internals are the family's atomics (Sync by trait bound) and
+// raw slots whose cross-thread access protocol is the algorithm itself.
+unsafe impl<T: Send, A: Atomics> Send for WsDeque<T, A> {}
+// SAFETY: as above — `&WsDeque` exposes only the owner/thief protocol.
+unsafe impl<T: Send, A: Atomics> Sync for WsDeque<T, A> {}
 
-impl<T> Default for WsDeque<T> {
+impl<T, A: Atomics> Default for WsDeque<T, A> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<T> WsDeque<T> {
+impl<T, A: Atomics> WsDeque<T, A> {
     /// An empty deque with a small initial capacity.
     pub fn new() -> Self {
+        Self::with_capacity(64)
+    }
+
+    /// An empty deque whose first buffer holds `cap` elements (rounded
+    /// up to a power of two). Model scenarios use tiny capacities so
+    /// the grow-under-steal path is reachable within a few operations;
+    /// production callers can pre-size for a known seed burst.
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.next_power_of_two().max(2);
         WsDeque {
-            bottom: AtomicIsize::new(0),
-            top: AtomicIsize::new(0),
-            buf: AtomicPtr::new(Box::into_raw(Buffer::new(64))),
+            bottom: A::Isize::new(0),
+            top: A::Isize::new(0),
+            buf: A::Ptr::new(Box::into_raw(Buffer::new(cap))),
             retired: Mutex::new(Vec::new()),
         }
     }
@@ -148,6 +191,7 @@ impl<T> WsDeque<T> {
     /// concurrent steal, a lower bound otherwise. Used to size steal
     /// batches — a stale answer only makes a thief take a slightly
     /// wrong half, never break correctness.
+    #[inline]
     pub fn len_hint(&self) -> usize {
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Relaxed);
@@ -155,12 +199,15 @@ impl<T> WsDeque<T> {
     }
 
     /// Owner-only: push `value` at the bottom.
+    #[inline]
     pub fn push(&self, value: T) {
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Acquire);
         let mut buf = self.buf.load(Ordering::Relaxed);
         // SAFETY: `buf` is only replaced by the owner (us), so the
-        // pointer is the current buffer and stays valid.
+        // pointer is the current buffer and stays valid; the slot write
+        // targets index `b == bottom`, which no thief-visible live
+        // window contains until the release store below publishes it.
         unsafe {
             if b - t >= (*buf).cap() as isize {
                 buf = self.grow(b, t, buf);
@@ -168,12 +215,20 @@ impl<T> WsDeque<T> {
             (*buf).write(b, value);
         }
         // Release: a thief that acquires the new `bottom` sees the slot
-        // write above.
-        self.bottom.store(b + 1, Ordering::Release);
+        // write above. (`Weaken::DequePushPublish` downgrades this to
+        // Relaxed under the model — the checker must then flag the
+        // thief's slot read as unordered.)
+        let publish = if A::weakened(Weaken::DequePushPublish) {
+            Ordering::Relaxed
+        } else {
+            Ordering::Release
+        };
+        self.bottom.store(b + 1, publish);
     }
 
     /// Owner-only: pop from the bottom (the most recently pushed / the
     /// highest-priority end under the scheduler's reverse-seeding).
+    #[inline]
     pub fn pop(&self) -> Option<T> {
         let b = self.bottom.load(Ordering::Relaxed) - 1;
         let buf = self.buf.load(Ordering::Relaxed);
@@ -181,7 +236,7 @@ impl<T> WsDeque<T> {
         // SeqCst: order the `bottom` decrement before the `top` read
         // below, against every thief's SeqCst CAS. Without this a pop
         // and a steal could both claim the last element.
-        fence(Ordering::SeqCst);
+        A::fence(Ordering::SeqCst);
         let t = self.top.load(Ordering::Relaxed);
         if t > b {
             // Already empty: undo the decrement.
@@ -189,7 +244,8 @@ impl<T> WsDeque<T> {
             return None;
         }
         // SAFETY: `[t, b]` is non-empty here, so slot `b` was written by
-        // a prior push and no thief can claim it without first claiming
+        // a prior push (by us, the owner — program order makes the read
+        // well-ordered) and no thief can claim it without first claiming
         // everything below index b (thieves take from the top).
         let value = unsafe { (*buf).read(b) };
         if t == b {
@@ -212,11 +268,12 @@ impl<T> WsDeque<T> {
 
     /// Steal one element from the top (the owner's lowest-priority
     /// end). Callable from any thread.
+    #[inline]
     pub fn steal(&self) -> Steal<T> {
         let t = self.top.load(Ordering::Acquire);
         // SeqCst: order the `top` read before the `bottom` read against
         // the owner-pop's fence (see `pop`).
-        fence(Ordering::SeqCst);
+        A::fence(Ordering::SeqCst);
         let b = self.bottom.load(Ordering::Acquire);
         if t >= b {
             return Steal::Empty;
@@ -225,20 +282,28 @@ impl<T> WsDeque<T> {
         // publishes the new buffer before any push that could recycle
         // old slot indices, so the buffer we read covers index `t`.
         let buf = self.buf.load(Ordering::Acquire);
-        // SAFETY: speculative bit copy; only *used* if the CAS below
-        // succeeds, which proves no push recycled the slot and no other
-        // claimant took index `t` (see module docs).
-        let value = unsafe { (*buf).read(t) };
+        // SAFETY: speculative bit copy; only materialized as a `T` if
+        // the CAS below succeeds, which proves no push recycled the slot
+        // and no other claimant took index `t` (see module docs).
+        let (bits, guard) = unsafe { (*buf).slot(t).read_speculative() };
         if self
             .top
             .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
             .is_err()
         {
-            // Lost the race; the bit copy is stale — discard undropped.
-            std::mem::forget(value);
+            // Lost the race; the bit copy is stale — discarded unused,
+            // so the read it came from raced with nothing that matters.
+            A::Slot::<T>::discard(guard);
             return Steal::Retry;
         }
-        Steal::Success(value)
+        // Won: the read is retroactively known to have observed a
+        // stable, initialized slot (the model family re-checks exactly
+        // that here).
+        A::Slot::<T>::confirm(guard);
+        // SAFETY: the successful CAS transferred ownership of element
+        // `t` to us, and proved the speculative copy read the committed
+        // bits of an initialized slot.
+        Steal::Success(unsafe { bits.assume_init() })
     }
 
     /// Owner-only, cold: replace the buffer with one twice the size,
@@ -248,25 +313,54 @@ impl<T> WsDeque<T> {
     /// pointer mid-read. Duplicate bit copies left in the old buffer
     /// are never dropped (slots are `MaybeUninit`), so each element
     /// still has exactly one eventual owner.
-    unsafe fn grow(&self, b: isize, t: isize, old: *mut Buffer<T>) -> *mut Buffer<T> {
-        let new = Buffer::new(((*old).cap() * 2).max(64));
-        for i in t..b {
-            new.write(i, (*old).read(i));
-        }
+    ///
+    /// # Safety
+    /// Caller must be the owner, `old` must be the current buffer, and
+    /// `[t, b)` must be the live window.
+    //
+    // Cold and never inlined: keeps `push`'s inlinable body to the
+    // four-instruction hot path (the zero-cost bench guard watches
+    // this).
+    #[cold]
+    #[inline(never)]
+    unsafe fn grow(&self, b: isize, t: isize, old: *mut Buffer<T, A>) -> *mut Buffer<T, A> {
+        // SAFETY: `old` is the current buffer (caller contract) and the
+        // owner (us) is the only writer; reads of `[t, b)` target slots
+        // our own prior pushes initialized, and writes target the new,
+        // not-yet-published buffer no other thread can reach.
+        let new = unsafe {
+            let new = Buffer::new(((*old).cap() * 2).max(64));
+            for i in t..b {
+                new.write(i, (*old).read(i));
+            }
+            new
+        };
         let new = Box::into_raw(new);
         // Release: thieves acquiring the pointer see the copied slots.
-        self.buf.store(new, Ordering::Release);
-        self.retired.lock().push(Box::from_raw(old));
+        // (`Weaken::DequeBufPublish` downgrades this under the model.)
+        let publish = if A::weakened(Weaken::DequeBufPublish) {
+            Ordering::Relaxed
+        } else {
+            Ordering::Release
+        };
+        self.buf.store(new, publish);
+        // SAFETY: `old` came from `Box::into_raw` in `with_capacity` or
+        // a previous grow, and is reboxed exactly once — here, into the
+        // retired list that outlives every racing thief read.
+        self.retired.lock().push(unsafe { Box::from_raw(old) });
         new
     }
 }
 
-impl<T> Drop for WsDeque<T> {
+impl<T, A: Atomics> Drop for WsDeque<T, A> {
     fn drop(&mut self) {
         // Exclusive access: drop the live window, then free buffers.
-        let b = *self.bottom.get_mut();
-        let t = *self.top.get_mut();
-        let buf = *self.buf.get_mut();
+        let b = self.bottom.unsync_load();
+        let t = self.top.unsync_load();
+        let buf = self.buf.unsync_load();
+        // SAFETY: `&mut self` means no owner or thief is active; every
+        // element in `[t, b)` is initialized and unclaimed, and `buf`
+        // is the one live `Box::into_raw` allocation, reboxed once.
         unsafe {
             for i in t..b {
                 drop((*buf).read(i));
@@ -283,9 +377,11 @@ mod tests {
     use std::sync::atomic::AtomicUsize;
     use std::sync::Arc;
 
+    type StdDeque<T> = WsDeque<T, StdAtomics>;
+
     #[test]
     fn owner_lifo_order() {
-        let d = WsDeque::new();
+        let d = StdDeque::new();
         for i in 0..10 {
             d.push(i);
         }
@@ -297,7 +393,7 @@ mod tests {
 
     #[test]
     fn steal_takes_fifo_from_the_top() {
-        let d = WsDeque::new();
+        let d = StdDeque::new();
         for i in 0..4 {
             d.push(i);
         }
@@ -310,7 +406,7 @@ mod tests {
 
     #[test]
     fn grows_past_initial_capacity() {
-        let d = WsDeque::new();
+        let d = StdDeque::new();
         for i in 0..1000 {
             d.push(i);
         }
@@ -321,10 +417,23 @@ mod tests {
     }
 
     #[test]
+    fn tiny_capacity_grows_from_two() {
+        let d: StdDeque<usize> = WsDeque::with_capacity(2);
+        for i in 0..9 {
+            d.push(i);
+        }
+        assert_eq!(d.steal(), Steal::Success(0));
+        for i in (1..9).rev() {
+            assert_eq!(d.pop(), Some(i));
+        }
+        assert_eq!(d.pop(), None);
+    }
+
+    #[test]
     fn drop_releases_undrained_elements() {
         // Arc counts prove each element is dropped exactly once.
         let marker = Arc::new(());
-        let d = WsDeque::new();
+        let d = StdDeque::new();
         for _ in 0..100 {
             d.push(Arc::clone(&marker));
         }
@@ -334,19 +443,32 @@ mod tests {
         assert_eq!(Arc::strong_count(&marker), 1);
     }
 
+    // Miri runs the same concurrency tests at a fraction of the
+    // iteration count: the interpreter is ~3 orders of magnitude slower
+    // and its scheduler preempts aggressively, so small counts still
+    // exercise every racy path (push/pop/steal/grow) while keeping the
+    // CI job in seconds.
+    #[cfg(miri)]
+    const STORM_UNITS: usize = 300;
+    #[cfg(not(miri))]
+    const STORM_UNITS: usize = 20_000;
+    #[cfg(miri)]
+    const STORM_THIEVES: usize = 2;
+    #[cfg(not(miri))]
+    const STORM_THIEVES: usize = 7;
+
     #[test]
     fn concurrent_steal_storm_loses_nothing() {
-        // 1 owner pushing/popping, 7 thieves hammering steal: every
+        // 1 owner pushing/popping, thieves hammering steal: every
         // element is claimed exactly once and the claimed sum matches.
-        const N: usize = 20_000;
-        const THIEVES: usize = 7;
-        let d = Arc::new(WsDeque::new());
+        const N: usize = STORM_UNITS;
+        let d = Arc::new(StdDeque::new());
         let taken = Arc::new(AtomicUsize::new(0));
         let sum = Arc::new(AtomicUsize::new(0));
         let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
 
         let mut handles = Vec::new();
-        for _ in 0..THIEVES {
+        for _ in 0..STORM_THIEVES {
             let d = Arc::clone(&d);
             let taken = Arc::clone(&taken);
             let sum = Arc::clone(&sum);
@@ -401,8 +523,11 @@ mod tests {
     fn concurrent_growth_under_steals() {
         // Push far past capacity while thieves steal, forcing grows
         // with live readers on retired buffers.
+        #[cfg(miri)]
+        const N: usize = 400;
+        #[cfg(not(miri))]
         const N: usize = 50_000;
-        let d = Arc::new(WsDeque::new());
+        let d = Arc::new(StdDeque::with_capacity(if cfg!(miri) { 2 } else { 64 }));
         let taken = Arc::new(AtomicUsize::new(0));
         let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let mut handles = Vec::new();

@@ -32,10 +32,12 @@
 
 #![warn(missing_docs)]
 
+pub mod atomics;
 pub mod cputime;
 pub mod deque;
 pub mod failpoint;
 pub mod metrics;
+pub mod quiesce;
 pub mod sched;
 
 pub use metrics::RunMetrics;

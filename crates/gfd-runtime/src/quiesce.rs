@@ -1,0 +1,124 @@
+//! The scheduler's quiescence and cancellation protocol, extracted so
+//! it can be model-checked (DESIGN.md §14.4).
+//!
+//! Quiescence is an in-flight unit counter: seeded and split units
+//! increment it, completed units decrement it, and a worker may exit
+//! only when it observes zero (or the stop flag). The protocol's
+//! correctness rests on two ordering decisions this module owns:
+//!
+//! 1. **Split publishes count-first.** A straggler splitting off
+//!    remainder units raises the counter *before* the units become
+//!    stealable. Were the order flipped, a thief could steal, execute
+//!    and decrement a split unit before its increment landed — the
+//!    counter dips to zero (or underflows) with work still queued, and
+//!    another worker exits early. [`Quiesce::split`] encapsulates the
+//!    order; the `gfd-model` scenario `quiesce_split_protocol` explores
+//!    both orders and exhibits the early-exit schedule for the flipped
+//!    one (behind [`Weaken::QuiesceSplitPublish`]).
+//! 2. **Counter traffic is SeqCst.** The decrement a worker performs
+//!    after finishing a unit and the zero-check another worker exits on
+//!    must be in one total order with the split increments, so "observed
+//!    zero" implies "every unit, split or not, fully executed".
+//!
+//! The stop flag is the cancellation side: any worker (or the task, via
+//! its own reference) raises it with a SeqCst store; workers poll it
+//! with a relaxed load — cancellation is a latency hint, not a
+//! synchronization edge, and the final verdict travels through the
+//! scheduler's mutex-protected verdict slot and thread joins instead.
+
+use crate::atomics::{AtomicFlag, AtomicInt, Atomics, StdAtomics, Weaken};
+use std::sync::atomic::Ordering;
+
+/// The in-flight unit counter behind scheduler quiescence, generic over
+/// the [`Atomics`] family so the model build can explore its
+/// interleavings.
+pub struct Quiesce<A: Atomics = StdAtomics> {
+    in_flight: A::Usize,
+}
+
+impl<A: Atomics> Quiesce<A> {
+    /// A counter seeded with `seeded` not-yet-executed units.
+    pub fn new(seeded: usize) -> Self {
+        Quiesce {
+            in_flight: A::Usize::new(seeded),
+        }
+    }
+
+    /// Publish `n` split units: raise the counter, then make the units
+    /// visible by running `push` (which enqueues them wherever the
+    /// caller's topology wants them). The count-first order is the
+    /// protocol invariant — see the module docs. The parent unit is
+    /// still counted while this runs, so the counter cannot reach zero
+    /// mid-split either way; the order matters for the *children*,
+    /// which become stealable the moment `push` runs.
+    pub fn split(&self, n: usize, push: impl FnOnce()) {
+        if A::weakened(Weaken::QuiesceSplitPublish) {
+            // Deliberately wrong order, reachable only from the model
+            // build: children are stealable before they are counted.
+            push();
+            self.in_flight.fetch_add(n, Ordering::SeqCst);
+        } else {
+            self.in_flight.fetch_add(n, Ordering::SeqCst);
+            push();
+        }
+    }
+
+    /// A unit (seeded or split) finished executing — including any
+    /// splits it published, which were counted separately before this
+    /// decrement.
+    pub fn complete_one(&self) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Has every counted unit finished? A `true` answer is a worker's
+    /// licence to exit: with the count-first split order, zero implies
+    /// no unit is queued anywhere and none is mid-execution.
+    pub fn quiescent(&self) -> bool {
+        self.in_flight.load(Ordering::SeqCst) == 0
+    }
+
+    /// The current in-flight count (diagnostics only — stale the moment
+    /// it returns).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Raise the stop flag: every worker exits its loop at the next
+    /// poll. SeqCst store so a raise is never reordered behind whatever
+    /// verdict write preceded it.
+    pub fn raise_stop(stop: &A::Bool) {
+        stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Poll the stop flag (relaxed: a missed poll only costs one more
+    /// unit of latency; the raise itself is SeqCst).
+    pub fn stop_requested(stop: &A::Bool) -> bool {
+        stop.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_seed_split_and_completion() {
+        let q: Quiesce = Quiesce::new(2);
+        assert!(!q.quiescent());
+        q.split(3, || {});
+        assert_eq!(q.in_flight(), 5);
+        for _ in 0..5 {
+            assert!(!q.quiescent());
+            q.complete_one();
+        }
+        assert!(q.quiescent());
+    }
+
+    #[test]
+    fn stop_flag_round_trip() {
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        assert!(!Quiesce::<StdAtomics>::stop_requested(&stop));
+        Quiesce::<StdAtomics>::raise_stop(&stop);
+        assert!(Quiesce::<StdAtomics>::stop_requested(&stop));
+    }
+}

@@ -42,16 +42,18 @@
 //! boundaries and degrade the run to [`RunOutcome::BudgetExceeded`]
 //! rather than panicking.
 
+use crate::atomics::StdAtomics;
 use crate::cputime::BusyTimer;
 use crate::deque::{Steal, WsDeque};
 use crate::failpoint;
+use crate::quiesce::Quiesce;
 use gfd_trace::{EventKind, SpanStart, Trace, TraceBuf, TraceSpec};
 use parking_lot::Mutex;
 use std::any::Any;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// How units travel from the queue(s) to the workers.
@@ -233,8 +235,9 @@ enum Queues<U> {
 
 struct Shared<'s, U> {
     queues: Queues<U>,
-    /// Units seeded or split but not yet fully executed.
-    in_flight: AtomicUsize,
+    /// Units seeded or split but not yet fully executed — the quiescence
+    /// protocol, model-checked in `gfd-model` (DESIGN.md §14.4).
+    quiesce: Quiesce,
     stop: &'s AtomicBool,
     opts: SchedOptions,
     units_executed: AtomicU64,
@@ -333,7 +336,7 @@ impl<U> Shared<'_, U> {
                 *v = Some(outcome);
             }
         }
-        self.stop.store(true, Ordering::SeqCst);
+        Quiesce::<StdAtomics>::raise_stop(self.stop);
     }
 
     fn abort(&self, worker: usize, unit: String, payload: Box<dyn Any + Send>) {
@@ -403,29 +406,30 @@ impl<U> WorkerCtx<'_, U> {
         }
         self.trace_instant(EventKind::Split, 0, units.len() as u64, 0);
         self.shared
-            .in_flight
-            .fetch_add(units.len(), Ordering::SeqCst);
-        self.shared
             .units_split
             .fetch_add(units.len() as u64, Ordering::Relaxed);
-        match &self.shared.queues {
-            Queues::Central(q) => {
-                let mut q = q.lock();
-                for u in units.into_iter().rev() {
-                    q.push_front((u, 0));
+        // Count-first split publication (the Quiesce protocol invariant):
+        // the in-flight counter rises before any unit becomes stealable.
+        self.shared.quiesce.split(units.len(), || {
+            match &self.shared.queues {
+                Queues::Central(q) => {
+                    let mut q = q.lock();
+                    for u in units.into_iter().rev() {
+                        q.push_front((u, 0));
+                    }
+                }
+                Queues::Stealing(deques) => {
+                    // Owner-end pushes in reverse order: the first split
+                    // unit lands bottom-most, so this worker pops it
+                    // next — the same front-of-deque priority the
+                    // mutexed queues gave split remainders.
+                    let dq = &deques[self.worker];
+                    for u in units.into_iter().rev() {
+                        dq.push((u, 0));
+                    }
                 }
             }
-            Queues::Stealing(deques) => {
-                // Owner-end pushes in reverse order: the first split
-                // unit lands bottom-most, so this worker pops it next —
-                // the same front-of-deque priority the mutexed queues
-                // gave split remainders.
-                let dq = &deques[self.worker];
-                for u in units.into_iter().rev() {
-                    dq.push((u, 0));
-                }
-            }
-        }
+        });
     }
 }
 
@@ -481,7 +485,7 @@ fn worker_loop<T: Task>(task: &T, shared: &Shared<'_, T::Unit>, id: usize) -> Wo
         trace: RefCell::new(TraceBuf::new(shared.opts.trace, id as u32)),
     };
     loop {
-        if shared.stop.load(Ordering::Relaxed) {
+        if Quiesce::<StdAtomics>::stop_requested(shared.stop) {
             break;
         }
         if let Some(deadline) = shared.opts.deadline {
@@ -542,7 +546,7 @@ fn worker_loop<T: Task>(task: &T, shared: &Shared<'_, T::Unit>, id: usize) -> Wo
             shared.units_executed.fetch_add(1, Ordering::Relaxed);
             match result {
                 Ok(()) => {
-                    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    shared.quiesce.complete_one();
                 }
                 Err(payload) => {
                     shared.units_panicked.fetch_add(1, Ordering::Relaxed);
@@ -557,7 +561,7 @@ fn worker_loop<T: Task>(task: &T, shared: &Shared<'_, T::Unit>, id: usize) -> Wo
                             Queues::Stealing(deques) => deques[id].push((clone, attempt + 1)),
                         }
                     } else {
-                        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                        shared.quiesce.complete_one();
                         shared.abort(id, label, payload);
                         break;
                     }
@@ -565,7 +569,7 @@ fn worker_loop<T: Task>(task: &T, shared: &Shared<'_, T::Unit>, id: usize) -> Wo
             }
             continue;
         }
-        if shared.in_flight.load(Ordering::SeqCst) == 0 {
+        if shared.quiesce.quiescent() {
             break;
         }
         // No runnable unit, but a straggler elsewhere may still split.
@@ -654,7 +658,7 @@ pub fn run_scheduler_with<T: Task>(
     };
     let shared = Shared {
         queues,
-        in_flight: AtomicUsize::new(in_flight),
+        quiesce: Quiesce::new(in_flight),
         stop,
         opts,
         units_executed: AtomicU64::new(0),
