@@ -22,10 +22,12 @@
 //! and writes its Chrome trace-event timeline to FILE — the file
 //! `gfd trace-check` validates in CI.
 
-use gfd_bench::{banner, fmt_duration, scale, Table};
+use gfd_bench::{banner, fmt_duration, scale, time_median, Table};
 use gfd_chase::{dep_sat_with_config, ChaseConfig};
-use gfd_gen::{mixed_ggd_workload, GgdGenConfig};
-use gfd_graph::Vocab;
+use gfd_detect::{detect, DetectConfig, ViolationRecord};
+use gfd_gen::{hub_workload, mixed_ggd_workload, GgdGenConfig, HubGenConfig};
+use gfd_graph::{LabelIndex, Vocab};
+use gfd_match::{IntersectStrategy, MatchPlan};
 use gfd_runtime::{RunMetrics, TraceSpec};
 use std::time::Duration;
 
@@ -156,7 +158,79 @@ fn main() {
          (round-snapshot semantics)."
     );
 
-    let json = render_json(scale.name, &cfg, base, &rows);
+    // --- Hub workload row (DESIGN.md §15): a power-law graph with
+    // string-heavy rules, detected at p = 1 vs the widest width. The
+    // matcher must route the diamond rules' doubly-anchored step onto
+    // the bitset merge, and the violation set — count and fingerprint —
+    // must be invariant across p and across runs (seeded generation).
+    let hcfg = match scale.name {
+        "full" => HubGenConfig {
+            nodes: 8_000,
+            hub_degree: 128,
+            ..HubGenConfig::default()
+        },
+        _ => HubGenConfig::default(),
+    };
+    let hub = hub_workload(&hcfg);
+    let idx = LabelIndex::build(&hub.graph);
+    let diamond = hub
+        .sigma
+        .iter()
+        .find(|(_, d)| d.name.starts_with("hub_diamond"))
+        .expect("hub preset emits diamond rules")
+        .1;
+    let plan = MatchPlan::build(&diamond.pattern, None, Some(&idx));
+    assert!(
+        plan.steps()
+            .iter()
+            .any(|s| s.strategy == IntersectStrategy::Bitset),
+        "hub workload must push a doubly-anchored step into the bitset regime"
+    );
+    println!(
+        "\nhub workload {}: {} nodes, {} edges, {} rules \
+         (diamond step plans as bitset merge)",
+        hub.name,
+        hub.graph.node_count(),
+        hub.graph.edge_count(),
+        hub.sigma.len(),
+    );
+    let mut hub_rows: Vec<(usize, Duration, usize)> = Vec::new();
+    let mut hub_fp = 0u64;
+    let mut table = Table::new(&["p", "time", "violations", "fingerprint"]);
+    for &p in &[1usize, widest] {
+        let config = DetectConfig {
+            ttl: scale.default_ttl,
+            max_violations: usize::MAX,
+            ..DetectConfig::with_workers(p)
+        };
+        let mut found = 0usize;
+        let mut fp = 0u64;
+        let t = time_median(scale.repeats, || {
+            let r = detect(&hub.graph, &hub.sigma, &config);
+            found = r.violations.len();
+            fp = violation_fingerprint(&r.violations);
+        });
+        if p == 1 {
+            hub_fp = fp;
+        } else {
+            assert_eq!(
+                (found, fp),
+                (hub_rows[0].2, hub_fp),
+                "hub violations must be p-invariant"
+            );
+        }
+        table.row(vec![
+            p.to_string(),
+            fmt_duration(t),
+            found.to_string(),
+            format!("{fp:016x}"),
+        ]);
+        hub_rows.push((p, t, found));
+    }
+    println!("\nhub-workload detection (bitset-pruned matching):");
+    table.print();
+
+    let json = render_json(scale.name, &cfg, base, &rows, &hcfg, &hub_rows, hub_fp);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exp8.json");
     match std::fs::write(path, &json) {
         Ok(()) => println!("\nwrote {path}"),
@@ -197,7 +271,38 @@ struct Row {
     steals: u64,
 }
 
-fn render_json(scale: &str, cfg: &GgdGenConfig, base: Duration, rows: &[Row]) -> String {
+/// An order-insensitive FNV-1a fold over the violation set: each record
+/// keyed by (rule, match, failed literals), the keys sorted before
+/// hashing so worker scheduling cannot perturb the digest.
+fn violation_fingerprint(vs: &[ViolationRecord]) -> u64 {
+    let mut keys: Vec<Vec<u64>> = vs
+        .iter()
+        .map(|v| {
+            let mut k = vec![v.gfd.index() as u64];
+            k.extend(v.m.iter().map(|n| n.index() as u64));
+            k.extend(v.failed.iter().map(|&i| i as u64));
+            k
+        })
+        .collect();
+    keys.sort_unstable();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in keys.iter().flatten() {
+        h ^= w;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    scale: &str,
+    cfg: &GgdGenConfig,
+    base: Duration,
+    rows: &[Row],
+    hcfg: &HubGenConfig,
+    hub_rows: &[(usize, Duration, usize)],
+    hub_fp: u64,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"experiment\": \"exp8_ggd_chase\",\n");
     out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
@@ -227,6 +332,21 @@ fn render_json(scale: &str, cfg: &GgdGenConfig, base: Duration, rows: &[Row]) ->
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"hub\": {{\"nodes\": {}, \"hubs\": {}, \"hub_degree\": {}, \
+         \"rules\": {}, \"fingerprint\": \"{:016x}\", \"rows\": [\n",
+        hcfg.nodes, hcfg.hubs, hcfg.hub_degree, hcfg.rules, hub_fp
+    ));
+    for (i, &(p, t, found)) in hub_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {}, \"detect_ms\": {:.3}, \"violations\": {}}}{}\n",
+            p,
+            t.as_secs_f64() * 1e3,
+            found,
+            if i + 1 == hub_rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]}\n}\n");
     out
 }

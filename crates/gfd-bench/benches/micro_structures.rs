@@ -18,7 +18,7 @@ fn bench_eq_rel(c: &mut Criterion) {
             for i in 0..1000usize {
                 eq.bind(
                     (NodeId::new(i), AttrId::new(i % 7)),
-                    gfd_graph::Value::Int((i % 5) as i64),
+                    gfd_graph::ValueId::of((i % 5) as i64),
                 )
                 .unwrap();
             }
@@ -587,6 +587,306 @@ fn bench_atomics_zero_cost(_c: &mut Criterion) {
     );
 }
 
+/// Asserted guard for the interned-value literal path (DESIGN.md §15):
+/// a `ValueId` equality check must beat the `Value::Str(Arc<str>)`
+/// content compare by ≥ 3x on a string-heavy mix, and must not regress
+/// the balanced (int-heavy) mix the old representation was already fast
+/// on. Both sides answer the same probe list and must agree exactly —
+/// id equality ⟺ value equality is what makes the substitution sound.
+fn bench_literal_interning(_c: &mut Criterion) {
+    use gfd_bench::fmt_duration;
+    use gfd_graph::{Value, ValueId};
+    use std::time::{Duration, Instant};
+
+    // 64 distinct strings with a long shared prefix, so content compares
+    // walk real bytes before diverging. Left/right pools are allocated
+    // separately: equal contents never share an `Arc`, exactly like two
+    // occurrences parsed from different input lines pre-interning.
+    let make_str_pool = || -> Vec<Value> {
+        (0..64)
+            .map(|i| {
+                Value::str(format!(
+                    "the-quick-brown-fox-jumps-over-the-lazy-dog/{:03}",
+                    i % 48 // 48 distinct values, some duplicated
+                ))
+            })
+            .collect()
+    };
+    let make_int_pool = || -> Vec<Value> { (0..64).map(|i| Value::int((i % 48) as i64)).collect() };
+
+    let probes: Vec<(usize, usize)> = (0..4096)
+        .map(|k| ((k * 31) % 64, (k * 17 + k / 64) % 64))
+        .collect();
+    const SWEEPS: usize = 400;
+
+    let guard = |label: &str, left: Vec<Value>, right: Vec<Value>, min_ratio: f64| {
+        let left_ids: Vec<ValueId> = left.iter().map(|v| ValueId::of(v.clone())).collect();
+        let right_ids: Vec<ValueId> = right.iter().map(|v| ValueId::of(v.clone())).collect();
+        let run_values = || {
+            let start = Instant::now();
+            let mut eq = 0usize;
+            for _ in 0..SWEEPS {
+                for &(i, j) in &probes {
+                    if left[i] == right[j] {
+                        eq += 1;
+                    }
+                }
+            }
+            (start.elapsed(), black_box(eq))
+        };
+        let run_ids = || {
+            let start = Instant::now();
+            let mut eq = 0usize;
+            for _ in 0..SWEEPS {
+                for &(i, j) in &probes {
+                    if left_ids[i] == right_ids[j] {
+                        eq += 1;
+                    }
+                }
+            }
+            (start.elapsed(), black_box(eq))
+        };
+        let (_, val_eq) = run_values();
+        let (_, id_eq) = run_ids(); // warm-up both paths
+        assert_eq!(val_eq, id_eq, "{label}: interned equality must agree");
+        let (mut vals_t, mut ids_t) = (Duration::MAX, Duration::MAX);
+        for _ in 0..9 {
+            vals_t = vals_t.min(run_values().0);
+            ids_t = ids_t.min(run_ids().0);
+        }
+        let ratio = vals_t.as_secs_f64() / ids_t.as_secs_f64().max(1e-9);
+        println!(
+            "literal_check/{label}: arc_str {}  value_id {}  ({ratio:.1}x)",
+            fmt_duration(vals_t),
+            fmt_duration(ids_t),
+        );
+        assert!(
+            ids_t.mul_f64(min_ratio) <= vals_t + Duration::from_millis(2),
+            "{label}: interned check only {ratio:.2}x faster (need ≥ {min_ratio}x): \
+             values={vals_t:?} ids={ids_t:?}"
+        );
+    };
+
+    // String-heavy mix: the acceptance bar is ≥ 3x.
+    guard("string_heavy", make_str_pool(), make_str_pool(), 3.0);
+    // Balanced (int-heavy) mix: ints were already a word compare, so the
+    // bar is only "no regression" (ratio ≥ 1 within the noise floor).
+    guard("balanced_int", make_int_pool(), make_int_pool(), 1.0);
+}
+
+/// Asserted guard for the three-way intersection crossover
+/// (DESIGN.md §15). Pins the plan-layer constants, checks the slice
+/// kernels agree, and asserts the regime map the planner encodes:
+///
+/// * the hub regime, end to end: a multi-anchored step over fat,
+///   overlapping adjacencies, searched with the stats-driven plan
+///   (which routes the step through the bitset merge) must beat the
+///   same plan with the bitset demoted (`MatchPlan::without_bitset`):
+///   sorted merge + per-candidate probes — same `HomSearch`, same
+///   ordering, same matches, only the strategy differs;
+/// * skewed 1000x: galloping beats the two-pointer walk;
+/// * balanced sparse: the two-pointer stays ahead of the bitset (the
+///   case the `BITSET_ANCHOR_DEGREE` gate protects).
+fn bench_intersect_crossover(_c: &mut Criterion) {
+    use gfd_bench::fmt_duration;
+    use gfd_match::{
+        intersect_slices_bitset, intersect_slices_gallop, intersect_slices_two_pointer,
+        HomSearch, IntersectStrategy, SearchLimits, BITSET_ANCHOR_DEGREE, BITSET_MIN_CANDIDATES,
+    };
+    use std::ops::ControlFlow;
+    use std::time::{Duration, Instant};
+
+    // The constants the planner and runtime gate on; DESIGN.md §15
+    // documents these values, and the hub workload generator sizes its
+    // head degree against them.
+    assert_eq!(BITSET_ANCHOR_DEGREE, 64, "plan-layer bitset gate moved");
+    assert_eq!(BITSET_MIN_CANDIDATES, 64, "runtime bitset gate moved");
+
+    // Skew and balanced shapes mirror `bench_intersect`; the kernels
+    // must agree everywhere.
+    let long: Vec<NodeId> = (0..65_536usize).map(|i| NodeId::new(i * 3)).collect();
+    let short: Vec<NodeId> = (0..64usize).map(|i| NodeId::new(i * 3001)).collect();
+    let mid: Vec<NodeId> = (0..65_536usize).map(|i| NodeId::new(i * 3 + 1)).collect();
+    for (a, b) in [(&short, &long), (&mid, &long)] {
+        let expect = intersect_slices_two_pointer(a, b);
+        assert_eq!(intersect_slices_gallop(a, b), expect);
+        assert_eq!(intersect_slices_bitset(a, b), expect);
+    }
+
+    // Hub regime: five hubs with fat, heavily-overlapping spoke
+    // adjacencies (residue windows mod 64, so pairwise overlaps stay
+    // large but the last window thins the final intersection) and a
+    // 7-node pattern whose last variable is anchored on all five. The
+    // merge fallback intersects the two smallest adjacencies and then
+    // binary-probes every surviving candidate against each remaining
+    // anchor — the high overlap keeps those survivors alive through
+    // most probes. The bitset fold streams each extra adjacency through
+    // the scratch set once, one u64 AND per 64 nodes. `without_bitset`
+    // demotes only the strategy, so ordering and anchors are identical
+    // and the timing isolates the candidate-generation path.
+    // Sized so each hub adjacency clearly outgrows L2, and windowed so
+    // the hubs overlap almost completely: survivors stay fat through
+    // every per-candidate probe of the merge fallback, which is exactly
+    // the regime where folding whole adjacencies through the bitset
+    // beats probing candidates one at a time.
+    const SPOKES: usize = 245_760;
+    // Each hub covers spokes whose index mod 64 falls in the window.
+    const WINDOWS: [(usize, usize); 5] = [(0, 16), (0, 16), (0, 16), (0, 16), (8, 24)];
+    let mut vocab = Vocab::new();
+    let r_lbl = vocab.label("root");
+    let hub_lbls: Vec<_> = ["ha", "hb", "hc", "hd", "he"]
+        .into_iter()
+        .map(|n| vocab.label(n))
+        .collect();
+    let s_lbl = vocab.label("spoke");
+    let e = vocab.label("e");
+    let mut g = Graph::new();
+    let root = g.add_node(r_lbl);
+    let hubs: Vec<NodeId> = hub_lbls.iter().map(|&l| g.add_node(l)).collect();
+    for &h in &hubs {
+        g.add_edge(root, e, h);
+        g.add_edge(h, e, root);
+    }
+    for i in 0..hubs.len() {
+        for j in i + 1..hubs.len() {
+            g.add_edge(hubs[i], e, hubs[j]);
+        }
+    }
+    let spokes: Vec<NodeId> = (0..SPOKES).map(|_| g.add_node(s_lbl)).collect();
+    for (hi, (lo, hi_end)) in WINDOWS.into_iter().enumerate() {
+        for (si, &sp) in spokes.iter().enumerate() {
+            if (lo..hi_end).contains(&(si % 64)) {
+                g.add_edge(hubs[hi], e, sp);
+            }
+        }
+    }
+    let idx = LabelIndex::build(&g);
+    // Reciprocal r ↔ hub edges plus a hub clique keep every unplaced
+    // hub's connectivity to the prefix strictly ahead of `d`'s, so the
+    // connectivity-first ordering defers `d` until every hub is bound —
+    // the multi-anchored closing step under test.
+    let mut pat = Pattern::new();
+    let r = pat.add_node(r_lbl, "r");
+    let d_hubs: Vec<_> = ["a", "b", "c", "d4", "e5"]
+        .into_iter()
+        .zip(hub_lbls.iter().copied())
+        .map(|(name, l)| pat.add_node(l, name))
+        .collect();
+    let d = pat.add_node(s_lbl, "d");
+    for &h in &d_hubs {
+        pat.add_edge(r, e, h);
+        pat.add_edge(h, e, r);
+        pat.add_edge(h, e, d);
+    }
+    for i in 0..d_hubs.len() {
+        for j in i + 1..d_hubs.len() {
+            pat.add_edge(d_hubs[i], e, d_hubs[j]);
+        }
+    }
+    let stats_plan = MatchPlan::build(&pat, None, Some(&idx));
+    let last = stats_plan.steps().last().expect("non-empty plan");
+    assert_eq!(last.var, d, "spoke variable must close the plan");
+    assert_eq!(last.anchors.len(), 5, "closing step must carry all anchors");
+    assert_eq!(
+        last.strategy,
+        IntersectStrategy::Bitset,
+        "stats plan must route the triply-anchored step through the bitset"
+    );
+    let merge_plan = stats_plan.without_bitset();
+    assert!(
+        merge_plan
+            .steps()
+            .iter()
+            .all(|s| s.strategy != IntersectStrategy::Bitset),
+        "demoted plan must stay on the merge path"
+    );
+    let count_with = |plan: &MatchPlan| -> usize {
+        let mut count = 0usize;
+        HomSearch::new(&g, &idx, &pat, plan).run(
+            |_| {
+                count += 1;
+                ControlFlow::<()>::Continue(())
+            },
+            SearchLimits::none(),
+        );
+        count
+    };
+    let expect = count_with(&merge_plan);
+    assert_eq!(count_with(&stats_plan), expect, "plans must agree");
+    // d ranges over spokes in every window: residues [8, 16) mod 64.
+    assert_eq!(expect, SPOKES / 64 * 8, "hub fixture match count drifted");
+    // Timing probe: stop at the first match. Every intersection —
+    // two-pointer merge, per-candidate probes, bitset folds — happens
+    // while the closing frame is built, before anything is emitted, so
+    // breaking early times pure candidate generation with the shared
+    // match-emission cost excluded.
+    let first_match = |plan: &MatchPlan| -> usize {
+        let mut n = 0usize;
+        HomSearch::new(&g, &idx, &pat, plan).run(
+            |_| {
+                n += 1;
+                ControlFlow::Break(())
+            },
+            SearchLimits::none(),
+        );
+        n
+    };
+
+    let time = |f: &dyn Fn() -> usize| {
+        let mut best = Duration::MAX;
+        black_box(f()); // warm-up
+        for _ in 0..9 {
+            let start = Instant::now();
+            black_box(f());
+            best = best.min(start.elapsed());
+        }
+        best
+    };
+    let floor = Duration::from_micros(500);
+
+    let hub_merge = time(&|| (0..4).map(|_| first_match(&merge_plan)).sum());
+    let hub_bit = time(&|| (0..4).map(|_| first_match(&stats_plan)).sum());
+    println!(
+        "intersect_crossover/hub_search: merge_plan {}  bitset_plan {}  ({:.2}x)",
+        fmt_duration(hub_merge),
+        fmt_duration(hub_bit),
+        hub_merge.as_secs_f64() / hub_bit.as_secs_f64().max(1e-9),
+    );
+    assert!(
+        hub_bit <= hub_merge + floor,
+        "bitset plan must win the hub regime: merge={hub_merge:?} bitset={hub_bit:?}"
+    );
+
+    let skew_two = time(&|| {
+        (0..64).map(|_| intersect_slices_two_pointer(&short, &long).len()).sum()
+    });
+    let skew_gal = time(&|| {
+        (0..64).map(|_| intersect_slices_gallop(&short, &long).len()).sum()
+    });
+    println!(
+        "intersect_crossover/skewed_1000x: two_pointer {}  gallop {}",
+        fmt_duration(skew_two),
+        fmt_duration(skew_gal),
+    );
+    assert!(
+        skew_gal <= skew_two + floor,
+        "gallop must win the 1000x skew: two={skew_two:?} gallop={skew_gal:?}"
+    );
+
+    let bal_two = time(&|| intersect_slices_two_pointer(&mid, &long).len());
+    let bal_bit = time(&|| intersect_slices_bitset(&mid, &long).len());
+    println!(
+        "intersect_crossover/balanced: two_pointer {}  bitset {}",
+        fmt_duration(bal_two),
+        fmt_duration(bal_bit),
+    );
+    assert!(
+        bal_two <= bal_bit + floor,
+        "two-pointer must stay ahead on the balanced sparse case: \
+         two={bal_two:?} bitset={bal_bit:?}"
+    );
+}
+
 fn bench_ablations(c: &mut Criterion) {
     let w = synthetic_workload(80, 5, 3, 42);
     let mut group = c.benchmark_group("seq_sat_ablations");
@@ -612,6 +912,8 @@ criterion_group!(
     bench_structures,
     bench_matching,
     bench_intersect,
+    bench_literal_interning,
+    bench_intersect_crossover,
     bench_deque,
     bench_scheduler,
     bench_trace_overhead,

@@ -29,7 +29,7 @@ use gfd_core::{
     eval_premise_lits, generate_deducible, Budget, CanonicalGraph, Conflict, Consequence, DepSet,
     EqRel, GfdSet, Interrupt, Literal, Operand, PremiseStatus,
 };
-use gfd_graph::{AttrId, Graph, LabelId, MatchIndex, NodeId, Value, VarId};
+use gfd_graph::{AttrId, Graph, LabelId, MatchIndex, NodeId, ValueId, VarId};
 use gfd_match::{find_all_matches, Match};
 use gfd_runtime::sched::{run_scheduler_with, SchedOptions, SchedRun, Task, WorkerCtx};
 use gfd_runtime::{
@@ -211,7 +211,7 @@ fn apply_literals(eq: &mut EqRel, lits: &[Literal], m: &[NodeId]) -> Result<bool
         let k1 = (m[lit.var.index()], lit.attr);
         match &lit.rhs {
             Operand::Const(c) => {
-                changed |= eq.bind(k1, c.clone())?.changed;
+                changed |= eq.bind(k1, *c)?.changed;
             }
             Operand::Attr(v2, a2) => {
                 let k2 = (m[v2.index()], *a2);
@@ -323,7 +323,7 @@ enum RelNode {
 /// One relation mutation inside a [`Patch`].
 #[derive(Clone)]
 enum RelOp {
-    Bind(RelNode, AttrId, Value),
+    Bind(RelNode, AttrId, ValueId),
     Merge(RelNode, AttrId, RelNode, AttrId),
 }
 
@@ -359,7 +359,7 @@ fn rel(v: VarId, m: &[NodeId], shared: usize) -> RelNode {
 fn rel_op(lit: &Literal, m: &[NodeId], shared: usize) -> RelOp {
     let r1 = rel(lit.var, m, shared);
     match &lit.rhs {
-        Operand::Const(c) => RelOp::Bind(r1, lit.attr, c.clone()),
+        Operand::Const(c) => RelOp::Bind(r1, lit.attr, *c),
         Operand::Attr(v2, a2) => RelOp::Merge(r1, lit.attr, rel(*v2, m, shared), *a2),
     }
 }
@@ -372,7 +372,7 @@ fn commit_op(eq: &mut EqRel, op: &RelOp, fresh: &[NodeId]) -> Result<bool, Confl
         RelNode::Fresh(k) => fresh[k as usize],
     };
     match op {
-        RelOp::Bind(r, a, v) => Ok(eq.bind((abs(*r), *a), v.clone())?.changed),
+        RelOp::Bind(r, a, v) => Ok(eq.bind((abs(*r), *a), *v)?.changed),
         RelOp::Merge(r1, a1, r2, a2) => Ok(eq.merge((abs(*r1), *a1), (abs(*r2), *a2))?.changed),
     }
 }
@@ -1070,7 +1070,7 @@ pub fn dep_chase_with_config(
                             gen.materialize(&mut graph, m, &mut |lit, asn| {
                                 let k1 = (asn[lit.var.index()], lit.attr);
                                 match &lit.rhs {
-                                    Operand::Const(c) => eq.bind(k1, c.clone()).map(|_| ()),
+                                    Operand::Const(c) => eq.bind(k1, *c).map(|_| ()),
                                     Operand::Attr(v2, a2) => {
                                         eq.merge(k1, (asn[v2.index()], *a2)).map(|_| ())
                                     }
@@ -1143,7 +1143,7 @@ pub fn dep_chase_with_config(
 mod tests {
     use super::*;
     use gfd_core::{Gfd, Literal};
-    use gfd_graph::{Pattern, Value, VarId, Vocab};
+    use gfd_graph::{Pattern, ValueId as VId, VarId, Vocab};
 
     fn unary(vocab: &mut Vocab, name: &str, pre: Vec<Literal>, post: Vec<Literal>) -> Gfd {
         let mut p = Pattern::new();
@@ -1185,7 +1185,7 @@ mod tests {
             ChaseOutcome::Fixpoint(mut eq) => {
                 // Every t-node (one per unary pattern copy) derives c=1.
                 for nodes in &node_of {
-                    assert!(eq.deduces_const((nodes[0], c), &Value::int(1)));
+                    assert!(eq.deduces_const((nodes[0], c), VId::of(1i64)));
                 }
             }
             ChaseOutcome::Conflict(c) => panic!("unexpected conflict: {c}"),
@@ -1254,7 +1254,7 @@ mod tests {
                     ChaseOutcome::Fixpoint(mut eq) => {
                         for nodes in &node_of {
                             assert!(
-                                eq.deduces_const((nodes[0], c), &Value::int(1)),
+                                eq.deduces_const((nodes[0], c), VId::of(1i64)),
                                 "p={p} {dispatch:?}"
                             );
                         }

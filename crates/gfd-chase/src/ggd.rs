@@ -280,7 +280,7 @@ fn consequence_holds_on<I: gfd_graph::MatchIndex>(
 mod tests {
     use super::*;
     use gfd_core::{seq_imp, seq_sat, GenerateConsequence, Gfd, GfdSet, Literal};
-    use gfd_graph::{Pattern, Value, VarId, Vocab};
+    use gfd_graph::{Pattern, ValueId, VarId, Vocab};
 
     fn unary(vocab: &mut Vocab, label: &str) -> Pattern {
         let mut p = Pattern::new();
@@ -355,7 +355,7 @@ mod tests {
         let a1 = vocab.attr("a1");
         let b = vocab.attr("b");
         let derived = model.nodes().any(|n| {
-            model.attr(n, a1) == Some(&Value::int(1)) && model.attr(n, b) == Some(&Value::int(7))
+            model.attr(n, a1) == Some(ValueId::of(1i64)) && model.attr(n, b) == Some(ValueId::of(7i64))
         });
         assert!(derived, "generated node must cascade into literal rules");
     }

@@ -119,7 +119,7 @@ impl CanonicalGraph {
             let k1 = (NodeId::new(lit.var.index()), lit.attr);
             match &lit.rhs {
                 Operand::Const(c) => {
-                    eq.bind(k1, c.clone())?;
+                    eq.bind(k1, *c)?;
                 }
                 Operand::Attr(v2, a2) => {
                     let k2 = (NodeId::new(v2.index()), *a2);
@@ -259,7 +259,7 @@ pub fn consequence_lits_deducible(eq: &mut EqRel, lits: &[crate::literal::Litera
     lits.iter().all(|lit| {
         let k1 = (NodeId::new(lit.var.index()), lit.attr);
         match &lit.rhs {
-            Operand::Const(c) => eq.deduces_const(k1, c),
+            Operand::Const(c) => eq.deduces_const(k1, *c),
             Operand::Attr(v2, a2) => eq.deduces_eq(k1, (NodeId::new(v2.index()), *a2)),
         }
     })
@@ -269,7 +269,7 @@ pub fn consequence_lits_deducible(eq: &mut EqRel, lits: &[crate::literal::Litera
 mod tests {
     use super::*;
     use crate::literal::Literal;
-    use gfd_graph::{Value, Vocab};
+    use gfd_graph::{ValueId, Vocab};
 
     fn two_pattern_sigma(vocab: &mut Vocab) -> GfdSet {
         let t = vocab.label("t");
@@ -370,7 +370,7 @@ mod tests {
         );
         let (canon, mut eqx) = CanonicalGraph::for_phi(&phi).unwrap();
         assert_eq!(canon.graph.node_count(), 2);
-        assert!(eqx.deduces_const((NodeId::new(1), c), &Value::int(5)));
+        assert!(eqx.deduces_const((NodeId::new(1), c), ValueId::of(5)));
         assert!(eqx.same_class((NodeId::new(0), a), (NodeId::new(1), c)));
     }
 
@@ -406,7 +406,7 @@ mod tests {
         );
         let mut eq = EqRel::new();
         assert!(!consequence_deducible(&mut eq, &phi));
-        eq.bind((NodeId::new(0), a), Value::int(1)).unwrap();
+        eq.bind((NodeId::new(0), a), ValueId::of(1i64)).unwrap();
         assert!(!consequence_deducible(&mut eq, &phi));
         eq.merge((NodeId::new(0), a), (NodeId::new(0), b)).unwrap();
         assert!(consequence_deducible(&mut eq, &phi));

@@ -310,7 +310,7 @@ pub fn generate_deducible<I: MatchIndex>(
     gen.realized(index, m, &mut |lit, asn| {
         let k1 = (asn[lit.var.index()], lit.attr);
         match &lit.rhs {
-            Operand::Const(c) => eq.deduces_const(k1, c),
+            Operand::Const(c) => eq.deduces_const(k1, *c),
             Operand::Attr(v2, a2) => eq.deduces_eq(k1, (asn[v2.index()], *a2)),
         }
     })
@@ -639,7 +639,7 @@ impl std::ops::Index<GfdId> for DepSet {
 mod tests {
     use super::*;
     use crate::eq::EqRel;
-    use gfd_graph::{Graph, LabelIndex, Value, Vocab};
+    use gfd_graph::{Graph, LabelIndex, Value, ValueId, Vocab};
 
     fn person_meeting(vocab: &mut Vocab) -> Dependency {
         let person = vocab.label("person");
@@ -777,12 +777,12 @@ mod tests {
         let m: Vec<NodeId> = vec![a, b];
 
         let mut eq = EqRel::new();
-        eq.bind((a, city), Value::str("nbo")).unwrap();
+        eq.bind((a, city), ValueId::of("nbo")).unwrap();
         let fresh = gen
             .materialize(&mut g, &m, &mut |lit, asn| {
                 let k1 = (asn[lit.var.index()], lit.attr);
                 match &lit.rhs {
-                    Operand::Const(c) => eq.bind(k1, c.clone()).map(|_| ()),
+                    Operand::Const(c) => eq.bind(k1, *c).map(|_| ()),
                     Operand::Attr(v2, a2) => eq.merge(k1, (asn[v2.index()], *a2)).map(|_| ()),
                 }
             })
@@ -791,7 +791,7 @@ mod tests {
         assert_eq!(g.node_count(), 3);
         assert_eq!(g.edge_count(), 3);
         // The generated meeting's city joined x's class.
-        assert!(eq.deduces_const((fresh[0], city), &Value::str("nbo")));
+        assert!(eq.deduces_const((fresh[0], city), ValueId::of("nbo")));
         // Now deducible under the relation.
         let index = LabelIndex::build(&g);
         assert!(generate_deducible(&mut eq, &index, gen, &m));

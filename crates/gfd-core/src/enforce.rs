@@ -216,9 +216,9 @@ impl EnforceEngine {
             let k1: AttrKey = (m[lit.var.index()], lit.attr);
             match &lit.rhs {
                 Operand::Const(c) => {
-                    let effect = self.eq.bind(k1, c.clone()).map_err(|e| e.with_gfd(id))?;
+                    let effect = self.eq.bind(k1, *c).map_err(|e| e.with_gfd(id))?;
                     if effect.changed {
-                        self.delta.push(EqOp::Bind(k1, c.clone()));
+                        self.delta.push(EqOp::Bind(k1, *c));
                     }
                     self.wake.extend(effect.woken);
                 }
@@ -286,7 +286,7 @@ impl EnforceEngine {
 mod tests {
     use super::*;
     use crate::literal::Literal;
-    use gfd_graph::{NodeId, Pattern, Value, VarId, Vocab};
+    use gfd_graph::{NodeId, Pattern, ValueId, VarId, Vocab};
 
     /// One-variable pattern; the canonical graph is a single node, matches
     /// are trivial.
@@ -317,7 +317,7 @@ mod tests {
         )]);
         let mut e = EnforceEngine::new();
         e.process_match(&sigma, GfdId::new(0), m0()).unwrap();
-        assert!(e.eq.deduces_const((NodeId::new(0), a), &Value::int(1)));
+        assert!(e.eq.deduces_const((NodeId::new(0), a), ValueId::of(1)));
         assert_eq!(e.delta_len(), 1);
         assert_eq!(e.stats.matches_processed, 1);
     }
@@ -372,11 +372,11 @@ mod tests {
         let mut e = EnforceEngine::new();
         e.process_match(&sigma, GfdId::new(0), m0()).unwrap();
         assert_eq!(e.pending_count(), 1);
-        assert!(!e.eq.deduces_const((NodeId::new(0), b), &Value::int(1)));
+        assert!(!e.eq.deduces_const((NodeId::new(0), b), ValueId::of(1)));
         e.process_match(&sigma, GfdId::new(1), m0()).unwrap();
         // The cascade must have fired g0.
         assert_eq!(e.pending_count(), 0);
-        assert!(e.eq.deduces_const((NodeId::new(0), b), &Value::int(1)));
+        assert!(e.eq.deduces_const((NodeId::new(0), b), ValueId::of(1)));
         assert_eq!(e.stats.rechecks, 1);
     }
 
@@ -414,7 +414,7 @@ mod tests {
         e.process_match(&sigma, GfdId::new(1), m0()).unwrap();
         assert_eq!(e.pending_count(), 2);
         e.process_match(&sigma, GfdId::new(2), m0()).unwrap();
-        assert!(e.eq.deduces_const((NodeId::new(0), c), &Value::int(1)));
+        assert!(e.eq.deduces_const((NodeId::new(0), c), ValueId::of(1)));
         assert_eq!(e.pending_count(), 0);
     }
 
@@ -467,7 +467,7 @@ mod tests {
         e.process_match(&sigma, GfdId::new(0), m0()).unwrap();
         assert_eq!(e.pending_count(), 1);
         e.process_match(&sigma, GfdId::new(1), m0()).unwrap();
-        assert!(e.eq.deduces_const((NodeId::new(0), c), &Value::int(1)));
+        assert!(e.eq.deduces_const((NodeId::new(0), c), ValueId::of(1)));
     }
 
     #[test]
@@ -504,7 +504,7 @@ mod tests {
         e.process_match(&sigma, GfdId::new(0), m0()).unwrap();
         e.process_match(&sigma, GfdId::new(1), m0()).unwrap();
         e.process_match(&sigma, GfdId::new(2), m0()).unwrap();
-        assert!(e.eq.deduces_const((NodeId::new(0), c), &Value::int(1)));
+        assert!(e.eq.deduces_const((NodeId::new(0), c), ValueId::of(1)));
     }
 
     #[test]
@@ -524,13 +524,13 @@ mod tests {
         assert_eq!(e.pending_count(), 1);
         // A "remote" worker bound a=1.
         let base = e.delta_len();
-        e.apply_remote_ops(&sigma, &[EqOp::Bind((NodeId::new(0), a), Value::int(1))])
+        e.apply_remote_ops(&sigma, &[EqOp::Bind((NodeId::new(0), a), ValueId::of(1i64))])
             .unwrap();
-        assert!(e.eq.deduces_const((NodeId::new(0), b), &Value::int(1)));
+        assert!(e.eq.deduces_const((NodeId::new(0), b), ValueId::of(1)));
         // The local consequence (b=1) is recorded for further broadcast,
         // the remote op itself is not re-recorded.
         let newly: Vec<_> = e.delta_since(base).to_vec();
-        assert_eq!(newly, vec![EqOp::Bind((NodeId::new(0), b), Value::int(1))]);
+        assert_eq!(newly, vec![EqOp::Bind((NodeId::new(0), b), ValueId::of(1i64))]);
     }
 
     #[test]

@@ -17,16 +17,16 @@
 //!   what the parallel workers broadcast as `ΔEq`.
 
 use crate::error::{AttrKey, Conflict};
-use gfd_graph::Value;
+use gfd_graph::ValueId;
 use rustc_hash::FxHashMap;
 
 /// A monotone update to an [`EqRel`], replayable on any other copy.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EqOp {
     /// Ensure the class `[key]` exists (attribute added without a value).
     Ensure(AttrKey),
     /// Bind constant `value` to the class of `key`.
-    Bind(AttrKey, Value),
+    Bind(AttrKey, ValueId),
     /// Merge the classes of the two keys.
     Merge(AttrKey, AttrKey),
 }
@@ -53,7 +53,7 @@ pub struct EqRel {
     parent: Vec<u32>,
     rank: Vec<u8>,
     /// Valid at roots only.
-    constant: Vec<Option<Value>>,
+    constant: Vec<Option<ValueId>>,
     /// Valid at roots only.
     watchers: Vec<Vec<Watcher>>,
     /// Per *key* (not per class): was this attribute forced to exist by an
@@ -142,9 +142,9 @@ impl EqRel {
     }
 
     /// The constant bound to `[key]`, if the class exists and is bound.
-    pub fn const_of(&mut self, key: AttrKey) -> Option<Value> {
+    pub fn const_of(&mut self, key: AttrKey) -> Option<ValueId> {
         let r = self.root_of(key)?;
-        self.constant[r as usize].clone()
+        self.constant[r as usize]
     }
 
     /// The canonical class id of `key` (creating a latent singleton when
@@ -167,8 +167,8 @@ impl EqRel {
 
     /// Can `key = value` be deduced? (class exists and is bound to exactly
     /// `value`)
-    pub fn deduces_const(&mut self, key: AttrKey, value: &Value) -> bool {
-        self.const_of(key).as_ref() == Some(value)
+    pub fn deduces_const(&mut self, key: AttrKey, value: ValueId) -> bool {
+        self.const_of(key) == Some(value)
     }
 
     /// Can `k1 = k2` be deduced? Same class, or both bound to equal
@@ -190,7 +190,7 @@ impl EqRel {
 
     /// Bind `value` to the class of `key` (Rule 1 of §IV-C). Creates the
     /// class if needed; conflicts if a distinct constant is present.
-    pub fn bind(&mut self, key: AttrKey, value: Value) -> Result<Effect, Conflict> {
+    pub fn bind(&mut self, key: AttrKey, value: ValueId) -> Result<Effect, Conflict> {
         let (slot, created) = self.ensure(key);
         self.materialize(slot);
         let root = self.find(slot);
@@ -210,7 +210,7 @@ impl EqRel {
             }),
             Some(existing) => Err(Conflict {
                 key,
-                existing: existing.clone(),
+                existing: *existing,
                 incoming: value,
                 gfd: None,
             }),
@@ -242,17 +242,17 @@ impl EqRel {
                 woken,
             });
         }
-        let merged_const = match (&self.constant[r1 as usize], &self.constant[r2 as usize]) {
+        let merged_const = match (self.constant[r1 as usize], self.constant[r2 as usize]) {
             (Some(a), Some(b)) if a != b => {
                 return Err(Conflict {
                     key: k1,
-                    existing: a.clone(),
-                    incoming: b.clone(),
+                    existing: a,
+                    incoming: b,
                     gfd: None,
                 })
             }
-            (Some(a), _) => Some(a.clone()),
-            (_, Some(b)) => Some(b.clone()),
+            (Some(a), _) => Some(a),
+            (_, Some(b)) => Some(b),
             (None, None) => None,
         };
         // Union by rank.
@@ -297,22 +297,22 @@ impl EqRel {
                     woken: Vec::new(),
                 })
             }
-            EqOp::Bind(k, v) => self.bind(*k, v.clone()),
+            EqOp::Bind(k, v) => self.bind(*k, *v),
             EqOp::Merge(k1, k2) => self.merge(*k1, *k2),
         }
     }
 
     /// Enumerate all classes as `(bound constant, member keys)`, members in
     /// insertion order. Used for model extraction.
-    pub fn classes(&mut self) -> Vec<(Option<Value>, Vec<AttrKey>)> {
+    pub fn classes(&mut self) -> Vec<(Option<ValueId>, Vec<AttrKey>)> {
         let mut by_root: FxHashMap<u32, Vec<AttrKey>> = FxHashMap::default();
         for i in 0..self.keys.len() {
             let r = self.find(i as u32);
             by_root.entry(r).or_default().push(self.keys[i]);
         }
-        let mut out: Vec<(Option<Value>, Vec<AttrKey>)> = by_root
+        let mut out: Vec<(Option<ValueId>, Vec<AttrKey>)> = by_root
             .into_iter()
-            .map(|(r, members)| (self.constant[r as usize].clone(), members))
+            .map(|(r, members)| (self.constant[r as usize], members))
             .collect();
         // Deterministic order for reproducible models.
         out.sort_by_key(|(_, members)| members[0]);
@@ -322,7 +322,7 @@ impl EqRel {
     /// Like [`EqRel::classes`], but keeping only materialized keys (and
     /// dropping classes left empty). This is what model extraction
     /// populates: latent keys impose no existence requirement.
-    pub fn materialized_classes(&mut self) -> Vec<(Option<Value>, Vec<AttrKey>)> {
+    pub fn materialized_classes(&mut self) -> Vec<(Option<ValueId>, Vec<AttrKey>)> {
         let mut classes = self.classes();
         classes.retain_mut(|(_, members)| {
             members.retain(|&k| self.is_materialized(k));
@@ -362,28 +362,28 @@ mod tests {
     #[test]
     fn bind_sets_and_detects_conflicts() {
         let mut eq = EqRel::new();
-        let e = eq.bind(k(0, 0), Value::int(1)).unwrap();
+        let e = eq.bind(k(0, 0), ValueId::of(1)).unwrap();
         assert!(e.changed);
-        assert_eq!(eq.const_of(k(0, 0)), Some(Value::int(1)));
+        assert_eq!(eq.const_of(k(0, 0)), Some(ValueId::of(1)));
         // Same value: no change, no conflict.
-        let e = eq.bind(k(0, 0), Value::int(1)).unwrap();
+        let e = eq.bind(k(0, 0), ValueId::of(1)).unwrap();
         assert!(!e.changed);
         // Distinct value: conflict.
-        let err = eq.bind(k(0, 0), Value::int(2)).unwrap_err();
-        assert_eq!(err.existing, Value::int(1));
-        assert_eq!(err.incoming, Value::int(2));
+        let err = eq.bind(k(0, 0), ValueId::of(2)).unwrap_err();
+        assert_eq!(err.existing, ValueId::of(1));
+        assert_eq!(err.incoming, ValueId::of(2));
     }
 
     #[test]
     fn merge_unions_and_propagates_constants() {
         let mut eq = EqRel::new();
-        eq.bind(k(0, 0), Value::int(7)).unwrap();
+        eq.bind(k(0, 0), ValueId::of(7)).unwrap();
         eq.merge(k(0, 0), k(1, 1)).unwrap();
         assert!(eq.same_class(k(0, 0), k(1, 1)));
-        assert_eq!(eq.const_of(k(1, 1)), Some(Value::int(7)));
+        assert_eq!(eq.const_of(k(1, 1)), Some(ValueId::of(7)));
         // Merging in a third key through the second.
         eq.merge(k(1, 1), k(2, 2)).unwrap();
-        assert_eq!(eq.const_of(k(2, 2)), Some(Value::int(7)));
+        assert_eq!(eq.const_of(k(2, 2)), Some(ValueId::of(7)));
         // Transitivity of same_class.
         assert!(eq.same_class(k(0, 0), k(2, 2)));
     }
@@ -391,8 +391,8 @@ mod tests {
     #[test]
     fn merge_conflict_on_distinct_constants() {
         let mut eq = EqRel::new();
-        eq.bind(k(0, 0), Value::int(1)).unwrap();
-        eq.bind(k(1, 0), Value::int(2)).unwrap();
+        eq.bind(k(0, 0), ValueId::of(1)).unwrap();
+        eq.bind(k(1, 0), ValueId::of(2)).unwrap();
         assert!(eq.merge(k(0, 0), k(1, 0)).is_err());
     }
 
@@ -407,13 +407,13 @@ mod tests {
     #[test]
     fn deduction_via_equal_constants() {
         let mut eq = EqRel::new();
-        eq.bind(k(0, 0), Value::int(5)).unwrap();
-        eq.bind(k(1, 0), Value::int(5)).unwrap();
+        eq.bind(k(0, 0), ValueId::of(5)).unwrap();
+        eq.bind(k(1, 0), ValueId::of(5)).unwrap();
         assert!(!eq.same_class(k(0, 0), k(1, 0)));
         // Equal constants ⇒ the attributes are equal in every population.
         assert!(eq.deduces_eq(k(0, 0), k(1, 0)));
-        assert!(eq.deduces_const(k(0, 0), &Value::int(5)));
-        assert!(!eq.deduces_const(k(0, 0), &Value::int(6)));
+        assert!(eq.deduces_const(k(0, 0), ValueId::of(5)));
+        assert!(!eq.deduces_const(k(0, 0), ValueId::of(6)));
         assert!(!eq.deduces_eq(k(0, 0), k(9, 9)));
     }
 
@@ -423,7 +423,7 @@ mod tests {
         eq.add_watcher(k(0, 0), (10, 0));
         eq.add_watcher(k(1, 0), (11, 0));
         // Bind wakes the watcher of that class only.
-        let e = eq.bind(k(0, 0), Value::int(1)).unwrap();
+        let e = eq.bind(k(0, 0), ValueId::of(1)).unwrap();
         assert_eq!(e.woken, vec![(10, 0)]);
         // Merge wakes the watchers of both classes (drained).
         eq.add_watcher(k(0, 0), (12, 0));
@@ -444,7 +444,7 @@ mod tests {
         // Watcher was woken by the merge; re-register and bind through the
         // *other* key of the class.
         eq.add_watcher(k(0, 0), (1, 1));
-        let e = eq.bind(k(1, 0), Value::int(3)).unwrap();
+        let e = eq.bind(k(1, 0), ValueId::of(3)).unwrap();
         assert_eq!(e.woken, vec![(1, 1)]);
     }
 
@@ -453,7 +453,7 @@ mod tests {
         let mut a = EqRel::new();
         let ops = vec![
             EqOp::Ensure(k(0, 0)),
-            EqOp::Bind(k(1, 1), Value::int(9)),
+            EqOp::Bind(k(1, 1), ValueId::of(9)),
             EqOp::Merge(k(1, 1), k(2, 2)),
             EqOp::Merge(k(0, 0), k(3, 3)),
         ];
@@ -466,7 +466,7 @@ mod tests {
         for op in ops.iter().rev() {
             b.apply_op(op).unwrap();
         }
-        assert_eq!(b.const_of(k(2, 2)), Some(Value::int(9)));
+        assert_eq!(b.const_of(k(2, 2)), Some(ValueId::of(9)));
         assert!(b.same_class(k(0, 0), k(3, 3)));
         assert_eq!(a.key_count(), b.key_count());
         // Re-applying is idempotent.
@@ -479,13 +479,13 @@ mod tests {
     #[test]
     fn classes_enumeration_is_deterministic() {
         let mut eq = EqRel::new();
-        eq.bind(k(2, 0), Value::int(1)).unwrap();
+        eq.bind(k(2, 0), ValueId::of(1)).unwrap();
         eq.merge(k(0, 0), k(1, 0)).unwrap();
         let classes = eq.classes();
         assert_eq!(classes.len(), 2);
         assert_eq!(classes[0].1.len(), 2); // class of (0,0),(1,0)
         assert_eq!(classes[0].0, None);
-        assert_eq!(classes[1].0, Some(Value::int(1)));
+        assert_eq!(classes[1].0, Some(ValueId::of(1)));
         assert_eq!(eq.bound_class_count(), 1);
     }
 
@@ -493,10 +493,10 @@ mod tests {
     fn version_bumps_on_change_only() {
         let mut eq = EqRel::new();
         let v0 = eq.version();
-        eq.bind(k(0, 0), Value::int(1)).unwrap();
+        eq.bind(k(0, 0), ValueId::of(1)).unwrap();
         let v1 = eq.version();
         assert!(v1 > v0);
-        eq.bind(k(0, 0), Value::int(1)).unwrap();
+        eq.bind(k(0, 0), ValueId::of(1)).unwrap();
         assert_eq!(eq.version(), v1);
     }
 
@@ -507,10 +507,10 @@ mod tests {
             eq.merge(k(i, 0), k(i + 1, 0)).unwrap();
         }
         assert!(eq.same_class(k(0, 0), k(100, 0)));
-        eq.bind(k(50, 0), Value::int(42)).unwrap();
-        assert_eq!(eq.const_of(k(0, 0)), Some(Value::int(42)));
-        assert_eq!(eq.const_of(k(100, 0)), Some(Value::int(42)));
-        let err = eq.bind(k(99, 0), Value::int(43)).unwrap_err();
-        assert_eq!(err.existing, Value::int(42));
+        eq.bind(k(50, 0), ValueId::of(42)).unwrap();
+        assert_eq!(eq.const_of(k(0, 0)), Some(ValueId::of(42)));
+        assert_eq!(eq.const_of(k(100, 0)), Some(ValueId::of(42)));
+        let err = eq.bind(k(99, 0), ValueId::of(43)).unwrap_err();
+        assert_eq!(err.existing, ValueId::of(42));
     }
 }

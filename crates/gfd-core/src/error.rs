@@ -1,6 +1,6 @@
 //! Conflict reporting for the reasoning algorithms.
 
-use gfd_graph::{AttrId, GfdId, NodeId, Value};
+use gfd_graph::{AttrId, GfdId, NodeId, ValueId};
 use std::fmt;
 
 /// An attribute key inside a canonical graph: node × attribute name.
@@ -14,9 +14,9 @@ pub struct Conflict {
     /// The attribute key whose class received both values.
     pub key: AttrKey,
     /// The value already present in the class.
-    pub existing: Value,
+    pub existing: ValueId,
     /// The value that contradicted it.
-    pub incoming: Value,
+    pub incoming: ValueId,
     /// The GFD whose enforcement triggered the conflict, when known.
     pub gfd: Option<GfdId>,
 }
@@ -53,8 +53,8 @@ mod tests {
     fn display_mentions_both_values() {
         let c = Conflict {
             key: (NodeId::new(3), AttrId::new(1)),
-            existing: Value::int(0),
-            incoming: Value::int(1),
+            existing: ValueId::of(0i64),
+            incoming: ValueId::of(1i64),
             gfd: Some(GfdId::new(7)),
         };
         let s = c.to_string();
@@ -68,8 +68,8 @@ mod tests {
     fn with_gfd_does_not_overwrite() {
         let c = Conflict {
             key: (NodeId::new(0), AttrId::new(0)),
-            existing: Value::int(0),
-            incoming: Value::int(1),
+            existing: ValueId::of(0i64),
+            incoming: ValueId::of(1i64),
             gfd: Some(GfdId::new(1)),
         };
         assert_eq!(c.with_gfd(GfdId::new(2)).gfd, Some(GfdId::new(1)));

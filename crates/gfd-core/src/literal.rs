@@ -1,13 +1,14 @@
 //! Attribute literals: the building blocks of GFD premises and consequences.
 
-use gfd_graph::{AttrId, Value, VarId, Vocab};
+use gfd_graph::{AttrId, Value, ValueId, ValueTable, VarId, Vocab};
 use std::fmt;
 
 /// The right-hand side of a literal.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Operand {
-    /// A constant: `x.A = c` (the CFD-style constant binding).
-    Const(Value),
+    /// A constant: `x.A = c` (the CFD-style constant binding), interned
+    /// at rule-construction time so matching compares raw ids.
+    Const(ValueId),
     /// Another attribute: `x.A = y.B` (the FD-style variable literal).
     Attr(VarId, AttrId),
 }
@@ -29,7 +30,16 @@ impl Literal {
         Literal {
             var,
             attr,
-            rhs: Operand::Const(value.into()),
+            rhs: Operand::Const(ValueTable::intern(&value.into())),
+        }
+    }
+
+    /// Build a constant literal from an already-interned id.
+    pub fn eq_id(var: VarId, attr: AttrId, value: ValueId) -> Self {
+        Literal {
+            var,
+            attr,
+            rhs: Operand::Const(value),
         }
     }
 

@@ -3,7 +3,7 @@
 //! witness).
 
 use crate::eq::EqRel;
-use gfd_graph::{Graph, Value};
+use gfd_graph::{Graph, Value, ValueId};
 
 /// Prefix of the fresh constants assigned to unbound classes. Reserved:
 /// generators and the DSL never produce values starting with it, so fresh
@@ -21,10 +21,12 @@ pub fn extract_model(canonical: &Graph, eq: &mut EqRel) -> Graph {
     for (constant, members) in eq.materialized_classes() {
         let value = constant.unwrap_or_else(|| {
             fresh += 1;
-            Value::str(format!("{FRESH_PREFIX}{fresh}"))
+            // Post-quiescence, single-threaded: interning here is off
+            // the hot path.
+            ValueId::of(format!("{FRESH_PREFIX}{fresh}"))
         });
         for (node, attr) in members {
-            model.set_attr(node, attr, value.clone());
+            model.set_attr_id(node, attr, value);
         }
     }
     model
@@ -32,6 +34,11 @@ pub fn extract_model(canonical: &Graph, eq: &mut EqRel) -> Graph {
 
 /// Is `value` one of the fresh constants invented by [`extract_model`]?
 pub fn is_fresh(value: &Value) -> bool {
+    value.as_str().is_some_and(|s| s.starts_with(FRESH_PREFIX))
+}
+
+/// Id-level variant of [`is_fresh`].
+pub fn is_fresh_id(value: ValueId) -> bool {
     value.as_str().is_some_and(|s| s.starts_with(FRESH_PREFIX))
 }
 
@@ -51,17 +58,17 @@ mod tests {
         let n1 = g.add_node(t);
 
         let mut eq = EqRel::new();
-        eq.bind((n0, a), Value::int(7)).unwrap();
+        eq.bind((n0, a), ValueId::of(7i64)).unwrap();
         eq.merge((n0, b), (n1, a)).unwrap();
         eq.ensure((n1, b));
 
         let model = extract_model(&g, &mut eq);
-        assert_eq!(model.attr(n0, a), Some(&Value::int(7)));
+        assert_eq!(model.attr(n0, a), Some(ValueId::of(7i64)));
         // Merged class shares one fresh value.
         let v1 = model.attr(n0, b).unwrap();
         let v2 = model.attr(n1, a).unwrap();
         assert_eq!(v1, v2);
-        assert!(is_fresh(v1));
+        assert!(is_fresh_id(v1));
         // `ensure` only registers a latent key (a premise mention): the
         // population is free to omit it, and extraction does.
         assert_eq!(model.attr(n1, b), None);

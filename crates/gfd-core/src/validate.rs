@@ -25,7 +25,7 @@ pub struct Violation {
 pub fn literal_holds(graph: &Graph, lit: &Literal, m: &[gfd_graph::NodeId]) -> bool {
     let left = graph.attr(m[lit.var.index()], lit.attr);
     match &lit.rhs {
-        Operand::Const(c) => left == Some(c),
+        Operand::Const(c) => left == Some(*c),
         Operand::Attr(v2, a2) => {
             let right = graph.attr(m[v2.index()], *a2);
             matches!((left, right), (Some(a), Some(b)) if a == b)

@@ -18,7 +18,7 @@
 
 use crate::report::ViolationRecord;
 use gfd_core::{Consequence, DepSet, GenerateConsequence, Operand};
-use gfd_graph::{AttrId, Graph, LabelId, NodeId, Value, Vocab};
+use gfd_graph::{AttrId, Graph, LabelId, NodeId, ValueId, Vocab};
 
 /// One suggested fix.
 #[derive(Clone, Debug, PartialEq)]
@@ -49,8 +49,8 @@ pub enum RepairKind {
         node: NodeId,
         /// Attribute to set.
         attr: AttrId,
-        /// Required value.
-        value: Value,
+        /// Required value (interned).
+        value: ValueId,
     },
     /// Delete the edge `src --label--> dst` (breaks the pattern match).
     DeleteEdge {
@@ -70,7 +70,7 @@ pub enum RepairKind {
         /// Generated edges over existing/fresh endpoints.
         edges: Vec<(RepairNode, LabelId, RepairNode)>,
         /// Concrete attribute writes on existing/fresh endpoints.
-        attrs: Vec<(RepairNode, AttrId, Value)>,
+        attrs: Vec<(RepairNode, AttrId, ValueId)>,
     },
 }
 
@@ -122,7 +122,7 @@ pub fn suggest_repairs(
                 kind: RepairKind::SetAttr {
                     node,
                     attr: lit.attr,
-                    value: c.clone(),
+                    value: *c,
                 },
                 description: format!(
                     "set n{}.{} = {c:?}",
@@ -139,7 +139,7 @@ pub fn suggest_repairs(
                         kind: RepairKind::SetAttr {
                             node,
                             attr: lit.attr,
-                            value: rv.clone(),
+                            value: rv,
                         },
                         description: format!(
                             "set n{}.{} = {rv:?} (copied from n{}.{})",
@@ -153,7 +153,7 @@ pub fn suggest_repairs(
                         kind: RepairKind::SetAttr {
                             node: other,
                             attr: *a2,
-                            value: lv.clone(),
+                            value: lv,
                         },
                         description: format!(
                             "set n{}.{} = {lv:?} (copied from n{}.{})",
@@ -170,7 +170,7 @@ pub fn suggest_repairs(
                             kind: RepairKind::SetAttr {
                                 node,
                                 attr: lit.attr,
-                                value: Value::str(""),
+                                value: ValueId::of(""),
                             },
                             description: format!(
                                 "create n{}.{} and n{}.{} with a shared value",
@@ -189,7 +189,7 @@ pub fn suggest_repairs(
                         kind: RepairKind::SetAttr {
                             node: other,
                             attr: *a2,
-                            value: lv.clone(),
+                            value: lv,
                         },
                         description: format!(
                             "set n{}.{} = {lv:?} (copied from n{}.{})",
@@ -246,9 +246,9 @@ fn create_subgraph_repair(
     for lit in &gen.attrs {
         let target = endpoint(lit.var);
         let value = match &lit.rhs {
-            Operand::Const(c) => Some(c.clone()),
+            Operand::Const(c) => Some(*c),
             Operand::Attr(v2, _) if v2.index() >= gen.shared => None,
-            Operand::Attr(v2, a2) => graph.attr(m[v2.index()], *a2).cloned(),
+            Operand::Attr(v2, a2) => graph.attr(m[v2.index()], *a2),
         };
         match value {
             Some(v) => attrs.push((target, lit.attr, v)),
@@ -300,7 +300,7 @@ fn create_subgraph_repair(
 pub fn apply_repair(graph: &mut Graph, repair: &Repair) {
     match &repair.kind {
         RepairKind::SetAttr { node, attr, value } => {
-            graph.set_attr(*node, *attr, value.clone());
+            graph.set_attr_id(*node, *attr, *value);
         }
         RepairKind::CreateSubgraph {
             nodes,
@@ -317,8 +317,8 @@ pub fn apply_repair(graph: &mut Graph, repair: &Repair) {
             for &(src, label, dst) in edges {
                 graph.add_edge(resolve(src), label, resolve(dst));
             }
-            for (target, attr, value) in attrs {
-                graph.set_attr(resolve(*target), *attr, value.clone());
+            for &(target, attr, value) in attrs {
+                graph.set_attr_id(resolve(target), attr, value);
             }
         }
         RepairKind::DeleteEdge { src, label, dst } => {
@@ -333,8 +333,8 @@ pub fn apply_repair(graph: &mut Graph, repair: &Repair) {
                 rebuilt.add_edge(s, l, d);
             }
             for v in graph.nodes() {
-                for (a, val) in graph.attrs(v) {
-                    rebuilt.set_attr(v, *a, val.clone());
+                for &(a, val) in graph.attrs(v) {
+                    rebuilt.set_attr_id(v, a, val);
                 }
             }
             *graph = rebuilt;
@@ -374,7 +374,7 @@ mod tests {
         assert_eq!(repairs.len(), 1);
         assert!(matches!(
             &repairs[0].kind,
-            RepairKind::SetAttr { value, .. } if *value == Value::int(1)
+            RepairKind::SetAttr { value, .. } if *value == ValueId::of(1i64)
         ));
         // Applying the repair cleans the graph.
         let mut fixed = g.clone();

@@ -22,7 +22,7 @@
 use crate::token::{tokenize, ParseError, Token};
 use gfd_core::{Consequence, DepSet, Dependency, GenerateConsequence, Gfd, GfdSet, Literal};
 use gfd_ged::{CmpOp, Ged, GedLiteral, GedSet};
-use gfd_graph::{Graph, NodeId, Pattern, Value, VarId, Vocab};
+use gfd_graph::{Graph, NodeId, Pattern, ValueId, ValueTable, VarId, Vocab};
 use rustc_hash::FxHashMap;
 
 /// A parsed document: named graphs, the generalized rule set, and
@@ -120,12 +120,14 @@ impl<'v> Parser<'v> {
         }
     }
 
-    fn parse_value(&mut self) -> Result<Value, ParseError> {
+    fn parse_value(&mut self) -> Result<ValueId, ParseError> {
+        // Intern at the parse boundary: repeated occurrences of the
+        // same literal share one table entry (and one allocation).
         match self.next() {
-            Some(Token::Str(s)) => Ok(Value::str(s)),
-            Some(Token::Int(i)) => Ok(Value::Int(i)),
-            Some(Token::Ident(s)) if s == "true" => Ok(Value::Bool(true)),
-            Some(Token::Ident(s)) if s == "false" => Ok(Value::Bool(false)),
+            Some(Token::Str(s)) => Ok(ValueTable::intern_str(&s)),
+            Some(Token::Int(i)) => Ok(ValueTable::intern_int(i)),
+            Some(Token::Ident(s)) if s == "true" => Ok(ValueTable::intern_bool(true)),
+            Some(Token::Ident(s)) if s == "false" => Ok(ValueTable::intern_bool(false)),
             Some(t) => {
                 self.pos -= 1;
                 self.err(format!("expected a value, found {t}"))
@@ -198,7 +200,7 @@ impl<'v> Parser<'v> {
                         let attr = self.vocab.attr(&attr_name);
                         self.expect(&Token::Eq)?;
                         let value = self.parse_value()?;
-                        graph.set_attr(id, attr, value);
+                        graph.set_attr_id(id, attr, value);
                         if self.peek() == Some(&Token::Comma) {
                             self.pos += 1;
                         }
@@ -440,7 +442,7 @@ impl<'v> Parser<'v> {
                     let rhs_attr = self.vocab.attr(&rhs_attr_name);
                     Literal::eq_attr(var, attr, rhs_var, rhs_attr)
                 }
-                _ => Literal::eq_const(var, attr, self.parse_value()?),
+                _ => Literal::eq_id(var, attr, self.parse_value()?),
             };
             let _ = pattern;
             lits.push(lit);
@@ -564,7 +566,7 @@ impl<'v> Parser<'v> {
                     }
                 }
                 _ => {
-                    GedLiteral::cmp_const(var, self.vocab.attr(&attr_name), op, self.parse_value()?)
+                    GedLiteral::cmp_id(var, self.vocab.attr(&attr_name), op, self.parse_value()?)
                 }
             };
             lits.push(lit);
@@ -697,7 +699,7 @@ mod tests {
         let name = vocab.find_attr("name").unwrap();
         assert_eq!(
             g.attr(NodeId::new(0), name),
-            Some(&Value::str("Bamburi airport"))
+            Some(ValueId::of("Bamburi airport"))
         );
     }
 

@@ -2,8 +2,12 @@
 //! parser).
 
 use gfd_core::{Consequence, DepSet, Dependency, Gfd, GfdSet, Operand};
-use gfd_graph::{Graph, Pattern, Value, Vocab};
+use gfd_graph::{Graph, Pattern, Value, ValueId, Vocab};
 use std::fmt::Write as _;
+
+fn print_value_id(v: &ValueId, out: &mut String) {
+    print_value(&v.resolve(), out);
+}
 
 fn print_value(v: &Value, out: &mut String) {
     match v {
@@ -38,7 +42,7 @@ fn print_literals(lits: &[gfd_core::Literal], pattern: &Pattern, vocab: &Vocab, 
             vocab.attr_name(lit.attr)
         );
         match &lit.rhs {
-            Operand::Const(v) => print_value(v, out),
+            Operand::Const(v) => print_value_id(v, out),
             Operand::Attr(v2, a2) => {
                 let _ = write!(out, "{}.{}", pattern.var_name(*v2), vocab.attr_name(*a2));
             }
@@ -198,7 +202,7 @@ fn print_ged_literals(
                     vocab.attr_name(*attr),
                     op.symbol()
                 );
-                print_value(value, out);
+                print_value_id(value, out);
             }
             GedLiteral::AttrAttr {
                 var,
@@ -302,7 +306,7 @@ pub fn print_graph(name: &str, graph: &Graph, vocab: &Vocab) -> String {
                     out.push_str(", ");
                 }
                 let _ = write!(out, "{} = ", vocab.attr_name(*attr));
-                print_value(value, &mut out);
+                print_value_id(value, &mut out);
             }
             out.push_str(" }\n");
         }
@@ -378,11 +382,11 @@ mod tests {
         assert_eq!(g2.edge_count(), 1);
         assert_eq!(
             g2.attr(NodeId::new(0), vocab.find_attr("name").unwrap()),
-            Some(&Value::str("airport \"x\""))
+            Some(ValueId::of("airport \"x\""))
         );
         assert_eq!(
             g2.attr(NodeId::new(0), vocab.find_attr("pop").unwrap()),
-            Some(&Value::Int(-5))
+            Some(ValueId::of(-5i64))
         );
     }
 

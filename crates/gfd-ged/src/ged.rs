@@ -1,7 +1,7 @@
 //! The GED model: patterns plus extended literals with disjunction.
 
 use gfd_core::{Gfd, Literal, Operand};
-use gfd_graph::{AttrId, GfdId, Pattern, Value, VarId, Vocab};
+use gfd_graph::{AttrId, GfdId, Pattern, Value, ValueId, ValueTable, VarId, Vocab};
 use std::fmt;
 
 /// A comparison operator of a built-in predicate.
@@ -26,6 +26,19 @@ impl CmpOp {
     /// on [`Value`] (ints before bools before strings; each variant ordered
     /// naturally).
     pub fn eval(self, left: &Value, right: &Value) -> bool {
+        match self {
+            CmpOp::Eq => left == right,
+            CmpOp::Ne => left != right,
+            CmpOp::Lt => left < right,
+            CmpOp::Le => left <= right,
+            CmpOp::Gt => left > right,
+            CmpOp::Ge => left >= right,
+        }
+    }
+
+    /// Evaluate on interned ids. Equality is a raw `u32` compare; the
+    /// order operators use the id order, which matches [`Value`]'s.
+    pub fn eval_id(self, left: ValueId, right: ValueId) -> bool {
         match self {
             CmpOp::Eq => left == right,
             CmpOp::Ne => left != right,
@@ -84,8 +97,8 @@ pub enum GedLiteral {
         attr: AttrId,
         /// Comparison operator.
         op: CmpOp,
-        /// Constant right-hand side.
-        value: Value,
+        /// Constant right-hand side (interned).
+        value: ValueId,
     },
     /// `x.A op y.B` — attribute against attribute.
     AttrAttr {
@@ -116,7 +129,7 @@ impl GedLiteral {
             var,
             attr,
             op: CmpOp::Eq,
-            value: value.into(),
+            value: ValueTable::intern(&value.into()),
         }
     }
 
@@ -126,7 +139,17 @@ impl GedLiteral {
             var,
             attr,
             op,
-            value: value.into(),
+            value: ValueTable::intern(&value.into()),
+        }
+    }
+
+    /// `x.A op c` from an already-interned id.
+    pub fn cmp_id(var: VarId, attr: AttrId, op: CmpOp, value: ValueId) -> Self {
+        GedLiteral::AttrConst {
+            var,
+            attr,
+            op,
+            value,
         }
     }
 
@@ -185,7 +208,12 @@ impl GedLiteral {
     /// Convert a plain GFD literal.
     pub fn from_gfd(lit: &Literal) -> Self {
         match &lit.rhs {
-            Operand::Const(c) => GedLiteral::eq_const(lit.var, lit.attr, c.clone()),
+            Operand::Const(c) => GedLiteral::AttrConst {
+                var: lit.var,
+                attr: lit.attr,
+                op: CmpOp::Eq,
+                value: *c,
+            },
             Operand::Attr(v, a) => GedLiteral::eq_attr(lit.var, lit.attr, *v, *a),
         }
     }

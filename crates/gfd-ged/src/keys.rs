@@ -15,7 +15,9 @@
 
 use crate::ged::{Ged, GedLiteral};
 use crate::validate::{ged_literal_holds, ged_premise_holds};
-use gfd_graph::{AttrId, Graph, LabelIndex, NodeId, Value};
+use gfd_graph::{AttrId, Graph, LabelIndex, NodeId, ValueId};
+#[allow(unused_imports)]
+use gfd_graph::ValueTable as _;
 use gfd_match::find_all_matches;
 
 /// A key: a GED whose consequence is a single conjunction of id literals.
@@ -70,9 +72,9 @@ pub struct AttrConflict {
     /// The attribute with two values.
     pub attr: AttrId,
     /// The value kept.
-    pub kept: Value,
+    pub kept: ValueId,
     /// The value discarded.
-    pub dropped: Value,
+    pub dropped: ValueId,
 }
 
 /// The result of entity resolution.
@@ -146,15 +148,15 @@ fn quotient_with_attrs(
     }
     for v in graph.nodes() {
         let new = mapping[v.index()];
-        for (attr, value) in graph.attrs(v) {
-            match q.attr(new, *attr) {
-                None => q.set_attr(new, *attr, value.clone()),
+        for &(attr, value) in graph.attrs(v) {
+            match q.attr(new, attr) {
+                None => q.set_attr_id(new, attr, value),
                 Some(existing) if existing == value => {}
                 Some(existing) => conflicts.push(AttrConflict {
                     node: new,
-                    attr: *attr,
-                    kept: existing.clone(),
-                    dropped: value.clone(),
+                    attr,
+                    kept: existing,
+                    dropped: value,
                 }),
             }
         }
@@ -222,7 +224,7 @@ pub fn resolve_entities(graph: &Graph, keys: &[Key]) -> ResolutionResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gfd_graph::{Pattern, Vocab};
+    use gfd_graph::{Pattern, Value, Vocab};
 
     /// Two artist nodes with the same name, each with an album of the same
     /// title pointing at *their own* artist node. The album key requires

@@ -195,7 +195,7 @@ impl GedStore {
                 value,
             } => {
                 let a = self.attr_var(m[var.index()], *attr);
-                let c = self.net.const_var(value);
+                let c = self.net.const_var(&value.resolve());
                 self.assert_cmp_tracked(a, *op, c)
             }
             GedLiteral::AttrAttr {
@@ -244,11 +244,11 @@ impl GedStore {
                 let Some(a) = self.existing_attr_var(m[var.index()], *attr) else {
                     return false;
                 };
-                match self.net.lookup_const(value) {
+                match self.net.lookup_const(&value.resolve()) {
                     Some(c) => self.net.entails(a, *op, c),
                     // Constant never mentioned: intern it lazily (harmless
                     // — only adds chain edges among constants) and query.
-                    None => self.entails_against_new_const(a, *op, value),
+                    None => self.entails_against_new_const(a, *op, &value.resolve()),
                 }
             }
             GedLiteral::AttrAttr {
@@ -298,7 +298,7 @@ impl GedStore {
                 let Some(a) = self.existing_attr_var(m[var.index()], *attr) else {
                     return false;
                 };
-                let c = self.net.const_var(value);
+                let c = self.net.const_var(&value.resolve());
                 self.net.entails(a, op.negate(), c)
             }
             GedLiteral::AttrAttr {
@@ -338,7 +338,7 @@ impl GedStore {
                 value,
             } => {
                 let a = self.attr_var(m[var.index()], *attr);
-                let c = self.net.const_var(value);
+                let c = self.net.const_var(&value.resolve());
                 self.assert_cmp_tracked(a, op.negate(), c)
             }
             GedLiteral::AttrAttr {

@@ -28,7 +28,7 @@ pub fn ged_literal_holds(graph: &Graph, lit: &GedLiteral, m: &[NodeId]) -> bool 
             value,
         } => graph
             .attr(m[var.index()], *attr)
-            .is_some_and(|v| op.eval(v, value)),
+            .is_some_and(|v| op.eval_id(v, *value)),
         GedLiteral::AttrAttr {
             var,
             attr,
@@ -38,7 +38,7 @@ pub fn ged_literal_holds(graph: &Graph, lit: &GedLiteral, m: &[NodeId]) -> bool 
         } => {
             let left = graph.attr(m[var.index()], *attr);
             let right = graph.attr(m[other_var.index()], *other_attr);
-            matches!((left, right), (Some(a), Some(b)) if op.eval(a, b))
+            matches!((left, right), (Some(a), Some(b)) if op.eval_id(a, b))
         }
         GedLiteral::Id { left, right } => m[left.index()] == m[right.index()],
     }

@@ -88,7 +88,7 @@ pub fn plant_violation(graph: &mut Graph, gfd: &Gfd, schema: &Schema, seed: u64)
     for lit in &gfd.premise {
         let node = planted[lit.var.index()];
         match &lit.rhs {
-            Operand::Const(c) => graph.set_attr(node, lit.attr, c.clone()),
+            Operand::Const(c) => graph.set_attr_id(node, lit.attr, *c),
             Operand::Attr(v2, a2) => {
                 let shared = Value::str(format!("planted_{seed}"));
                 graph.set_attr(node, lit.attr, shared.clone());

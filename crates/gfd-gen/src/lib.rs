@@ -15,6 +15,7 @@
 //!   tiered generation chains, mixed GFD+GGD sets, deep-conflict
 //!   injection;
 //! * [`graph_gen`] — random property graphs and violation planting;
+//! * [`hub_gen`] — power-law hub workloads with string-heavy rules;
 //! * [`delta_gen`] — seeded delta streams for the incremental engine;
 //! * [`workload`] — the named workloads behind every table and figure.
 
@@ -24,6 +25,7 @@ pub mod delta_gen;
 pub mod gfd_gen;
 pub mod ggd_gen;
 pub mod graph_gen;
+pub mod hub_gen;
 pub mod pattern_gen;
 pub mod schema;
 pub mod workload;
@@ -38,6 +40,7 @@ pub use ggd_gen::{
     tier0_graph, GgdGenConfig,
 };
 pub use graph_gen::{plant_violation, random_graph, GraphGenConfig};
+pub use hub_gen::{hub_workload, HubGenConfig, HubWorkload};
 pub use pattern_gen::{mutate_pattern, random_pattern, PatternGenConfig};
 pub use schema::{Dataset, Schema};
 pub use workload::{real_life_workload, synthetic_workload, ImpProbe, Workload};

@@ -29,7 +29,7 @@
 use crate::csr::{label_slice, CsrTopology};
 use crate::graph::{Adj, Graph, LabelIndex};
 use crate::ids::{AttrId, LabelId, NodeId};
-use crate::value::Value;
+use crate::value::{Value, ValueId, ValueTable};
 use crate::view::{Dir, MatchIndex, TopologyView};
 use rustc_hash::FxHashMap;
 use std::ops::ControlFlow;
@@ -71,8 +71,8 @@ pub enum DeltaOp {
         node: NodeId,
         /// Attribute id.
         attr: AttrId,
-        /// New value.
-        value: Value,
+        /// New value (interned).
+        value: ValueId,
     },
 }
 
@@ -118,7 +118,12 @@ impl DeltaBatch {
     }
 
     /// Append an attribute write.
-    pub fn set_attr(&mut self, node: NodeId, attr: AttrId, value: Value) {
+    pub fn set_attr(&mut self, node: NodeId, attr: AttrId, value: impl Into<Value>) {
+        self.set_attr_id(node, attr, ValueTable::intern(&value.into()));
+    }
+
+    /// Set (or overwrite) attribute `attr` of `node` to an interned id.
+    pub fn set_attr_id(&mut self, node: NodeId, attr: AttrId, value: ValueId) {
         self.ops.push(DeltaOp::SetAttr { node, attr, value });
     }
 
@@ -147,7 +152,7 @@ impl DeltaBatch {
                     }
                 }
                 DeltaOp::SetAttr { node, attr, value } => {
-                    graph.set_attr(*node, *attr, value.clone());
+                    graph.set_attr_id(*node, *attr, *value);
                     dirty.push(*node);
                 }
             }
@@ -547,7 +552,7 @@ impl DeltaIndex {
                     }
                 }
                 DeltaOp::SetAttr { node, attr, value } => {
-                    graph.set_attr(*node, *attr, value.clone());
+                    graph.set_attr_id(*node, *attr, *value);
                     out.dirty.push(*node);
                 }
             }
@@ -797,7 +802,7 @@ mod tests {
         idx.assert_fresh(&g);
         assert_eq!(MatchIndex::candidates(&idx, t).len(), 4);
         assert!(MatchIndex::candidates(&idx, t).contains(&NodeId::new(3)));
-        assert_eq!(g.attr(NodeId::new(1), name), Some(&Value::str("bob")));
+        assert_eq!(g.attr(NodeId::new(1), name), Some(ValueId::of("bob")));
         assert_agrees_with_refreeze(idx.view(), &g);
         assert!(idx.delta_fraction() > 0.0);
     }

@@ -1,7 +1,7 @@
 //! Directed, labelled property graphs `G = (V, E, L, F_A)`.
 
 use crate::ids::{AttrId, LabelId, NodeId};
-use crate::value::Value;
+use crate::value::{Value, ValueId, ValueTable};
 use rustc_hash::FxHashMap;
 
 /// A labelled edge endpoint stored in adjacency lists: `(edge label, other
@@ -12,14 +12,22 @@ pub type Adj = (LabelId, NodeId);
 /// tuples, as defined in §II of the paper.
 ///
 /// Nodes are dense `NodeId`s; adjacency is stored both ways so matching can
-/// traverse pattern edges in either direction. Attributes are small sorted
-/// vectors per node (real-world nodes carry few attributes).
+/// traverse pattern edges in either direction. Attributes are interned
+/// [`ValueId`]s, stored twice: as small sorted rows per node (the
+/// authoritative store, cheap to enumerate and clone) and as a columnar
+/// mirror indexed `[attr][node]` so the literal-evaluation hot path reads
+/// one value with two indexed loads instead of a per-node binary search.
 #[derive(Clone, Debug, Default)]
 pub struct Graph {
     labels: Vec<LabelId>,
     out: Vec<Vec<Adj>>,
     inn: Vec<Vec<Adj>>,
-    attrs: Vec<Vec<(AttrId, Value)>>,
+    attrs: Vec<Vec<(AttrId, ValueId)>>,
+    /// Columnar mirror of `attrs`: `cols[attr][node]`, `ValueId::NONE`
+    /// where the attribute is absent. Maintained by `set_attr_id`; the
+    /// distinct-attribute count is small in every workload, so the
+    /// mirror costs one dense `u32` column per attribute.
+    cols: Vec<Vec<ValueId>>,
     edge_count: usize,
     /// Bumped on every topology mutation (node or edge insertion, not
     /// attribute updates). Frozen views record the version they were built
@@ -40,6 +48,7 @@ impl Graph {
             out: Vec::with_capacity(nodes),
             inn: Vec::with_capacity(nodes),
             attrs: Vec::with_capacity(nodes),
+            cols: Vec::new(),
             edge_count: 0,
             topology_version: 0,
         }
@@ -100,26 +109,52 @@ impl Graph {
         true
     }
 
-    /// Set (or overwrite) attribute `attr` of `node` to `value`.
-    pub fn set_attr(&mut self, node: NodeId, attr: AttrId, value: Value) {
+    /// Set (or overwrite) attribute `attr` of `node` to `value`,
+    /// interning it. Boundary convenience — hot paths that already hold
+    /// an id use [`Graph::set_attr_id`].
+    pub fn set_attr(&mut self, node: NodeId, attr: AttrId, value: impl Into<Value>) {
+        self.set_attr_id(node, attr, ValueTable::intern(&value.into()));
+    }
+
+    /// Set (or overwrite) attribute `attr` of `node` to an interned id.
+    pub fn set_attr_id(&mut self, node: NodeId, attr: AttrId, value: ValueId) {
+        debug_assert!(value.is_some(), "NONE is not a storable value");
         let attrs = &mut self.attrs[node.index()];
         match attrs.binary_search_by_key(&attr, |(a, _)| *a) {
             Ok(i) => attrs[i].1 = value,
             Err(i) => attrs.insert(i, (attr, value)),
         }
+        let ai = attr.index();
+        if self.cols.len() <= ai {
+            self.cols.resize_with(ai + 1, Vec::new);
+        }
+        let col = &mut self.cols[ai];
+        if col.len() <= node.index() {
+            col.resize(node.index() + 1, ValueId::NONE);
+        }
+        col[node.index()] = value;
     }
 
-    /// The value of attribute `attr` at `node`, if present.
-    pub fn attr(&self, node: NodeId, attr: AttrId) -> Option<&Value> {
-        let attrs = &self.attrs[node.index()];
-        attrs
-            .binary_search_by_key(&attr, |(a, _)| *a)
-            .ok()
-            .map(|i| &attrs[i].1)
+    /// The interned value of attribute `attr` at `node`, if present.
+    /// One column load — the literal-evaluation hot path.
+    #[inline]
+    pub fn attr(&self, node: NodeId, attr: AttrId) -> Option<ValueId> {
+        let v = *self.cols.get(attr.index())?.get(node.index())?;
+        if v.is_none() {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// The resolved value of attribute `attr` at `node`, if present.
+    /// Boundary helper for rendering and serialization.
+    pub fn attr_value(&self, node: NodeId, attr: AttrId) -> Option<Value> {
+        self.attr(node, attr).map(ValueId::resolve)
     }
 
     /// All attributes of `node`, sorted by attribute id.
-    pub fn attrs(&self, node: NodeId) -> &[(AttrId, Value)] {
+    pub fn attrs(&self, node: NodeId) -> &[(AttrId, ValueId)] {
         &self.attrs[node.index()]
     }
 
@@ -245,7 +280,7 @@ impl Graph {
         }
         for v in other.nodes() {
             for (attr, value) in other.attrs(v) {
-                self.set_attr(NodeId::new(v.index() + offset), *attr, value.clone());
+                self.set_attr_id(NodeId::new(v.index() + offset), *attr, *value);
             }
         }
         offset
@@ -365,7 +400,8 @@ mod tests {
         assert_eq!(g.out_edges(NodeId::new(0)).len(), 1);
         assert_eq!(g.in_edges(NodeId::new(1)).len(), 2);
         let name = v.attr("name");
-        assert_eq!(g.attr(NodeId::new(0), name), Some(&Value::str("ann")));
+        assert_eq!(g.attr(NodeId::new(0), name), Some(ValueId::of("ann")));
+        assert_eq!(g.attr_value(NodeId::new(0), name), Some(Value::str("ann")));
         assert_eq!(g.attr(NodeId::new(1), name), None);
     }
 
@@ -374,7 +410,7 @@ mod tests {
         let (mut g, mut v) = tiny();
         let name = v.attr("name");
         g.set_attr(NodeId::new(0), name, Value::str("bob"));
-        assert_eq!(g.attr(NodeId::new(0), name), Some(&Value::str("bob")));
+        assert_eq!(g.attr(NodeId::new(0), name), Some(ValueId::of("bob")));
         assert_eq!(g.attr_count(), 1);
     }
 

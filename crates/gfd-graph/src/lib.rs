@@ -42,5 +42,5 @@ pub use ids::{AttrId, GfdId, LabelId, NodeId, VarId};
 pub use interner::{Interner, Vocab};
 pub use nodeset::NodeSet;
 pub use pattern::{Pattern, PatternEdge};
-pub use value::Value;
+pub use value::{Value, ValueId, ValueTable};
 pub use view::{Dir, MatchIndex, TopologyView};

@@ -78,6 +78,24 @@ pub trait TopologyView: Sync {
         });
     }
 
+    /// Stream every label-matching adjacency endpoint of `v` into
+    /// `set`. Semantically `for_each_matching` + insert, but overridable
+    /// with a monomorphic loop: the bitset anchor fold pays one dynamic
+    /// call per streamed edge through `try_for_matching`, which is the
+    /// dominant cost of folding a fat hub adjacency (DESIGN.md §15).
+    fn collect_matching_into(
+        &self,
+        v: NodeId,
+        dir: Dir,
+        label: LabelId,
+        set: &mut crate::NodeSet,
+    ) {
+        let _ = self.try_for_matching(v, dir, label, &mut |(_, n)| {
+            set.insert(n);
+            ControlFlow::Continue(())
+        });
+    }
+
     /// True iff some label-matching adjacency entry of `v` satisfies
     /// `pred` (early exit on the first hit).
     fn any_matching(
@@ -145,6 +163,22 @@ impl TopologyView for CsrTopology {
             f(a)?;
         }
         ControlFlow::Continue(())
+    }
+
+    fn collect_matching_into(
+        &self,
+        v: NodeId,
+        dir: Dir,
+        label: LabelId,
+        set: &mut crate::NodeSet,
+    ) {
+        let slice = match dir {
+            Dir::Out => self.out_matching(v, label),
+            Dir::In => self.in_matching(v, label),
+        };
+        for &(_, n) in slice {
+            set.insert(n);
+        }
     }
 }
 

@@ -15,12 +15,21 @@
 //! ```text
 //! GFDCKPT v1
 //! cursor 7                  # batches already applied
+//! value "ada"               # distinct attr values, first-touch order
 //! node Person               # one per node, in dense-id order
 //! attr 0 name="ada"
 //! edge 0 knows 1
 //! viol 2 3 0 5 9 2 1 4      # gfd, |m|, m..., |failed|, failed...
 //! end                       # torn writes are detected by its absence
 //! ```
+//!
+//! The `value` section persists the checkpoint's slice of the global
+//! `ValueTable` in a deterministic order (first touch over dense node
+//! order). Ids are never written — re-interning the lines in order on
+//! load reproduces the writer's *relative* id order in the resuming
+//! process, so id-keyed state rebuilds identically after the interning
+//! change (DESIGN.md §15). The section is optional on read, keeping
+//! pre-interning v1 checkpoints loadable.
 //!
 //! [`save_checkpoint`] writes to a temporary sibling and renames it into
 //! place, so a crash mid-write leaves the previous checkpoint intact —
@@ -61,6 +70,16 @@ pub fn checkpoint_to_string(ckpt: &Checkpoint, vocab: &Vocab) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{HEADER}");
     let _ = writeln!(out, "cursor {}", ckpt.batches_applied);
+    // Distinct attribute values in first-touch order; see the module
+    // docs for why the order (not the ids) is what gets persisted.
+    let mut seen = std::collections::BTreeSet::new();
+    for n in ckpt.graph.nodes() {
+        for &(_, value) in ckpt.graph.attrs(n) {
+            if seen.insert(value.raw()) {
+                let _ = writeln!(out, "value {}", crate::deltalog::fmt_value_id(value));
+            }
+        }
+    }
     for n in ckpt.graph.nodes() {
         let _ = writeln!(out, "node {}", vocab.label_name(ckpt.graph.label(n)));
     }
@@ -71,7 +90,7 @@ pub fn checkpoint_to_string(ckpt: &Checkpoint, vocab: &Vocab) -> String {
                 "attr {} {}={}",
                 n.index(),
                 vocab.attr_name(*attr),
-                crate::deltalog::fmt_value(value)
+                crate::deltalog::fmt_value_id(*value)
             );
         }
     }
@@ -137,6 +156,16 @@ pub fn parse_checkpoint(src: &str, vocab: &mut Vocab) -> Result<Checkpoint, Load
                 }
                 cursor = Some(parse_usize(parts.next(), "batch cursor")?);
             }
+            "value" => {
+                let tok = parts
+                    .next()
+                    .ok_or_else(|| err(line_no, "expected `value VALUE`"))?;
+                // Re-intern in writer order: the ids themselves are not
+                // persisted, but dedup makes in-order re-interning
+                // reproduce the writer's relative table order before any
+                // `attr` line interns out of sequence.
+                let _ = crate::edgelist::parse_value(tok);
+            }
             "node" => {
                 let label = parts
                     .next()
@@ -152,7 +181,7 @@ pub fn parse_checkpoint(src: &str, vocab: &mut Vocab) -> Result<Checkpoint, Load
                     return Err(err(line_no, format!("attr on unknown node {n}")));
                 }
                 let (name, value) = crate::edgelist::parse_attr(kv, line_no)?;
-                graph.set_attr(node, vocab.attr(name), value);
+                graph.set_attr_id(node, vocab.attr(name), value);
             }
             "edge" => {
                 let (Some(s), Some(l), Some(d)) = (parts.next(), parts.next(), parts.next()) else {
@@ -285,6 +314,47 @@ mod tests {
         assert_eq!(checkpoint_to_string(&back, &vocab2), text);
     }
 
+    /// The `value` section lists each distinct attribute value once, in
+    /// first-touch order over dense node ids, and a checkpoint without
+    /// the section (pre-interning writer) still loads.
+    #[test]
+    fn value_section_is_deduped_ordered_and_optional() {
+        let mut vocab = Vocab::new();
+        let mut g = Graph::new();
+        let t = vocab.label("T");
+        let name = vocab.attr("name");
+        let a = g.add_node(t);
+        let b = g.add_node(t);
+        let c = g.add_node(t);
+        g.set_attr(a, name, Value::str("dup"));
+        g.set_attr(b, name, Value::str("dup"));
+        g.set_attr(c, name, Value::Int(9));
+        let ckpt = Checkpoint {
+            batches_applied: 0,
+            graph: g,
+            violations: vec![],
+        };
+        let text = checkpoint_to_string(&ckpt, &vocab);
+        let value_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("value "))
+            .collect();
+        assert_eq!(value_lines, ["value \"dup\"", "value 9"]);
+        assert!(parse_checkpoint(&text, &mut Vocab::new()).is_ok());
+
+        // Section absent: still parses (old-format checkpoint).
+        let stripped: String = text
+            .lines()
+            .filter(|l| !l.starts_with("value "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let back = parse_checkpoint(&stripped, &mut Vocab::new()).unwrap();
+        assert_eq!(
+            back.graph.attr(NodeId::new(0), vocab.attr("name")),
+            Some(gfd_graph::ValueId::of("dup"))
+        );
+    }
+
     #[test]
     fn truncated_checkpoint_is_rejected() {
         let mut vocab = Vocab::new();
@@ -308,6 +378,7 @@ mod tests {
             ("GFDCKPT v1\ncursor 0\nend\nnode A", "after `end`"),
             ("GFDCKPT v1\ncursor 0\ncursor 1\nend", "duplicate"),
             ("GFDCKPT v1\ncursor 0 0\nend", "trailing"),
+            ("GFDCKPT v1\ncursor 0\nvalue\nend", "expected `value"),
         ] {
             let e = parse_checkpoint(src, &mut vocab).unwrap_err();
             assert!(e.message.contains(needle), "`{src}` → {e}");

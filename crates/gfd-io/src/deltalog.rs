@@ -22,7 +22,7 @@
 //! [`gfd_graph::DeltaBatch`]. A leading `batch` header is optional.
 
 use crate::edgelist::LoadError;
-use gfd_graph::{DeltaBatch, DeltaOp, NodeId, Value, Vocab};
+use gfd_graph::{DeltaBatch, DeltaOp, NodeId, Value, ValueId, Vocab};
 use gfd_runtime::failpoint;
 use std::fmt::Write as _;
 
@@ -251,6 +251,10 @@ fn parse_inner(
     })
 }
 
+pub(crate) fn fmt_value_id(value: ValueId) -> String {
+    fmt_value(&value.resolve())
+}
+
 pub(crate) fn fmt_value(value: &Value) -> String {
     match value {
         Value::Int(i) => i.to_string(),
@@ -293,7 +297,7 @@ pub fn delta_log_to_string(batches: &[DeltaBatch], vocab: &Vocab) -> String {
                         "attr {} {}={}",
                         node.index(),
                         vocab.attr_name(*attr),
-                        fmt_value(value)
+                        fmt_value_id(*value)
                     );
                 }
             }
@@ -335,7 +339,7 @@ attr 4 verified=true
             DeltaOp::SetAttr {
                 node: NodeId::new(4),
                 attr: vocab.attr("name"),
-                value: Value::str("bob lee"),
+                value: ValueId::of("bob lee"),
             }
         );
         assert_eq!(
@@ -343,9 +347,49 @@ attr 4 verified=true
             DeltaOp::SetAttr {
                 node: NodeId::new(4),
                 attr: vocab.attr("verified"),
-                value: Value::Bool(true),
+                value: ValueId::of(true),
             }
         );
+    }
+
+    /// The ingest-dedup regression (DESIGN.md §15): a log that repeats
+    /// the same string literal must hit one shared [`ValueTable`] entry
+    /// per distinct string, not allocate a fresh `Arc<str>` per
+    /// occurrence — every occurrence resolves to the *same* raw id, and
+    /// replaying the log again mints no new ids.
+    #[test]
+    fn repetitive_log_interns_each_string_once() {
+        use gfd_graph::ValueTable;
+        // Process-unique payloads: the table is global and other tests
+        // intern concurrently, so assertions ride on id identity, never
+        // on absolute table counts.
+        let city = "dedup-test-city-§1";
+        let name = "dedup-test-name-§1";
+        let mut src = String::from("batch\n");
+        for i in 0..50 {
+            src.push_str(&format!("node person\nattr {i} city=\"{city}\"\n"));
+            src.push_str(&format!("attr {i} name=\"{name}\"\n"));
+        }
+        let mut vocab = Vocab::new();
+        assert_eq!(ValueTable::lookup_str(city), None, "unique payload leaked");
+        let batches = parse_delta_log(&src, &mut vocab).expect("parses");
+        let ids: Vec<ValueId> = batches[0]
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                DeltaOp::SetAttr { value, .. } => Some(*value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids.len(), 100);
+        let distinct: std::collections::BTreeSet<u32> =
+            ids.iter().map(|v| v.raw()).collect();
+        assert_eq!(distinct.len(), 2, "two distinct strings, two table entries");
+        assert_eq!(ValueTable::lookup_str(city), Some(ValueId::of(city)));
+        // A second replay resolves to the very same ids: the table is
+        // append-only and deduplicating, so repeated ingest is free.
+        let again = parse_delta_log(&src, &mut vocab).expect("parses");
+        assert_eq!(batches, again);
     }
 
     #[test]

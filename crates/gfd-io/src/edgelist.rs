@@ -14,7 +14,7 @@
 //! Node ids may be sparse and in any order; they are densified in first-
 //! seen order and the mapping is returned.
 
-use gfd_graph::{Graph, LabelId, NodeId, Value, Vocab};
+use gfd_graph::{Graph, LabelId, NodeId, ValueId, ValueTable, Vocab};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -110,23 +110,31 @@ pub fn load_edge_list(
 /// Parse one `attr=value` token. Values: integers, `true`/`false`, quoted
 /// strings (double quotes, may contain spaces pre-split — see note), or
 /// bare strings. Shared with the delta-log format.
-pub(crate) fn parse_attr(token: &str, line: usize) -> Result<(&str, Value), LoadError> {
+pub(crate) fn parse_attr(token: &str, line: usize) -> Result<(&str, ValueId), LoadError> {
     let (name, raw) = token
         .split_once('=')
         .ok_or_else(|| err(line, format!("expected attr=value, got `{token}`")))?;
     if name.is_empty() {
         return Err(err(line, "empty attribute name"));
     }
-    let value = if let Ok(i) = raw.parse::<i64>() {
-        Value::Int(i)
+    Ok((name, parse_value(raw)))
+}
+
+/// Parse one bare value token (shared by `attr=value` pairs and the
+/// checkpoint `value` section): integers, `true`/`false`, quoted or bare
+/// strings. Interning at the parse boundary dedups repeated values: one
+/// table entry (and one string allocation) per distinct value, however
+/// many times a log repeats it.
+pub(crate) fn parse_value(raw: &str) -> ValueId {
+    if let Ok(i) = raw.parse::<i64>() {
+        ValueTable::intern_int(i)
     } else if raw == "true" || raw == "false" {
-        Value::Bool(raw == "true")
+        ValueTable::intern_bool(raw == "true")
     } else if let Some(stripped) = raw.strip_prefix('"').and_then(|r| r.strip_suffix('"')) {
-        Value::str(stripped)
+        ValueTable::intern_str(stripped)
     } else {
-        Value::str(raw)
-    };
-    Ok((name, value))
+        ValueTable::intern_str(raw)
+    }
 }
 
 /// Tokenize a node-table (or delta-log) line, keeping double-quoted
@@ -186,7 +194,7 @@ pub fn load_node_table(
         labelled += 1;
         for token in &tokens[2..] {
             let (name, value) = parse_attr(token, line_no)?;
-            graph.set_attr(node, vocab.attr(name), value);
+            graph.set_attr_id(node, vocab.attr(name), value);
         }
     }
     // Graph has no label-mutation API by design (labels are structural);
@@ -210,8 +218,8 @@ pub fn load_node_table(
             rebuilt.add_edge(s, l, d);
         }
         for v in graph.nodes() {
-            for (a, val) in graph.attrs(v) {
-                rebuilt.set_attr(v, *a, val.clone());
+            for &(a, val) in graph.attrs(v) {
+                rebuilt.set_attr_id(v, a, val);
             }
         }
         *graph = rebuilt;
@@ -280,11 +288,11 @@ mod tests {
         let age = vocab.attr("age");
         let region = vocab.attr("region");
         assert_eq!(g.label(ids[&0]), person);
-        assert_eq!(g.attr(ids[&0], age), Some(&Value::int(28)));
-        assert_eq!(g.attr(ids[&0], region), Some(&Value::str("zilinsky kraj")));
+        assert_eq!(g.attr(ids[&0], age), Some(ValueId::of(28i64)));
+        assert_eq!(g.attr(ids[&0], region), Some(ValueId::of("zilinsky kraj")));
         assert_eq!(
             g.attr(ids[&1], vocab.attr("verified")),
-            Some(&Value::Bool(true))
+            Some(ValueId::of(true))
         );
         // Structure untouched by the relabelling rebuild.
         assert!(g.has_edge(ids[&0], vocab.label("edge"), ids[&1]));

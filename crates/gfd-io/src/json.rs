@@ -11,7 +11,7 @@
 
 use crate::jsonval::{parse, Json, ParseError};
 use gfd_core::{Gfd, GfdSet, Literal, Operand};
-use gfd_graph::{Graph, NodeId, Pattern, Value, Vocab};
+use gfd_graph::{Graph, NodeId, Pattern, Value, ValueId, Vocab};
 use std::fmt;
 
 /// An import/export error.
@@ -42,6 +42,10 @@ impl From<ParseError> for JsonError {
 
 fn semantic(msg: impl Into<String>) -> JsonError {
     JsonError::Semantic(msg.into())
+}
+
+fn value_id_to_json(v: ValueId) -> Json {
+    value_to_json(&v.resolve())
 }
 
 fn value_to_json(v: &Value) -> Json {
@@ -114,7 +118,7 @@ pub fn graph_to_json(graph: &Graph, vocab: &Vocab) -> String {
             let mut attrs: Vec<(String, Json)> = graph
                 .attrs(v)
                 .iter()
-                .map(|(a, val)| (vocab.attr_name(*a).to_string(), value_to_json(val)))
+                .map(|(a, val)| (vocab.attr_name(*a).to_string(), value_id_to_json(*val)))
                 .collect();
             attrs.sort_by(|(a, _), (b, _)| a.cmp(b));
             if !attrs.is_empty() {
@@ -187,7 +191,7 @@ fn literal_to_json(lit: &Literal, pattern: &Pattern, vocab: &Vocab) -> Json {
         ),
     ];
     match &lit.rhs {
-        Operand::Const(c) => fields.push(("value".to_string(), value_to_json(c))),
+        Operand::Const(c) => fields.push(("value".to_string(), value_id_to_json(*c))),
         Operand::Attr(v, a) => {
             fields.push((
                 "rhs_var".to_string(),
@@ -381,8 +385,8 @@ mod tests {
         assert_eq!(g2.edge_count(), g.edge_count());
         assert_eq!(g2.attr_count(), g.attr_count());
         let age2 = vocab2.attr("age");
-        assert_eq!(g2.attr(NodeId::new(0), age2), Some(&Value::int(30)));
-        assert_eq!(g2.attr(NodeId::new(1), age2), Some(&Value::Bool(true)));
+        assert_eq!(g2.attr(NodeId::new(0), age2), Some(ValueId::of(30i64)));
+        assert_eq!(g2.attr(NodeId::new(1), age2), Some(ValueId::of(true)));
     }
 
     #[test]

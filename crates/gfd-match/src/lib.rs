@@ -19,10 +19,11 @@ pub mod plan;
 pub mod search;
 pub mod simulation;
 
-pub use plan::{Anchor, AnchorDir, MatchPlan, PlanStep};
+pub use plan::{Anchor, AnchorDir, IntersectStrategy, MatchPlan, PlanStep, BITSET_ANCHOR_DEGREE};
 pub use search::{
-    count_matches, find_all_matches, gallop_lower_bound, has_match, intersect_slices_gallop,
-    intersect_slices_two_pointer, HomSearch, Match, RunOutcome, SearchLimits,
+    count_matches, find_all_matches, gallop_lower_bound, has_match, intersect_slices_bitset,
+    intersect_slices_gallop, intersect_slices_two_pointer, HomSearch, Match, RunOutcome,
+    SearchLimits, BITSET_MIN_CANDIDATES,
 };
 pub use simulation::{dual_simulation, may_embed};
 

@@ -30,6 +30,36 @@ pub struct Anchor {
     pub dir: AnchorDir,
 }
 
+/// How the matcher should merge a step's anchor adjacencies into the
+/// candidate list (DESIGN.md §15). Picked per step from the view's
+/// `(edge label, endpoint label)` pair frequencies; `TwoPointer` and
+/// `Gallop` are advisory (the matcher re-derives the skew regime from
+/// the exact lengths at frame time), but `Bitset` gates the
+/// word-at-a-time path, which pays off only when several concrete
+/// anchors are all high-degree.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IntersectStrategy {
+    /// Linear sorted merge — comparable adjacency lengths.
+    #[default]
+    TwoPointer,
+    /// Exponential-probe merge — one side much longer than the other.
+    Gallop,
+    /// Materialize each anchor adjacency into a `NodeSet` and intersect
+    /// with u64 word ANDs — multiple dense anchors on a hub.
+    Bitset,
+}
+
+/// Estimated per-anchor expansion (pair frequency) at which a step with
+/// two or more concrete anchors switches to the bitset merge. Pinned by
+/// the `micro_structures` intersection guard: below this the bitset's
+/// materialize/reset overhead loses to the sorted merges.
+pub const BITSET_ANCHOR_DEGREE: usize = 64;
+
+/// Length-ratio between the largest and smallest anchor estimates past
+/// which the plan expects the galloping merge to win (mirrors the
+/// matcher's runtime `GALLOP_FACTOR`).
+const SKEW_FACTOR: usize = 8;
+
 /// One step of a plan: which variable to place and how it connects to the
 /// already-placed prefix.
 #[derive(Clone, Debug)]
@@ -41,6 +71,8 @@ pub struct PlanStep {
     /// Labels of self-loop pattern edges `var --l--> var`; a candidate node
     /// must carry a matching self-loop.
     pub self_loops: Vec<gfd_graph::LabelId>,
+    /// How to merge this step's anchor adjacencies into the candidates.
+    pub strategy: IntersectStrategy,
 }
 
 /// A complete variable ordering for a pattern.
@@ -187,12 +219,14 @@ impl MatchPlan {
             if anchors.is_empty() {
                 component_roots.push(steps.len());
             }
+            let strategy = choose_strategy(pattern, next, &anchors, stats);
             placed[next.index()] = true;
             pos_of[next.index()] = steps.len();
             steps.push(PlanStep {
                 var: next,
                 anchors,
                 self_loops,
+                strategy,
             });
         }
 
@@ -232,6 +266,60 @@ impl MatchPlan {
     /// one of them).
     pub fn component_roots(&self) -> &[usize] {
         &self.component_roots
+    }
+
+    /// A copy of this plan with every [`IntersectStrategy::Bitset`] step
+    /// demoted to the sorted two-pointer merge. Ordering, anchors and
+    /// the remaining strategies are untouched, so the copy isolates the
+    /// bitset candidate fold from the rest of the plan — the ablation
+    /// the `micro_structures` crossover guard times (DESIGN.md §15).
+    pub fn without_bitset(&self) -> Self {
+        let mut plan = self.clone();
+        for s in &mut plan.steps {
+            if s.strategy == IntersectStrategy::Bitset {
+                s.strategy = IntersectStrategy::TwoPointer;
+            }
+        }
+        plan
+    }
+}
+
+/// Pick the merge strategy for a step from the view's pair-frequency
+/// stats. The matcher expands from the *smallest* anchor adjacency and
+/// merges the rest, so the decision rides on the second-smallest
+/// estimate: if every non-seed concrete anchor is still high-degree,
+/// word-at-a-time bitset ANDs amortize over all of them; a large
+/// largest/smallest skew favours galloping; otherwise the plain
+/// two-pointer merge.
+fn choose_strategy<I: MatchIndex>(
+    pattern: &Pattern,
+    var: VarId,
+    anchors: &[Anchor],
+    stats: Option<&I>,
+) -> IntersectStrategy {
+    let Some(s) = stats else {
+        return IntersectStrategy::TwoPointer;
+    };
+    let mut ests: Vec<usize> = anchors
+        .iter()
+        .filter(|a| !a.label.is_wildcard())
+        .map(|a| match a.dir {
+            AnchorDir::FromAnchor => s.out_pair_frequency(a.label, pattern.label(var)),
+            AnchorDir::ToAnchor => s.in_pair_frequency(a.label, pattern.label(var)),
+        })
+        .collect();
+    ests.sort_unstable();
+    match ests.as_slice() {
+        [] | [_] => IntersectStrategy::TwoPointer,
+        [lo, .., hi] => {
+            if ests[1] >= BITSET_ANCHOR_DEGREE {
+                IntersectStrategy::Bitset
+            } else if *hi >= SKEW_FACTOR * (*lo).max(1) {
+                IntersectStrategy::Gallop
+            } else {
+                IntersectStrategy::TwoPointer
+            }
+        }
     }
 }
 
@@ -396,6 +484,60 @@ mod tests {
             pb,
             "plan ignored the delta-adjusted label frequencies"
         );
+    }
+
+    /// Two dense hubs feeding the same targets: the closing step of the
+    /// diamond sees two concrete anchors whose pair frequencies both
+    /// clear [`BITSET_ANCHOR_DEGREE`], so the plan gates the bitset merge.
+    #[test]
+    fn dense_multi_anchor_step_selects_bitset() {
+        let mut v = Vocab::new();
+        let t = v.label("t");
+        let e = v.label("e");
+        let mut g = Graph::new();
+        let h1 = g.add_node(t);
+        let h2 = g.add_node(t);
+        for _ in 0..128 {
+            let w = g.add_node(t);
+            g.add_edge(h1, e, w);
+            g.add_edge(h2, e, w);
+        }
+        let idx = LabelIndex::build(&g);
+        let p = diamond(&mut v);
+        let plan = MatchPlan::build(&p, None, Some(&idx));
+        let multi = plan
+            .steps()
+            .iter()
+            .find(|s| s.anchors.len() >= 2)
+            .expect("diamond has a doubly-anchored step");
+        assert_eq!(multi.strategy, IntersectStrategy::Bitset);
+        // Singly-anchored steps never pay for the bitset.
+        for s in plan.steps().iter().filter(|s| s.anchors.len() < 2) {
+            assert_ne!(s.strategy, IntersectStrategy::Bitset);
+        }
+    }
+
+    /// On a sparse graph the same diamond keeps the two-pointer merge,
+    /// and without stats the strategy defaults to it everywhere.
+    #[test]
+    fn sparse_or_statless_steps_stay_two_pointer() {
+        let mut v = Vocab::new();
+        let t = v.label("t");
+        let e = v.label("e");
+        let mut g = Graph::new();
+        let a = g.add_node(t);
+        let b = g.add_node(t);
+        let c = g.add_node(t);
+        g.add_edge(a, e, c);
+        g.add_edge(b, e, c);
+        let idx = LabelIndex::build(&g);
+        let p = diamond(&mut v);
+        for step in MatchPlan::build(&p, None, Some(&idx)).steps() {
+            assert_ne!(step.strategy, IntersectStrategy::Bitset);
+        }
+        for step in MatchPlan::structural(&p, None).steps() {
+            assert_eq!(step.strategy, IntersectStrategy::TwoPointer);
+        }
     }
 
     #[test]

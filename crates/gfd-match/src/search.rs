@@ -12,7 +12,7 @@
 //!   assignments* that other workers can resume independently (the paper's
 //!   Example 6).
 
-use crate::plan::{Anchor, AnchorDir, MatchPlan};
+use crate::plan::{Anchor, AnchorDir, IntersectStrategy, MatchPlan};
 use gfd_graph::{Dir, Graph, LabelIndex, MatchIndex, NodeId, NodeSet, Pattern, TopologyView};
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -102,6 +102,11 @@ pub struct HomSearch<'a, I: MatchIndex = LabelIndex> {
     assignment: Vec<NodeId>,
     started: bool,
     exhausted: bool,
+    /// Scratch bitsets for the word-at-a-time anchor merge, sized once
+    /// to the graph and reset in-pass (the draining intersection) or
+    /// sparsely between frames (DESIGN.md §15).
+    scratch_cand: NodeSet,
+    scratch_adj: NodeSet,
 }
 
 impl<'a, I: MatchIndex> HomSearch<'a, I> {
@@ -122,6 +127,8 @@ impl<'a, I: MatchIndex> HomSearch<'a, I> {
             assignment: vec![NodeId::new(0); plan.len()],
             started: false,
             exhausted: false,
+            scratch_cand: NodeSet::default(),
+            scratch_adj: NodeSet::default(),
         }
     }
 
@@ -190,7 +197,7 @@ impl<'a, I: MatchIndex> HomSearch<'a, I> {
             && step.anchors.iter().all(|a| self.anchor_holds(a, node))
     }
 
-    fn make_frame(&self, pos: usize) -> Frame<'a> {
+    fn make_frame(&mut self, pos: usize) -> Frame<'a> {
         // Fixed prefix positions carry exactly one (validated) candidate.
         if pos < self.prefix.len() {
             let node = self.prefix[pos];
@@ -230,9 +237,12 @@ impl<'a, I: MatchIndex> HomSearch<'a, I> {
         // Anchored: expand from the anchor with the smallest
         // label-matching adjacency, located in O(log d + log δ) on the
         // topology view (instead of filtering the anchor's full
-        // adjacency).
+        // adjacency). The closures borrow only the assignment so the
+        // scratch bitsets stay free for the word-merge below.
+        let view = self.view;
+        let assignment = &self.assignment;
         let probe_for = |a: &Anchor| -> (NodeId, Dir) {
-            let anchored = self.assignment[a.pos];
+            let anchored = assignment[a.pos];
             match a.dir {
                 AnchorDir::FromAnchor => (anchored, Dir::Out),
                 AnchorDir::ToAnchor => (anchored, Dir::In),
@@ -244,7 +254,7 @@ impl<'a, I: MatchIndex> HomSearch<'a, I> {
         // materializing every anchor's adjacency.
         let len_for = |a: &Anchor| -> usize {
             let (v, dir) = probe_for(a);
-            self.view.matching_len(v, dir, a.label)
+            view.matching_len(v, dir, a.label)
         };
         let best_i = (0..step.anchors.len())
             .min_by_key(|&i| len_for(&step.anchors[i]))
@@ -258,25 +268,71 @@ impl<'a, I: MatchIndex> HomSearch<'a, I> {
         let seed = &step.anchors[best_i];
         let mut candidates: Vec<NodeId> = Vec::with_capacity(len_for(seed));
         let (seed_v, seed_dir) = probe_for(seed);
-        self.view
-            .for_each_matching(seed_v, seed_dir, seed.label, |(_, n)| candidates.push(n));
+        view.for_each_matching(seed_v, seed_dir, seed.label, |(_, n)| candidates.push(n));
         if seed.label.is_wildcard() {
             candidates.sort_unstable();
         }
         candidates.dedup();
 
-        // Sorted-merge intersection with the next-smallest concrete
-        // anchor adjacency: both sequences are ascending, so one
-        // two-pointer pass replaces per-candidate edge probes for that
-        // anchor.
-        let merged_i = (0..step.anchors.len())
+        // Non-seed concrete anchors; wildcard anchors have no single
+        // sorted sub-slice, so they always stay per-candidate probes.
+        let extra: Vec<usize> = (0..step.anchors.len())
             .filter(|&i| i != best_i && !step.anchors[i].label.is_wildcard())
-            .min_by_key(|&i| len_for(&step.anchors[i]));
-        if let Some(mi) = merged_i {
-            let merge = &step.anchors[mi];
-            let (merge_v, merge_dir) = probe_for(merge);
-            candidates =
-                intersect_sorted_view(self.view, &candidates, merge_v, merge_dir, merge.label);
+            .collect();
+
+        let use_bitset = step.strategy == IntersectStrategy::Bitset
+            && !extra.is_empty()
+            && candidates.len() >= BITSET_MIN_CANDIDATES;
+        let mut merged_i = None;
+        if use_bitset {
+            // Bitset regime (plan-gated, DESIGN.md §15): fold *every*
+            // remaining concrete anchor adjacency into the candidate
+            // bitset, one u64 AND per 64 nodes. Scratch sets are sized
+            // once to the graph; each anchor adjacency streams straight
+            // into the adjacency scratch, and the draining intersection
+            // zeroes it again in the same word pass — one insert per
+            // streamed edge, no staging list, no sparse replay. A frame
+            // costs O(candidates + Σ adjacency + words), never
+            // O(node_count) bit-by-bit.
+            let probes: Vec<(NodeId, Dir, gfd_graph::LabelId)> = extra
+                .iter()
+                .map(|&i| {
+                    let a = &step.anchors[i];
+                    let (v, d) = probe_for(a);
+                    (v, d, a.label)
+                })
+                .collect();
+            let cap = self.graph.node_count();
+            self.scratch_cand.reserve_nodes(cap);
+            self.scratch_adj.reserve_nodes(cap);
+            for &c in &candidates {
+                self.scratch_cand.insert(c);
+            }
+            for (v, dir, label) in probes {
+                view.collect_matching_into(v, dir, label, &mut self.scratch_adj);
+                let left = self.scratch_cand.intersect_with_drain(&mut self.scratch_adj);
+                if left == 0 {
+                    break;
+                }
+            }
+            let survivors: Vec<NodeId> = self.scratch_cand.iter().collect();
+            self.scratch_cand.clear_sparse(candidates.iter().copied());
+            candidates = survivors;
+        } else {
+            // Sorted-merge intersection with the next-smallest concrete
+            // anchor adjacency: both sequences are ascending, so one
+            // two-pointer (or galloping, under skew) pass replaces
+            // per-candidate edge probes for that anchor.
+            merged_i = extra
+                .iter()
+                .copied()
+                .min_by_key(|&i| len_for(&step.anchors[i]));
+            if let Some(mi) = merged_i {
+                let merge = &step.anchors[mi];
+                let (merge_v, merge_dir) = probe_for(merge);
+                candidates =
+                    intersect_sorted_view(view, &candidates, merge_v, merge_dir, merge.label);
+            }
         }
 
         let var_label = self.pattern.label(step.var);
@@ -285,12 +341,17 @@ impl<'a, I: MatchIndex> HomSearch<'a, I> {
                 && self.passes_filter(step.var, node)
                 && self.self_loops_hold(step, node)
                 // Homomorphism: no injectivity check; just the anchors
-                // not already covered by the seed slice or the merge.
+                // not already covered by the seed slice, the merge, or
+                // the bitset fold.
                 && step
                     .anchors
                     .iter()
                     .enumerate()
-                    .filter(|&(i, _)| i != best_i && Some(i) != merged_i)
+                    .filter(|&(i, _)| {
+                        i != best_i
+                            && Some(i) != merged_i
+                            && (!use_bitset || step.anchors[i].label.is_wildcard())
+                    })
                     .all(|(_, a)| self.anchor_holds(a, node))
         });
         Frame {
@@ -402,6 +463,14 @@ impl<'a, I: MatchIndex> HomSearch<'a, I> {
 /// two-pointer merge for a galloping (exponential-probe) strategy.
 const GALLOP_FACTOR: usize = 8;
 
+/// Minimum live candidate count for a plan-gated
+/// [`IntersectStrategy::Bitset`] step to actually take the bitset path:
+/// below this the insert/read-back overhead of the scratch sets loses
+/// to the sorted merges even when the plan's estimates were large
+/// (estimates are upper bounds; the live set after the seed expansion
+/// can be far smaller).
+pub const BITSET_MIN_CANDIDATES: usize = 64;
+
 /// Least index `j >= start` with `slice[j] >= target`, assuming `slice`
 /// is ascending. Probes exponentially (`start+1`, `start+2`, `start+4`,
 /// …) to bracket the answer, then binary-searches the bracketed window:
@@ -444,6 +513,29 @@ pub fn intersect_slices_two_pointer(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
         }
     }
     out
+}
+
+/// Bitset intersection of two ascending slices: materialize both into
+/// [`NodeSet`]s and AND them word-at-a-time (the portable SIMD of the
+/// matcher's hub regime). O(|a| + |b| + max_id/64) including the
+/// materialization; wins over the pointer merges when both sides are
+/// dense and several intersections share one materialized side — the
+/// `micro_structures` bench pins the crossover against the other two.
+pub fn intersect_slices_bitset(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let cap = match (a.last(), b.last()) {
+        (Some(x), Some(y)) => x.index().max(y.index()) + 1,
+        _ => return Vec::new(),
+    };
+    let mut sa = NodeSet::with_capacity(cap);
+    for &n in a {
+        sa.insert(n);
+    }
+    let mut sb = NodeSet::with_capacity(cap);
+    for &n in b {
+        sb.insert(n);
+    }
+    sa.intersect_with(&sb);
+    sa.iter().collect()
 }
 
 /// Galloping intersection of two ascending slices where `short` is much
@@ -972,6 +1064,88 @@ mod tests {
             .iter()
             .filter(|m| m[pw.index()] == w_bad)
             .all(|m| m[py.index()] == m[pz.index()]));
+    }
+
+    /// Two dense hubs sharing half their targets: the diamond-closing
+    /// step is plan-gated to the bitset merge (both anchor pair
+    /// frequencies clear `BITSET_ANCHOR_DEGREE` and the live candidate
+    /// set clears `BITSET_MIN_CANDIDATES`), and the match set must be
+    /// exactly what brute force and the stats-free two-pointer plan find.
+    #[test]
+    fn bitset_merge_agrees_with_brute_force_on_hubs() {
+        use crate::plan::IntersectStrategy;
+        let mut v = Vocab::new();
+        let t = v.label("t");
+        let e = v.label("e");
+        let mut g = Graph::new();
+        let h1 = g.add_node(t);
+        let h2 = g.add_node(t);
+        for i in 0..200 {
+            let w = g.add_node(t);
+            g.add_edge(h1, e, w);
+            if i % 2 == 0 {
+                g.add_edge(h2, e, w);
+            }
+        }
+        let idx = LabelIndex::build(&g);
+        // Diamond: x -> y, x -> z, y -> w, z -> w.
+        let mut p = Pattern::new();
+        let x = p.add_node(t, "x");
+        let y = p.add_node(t, "y");
+        let z = p.add_node(t, "z");
+        let w = p.add_node(t, "w");
+        p.add_edge(x, e, y);
+        p.add_edge(x, e, z);
+        p.add_edge(y, e, w);
+        p.add_edge(z, e, w);
+
+        let plan = MatchPlan::build(&p, None, Some(&idx));
+        assert!(
+            plan.steps()
+                .iter()
+                .any(|s| s.strategy == IntersectStrategy::Bitset),
+            "stats plan on a hub graph must gate the bitset merge"
+        );
+        let mut bitset: Vec<Vec<NodeId>> = Vec::new();
+        let mut s = HomSearch::new(&g, &idx, &p, &plan);
+        s.run(
+            |m| {
+                bitset.push(m.to_vec());
+                ControlFlow::Continue(())
+            },
+            SearchLimits::none(),
+        );
+        let structural = MatchPlan::structural(&p, None);
+        let mut merged: Vec<Vec<NodeId>> = Vec::new();
+        let mut s2 = HomSearch::new(&g, &idx, &p, &structural);
+        s2.run(
+            |m| {
+                merged.push(m.to_vec());
+                ControlFlow::Continue(())
+            },
+            SearchLimits::none(),
+        );
+        let mut brute: Vec<Vec<NodeId>> = crate::brute::brute_force_matches(&g, &p)
+            .iter()
+            .map(|m| m.to_vec())
+            .collect();
+        bitset.sort();
+        merged.sort();
+        brute.sort();
+        assert_eq!(bitset, brute);
+        assert_eq!(merged, brute);
+    }
+
+    #[test]
+    fn bitset_slice_intersection_agrees() {
+        let a = ids(&(0..500).step_by(3).collect::<Vec<_>>());
+        let b = ids(&(0..500).step_by(5).collect::<Vec<_>>());
+        assert_eq!(
+            intersect_slices_bitset(&a, &b),
+            intersect_slices_two_pointer(&a, &b)
+        );
+        assert_eq!(intersect_slices_bitset(&[], &a), Vec::<NodeId>::new());
+        assert_eq!(intersect_slices_bitset(&a, &[]), Vec::<NodeId>::new());
     }
 
     #[test]

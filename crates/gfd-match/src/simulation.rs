@@ -50,6 +50,12 @@ pub fn dual_simulation<I: MatchIndex>(
     // edge labels probe only the O(log d)-located label sub-slice of the
     // view instead of scanning v's whole adjacency.
     let view = index.view();
+    // Scratch set for bulk removal rounds, allocated once per call.
+    let mut removal_set = NodeSet::with_capacity(graph.node_count());
+    // Past this many removals a round switches from per-bit clears to a
+    // word-at-a-time `difference_with`, whose cost is one AND-NOT per 64
+    // nodes regardless of how many bits fall (DESIGN.md §15).
+    let bulk_threshold = (graph.node_count() / 64).max(8);
     let mut changed = true;
     while changed {
         changed = false;
@@ -72,16 +78,23 @@ pub fn dual_simulation<I: MatchIndex>(
             if !removals.is_empty() {
                 changed = true;
                 let set = &mut sim[u.index()];
-                // NodeSet has no remove; rebuild without the removals.
-                let keep: Vec<_> = set.iter().filter(|n| !removals.contains(n)).collect();
-                if keep.is_empty() {
-                    return None;
+                if removals.len() >= bulk_threshold {
+                    for &n in &removals {
+                        removal_set.insert(n);
+                    }
+                    let left = set.difference_with(&removal_set);
+                    removal_set.clear_sparse(removals.iter().copied());
+                    if left == 0 {
+                        return None;
+                    }
+                } else {
+                    for &n in &removals {
+                        set.remove(n);
+                    }
+                    if set.is_empty() {
+                        return None;
+                    }
                 }
-                let mut rebuilt = NodeSet::with_capacity(graph.node_count());
-                for n in keep {
-                    rebuilt.insert(n);
-                }
-                *set = rebuilt;
             }
         }
     }

@@ -90,7 +90,7 @@ pub use gfd_core::{
     find_violations, graph_satisfies, graph_satisfies_all, seq_imp, seq_sat, Consequence, DepSet,
     Dependency, GenerateConsequence, Gfd, GfdSet, ImpOutcome, Literal, SatOutcome,
 };
-pub use gfd_graph::{Graph, LabelId, Pattern, Value, Vocab};
+pub use gfd_graph::{Graph, LabelId, Pattern, Value, ValueId, ValueTable, Vocab};
 pub use gfd_parallel::{par_imp, par_sat, ParConfig};
 
 /// The most commonly used names in one import.
@@ -100,7 +100,7 @@ pub mod prelude {
         DepSet, Dependency, GenerateConsequence, Gfd, GfdSet, ImpOutcome, ImpliedVia, Literal,
         Operand, SatOutcome,
     };
-    pub use gfd_graph::{AttrId, Graph, LabelId, NodeId, Pattern, Value, VarId, Vocab};
+    pub use gfd_graph::{AttrId, Graph, LabelId, NodeId, Pattern, Value, ValueId, ValueTable, VarId, Vocab};
     pub use gfd_parallel::{par_imp, par_sat, ParConfig};
 }
 

@@ -458,3 +458,259 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// 4. The interned value pipeline is semantics-preserving (proptest).
+// ---------------------------------------------------------------------
+//
+// Attribute values are globally interned `ValueId`s and every hot-path
+// literal check is a `u32` compare (DESIGN.md §15). These properties pin
+// the contract that makes the substitution sound — id equality ⟺ value
+// equality, stable under re-interning — and that the drivers built on it
+// (Detect, Sat, the incremental engine under attr-overwrite deltas)
+// agree with value-level semantics at p ∈ {1, 8}, on values chosen to be
+// hostile to shortcuts: unicode, the empty string, strings that *look*
+// like numbers or booleans, boundary integers.
+
+/// The adversarial value pool. `Str("42")`, `Str("true")` and `Str("")`
+/// must stay distinct from `Int(42)`, `Bool(true)` and everything else.
+fn value_pool() -> Vec<Value> {
+    vec![
+        Value::str(""),
+        Value::str("Zürich"),
+        Value::str("東京"),
+        Value::str("Ωmega ∂"),
+        Value::str("  spaced  out  "),
+        Value::str("42"),
+        Value::str("true"),
+        Value::int(42),
+        Value::int(0),
+        Value::int(-7),
+        Value::int(i64::MAX),
+        Value::int(i64::MIN),
+        Value::Bool(true),
+        Value::Bool(false),
+    ]
+}
+
+/// Two string-heavy rules over a `t --e--> t` edge: a unicode constant
+/// premise and an attr-equality consequence — every check crosses the
+/// interned fast path.
+fn pool_rules(vocab: &mut Vocab) -> GfdSet {
+    let t = vocab.label("t");
+    let e = vocab.label("e");
+    let a = vocab.attr("a");
+    let b = vocab.attr("b");
+    let mut p1 = Pattern::new();
+    let x = p1.add_node(t, "x");
+    let y = p1.add_node(t, "y");
+    p1.add_edge(x, e, y);
+    let r1 = Gfd::new(
+        "uni-const",
+        p1,
+        vec![Literal::eq_const(x, a, Value::str("Zürich"))],
+        vec![Literal::eq_const(y, a, Value::str("東京"))],
+    );
+    let mut p2 = Pattern::new();
+    let x = p2.add_node(t, "x");
+    let y = p2.add_node(t, "y");
+    p2.add_edge(x, e, y);
+    let r2 = Gfd::new(
+        "pool-eq",
+        p2,
+        vec![],
+        vec![Literal::eq_attr(x, b, y, b)],
+    );
+    GfdSet::from_vec(vec![r1, r2])
+}
+
+/// Build a pool-valued graph: `n` nodes in a chain-with-chords topology,
+/// attrs `a`/`b` drawn from the pool by index.
+fn pool_graph(n: usize, picks: &[usize], vocab: &mut Vocab) -> Graph {
+    let pool = value_pool();
+    let t = vocab.label("t");
+    let e = vocab.label("e");
+    let a = vocab.attr("a");
+    let b = vocab.attr("b");
+    let mut g = Graph::new();
+    let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(t)).collect();
+    for i in 0..n {
+        g.add_edge(nodes[i], e, nodes[(i + 1) % n]);
+        if i % 3 == 0 {
+            g.add_edge(nodes[i], e, nodes[(i + 5) % n]);
+        }
+    }
+    for (i, &node) in nodes.iter().enumerate() {
+        let va = &pool[picks[(2 * i) % picks.len()] % pool.len()];
+        let vb = &pool[picks[(2 * i + 1) % picks.len()] % pool.len()];
+        g.set_attr(node, a, va.clone());
+        g.set_attr(node, b, vb.clone());
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Id equality ⟺ value equality, for every pair of attribute values
+    /// a pool graph carries, and every id survives a resolve → re-intern
+    /// round trip unchanged. This is the exact property literal checks
+    /// rely on when they compare raw `u32`s.
+    #[test]
+    fn interned_ids_agree_with_value_equality(
+        n in 4usize..16,
+        picks in proptest::collection::vec(0usize..64, 8..32),
+    ) {
+        let mut vocab = Vocab::new();
+        let g = pool_graph(n, &picks, &mut vocab);
+        let ids: Vec<ValueId> = g
+            .nodes()
+            .flat_map(|v| g.attrs(v).iter().map(|&(_, id)| id).collect::<Vec<_>>())
+            .collect();
+        for &x in &ids {
+            prop_assert_eq!(ValueId::of(x.resolve()), x, "re-intern must be stable");
+            for &y in &ids {
+                prop_assert_eq!(
+                    x == y,
+                    x.resolve() == y.resolve(),
+                    "id {:?} vs {:?} ({:?} vs {:?})",
+                    x, y, x.resolve(), y.resolve()
+                );
+            }
+        }
+    }
+
+    /// Detect over pool-valued graphs: the violation set matches a
+    /// value-level re-evaluation of every rule literal, and is identical
+    /// at p = 1 and p = 8.
+    #[test]
+    fn detect_on_pool_values_matches_value_semantics(
+        n in 4usize..16,
+        picks in proptest::collection::vec(0usize..64, 8..32),
+    ) {
+        let mut vocab = Vocab::new();
+        let g = pool_graph(n, &picks, &mut vocab);
+        let sigma = pool_rules(&mut vocab);
+        let base = gfd::detect::detect(&g, &sigma, &DetectConfig::with_workers(1));
+        let wide = gfd::detect::detect(&g, &sigma, &DetectConfig::with_workers(8));
+        prop_assert_eq!(violation_keys(&base), violation_keys(&wide));
+        // Every reported violation must also violate under *value*
+        // semantics: premise holds, some consequence literal fails, with
+        // literals decided by resolving ids back to `Value`s.
+        let holds = |g: &Graph, lit: &Literal, m: &[NodeId]| -> bool {
+            let left = g.attr(m[lit.var.index()], lit.attr).map(ValueId::resolve);
+            match &lit.rhs {
+                Operand::Const(c) => left.as_ref() == Some(&c.resolve()),
+                Operand::Attr(v2, a2) => {
+                    let right = g.attr(m[v2.index()], *a2).map(ValueId::resolve);
+                    matches!((left, right), (Some(l), Some(r)) if l == r)
+                }
+            }
+        };
+        for v in &base.violations {
+            let dep = sigma.get(v.gfd);
+            prop_assert!(dep.premise.iter().all(|l| holds(&g, l, &v.m)));
+            prop_assert!(!dep.consequence.iter().all(|l| holds(&g, l, &v.m)));
+        }
+    }
+
+    /// Attr-overwrite deltas through the incremental engine: batches
+    /// that repeatedly overwrite the same (node, attr) slots with pool
+    /// values — unicode → empty → int → bool — leave exactly the
+    /// violation set a from-scratch detect computes, at p ∈ {1, 8}.
+    #[test]
+    fn attr_overwrite_deltas_stay_equivalent(
+        n in 6usize..14,
+        picks in proptest::collection::vec(0usize..64, 8..32),
+        writes in proptest::collection::vec((0usize..14, 0usize..2, 0usize..64), 4..24),
+    ) {
+        let mut vocab = Vocab::new();
+        let g = pool_graph(n, &picks, &mut vocab);
+        let sigma = pool_rules(&mut vocab);
+        let a = vocab.attr("a");
+        let b = vocab.attr("b");
+        let pool = value_pool();
+        // Three batches over the same write list: each batch shifts the
+        // value index, so most slots are overwritten repeatedly across
+        // (and within) batches.
+        let batches: Vec<gfd::graph::DeltaBatch> = (0..3)
+            .map(|round| {
+                let mut batch = gfd::graph::DeltaBatch::new();
+                for &(node, which, vi) in &writes {
+                    let attr = if which == 0 { a } else { b };
+                    let value = pool[(vi + round) % pool.len()].clone();
+                    batch.set_attr(NodeId::new(node % n), attr, value);
+                }
+                batch
+            })
+            .collect();
+        for p in [1usize, 8] {
+            let mut incr = gfd::incr::IncrementalDetector::new(
+                g.clone(),
+                sigma.clone(),
+                gfd::incr::IncrConfig {
+                    detect: DetectConfig::with_workers(p),
+                    compact_fraction: 0.25,
+                },
+            );
+            let mut reference = g.clone();
+            for (i, batch) in batches.iter().enumerate() {
+                incr.apply(batch);
+                batch.apply_to_graph(&mut reference);
+                let full = gfd::detect::detect(
+                    &reference,
+                    &sigma,
+                    &DetectConfig::with_workers(p),
+                );
+                let keys: Vec<(usize, Vec<usize>)> = incr
+                    .violations()
+                    .iter()
+                    .map(|v| (v.gfd.index(), v.m.iter().map(|x| x.index()).collect()))
+                    .collect();
+                let full_keys: Vec<(usize, Vec<usize>)> = full
+                    .violations
+                    .iter()
+                    .map(|v| (v.gfd.index(), v.m.iter().map(|x| x.index()).collect()))
+                    .collect();
+                prop_assert_eq!(keys, full_keys, "p={} batch={}", p, i);
+            }
+        }
+    }
+
+    /// Sat and chase at p = 1 vs p = 8 on string-heavy literal sets:
+    /// verdicts agree with the sequential driver, and lifted runs agree
+    /// with each other, when every constant comes from the pool.
+    #[test]
+    fn sat_on_pool_constants_is_worker_invariant(
+        consts in proptest::collection::vec((0usize..14, 0usize..14), 2..6),
+    ) {
+        let pool = value_pool();
+        let mut vocab = Vocab::new();
+        let t = vocab.label("t");
+        let e = vocab.label("e");
+        let a = vocab.attr("a");
+        let rules: Vec<Gfd> = consts
+            .iter()
+            .enumerate()
+            .map(|(i, &(ci, cj))| {
+                let mut p = Pattern::new();
+                let x = p.add_node(t, "x");
+                let y = p.add_node(t, "y");
+                p.add_edge(x, e, y);
+                Gfd::new(
+                    format!("r{i}"),
+                    p,
+                    vec![Literal::eq_const(x, a, pool[ci].clone())],
+                    vec![Literal::eq_const(y, a, pool[cj].clone())],
+                )
+            })
+            .collect();
+        let sigma = GfdSet::from_vec(rules);
+        let expected = gfd::seq_sat(&sigma).is_satisfiable();
+        let deps = DepSet::from_gfds(sigma.clone());
+        for p in [1usize, 8] {
+            let r = dep_sat_with_config(&deps, &chase_cfg(p));
+            prop_assert_eq!(r.is_satisfiable(), expected, "p={}", p);
+        }
+    }
+}

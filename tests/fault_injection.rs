@@ -437,6 +437,119 @@ fn compact_failpoint_defers_compaction_without_changing_answers() {
     assert_eq!(faulted.violations(), clean.violations());
 }
 
+/// String-attribute streaming fixture for the interning change: the
+/// delta stream carries unicode strings, an empty string, and an
+/// attr-overwrite, so a resumed process must re-intern checkpointed
+/// values (the GFDCKPT `value` section) before replaying the tail.
+fn string_stream_fixture(vocab: &mut Vocab) -> (gfd::dsl::Document, Vec<gfd::graph::DeltaBatch>) {
+    let doc = gfd::dsl::parse_document(
+        "graph g {\n\
+           node a: t { city = \"León\" }\n\
+           node b: t { city = \"León\" }\n\
+           edge a -e-> b\n\
+         }\n\
+         gfd same_city {\n\
+           pattern { node x: t node y: t edge x -e-> y }\n\
+           then { x.city = y.city }\n\
+         }\n",
+        vocab,
+    )
+    .unwrap();
+    let log = "batch\nattr 1 city=\"Zürich\"\nbatch\nnode t\nattr 2 city=\"\"\nedge 1 e 2\n\
+               batch\nattr 1 city=\"León\"\n";
+    let n = doc.graphs[0].1.node_count();
+    let batches = gfd::io::parse_delta_log_for(log, vocab, n).unwrap();
+    (doc, batches)
+}
+
+/// The interning variant of the crash-recovery test: kill between
+/// batches of a string-heavy delta stream, resume from the checkpoint in
+/// a fresh process (fresh `Vocab`, global `ValueTable` already warm with
+/// unrelated ids), and require the final checkpoint bytes to match the
+/// uninterrupted run exactly.
+#[test]
+fn crash_recovery_with_string_attrs_stays_byte_identical() {
+    let _g = serial();
+
+    let mut vocab = Vocab::new();
+    let (doc, batches) = string_stream_fixture(&mut vocab);
+    let mut full = IncrementalDetector::new(
+        doc.graphs[0].1.clone(),
+        doc.deps.clone(),
+        IncrConfig::default(),
+    );
+    for b in &batches {
+        full.apply(b);
+    }
+    let reference = checkpoint_to_string(
+        &Checkpoint {
+            batches_applied: batches.len(),
+            graph: full.graph().clone(),
+            violations: full.violations().to_vec(),
+        },
+        &vocab,
+    );
+    assert!(
+        reference.contains("value \"León\"") && reference.contains("value \"\""),
+        "checkpoint must persist the interned strings (unicode and empty):\n{reference}"
+    );
+
+    // Crashed process: killed between batch 2 and batch 3.
+    let saved = {
+        let mut vocab = Vocab::new();
+        let (doc, batches) = string_stream_fixture(&mut vocab);
+        let mut incr = IncrementalDetector::new(
+            doc.graphs[0].1.clone(),
+            doc.deps.clone(),
+            IncrConfig::default(),
+        );
+        failpoint::arm("test/kill=3").unwrap();
+        let mut persisted = None;
+        for (i, b) in batches.iter().enumerate() {
+            if failpoint::triggered("test/kill") {
+                break;
+            }
+            incr.apply(b);
+            persisted = Some(checkpoint_to_string(
+                &Checkpoint {
+                    batches_applied: i + 1,
+                    graph: incr.graph().clone(),
+                    violations: incr.violations().to_vec(),
+                },
+                &vocab,
+            ));
+        }
+        failpoint::disarm_all();
+        persisted.expect("two batches applied before the kill")
+    };
+
+    // Recovery process: the checkpoint's `value` section re-interns the
+    // strings before the attrs bind them, then the tail replays.
+    let mut vocab = Vocab::new();
+    let (doc, batches) = string_stream_fixture(&mut vocab);
+    let ckpt = parse_checkpoint(&saved, &mut vocab).unwrap();
+    assert_eq!(ckpt.batches_applied, 2, "killed before batch 3");
+    let applied = ckpt.batches_applied;
+    let mut resumed = IncrementalDetector::from_parts(
+        ckpt.graph,
+        doc.deps.clone(),
+        ckpt.violations,
+        IncrConfig::default(),
+    );
+    for b in batches.iter().skip(applied) {
+        resumed.apply(b);
+    }
+    let recovered = checkpoint_to_string(
+        &Checkpoint {
+            batches_applied: batches.len(),
+            graph: resumed.graph().clone(),
+            violations: resumed.violations().to_vec(),
+        },
+        &vocab,
+    );
+    assert_eq!(recovered, reference, "resume must be byte-identical");
+}
+
 #[test]
 fn crash_between_batches_resumes_byte_identical_from_checkpoint() {
     let _g = serial();

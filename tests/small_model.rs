@@ -48,25 +48,25 @@ fn models_are_sigma_bounded() {
 
 #[test]
 fn model_attribute_values_are_sigma_constants_or_fresh() {
-    use gfd::core::model::is_fresh;
+    
     use gfd::core::Operand;
     for seed in 0..3 {
         let w = workload(seed);
         let r = gfd::seq_sat(&w.sigma);
         let model = r.model().unwrap();
         // Collect the constants appearing in Σ.
-        let mut constants: Vec<Value> = Vec::new();
+        let mut constants: Vec<ValueId> = Vec::new();
         for (_, g) in w.sigma.iter() {
             for lit in g.premise.iter().chain(&g.consequence) {
                 if let Operand::Const(c) = &lit.rhs {
-                    constants.push(c.clone());
+                    constants.push(*c);
                 }
             }
         }
         for v in model.nodes() {
             for (_, value) in model.attrs(v) {
                 assert!(
-                    is_fresh(value) || constants.contains(value),
+                    gfd::core::model::is_fresh_id(*value) || constants.contains(value),
                     "model value {value:?} is neither a Σ constant nor fresh"
                 );
             }
@@ -109,7 +109,7 @@ fn implication_canonical_graph_is_phi_sized() {
     assert_eq!(eqx.key_count(), 1);
     assert!(eqx.deduces_const(
         (NodeId::new(0), vocab.find_attr("a").unwrap()),
-        &Value::int(1)
+        ValueId::of(1i64)
     ));
 }
 
